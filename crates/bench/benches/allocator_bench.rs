@@ -1,0 +1,49 @@
+//! Allocator benchmarks: greedy OPT planning at population scale vs the
+//! exact DP on small instances (the DESIGN.md greedy-vs-DP ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itag_model::delicious::DeliciousConfig;
+use itag_quality::gain::GainEstimator;
+use std::hint::black_box;
+
+fn estimator(n: usize) -> (GainEstimator, Vec<u32>) {
+    let d = DeliciousConfig {
+        resources: n,
+        initial_posts: n * 5,
+        eval_posts: 0,
+        seed: 0xA1,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset;
+    let counts = d.initial_counts();
+    (GainEstimator::oracle(&d.latent), counts)
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator/greedy_plan");
+    group.sample_size(10);
+    for (n, budget) in [(1_000usize, 10_000u32), (10_000, 10_000)] {
+        let (gains, counts) = estimator(n);
+        group.bench_function(format!("n{n}_b{budget}"), |b| {
+            b.iter(|| black_box(gains.plan_greedy(&counts, budget)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_marginal_eval(c: &mut Criterion) {
+    let (gains, counts) = estimator(1_000);
+    c.bench_function("allocator/marginal_sweep_n1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (i, &k) in counts.iter().enumerate() {
+                acc += gains.planning_marginal(i, k);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_greedy, bench_marginal_eval);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! End-to-end engine benchmark: the full pipeline of Fig. 2
+//! (publish → worker → submit → approve → pay → rfd update → persist)
+//! per task, plus the parallel tagging pool.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use itag_core::config::EngineConfig;
+use itag_core::engine::ITagEngine;
+use itag_core::project::ProjectSpec;
+use itag_crowd::behavior::TaggerBehavior;
+use itag_crowd::parallel::{run_parallel_tagging, TagJob};
+use itag_model::delicious::DeliciousConfig;
+use itag_model::ids::ResourceId;
+use std::hint::black_box;
+
+fn engine_with_project(n: usize, budget: u32) -> (ITagEngine, itag_model::ids::ProjectId) {
+    let mut engine = ITagEngine::new(EngineConfig::in_memory(0xBE)).unwrap();
+    let provider = engine.register_provider("bench").unwrap();
+    let dataset = DeliciousConfig {
+        resources: n,
+        initial_posts: n * 5,
+        eval_posts: 0,
+        seed: 0xBE,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset;
+    let p = engine
+        .add_project(provider, ProjectSpec::demo("bench", budget), dataset)
+        .unwrap();
+    (engine, p)
+}
+
+fn bench_engine_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/pipeline");
+    group.sample_size(10);
+    group.bench_function("run_500_tasks_n500", |b| {
+        b.iter_batched(
+            || engine_with_project(500, 100_000),
+            |(mut engine, p)| black_box(engine.run(p, 500).unwrap()),
+            BatchSize::PerIteration,
+        );
+    });
+    group.bench_function("monitor_n500", |b| {
+        let (mut engine, p) = engine_with_project(500, 100_000);
+        engine.run(p, 500).unwrap();
+        b.iter(|| black_box(engine.monitor(p).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_parallel_pool(c: &mut Criterion) {
+    let dataset = DeliciousConfig {
+        resources: 100,
+        initial_posts: 0,
+        eval_posts: 0,
+        seed: 3,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset;
+    let jobs: Vec<TagJob> = (0..2_000u64)
+        .map(|seq| TagJob {
+            resource: ResourceId((seq % 100) as u32),
+            seq,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine/parallel_tagging_2k_jobs");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                black_box(run_parallel_tagging(
+                    &dataset.latent,
+                    5_000,
+                    TaggerBehavior::casual(),
+                    &jobs,
+                    threads,
+                    42,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_pipeline, bench_parallel_pool);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Quality-metric micro-benchmarks: rfd updates, the stability kernels,
+//! the oracle metric, and learning-curve fitting — the per-post UPDATE()
+//! cost of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itag_model::ids::TagId;
+use itag_model::vocab::TagDistribution;
+use itag_quality::curve::LearningCurve;
+use itag_quality::history::{QualityPoint, ResourceQuality};
+use itag_quality::metric::{QualityMetric, StabilityKernel};
+use itag_quality::rfd::Rfd;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn seeded_state(posts: usize, distinct: u32, lag: usize) -> ResourceQuality {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut state = ResourceQuality::new(lag);
+    for _ in 0..posts {
+        let tags: Vec<TagId> = (0..3).map(|_| TagId(rng.gen_range(0..distinct))).collect();
+        state.push_post(&tags);
+    }
+    state
+}
+
+fn bench_rfd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/rfd");
+    group.bench_function("add_3_tags", |b| {
+        let mut rfd = Rfd::new();
+        let tags = [TagId(1), TagId(7), TagId(13)];
+        b.iter(|| rfd.add_tags(black_box(&tags)));
+    });
+    let a = {
+        let mut r = Rfd::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            r.add_tags(&[TagId(rng.gen_range(0..40))]);
+        }
+        r
+    };
+    let b2 = {
+        let mut r = Rfd::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            r.add_tags(&[TagId(rng.gen_range(0..40))]);
+        }
+        r
+    };
+    group.bench_function("cosine_40_distinct", |b| {
+        b.iter(|| black_box(a.cosine(&b2)));
+    });
+    group.bench_function("tv_40_distinct", |b| {
+        b.iter(|| black_box(a.tv(&b2)));
+    });
+    group.finish();
+}
+
+fn bench_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/metric");
+    let state = seeded_state(200, 40, 5);
+    for kernel in [
+        StabilityKernel::Cosine,
+        StabilityKernel::OneMinusTv,
+        StabilityKernel::TopKJaccard { k: 10 },
+    ] {
+        let metric = QualityMetric::Stability { window: 5, kernel };
+        group.bench_function(kernel.label(), |b| {
+            b.iter(|| black_box(metric.eval(&state, None)));
+        });
+    }
+    let latent = TagDistribution::new((0..40).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect());
+    group.bench_function("oracle", |b| {
+        b.iter(|| black_box(QualityMetric::Oracle.eval(&state, Some(&latent))));
+    });
+    group.finish();
+}
+
+fn bench_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/curve");
+    let points: Vec<QualityPoint> = (1..100)
+        .map(|k| QualityPoint {
+            k,
+            quality: 1.0 - 1.5 / ((k as f64 + 1.0).sqrt()),
+        })
+        .collect();
+    group.bench_function("fit_100_points", |b| {
+        b.iter(|| black_box(LearningCurve::fit(&points)));
+    });
+    let curve = LearningCurve::from_kappa(1.5);
+    group.bench_function("planning_marginal", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = (k + 1) % 1000;
+            black_box(curve.planning_marginal(k))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rfd, bench_metric, bench_curve);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `table-store`: micro-benchmarks of the storage substrate (the MySQL
+//! substitute): WAL append, point lookup, ordered scan, recovery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use itag_store::db::{Durability, Store, StoreOptions};
+use itag_store::testutil::TestDir;
+use itag_store::{TableId, WriteBatch};
+use std::hint::black_box;
+
+const T: TableId = TableId(1);
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/commit");
+    group.bench_function("put_in_memory", |b| {
+        let store = Store::in_memory();
+        let mut i = 0u64;
+        b.iter(|| {
+            store
+                .put(T, i.to_be_bytes().to_vec(), vec![0u8; 64])
+                .unwrap();
+            i += 1;
+        });
+    });
+    group.bench_function("batch100_in_memory", |b| {
+        let store = Store::in_memory();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut batch = WriteBatch::with_capacity(100);
+            for _ in 0..100 {
+                batch.put(T, i.to_be_bytes().to_vec(), vec![0u8; 64]);
+                i += 1;
+            }
+            store.commit(batch).unwrap();
+        });
+    });
+    group.bench_function("put_wal_buffered", |b| {
+        let dir = TestDir::new("bench-wal");
+        let store = Store::open(
+            dir.path(),
+            StoreOptions {
+                durability: Durability::Buffered,
+                checkpoint_every: 0,
+            },
+        )
+        .unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            store
+                .put(T, i.to_be_bytes().to_vec(), vec![0u8; 64])
+                .unwrap();
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let store = Store::in_memory();
+    for i in 0..100_000u64 {
+        store
+            .put(T, i.to_be_bytes().to_vec(), i.to_le_bytes().to_vec())
+            .unwrap();
+    }
+    let mut group = c.benchmark_group("store/read");
+    group.bench_function("get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = (i % 100_000).to_be_bytes();
+            black_box(store.get(T, &key).unwrap());
+            i = i.wrapping_add(7919);
+        });
+    });
+    group.bench_function("scan_range_100", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let from = (i % 99_000).to_be_bytes();
+            let to = ((i % 99_000) + 100).to_be_bytes();
+            black_box(store.scan_range(T, &from, Some(&to)));
+            i = i.wrapping_add(104_729);
+        });
+    });
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/recovery");
+    group.sample_size(10);
+    group.bench_function("replay_10k_wal_entries", |b| {
+        b.iter_batched(
+            || {
+                let dir = TestDir::new("bench-recover");
+                {
+                    let store = Store::open(dir.path(), StoreOptions::default()).unwrap();
+                    for i in 0..10_000u64 {
+                        store
+                            .put(T, i.to_be_bytes().to_vec(), vec![0u8; 32])
+                            .unwrap();
+                    }
+                    store.sync().unwrap();
+                }
+                dir
+            },
+            |dir| {
+                let store = Store::open(dir.path(), StoreOptions::default()).unwrap();
+                assert_eq!(store.stats().recovered_entries, 10_000);
+                black_box(store.count(T))
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit, bench_reads, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Strategy micro-benchmarks: the per-batch CHOOSERESOURCES() cost of each
+//! Table-I strategy at population scale, and a full Algorithm-1 run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use itag_bench::scenario::{sim_world, SweepConfig};
+use itag_strategy::framework::Framework;
+use itag_strategy::kind::StrategyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn cfg() -> SweepConfig {
+    SweepConfig {
+        resources: 10_000,
+        initial_posts: 50_000,
+        ..SweepConfig::default()
+    }
+}
+
+fn bench_choose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy/choose_batch10_n10k");
+    group.sample_size(20);
+    for kind in [
+        StrategyKind::FreeChoice,
+        StrategyKind::FewestPosts,
+        StrategyKind::MostUnstable,
+        StrategyKind::FpMu { min_posts: 5 },
+        StrategyKind::Optimal,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let world = sim_world(&cfg());
+            let mut strategy = kind.build();
+            let mut rng = StdRng::seed_from_u64(9);
+            strategy.init(&world, 100_000, &mut rng);
+            b.iter(|| black_box(strategy.choose(&world, 10, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy/run_1k_tasks_n1k");
+    group.sample_size(10);
+    let small = SweepConfig {
+        resources: 1_000,
+        initial_posts: 5_000,
+        ..SweepConfig::default()
+    };
+    for kind in [StrategyKind::FewestPosts, StrategyKind::FpMu { min_posts: 5 }] {
+        group.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || (sim_world(&small), kind.build(), StdRng::seed_from_u64(5)),
+                |(mut world, mut strategy, mut rng)| {
+                    black_box(Framework::default().run(
+                        &mut world,
+                        strategy.as_mut(),
+                        1_000,
+                        &mut rng,
+                    ))
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choose, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,802 @@
+//! `figures` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p itag-bench --bin figures -- <experiment|all>
+//! ```
+//!
+//! Experiments (DESIGN.md §5): `table1`, `quality-vs-budget`,
+//! `satisfied-vs-budget`, `lowpost-vs-budget`, `popularity`,
+//! `trace-replay`, `gatekeeping`, `convergence`, `switching`, `approval`,
+//! `noise`, `throughput`, and the ablations `ablation-kernel`,
+//! `ablation-ewma`, `ablation-window`, `ablation-switch`,
+//! `ablation-batch`, `ablation-opt`.
+//!
+//! Each experiment prints a paper-style table and writes a CSV next to the
+//! build artifacts (`target/figures/<id>.csv`).
+
+use itag_bench::scenario::{gini, run_strategy, sim_world, SweepConfig};
+use itag_strategy::simenv::SimWorld;
+use itag_bench::table::{delta, f, Table};
+use itag_core::config::EngineConfig;
+use itag_core::engine::ITagEngine;
+use itag_core::project::ProjectSpec;
+use itag_model::delicious::DeliciousConfig;
+use itag_model::ids::ResourceId;
+use itag_quality::history::ResourceQuality;
+use itag_quality::metric::{QualityMetric, StabilityKernel};
+use itag_strategy::framework::Framework;
+use itag_strategy::kind::StrategyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Quality threshold used by the "satisfied" figure (τ).
+const TAU: f64 = 0.75;
+/// Post threshold used by the "low-post" figure.
+const LOW_POSTS: u32 = 5;
+
+fn out_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("target/figures");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+fn emit(id: &str, title: &str, table: &Table) {
+    println!("== {id}: {title}");
+    println!("{}", table.render());
+    let path = out_dir().join(format!("{id}.csv"));
+    if std::fs::write(&path, table.to_csv()).is_ok() {
+        println!("(csv: {})\n", path.display());
+    }
+}
+
+fn lineup() -> Vec<StrategyKind> {
+    StrategyKind::paper_lineup(5)
+}
+
+/// Table I, measured: one row per strategy at a fixed budget.
+fn table1() {
+    let cfg = SweepConfig::default();
+    let budget = 10_000;
+    let baseline = sim_world(&cfg);
+    let low0 = baseline.count_below_posts(LOW_POSTS);
+    let sat0 = baseline.count_quality_at_least(TAU);
+
+    let mut t = Table::new([
+        "strategy",
+        "dq_stability",
+        "dq_oracle",
+        "low_post_before",
+        "low_post_after",
+        "satisfied_before",
+        "satisfied_after",
+        "alloc_gini",
+    ]);
+    for kind in lineup() {
+        let oracle0 = baseline.oracle_mean_quality();
+        let (report, world) = run_strategy(&cfg, kind, budget);
+        t.row([
+            kind.label().to_string(),
+            delta(report.improvement()),
+            delta(world.oracle_mean_quality() - oracle0),
+            low0.to_string(),
+            world.count_below_posts(LOW_POSTS).to_string(),
+            sat0.to_string(),
+            world.count_quality_at_least(TAU).to_string(),
+            f(gini(&report.allocation)),
+        ]);
+    }
+    emit(
+        "table1",
+        &format!("strategy characteristics (n={}, B={budget})", cfg.resources),
+        &t,
+    );
+}
+
+/// §IV headline figure: quality improvement vs budget per strategy.
+fn quality_vs_budget() {
+    let cfg = SweepConfig::default();
+    let budgets: Vec<u32> = (0..=5).map(|i| i * 2_000).collect();
+    let mut t = Table::new(["budget", "FC", "RAND", "FP", "MU", "FP-MU", "OPT"]);
+    for &b in &budgets {
+        let mut cells = vec![b.to_string()];
+        for kind in lineup() {
+            let (report, _) = run_strategy(&cfg, kind, b);
+            cells.push(delta(report.improvement()));
+        }
+        t.row(cells);
+    }
+    emit(
+        "quality-vs-budget",
+        &format!(
+            "q(R,c+x) − q(R,c) vs budget (n={}, metric={})",
+            cfg.resources,
+            cfg.metric.label()
+        ),
+        &t,
+    );
+}
+
+/// MU's Table-I claim: resources satisfying q ≥ τ vs budget.
+fn satisfied_vs_budget() {
+    let cfg = SweepConfig::default();
+    let budgets: Vec<u32> = (0..=5).map(|i| i * 2_000).collect();
+    let mut t = Table::new(["budget", "FC", "RAND", "FP", "MU", "FP-MU", "OPT"]);
+    for &b in &budgets {
+        let mut cells = vec![b.to_string()];
+        for kind in lineup() {
+            let (_, world) = run_strategy(&cfg, kind, b);
+            cells.push(world.count_quality_at_least(TAU).to_string());
+        }
+        t.row(cells);
+    }
+    emit(
+        "satisfied-vs-budget",
+        &format!("#resources with q ≥ {TAU} vs budget (n={})", cfg.resources),
+        &t,
+    );
+}
+
+/// FP's Table-I claim: resources with few posts vs budget.
+fn lowpost_vs_budget() {
+    let cfg = SweepConfig::default();
+    let budgets: Vec<u32> = (0..=5).map(|i| i * 2_000).collect();
+    let mut t = Table::new(["budget", "FC", "RAND", "FP", "MU", "FP-MU", "OPT"]);
+    for &b in &budgets {
+        let mut cells = vec![b.to_string()];
+        for kind in lineup() {
+            let (_, world) = run_strategy(&cfg, kind, b);
+            cells.push(world.count_below_posts(LOW_POSTS).to_string());
+        }
+        t.row(cells);
+    }
+    emit(
+        "lowpost-vs-budget",
+        &format!(
+            "#resources with < {LOW_POSTS} posts vs budget (n={})",
+            cfg.resources
+        ),
+        &t,
+    );
+}
+
+/// §IV fidelity check: FC sampled from the popularity law vs FC replayed
+/// from the recorded evaluation trace — the synthetic crowd should be
+/// statistically indistinguishable from the "real" stream it models.
+fn trace_replay() {
+    use itag_strategy::trace_replay::TraceReplay;
+
+    let corpus = DeliciousConfig {
+        resources: 1_000,
+        initial_posts: 5_000,
+        eval_posts: 8_000,
+        seed: 0x2010,
+        ..DeliciousConfig::default()
+    }
+    .generate();
+    let budget = 8_000u32;
+    let fw = Framework {
+        batch_size: 10,
+        record_every: 2_000,
+    };
+
+    let mut t = Table::new(["plan", "improvement", "low_post_after", "alloc_gini"]);
+    // Synthetic FC.
+    {
+        let mut world = SimWorld::new(corpus.dataset.clone(), QualityMetric::default());
+        let mut strategy = StrategyKind::FreeChoice.build();
+        let mut rng = StdRng::seed_from_u64(0x2010);
+        let report = fw.run(&mut world, strategy.as_mut(), budget, &mut rng);
+        t.row([
+            "FC (sampled)".to_string(),
+            delta(report.improvement()),
+            world.count_below_posts(LOW_POSTS).to_string(),
+            f(itag_bench::scenario::gini(&report.allocation)),
+        ]);
+    }
+    // Trace-replayed FC.
+    {
+        let mut world = SimWorld::new(corpus.dataset.clone(), QualityMetric::default());
+        let mut strategy = TraceReplay::from_trace(&corpus.eval_trace);
+        let mut rng = StdRng::seed_from_u64(0x2010);
+        let report = fw.run(&mut world, &mut strategy, budget, &mut rng);
+        t.row([
+            "FC (trace replay)".to_string(),
+            delta(report.improvement()),
+            world.count_below_posts(LOW_POSTS).to_string(),
+            f(itag_bench::scenario::gini(&report.allocation)),
+        ]);
+    }
+    emit(
+        "trace-replay",
+        "synthetic FC vs recorded-trace FC (n=1000, B=8000)",
+        &t,
+    );
+}
+
+/// §I comparison with CrowdFlower/CrowdSource: "their only way to control
+/// the tagging quality is by limiting tasks only to pre-qualified
+/// workforce". Three regimes on the same corpus and budget.
+fn gatekeeping() {
+    use itag_crowd::approval::ApprovalPolicy;
+
+    let run = |label: &str,
+               spammer_fraction: f64,
+               approval: ApprovalPolicy,
+               enforce: bool,
+               t: &mut Table| {
+        let mut config = EngineConfig::in_memory(0x6A7E);
+        config.spammer_fraction = spammer_fraction;
+        config.enforce_reliability = enforce;
+        let mut engine = ITagEngine::new(config).expect("engine");
+        let provider = engine.register_provider("gatekeeping").expect("register");
+        let dataset = DeliciousConfig {
+            resources: 200,
+            initial_posts: 1_000,
+            eval_posts: 0,
+            seed: 0x6A7E,
+            ..DeliciousConfig::default()
+        }
+        .generate()
+        .dataset;
+        let mut spec = ProjectSpec::demo("gate", 2_000);
+        spec.approval = approval;
+        let p = engine.add_project(provider, spec, dataset).expect("project");
+        let oracle0 = engine.monitor(p).expect("monitor").oracle_quality;
+        let summary = engine.run(p, 2_000).expect("run");
+        let m = engine.monitor(p).expect("monitor");
+        let oracle_gain = m.oracle_quality - oracle0;
+        t.row([
+            label.to_string(),
+            delta(summary.improvement),
+            delta(oracle_gain),
+            m.paid.to_string(),
+            format!("{:.0}", m.paid as f64 / oracle_gain.max(1e-9)),
+            m.banned_taggers.to_string(),
+        ]);
+    };
+
+    let mut t = Table::new([
+        "regime",
+        "dq_stability",
+        "dq_oracle",
+        "paid_c",
+        "cents_per_oracle_dq",
+        "banned",
+    ]);
+    // Open crowd (20% spammers), no quality control at all.
+    run(
+        "open crowd, accept-all",
+        0.2,
+        ApprovalPolicy::AcceptAll,
+        false,
+        &mut t,
+    );
+    // Open crowd, iTag's approval + reliability enforcement.
+    run(
+        "open crowd, iTag approval+ban",
+        0.2,
+        ApprovalPolicy::default(),
+        true,
+        &mut t,
+    );
+    // Pre-qualified workforce (no spammers admitted), accept-all — the
+    // CrowdFlower/CrowdSource model the paper contrasts against.
+    run(
+        "pre-qualified, accept-all",
+        0.0,
+        ApprovalPolicy::AcceptAll,
+        false,
+        &mut t,
+    );
+    emit(
+        "gatekeeping",
+        "quality control regimes: accept-all vs iTag approval vs pre-qualification (n=200, B=2000)",
+        &t,
+    );
+}
+
+/// §I motivation: the popularity skew of free-choice tagging.
+fn popularity() {
+    let mut t = Table::new([
+        "zipf_s",
+        "gini",
+        "head10_share",
+        "zero_frac",
+        "median",
+        "max",
+    ]);
+    for s in [0.0, 0.5, 1.0, 1.5] {
+        let d = DeliciousConfig {
+            resources: 2_000,
+            initial_posts: 10_000,
+            eval_posts: 0,
+            popularity_exponent: s,
+            seed: 0xF0F0,
+            ..DeliciousConfig::default()
+        }
+        .generate();
+        let stats = d.dataset.stats();
+        t.row([
+            format!("{s:.1}"),
+            f(stats.gini),
+            f(stats.head_share),
+            f(stats.zero_fraction),
+            stats.median_posts.to_string(),
+            stats.max_posts.to_string(),
+        ]);
+    }
+    emit(
+        "popularity",
+        "post-count skew under free-choice arrival (10k posts on 2k resources)",
+        &t,
+    );
+}
+
+/// §II: rfd stability convergence, stability vs oracle.
+fn convergence() {
+    let d = DeliciousConfig {
+        resources: 200,
+        initial_posts: 0,
+        eval_posts: 0,
+        seed: 0xC0,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset;
+
+    // Pick the most peaked and the flattest latent as exemplars.
+    let mut by_kappa: Vec<usize> = (0..d.len()).collect();
+    by_kappa.sort_by(|&a, &b| d.latent[a].kappa().total_cmp(&d.latent[b].kappa()));
+    let peaked = by_kappa[0];
+    let flat = *by_kappa.last().expect("non-empty");
+
+    let metric = QualityMetric::default();
+    let checkpoints = [1u32, 2, 5, 10, 20, 50, 100, 200];
+    let mut t = Table::new([
+        "k",
+        "stab_peaked",
+        "oracle_peaked",
+        "stab_flat",
+        "oracle_flat",
+    ]);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut run_resource = |i: usize| -> Vec<(f64, f64)> {
+        let mut state = ResourceQuality::new(5);
+        let mut samples = Vec::new();
+        for k in 1..=200u32 {
+            let tags = d.sample_honest_tags(
+                ResourceId(i as u32),
+                itag_model::vocab::TagsPerPost::default(),
+                &mut rng,
+            );
+            state.push_post(&tags);
+            if checkpoints.contains(&k) {
+                samples.push((
+                    metric.eval(&state, None),
+                    QualityMetric::Oracle.eval(&state, Some(&d.latent[i])),
+                ));
+            }
+        }
+        samples
+    };
+    let sp = run_resource(peaked);
+    let sf = run_resource(flat);
+    for (idx, &k) in checkpoints.iter().enumerate() {
+        t.row([
+            k.to_string(),
+            f(sp[idx].0),
+            f(sp[idx].1),
+            f(sf[idx].0),
+            f(sf[idx].1),
+        ]);
+    }
+    emit(
+        "convergence",
+        &format!(
+            "quality vs posts for a peaked (κ={:.2}) and a flat (κ={:.2}) resource",
+            d.latent[peaked].kappa(),
+            d.latent[flat].kappa()
+        ),
+        &t,
+    );
+
+    // Correlation between the observable stability signal and the oracle
+    // across a population of resources at k = 20.
+    let mut stab = Vec::new();
+    let mut orac = Vec::new();
+    for i in 0..d.len() {
+        let mut state = ResourceQuality::new(5);
+        for _ in 0..20 {
+            let tags = d.sample_honest_tags(
+                ResourceId(i as u32),
+                itag_model::vocab::TagsPerPost::default(),
+                &mut rng,
+            );
+            state.push_post(&tags);
+        }
+        stab.push(metric.eval(&state, None));
+        orac.push(QualityMetric::Oracle.eval(&state, Some(&d.latent[i])));
+    }
+    let r = pearson(&stab, &orac);
+    let mut t2 = Table::new(["population", "k", "pearson_r"]);
+    t2.row([d.len().to_string(), "20".to_string(), f(r)]);
+    emit(
+        "convergence-correlation",
+        "stability-vs-oracle correlation across resources",
+        &t2,
+    );
+}
+
+/// Fig. 5 story: switching strategies mid-run.
+fn switching() {
+    let cfg = SweepConfig::default();
+    let budget = 8_000u32;
+    let half = budget / 2;
+
+    let run_pure = |kind: StrategyKind| -> f64 {
+        let (report, _) = run_strategy(&cfg, kind, budget);
+        report.improvement()
+    };
+
+    // FC for half the budget, then switch to MU (same world carries over).
+    let switched = {
+        let mut world = sim_world(&cfg);
+        let q0 = {
+            use itag_strategy::env::EnvView;
+            world.mean_quality()
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+        let fw = Framework {
+            batch_size: cfg.batch_size,
+            record_every: 1_000,
+        };
+        let mut fc = StrategyKind::FreeChoice.build();
+        let _ = fw.run(&mut world, fc.as_mut(), half, &mut rng);
+        let mut mu = StrategyKind::MostUnstable.build();
+        let second = fw.run(&mut world, mu.as_mut(), budget - half, &mut rng);
+        second.final_quality - q0
+    };
+
+    let mut t = Table::new(["plan", "improvement"]);
+    t.row(["FC (full budget)".to_string(), delta(run_pure(StrategyKind::FreeChoice))]);
+    t.row(["MU (full budget)".to_string(), delta(run_pure(StrategyKind::MostUnstable))]);
+    t.row([format!("FC→MU (switch at {half})"), delta(switched)]);
+    emit(
+        "switching",
+        "changing the strategy mid-run rescues a mis-configured campaign",
+        &t,
+    );
+}
+
+/// User Manager figure: approval rates and payments vs spammer share.
+fn approval() {
+    let mut t = Table::new([
+        "spammer_frac",
+        "approved",
+        "rejected",
+        "paid_c",
+        "refunded_c",
+        "improvement",
+        "unreliable_taggers",
+    ]);
+    for s in [0.0, 0.1, 0.3, 0.5] {
+        let mut config = EngineConfig::in_memory(0xAB);
+        config.spammer_fraction = s;
+        let mut engine = ITagEngine::new(config).expect("in-memory engine");
+        let provider = engine.register_provider("fig-approval").expect("register");
+        let dataset = DeliciousConfig {
+            resources: 200,
+            initial_posts: 1_000,
+            eval_posts: 0,
+            seed: 0xAB,
+            ..DeliciousConfig::default()
+        }
+        .generate()
+        .dataset;
+        let p = engine
+            .add_project(provider, ProjectSpec::demo("approval", 2_000), dataset)
+            .expect("project");
+        let summary = engine.run(p, 2_000).expect("run");
+        let m = engine.monitor(p).expect("monitor");
+        let unreliable = engine.unreliable_tagger_count().unwrap_or(0);
+        t.row([
+            format!("{s:.1}"),
+            summary.approved.to_string(),
+            summary.rejected.to_string(),
+            m.paid.to_string(),
+            m.refunded.to_string(),
+            delta(summary.improvement),
+            unreliable.to_string(),
+        ]);
+    }
+    emit(
+        "approval",
+        "approval pipeline vs spammer share (n=200, B=2000, pay=5c)",
+        &t,
+    );
+}
+
+/// §I "noisy" taggers: improvement vs noise rate per strategy.
+fn noise() {
+    let mut t = Table::new(["noise", "FC", "FP", "MU", "FP-MU"]);
+    for noise in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        let cfg = SweepConfig {
+            resources: 500,
+            initial_posts: 2_500,
+            noise,
+            ..SweepConfig::default()
+        };
+        let mut cells = vec![format!("{noise:.1}")];
+        for kind in [
+            StrategyKind::FreeChoice,
+            StrategyKind::FewestPosts,
+            StrategyKind::MostUnstable,
+            StrategyKind::FpMu { min_posts: 5 },
+        ] {
+            let (report, _) = run_strategy(&cfg, kind, 3_000);
+            cells.push(delta(report.improvement()));
+        }
+        t.row(cells);
+    }
+    emit(
+        "noise",
+        "quality improvement vs tagger noise rate (n=500, B=3000)",
+        &t,
+    );
+}
+
+/// Architecture figure: end-to-end engine throughput.
+fn throughput() {
+    let mut t = Table::new(["resources", "tasks", "seconds", "tasks_per_sec"]);
+    for n in [100usize, 1_000, 5_000] {
+        let mut engine = ITagEngine::new(EngineConfig::in_memory(0x7A)).expect("engine");
+        let provider = engine.register_provider("fig-throughput").expect("register");
+        let dataset = DeliciousConfig {
+            resources: n,
+            initial_posts: n * 5,
+            eval_posts: 0,
+            seed: 0x7A,
+            ..DeliciousConfig::default()
+        }
+        .generate()
+        .dataset;
+        let tasks = 2_000u32;
+        let p = engine
+            .add_project(provider, ProjectSpec::demo("throughput", tasks), dataset)
+            .expect("project");
+        let start = Instant::now();
+        let _ = engine.run(p, tasks).expect("run");
+        let secs = start.elapsed().as_secs_f64();
+        t.row([
+            n.to_string(),
+            tasks.to_string(),
+            f(secs),
+            format!("{:.0}", tasks as f64 / secs),
+        ]);
+    }
+    emit(
+        "throughput",
+        "full pipeline throughput: publish → tag → approve → pay → update",
+        &t,
+    );
+}
+
+/// Ablation: stability kernel choice.
+fn ablation_kernel() {
+    let mut t = Table::new(["kernel", "dq_stability", "dq_oracle"]);
+    for kernel in [
+        StabilityKernel::Cosine,
+        StabilityKernel::OneMinusTv,
+        StabilityKernel::TopKJaccard { k: 5 },
+    ] {
+        let cfg = SweepConfig {
+            metric: QualityMetric::Stability { window: 5, kernel },
+            ..SweepConfig::default()
+        };
+        let base_oracle = sim_world(&cfg).oracle_mean_quality();
+        let (report, world) = run_strategy(&cfg, StrategyKind::MostUnstable, 6_000);
+        t.row([
+            kernel.label(),
+            delta(report.improvement()),
+            delta(world.oracle_mean_quality() - base_oracle),
+        ]);
+    }
+    emit(
+        "ablation-kernel",
+        "MU under different stability kernels (n=1000, B=6000)",
+        &t,
+    );
+}
+
+/// Ablation: stability window.
+fn ablation_window() {
+    let mut t = Table::new(["window", "dq_stability", "dq_oracle"]);
+    for window in [1u32, 3, 5, 10] {
+        let cfg = SweepConfig {
+            metric: QualityMetric::Stability {
+                window,
+                kernel: StabilityKernel::Cosine,
+            },
+            ..SweepConfig::default()
+        };
+        let base_oracle = sim_world(&cfg).oracle_mean_quality();
+        let (report, world) = run_strategy(&cfg, StrategyKind::MostUnstable, 6_000);
+        t.row([
+            window.to_string(),
+            delta(report.improvement()),
+            delta(world.oracle_mean_quality() - base_oracle),
+        ]);
+    }
+    emit(
+        "ablation-window",
+        "MU under different stability windows (n=1000, B=6000)",
+        &t,
+    );
+}
+
+/// Ablation: EWMA smoothing of the stability signal (DESIGN.md §2's
+/// optional smoothing). Less ranking churn for MU, at the cost of lag.
+fn ablation_ewma() {
+    // Δq is reported on the ORACLE metric only: the smoothed score is not
+    // comparable across alphas, but the allocation it induces is.
+    let mut t = Table::new(["alpha", "dq_oracle", "satisfied_after"]);
+    let mut runs: Vec<(String, QualityMetric)> = vec![(
+        "1.0 (raw)".to_string(),
+        QualityMetric::Stability {
+            window: 5,
+            kernel: StabilityKernel::Cosine,
+        },
+    )];
+    for alpha in [0.5, 0.3, 0.1] {
+        runs.push((
+            format!("{alpha:.1}"),
+            QualityMetric::SmoothedStability {
+                window: 5,
+                kernel: StabilityKernel::Cosine,
+                alpha,
+            },
+        ));
+    }
+    for (label, metric) in runs {
+        let cfg = SweepConfig {
+            metric,
+            ..SweepConfig::default()
+        };
+        let base_oracle = sim_world(&cfg).oracle_mean_quality();
+        let (_report, world) = run_strategy(&cfg, StrategyKind::MostUnstable, 6_000);
+        t.row([
+            label,
+            delta(world.oracle_mean_quality() - base_oracle),
+            world.count_quality_at_least(TAU).to_string(),
+        ]);
+    }
+    emit(
+        "ablation-ewma",
+        "MU under EWMA-smoothed stability (n=1000, B=6000; oracle gain isolates allocation effects)",
+        &t,
+    );
+}
+
+/// Ablation: FP→MU switch point.
+fn ablation_switch() {
+    let mut t = Table::new(["min_posts", "dq_stability", "low_post_after", "satisfied_after"]);
+    for min_posts in [1u32, 3, 5, 10, 20] {
+        let cfg = SweepConfig::default();
+        let (report, world) = run_strategy(&cfg, StrategyKind::FpMu { min_posts }, 6_000);
+        t.row([
+            min_posts.to_string(),
+            delta(report.improvement()),
+            world.count_below_posts(LOW_POSTS).to_string(),
+            world.count_quality_at_least(TAU).to_string(),
+        ]);
+    }
+    emit(
+        "ablation-switch",
+        "FP-MU switch threshold sweep (n=1000, B=6000)",
+        &t,
+    );
+}
+
+/// Ablation: CHOOSERESOURCES batch size.
+fn ablation_batch() {
+    let mut t = Table::new(["batch", "dq_stability", "seconds"]);
+    for batch in [1usize, 10, 100] {
+        let cfg = SweepConfig {
+            batch_size: batch,
+            ..SweepConfig::default()
+        };
+        let start = Instant::now();
+        let (report, _) = run_strategy(&cfg, StrategyKind::FpMu { min_posts: 5 }, 6_000);
+        t.row([
+            batch.to_string(),
+            delta(report.improvement()),
+            f(start.elapsed().as_secs_f64()),
+        ]);
+    }
+    emit(
+        "ablation-batch",
+        "batch size of CHOOSERESOURCES() (n=1000, B=6000)",
+        &t,
+    );
+}
+
+/// Ablation: greedy vs DP optimal.
+fn ablation_opt() {
+    let cfg = SweepConfig {
+        resources: 50,
+        initial_posts: 250,
+        ..SweepConfig::default()
+    };
+    let budget = 200u32;
+    let start_g = Instant::now();
+    let (greedy, _) = run_strategy(&cfg, StrategyKind::Optimal, budget);
+    let t_g = start_g.elapsed().as_secs_f64();
+    let start_d = Instant::now();
+    let (dp, _) = run_strategy(&cfg, StrategyKind::OptimalDp, budget);
+    let t_d = start_d.elapsed().as_secs_f64();
+
+    let mut t = Table::new(["allocator", "final_quality", "seconds"]);
+    t.row(["OPT-greedy".to_string(), f(greedy.final_quality), f(t_g)]);
+    t.row(["OPT-DP".to_string(), f(dp.final_quality), f(t_d)]);
+    emit(
+        "ablation-opt",
+        &format!("greedy vs exact DP optimal (n=50, B={budget}; concave gains ⇒ equal quality)"),
+        &t,
+    );
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let start = Instant::now();
+    let experiments: Vec<(&str, fn())> = vec![
+        ("table1", table1),
+        ("quality-vs-budget", quality_vs_budget),
+        ("satisfied-vs-budget", satisfied_vs_budget),
+        ("lowpost-vs-budget", lowpost_vs_budget),
+        ("popularity", popularity),
+        ("trace-replay", trace_replay),
+        ("gatekeeping", gatekeeping),
+        ("convergence", convergence),
+        ("switching", switching),
+        ("approval", approval),
+        ("noise", noise),
+        ("throughput", throughput),
+        ("ablation-kernel", ablation_kernel),
+        ("ablation-ewma", ablation_ewma),
+        ("ablation-window", ablation_window),
+        ("ablation-switch", ablation_switch),
+        ("ablation-batch", ablation_batch),
+        ("ablation-opt", ablation_opt),
+    ];
+    let mut ran = 0;
+    for (name, run) in &experiments {
+        if which == "all" || which == *name {
+            run();
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment '{which}'. available:");
+        for (name, _) in &experiments {
+            eprintln!("  {name}");
+        }
+        eprintln!("  all");
+        std::process::exit(2);
+    }
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+}

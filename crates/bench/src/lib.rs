@@ -1,0 +1,11 @@
+//! # itag-bench — experiment harness
+//!
+//! Shared scenario builders and table rendering for the `figures` binary
+//! (which regenerates every table/figure of the paper; see DESIGN.md §5)
+//! and the Criterion micro-benchmarks.
+
+pub mod scenario;
+pub mod table;
+
+pub use scenario::{run_strategy, sim_world, SweepConfig};
+pub use table::Table;

@@ -1,0 +1,112 @@
+//! Scenario builders shared by the figure harness and the benches.
+
+use itag_model::delicious::{DeliciousConfig, DeliciousDataset};
+use itag_quality::metric::QualityMetric;
+use itag_strategy::framework::{Framework, RunReport};
+use itag_strategy::simenv::SimWorld;
+use itag_strategy::StrategyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of one strategy-comparison sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    pub resources: usize,
+    pub initial_posts: usize,
+    pub seed: u64,
+    pub metric: QualityMetric,
+    pub batch_size: usize,
+    pub noise: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            resources: 1_000,
+            initial_posts: 5_000,
+            seed: 0xDE11,
+            metric: QualityMetric::default(),
+            batch_size: 10,
+            noise: 0.0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The generated corpus for this sweep (deterministic in the seed).
+    pub fn corpus(&self) -> DeliciousDataset {
+        DeliciousConfig {
+            resources: self.resources,
+            initial_posts: self.initial_posts,
+            eval_posts: 0,
+            seed: self.seed,
+            ..DeliciousConfig::default()
+        }
+        .generate()
+    }
+}
+
+/// Builds a fresh simulation world from a sweep config.
+pub fn sim_world(cfg: &SweepConfig) -> SimWorld {
+    SimWorld::new(cfg.corpus().dataset, cfg.metric).with_noise(cfg.noise)
+}
+
+/// Runs one strategy to `budget` on a fresh world; returns the report and
+/// the world (for post-hoc counters like "#resources ≥ τ").
+pub fn run_strategy(cfg: &SweepConfig, kind: StrategyKind, budget: u32) -> (RunReport, SimWorld) {
+    let mut world = sim_world(cfg);
+    let mut strategy = kind.build();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let report = Framework {
+        batch_size: cfg.batch_size,
+        record_every: (budget / 20).max(1),
+    }
+    .run(&mut world, strategy.as_mut(), budget, &mut rng);
+    (report, world)
+}
+
+/// Gini coefficient of an allocation vector (task concentration).
+pub fn gini(counts: &[u32]) -> f64 {
+    itag_model::dataset::DatasetStats::compute(counts).gini
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_are_deterministic_per_config() {
+        let cfg = SweepConfig {
+            resources: 100,
+            initial_posts: 400,
+            ..SweepConfig::default()
+        };
+        let (a, _) = run_strategy(&cfg, StrategyKind::FewestPosts, 200);
+        let (b, _) = run_strategy(&cfg, StrategyKind::FewestPosts, 200);
+        assert_eq!(a.final_quality, b.final_quality);
+        assert_eq!(a.allocation, b.allocation);
+    }
+
+    #[test]
+    fn informed_strategies_beat_fc_on_the_standard_corpus() {
+        let cfg = SweepConfig {
+            resources: 200,
+            initial_posts: 1_000,
+            ..SweepConfig::default()
+        };
+        let (fc, _) = run_strategy(&cfg, StrategyKind::FreeChoice, 600);
+        let (fpmu, _) = run_strategy(&cfg, StrategyKind::FpMu { min_posts: 5 }, 600);
+        assert!(
+            fpmu.improvement() > fc.improvement(),
+            "FP-MU {} vs FC {}",
+            fpmu.improvement(),
+            fc.improvement()
+        );
+    }
+
+    #[test]
+    fn gini_detects_concentration() {
+        assert!(gini(&[1, 1, 1, 1]) < 0.01);
+        assert!(gini(&[0, 0, 0, 100]) > 0.7);
+    }
+}

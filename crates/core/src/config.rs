@@ -1,0 +1,115 @@
+//! Engine configuration.
+
+use itag_crowd::approval::ApprovalPolicy;
+use itag_crowd::platform::PlatformKind;
+use itag_quality::metric::QualityMetric;
+use std::path::PathBuf;
+
+/// Where the engine keeps its data.
+#[derive(Debug, Clone)]
+pub enum StorageConfig {
+    /// Ephemeral (simulations, benches).
+    InMemory,
+    /// Durable WAL + snapshots under `dir`.
+    Durable {
+        dir: PathBuf,
+        durability: itag_store::Durability,
+        /// Auto-checkpoint period in commits (0 = manual).
+        checkpoint_every: u64,
+    },
+}
+
+/// Engine-wide settings; per-project settings live in
+/// [`crate::project::ProjectSpec`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Master seed; all engine randomness derives from it.
+    pub seed: u64,
+    /// Quality metric used by the Quality Manager.
+    pub metric: QualityMetric,
+    /// Resources per CHOOSERESOURCES() call.
+    pub batch_size: usize,
+    /// Workers staffing the simulated platform.
+    pub workers: usize,
+    /// Fraction of spammers mixed into the worker pool (ablation knob;
+    /// the rest follow the demo-crowd mix).
+    pub spammer_fraction: f64,
+    /// Default platform for new projects.
+    pub platform: PlatformKind,
+    /// Default approval policy for new projects.
+    pub approval: ApprovalPolicy,
+    /// Record a quality point every this many issued tasks.
+    pub record_every: u32,
+    /// Safety cap on platform ticks while collecting one batch.
+    pub max_ticks_per_batch: u32,
+    /// When true, taggers failing the User Manager's reliability gate are
+    /// banned from claiming further tasks (Section III-A: the approval
+    /// rate of platform taggers is kept "at a reliable level").
+    pub enforce_reliability: bool,
+    /// Storage backend.
+    pub storage: StorageConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0x17A6,
+            metric: QualityMetric::default(),
+            batch_size: 10,
+            workers: 50,
+            spammer_fraction: 0.05,
+            platform: PlatformKind::MTurk,
+            approval: ApprovalPolicy::default(),
+            record_every: 100,
+            max_ticks_per_batch: 100_000,
+            enforce_reliability: true,
+            storage: StorageConfig::InMemory,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// In-memory config with a given seed (the common bench setup).
+    pub fn in_memory(seed: u64) -> Self {
+        EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Durable config rooted at `dir` with buffered WAL writes.
+    pub fn durable(seed: u64, dir: PathBuf) -> Self {
+        EngineConfig {
+            seed,
+            storage: StorageConfig::Durable {
+                dir,
+                durability: itag_store::Durability::Buffered,
+                checkpoint_every: 10_000,
+            },
+            ..EngineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.batch_size >= 1);
+        assert!(c.workers >= 1);
+        assert!((0.0..=1.0).contains(&c.spammer_fraction));
+        assert!(matches!(c.storage, StorageConfig::InMemory));
+    }
+
+    #[test]
+    fn durable_builder_sets_dir() {
+        let c = EngineConfig::durable(1, PathBuf::from("/tmp/x"));
+        match c.storage {
+            StorageConfig::Durable { ref dir, .. } => assert_eq!(dir, &PathBuf::from("/tmp/x")),
+            _ => panic!("expected durable"),
+        }
+    }
+}

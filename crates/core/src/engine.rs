@@ -1,0 +1,1400 @@
+//! The iTag engine: everything of Fig. 2 wired together.
+//!
+//! `ITagEngine` runs the same Algorithm-1 loop as the pure simulator, but
+//! each chosen resource becomes a **published platform task**: a worker
+//! claims it, submits tags after their latency, the approval policy
+//! decides, money moves through escrow, user approval rates update, and
+//! only approved posts reach the rfd and the storage tables. This is the
+//! system path the demo exercises; the `itag-strategy` simulator is the
+//! algorithm path the figures sweep.
+
+use crate::config::{EngineConfig, StorageConfig};
+use crate::monitor::{MonitorSnapshot, ResourceDetail, ResourceRow};
+use crate::notify::{Notification, NotificationQueue};
+use crate::project::{ProjectRecord, ProjectSpec, ProjectState};
+use crate::quality_mgr::{ProjectQuality, QualityManager};
+use crate::records::{DatasetRecord, UserRole};
+use crate::resource_mgr::ResourceManager;
+use crate::tag_mgr::TagManager;
+use crate::user_mgr::UserManager;
+use crate::{EngineError, Result};
+use itag_crowd::approval::ApprovalPolicy;
+use itag_crowd::behavior::TaggerBehavior;
+use itag_crowd::payment::Ledger;
+use itag_crowd::platform::{CrowdPlatform, SimPlatform};
+use itag_crowd::worker::WorkerPool;
+use itag_model::dataset::Dataset;
+use itag_model::ids::{PostId, ProjectId, ResourceId};
+use itag_model::post::Post;
+use itag_store::codec::{FxHashMap, FxHashSet};
+use itag_store::table::{Entity, KeyCodec};
+use itag_store::{Store, StoreOptions, TypedTable, WriteBatch};
+use itag_strategy::env::EnvView;
+use itag_strategy::framework::{BudgetPoint, ChooseResources};
+use itag_strategy::{StrategyKind, SwitchableStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Read-only [`EnvView`] over a project's live quality state.
+struct RuntimeView<'a> {
+    pq: &'a ProjectQuality,
+    popularity: &'a [f64],
+}
+
+impl EnvView for RuntimeView<'_> {
+    fn num_resources(&self) -> usize {
+        self.pq.counts.len()
+    }
+    fn post_count(&self, r: ResourceId) -> u32 {
+        self.pq.counts[r.index()]
+    }
+    fn instability(&self, r: ResourceId) -> f64 {
+        1.0 - self.pq.qualities[r.index()]
+    }
+    fn quality(&self, r: ResourceId) -> f64 {
+        self.pq.qualities[r.index()]
+    }
+    fn mean_quality(&self) -> f64 {
+        self.pq.mean_quality()
+    }
+    fn popularity_weight(&self, r: ResourceId) -> f64 {
+        self.popularity[r.index()]
+    }
+    fn planning_marginal(&self, r: ResourceId, k: u32) -> f64 {
+        self.pq.gains.planning_marginal(r.index(), k)
+    }
+}
+
+/// Live state of one campaign.
+struct ProjectRuntime {
+    id: ProjectId,
+    provider: u32,
+    name: String,
+    dataset: Dataset,
+    pq: ProjectQuality,
+    strategy: SwitchableStrategy,
+    strategy_initialized: bool,
+    platform: Box<dyn CrowdPlatform + Send>,
+    /// Tasks published but not yet decided (drained by `collect_once`).
+    pending: FxHashSet<u64>,
+    ledger: Ledger,
+    approval: ApprovalPolicy,
+    pay_cents: u32,
+    budget_total: u32,
+    budget_spent: u32,
+    state: ProjectState,
+    series: Vec<BudgetPoint>,
+    initial_quality: f64,
+    last_milestone: f64,
+    tasks_approved: u64,
+    tasks_rejected: u64,
+    next_record: u32,
+}
+
+/// Outcome of one `run` call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Tasks published against the budget.
+    pub issued: u32,
+    /// Submissions approved (posts created).
+    pub approved: u32,
+    /// Submissions rejected (budget consumed, escrow refunded).
+    pub rejected: u32,
+    /// `q(R)` after the run.
+    pub quality: f64,
+    /// `q(R)` improvement since the campaign started.
+    pub improvement: f64,
+}
+
+/// The iTag system.
+pub struct ITagEngine {
+    store: Arc<Store>,
+    resources: ResourceManager,
+    tags: TagManager,
+    quality: QualityManager,
+    users: UserManager,
+    projects: TypedTable<ProjectRecord>,
+    datasets: TypedTable<DatasetRecord>,
+    runtimes: FxHashMap<u32, ProjectRuntime>,
+    config: EngineConfig,
+    rng: StdRng,
+    notifications: NotificationQueue,
+    next_post_id: u64,
+    next_project_id: u32,
+    next_provider_id: u32,
+}
+
+impl ITagEngine {
+    /// Opens (or creates) the engine per `config`. On a durable store this
+    /// runs recovery; projects found on disk can then be resumed with
+    /// [`ITagEngine::resume_project`].
+    pub fn new(config: EngineConfig) -> Result<Self> {
+        let store = Arc::new(match &config.storage {
+            StorageConfig::InMemory => Store::in_memory(),
+            StorageConfig::Durable {
+                dir,
+                durability,
+                checkpoint_every,
+            } => Store::open(
+                dir,
+                StoreOptions {
+                    durability: *durability,
+                    checkpoint_every: *checkpoint_every,
+                },
+            )?,
+        });
+
+        let resources = ResourceManager::new(Arc::clone(&store));
+        let tags = TagManager::new(Arc::clone(&store));
+        let quality = QualityManager::new(Arc::clone(&store));
+        let users = UserManager::new(Arc::clone(&store));
+        let projects: TypedTable<ProjectRecord> = TypedTable::new(Arc::clone(&store));
+        let datasets: TypedTable<DatasetRecord> = TypedTable::new(Arc::clone(&store));
+
+        let next_post_id = tags.last_post_id().map(|p| p.0 + 1).unwrap_or(0);
+        let next_project_id = store
+            .last_key(ProjectRecord::TABLE)
+            .and_then(|k| ProjectId::decode(&k).ok())
+            .map(|p| p.0 + 1)
+            .unwrap_or(0);
+        let next_provider_id = users
+            .providers()?
+            .iter()
+            .map(|u| u.id + 1)
+            .max()
+            .unwrap_or(0);
+
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(ITagEngine {
+            store,
+            resources,
+            tags,
+            quality,
+            users,
+            projects,
+            datasets,
+            runtimes: FxHashMap::default(),
+            config,
+            rng,
+            notifications: NotificationQueue::default(),
+            next_post_id,
+            next_project_id,
+            next_provider_id,
+        })
+    }
+
+    /// Registers a provider account and returns its id.
+    pub fn register_provider(&mut self, name: &str) -> Result<u32> {
+        let id = self.next_provider_id;
+        self.next_provider_id += 1;
+        self.users.register(UserRole::Provider, id, name)?;
+        Ok(id)
+    }
+
+    /// The Add-Project flow (Fig. 4): validates, persists, builds the
+    /// runtime, and returns the new project id.
+    pub fn add_project(
+        &mut self,
+        provider: u32,
+        spec: ProjectSpec,
+        dataset: Dataset,
+    ) -> Result<ProjectId> {
+        spec.validate().map_err(EngineError::InvalidDataset)?;
+        validate_dataset(&dataset)?;
+
+        let id = ProjectId(self.next_project_id);
+        self.next_project_id += 1;
+
+        let counts = dataset.initial_counts();
+        self.resources.upload(id, &dataset.resources, &counts)?;
+        self.tags.store_dictionary(&dataset.dictionary)?;
+        let record = ProjectRecord {
+            id,
+            provider,
+            spec: spec.clone(),
+            state: ProjectState::Running,
+            budget_total: spec.budget,
+            budget_spent: 0,
+            created_at: 0,
+        };
+        self.projects.upsert(&record)?;
+        self.datasets.upsert(&DatasetRecord {
+            project: id,
+            dataset: dataset.clone(),
+        })?;
+
+        let runtime = self.build_runtime(record, dataset, None)?;
+        self.runtimes.insert(id.0, runtime);
+        Ok(id)
+    }
+
+    /// Like [`ITagEngine::add_project`], but with a caller-supplied
+    /// platform — e.g. [`itag_crowd::audience::ManualPlatform`] for the
+    /// demo's live audience mode, or an adapter to a real marketplace.
+    pub fn add_project_with_platform(
+        &mut self,
+        provider: u32,
+        spec: ProjectSpec,
+        dataset: Dataset,
+        platform: Box<dyn CrowdPlatform + Send>,
+    ) -> Result<ProjectId> {
+        spec.validate().map_err(EngineError::InvalidDataset)?;
+        validate_dataset(&dataset)?;
+        let id = ProjectId(self.next_project_id);
+        self.next_project_id += 1;
+        let counts = dataset.initial_counts();
+        self.resources.upload(id, &dataset.resources, &counts)?;
+        self.tags.store_dictionary(&dataset.dictionary)?;
+        let record = ProjectRecord {
+            id,
+            provider,
+            spec: spec.clone(),
+            state: ProjectState::Running,
+            budget_total: spec.budget,
+            budget_spent: 0,
+            created_at: 0,
+        };
+        self.projects.upsert(&record)?;
+        self.datasets.upsert(&DatasetRecord {
+            project: id,
+            dataset: dataset.clone(),
+        })?;
+        let runtime = self.build_runtime(record, dataset, Some(platform))?;
+        self.runtimes.insert(id.0, runtime);
+        Ok(id)
+    }
+
+    /// Typed access to a project's platform (for audience submissions or
+    /// adapter-specific control). Fails if the platform is of a different
+    /// concrete type.
+    pub fn platform_mut<P: CrowdPlatform + 'static>(
+        &mut self,
+        project: ProjectId,
+    ) -> Result<&mut P> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        rt.platform
+            .as_any_mut()
+            .downcast_mut::<P>()
+            .ok_or(EngineError::BadProjectState {
+                project,
+                state: "backed by a different platform type",
+            })
+    }
+
+    /// Rebuilds the runtime of a persisted project after a restart,
+    /// replaying stored campaign posts onto the dataset's initial state.
+    /// Platform worker session state (in-flight tasks) is not persisted —
+    /// open tasks at crash time were never charged posts, matching the
+    /// at-most-once semantics of the budget.
+    pub fn resume_project(&mut self, id: ProjectId) -> Result<()> {
+        let record = self
+            .projects
+            .get(&id)?
+            .ok_or(EngineError::UnknownProject(id))?;
+        let mut dataset = self
+            .datasets
+            .get(&id)?
+            .ok_or(EngineError::UnknownProject(id))?
+            .dataset;
+        // Rebuild skipped serde fields.
+        dataset.dictionary.rebuild_index();
+        for latent in &mut dataset.latent {
+            latent.rebuild_sampler();
+        }
+
+        let mut runtime = self.build_runtime(record, dataset, None)?;
+        for post in self.tags.all_posts(id)? {
+            let r = post.resource;
+            let q = runtime.pq.apply_post(&runtime.dataset, r, &post.tags);
+            let _ = q;
+            runtime.tasks_approved += 1;
+        }
+        runtime.initial_quality = runtime
+            .series
+            .first()
+            .map(|p| p.mean_quality)
+            .unwrap_or_else(|| runtime.pq.mean_quality());
+        self.runtimes.insert(id.0, runtime);
+        Ok(())
+    }
+
+    fn build_runtime(
+        &mut self,
+        record: ProjectRecord,
+        dataset: Dataset,
+        platform: Option<Box<dyn CrowdPlatform + Send>>,
+    ) -> Result<ProjectRuntime> {
+        let pq = ProjectQuality::from_dataset(&dataset, self.config.metric);
+        let platform = match platform {
+            Some(p) => p,
+            None => {
+                let s = self.config.spammer_fraction.clamp(0.0, 1.0);
+                let pool = WorkerPool::from_mix(
+                    self.config.workers,
+                    &[
+                        (TaggerBehavior::casual(), 0.60 * (1.0 - s)),
+                        (TaggerBehavior::diligent(), 0.25 * (1.0 - s)),
+                        (TaggerBehavior::sloppy(), 0.15 * (1.0 - s)),
+                        (TaggerBehavior::spammer(), s),
+                    ],
+                    &mut self.rng,
+                );
+                Box::new(SimPlatform::new(record.spec.platform, pool))
+            }
+        };
+        let initial_quality = pq.mean_quality();
+        let series = vec![BudgetPoint {
+            spent: record.budget_spent,
+            mean_quality: initial_quality,
+        }];
+        Ok(ProjectRuntime {
+            id: record.id,
+            provider: record.provider,
+            name: record.spec.name.clone(),
+            dataset,
+            pq,
+            strategy: SwitchableStrategy::new(record.spec.strategy.build()),
+            strategy_initialized: false,
+            platform,
+            pending: FxHashSet::default(),
+            ledger: Ledger::new(),
+            approval: record.spec.approval,
+            pay_cents: record.spec.pay_per_task_cents,
+            budget_total: record.budget_total,
+            budget_spent: record.budget_spent,
+            state: record.state,
+            series,
+            initial_quality,
+            last_milestone: initial_quality,
+            tasks_approved: 0,
+            tasks_rejected: 0,
+            next_record: record.budget_spent + self.config.record_every.max(1),
+        })
+    }
+
+    /// Step 4 of Algorithm 1 as a standalone operation: CHOOSERESOURCES()
+    /// picks up to `want` resources and their tagging tasks are published
+    /// (escrowing pay, consuming budget). Returns the number published.
+    ///
+    /// `run` composes this with [`ITagEngine::collect_once`]; audience-
+    /// platform projects call the two halves separately, submitting
+    /// between them.
+    pub fn publish_batch(&mut self, project: ProjectId, want: usize) -> Result<u32> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        if rt.state != ProjectState::Running {
+            return Err(EngineError::BadProjectState {
+                project,
+                state: rt.state.label(),
+            });
+        }
+        let want = want
+            .min((rt.budget_total - rt.budget_spent) as usize)
+            .min(self.config.batch_size.max(1) * 16); // sanity bound
+        if want == 0 {
+            return Ok(0);
+        }
+
+        if !rt.strategy_initialized {
+            let view = RuntimeView {
+                pq: &rt.pq,
+                popularity: &rt.dataset.popularity,
+            };
+            rt.strategy.init(&view, rt.budget_total, &mut self.rng);
+            rt.strategy_initialized = true;
+        }
+        let chosen = {
+            let view = RuntimeView {
+                pq: &rt.pq,
+                popularity: &rt.dataset.popularity,
+            };
+            rt.strategy.choose(&view, want, &mut self.rng)
+        };
+        for &r in &chosen {
+            let task = rt.platform.publish(rt.id, r, rt.pay_cents);
+            rt.ledger.escrow(rt.id, rt.pay_cents as u64);
+            rt.pending.insert(task.0);
+        }
+        rt.budget_spent += chosen.len() as u32;
+        Ok(chosen.len() as u32)
+    }
+
+    /// Steps 5–6 of Algorithm 1 for one platform tick: collect finished
+    /// submissions, decide approval, move money, fold approved posts into
+    /// the statistics (UPDATE()), and emit feedback. Returns
+    /// `(approved, rejected)` for this tick.
+    pub fn collect_once(&mut self, project: ProjectId) -> Result<(u32, u32)> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        let mut approved = 0u32;
+        let mut rejected = 0u32;
+
+        let results = rt.platform.step(&rt.dataset, &mut self.rng);
+        for result in results {
+            rt.pending.remove(&result.task.0);
+            let i = result.resource.index();
+            let approve = rt.approval.decide(&result.tags, rt.pq.states[i].rfd());
+            let (worker, pay) = rt.platform.decide(result.task, approve)?;
+
+            let mut batch = WriteBatch::new();
+            self.users
+                .stage_decision(&mut batch, rt.provider, worker.0, approve, pay)?;
+
+            if approve {
+                rt.ledger.release(rt.id, worker, pay as u64)?;
+                let post = Post::new(
+                    PostId(self.next_post_id),
+                    result.resource,
+                    worker,
+                    result.tags.clone(),
+                    rt.pq.counts[i] + 1,
+                    result.submitted_at,
+                );
+                self.next_post_id += 1;
+                self.tags.stage_post(&mut batch, rt.id, &post)?;
+                let rec = self.resources.get(rt.id, result.resource)?;
+                self.resources.stage_increment_posts(&mut batch, &rec)?;
+                let q = rt.pq.apply_post(&rt.dataset, result.resource, &post.tags);
+                self.quality
+                    .stage_snapshot(&mut batch, rt.id, result.resource, rt.pq.counts[i], q)?;
+                rt.tasks_approved += 1;
+                approved += 1;
+            } else {
+                rt.ledger.refund(rt.id, pay as u64)?;
+                rt.tasks_rejected += 1;
+                rejected += 1;
+            }
+            self.store.commit(batch)?;
+
+            // Reliability enforcement: a tagger whose received-approval
+            // rate fell through the gate stops receiving assignments.
+            if self.config.enforce_reliability
+                && !approve
+                && !self.users.is_reliable(worker.0)?
+            {
+                rt.platform.ban_worker(worker);
+            }
+
+            // The strategy observes every decision (MU re-queues the
+            // resource with its refreshed instability).
+            let view = RuntimeView {
+                pq: &rt.pq,
+                popularity: &rt.dataset.popularity,
+            };
+            rt.strategy.notify_update(&view, result.resource);
+
+            self.notifications.push(Notification::TagDecided {
+                project: rt.id,
+                resource: result.resource,
+                tagger: worker,
+                approved: approve,
+            });
+        }
+
+        // Feedback: series point + quality milestones.
+        if rt.budget_spent >= rt.next_record {
+            rt.series.push(BudgetPoint {
+                spent: rt.budget_spent,
+                mean_quality: rt.pq.mean_quality(),
+            });
+            rt.next_record += self.config.record_every.max(1);
+        }
+        let q = rt.pq.mean_quality();
+        while q >= rt.last_milestone + 0.1 {
+            rt.last_milestone += 0.1;
+            self.notifications.push(Notification::QualityMilestone {
+                project: rt.id,
+                quality: q,
+                milestone: rt.last_milestone,
+            });
+        }
+        Ok((approved, rejected))
+    }
+
+    /// Tasks published but not yet decided.
+    pub fn pending_tasks(&self, project: ProjectId) -> Result<usize> {
+        Ok(self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?
+            .pending
+            .len())
+    }
+
+    /// Runs Algorithm 1 for up to `max_tasks` tasks (bounded by the
+    /// remaining budget) through the crowdsourcing platform.
+    pub fn run(&mut self, project: ProjectId, max_tasks: u32) -> Result<RunSummary> {
+        {
+            let rt = self
+                .runtimes
+                .get(&project.0)
+                .ok_or(EngineError::UnknownProject(project))?;
+            if rt.state != ProjectState::Running {
+                return Err(EngineError::BadProjectState {
+                    project,
+                    state: rt.state.label(),
+                });
+            }
+        }
+
+        let mut issued = 0u32;
+        let mut approved = 0u32;
+        let mut rejected = 0u32;
+
+        loop {
+            let want = self.config.batch_size.min((max_tasks - issued) as usize);
+            if want == 0 {
+                break;
+            }
+            let published = self.publish_batch(project, want.max(1))?;
+            if published == 0 {
+                break; // budget exhausted or strategy has nothing left
+            }
+            issued += published;
+
+            let mut ticks = 0u32;
+            while self.pending_tasks(project)? > 0 && ticks < self.config.max_ticks_per_batch {
+                ticks += 1;
+                let (a, r) = self.collect_once(project)?;
+                approved += a;
+                rejected += r;
+            }
+            if self.pending_tasks(project)? > 0 {
+                // Platform starvation: the published work cannot complete
+                // (e.g. the reliability gate banned the whole pool after a
+                // spam-poisoned consensus — the death spiral the
+                // `gatekeeping` figure studies). Stop issuing; the stalled
+                // tasks stay visible as open_tasks and their pay as held
+                // escrow.
+                break;
+            }
+        }
+
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .expect("checked at entry");
+        // Close the series at the exact final spend.
+        if rt.series.last().map(|p| p.spent) != Some(rt.budget_spent) {
+            rt.series.push(BudgetPoint {
+                spent: rt.budget_spent,
+                mean_quality: rt.pq.mean_quality(),
+            });
+        }
+
+        if rt.budget_spent >= rt.budget_total {
+            rt.state = ProjectState::Completed;
+            self.notifications
+                .push(Notification::BudgetExhausted { project: rt.id });
+        }
+
+        // Persist the project row (budget/state).
+        let mut record = self
+            .projects
+            .get(&project)?
+            .ok_or(EngineError::UnknownProject(project))?;
+        record.budget_spent = rt.budget_spent;
+        record.state = rt.state;
+        self.projects.upsert(&record)?;
+
+        let quality = rt.pq.mean_quality();
+        Ok(RunSummary {
+            issued,
+            approved,
+            rejected,
+            quality,
+            improvement: quality - rt.initial_quality,
+        })
+    }
+
+    /// The Fig. 3 / Fig. 5 view of a project.
+    pub fn monitor(&self, project: ProjectId) -> Result<MonitorSnapshot> {
+        let rt = self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        let (escrowed, paid, refunded) = rt.ledger.totals();
+        let rows = self
+            .resources
+            .list(project)?
+            .into_iter()
+            .map(|r| ResourceRow {
+                id: r.resource.id,
+                uri: r.resource.uri,
+                posts: rt.pq.counts[r.resource.id.index()],
+                quality: rt.pq.qualities[r.resource.id.index()],
+                stopped: r.stopped,
+            })
+            .collect();
+        Ok(MonitorSnapshot {
+            project,
+            name: rt.name.clone(),
+            state: rt.state.label().to_string(),
+            strategy: rt.strategy.active_name().to_string(),
+            quality_mean: rt.pq.mean_quality(),
+            quality_initial: rt.initial_quality,
+            oracle_quality: rt.pq.oracle_mean_quality(&rt.dataset),
+            budget_total: rt.budget_total,
+            budget_spent: rt.budget_spent,
+            open_tasks: rt.platform.open_tasks(),
+            tasks_approved: rt.tasks_approved,
+            tasks_rejected: rt.tasks_rejected,
+            banned_taggers: rt.platform.banned_count(),
+            escrowed: escrowed - paid - refunded,
+            paid,
+            refunded,
+            quality_summary: itag_quality::aggregate::QualitySummary::compute(&rt.pq.qualities),
+            series: rt.series.clone(),
+            rows,
+        })
+    }
+
+    /// The Fig. 6 single-resource drill-down.
+    pub fn resource_detail(&self, project: ProjectId, r: ResourceId) -> Result<ResourceDetail> {
+        let rt = self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        let record = self.resources.get(project, r)?;
+        let state = &rt.pq.states[r.index()];
+        let mut tag_counts: Vec<(itag_model::ids::TagId, u32)> = state.rfd().iter().collect();
+        tag_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let top_tags = tag_counts
+            .into_iter()
+            .take(20)
+            .map(|(t, c)| (self.tags.text(t), c))
+            .collect();
+        Ok(ResourceDetail {
+            id: r,
+            uri: record.resource.uri,
+            description: record.resource.description,
+            posts: rt.pq.counts[r.index()],
+            quality: rt.pq.qualities[r.index()],
+            top_tags,
+            series: state.series().to_vec(),
+        })
+    }
+
+    /// The Promote button.
+    pub fn promote(&mut self, project: ProjectId, r: ResourceId) -> Result<()> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        rt.strategy.promote(r);
+        Ok(())
+    }
+
+    /// The per-resource Stop button (persisted).
+    pub fn stop_resource(&mut self, project: ProjectId, r: ResourceId) -> Result<()> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        rt.strategy.stop_resource(r);
+        self.resources.set_stopped(project, r, true)?;
+        Ok(())
+    }
+
+    /// Re-allow a stopped resource.
+    pub fn resume_resource(&mut self, project: ProjectId, r: ResourceId) -> Result<()> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        rt.strategy.resume_resource(r);
+        self.resources.set_stopped(project, r, false)?;
+        Ok(())
+    }
+
+    /// Mid-run strategy change (Fig. 5's strategy selector).
+    pub fn switch_strategy(&mut self, project: ProjectId, kind: StrategyKind) -> Result<()> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        rt.strategy.switch_to(kind.build());
+        rt.strategy_initialized = true; // SwitchableStrategy re-inits lazily
+        if let Some(mut record) = self.projects.get(&project)? {
+            record.spec.strategy = kind;
+            self.projects.upsert(&record)?;
+        }
+        self.notifications.push(Notification::StrategySwitched {
+            project,
+            to: kind.label().to_string(),
+        });
+        Ok(())
+    }
+
+    /// "Providers may add budget to the project."
+    pub fn add_budget(&mut self, project: ProjectId, extra_tasks: u32) -> Result<()> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        rt.budget_total += extra_tasks;
+        if rt.state == ProjectState::Completed {
+            rt.state = ProjectState::Running;
+        }
+        if let Some(mut record) = self.projects.get(&project)? {
+            record.budget_total = rt.budget_total;
+            record.state = rt.state;
+            self.projects.upsert(&record)?;
+        }
+        Ok(())
+    }
+
+    /// "If the quality has been good enough, providers can stop the
+    /// project, minimize their budget invested."
+    pub fn stop_project(&mut self, project: ProjectId) -> Result<()> {
+        let rt = self
+            .runtimes
+            .get_mut(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        rt.state = ProjectState::Stopped;
+        if let Some(mut record) = self.projects.get(&project)? {
+            record.state = ProjectState::Stopped;
+            self.projects.upsert(&record)?;
+        }
+        self.notifications
+            .push(Notification::ProjectStopped { project });
+        Ok(())
+    }
+
+    /// "Export resources with the desired tags."
+    pub fn export(&self, project: ProjectId) -> Result<crate::export::Export> {
+        let rt = self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        let mut resources = Vec::with_capacity(rt.dataset.len());
+        for record in self.resources.list(project)? {
+            let i = record.resource.id.index();
+            let state = &rt.pq.states[i];
+            let mut tag_counts: Vec<(itag_model::ids::TagId, u32)> = state.rfd().iter().collect();
+            tag_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            resources.push(crate::export::ExportedResource {
+                uri: record.resource.uri,
+                kind: record.resource.kind.label().to_string(),
+                posts: rt.pq.counts[i],
+                quality: rt.pq.qualities[i],
+                tags: tag_counts
+                    .into_iter()
+                    .map(|(t, c)| (self.tags.text(t), c))
+                    .collect(),
+            });
+        }
+        Ok(crate::export::Export {
+            project: rt.name.clone(),
+            resources,
+        })
+    }
+
+    /// "We will help providers choose the best strategy given the current
+    /// resources and tags statistics."
+    pub fn suggest_strategy(&self, project: ProjectId) -> Result<StrategyKind> {
+        let rt = self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        let window = match self.config.metric {
+            itag_quality::metric::QualityMetric::Stability { window, .. }
+            | itag_quality::metric::QualityMetric::SmoothedStability { window, .. } => window,
+            itag_quality::metric::QualityMetric::Oracle => 5,
+        };
+        Ok(QualityManager::suggest_strategy(&rt.pq, window))
+    }
+
+    /// Drains pending notifications.
+    pub fn take_notifications(&mut self) -> Vec<Notification> {
+        self.notifications.drain()
+    }
+
+    /// Tagger approval rate, from the persisted User Manager counters.
+    pub fn tagger_approval_rate(&self, tagger: u32) -> Result<f64> {
+        self.users.tagger_approval_rate(tagger)
+    }
+
+    /// Provider generosity rate.
+    pub fn provider_approval_rate(&self, provider: u32) -> Result<f64> {
+        self.users.provider_approval_rate(provider)
+    }
+
+    /// The User Manager's reliability gate for a tagger.
+    pub fn is_reliable_tagger(&self, tagger: u32) -> Result<bool> {
+        self.users.is_reliable(tagger)
+    }
+
+    /// Number of known taggers currently failing the reliability gate.
+    pub fn unreliable_tagger_count(&self) -> Result<usize> {
+        let mut n = 0;
+        for t in self.users.taggers()? {
+            if !self.users.is_reliable(t.id)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Storage statistics (commits, keys, recovery info).
+    pub fn store_stats(&self) -> itag_store::StoreStats {
+        self.store.stats()
+    }
+
+    /// Forces a storage checkpoint (durable stores only).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.store.checkpoint()?;
+        Ok(())
+    }
+
+    /// The tagger-side project browser (Fig. 7), sorted the way taggers
+    /// choose: "projects with high pay per task or projects from
+    /// providers with good approval rate" — pay descending, provider
+    /// generosity as tie-break.
+    pub fn browse_projects(&self) -> Result<Vec<crate::monitor::ProjectListing>> {
+        let mut listings = Vec::with_capacity(self.runtimes.len());
+        for rt in self.runtimes.values() {
+            listings.push(crate::monitor::ProjectListing {
+                project: rt.id,
+                name: rt.name.clone(),
+                state: rt.state.label().to_string(),
+                pay_per_task_cents: rt.pay_cents,
+                provider_approval_rate: self.users.provider_approval_rate(rt.provider)?,
+                open_tasks: rt.platform.open_tasks(),
+            });
+        }
+        listings.sort_by(|a, b| {
+            b.pay_per_task_cents
+                .cmp(&a.pay_per_task_cents)
+                .then(b.provider_approval_rate.total_cmp(&a.provider_approval_rate))
+                .then(a.project.cmp(&b.project))
+        });
+        Ok(listings)
+    }
+
+    /// A tagger's post history on a project (Fig. 8).
+    pub fn tagger_history(
+        &self,
+        project: ProjectId,
+        tagger: itag_model::ids::TaggerId,
+    ) -> Result<Vec<Post>> {
+        self.tags.posts_by_tagger(project, tagger)
+    }
+
+    /// Cross-checks the live runtime against the persisted tables:
+    /// per-resource post counts must agree between the quality state, the
+    /// resource records, the post-count index and the stored post log.
+    /// Returns the number of resources checked.
+    pub fn verify_integrity(&self, project: ProjectId) -> Result<usize> {
+        let rt = self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        let records = self.resources.list(project)?;
+        if records.len() != rt.pq.counts.len() {
+            return Err(EngineError::InvalidDataset(format!(
+                "resource count mismatch: {} stored vs {} live",
+                records.len(),
+                rt.pq.counts.len()
+            )));
+        }
+        let initial = rt.dataset.initial_counts();
+        for record in &records {
+            let i = record.resource.id.index();
+            let live = rt.pq.counts[i];
+            if record.posts != live {
+                return Err(EngineError::InvalidDataset(format!(
+                    "resource {}: stored posts {} != live {}",
+                    record.resource.id, record.posts, live
+                )));
+            }
+            let logged = self.tags.posts_of(project, record.resource.id)?.len() as u32;
+            if initial[i] + logged != live {
+                return Err(EngineError::InvalidDataset(format!(
+                    "resource {}: initial {} + logged {} != live {}",
+                    record.resource.id, initial[i], logged, live
+                )));
+            }
+        }
+        // The post-count index must enumerate exactly the resource set.
+        let indexed = self.resources.below_posts(project, u32::MAX)?;
+        if indexed.len() != records.len() {
+            return Err(EngineError::InvalidDataset(format!(
+                "index has {} entries, table has {}",
+                indexed.len(),
+                records.len()
+            )));
+        }
+        Ok(records.len())
+    }
+
+    /// Ids of projects with live runtimes.
+    pub fn active_projects(&self) -> Vec<ProjectId> {
+        let mut ids: Vec<ProjectId> = self.runtimes.values().map(|rt| rt.id).collect();
+        ids.sort();
+        ids
+    }
+
+    /// Ids of all persisted projects (including not-yet-resumed ones).
+    pub fn stored_projects(&self) -> Result<Vec<ProjectId>> {
+        Ok(self.projects.scan_all()?.into_iter().map(|p| p.id).collect())
+    }
+}
+
+fn validate_dataset(dataset: &Dataset) -> Result<()> {
+    if dataset.is_empty() {
+        return Err(EngineError::InvalidDataset("no resources".into()));
+    }
+    if dataset.latent.len() != dataset.resources.len()
+        || dataset.popularity.len() != dataset.resources.len()
+    {
+        return Err(EngineError::InvalidDataset(
+            "latent/popularity arrays must match resources".into(),
+        ));
+    }
+    for (i, r) in dataset.resources.iter().enumerate() {
+        if r.id.index() != i {
+            return Err(EngineError::InvalidDataset(format!(
+                "resource ids must be dense: index {i} has {}",
+                r.id
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itag_model::delicious::DeliciousConfig;
+
+    fn engine() -> ITagEngine {
+        ITagEngine::new(EngineConfig::in_memory(77)).unwrap()
+    }
+
+    fn dataset(seed: u64) -> Dataset {
+        DeliciousConfig::tiny(seed).generate().dataset
+    }
+
+    #[test]
+    fn add_project_and_run_improves_quality() {
+        let mut e = engine();
+        let provider = e.register_provider("alice").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("demo", 300), dataset(1))
+            .unwrap();
+        let before = e.monitor(p).unwrap().quality_mean;
+        let summary = e.run(p, 300).unwrap();
+        assert_eq!(summary.issued, 300);
+        assert_eq!(summary.approved + summary.rejected, 300);
+        assert!(summary.approved > 0, "some submissions must be approved");
+        let after = e.monitor(p).unwrap();
+        assert!(after.quality_mean > before, "{before} → {}", after.quality_mean);
+        assert_eq!(after.state, "completed");
+        assert_eq!(after.budget_spent, 300);
+    }
+
+    #[test]
+    fn money_is_conserved_through_the_pipeline() {
+        let mut e = engine();
+        let provider = e.register_provider("bob").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("money", 100), dataset(2))
+            .unwrap();
+        let _ = e.run(p, 100).unwrap();
+        let m = e.monitor(p).unwrap();
+        // 100 tasks at 5 cents: escrowed total = paid + refunded + held.
+        assert_eq!(m.paid + m.refunded + m.escrowed, 500);
+        assert_eq!(m.tasks_approved * 5, m.paid);
+        assert_eq!(m.tasks_rejected * 5, m.refunded);
+    }
+
+    #[test]
+    fn budget_is_a_hard_cap_and_projects_complete() {
+        let mut e = engine();
+        let provider = e.register_provider("carol").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("cap", 50), dataset(3))
+            .unwrap();
+        let s1 = e.run(p, 30).unwrap();
+        assert_eq!(s1.issued, 30);
+        let s2 = e.run(p, 100).unwrap();
+        assert_eq!(s2.issued, 20, "only the remaining budget is spendable");
+        // Running a completed project is a state error.
+        assert!(matches!(
+            e.run(p, 1),
+            Err(EngineError::BadProjectState { .. })
+        ));
+        // Adding budget revives it.
+        e.add_budget(p, 10).unwrap();
+        let s3 = e.run(p, 100).unwrap();
+        assert_eq!(s3.issued, 10);
+    }
+
+    #[test]
+    fn stop_project_blocks_runs() {
+        let mut e = engine();
+        let provider = e.register_provider("dave").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("stop", 100), dataset(4))
+            .unwrap();
+        e.stop_project(p).unwrap();
+        assert!(matches!(
+            e.run(p, 1),
+            Err(EngineError::BadProjectState { .. })
+        ));
+    }
+
+    #[test]
+    fn promote_and_stop_resource_steer_allocation() {
+        let mut e = engine();
+        let provider = e.register_provider("erin").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("steer", 200), dataset(5))
+            .unwrap();
+        e.stop_resource(p, ResourceId(0)).unwrap();
+        e.promote(p, ResourceId(1)).unwrap();
+        let posts_before_r1 = e.monitor(p).unwrap().rows[1].posts;
+        let _ = e.run(p, 60).unwrap();
+        let m = e.monitor(p).unwrap();
+        assert_eq!(
+            m.rows[0].posts,
+            dataset(5).initial_counts()[0],
+            "stopped resource must not gain posts"
+        );
+        assert!(m.rows[0].stopped);
+        assert!(
+            m.rows[1].posts > posts_before_r1,
+            "promoted resource must be tagged"
+        );
+    }
+
+    #[test]
+    fn switch_strategy_mid_run_and_notifications_flow() {
+        let mut e = engine();
+        let provider = e.register_provider("frank").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("switch", 400), dataset(6))
+            .unwrap();
+        let _ = e.run(p, 100).unwrap();
+        e.switch_strategy(p, StrategyKind::MostUnstable).unwrap();
+        let _ = e.run(p, 100).unwrap();
+        let m = e.monitor(p).unwrap();
+        assert_eq!(m.strategy, "MU");
+        let notes = e.take_notifications();
+        assert!(notes
+            .iter()
+            .any(|n| matches!(n, Notification::StrategySwitched { .. })));
+        assert!(notes
+            .iter()
+            .any(|n| matches!(n, Notification::TagDecided { .. })));
+        assert!(e.take_notifications().is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn spammers_earn_less_than_honest_taggers() {
+        let mut config = EngineConfig::in_memory(9);
+        config.spammer_fraction = 0.3;
+        let mut e = ITagEngine::new(config).unwrap();
+        let provider = e.register_provider("grace").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("spam", 600), dataset(7))
+            .unwrap();
+        let summary = e.run(p, 600).unwrap();
+        assert!(
+            summary.rejected > 0,
+            "with 30% spammers some submissions must be rejected"
+        );
+        // Aggregate earnings by behaviour through monitor + user manager.
+        let taggers = e.users.taggers().unwrap();
+        assert!(!taggers.is_empty());
+        let unreliable = taggers
+            .iter()
+            .filter(|t| !e.is_reliable_tagger(t.id).unwrap())
+            .count();
+        assert!(unreliable > 0, "reliability gate must flag some taggers");
+        let m = e.monitor(p).unwrap();
+        assert!(
+            m.banned_taggers > 0,
+            "enforcement must ban flagged taggers from the platform"
+        );
+    }
+
+    #[test]
+    fn export_reflects_tagging_results() {
+        let mut e = engine();
+        let provider = e.register_provider("heidi").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("export", 150), dataset(8))
+            .unwrap();
+        let _ = e.run(p, 150).unwrap();
+        let export = e.export(p).unwrap();
+        assert_eq!(export.resources.len(), 50);
+        assert!(export.resources.iter().any(|r| !r.tags.is_empty()));
+        let csv = export.to_csv();
+        assert!(csv.lines().count() == 51);
+        let back = crate::export::Export::from_bytes(&export.to_bytes()).unwrap();
+        assert_eq!(back, export);
+    }
+
+    #[test]
+    fn suggestion_follows_statistics() {
+        let mut e = engine();
+        let provider = e.register_provider("ivan").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("suggest", 100), dataset(10))
+            .unwrap();
+        // The tiny corpus has many thin resources → hybrid.
+        assert_eq!(
+            e.suggest_strategy(p).unwrap(),
+            StrategyKind::FpMu { min_posts: 5 }
+        );
+    }
+
+    #[test]
+    fn resource_detail_shows_consensus() {
+        let mut e = engine();
+        let provider = e.register_provider("judy").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("detail", 200), dataset(11))
+            .unwrap();
+        let _ = e.run(p, 200).unwrap();
+        // Find a resource with posts.
+        let m = e.monitor(p).unwrap();
+        let busiest = m.rows.iter().max_by_key(|r| r.posts).unwrap();
+        let detail = e.resource_detail(p, busiest.id).unwrap();
+        assert_eq!(detail.posts, busiest.posts);
+        assert!(!detail.top_tags.is_empty());
+        assert!(!detail.series.is_empty());
+        assert!(detail.top_tags[0].1 >= detail.top_tags.last().unwrap().1);
+    }
+
+    #[test]
+    fn all_spam_pool_starves_instead_of_spinning() {
+        // 100% spammers + reliability enforcement: the whole pool is
+        // banned quickly; run() must stop issuing instead of burning
+        // max_ticks per batch forever, and the stall must be observable.
+        let mut config = EngineConfig::in_memory(0x5BAD);
+        config.spammer_fraction = 1.0;
+        config.workers = 8;
+        config.max_ticks_per_batch = 2_000;
+        let mut e = ITagEngine::new(config).unwrap();
+        let provider = e.register_provider("spam-city").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("spam", 500), dataset(19))
+            .unwrap();
+        let summary = e.run(p, 500).unwrap();
+        assert!(
+            summary.issued < 500,
+            "run must stop early under starvation, issued {}",
+            summary.issued
+        );
+        let m = e.monitor(p).unwrap();
+        assert!(m.banned_taggers > 0);
+        // Stalled tasks and their escrow are visible, money conserved.
+        assert!(m.open_tasks > 0 || m.tasks_rejected > 0);
+        assert_eq!(
+            m.paid + m.refunded + m.escrowed,
+            summary.issued as u64 * 5
+        );
+    }
+
+    #[test]
+    fn audience_mode_drives_a_campaign_through_manual_submissions() {
+        use itag_crowd::audience::ManualPlatform;
+        use itag_crowd::platform::PlatformKind;
+        use itag_model::ids::TaggerId;
+
+        let mut e = engine();
+        let provider = e.register_provider("audience-host").unwrap();
+        let d = dataset(18);
+        let latents = d.latent.clone();
+        let p = e
+            .add_project_with_platform(
+                provider,
+                ProjectSpec::demo("live-demo", 40),
+                d,
+                Box::new(ManualPlatform::new(PlatformKind::Facebook)),
+            )
+            .unwrap();
+
+        // Publish a batch; nothing completes until the audience acts.
+        let published = e.publish_batch(p, 10).unwrap();
+        assert_eq!(published, 10);
+        assert_eq!(e.pending_tasks(p).unwrap(), 10);
+        let (a, r) = e.collect_once(p).unwrap();
+        assert_eq!((a, r), (0, 0), "no submissions yet");
+
+        // Audience members submit honest tags for every open task.
+        let open: Vec<(itag_crowd::task::TaskId, ResourceId)> = {
+            let platform: &mut ManualPlatform = e.platform_mut(p).unwrap();
+            let ids: Vec<_> = platform.open_task_ids().collect();
+            ids.iter()
+                .map(|&t| (t, platform.task(t).unwrap().resource))
+                .collect()
+        };
+        assert_eq!(open.len(), 10);
+        for (idx, (task, resource)) in open.iter().enumerate() {
+            let tags: Vec<itag_model::ids::TagId> =
+                latents[resource.index()].top_k(2).to_vec();
+            let platform: &mut ManualPlatform = e.platform_mut(p).unwrap();
+            platform
+                .submit(*task, TaggerId(idx as u32 % 3), tags)
+                .unwrap();
+        }
+
+        // Collect: all ten flow through approval, payment and UPDATE().
+        let (a, r) = e.collect_once(p).unwrap();
+        assert_eq!(a + r, 10);
+        assert!(a > 0, "honest top-tag posts should be approved");
+        assert_eq!(e.pending_tasks(p).unwrap(), 0);
+        let m = e.monitor(p).unwrap();
+        assert_eq!(m.budget_spent, 10);
+        assert_eq!(m.paid + m.refunded + m.escrowed, 10 * 5);
+        assert_eq!(e.verify_integrity(p).unwrap(), 50);
+
+        // The sim-platform accessor must refuse the wrong type.
+        assert!(e
+            .platform_mut::<itag_crowd::platform::SimPlatform>(p)
+            .is_err());
+    }
+
+    #[test]
+    fn tagger_history_and_project_browser() {
+        let mut e = engine();
+        let provider = e.register_provider("nina").unwrap();
+        let cheap = e
+            .add_project(provider, ProjectSpec::demo("cheap", 200), dataset(16))
+            .unwrap();
+        let mut rich_spec = ProjectSpec::demo("rich", 200);
+        rich_spec.pay_per_task_cents = 50;
+        let rich = e.add_project(provider, rich_spec, dataset(17)).unwrap();
+
+        // Taggers browse by pay: the rich project lists first.
+        let listings = e.browse_projects().unwrap();
+        assert_eq!(listings[0].project, rich);
+        assert_eq!(listings[0].pay_per_task_cents, 50);
+        assert_eq!(listings[1].project, cheap);
+
+        // Run the cheap project and fetch some tagger's history.
+        let _ = e.run(cheap, 200).unwrap();
+        let m = e.monitor(cheap).unwrap();
+        assert!(m.tasks_approved > 0);
+        // Find a tagger with approved posts by scanning known worker ids.
+        let mut found = false;
+        for w in 0..50u32 {
+            let history = e
+                .tagger_history(cheap, itag_model::ids::TaggerId(w))
+                .unwrap();
+            if !history.is_empty() {
+                found = true;
+                assert!(history.windows(2).all(|p| p[0].id < p[1].id));
+                assert!(history.iter().all(|p| !p.tags.is_empty()));
+                // History is project-scoped: the rich project saw no runs.
+                assert!(e
+                    .tagger_history(rich, itag_model::ids::TaggerId(w))
+                    .unwrap()
+                    .is_empty());
+                break;
+            }
+        }
+        assert!(found, "some tagger must have history after 200 tasks");
+    }
+
+    #[test]
+    fn integrity_holds_after_a_campaign() {
+        let mut e = engine();
+        let provider = e.register_provider("vera").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("verify", 250), dataset(14))
+            .unwrap();
+        assert_eq!(e.verify_integrity(p).unwrap(), 50);
+        let _ = e.run(p, 250).unwrap();
+        assert_eq!(e.verify_integrity(p).unwrap(), 50);
+    }
+
+    #[test]
+    fn monitor_summary_matches_rows() {
+        let mut e = engine();
+        let provider = e.register_provider("mallory").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("summary", 150), dataset(15))
+            .unwrap();
+        let _ = e.run(p, 150).unwrap();
+        let m = e.monitor(p).unwrap();
+        let mean_from_rows: f64 =
+            m.rows.iter().map(|r| r.quality).sum::<f64>() / m.rows.len() as f64;
+        assert!((m.quality_summary.mean - mean_from_rows).abs() < 1e-9);
+        assert!((m.quality_summary.mean - m.quality_mean).abs() < 1e-9);
+        assert!(m.quality_summary.min <= m.quality_summary.max);
+    }
+
+    #[test]
+    fn invalid_dataset_is_rejected() {
+        let mut e = engine();
+        let provider = e.register_provider("kim").unwrap();
+        let mut bad = dataset(12);
+        bad.latent.pop();
+        assert!(matches!(
+            e.add_project(provider, ProjectSpec::demo("bad", 10), bad),
+            Err(EngineError::InvalidDataset(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_project_errors_everywhere() {
+        let mut e = engine();
+        let p = ProjectId(99);
+        assert!(matches!(e.run(p, 1), Err(EngineError::UnknownProject(_))));
+        assert!(matches!(e.monitor(p), Err(EngineError::UnknownProject(_))));
+        assert!(matches!(e.export(p), Err(EngineError::UnknownProject(_))));
+        assert!(matches!(
+            e.promote(p, ResourceId(0)),
+            Err(EngineError::UnknownProject(_))
+        ));
+    }
+
+    #[test]
+    fn durable_engine_resumes_after_restart() {
+        let dir = itag_store::testutil::TestDir::new("engine-resume");
+        let (project, quality_before, counts_before) = {
+            let mut e =
+                ITagEngine::new(EngineConfig::durable(13, dir.path().to_path_buf())).unwrap();
+            let provider = e.register_provider("leo").unwrap();
+            let p = e
+                .add_project(provider, ProjectSpec::demo("durable", 400), dataset(13))
+                .unwrap();
+            let _ = e.run(p, 200).unwrap();
+            let m = e.monitor(p).unwrap();
+            (
+                p,
+                m.quality_mean,
+                m.rows.iter().map(|r| r.posts).collect::<Vec<_>>(),
+            )
+        };
+
+        let mut e = ITagEngine::new(EngineConfig::durable(13, dir.path().to_path_buf())).unwrap();
+        assert_eq!(e.stored_projects().unwrap(), vec![project]);
+        e.resume_project(project).unwrap();
+        let m = e.monitor(project).unwrap();
+        let counts_after: Vec<u32> = m.rows.iter().map(|r| r.posts).collect();
+        assert_eq!(counts_after, counts_before, "post counts survive restart");
+        assert!(
+            (m.quality_mean - quality_before).abs() < 1e-9,
+            "replayed quality {} vs live {}",
+            m.quality_mean,
+            quality_before
+        );
+        // The resumed project can keep running.
+        let s = e.run(project, 50).unwrap();
+        assert_eq!(s.issued, 50);
+    }
+}

@@ -1,0 +1,130 @@
+//! Export — "providers can stop the project … and also export resources
+//! with the desired tags" (Section III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// One exported resource with its consensus tags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExportedResource {
+    pub uri: String,
+    pub kind: String,
+    pub posts: u32,
+    pub quality: f64,
+    /// `(tag text, occurrences)`, most frequent first.
+    pub tags: Vec<(String, u32)>,
+}
+
+/// A full project export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Export {
+    pub project: String,
+    pub resources: Vec<ExportedResource>,
+}
+
+impl Export {
+    /// CSV rendering: one row per resource, tags as a `;`-joined list.
+    /// Fields containing the separator, quotes or newlines are quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("uri,kind,posts,quality,tags\n");
+        for r in &self.resources {
+            let tags = r
+                .tags
+                .iter()
+                .map(|(t, c)| format!("{t}:{c}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            out.push_str(&format!(
+                "{},{},{},{:.6},{}\n",
+                csv_field(&r.uri),
+                csv_field(&r.kind),
+                r.posts,
+                r.quality,
+                csv_field(&tags),
+            ));
+        }
+        out
+    }
+
+    /// Compact binary export (the "download" format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        itag_store::serbin::to_bytes(self).expect("export types always serialize")
+    }
+
+    /// Parses a binary export.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        itag_store::serbin::from_bytes(bytes).map_err(|e| e.to_string())
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn export() -> Export {
+        Export {
+            project: "demo".into(),
+            resources: vec![
+                ExportedResource {
+                    uri: "https://a".into(),
+                    kind: "Web URL".into(),
+                    posts: 4,
+                    quality: 0.75,
+                    tags: vec![("rust".into(), 3), ("db".into(), 1)],
+                },
+                ExportedResource {
+                    uri: "https://b,with-comma".into(),
+                    kind: "Image".into(),
+                    posts: 0,
+                    quality: 0.0,
+                    tags: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = export().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("uri,kind"));
+        assert!(lines[1].contains("rust:3;db:1"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_separators() {
+        let csv = export().to_csv();
+        assert!(csv.contains("\"https://b,with-comma\""));
+    }
+
+    #[test]
+    fn csv_escapes_embedded_quotes() {
+        let e = Export {
+            project: "p".into(),
+            resources: vec![ExportedResource {
+                uri: "say \"hi\"".into(),
+                kind: "Web URL".into(),
+                posts: 1,
+                quality: 0.5,
+                tags: vec![],
+            }],
+        };
+        assert!(e.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let e = export();
+        let back = Export::from_bytes(&e.to_bytes()).unwrap();
+        assert_eq!(back, e);
+        assert!(Export::from_bytes(&[1, 2, 3]).is_err());
+    }
+}

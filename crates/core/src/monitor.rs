@@ -1,0 +1,228 @@
+//! Monitoring views — the provider screens of Figs. 3, 5 and 6 as data:
+//! the sortable project table, the quality-evolution series, and the
+//! single-resource drill-down.
+
+use itag_model::ids::{ProjectId, ResourceId};
+use itag_quality::aggregate::QualitySummary;
+use itag_quality::history::QualityPoint;
+use itag_strategy::framework::BudgetPoint;
+use serde::{Deserialize, Serialize};
+
+/// One row of the provider's resource table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRow {
+    pub id: ResourceId,
+    pub uri: String,
+    pub posts: u32,
+    pub quality: f64,
+    pub stopped: bool,
+}
+
+/// Sort orders for the main UI table ("projects are listed and can be
+/// sorted according to some rules (e.g., tagging quality)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortKey {
+    /// Ascending quality — worst first, the triage view.
+    QualityAsc,
+    /// Descending quality.
+    QualityDesc,
+    /// Fewest posts first.
+    PostsAsc,
+    /// Resource id.
+    Id,
+}
+
+/// A point-in-time view of a project (Fig. 3 + Fig. 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    pub project: ProjectId,
+    pub name: String,
+    pub state: String,
+    pub strategy: String,
+    /// `q(R)` under the configured metric.
+    pub quality_mean: f64,
+    /// `q(R)` when the campaign started.
+    pub quality_initial: f64,
+    /// Ground-truth quality (simulation oracle; a deployment would omit).
+    pub oracle_quality: f64,
+    pub budget_total: u32,
+    pub budget_spent: u32,
+    pub open_tasks: usize,
+    pub tasks_approved: u64,
+    pub tasks_rejected: u64,
+    /// Taggers banned by the reliability gate.
+    pub banned_taggers: usize,
+    /// Money: (still escrowed, paid to taggers, refunded).
+    pub escrowed: u64,
+    pub paid: u64,
+    pub refunded: u64,
+    /// Distribution of per-resource qualities (percentiles and spread).
+    pub quality_summary: QualitySummary,
+    /// Quality trajectory over spent budget (the Fig. 5 chart).
+    pub series: Vec<BudgetPoint>,
+    pub rows: Vec<ResourceRow>,
+}
+
+impl MonitorSnapshot {
+    /// The headline the provider watches: quality improvement so far.
+    pub fn improvement(&self) -> f64 {
+        self.quality_mean - self.quality_initial
+    }
+
+    /// Sorts the resource table (stable, deterministic tie-breaks by id).
+    pub fn sort_rows(&mut self, key: SortKey) {
+        match key {
+            SortKey::QualityAsc => self
+                .rows
+                .sort_by(|a, b| a.quality.total_cmp(&b.quality).then(a.id.cmp(&b.id))),
+            SortKey::QualityDesc => self
+                .rows
+                .sort_by(|a, b| b.quality.total_cmp(&a.quality).then(a.id.cmp(&b.id))),
+            SortKey::PostsAsc => self
+                .rows
+                .sort_by(|a, b| a.posts.cmp(&b.posts).then(a.id.cmp(&b.id))),
+            SortKey::Id => self.rows.sort_by_key(|r| r.id),
+        }
+    }
+
+    /// Renders the Fig. 3-style console table (top `limit` rows).
+    pub fn render_table(&self, limit: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "project {} [{}] strategy={} quality {:.4} (Δ {:+.4}) budget {}/{} open={}",
+            self.name,
+            self.state,
+            self.strategy,
+            self.quality_mean,
+            self.improvement(),
+            self.budget_spent,
+            self.budget_total,
+            self.open_tasks,
+        );
+        let _ = writeln!(out, "{:>6} {:<28} {:>6} {:>8} {:>7}", "id", "uri", "posts", "quality", "stopped");
+        for row in self.rows.iter().take(limit) {
+            let _ = writeln!(
+                out,
+                "{:>6} {:<28} {:>6} {:>8.4} {:>7}",
+                row.id.0,
+                &row.uri[..row.uri.len().min(28)],
+                row.posts,
+                row.quality,
+                if row.stopped { "yes" } else { "" },
+            );
+        }
+        out
+    }
+}
+
+/// One row of the tagger-side project browser (Fig. 7): "project
+/// information such as the name and the approval rate of the provider,
+/// and the incentive for tagging one resource."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectListing {
+    pub project: ProjectId,
+    pub name: String,
+    pub state: String,
+    pub pay_per_task_cents: u32,
+    /// The provider's generosity rate (share of submissions approved).
+    pub provider_approval_rate: f64,
+    /// Tasks currently claimable.
+    pub open_tasks: usize,
+}
+
+/// The single-resource drill-down (Fig. 6): tags with frequencies plus the
+/// quality evolution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceDetail {
+    pub id: ResourceId,
+    pub uri: String,
+    pub description: String,
+    pub posts: u32,
+    pub quality: f64,
+    /// `(tag text, occurrences)`, most frequent first.
+    pub top_tags: Vec<(String, u32)>,
+    /// Quality as a function of the resource's post count.
+    pub series: Vec<QualityPoint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> MonitorSnapshot {
+        MonitorSnapshot {
+            project: ProjectId(1),
+            name: "demo".into(),
+            state: "running".into(),
+            strategy: "FP-MU".into(),
+            quality_mean: 0.62,
+            quality_initial: 0.4,
+            oracle_quality: 0.7,
+            budget_total: 100,
+            budget_spent: 40,
+            open_tasks: 3,
+            tasks_approved: 35,
+            tasks_rejected: 5,
+            banned_taggers: 1,
+            escrowed: 15,
+            paid: 175,
+            refunded: 25,
+            quality_summary: QualitySummary::compute(&[0.9, 0.1, 0.1]),
+            series: vec![],
+            rows: vec![
+                ResourceRow {
+                    id: ResourceId(0),
+                    uri: "u0".into(),
+                    posts: 9,
+                    quality: 0.9,
+                    stopped: false,
+                },
+                ResourceRow {
+                    id: ResourceId(1),
+                    uri: "u1".into(),
+                    posts: 2,
+                    quality: 0.1,
+                    stopped: true,
+                },
+                ResourceRow {
+                    id: ResourceId(2),
+                    uri: "u2".into(),
+                    posts: 5,
+                    quality: 0.1,
+                    stopped: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn improvement_is_delta() {
+        assert!((snapshot().improvement() - 0.22).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorts_are_deterministic() {
+        let mut s = snapshot();
+        s.sort_rows(SortKey::QualityAsc);
+        let ids: Vec<u32> = s.rows.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 0], "ties broken by id");
+        s.sort_rows(SortKey::QualityDesc);
+        assert_eq!(s.rows[0].id, ResourceId(0));
+        s.sort_rows(SortKey::PostsAsc);
+        assert_eq!(s.rows[0].id, ResourceId(1));
+        s.sort_rows(SortKey::Id);
+        assert_eq!(s.rows[0].id, ResourceId(0));
+    }
+
+    #[test]
+    fn render_produces_header_and_rows() {
+        let s = snapshot();
+        let out = s.render_table(2);
+        assert!(out.contains("demo"));
+        assert!(out.contains("FP-MU"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2 + 2, "header + column line + 2 rows");
+    }
+}

@@ -1,0 +1,129 @@
+//! Notifications — "the Notification section reminds providers of the
+//! latest tagging … as well as changes in the quality status of resources"
+//! (Section III-A, Fig. 6).
+
+use itag_model::ids::{ProjectId, ResourceId, TaggerId};
+use std::collections::VecDeque;
+
+/// Events surfaced to the provider.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Notification {
+    /// A submission was decided (approve/reject) on a resource.
+    TagDecided {
+        project: ProjectId,
+        resource: ResourceId,
+        tagger: TaggerId,
+        approved: bool,
+    },
+    /// Project mean quality crossed a 0.1 milestone.
+    QualityMilestone {
+        project: ProjectId,
+        quality: f64,
+        milestone: f64,
+    },
+    /// The budget is fully spent.
+    BudgetExhausted { project: ProjectId },
+    /// The provider switched strategies.
+    StrategySwitched { project: ProjectId, to: String },
+    /// The provider stopped the project.
+    ProjectStopped { project: ProjectId },
+}
+
+/// Bounded FIFO of notifications; oldest entries drop when full (the UI
+/// only shows the recent tail anyway).
+#[derive(Debug)]
+pub struct NotificationQueue {
+    items: VecDeque<Notification>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl NotificationQueue {
+    /// Queue bounded at `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        NotificationQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends, evicting the oldest entry when full.
+    pub fn push(&mut self, n: Notification) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+            self.dropped += 1;
+        }
+        self.items.push_back(n);
+    }
+
+    /// Removes and returns all pending notifications, oldest first.
+    pub fn drain(&mut self) -> Vec<Notification> {
+        self.items.drain(..).collect()
+    }
+
+    /// Pending count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Notifications evicted due to the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Default for NotificationQueue {
+    fn default() -> Self {
+        NotificationQueue::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn milestone(m: f64) -> Notification {
+        Notification::QualityMilestone {
+            project: ProjectId(1),
+            quality: m,
+            milestone: m,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = NotificationQueue::new(10);
+        q.push(milestone(0.1));
+        q.push(milestone(0.2));
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0], milestone(0.1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest() {
+        let mut q = NotificationQueue::new(2);
+        q.push(milestone(0.1));
+        q.push(milestone(0.2));
+        q.push(milestone(0.3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 1);
+        let drained = q.drain();
+        assert_eq!(drained[0], milestone(0.2));
+        assert_eq!(drained[1], milestone(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = NotificationQueue::new(0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Projects: a provider's budgeted tagging campaign (the Add-Project
+//! screen, Fig. 4).
+
+use crate::tables;
+use itag_crowd::approval::ApprovalPolicy;
+use itag_crowd::platform::PlatformKind;
+use itag_model::ids::ProjectId;
+use itag_model::resource::ResourceKind;
+use itag_store::table::Entity;
+use itag_store::TableId;
+use itag_strategy::StrategyKind;
+use serde::{Deserialize, Serialize};
+
+/// What the provider fills in on the Add-Project screen: "name, type,
+/// description, budget and pay/task", plus platform and strategy choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectSpec {
+    pub name: String,
+    pub description: String,
+    pub kind: ResourceKind,
+    /// Budget in tagging tasks (`B`).
+    pub budget: u32,
+    pub pay_per_task_cents: u32,
+    pub platform: PlatformKind,
+    pub strategy: StrategyKind,
+    pub approval: ApprovalPolicy,
+}
+
+impl ProjectSpec {
+    /// A quick spec with sensible demo defaults.
+    pub fn demo(name: &str, budget: u32) -> Self {
+        ProjectSpec {
+            name: name.to_string(),
+            description: String::new(),
+            kind: ResourceKind::WebUrl,
+            budget,
+            pay_per_task_cents: 5,
+            platform: PlatformKind::MTurk,
+            strategy: StrategyKind::FpMu { min_posts: 5 },
+            approval: ApprovalPolicy::default(),
+        }
+    }
+
+    /// Validates provider input.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.name.trim().is_empty() {
+            return Err("project name must not be empty".into());
+        }
+        if self.pay_per_task_cents == 0 {
+            return Err("pay per task must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Campaign lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProjectState {
+    /// Accepting tasks.
+    Running,
+    /// Stopped by the provider ("minimize their budget invested").
+    Stopped,
+    /// Budget fully spent.
+    Completed,
+}
+
+impl ProjectState {
+    /// Short label for the UI.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProjectState::Running => "running",
+            ProjectState::Stopped => "stopped",
+            ProjectState::Completed => "completed",
+        }
+    }
+}
+
+/// The persisted project row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectRecord {
+    pub id: ProjectId,
+    pub provider: u32,
+    pub spec: ProjectSpec,
+    pub state: ProjectState,
+    pub budget_total: u32,
+    pub budget_spent: u32,
+    pub created_at: u64,
+}
+
+impl Entity for ProjectRecord {
+    const TABLE: TableId = tables::PROJECTS;
+    const NAME: &'static str = "project";
+    type Key = ProjectId;
+
+    fn primary_key(&self) -> Self::Key {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_spec_validates() {
+        assert!(ProjectSpec::demo("urls-2010", 100).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_input() {
+        let mut s = ProjectSpec::demo("", 10);
+        assert!(s.validate().is_err());
+        s.name = "x".into();
+        s.pay_per_task_cents = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = ProjectRecord {
+            id: ProjectId(3),
+            provider: 1,
+            spec: ProjectSpec::demo("demo", 50),
+            state: ProjectState::Running,
+            budget_total: 50,
+            budget_spent: 10,
+            created_at: 0,
+        };
+        let bytes = itag_store::serbin::to_bytes(&r).unwrap();
+        let back: ProjectRecord = itag_store::serbin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn state_labels() {
+        assert_eq!(ProjectState::Running.label(), "running");
+        assert_eq!(ProjectState::Stopped.label(), "stopped");
+        assert_eq!(ProjectState::Completed.label(), "completed");
+    }
+}

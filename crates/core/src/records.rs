@@ -1,0 +1,252 @@
+//! Storable entity records (the engine's row types).
+
+use crate::tables;
+use itag_model::dataset::Dataset;
+use itag_model::ids::{PostId, ProjectId, ResourceId, TagId};
+use itag_model::post::Post;
+use itag_model::resource::Resource;
+use itag_store::table::{Entity, IndexDef};
+use itag_store::TableId;
+use serde::{Deserialize, Serialize};
+
+/// A resource owned by a project, with its live post count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    pub project: ProjectId,
+    pub resource: Resource,
+    /// Approved posts (the `k_i` that drives quality).
+    pub posts: u32,
+    /// Set by the provider's Stop button.
+    pub stopped: bool,
+}
+
+impl Entity for ResourceRecord {
+    const TABLE: TableId = tables::RESOURCES;
+    const NAME: &'static str = "resource";
+    type Key = (ProjectId, ResourceId);
+
+    fn primary_key(&self) -> Self::Key {
+        (self.project, self.resource.id)
+    }
+}
+
+/// Secondary index `(project, post count) → (project, resource)`:
+/// the Fewest-Posts scan as a single ordered range read.
+pub const IDX_RESOURCE_BY_POSTCOUNT: IndexDef<ResourceRecord, (ProjectId, u32)> = IndexDef {
+    table: tables::IDX_RESOURCE_BY_POSTCOUNT,
+    extract: |r| (r.project, r.posts),
+};
+
+/// One dictionary entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagRecord {
+    pub id: TagId,
+    pub text: String,
+}
+
+impl Entity for TagRecord {
+    const TABLE: TableId = tables::TAGS;
+    const NAME: &'static str = "tag";
+    type Key = TagId;
+
+    fn primary_key(&self) -> Self::Key {
+        self.id
+    }
+}
+
+/// A stored post, annotated with its project.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostRecord {
+    pub project: ProjectId,
+    pub post: Post,
+}
+
+impl Entity for PostRecord {
+    const TABLE: TableId = tables::POSTS;
+    const NAME: &'static str = "post";
+    type Key = PostId;
+
+    fn primary_key(&self) -> Self::Key {
+        self.post.id
+    }
+}
+
+/// Secondary index `(project, resource) → post id`: a resource's post
+/// sequence as an ordered scan.
+pub const IDX_POSTS_BY_RESOURCE: IndexDef<PostRecord, (ProjectId, ResourceId)> = IndexDef {
+    table: tables::IDX_POSTS_BY_RESOURCE,
+    extract: |p| (p.project, p.post.resource),
+};
+
+/// Secondary index `(project, tagger) → post id`: a tagger's history on a
+/// project ("taggers can … view their historical tagging data", Fig. 8).
+pub const IDX_POSTS_BY_TAGGER: IndexDef<PostRecord, (ProjectId, itag_model::ids::TaggerId)> =
+    IndexDef {
+        table: tables::IDX_POSTS_BY_TAGGER,
+        extract: |p| (p.project, p.post.tagger),
+    };
+
+/// User roles (one table serves both sides of the marketplace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserRole {
+    Provider,
+    Tagger,
+}
+
+impl UserRole {
+    /// Key discriminant.
+    pub fn tag(self) -> u16 {
+        match self {
+            UserRole::Provider => 0,
+            UserRole::Tagger => 1,
+        }
+    }
+}
+
+/// A provider or tagger profile with two-sided approval counters
+/// (Section III-A's User Manager).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserRecord {
+    pub role: UserRole,
+    pub id: u32,
+    pub name: String,
+    /// Decisions received on this user's submissions (tagger side).
+    pub approvals_received: u32,
+    pub rejections_received: u32,
+    /// Decisions this user made on others' submissions (provider side).
+    pub approvals_given: u32,
+    pub rejections_given: u32,
+    pub earned_cents: u64,
+}
+
+impl UserRecord {
+    pub fn new(role: UserRole, id: u32, name: String) -> Self {
+        UserRecord {
+            role,
+            id,
+            name,
+            approvals_received: 0,
+            rejections_received: 0,
+            approvals_given: 0,
+            rejections_given: 0,
+            earned_cents: 0,
+        }
+    }
+
+    /// "The ratio of providers approving the tags of a given tagger."
+    pub fn approval_rate_received(&self) -> f64 {
+        let n = self.approvals_received + self.rejections_received;
+        if n == 0 {
+            1.0
+        } else {
+            self.approvals_received as f64 / n as f64
+        }
+    }
+
+    /// "The ratio of taggers approving a provider" — realized here as the
+    /// provider's generosity: the share of submissions they approve (a
+    /// provider who "holds back on approving tags" scores low).
+    pub fn approval_rate_given(&self) -> f64 {
+        let n = self.approvals_given + self.rejections_given;
+        if n == 0 {
+            1.0
+        } else {
+            self.approvals_given as f64 / n as f64
+        }
+    }
+}
+
+impl Entity for UserRecord {
+    const TABLE: TableId = tables::USERS;
+    const NAME: &'static str = "user";
+    type Key = (u16, u32);
+
+    fn primary_key(&self) -> Self::Key {
+        (self.role.tag(), self.id)
+    }
+}
+
+/// Latest quality snapshot of a resource (the project-details chart reads
+/// the live series; this row is what survives restarts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityRecord {
+    pub project: ProjectId,
+    pub resource: ResourceId,
+    pub posts: u32,
+    pub quality: f64,
+}
+
+impl Entity for QualityRecord {
+    const TABLE: TableId = tables::QUALITY;
+    const NAME: &'static str = "quality";
+    type Key = (ProjectId, ResourceId);
+
+    fn primary_key(&self) -> Self::Key {
+        (self.project, self.resource)
+    }
+}
+
+/// The simulation dataset backing a project (latents + popularity),
+/// persisted so an engine reopen can resume the campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetRecord {
+    pub project: ProjectId,
+    pub dataset: Dataset,
+}
+
+impl Entity for DatasetRecord {
+    const TABLE: TableId = tables::DATASETS;
+    const NAME: &'static str = "dataset";
+    type Key = ProjectId;
+
+    fn primary_key(&self) -> Self::Key {
+        self.project
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itag_model::resource::ResourceKind;
+    use itag_store::serbin;
+
+    #[test]
+    fn resource_record_roundtrip_and_key() {
+        let r = ResourceRecord {
+            project: ProjectId(2),
+            resource: Resource::synthetic(ResourceId(5), ResourceKind::WebUrl),
+            posts: 3,
+            stopped: false,
+        };
+        assert_eq!(r.primary_key(), (ProjectId(2), ResourceId(5)));
+        let bytes = serbin::to_bytes(&r).unwrap();
+        let back: ResourceRecord = serbin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn user_rates_start_at_full_trust() {
+        let u = UserRecord::new(UserRole::Tagger, 1, "t".into());
+        assert_eq!(u.approval_rate_received(), 1.0);
+        assert_eq!(u.approval_rate_given(), 1.0);
+    }
+
+    #[test]
+    fn user_rates_reflect_counters() {
+        let mut u = UserRecord::new(UserRole::Tagger, 1, "t".into());
+        u.approvals_received = 8;
+        u.rejections_received = 2;
+        assert!((u.approval_rate_received() - 0.8).abs() < 1e-12);
+        u.approvals_given = 1;
+        u.rejections_given = 3;
+        assert!((u.approval_rate_given() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn role_tags_are_distinct() {
+        assert_ne!(UserRole::Provider.tag(), UserRole::Tagger.tag());
+        let p = UserRecord::new(UserRole::Provider, 7, "p".into());
+        let t = UserRecord::new(UserRole::Tagger, 7, "t".into());
+        assert_ne!(p.primary_key(), t.primary_key());
+    }
+}

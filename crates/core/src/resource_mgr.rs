@@ -1,0 +1,180 @@
+//! Resource Manager — "in charge of controlling the operations on
+//! resources and their related tags, and … responsible for storing
+//! resource and tagging information" (Section III-A).
+
+use crate::records::{ResourceRecord, IDX_RESOURCE_BY_POSTCOUNT};
+use crate::{EngineError, Result};
+use itag_model::ids::{ProjectId, ResourceId};
+use itag_model::resource::Resource;
+use itag_store::{Store, TypedTable, WriteBatch};
+use std::sync::Arc;
+
+/// CRUD + post-count index over project resources.
+pub struct ResourceManager {
+    table: TypedTable<ResourceRecord>,
+    store: Arc<Store>,
+}
+
+impl ResourceManager {
+    pub fn new(store: Arc<Store>) -> Self {
+        ResourceManager {
+            table: TypedTable::new(Arc::clone(&store)),
+            store,
+        }
+    }
+
+    /// Uploads a project's resources (all start with the given post
+    /// counts; counts come from the provider's pre-existing posts).
+    pub fn upload(
+        &self,
+        project: ProjectId,
+        resources: &[Resource],
+        initial_counts: &[u32],
+    ) -> Result<()> {
+        let mut batch = WriteBatch::with_capacity(resources.len() * 2);
+        for (i, r) in resources.iter().enumerate() {
+            let record = ResourceRecord {
+                project,
+                resource: r.clone(),
+                posts: initial_counts.get(i).copied().unwrap_or(0),
+                stopped: false,
+            };
+            self.table.stage_upsert(&mut batch, &record)?;
+            IDX_RESOURCE_BY_POSTCOUNT.stage_update(&mut batch, None, Some(&record));
+        }
+        self.store.commit(batch)?;
+        Ok(())
+    }
+
+    /// Fetches one resource record.
+    pub fn get(&self, project: ProjectId, r: ResourceId) -> Result<ResourceRecord> {
+        self.table
+            .get(&(project, r))?
+            .ok_or(EngineError::UnknownResource(r))
+    }
+
+    /// All records of a project, in resource-id order.
+    pub fn list(&self, project: ProjectId) -> Result<Vec<ResourceRecord>> {
+        let from = (project, ResourceId(0));
+        let to = (ProjectId(project.0 + 1), ResourceId(0));
+        Ok(self.table.scan_range(&from, Some(&to))?)
+    }
+
+    /// Stages a post-count bump (keeps the count index consistent).
+    /// Returns the updated record.
+    pub fn stage_increment_posts(
+        &self,
+        batch: &mut WriteBatch,
+        record: &ResourceRecord,
+    ) -> Result<ResourceRecord> {
+        let mut updated = record.clone();
+        updated.posts += 1;
+        self.table.stage_upsert(batch, &updated)?;
+        IDX_RESOURCE_BY_POSTCOUNT.stage_update(batch, Some(record), Some(&updated));
+        Ok(updated)
+    }
+
+    /// Persists the provider's Stop/Resume toggle.
+    pub fn set_stopped(&self, project: ProjectId, r: ResourceId, stopped: bool) -> Result<()> {
+        let mut record = self.get(project, r)?;
+        record.stopped = stopped;
+        self.table.upsert(&record)?;
+        Ok(())
+    }
+
+    /// Resources of `project` with fewer than `t` posts, via one ordered
+    /// index scan (the figure `lowpost-vs-budget` reads this).
+    pub fn below_posts(&self, project: ProjectId, t: u32) -> Result<Vec<(ProjectId, ResourceId)>> {
+        let from = (project, 0u32);
+        let to = (project, t);
+        Ok(IDX_RESOURCE_BY_POSTCOUNT.range(self.store.as_ref(), &from, Some(&to))?)
+    }
+
+    /// Number of resources in `project`.
+    pub fn count(&self, project: ProjectId) -> Result<usize> {
+        Ok(self.list(project)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itag_model::resource::ResourceKind;
+
+    fn mgr() -> ResourceManager {
+        ResourceManager::new(Arc::new(Store::in_memory()))
+    }
+
+    fn resources(n: u32) -> Vec<Resource> {
+        (0..n)
+            .map(|i| Resource::synthetic(ResourceId(i), ResourceKind::WebUrl))
+            .collect()
+    }
+
+    const P: ProjectId = ProjectId(1);
+
+    #[test]
+    fn upload_then_list_roundtrip() {
+        let m = mgr();
+        m.upload(P, &resources(5), &[3, 0, 1, 0, 7]).unwrap();
+        let list = m.list(P).unwrap();
+        assert_eq!(list.len(), 5);
+        assert_eq!(list[0].posts, 3);
+        assert_eq!(list[4].posts, 7);
+        assert_eq!(m.count(P).unwrap(), 5);
+    }
+
+    #[test]
+    fn projects_are_isolated() {
+        let m = mgr();
+        m.upload(P, &resources(3), &[0, 0, 0]).unwrap();
+        m.upload(ProjectId(2), &resources(2), &[9, 9]).unwrap();
+        assert_eq!(m.list(P).unwrap().len(), 3);
+        assert_eq!(m.list(ProjectId(2)).unwrap().len(), 2);
+        assert!(m.get(P, ResourceId(0)).unwrap().posts == 0);
+        assert!(m.get(ProjectId(2), ResourceId(0)).unwrap().posts == 9);
+    }
+
+    #[test]
+    fn below_posts_uses_the_count_index() {
+        let m = mgr();
+        m.upload(P, &resources(4), &[0, 5, 2, 10]).unwrap();
+        let low = m.below_posts(P, 3).unwrap();
+        let ids: Vec<u32> = low.iter().map(|(_, r)| r.0).collect();
+        assert_eq!(ids, vec![0, 2]); // sorted by (count, id): 0 posts, then 2
+    }
+
+    #[test]
+    fn increment_keeps_index_consistent() {
+        let m = mgr();
+        m.upload(P, &resources(2), &[0, 0]).unwrap();
+        let rec = m.get(P, ResourceId(0)).unwrap();
+        let mut batch = WriteBatch::new();
+        let updated = m.stage_increment_posts(&mut batch, &rec).unwrap();
+        m.table.store().commit(batch).unwrap();
+        assert_eq!(updated.posts, 1);
+        assert_eq!(m.get(P, ResourceId(0)).unwrap().posts, 1);
+        let low = m.below_posts(P, 1).unwrap();
+        assert_eq!(low.len(), 1, "only resource 1 still has 0 posts");
+        assert_eq!(low[0].1, ResourceId(1));
+    }
+
+    #[test]
+    fn stop_flag_persists() {
+        let m = mgr();
+        m.upload(P, &resources(1), &[0]).unwrap();
+        m.set_stopped(P, ResourceId(0), true).unwrap();
+        assert!(m.get(P, ResourceId(0)).unwrap().stopped);
+        m.set_stopped(P, ResourceId(0), false).unwrap();
+        assert!(!m.get(P, ResourceId(0)).unwrap().stopped);
+    }
+
+    #[test]
+    fn unknown_resource_is_an_error() {
+        let m = mgr();
+        assert!(matches!(
+            m.get(P, ResourceId(9)),
+            Err(EngineError::UnknownResource(_))
+        ));
+    }
+}

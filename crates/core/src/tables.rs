@@ -1,0 +1,52 @@
+//! Static table-id assignments (the engine's schema).
+//!
+//! Ids are fixed so snapshots written by one build stay readable by the
+//! next; add new tables at the end, never renumber.
+
+use itag_store::TableId;
+
+/// Resource records, keyed `(project, resource)`.
+pub const RESOURCES: TableId = TableId(1);
+/// Tag dictionary, keyed by tag id.
+pub const TAGS: TableId = TableId(2);
+/// Posts, keyed by global post id.
+pub const POSTS: TableId = TableId(3);
+/// Provider/tagger profiles, keyed `(role, id)`.
+pub const USERS: TableId = TableId(4);
+/// Projects, keyed by project id.
+pub const PROJECTS: TableId = TableId(5);
+/// Latest per-resource quality snapshots, keyed `(project, resource)`.
+pub const QUALITY: TableId = TableId(6);
+/// Secondary index: posts by `(project, resource)`.
+pub const IDX_POSTS_BY_RESOURCE: TableId = TableId(7);
+/// Secondary index: resources by `(project, post count)` — FP's scan.
+pub const IDX_RESOURCE_BY_POSTCOUNT: TableId = TableId(8);
+/// Persisted datasets (latents/popularity), keyed by project id.
+pub const DATASETS: TableId = TableId(9);
+/// Secondary index: posts by `(project, tagger)` — tagger history.
+pub const IDX_POSTS_BY_TAGGER: TableId = TableId(10);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ids_are_distinct() {
+        let all = [
+            RESOURCES,
+            TAGS,
+            POSTS,
+            USERS,
+            PROJECTS,
+            QUALITY,
+            IDX_POSTS_BY_RESOURCE,
+            IDX_RESOURCE_BY_POSTCOUNT,
+            DATASETS,
+            IDX_POSTS_BY_TAGGER,
+        ];
+        let mut ids: Vec<u16> = all.iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+}

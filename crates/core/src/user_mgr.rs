@@ -1,0 +1,211 @@
+//! User Manager — tracks "their approval rate, which is the ratio of
+//! providers approving the tags of a given tagger, and on the tagger side,
+//! the ratio of taggers approving a provider", and "guarantees that the
+//! approval rate of taggers from crowdsourcing platforms are at a reliable
+//! level" (Section III-A).
+
+use crate::records::{UserRecord, UserRole};
+use itag_store::table::Entity;
+use crate::Result;
+use itag_store::codec::FxHashMap;
+use itag_store::{Store, TypedTable, WriteBatch};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Profiles + two-sided approval accounting.
+///
+/// A write-through cache provides read-your-own-writes semantics when
+/// several decisions are staged into one batch before it commits.
+pub struct UserManager {
+    table: TypedTable<UserRecord>,
+    cache: Mutex<FxHashMap<(u16, u32), UserRecord>>,
+    /// Taggers below this received-approval rate (after a grace period of
+    /// decided tasks) are flagged unreliable.
+    reliability_threshold: f64,
+    /// Decisions before the threshold applies.
+    grace_decisions: u32,
+}
+
+impl UserManager {
+    pub fn new(store: Arc<Store>) -> Self {
+        UserManager {
+            table: TypedTable::new(store),
+            cache: Mutex::new(FxHashMap::default()),
+            reliability_threshold: 0.5,
+            grace_decisions: 5,
+        }
+    }
+
+    /// Registers a user if absent; returns the stored record.
+    pub fn register(&self, role: UserRole, id: u32, name: &str) -> Result<UserRecord> {
+        if let Some(existing) = self.get(role, id)? {
+            return Ok(existing);
+        }
+        let record = UserRecord::new(role, id, name.to_string());
+        self.table.upsert(&record)?;
+        self.cache
+            .lock()
+            .insert((role.tag(), id), record.clone());
+        Ok(record)
+    }
+
+    /// Fetches a user (cache first, then storage).
+    pub fn get(&self, role: UserRole, id: u32) -> Result<Option<UserRecord>> {
+        if let Some(u) = self.cache.lock().get(&(role.tag(), id)) {
+            return Ok(Some(u.clone()));
+        }
+        Ok(self.table.get(&(role.tag(), id))?)
+    }
+
+    /// Records one approval decision: the provider decided on the
+    /// tagger's submission. Stages both updates into `batch`.
+    pub fn stage_decision(
+        &self,
+        batch: &mut WriteBatch,
+        provider: u32,
+        tagger: u32,
+        approved: bool,
+        pay_cents: u32,
+    ) -> Result<()> {
+        let mut p = self.get(UserRole::Provider, provider)?.unwrap_or_else(|| {
+            UserRecord::new(UserRole::Provider, provider, format!("provider-{provider}"))
+        });
+        let mut t = self
+            .get(UserRole::Tagger, tagger)?
+            .unwrap_or_else(|| UserRecord::new(UserRole::Tagger, tagger, format!("tagger-{tagger}")));
+        if approved {
+            p.approvals_given += 1;
+            t.approvals_received += 1;
+            t.earned_cents += pay_cents as u64;
+        } else {
+            p.rejections_given += 1;
+            t.rejections_received += 1;
+        }
+        self.table.stage_upsert(batch, &p)?;
+        self.table.stage_upsert(batch, &t)?;
+        let mut cache = self.cache.lock();
+        cache.insert(p.primary_key(), p);
+        cache.insert(t.primary_key(), t);
+        Ok(())
+    }
+
+    /// The received-approval rate of a tagger (1.0 for unknown users —
+    /// they have no history yet).
+    pub fn tagger_approval_rate(&self, tagger: u32) -> Result<f64> {
+        Ok(self
+            .get(UserRole::Tagger, tagger)?
+            .map(|u| u.approval_rate_received())
+            .unwrap_or(1.0))
+    }
+
+    /// The given-approval rate of a provider (how generous they are).
+    pub fn provider_approval_rate(&self, provider: u32) -> Result<f64> {
+        Ok(self
+            .get(UserRole::Provider, provider)?
+            .map(|u| u.approval_rate_given())
+            .unwrap_or(1.0))
+    }
+
+    /// The reliability gate: false once a tagger with enough history falls
+    /// below the threshold.
+    pub fn is_reliable(&self, tagger: u32) -> Result<bool> {
+        let Some(u) = self.get(UserRole::Tagger, tagger)? else {
+            return Ok(true);
+        };
+        let decided = u.approvals_received + u.rejections_received;
+        if decided < self.grace_decisions {
+            return Ok(true);
+        }
+        Ok(u.approval_rate_received() >= self.reliability_threshold)
+    }
+
+    /// All taggers, for reporting.
+    pub fn taggers(&self) -> Result<Vec<UserRecord>> {
+        Ok(self
+            .table
+            .scan_all()?
+            .into_iter()
+            .filter(|u| u.role == UserRole::Tagger)
+            .collect())
+    }
+
+    /// All providers, for id allocation and reporting.
+    pub fn providers(&self) -> Result<Vec<UserRecord>> {
+        Ok(self
+            .table
+            .scan_all()?
+            .into_iter()
+            .filter(|u| u.role == UserRole::Provider)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> UserManager {
+        UserManager::new(Arc::new(Store::in_memory()))
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let m = mgr();
+        let a = m.register(UserRole::Provider, 1, "alice").unwrap();
+        let b = m.register(UserRole::Provider, 1, "other-name").unwrap();
+        assert_eq!(a, b, "second registration must not overwrite");
+    }
+
+    #[test]
+    fn decisions_update_both_sides() {
+        let m = mgr();
+        let mut batch = WriteBatch::new();
+        m.stage_decision(&mut batch, 1, 7, true, 10).unwrap();
+        m.stage_decision(&mut batch, 1, 7, false, 10).unwrap();
+        m.table.store().commit(batch).unwrap();
+
+        let p = m.get(UserRole::Provider, 1).unwrap().unwrap();
+        assert_eq!((p.approvals_given, p.rejections_given), (1, 1));
+        let t = m.get(UserRole::Tagger, 7).unwrap().unwrap();
+        assert_eq!((t.approvals_received, t.rejections_received), (1, 1));
+        assert_eq!(t.earned_cents, 10);
+        assert!((m.tagger_approval_rate(7).unwrap() - 0.5).abs() < 1e-12);
+        assert!((m.provider_approval_rate(1).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_gate_kicks_in_after_grace() {
+        let m = mgr();
+        // 2 rejections: within grace, still reliable.
+        let mut batch = WriteBatch::new();
+        for _ in 0..2 {
+            m.stage_decision(&mut batch, 1, 9, false, 5).unwrap();
+        }
+        m.table.store().commit(batch).unwrap();
+        assert!(m.is_reliable(9).unwrap());
+
+        // 5 decisions, all rejected: below threshold → unreliable.
+        let mut batch = WriteBatch::new();
+        for _ in 0..3 {
+            m.stage_decision(&mut batch, 1, 9, false, 5).unwrap();
+        }
+        m.table.store().commit(batch).unwrap();
+        assert!(!m.is_reliable(9).unwrap());
+    }
+
+    #[test]
+    fn unknown_users_are_trusted_by_default() {
+        let m = mgr();
+        assert!(m.is_reliable(42).unwrap());
+        assert_eq!(m.tagger_approval_rate(42).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn taggers_listing_filters_providers() {
+        let m = mgr();
+        m.register(UserRole::Provider, 1, "p").unwrap();
+        m.register(UserRole::Tagger, 1, "t1").unwrap();
+        m.register(UserRole::Tagger, 2, "t2").unwrap();
+        assert_eq!(m.taggers().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Provider-side approval policies.
+//!
+//! The demo lets providers approve/reject posts by hand (Fig. 6); at
+//! simulation scale an automated stand-in is needed. The principled
+//! observable policy compares a submission against the resource's current
+//! rfd: tags that echo the community consensus are credible, posts with no
+//! overlap (spam) are not. Early on — before a consensus exists — the
+//! policy accepts, exactly like a human provider with nothing to compare
+//! against.
+
+use itag_model::ids::TagId;
+use itag_quality::rfd::Rfd;
+use serde::{Deserialize, Serialize};
+
+/// How the provider decides on submitted tags.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ApprovalPolicy {
+    /// Approve everything (trusting provider; the FC-era default).
+    AcceptAll,
+    /// Approve when at least `min_fraction` of the submitted tags appear
+    /// among the resource's `top_k` most frequent tags — unless the rfd has
+    /// fewer than `top_k` distinct tags yet, in which case approve.
+    RfdOverlap { top_k: usize, min_fraction: f64 },
+}
+
+impl Default for ApprovalPolicy {
+    /// Overlap against the top-10 consensus with a one-third bar: lenient
+    /// enough for honest noise, strict enough to starve spammers.
+    fn default() -> Self {
+        ApprovalPolicy::RfdOverlap {
+            top_k: 10,
+            min_fraction: 0.34,
+        }
+    }
+}
+
+impl ApprovalPolicy {
+    /// Decides on a submission given the resource's current rfd
+    /// (pre-submission).
+    pub fn decide(&self, tags: &[TagId], rfd: &Rfd) -> bool {
+        match *self {
+            ApprovalPolicy::AcceptAll => true,
+            ApprovalPolicy::RfdOverlap {
+                top_k,
+                min_fraction,
+            } => {
+                if tags.is_empty() {
+                    return false;
+                }
+                if rfd.distinct() < top_k {
+                    return true; // no consensus to compare against yet
+                }
+                let top = rfd.top_k(top_k);
+                let hits = tags.iter().filter(|t| top.contains(t)).count();
+                hits as f64 / tags.len() as f64 >= min_fraction
+            }
+        }
+    }
+
+    /// Display label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ApprovalPolicy::AcceptAll => "accept-all".into(),
+            ApprovalPolicy::RfdOverlap {
+                top_k,
+                min_fraction,
+            } => format!("rfd-overlap(top{top_k},≥{min_fraction})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfd_with(tag_counts: &[(u32, u32)]) -> Rfd {
+        let mut r = Rfd::new();
+        for &(t, c) in tag_counts {
+            for _ in 0..c {
+                r.add_tags(&[TagId(t)]);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn accept_all_accepts_everything() {
+        let p = ApprovalPolicy::AcceptAll;
+        assert!(p.decide(&[TagId(999)], &Rfd::new()));
+    }
+
+    #[test]
+    fn early_posts_get_benefit_of_the_doubt() {
+        let p = ApprovalPolicy::default();
+        let thin = rfd_with(&[(1, 2), (2, 1)]); // only 2 distinct < top 10
+        assert!(p.decide(&[TagId(77)], &thin));
+    }
+
+    #[test]
+    fn consensus_overlap_separates_honest_from_spam() {
+        let p = ApprovalPolicy::RfdOverlap {
+            top_k: 3,
+            min_fraction: 0.34,
+        };
+        // Consensus: tags 1, 2, 3 dominate.
+        let rfd = rfd_with(&[(1, 30), (2, 20), (3, 10), (4, 1), (5, 1)]);
+        // Honest post: majority consensus tags.
+        assert!(p.decide(&[TagId(1), TagId(3), TagId(9)], &rfd));
+        // Spam: nothing from the consensus.
+        assert!(!p.decide(&[TagId(100), TagId(200)], &rfd));
+        // Empty submission is never approved.
+        assert!(!p.decide(&[], &rfd));
+    }
+
+    #[test]
+    fn boundary_fraction_is_inclusive() {
+        let p = ApprovalPolicy::RfdOverlap {
+            top_k: 3,
+            min_fraction: 0.5,
+        };
+        let rfd = rfd_with(&[(1, 5), (2, 4), (3, 3), (4, 1)]);
+        // Exactly half the tags overlap.
+        assert!(p.decide(&[TagId(1), TagId(50)], &rfd));
+        // Just below half fails.
+        assert!(!p.decide(&[TagId(1), TagId(50), TagId(60)], &rfd));
+    }
+}

@@ -1,0 +1,238 @@
+//! Tagger behaviour models.
+//!
+//! Section I of the paper: tags from casual web users are "noisy and
+//! incomplete — they may contain tags that are typos or are irrelevant to
+//! the resource (noisy); and they may only describe some of the many
+//! aspects of the resource (incomplete)". The behaviour model realizes
+//! both, plus spammers and per-task latency.
+
+use itag_model::ids::TagId;
+use itag_model::vocab::{TagDistribution, TagsPerPost};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a simulated tagger behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaggerBehavior {
+    /// Probability a given task is done in good faith at all; with
+    /// probability `1 − reliability` the post is pure noise (as if the
+    /// worker clicked through).
+    pub reliability: f64,
+    /// On good-faith posts, per-tag probability of replacement by a random
+    /// vocabulary tag (typos / irrelevant tags).
+    pub noise_rate: f64,
+    /// How many tags a post carries — small values are the paper's
+    /// "incomplete" taggers.
+    pub tags_per_post: TagsPerPost,
+    /// Ticks between assignment and submission, uniform inclusive range.
+    pub latency: (u32, u32),
+    /// A spammer ignores the resource entirely: every tag is random.
+    pub spammer: bool,
+}
+
+impl TaggerBehavior {
+    /// Careful tagger: rich posts, little noise, slower.
+    pub fn diligent() -> Self {
+        TaggerBehavior {
+            reliability: 0.98,
+            noise_rate: 0.02,
+            tags_per_post: TagsPerPost::new(2, 6),
+            latency: (2, 6),
+            spammer: false,
+        }
+    }
+
+    /// Typical casual web user: short posts, some noise.
+    pub fn casual() -> Self {
+        TaggerBehavior {
+            reliability: 0.9,
+            noise_rate: 0.1,
+            tags_per_post: TagsPerPost::new(1, 3),
+            latency: (1, 4),
+            spammer: false,
+        }
+    }
+
+    /// Fast but careless.
+    pub fn sloppy() -> Self {
+        TaggerBehavior {
+            reliability: 0.7,
+            noise_rate: 0.3,
+            tags_per_post: TagsPerPost::new(1, 2),
+            latency: (1, 2),
+            spammer: false,
+        }
+    }
+
+    /// Random-tag spammer chasing the incentive.
+    pub fn spammer() -> Self {
+        TaggerBehavior {
+            reliability: 0.0,
+            noise_rate: 1.0,
+            tags_per_post: TagsPerPost::new(1, 3),
+            latency: (1, 1),
+            spammer: true,
+        }
+    }
+
+    /// Validates field ranges (construction through presets is always
+    /// valid; this guards hand-rolled configs).
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !(0.0..=1.0).contains(&self.reliability) {
+            return Err(format!("reliability {} out of [0,1]", self.reliability));
+        }
+        if !(0.0..=1.0).contains(&self.noise_rate) {
+            return Err(format!("noise_rate {} out of [0,1]", self.noise_rate));
+        }
+        if self.latency.0 == 0 || self.latency.0 > self.latency.1 {
+            return Err(format!("bad latency range {:?}", self.latency));
+        }
+        Ok(())
+    }
+
+    /// Generates the tags of one post on a resource with latent
+    /// distribution `latent`, drawing noise from a vocabulary of
+    /// `vocab_size` tags. Always returns a non-empty, duplicate-free set.
+    pub fn generate_tags(
+        &self,
+        latent: &TagDistribution,
+        vocab_size: u32,
+        rng: &mut StdRng,
+    ) -> Vec<TagId> {
+        let want = self.tags_per_post.sample(rng).max(1);
+        let good_faith = !self.spammer && rng.gen::<f64>() < self.reliability;
+        let mut tags: Vec<TagId> = Vec::with_capacity(want);
+        let mut attempts = 0;
+        while tags.len() < want && attempts < 16 * want {
+            attempts += 1;
+            let t = if good_faith && rng.gen::<f64>() >= self.noise_rate {
+                latent.sample_tag(rng)
+            } else {
+                TagId(rng.gen_range(0..vocab_size.max(1)))
+            };
+            if !tags.contains(&t) {
+                tags.push(t);
+            }
+        }
+        if tags.is_empty() {
+            tags.push(latent.tags()[0]);
+        }
+        tags
+    }
+
+    /// Draws the submission latency in ticks.
+    pub fn sample_latency(&self, rng: &mut StdRng) -> u32 {
+        if self.latency.0 == self.latency.1 {
+            self.latency.0
+        } else {
+            rng.gen_range(self.latency.0..=self.latency.1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn latent() -> TagDistribution {
+        // Support must comfortably exceed the largest post size (6), or
+        // rejection sampling falls through to noise once the support is
+        // exhausted and the in-support fraction drops artificially.
+        TagDistribution::new((0..20).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect())
+    }
+
+    #[test]
+    fn presets_validate() {
+        for b in [
+            TaggerBehavior::diligent(),
+            TaggerBehavior::casual(),
+            TaggerBehavior::sloppy(),
+            TaggerBehavior::spammer(),
+        ] {
+            b.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn diligent_tags_come_mostly_from_the_support() {
+        let b = TaggerBehavior::diligent();
+        let l = latent();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut in_support = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for t in b.generate_tags(&l, 10_000, &mut rng) {
+                total += 1;
+                if l.prob(t) > 0.0 {
+                    in_support += 1;
+                }
+            }
+        }
+        let frac = in_support as f64 / total as f64;
+        assert!(frac > 0.9, "support fraction {frac}");
+    }
+
+    #[test]
+    fn spammer_tags_are_mostly_outside_the_support() {
+        let b = TaggerBehavior::spammer();
+        let l = latent();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut in_support = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for t in b.generate_tags(&l, 10_000, &mut rng) {
+                total += 1;
+                if l.prob(t) > 0.0 {
+                    in_support += 1;
+                }
+            }
+        }
+        let frac = in_support as f64 / total as f64;
+        assert!(frac < 0.05, "support fraction {frac}");
+    }
+
+    #[test]
+    fn posts_are_nonempty_and_duplicate_free() {
+        let b = TaggerBehavior::sloppy();
+        let l = latent();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let tags = b.generate_tags(&l, 50, &mut rng);
+            assert!(!tags.is_empty());
+            let mut d = tags.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), tags.len());
+        }
+    }
+
+    #[test]
+    fn latency_respects_range() {
+        let b = TaggerBehavior::diligent();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let l = b.sample_latency(&mut rng);
+            assert!((2..=6).contains(&l));
+        }
+        let fixed = TaggerBehavior {
+            latency: (3, 3),
+            ..TaggerBehavior::casual()
+        };
+        assert_eq!(fixed.sample_latency(&mut rng), 3);
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut b = TaggerBehavior::casual();
+        b.reliability = 1.4;
+        assert!(b.validate().is_err());
+        let mut b = TaggerBehavior::casual();
+        b.latency = (0, 3);
+        assert!(b.validate().is_err());
+        let mut b = TaggerBehavior::casual();
+        b.latency = (5, 2);
+        assert!(b.validate().is_err());
+    }
+}

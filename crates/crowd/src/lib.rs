@@ -1,0 +1,77 @@
+//! # itag-crowd — crowdsourcing platform simulator
+//!
+//! iTag "is built upon crowdsourcing marketplaces such as MTurk" and "can
+//! push tagging tasks according to the selected strategy to MTurk with the
+//! help of MTurk APIs" (Section III-B). This crate is the reproduction's
+//! platform substitute: an API-shaped simulator with the full HIT
+//! lifecycle —
+//!
+//! publish → assign → submit → approve/reject → pay
+//!
+//! — plus worker pools with behaviour models (the paper's "noisy and
+//! incomplete" taggers and outright spammers), pay-priority task queues
+//! (taggers "choose projects with high pay per task"), an escrow payment
+//! ledger, and approval policies for the provider side.
+//!
+//! The paper's own demo plan prescribes this substitution: taggers "can be
+//! either real audience members, or simulated taggers in case there is not
+//! enough audience participation".
+
+pub mod approval;
+pub mod audience;
+pub mod behavior;
+pub mod parallel;
+pub mod payment;
+pub mod platform;
+pub mod queue;
+pub mod sim;
+pub mod task;
+pub mod worker;
+
+pub use approval::ApprovalPolicy;
+pub use behavior::TaggerBehavior;
+pub use payment::Ledger;
+pub use platform::{CrowdPlatform, PlatformKind, PlatformStats, SimPlatform, TagSource};
+pub use task::{TaggingTask, TaskId, TaskResult, TaskState};
+pub use worker::{Worker, WorkerPool, WorkerStats};
+
+/// Errors from platform and ledger operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrowdError {
+    /// The task id is unknown to the platform.
+    UnknownTask(task::TaskId),
+    /// The operation is invalid in the task's current state.
+    BadState {
+        task: task::TaskId,
+        expected: &'static str,
+        actual: &'static str,
+    },
+    /// A payment was requested that exceeds the project's escrow.
+    InsufficientEscrow { project: u32, want: u64, have: u64 },
+}
+
+impl std::fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrowdError::UnknownTask(t) => write!(f, "unknown task {t:?}"),
+            CrowdError::BadState {
+                task,
+                expected,
+                actual,
+            } => write!(f, "task {task:?} is {actual}, expected {expected}"),
+            CrowdError::InsufficientEscrow {
+                project,
+                want,
+                have,
+            } => write!(
+                f,
+                "project {project}: escrow has {have} cents, need {want}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}
+
+/// Result alias for crowd operations.
+pub type Result<T> = std::result::Result<T, CrowdError>;

@@ -1,0 +1,138 @@
+//! Threaded tagging pool.
+//!
+//! The discrete-tick [`crate::platform::SimPlatform`] is deterministic and
+//! single-threaded — right for experiments. A real deployment aggregates
+//! submissions arriving concurrently from the marketplace; this module
+//! reproduces that shape with a crossbeam fan-out/fan-in: worker threads
+//! pull tagging jobs from a channel and push results back. Used by the
+//! throughput bench and the engine's bulk-seeding path.
+
+use crate::behavior::TaggerBehavior;
+use itag_model::ids::{ResourceId, TagId};
+use itag_model::vocab::TagDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A unit of tagging work.
+#[derive(Debug, Clone)]
+pub struct TagJob {
+    pub resource: ResourceId,
+    /// Sequence number used to make per-job RNG streams independent.
+    pub seq: u64,
+}
+
+/// A completed tagging job.
+#[derive(Debug, Clone)]
+pub struct TagJobResult {
+    pub resource: ResourceId,
+    pub seq: u64,
+    pub tags: Vec<TagId>,
+}
+
+/// Runs `jobs` across `threads` OS threads, each simulating a tagger with
+/// `behavior` over the shared `latents`. Results are returned sorted by
+/// `seq`, so the output is deterministic for a given `(seed, jobs)` input
+/// regardless of scheduling.
+pub fn run_parallel_tagging(
+    latents: &[TagDistribution],
+    vocab_size: u32,
+    behavior: TaggerBehavior,
+    jobs: &[TagJob],
+    threads: usize,
+    seed: u64,
+) -> Vec<TagJobResult> {
+    assert!(threads >= 1, "need at least one thread");
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<TagJob>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<TagJobResult>();
+
+    for job in jobs {
+        job_tx.send(job.clone()).expect("receiver alive");
+    }
+    drop(job_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(job) = job_rx.recv() {
+                    // Independent deterministic stream per job: the result
+                    // set does not depend on which thread ran the job.
+                    let mut rng = StdRng::seed_from_u64(seed ^ job.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let latent = &latents[job.resource.index()];
+                    let tags = behavior.generate_tags(latent, vocab_size, &mut rng);
+                    res_tx
+                        .send(TagJobResult {
+                            resource: job.resource,
+                            seq: job.seq,
+                            tags,
+                        })
+                        .expect("collector alive");
+                }
+            });
+        }
+        drop(res_tx);
+    })
+    .expect("tagging threads must not panic");
+
+    let mut results: Vec<TagJobResult> = res_rx.iter().collect();
+    results.sort_by_key(|r| r.seq);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latents() -> Vec<TagDistribution> {
+        (0..5)
+            .map(|i| {
+                TagDistribution::new(vec![
+                    (TagId(i * 10), 0.6),
+                    (TagId(i * 10 + 1), 0.4),
+                ])
+            })
+            .collect()
+    }
+
+    fn jobs(n: u64) -> Vec<TagJob> {
+        (0..n)
+            .map(|seq| TagJob {
+                resource: ResourceId((seq % 5) as u32),
+                seq,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn output_is_deterministic_across_thread_counts() {
+        let l = latents();
+        let js = jobs(200);
+        let a = run_parallel_tagging(&l, 100, TaggerBehavior::casual(), &js, 1, 42);
+        let b = run_parallel_tagging(&l, 100, TaggerBehavior::casual(), &js, 4, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.tags, y.tags, "job {} differs across thread counts", x.seq);
+        }
+    }
+
+    #[test]
+    fn every_job_is_completed_exactly_once() {
+        let l = latents();
+        let js = jobs(500);
+        let out = run_parallel_tagging(&l, 100, TaggerBehavior::diligent(), &js, 8, 7);
+        assert_eq!(out.len(), 500);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert!(!r.tags.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let l = latents();
+        let out = run_parallel_tagging(&l, 100, TaggerBehavior::casual(), &[], 4, 1);
+        assert!(out.is_empty());
+    }
+}

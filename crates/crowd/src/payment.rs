@@ -1,0 +1,145 @@
+//! Escrow payment ledger.
+//!
+//! "The Quality Manager will then offer the unit of incentive to taggers,
+//! once a tag has been approved by the provider" (Section III-B).
+//! Publishing a task escrows its pay from the project; approval releases
+//! it to the worker; rejection refunds the project. Every cent is
+//! accounted — the conservation invariant is property-tested.
+
+use crate::{CrowdError, Result};
+use itag_model::ids::{ProjectId, TaggerId};
+use itag_store::codec::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Project escrow + worker balances.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ledger {
+    escrow: FxHashMap<u32, u64>,
+    balances: FxHashMap<u32, u64>,
+    total_escrowed: u64,
+    total_paid: u64,
+    total_refunded: u64,
+}
+
+impl Ledger {
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Locks `cents` of the project's budget for a published task.
+    pub fn escrow(&mut self, project: ProjectId, cents: u64) {
+        *self.escrow.entry(project.0).or_insert(0) += cents;
+        self.total_escrowed += cents;
+    }
+
+    /// Releases `cents` from the project's escrow to `worker` (approval).
+    pub fn release(&mut self, project: ProjectId, worker: TaggerId, cents: u64) -> Result<()> {
+        let have = self.escrow.get(&project.0).copied().unwrap_or(0);
+        if have < cents {
+            return Err(CrowdError::InsufficientEscrow {
+                project: project.0,
+                want: cents,
+                have,
+            });
+        }
+        *self.escrow.get_mut(&project.0).expect("checked") -= cents;
+        *self.balances.entry(worker.0).or_insert(0) += cents;
+        self.total_paid += cents;
+        Ok(())
+    }
+
+    /// Returns `cents` from escrow to the provider (rejection).
+    pub fn refund(&mut self, project: ProjectId, cents: u64) -> Result<()> {
+        let have = self.escrow.get(&project.0).copied().unwrap_or(0);
+        if have < cents {
+            return Err(CrowdError::InsufficientEscrow {
+                project: project.0,
+                want: cents,
+                have,
+            });
+        }
+        *self.escrow.get_mut(&project.0).expect("checked") -= cents;
+        self.total_refunded += cents;
+        Ok(())
+    }
+
+    /// Current escrow of a project.
+    pub fn escrowed(&self, project: ProjectId) -> u64 {
+        self.escrow.get(&project.0).copied().unwrap_or(0)
+    }
+
+    /// Current balance of a worker.
+    pub fn balance(&self, worker: TaggerId) -> u64 {
+        self.balances.get(&worker.0).copied().unwrap_or(0)
+    }
+
+    /// Lifetime totals `(escrowed, paid, refunded)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (self.total_escrowed, self.total_paid, self.total_refunded)
+    }
+
+    /// Conservation check: everything escrowed is either still held, paid
+    /// out, or refunded.
+    pub fn is_balanced(&self) -> bool {
+        let held: u64 = self.escrow.values().sum();
+        self.total_escrowed == held + self.total_paid + self.total_refunded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const P: ProjectId = ProjectId(1);
+    const W: TaggerId = TaggerId(7);
+
+    #[test]
+    fn escrow_release_refund_flow() {
+        let mut l = Ledger::new();
+        l.escrow(P, 100);
+        assert_eq!(l.escrowed(P), 100);
+        l.release(P, W, 30).unwrap();
+        assert_eq!(l.balance(W), 30);
+        assert_eq!(l.escrowed(P), 70);
+        l.refund(P, 70).unwrap();
+        assert_eq!(l.escrowed(P), 0);
+        assert!(l.is_balanced());
+        assert_eq!(l.totals(), (100, 30, 70));
+    }
+
+    #[test]
+    fn over_release_is_rejected_without_corruption() {
+        let mut l = Ledger::new();
+        l.escrow(P, 10);
+        let err = l.release(P, W, 11).unwrap_err();
+        assert!(matches!(err, CrowdError::InsufficientEscrow { .. }));
+        assert_eq!(l.escrowed(P), 10);
+        assert_eq!(l.balance(W), 0);
+        assert!(l.is_balanced());
+    }
+
+    #[test]
+    fn unknown_project_has_zero_escrow() {
+        let l = Ledger::new();
+        assert_eq!(l.escrowed(ProjectId(99)), 0);
+        assert_eq!(l.balance(TaggerId(99)), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn conservation_under_random_operation_sequences(
+            ops in proptest::collection::vec((0u8..3, 1u64..50), 1..200)
+        ) {
+            let mut l = Ledger::new();
+            for (op, amount) in ops {
+                match op {
+                    0 => l.escrow(P, amount),
+                    1 => { let _ = l.release(P, W, amount); }
+                    _ => { let _ = l.refund(P, amount); }
+                }
+                prop_assert!(l.is_balanced());
+            }
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! The crowdsourcing platform interface and its simulator.
+//!
+//! [`CrowdPlatform`] is shaped like the slice of the MTurk API iTag uses:
+//! publish a HIT, poll for submissions, approve or reject. [`SimPlatform`]
+//! implements it with a worker pool, a pay-priority queue and per-task
+//! latency — a discrete-tick marketplace.
+
+use crate::behavior::TaggerBehavior;
+use crate::queue::PayQueue;
+use crate::task::{TaggingTask, TaskId, TaskResult, TaskState};
+use crate::worker::{Worker, WorkerPool};
+use crate::{CrowdError, Result};
+use itag_model::ids::{ProjectId, ResourceId, TaggerId};
+use itag_model::vocab::TagDistribution;
+use itag_store::codec::FxHashMap;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The platforms iTag can push tasks to (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    MTurk,
+    Facebook,
+    CrowdFlower,
+    CrowdSource,
+}
+
+impl PlatformKind {
+    /// Marketplace label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlatformKind::MTurk => "Amazon Mechanical Turk",
+            PlatformKind::Facebook => "Facebook",
+            PlatformKind::CrowdFlower => "CrowdFlower",
+            PlatformKind::CrowdSource => "CrowdSource",
+        }
+    }
+}
+
+impl std::fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a platform needs to know about resources to let workers tag them:
+/// the latent distribution (simulation ground truth for behaviour models)
+/// and the vocabulary size for noise. Implemented by the engine/dataset.
+pub trait TagSource {
+    fn latent(&self, r: ResourceId) -> &TagDistribution;
+    fn vocab_size(&self) -> u32;
+}
+
+/// Aggregate platform counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    pub published: u64,
+    pub assigned: u64,
+    pub submitted: u64,
+    pub approved: u64,
+    pub rejected: u64,
+    pub ticks: u64,
+}
+
+/// The MTurk-shaped API surface iTag drives.
+pub trait CrowdPlatform {
+    /// Which marketplace this is.
+    fn kind(&self) -> PlatformKind;
+
+    /// Publishes a tagging HIT; it becomes visible to workers immediately.
+    fn publish(&mut self, project: ProjectId, resource: ResourceId, pay_cents: u32) -> TaskId;
+
+    /// Advances one tick: free workers claim queued tasks (best pay
+    /// first), in-flight work progresses, finished submissions are
+    /// returned for aggregation.
+    fn step(&mut self, source: &dyn TagSource, rng: &mut StdRng) -> Vec<TaskResult>;
+
+    /// Records the provider's decision on a submitted task and updates the
+    /// worker's stats. Returns `(worker, pay_cents)` so the caller can move
+    /// money and update approval rates.
+    fn decide(&mut self, task: TaskId, approve: bool) -> Result<(TaggerId, u32)>;
+
+    /// Looks up a task.
+    fn task(&self, id: TaskId) -> Option<&TaggingTask>;
+
+    /// Immutable view of the worker pool.
+    fn workers(&self) -> &WorkerPool;
+
+    /// Aggregate counters.
+    fn stats(&self) -> PlatformStats;
+
+    /// Tasks published but not yet submitted (queued + in flight).
+    fn open_tasks(&self) -> usize;
+
+    /// Excludes a worker from future assignments (the User Manager's
+    /// reliability enforcement: "guarantees that the approval rate of
+    /// taggers from crowdsourcing platforms are at a reliable level").
+    /// In-flight work of the worker still completes.
+    fn ban_worker(&mut self, worker: TaggerId);
+
+    /// Number of banned workers.
+    fn banned_count(&self) -> usize;
+
+    /// Downcast hook so embedders can reach platform-specific APIs (e.g.
+    /// audience submissions on a `ManualPlatform`).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+struct InFlight {
+    task: TaskId,
+    worker: TaggerId,
+    remaining: u32,
+}
+
+/// Worker churn model: real marketplaces are not a fixed pool — workers
+/// wander off and new ones arrive. Each tick, every *idle* worker leaves
+/// with probability `departure`, and a new worker (behaviour drawn from
+/// the mix) arrives with probability `arrival`.
+#[derive(Debug, Clone)]
+pub struct ChurnModel {
+    pub arrival: f64,
+    pub departure: f64,
+    /// Behaviour mix for arrivals (`(behavior, weight)`).
+    pub mix: Vec<(TaggerBehavior, f64)>,
+}
+
+impl ChurnModel {
+    /// Validates rates.
+    pub fn new(arrival: f64, departure: f64, mix: Vec<(TaggerBehavior, f64)>) -> Self {
+        assert!((0.0..=1.0).contains(&arrival), "arrival rate in [0,1]");
+        assert!((0.0..=1.0).contains(&departure), "departure rate in [0,1]");
+        assert!(!mix.is_empty(), "churn mix must not be empty");
+        ChurnModel {
+            arrival,
+            departure,
+            mix,
+        }
+    }
+
+    fn draw_behavior(&self, rng: &mut StdRng) -> TaggerBehavior {
+        use rand::Rng;
+        let total: f64 = self.mix.iter().map(|(_, w)| *w).sum();
+        let mut u = rng.gen::<f64>() * total;
+        for (b, w) in &self.mix {
+            if u < *w {
+                return *b;
+            }
+            u -= w;
+        }
+        self.mix[self.mix.len() - 1].0
+    }
+}
+
+/// Discrete-tick simulated marketplace.
+pub struct SimPlatform {
+    kind: PlatformKind,
+    tasks: FxHashMap<u64, TaggingTask>,
+    queue: PayQueue,
+    workers: WorkerPool,
+    free_workers: VecDeque<TaggerId>,
+    banned: itag_store::codec::FxHashSet<u32>,
+    /// Workers that departed (idle forever unless they re-arrive as new
+    /// identities).
+    departed: itag_store::codec::FxHashSet<u32>,
+    churn: Option<ChurnModel>,
+    in_flight: Vec<InFlight>,
+    next_task: u64,
+    clock: u64,
+    stats: PlatformStats,
+}
+
+impl SimPlatform {
+    /// A marketplace of `kind` staffed by `workers`.
+    pub fn new(kind: PlatformKind, workers: WorkerPool) -> Self {
+        let free_workers = workers.iter().map(|w| w.id).collect();
+        SimPlatform {
+            kind,
+            tasks: FxHashMap::default(),
+            queue: PayQueue::new(),
+            workers,
+            free_workers,
+            banned: itag_store::codec::FxHashSet::default(),
+            departed: itag_store::codec::FxHashSet::default(),
+            churn: None,
+            in_flight: Vec::new(),
+            next_task: 0,
+            clock: 0,
+            stats: PlatformStats::default(),
+        }
+    }
+
+    /// Enables worker churn (builder style).
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Workers that have departed so far.
+    pub fn departed_count(&self) -> usize {
+        self.departed.len()
+    }
+
+    /// Total workers ever registered (original pool + arrivals).
+    pub fn total_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn apply_churn(&mut self, rng: &mut StdRng) {
+        use rand::Rng;
+        let Some(churn) = self.churn.clone() else {
+            return;
+        };
+        // Departures: each idle worker leaves independently.
+        let mut staying = VecDeque::with_capacity(self.free_workers.len());
+        while let Some(w) = self.free_workers.pop_front() {
+            if rng.gen::<f64>() < churn.departure {
+                self.departed.insert(w.0);
+            } else {
+                staying.push_back(w);
+            }
+        }
+        self.free_workers = staying;
+        // Arrival: at most one new worker per tick keeps the pool size
+        // a bounded random walk.
+        if rng.gen::<f64>() < churn.arrival {
+            let id = TaggerId(self.workers.len() as u32);
+            self.workers
+                .push(Worker::new(id, churn.draw_behavior(rng)));
+            self.free_workers.push_back(id);
+        }
+    }
+
+    /// Current tick.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Workers currently idle.
+    pub fn idle_workers(&self) -> usize {
+        self.free_workers.len()
+    }
+
+    fn behavior_of(&self, worker: TaggerId) -> TaggerBehavior {
+        self.workers
+            .get(worker)
+            .map(|w: &Worker| w.behavior)
+            .expect("in-flight worker exists in the pool")
+    }
+}
+
+impl CrowdPlatform for SimPlatform {
+    fn kind(&self) -> PlatformKind {
+        self.kind
+    }
+
+    fn publish(&mut self, project: ProjectId, resource: ResourceId, pay_cents: u32) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.tasks.insert(
+            id.0,
+            TaggingTask {
+                id,
+                project,
+                resource,
+                pay_cents,
+                state: TaskState::Published,
+                published_at: self.clock,
+            },
+        );
+        self.queue.push(id, pay_cents);
+        self.stats.published += 1;
+        id
+    }
+
+    fn step(&mut self, source: &dyn TagSource, rng: &mut StdRng) -> Vec<TaskResult> {
+        self.clock += 1;
+        self.stats.ticks += 1;
+
+        // 0. Churn: idle workers may leave, new workers may arrive.
+        self.apply_churn(rng);
+
+        // 1. Idle workers claim the best-paid queued tasks. Banned workers
+        //    are parked aside for this tick so they neither claim tasks nor
+        //    block the queue.
+        let mut parked = Vec::new();
+        while !self.free_workers.is_empty() && !self.queue.is_empty() {
+            let worker = self.free_workers.pop_front().expect("non-empty");
+            if self.banned.contains(&worker.0) {
+                parked.push(worker);
+                continue;
+            }
+            let task_id = self.queue.pop().expect("non-empty");
+            let latency = self.behavior_of(worker).sample_latency(rng);
+            let task = self.tasks.get_mut(&task_id.0).expect("published task");
+            task.state = TaskState::Assigned { worker };
+            self.stats.assigned += 1;
+            self.in_flight.push(InFlight {
+                task: task_id,
+                worker,
+                remaining: latency,
+            });
+        }
+
+        self.free_workers.extend(parked);
+
+        // 2. In-flight work progresses; finished tasks are submitted.
+        let mut results = Vec::new();
+        let mut still_flying = Vec::with_capacity(self.in_flight.len());
+        for mut f in self.in_flight.drain(..) {
+            f.remaining -= 1;
+            if f.remaining > 0 {
+                still_flying.push(f);
+                continue;
+            }
+            let task = self.tasks.get_mut(&f.task.0).expect("assigned task");
+            let behavior = self
+                .workers
+                .get(f.worker)
+                .expect("worker exists")
+                .behavior;
+            let tags =
+                behavior.generate_tags(source.latent(task.resource), source.vocab_size(), rng);
+            task.state = TaskState::Submitted {
+                worker: f.worker,
+                tags: tags.clone(),
+            };
+            if let Some(w) = self.workers.get_mut(f.worker) {
+                w.stats.submitted += 1;
+            }
+            self.stats.submitted += 1;
+            self.free_workers.push_back(f.worker);
+            results.push(TaskResult {
+                task: f.task,
+                project: task.project,
+                resource: task.resource,
+                worker: f.worker,
+                tags,
+                submitted_at: self.clock,
+            });
+        }
+        self.in_flight = still_flying;
+        results
+    }
+
+    fn decide(&mut self, task_id: TaskId, approve: bool) -> Result<(TaggerId, u32)> {
+        let task = self
+            .tasks
+            .get_mut(&task_id.0)
+            .ok_or(CrowdError::UnknownTask(task_id))?;
+        let worker = match &task.state {
+            TaskState::Submitted { worker, .. } => *worker,
+            other => {
+                return Err(CrowdError::BadState {
+                    task: task_id,
+                    expected: "submitted",
+                    actual: other.name(),
+                })
+            }
+        };
+        task.state = if approve {
+            TaskState::Approved { worker }
+        } else {
+            TaskState::Rejected { worker }
+        };
+        let pay = task.pay_cents;
+        if let Some(w) = self.workers.get_mut(worker) {
+            if approve {
+                w.stats.approved += 1;
+                w.stats.earned_cents += pay as u64;
+            } else {
+                w.stats.rejected += 1;
+            }
+        }
+        if approve {
+            self.stats.approved += 1;
+        } else {
+            self.stats.rejected += 1;
+        }
+        Ok((worker, pay))
+    }
+
+    fn task(&self, id: TaskId) -> Option<&TaggingTask> {
+        self.tasks.get(&id.0)
+    }
+
+    fn workers(&self) -> &WorkerPool {
+        &self.workers
+    }
+
+    fn stats(&self) -> PlatformStats {
+        self.stats
+    }
+
+    fn open_tasks(&self) -> usize {
+        self.queue.len() + self.in_flight.len()
+    }
+
+    fn ban_worker(&mut self, worker: TaggerId) {
+        self.banned.insert(worker.0);
+    }
+
+    fn banned_count(&self) -> usize {
+        self.banned.len()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itag_model::ids::TagId;
+    use rand::SeedableRng;
+
+    struct OneLatent(TagDistribution);
+    impl TagSource for OneLatent {
+        fn latent(&self, _r: ResourceId) -> &TagDistribution {
+            &self.0
+        }
+        fn vocab_size(&self) -> u32 {
+            100
+        }
+    }
+
+    fn source() -> OneLatent {
+        OneLatent(TagDistribution::new(vec![
+            (TagId(1), 0.6),
+            (TagId(2), 0.4),
+        ]))
+    }
+
+    fn platform(n_workers: usize) -> SimPlatform {
+        let pool = WorkerPool::uniform(n_workers, TaggerBehavior::casual());
+        SimPlatform::new(PlatformKind::MTurk, pool)
+    }
+
+    #[test]
+    fn full_hit_lifecycle() {
+        let mut p = platform(1);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(1);
+        let id = p.publish(ProjectId(1), ResourceId(0), 10);
+        assert_eq!(p.task(id).unwrap().state, TaskState::Published);
+        assert_eq!(p.open_tasks(), 1);
+
+        // Step until the submission lands (casual latency ≤ 4).
+        let mut results = Vec::new();
+        for _ in 0..10 {
+            results.extend(p.step(&src, &mut rng));
+            if !results.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.task, id);
+        assert!(!r.tags.is_empty());
+        assert!(matches!(
+            p.task(id).unwrap().state,
+            TaskState::Submitted { .. }
+        ));
+        assert_eq!(p.open_tasks(), 0);
+
+        let (worker, pay) = p.decide(id, true).unwrap();
+        assert_eq!(pay, 10);
+        assert_eq!(p.workers().get(worker).unwrap().stats.approved, 1);
+        assert_eq!(p.workers().get(worker).unwrap().stats.earned_cents, 10);
+        assert!(p.task(id).unwrap().state.is_terminal());
+        assert_eq!(p.stats().approved, 1);
+    }
+
+    #[test]
+    fn deciding_twice_is_a_state_error() {
+        let mut p = platform(1);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(2);
+        let id = p.publish(ProjectId(1), ResourceId(0), 5);
+        for _ in 0..10 {
+            if !p.step(&src, &mut rng).is_empty() {
+                break;
+            }
+        }
+        p.decide(id, false).unwrap();
+        let err = p.decide(id, true).unwrap_err();
+        assert!(matches!(err, CrowdError::BadState { .. }));
+    }
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let mut p = platform(1);
+        assert!(matches!(
+            p.decide(TaskId(999), true),
+            Err(CrowdError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn workers_are_reused_after_submission() {
+        let mut p = platform(2);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..10u32 {
+            p.publish(ProjectId(1), ResourceId(i % 3), 5);
+        }
+        let mut done = 0;
+        for _ in 0..100 {
+            done += p.step(&src, &mut rng).len();
+            if done == 10 {
+                break;
+            }
+        }
+        assert_eq!(done, 10, "2 workers should finish 10 tasks");
+        assert_eq!(p.idle_workers(), 2);
+    }
+
+    #[test]
+    fn higher_paid_tasks_are_claimed_first() {
+        let mut p = platform(1);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(4);
+        let _low = p.publish(ProjectId(1), ResourceId(0), 1);
+        let high = p.publish(ProjectId(1), ResourceId(1), 50);
+        // One worker: first submission must be the high-paid task.
+        let mut first = None;
+        for _ in 0..20 {
+            let rs = p.step(&src, &mut rng);
+            if let Some(r) = rs.first() {
+                first = Some(r.task);
+                break;
+            }
+        }
+        assert_eq!(first, Some(high));
+    }
+
+    #[test]
+    fn churn_replaces_departing_workers_and_work_still_completes() {
+        let pool = WorkerPool::uniform(4, TaggerBehavior::casual());
+        let churn = ChurnModel::new(
+            0.5,
+            0.1,
+            vec![(TaggerBehavior::diligent(), 1.0)],
+        );
+        let mut p = SimPlatform::new(PlatformKind::MTurk, pool).with_churn(churn);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..40u32 {
+            p.publish(ProjectId(1), ResourceId(i % 3), 5);
+        }
+        let mut done = 0;
+        for _ in 0..2_000 {
+            done += p.step(&src, &mut rng).len();
+            if done == 40 {
+                break;
+            }
+        }
+        assert_eq!(done, 40, "churned pool still clears the queue");
+        assert!(p.departed_count() > 0, "some workers should have left");
+        assert!(
+            p.total_workers() > 4,
+            "arrivals should have grown the registry: {}",
+            p.total_workers()
+        );
+    }
+
+    #[test]
+    fn departed_workers_never_claim_again() {
+        // Full departure, no arrivals: after the initial in-flight work
+        // drains, the queue starves.
+        let pool = WorkerPool::uniform(2, TaggerBehavior::casual());
+        let churn = ChurnModel::new(0.0, 1.0, vec![(TaggerBehavior::casual(), 1.0)]);
+        let mut p = SimPlatform::new(PlatformKind::MTurk, pool).with_churn(churn);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(12);
+        // Everyone idles on tick 1 → departs before claiming.
+        let _ = p.step(&src, &mut rng);
+        p.publish(ProjectId(1), ResourceId(0), 5);
+        for _ in 0..100 {
+            assert!(p.step(&src, &mut rng).is_empty());
+        }
+        assert_eq!(p.open_tasks(), 1, "no worker left to claim the task");
+        assert_eq!(p.departed_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn churn_validates_rates() {
+        let _ = ChurnModel::new(1.5, 0.0, vec![(TaggerBehavior::casual(), 1.0)]);
+    }
+
+    #[test]
+    fn banned_workers_stop_claiming_tasks() {
+        let mut p = platform(2);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(6);
+        p.ban_worker(TaggerId(0));
+        assert_eq!(p.banned_count(), 1);
+        for _ in 0..6 {
+            p.publish(ProjectId(1), ResourceId(0), 3);
+        }
+        let mut results = Vec::new();
+        for _ in 0..200 {
+            results.extend(p.step(&src, &mut rng));
+            if results.len() == 6 {
+                break;
+            }
+        }
+        assert_eq!(results.len(), 6, "the remaining worker clears the queue");
+        assert!(
+            results.iter().all(|r| r.worker == TaggerId(1)),
+            "banned worker must not submit"
+        );
+    }
+
+    #[test]
+    fn stats_count_the_pipeline() {
+        let mut p = platform(3);
+        let src = source();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            p.publish(ProjectId(1), ResourceId(0), 2);
+        }
+        let mut results = Vec::new();
+        for _ in 0..50 {
+            results.extend(p.step(&src, &mut rng));
+        }
+        assert_eq!(results.len(), 5);
+        let s = p.stats();
+        assert_eq!(s.published, 5);
+        assert_eq!(s.assigned, 5);
+        assert_eq!(s.submitted, 5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Pay-priority task queue.
+//!
+//! "The system allows taggers to either choose projects with high pay per
+//! task or projects from providers with good approval rate" (Section
+//! III-B). The queue orders published tasks by pay (descending), breaking
+//! ties FIFO, which is exactly the observable marketplace behaviour:
+//! better-paid HITs drain first.
+
+use crate::task::TaskId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Max-heap by `(pay, FIFO order)`.
+#[derive(Debug, Clone, Default)]
+pub struct PayQueue {
+    heap: BinaryHeap<(u32, Reverse<u64>, TaskId)>,
+    seq: u64,
+}
+
+impl PayQueue {
+    pub fn new() -> Self {
+        PayQueue::default()
+    }
+
+    /// Enqueues a published task with its pay.
+    pub fn push(&mut self, task: TaskId, pay_cents: u32) {
+        self.heap.push((pay_cents, Reverse(self.seq), task));
+        self.seq += 1;
+    }
+
+    /// Dequeues the best-paid (oldest among equals) task.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        self.heap.pop().map(|(_, _, t)| t)
+    }
+
+    /// Tasks waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no task waits.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_pay_drains_first() {
+        let mut q = PayQueue::new();
+        q.push(TaskId(1), 5);
+        q.push(TaskId(2), 20);
+        q.push(TaskId(3), 10);
+        assert_eq!(q.pop(), Some(TaskId(2)));
+        assert_eq!(q.pop(), Some(TaskId(3)));
+        assert_eq!(q.pop(), Some(TaskId(1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_pay_is_fifo() {
+        let mut q = PayQueue::new();
+        for i in 0..10u64 {
+            q.push(TaskId(i), 7);
+        }
+        for i in 0..10u64 {
+            assert_eq!(q.pop(), Some(TaskId(i)));
+        }
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = PayQueue::new();
+        assert!(q.is_empty());
+        q.push(TaskId(0), 1);
+        q.push(TaskId(1), 2);
+        assert_eq!(q.len(), 2);
+        let _ = q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! `CrowdSim` — a self-contained crowd harness.
+//!
+//! Wires a [`SimPlatform`], a [`Ledger`] and an [`ApprovalPolicy`] over a
+//! dataset, so crowd behaviour can be studied (and benchmarked) without
+//! the full iTag engine: publish a batch, run ticks until everything is
+//! decided, inspect approval rates and payments. `itag-core` replicates
+//! this wiring inside the engine with the Quality/User managers attached.
+
+use crate::approval::ApprovalPolicy;
+use crate::payment::Ledger;
+use crate::platform::{CrowdPlatform, PlatformKind, SimPlatform, TagSource};
+use crate::task::TaskResult;
+use crate::worker::WorkerPool;
+use itag_model::dataset::Dataset;
+use itag_model::ids::{ProjectId, ResourceId};
+use itag_model::vocab::TagDistribution;
+use itag_quality::rfd::Rfd;
+use rand::rngs::StdRng;
+
+impl TagSource for Dataset {
+    fn latent(&self, r: ResourceId) -> &TagDistribution {
+        &self.latent[r.index()]
+    }
+
+    fn vocab_size(&self) -> u32 {
+        self.dictionary.len() as u32
+    }
+}
+
+/// A decided submission (after the approval policy ran).
+#[derive(Debug, Clone)]
+pub struct DecidedResult {
+    pub result: TaskResult,
+    pub approved: bool,
+}
+
+/// Platform + ledger + approval policy over a dataset.
+pub struct CrowdSim {
+    pub platform: SimPlatform,
+    pub ledger: Ledger,
+    pub policy: ApprovalPolicy,
+    dataset: Dataset,
+    /// Live rfds for the approval policy (approved posts only).
+    rfds: Vec<Rfd>,
+    project: ProjectId,
+    pay_cents: u32,
+}
+
+impl CrowdSim {
+    /// Builds the harness for a single project over `dataset`.
+    pub fn new(
+        dataset: Dataset,
+        workers: WorkerPool,
+        policy: ApprovalPolicy,
+        pay_cents: u32,
+    ) -> Self {
+        let n = dataset.len();
+        let mut rfds: Vec<Rfd> = (0..n).map(|_| Rfd::new()).collect();
+        for p in &dataset.initial_posts {
+            rfds[p.resource.index()].add_tags(&p.tags);
+        }
+        CrowdSim {
+            platform: SimPlatform::new(PlatformKind::MTurk, workers),
+            ledger: Ledger::new(),
+            policy,
+            dataset,
+            rfds,
+            project: ProjectId(0),
+            pay_cents,
+        }
+    }
+
+    /// The dataset under study.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The approved-post rfd of `r`.
+    pub fn rfd(&self, r: ResourceId) -> &Rfd {
+        &self.rfds[r.index()]
+    }
+
+    /// Publishes one task per resource in `resources`, escrowing pay.
+    pub fn publish_batch(&mut self, resources: &[ResourceId]) {
+        for &r in resources {
+            self.platform.publish(self.project, r, self.pay_cents);
+            self.ledger.escrow(self.project, self.pay_cents as u64);
+        }
+    }
+
+    /// Runs ticks until every open task is submitted and decided (or
+    /// `max_ticks` passes). Returns the decided submissions in order.
+    pub fn run_until_quiet(&mut self, max_ticks: u32, rng: &mut StdRng) -> Vec<DecidedResult> {
+        let mut decided = Vec::new();
+        for _ in 0..max_ticks {
+            let results = self.platform.step(&self.dataset, rng);
+            for result in results {
+                let i = result.resource.index();
+                let approve = self.policy.decide(&result.tags, &self.rfds[i]);
+                let (worker, pay) = self
+                    .platform
+                    .decide(result.task, approve)
+                    .expect("fresh submission is decidable");
+                if approve {
+                    self.ledger
+                        .release(self.project, worker, pay as u64)
+                        .expect("pay was escrowed at publish");
+                    self.rfds[i].add_tags(&result.tags);
+                } else {
+                    self.ledger
+                        .refund(self.project, pay as u64)
+                        .expect("pay was escrowed at publish");
+                }
+                decided.push(DecidedResult { result, approved: approve });
+            }
+            if self.platform.open_tasks() == 0 {
+                break;
+            }
+        }
+        decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::TaggerBehavior;
+    use itag_model::delicious::DeliciousConfig;
+    use rand::SeedableRng;
+
+    fn sim(policy: ApprovalPolicy, mix_spammers: bool) -> (CrowdSim, StdRng) {
+        let d = DeliciousConfig::tiny(21).generate();
+        let mut rng = StdRng::seed_from_u64(5);
+        let workers = if mix_spammers {
+            WorkerPool::from_mix(
+                20,
+                &[
+                    (TaggerBehavior::diligent(), 0.5),
+                    (TaggerBehavior::spammer(), 0.5),
+                ],
+                &mut rng,
+            )
+        } else {
+            WorkerPool::uniform(20, TaggerBehavior::diligent())
+        };
+        (CrowdSim::new(d.dataset, workers, policy, 10), rng)
+    }
+
+    #[test]
+    fn batch_flows_through_to_decisions_and_money_balances() {
+        let (mut sim, mut rng) = sim(ApprovalPolicy::AcceptAll, false);
+        let resources: Vec<ResourceId> = (0..30).map(ResourceId).collect();
+        sim.publish_batch(&resources);
+        let decided = sim.run_until_quiet(1000, &mut rng);
+        assert_eq!(decided.len(), 30);
+        assert!(decided.iter().all(|d| d.approved));
+        assert!(sim.ledger.is_balanced());
+        let (escrowed, paid, refunded) = sim.ledger.totals();
+        assert_eq!(escrowed, 300);
+        assert_eq!(paid, 300);
+        assert_eq!(refunded, 0);
+    }
+
+    #[test]
+    fn overlap_policy_starves_spammers_and_pays_honest_workers() {
+        let (mut sim, mut rng) = sim(ApprovalPolicy::default(), true);
+        // Seed consensus first: tag popular resources repeatedly.
+        let hot: Vec<ResourceId> = (0..10).map(ResourceId).collect();
+        for _ in 0..12 {
+            sim.publish_batch(&hot);
+            let _ = sim.run_until_quiet(1000, &mut rng);
+        }
+        // Measure approval rates by behaviour class.
+        let mut spam_rate = (0u32, 0u32); // (approved, decided)
+        let mut honest_rate = (0u32, 0u32);
+        for w in sim.platform.workers().iter() {
+            let decided = w.stats.approved + w.stats.rejected;
+            if decided == 0 {
+                continue;
+            }
+            if w.behavior.spammer {
+                spam_rate = (spam_rate.0 + w.stats.approved, spam_rate.1 + decided);
+            } else {
+                honest_rate = (honest_rate.0 + w.stats.approved, honest_rate.1 + decided);
+            }
+        }
+        let spam = spam_rate.0 as f64 / spam_rate.1.max(1) as f64;
+        let honest = honest_rate.0 as f64 / honest_rate.1.max(1) as f64;
+        assert!(
+            honest > spam + 0.3,
+            "honest approval {honest} vs spam {spam}"
+        );
+        assert!(sim.ledger.is_balanced());
+    }
+
+    #[test]
+    fn rejected_pay_returns_to_the_provider() {
+        // A policy that rejects everything once consensus exists.
+        let policy = ApprovalPolicy::RfdOverlap {
+            top_k: 1,
+            min_fraction: 2.0, // unreachable fraction ⇒ reject all
+        };
+        let (mut sim, mut rng) = sim(policy, false);
+        // Build up ≥1 distinct tag on resource 0 so the policy engages.
+        sim.publish_batch(&[ResourceId(0)]);
+        let _ = sim.run_until_quiet(1000, &mut rng);
+        sim.publish_batch(&[ResourceId(0)]);
+        let decided = sim.run_until_quiet(1000, &mut rng);
+        assert!(!decided.last().unwrap().approved);
+        let (_, _, refunded) = sim.ledger.totals();
+        assert!(refunded >= 10, "refunds recorded: {refunded}");
+        assert!(sim.ledger.is_balanced());
+    }
+}

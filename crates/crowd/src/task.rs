@@ -1,0 +1,110 @@
+//! Tagging tasks (HITs) and their lifecycle.
+
+use itag_model::ids::{ProjectId, ResourceId, TagId, TaggerId};
+use serde::{Deserialize, Serialize};
+
+/// Platform-assigned task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaskId{}", self.0)
+    }
+}
+
+/// Lifecycle of a task. Legal transitions:
+/// `Published → Assigned → Submitted → {Approved, Rejected}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Visible on the platform, waiting for a worker.
+    Published,
+    /// Picked up by a worker.
+    Assigned { worker: TaggerId },
+    /// Worker submitted tags; awaiting the provider's decision.
+    Submitted { worker: TaggerId, tags: Vec<TagId> },
+    /// Provider approved; worker was paid.
+    Approved { worker: TaggerId },
+    /// Provider rejected; escrow refunded.
+    Rejected { worker: TaggerId },
+}
+
+impl TaskState {
+    /// Short state name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskState::Published => "published",
+            TaskState::Assigned { .. } => "assigned",
+            TaskState::Submitted { .. } => "submitted",
+            TaskState::Approved { .. } => "approved",
+            TaskState::Rejected { .. } => "rejected",
+        }
+    }
+
+    /// True for `Approved` / `Rejected`.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TaskState::Approved { .. } | TaskState::Rejected { .. })
+    }
+}
+
+/// One tagging task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaggingTask {
+    pub id: TaskId,
+    pub project: ProjectId,
+    pub resource: ResourceId,
+    pub pay_cents: u32,
+    pub state: TaskState,
+    /// Tick the task was published at.
+    pub published_at: u64,
+}
+
+/// A completed submission handed back to iTag for aggregation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskResult {
+    pub task: TaskId,
+    pub project: ProjectId,
+    pub resource: ResourceId,
+    pub worker: TaggerId,
+    pub tags: Vec<TagId>,
+    /// Tick of submission.
+    pub submitted_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_names_and_terminality() {
+        let w = TaggerId(1);
+        assert_eq!(TaskState::Published.name(), "published");
+        assert!(!TaskState::Published.is_terminal());
+        assert!(!TaskState::Assigned { worker: w }.is_terminal());
+        assert!(!TaskState::Submitted {
+            worker: w,
+            tags: vec![TagId(0)]
+        }
+        .is_terminal());
+        assert!(TaskState::Approved { worker: w }.is_terminal());
+        assert!(TaskState::Rejected { worker: w }.is_terminal());
+    }
+
+    #[test]
+    fn task_serde_roundtrip() {
+        let t = TaggingTask {
+            id: TaskId(4),
+            project: ProjectId(1),
+            resource: ResourceId(2),
+            pay_cents: 15,
+            state: TaskState::Submitted {
+                worker: TaggerId(9),
+                tags: vec![TagId(3), TagId(4)],
+            },
+            published_at: 77,
+        };
+        let bytes = itag_store::serbin::to_bytes(&t).unwrap();
+        let back: TaggingTask = itag_store::serbin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,310 @@
+//! Datasets: resources, their latent tag distributions, initial posts, and
+//! summary statistics.
+
+use crate::ids::{PostId, ResourceId, TagId, TaggerId};
+use crate::post::Post;
+use crate::resource::Resource;
+use crate::tag::TagDictionary;
+use crate::vocab::{TagDistribution, TagsPerPost};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A complete tagging corpus handed to iTag by a provider: resources, their
+/// (simulation-only) latent distributions, the posts accumulated before the
+/// incentive campaign starts, and the shared tag dictionary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    pub resources: Vec<Resource>,
+    /// Latent distribution of `resources[i]` at the same index. This is the
+    /// simulator's ground truth; strategies never read it (only the OPT
+    /// oracle and the evaluation harness do).
+    pub latent: Vec<TagDistribution>,
+    /// Static popularity weights driving the FC strategy's tagger choice,
+    /// aligned with `resources`.
+    pub popularity: Vec<f64>,
+    /// Posts from the pre-campaign era ("data before February 1st 2007" in
+    /// the demo's Delicious protocol), ordered by `at`.
+    pub initial_posts: Vec<Post>,
+    pub dictionary: TagDictionary,
+}
+
+impl Dataset {
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// True when the dataset has no resources.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Initial post count per resource (the `c⃗` of the problem statement).
+    pub fn initial_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.resources.len()];
+        for p in &self.initial_posts {
+            counts[p.resource.index()] += 1;
+        }
+        counts
+    }
+
+    /// Draws an honest post for `resource`: `n ~ TagsPerPost` distinct tags
+    /// sampled from the latent distribution (the generator's noiseless
+    /// tagger; noisy taggers live in `itag-crowd`).
+    pub fn sample_honest_tags<R: Rng + ?Sized>(
+        &self,
+        resource: ResourceId,
+        tpp: TagsPerPost,
+        rng: &mut R,
+    ) -> Vec<TagId> {
+        let latent = &self.latent[resource.index()];
+        let want = tpp.sample(rng).min(latent.support_len());
+        let mut tags: Vec<TagId> = Vec::with_capacity(want);
+        // Rejection-sample distinct tags; supports are small so a bounded
+        // number of retries suffices, with a deterministic fill as backstop.
+        let mut attempts = 0;
+        while tags.len() < want && attempts < 16 * want {
+            let t = latent.sample_tag(rng);
+            if !tags.contains(&t) {
+                tags.push(t);
+            }
+            attempts += 1;
+        }
+        if tags.is_empty() {
+            tags.push(latent.tags()[0]);
+        }
+        tags
+    }
+
+    /// Summary statistics (drives the popularity figure and DESIGN claims).
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(&self.initial_counts())
+    }
+}
+
+/// Distributional statistics of per-resource post counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    pub resources: usize,
+    pub total_posts: u64,
+    pub min_posts: u32,
+    pub max_posts: u32,
+    pub mean_posts: f64,
+    pub median_posts: u32,
+    /// Fraction of resources with zero posts (the "unpopular tail").
+    pub zero_fraction: f64,
+    /// Fraction of all posts held by the top 10% most-posted resources
+    /// (the "popular head" of the paper's motivation).
+    pub head_share: f64,
+    /// Gini coefficient of the post-count distribution (0 = equal,
+    /// →1 = concentrated).
+    pub gini: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics from raw per-resource post counts.
+    pub fn compute(counts: &[u32]) -> Self {
+        if counts.is_empty() {
+            return DatasetStats {
+                resources: 0,
+                total_posts: 0,
+                min_posts: 0,
+                max_posts: 0,
+                mean_posts: 0.0,
+                median_posts: 0,
+                zero_fraction: 0.0,
+                head_share: 0.0,
+                gini: 0.0,
+            };
+        }
+        let mut sorted: Vec<u32> = counts.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let total: u64 = sorted.iter().map(|&c| c as u64).sum();
+        let zero = sorted.iter().filter(|&&c| c == 0).count();
+        let head_n = (n as f64 * 0.1).ceil() as usize;
+        let head: u64 = sorted[n - head_n..].iter().map(|&c| c as u64).sum();
+
+        // Gini via the sorted-rank formula:
+        // G = (2 Σ_i i·x_i) / (n Σ x_i) − (n+1)/n  with i = 1..n ascending.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+
+        DatasetStats {
+            resources: n,
+            total_posts: total,
+            min_posts: sorted[0],
+            max_posts: sorted[n - 1],
+            mean_posts: total as f64 / n as f64,
+            median_posts: sorted[n / 2],
+            zero_fraction: zero as f64 / n as f64,
+            head_share: if total == 0 {
+                0.0
+            } else {
+                head as f64 / total as f64
+            },
+            gini,
+        }
+    }
+}
+
+/// Incrementally assigns post ids/sequence numbers while building datasets
+/// and traces.
+#[derive(Debug, Default, Clone)]
+pub struct PostFactory {
+    next_id: u64,
+    seq: Vec<u32>,
+    clock: u64,
+}
+
+impl PostFactory {
+    /// A factory for `n` resources starting at time 0.
+    pub fn new(n: usize) -> Self {
+        PostFactory {
+            next_id: 0,
+            seq: vec![0; n],
+            clock: 0,
+        }
+    }
+
+    /// Resumes sequence numbering from existing counts (used when a
+    /// campaign starts on top of pre-existing posts).
+    pub fn resume(counts: &[u32], next_id: u64, clock: u64) -> Self {
+        PostFactory {
+            next_id,
+            seq: counts.to_vec(),
+            clock,
+        }
+    }
+
+    /// Mints the next post for `resource`.
+    pub fn make(&mut self, resource: ResourceId, tagger: TaggerId, tags: Vec<TagId>) -> Post {
+        let idx = resource.index();
+        self.seq[idx] += 1;
+        self.clock += 1;
+        let post = Post::new(
+            PostId(self.next_id),
+            resource,
+            tagger,
+            tags,
+            self.seq[idx],
+            self.clock,
+        );
+        self.next_id += 1;
+        post
+    }
+
+    /// Current post count of `resource`.
+    pub fn count(&self, resource: ResourceId) -> u32 {
+        self.seq[resource.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> Dataset {
+        let resources = vec![
+            Resource::synthetic(ResourceId(0), ResourceKind::WebUrl),
+            Resource::synthetic(ResourceId(1), ResourceKind::Image),
+        ];
+        let latent = vec![
+            TagDistribution::new(vec![(TagId(0), 0.7), (TagId(1), 0.3)]),
+            TagDistribution::new(vec![(TagId(2), 1.0)]),
+        ];
+        let mut f = PostFactory::new(2);
+        let posts = vec![
+            f.make(ResourceId(0), TaggerId(0), vec![TagId(0)]),
+            f.make(ResourceId(0), TaggerId(1), vec![TagId(0), TagId(1)]),
+        ];
+        Dataset {
+            resources,
+            latent,
+            popularity: vec![0.9, 0.1],
+            initial_posts: posts,
+            dictionary: TagDictionary::synthetic(3),
+        }
+    }
+
+    #[test]
+    fn initial_counts_match_posts() {
+        let d = tiny_dataset();
+        assert_eq!(d.initial_counts(), vec![2, 0]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn honest_tags_come_from_support_and_are_distinct() {
+        let d = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let tags = d.sample_honest_tags(ResourceId(0), TagsPerPost::new(1, 5), &mut rng);
+            assert!(!tags.is_empty());
+            let mut dedup = tags.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), tags.len(), "duplicate tags in a post");
+            for t in &tags {
+                assert!(d.latent[0].tags().contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn honest_tags_on_singleton_support_never_loop() {
+        let d = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tags = d.sample_honest_tags(ResourceId(1), TagsPerPost::new(3, 5), &mut rng);
+        assert_eq!(tags, vec![TagId(2)]);
+    }
+
+    #[test]
+    fn post_factory_sequences_per_resource() {
+        let mut f = PostFactory::new(2);
+        let a = f.make(ResourceId(0), TaggerId(0), vec![TagId(0)]);
+        let b = f.make(ResourceId(1), TaggerId(0), vec![TagId(0)]);
+        let c = f.make(ResourceId(0), TaggerId(0), vec![TagId(0)]);
+        assert_eq!((a.seq, b.seq, c.seq), (1, 1, 2));
+        assert!(a.id < b.id && b.id < c.id);
+        assert!(a.at < b.at && b.at < c.at);
+        assert_eq!(f.count(ResourceId(0)), 2);
+    }
+
+    #[test]
+    fn stats_on_uniform_counts() {
+        let s = DatasetStats::compute(&[5, 5, 5, 5]);
+        assert_eq!(s.total_posts, 20);
+        assert!((s.gini).abs() < 1e-9, "uniform gini should be 0: {}", s.gini);
+        assert_eq!(s.zero_fraction, 0.0);
+    }
+
+    #[test]
+    fn stats_on_concentrated_counts() {
+        let mut counts = vec![0u32; 99];
+        counts.push(1000);
+        let s = DatasetStats::compute(&counts);
+        assert!(s.gini > 0.95, "gini {}", s.gini);
+        assert!((s.head_share - 1.0).abs() < 1e-9);
+        assert!((s.zero_fraction - 0.99).abs() < 1e-9);
+        assert_eq!(s.median_posts, 0);
+    }
+
+    #[test]
+    fn stats_on_empty_input() {
+        let s = DatasetStats::compute(&[]);
+        assert_eq!(s.resources, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic Delicious-2010 workload generator.
+//!
+//! The demonstration (Section IV) uses "all tagging data for Web URLs from
+//! Delicious in the year 2010", treating data "before February 1st 2007"
+//! as the providers' pre-existing posts and the rest as the evaluation
+//! stream. That trace is not redistributable, so this module generates a
+//! statistically equivalent corpus (see DESIGN.md §4):
+//!
+//! * resource popularity follows a Zipf law (exponent ≈ 1, per Golder &
+//!   Huberman), so the pre-campaign posts concentrate on a small head and
+//!   leave a long zero/low-post tail — the exact pathology iTag targets;
+//! * each resource has a latent tag multinomial over a support drawn from
+//!   a global Zipf-weighted vocabulary (popular tags are shared between
+//!   resources, as on Delicious);
+//! * the "pre-2007" era is simulated by dealing `initial_posts` posts to
+//!   resources popularity-proportionally, and the evaluation stream by
+//!   dealing `eval_posts` more the same way.
+
+use crate::dataset::{Dataset, PostFactory};
+use crate::ids::{ResourceId, TagId, TaggerId};
+use crate::resource::{Resource, ResourceKind};
+use crate::tag::TagDictionary;
+use crate::trace::{Trace, TraceEvent};
+use crate::vocab::{TagDistribution, TagsPerPost};
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic Delicious corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliciousConfig {
+    /// Number of resources `n`.
+    pub resources: usize,
+    /// Global tag vocabulary size `m`.
+    pub vocab: usize,
+    /// Zipf exponent of resource popularity (≈1.0 on Delicious).
+    pub popularity_exponent: f64,
+    /// Zipf exponent of global tag popularity.
+    pub tag_exponent: f64,
+    /// Latent support size range per resource (inclusive).
+    pub support: (usize, usize),
+    /// Zipf exponent of within-resource tag probabilities: how strongly a
+    /// resource's community agrees on its top tags.
+    pub within_resource_exponent: f64,
+    /// Posts dealt in the pre-campaign era ("before Feb 1st 2007").
+    pub initial_posts: usize,
+    /// Posts available in the evaluation stream (drives FC replays).
+    pub eval_posts: usize,
+    /// Tags per post.
+    pub tags_per_post: TagsPerPost,
+    /// Number of distinct pre-campaign taggers.
+    pub taggers: usize,
+    /// RNG seed: everything downstream is deterministic in this.
+    pub seed: u64,
+}
+
+impl Default for DeliciousConfig {
+    fn default() -> Self {
+        DeliciousConfig {
+            resources: 2_000,
+            vocab: 5_000,
+            popularity_exponent: 1.0,
+            tag_exponent: 1.0,
+            support: (8, 40),
+            within_resource_exponent: 1.0,
+            initial_posts: 20_000,
+            eval_posts: 40_000,
+            tags_per_post: TagsPerPost::default(),
+            taggers: 500,
+            seed: 0x1746,
+        }
+    }
+}
+
+impl DeliciousConfig {
+    /// A small configuration for unit tests (fast, still skewed).
+    pub fn tiny(seed: u64) -> Self {
+        DeliciousConfig {
+            resources: 50,
+            vocab: 200,
+            initial_posts: 300,
+            eval_posts: 600,
+            taggers: 20,
+            seed,
+            ..DeliciousConfig::default()
+        }
+    }
+
+    /// Generates the corpus.
+    pub fn generate(&self) -> DeliciousDataset {
+        assert!(self.resources > 0, "need at least one resource");
+        assert!(self.vocab >= self.support.1, "vocab smaller than support");
+        assert!(
+            self.support.0 >= 1 && self.support.0 <= self.support.1,
+            "bad support range"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let dictionary = TagDictionary::synthetic(self.vocab);
+        let global_tags = ZipfSampler::new(self.vocab, self.tag_exponent);
+
+        // Resources + latent distributions.
+        let mut resources = Vec::with_capacity(self.resources);
+        let mut latent = Vec::with_capacity(self.resources);
+        for i in 0..self.resources {
+            let kind = ResourceKind::ALL[i % ResourceKind::ALL.len()];
+            resources.push(Resource::synthetic(ResourceId(i as u32), kind));
+
+            let support_size = if self.support.0 == self.support.1 {
+                self.support.0
+            } else {
+                rng.gen_range(self.support.0..=self.support.1)
+            };
+            // Draw a distinct support from the global Zipf so popular tags
+            // recur across resources.
+            let mut support: Vec<TagId> = Vec::with_capacity(support_size);
+            let mut guard = 0;
+            while support.len() < support_size && guard < 64 * support_size {
+                let t = TagId(global_tags.sample(&mut rng) as u32);
+                if !support.contains(&t) {
+                    support.push(t);
+                }
+                guard += 1;
+            }
+            // Backstop: fill sequentially if the Zipf head keeps colliding.
+            let mut next = 0u32;
+            while support.len() < support_size {
+                let t = TagId(next);
+                if !support.contains(&t) {
+                    support.push(t);
+                }
+                next += 1;
+            }
+
+            let pairs: Vec<(TagId, f64)> = support
+                .iter()
+                .enumerate()
+                .map(|(rank, &t)| {
+                    let w = 1.0 / ((rank + 1) as f64).powf(self.within_resource_exponent);
+                    (t, w)
+                })
+                .collect();
+            latent.push(TagDistribution::new(pairs));
+        }
+
+        // Popularity weights (static Zipf over a random rank permutation so
+        // resource id does not encode popularity).
+        let zipf = ZipfSampler::new(self.resources, self.popularity_exponent);
+        let mut ranks: Vec<usize> = (0..self.resources).collect();
+        // Fisher–Yates with the seeded RNG.
+        for i in (1..ranks.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ranks.swap(i, j);
+        }
+        let mut popularity = vec![0.0f64; self.resources];
+        for (rank, &res) in ranks.iter().enumerate() {
+            popularity[res] = zipf.weights()[rank];
+        }
+
+        let mut dataset = Dataset {
+            resources,
+            latent,
+            popularity,
+            initial_posts: Vec::with_capacity(self.initial_posts),
+            dictionary,
+        };
+
+        // Pre-campaign era: posts dealt popularity-proportionally.
+        let pop_sampler = crate::zipf::WeightedSampler::new(&dataset.popularity);
+        let mut factory = PostFactory::new(self.resources);
+        for _ in 0..self.initial_posts {
+            let r = ResourceId(pop_sampler.sample(&mut rng) as u32);
+            let tagger = TaggerId(rng.gen_range(0..self.taggers.max(1)) as u32);
+            let tags = dataset.sample_honest_tags(r, self.tags_per_post, &mut rng);
+            let post = factory.make(r, tagger, tags);
+            dataset.initial_posts.push(post);
+        }
+
+        // Evaluation stream: the "post-2007" arrivals a free-choice crowd
+        // would produce, replayable by the FC strategy.
+        let mut events = Vec::with_capacity(self.eval_posts);
+        for _ in 0..self.eval_posts {
+            let r = ResourceId(pop_sampler.sample(&mut rng) as u32);
+            let tagger = TaggerId(rng.gen_range(0..self.taggers.max(1)) as u32);
+            let tags = dataset.sample_honest_tags(r, self.tags_per_post, &mut rng);
+            events.push(TraceEvent {
+                at: events.len() as u64,
+                resource: r,
+                tagger,
+                tags,
+            });
+        }
+
+        DeliciousDataset {
+            config: self.clone(),
+            dataset,
+            eval_trace: Trace::new(events),
+        }
+    }
+}
+
+/// A generated corpus: the provider-era dataset plus the evaluation stream.
+#[derive(Debug, Clone)]
+pub struct DeliciousDataset {
+    pub config: DeliciousConfig,
+    pub dataset: Dataset,
+    pub eval_trace: Trace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = DeliciousConfig::tiny(9).generate();
+        let b = DeliciousConfig::tiny(9).generate();
+        assert_eq!(a.dataset.initial_counts(), b.dataset.initial_counts());
+        assert_eq!(a.eval_trace.len(), b.eval_trace.len());
+        assert_eq!(
+            a.eval_trace.events()[0].tags,
+            b.eval_trace.events()[0].tags
+        );
+        let c = DeliciousConfig::tiny(10).generate();
+        assert_ne!(
+            a.dataset.initial_counts(),
+            c.dataset.initial_counts(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn popularity_skew_shows_in_initial_posts() {
+        let d = DeliciousConfig {
+            resources: 1_000,
+            initial_posts: 5_000,
+            ..DeliciousConfig::default()
+        }
+        .generate();
+        let stats = d.dataset.stats();
+        assert!(
+            stats.head_share > 0.5,
+            "top 10% should hold most posts, got {}",
+            stats.head_share
+        );
+        assert!(
+            stats.zero_fraction > 0.05,
+            "a long tail of untagged resources should exist, got {}",
+            stats.zero_fraction
+        );
+        assert!(stats.gini > 0.5, "gini {}", stats.gini);
+    }
+
+    #[test]
+    fn latent_supports_are_within_config() {
+        let cfg = DeliciousConfig::tiny(3);
+        let d = cfg.generate();
+        for latent in &d.dataset.latent {
+            let s = latent.support_len();
+            assert!(s >= cfg.support.0 && s <= cfg.support.1, "support {s}");
+        }
+    }
+
+    #[test]
+    fn every_post_tags_within_vocab() {
+        let cfg = DeliciousConfig::tiny(4);
+        let d = cfg.generate();
+        for p in &d.dataset.initial_posts {
+            for t in &p.tags {
+                assert!((t.0 as usize) < cfg.vocab);
+            }
+        }
+        for e in d.eval_trace.events() {
+            for t in &e.tags {
+                assert!((t.0 as usize) < cfg.vocab);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_timestamps_are_monotone() {
+        let d = DeliciousConfig::tiny(5).generate();
+        let events = d.eval_trace.events();
+        for w in events.windows(2) {
+            assert!(w[0].at < w[1].at);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab smaller than support")]
+    fn vocab_must_cover_support() {
+        let _ = DeliciousConfig {
+            vocab: 10,
+            support: (5, 40),
+            ..DeliciousConfig::tiny(1)
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,160 @@
+//! Strongly-typed identifiers.
+//!
+//! Every subsystem keys its maps and tables with these newtypes; the
+//! [`itag_store::KeyCodec`] impls make them directly usable as big-endian
+//! order-preserving storage keys.
+
+use itag_store::error::{Result, StoreError};
+use itag_store::table::{FixedWidthKey, KeyCodec};
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_u32 {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+
+        impl KeyCodec for $name {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                self.0.encode_into(out);
+            }
+
+            fn decode(bytes: &[u8]) -> Result<Self> {
+                Ok($name(u32::decode(bytes)?))
+            }
+        }
+
+        impl FixedWidthKey for $name {
+            const WIDTH: usize = 4;
+        }
+    };
+}
+
+id_u32!(
+    /// A taggable resource (`r_i` in the paper): a Web URL, image, video,
+    /// sound clip or scientific paper.
+    ResourceId
+);
+id_u32!(
+    /// A tag (`t_j` in the paper), interned through
+    /// [`crate::tag::TagDictionary`].
+    TagId
+);
+id_u32!(
+    /// A tagger — a crowdsourcing worker or demo-audience participant.
+    TaggerId
+);
+id_u32!(
+    /// A resource provider (website administrator / dataset owner).
+    ProviderId
+);
+id_u32!(
+    /// A provider's tagging project (budget + resources + strategy).
+    ProjectId
+);
+
+/// A post: one tagging operation on one resource. 64-bit because a busy
+/// deployment accumulates posts far faster than any other entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PostId(pub u64);
+
+impl From<u64> for PostId {
+    fn from(v: u64) -> Self {
+        PostId(v)
+    }
+}
+
+impl std::fmt::Display for PostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PostId{}", self.0)
+    }
+}
+
+impl KeyCodec for PostId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        Ok(PostId(u64::decode(bytes)?))
+    }
+
+    fn encoded(&self) -> Vec<u8> {
+        self.0.to_be_bytes().to_vec()
+    }
+}
+
+impl FixedWidthKey for PostId {
+    const WIDTH: usize = 8;
+}
+
+/// Guard against accidentally widening an id type: these are embedded in
+/// millions of posts.
+const _: () = {
+    assert!(std::mem::size_of::<ResourceId>() == 4);
+    assert!(std::mem::size_of::<PostId>() == 8);
+};
+
+#[allow(unused_imports)]
+use itag_store as _; // silence unused-dep lint in case of cfg churn
+
+#[allow(dead_code)]
+fn _key_codec_error_is_reachable() -> StoreError {
+    StoreError::Codec(String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_as_keys() {
+        let r = ResourceId(0xDEAD_BEEF);
+        assert_eq!(ResourceId::decode(&r.encoded()).unwrap(), r);
+        let p = PostId(u64::MAX - 1);
+        assert_eq!(PostId::decode(&p.encoded()).unwrap(), p);
+    }
+
+    #[test]
+    fn id_key_order_matches_numeric_order() {
+        let ids = [0u32, 1, 100, 65_536, u32::MAX];
+        let mut encoded: Vec<Vec<u8>> = ids.iter().map(|v| ResourceId(*v).encoded()).collect();
+        let sorted = encoded.clone();
+        encoded.sort();
+        assert_eq!(encoded, sorted);
+    }
+
+    #[test]
+    fn display_is_debuggable() {
+        assert_eq!(ResourceId(3).to_string(), "ResourceId3");
+        assert_eq!(PostId(9).to_string(), "PostId9");
+    }
+
+    #[test]
+    fn wrong_width_key_decode_fails() {
+        assert!(ResourceId::decode(&[1, 2, 3]).is_err());
+        assert!(PostId::decode(&[0; 4]).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # itag-model — the iTag data model and workloads
+//!
+//! Types from Section II of the paper: resources `R`, tags `T`, posts and
+//! post sequences, plus the synthetic **Delicious 2010** workload generator
+//! that substitutes for the real trace used in the demonstration
+//! (Section IV). The substitution rationale lives in `DESIGN.md` §4.
+
+pub mod dataset;
+pub mod delicious;
+pub mod ids;
+pub mod ingest;
+pub mod post;
+pub mod resource;
+pub mod tag;
+pub mod trace;
+pub mod vocab;
+pub mod zipf;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use delicious::{DeliciousConfig, DeliciousDataset};
+pub use ids::{PostId, ProjectId, ProviderId, ResourceId, TagId, TaggerId};
+pub use post::Post;
+pub use resource::{Resource, ResourceKind};
+pub use tag::TagDictionary;
+pub use vocab::TagDistribution;

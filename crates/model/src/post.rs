@@ -1,0 +1,98 @@
+//! Posts: single tagging operations.
+//!
+//! Section II: "A post is a nonempty set of tags assigned to a resource by
+//! a tagger in one tagging operation. The post sequence of a resource r_i
+//! is the sequence (p_i(1), p_i(2), …)".
+
+use crate::ids::{PostId, ResourceId, TagId, TaggerId};
+use serde::{Deserialize, Serialize};
+
+/// One tagging operation. `seq` is the post's 1-based position in its
+/// resource's post sequence (the `k` of `p_i(k)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    pub id: PostId,
+    pub resource: ResourceId,
+    pub tagger: TaggerId,
+    /// Distinct tags of this post. Invariant: non-empty, no duplicates.
+    pub tags: Vec<TagId>,
+    /// 1-based index in the resource's post sequence.
+    pub seq: u32,
+    /// Logical timestamp (task-ticks in simulation; epoch ms in a
+    /// deployment).
+    pub at: u64,
+}
+
+impl Post {
+    /// Creates a post, enforcing the paper's invariants: the tag set is
+    /// non-empty and duplicate-free (duplicates are merged, order of first
+    /// occurrence preserved).
+    ///
+    /// # Panics
+    /// Panics if `tags` is empty — an empty post is not a post.
+    pub fn new(
+        id: PostId,
+        resource: ResourceId,
+        tagger: TaggerId,
+        mut tags: Vec<TagId>,
+        seq: u32,
+        at: u64,
+    ) -> Self {
+        assert!(!tags.is_empty(), "a post must contain at least one tag");
+        let mut seen = std::collections::HashSet::with_capacity(tags.len());
+        tags.retain(|t| seen.insert(*t));
+        Post {
+            id,
+            resource,
+            tagger,
+            tags,
+            seq,
+            at,
+        }
+    }
+
+    /// Number of distinct tags.
+    pub fn arity(&self) -> usize {
+        self.tags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_merged_keeping_first_occurrence() {
+        let p = Post::new(
+            PostId(1),
+            ResourceId(1),
+            TaggerId(1),
+            vec![TagId(5), TagId(3), TagId(5), TagId(3), TagId(9)],
+            1,
+            0,
+        );
+        assert_eq!(p.tags, vec![TagId(5), TagId(3), TagId(9)]);
+        assert_eq!(p.arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tag")]
+    fn empty_posts_are_rejected() {
+        let _ = Post::new(PostId(1), ResourceId(1), TaggerId(1), vec![], 1, 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Post::new(
+            PostId(9),
+            ResourceId(2),
+            TaggerId(3),
+            vec![TagId(1), TagId(2)],
+            4,
+            1234,
+        );
+        let bytes = itag_store::serbin::to_bytes(&p).unwrap();
+        let back: Post = itag_store::serbin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+}

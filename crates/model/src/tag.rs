@@ -1,0 +1,139 @@
+//! Tag interning.
+//!
+//! Tags are short free-text strings ("rust", "database", …). All internal
+//! processing uses dense [`TagId`]s; the dictionary is the only place that
+//! stores the text, so posts stay small (a handful of `u32`s).
+
+use crate::ids::TagId;
+use itag_store::codec::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Bidirectional `text ↔ TagId` mapping.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TagDictionary {
+    texts: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, TagId>,
+}
+
+impl TagDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        TagDictionary::default()
+    }
+
+    /// Pre-populates `n` synthetic tags named `tag-0000…`, the vocabulary
+    /// used by the generated Delicious workload.
+    pub fn synthetic(n: usize) -> Self {
+        let mut d = TagDictionary::new();
+        for i in 0..n {
+            d.intern(&format!("tag-{i:05}"));
+        }
+        d
+    }
+
+    /// Returns the id for `text`, interning it if new. Tag text is
+    /// normalized the way tagging sites do: trimmed and lower-cased.
+    pub fn intern(&mut self, text: &str) -> TagId {
+        let norm = Self::normalize(text);
+        if let Some(&id) = self.index.get(&norm) {
+            return id;
+        }
+        let id = TagId(self.texts.len() as u32);
+        self.index.insert(norm.clone(), id);
+        self.texts.push(norm);
+        id
+    }
+
+    /// Looks up an existing tag without interning.
+    pub fn lookup(&self, text: &str) -> Option<TagId> {
+        self.index.get(&Self::normalize(text)).copied()
+    }
+
+    /// The text of `id`, if it exists.
+    pub fn text(&self, id: TagId) -> Option<&str> {
+        self.texts.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct tags.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// True when no tags are interned.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Rebuilds the text→id index after deserialization (the map is
+    /// `#[serde(skip)]`; only the text table is persisted).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TagId(i as u32)))
+            .collect();
+    }
+
+    fn normalize(text: &str) -> String {
+        text.trim().to_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = TagDictionary::new();
+        let a = d.intern("rust");
+        let b = d.intern("rust");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn normalization_merges_case_and_whitespace() {
+        let mut d = TagDictionary::new();
+        let a = d.intern("Rust ");
+        let b = d.intern("  rUsT");
+        assert_eq!(a, b);
+        assert_eq!(d.text(a), Some("rust"));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let d = TagDictionary::new();
+        assert!(d.lookup("nope").is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut d = TagDictionary::new();
+        for i in 0..100 {
+            assert_eq!(d.intern(&format!("t{i}")), TagId(i));
+        }
+    }
+
+    #[test]
+    fn synthetic_vocab_has_requested_size() {
+        let d = TagDictionary::synthetic(500);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.lookup("tag-00499"), Some(TagId(499)));
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let mut d = TagDictionary::new();
+        d.intern("alpha");
+        d.intern("beta");
+        let bytes = itag_store::serbin::to_bytes(&d).unwrap();
+        let mut back: TagDictionary = itag_store::serbin::from_bytes(&bytes).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.lookup("beta"), Some(TagId(1)));
+        assert_eq!(back.text(TagId(0)), Some("alpha"));
+    }
+}

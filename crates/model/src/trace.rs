@@ -1,0 +1,120 @@
+//! Replayable tagging traces.
+//!
+//! The demo evaluates strategies against the post-split portion of the
+//! Delicious trace; [`Trace`] is that stream — consumed by the FC strategy
+//! (taggers choosing freely) and by dataset warm-up.
+
+use crate::ids::{ResourceId, TagId, TaggerId};
+use serde::{Deserialize, Serialize};
+
+/// One arrival in a tagging trace: at time `at`, `tagger` posted `tags`
+/// on `resource`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub at: u64,
+    pub resource: ResourceId,
+    pub tagger: TaggerId,
+    pub tags: Vec<TagId>,
+}
+
+/// An ordered stream of tagging events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Wraps events, enforcing time order.
+    ///
+    /// # Panics
+    /// Panics if events are not sorted by `at` — traces are generated or
+    /// ingested sorted; unsorted input indicates a bug upstream.
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "trace events must be time-ordered"
+        );
+        Trace { events }
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Splits at time `t`: events strictly before `t`, and the rest. This
+    /// is the demo's "before February 1st 2007" provider/evaluation split.
+    pub fn split_at_time(&self, t: u64) -> (Trace, Trace) {
+        let idx = self.events.partition_point(|e| e.at < t);
+        (
+            Trace {
+                events: self.events[..idx].to_vec(),
+            },
+            Trace {
+                events: self.events[idx..].to_vec(),
+            },
+        )
+    }
+
+    /// Iterates events touching `resource`.
+    pub fn for_resource(&self, resource: ResourceId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.resource == resource)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, r: u32) -> TraceEvent {
+        TraceEvent {
+            at,
+            resource: ResourceId(r),
+            tagger: TaggerId(0),
+            tags: vec![TagId(0)],
+        }
+    }
+
+    #[test]
+    fn split_respects_boundary() {
+        let t = Trace::new(vec![ev(0, 1), ev(5, 2), ev(5, 3), ev(9, 1)]);
+        let (before, after) = t.split_at_time(5);
+        assert_eq!(before.len(), 1);
+        assert_eq!(after.len(), 3);
+        assert_eq!(after.events()[0].resource, ResourceId(2));
+    }
+
+    #[test]
+    fn split_at_extremes() {
+        let t = Trace::new(vec![ev(1, 1), ev(2, 2)]);
+        let (b, a) = t.split_at_time(0);
+        assert!(b.is_empty());
+        assert_eq!(a.len(), 2);
+        let (b, a) = t.split_at_time(100);
+        assert_eq!(b.len(), 2);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn for_resource_filters() {
+        let t = Trace::new(vec![ev(0, 1), ev(1, 2), ev(2, 1)]);
+        assert_eq!(t.for_resource(ResourceId(1)).count(), 2);
+        assert_eq!(t.for_resource(ResourceId(9)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unsorted_traces_rejected() {
+        let _ = Trace::new(vec![ev(5, 1), ev(0, 2)]);
+    }
+}

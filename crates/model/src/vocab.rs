@@ -1,0 +1,254 @@
+//! Latent per-resource tag distributions.
+//!
+//! The quality metric of the paper rests on the empirical observation
+//! (from the companion work it cites) that a resource's relative frequency
+//! distribution of tags **converges** as posts accumulate: the community
+//! "agrees" on how to describe the resource. The simulator realizes that
+//! premise by giving every resource a latent multinomial `p_i` over a small
+//! tag support; honest posts are draws from `p_i`, so rfds converge to
+//! `p_i` at the multinomial concentration rate O(1/√k).
+
+use crate::ids::TagId;
+use crate::zipf::WeightedSampler;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A normalized multinomial over a resource's tag support.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TagDistribution {
+    /// Support tags, most probable first.
+    tags: Vec<TagId>,
+    /// Probabilities aligned with `tags`; sums to 1.
+    probs: Vec<f64>,
+    #[serde(skip)]
+    sampler: Option<WeightedSampler>,
+}
+
+impl PartialEq for TagDistribution {
+    fn eq(&self, other: &Self) -> bool {
+        self.tags == other.tags && self.probs == other.probs
+    }
+}
+
+impl TagDistribution {
+    /// Builds a distribution from `(tag, weight)` pairs; weights are
+    /// normalized and sorted descending.
+    ///
+    /// # Panics
+    /// Panics on an empty support or non-positive total weight.
+    pub fn new(mut pairs: Vec<(TagId, f64)>) -> Self {
+        assert!(!pairs.is_empty(), "a tag distribution needs support");
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "total weight must be positive");
+        let tags: Vec<TagId> = pairs.iter().map(|(t, _)| *t).collect();
+        let probs: Vec<f64> = pairs.iter().map(|(_, w)| w / total).collect();
+        let sampler = Some(WeightedSampler::new(&probs));
+        TagDistribution {
+            tags,
+            probs,
+            sampler,
+        }
+    }
+
+    /// Support size.
+    pub fn support_len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Tags of the support, most probable first.
+    pub fn tags(&self) -> &[TagId] {
+        &self.tags
+    }
+
+    /// Probability of `tag` (0 if outside the support).
+    pub fn prob(&self, tag: TagId) -> f64 {
+        self.tags
+            .iter()
+            .position(|&t| t == tag)
+            .map(|i| self.probs[i])
+            .unwrap_or(0.0)
+    }
+
+    /// `(tag, probability)` pairs, most probable first.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, f64)> + '_ {
+        self.tags.iter().copied().zip(self.probs.iter().copied())
+    }
+
+    /// The `k` most probable tags.
+    pub fn top_k(&self, k: usize) -> &[TagId] {
+        &self.tags[..k.min(self.tags.len())]
+    }
+
+    /// Draws one tag from the distribution.
+    pub fn sample_tag<R: Rng + ?Sized>(&self, rng: &mut R) -> TagId {
+        match &self.sampler {
+            Some(s) => self.tags[s.sample(rng)],
+            None => {
+                // Deserialized distribution without a rebuilt sampler:
+                // fall back to inverse-CDF on the fly.
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                for (t, p) in self.iter() {
+                    acc += p;
+                    if u <= acc {
+                        return t;
+                    }
+                }
+                *self.tags.last().expect("non-empty support")
+            }
+        }
+    }
+
+    /// Rebuilds the sampling table after deserialization.
+    pub fn rebuild_sampler(&mut self) {
+        self.sampler = Some(WeightedSampler::new(&self.probs));
+    }
+
+    /// Analytic instability coefficient `κ` such that the expected total
+    /// variation between the empirical rfd after `k` posts and this latent
+    /// distribution is ≈ `κ/√k`:
+    ///
+    /// `E[TV] ≈ ½ Σ_t √(2 p_t (1 − p_t) / (π k)) = κ/√k`.
+    ///
+    /// The OPT allocator uses this as its oracle quality curve
+    /// (`q̂(k) = 1 − κ/√k`), which is concave in `k`, making the greedy
+    /// unit-by-unit allocation optimal.
+    pub fn kappa(&self) -> f64 {
+        let c = (2.0 / std::f64::consts::PI).sqrt() / 2.0;
+        self.probs
+            .iter()
+            .map(|&p| c * (p * (1.0 - p)).sqrt())
+            .sum()
+    }
+}
+
+/// Per-post tag-count sampler shared by the dataset generator and the
+/// tagger behaviour models: uniform in `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagsPerPost {
+    pub min: u8,
+    pub max: u8,
+}
+
+impl TagsPerPost {
+    /// # Panics
+    /// Panics when `min == 0` (posts are non-empty) or `min > max`.
+    pub fn new(min: u8, max: u8) -> Self {
+        assert!(min >= 1, "posts must contain at least one tag");
+        assert!(min <= max, "min must not exceed max");
+        TagsPerPost { min, max }
+    }
+
+    /// Draws a post size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.min == self.max {
+            self.min as usize
+        } else {
+            rng.gen_range(self.min..=self.max) as usize
+        }
+    }
+}
+
+impl Default for TagsPerPost {
+    /// Delicious posts typically carry a handful of tags.
+    fn default() -> Self {
+        TagsPerPost::new(1, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist() -> TagDistribution {
+        TagDistribution::new(vec![
+            (TagId(10), 5.0),
+            (TagId(20), 3.0),
+            (TagId(30), 2.0),
+        ])
+    }
+
+    #[test]
+    fn probabilities_normalize_and_sort() {
+        let d = dist();
+        assert_eq!(d.tags(), &[TagId(10), TagId(20), TagId(30)]);
+        assert!((d.prob(TagId(10)) - 0.5).abs() < 1e-12);
+        assert!((d.prob(TagId(30)) - 0.2).abs() < 1e-12);
+        assert_eq!(d.prob(TagId(99)), 0.0);
+        let total: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let d = dist();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = std::collections::HashMap::new();
+        let n = 60_000;
+        for _ in 0..n {
+            *hits.entry(d.sample_tag(&mut rng)).or_insert(0u32) += 1;
+        }
+        let f10 = hits[&TagId(10)] as f64 / n as f64;
+        assert!((f10 - 0.5).abs() < 0.02, "f10 = {f10}");
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let d = dist();
+        assert_eq!(d.top_k(2), &[TagId(10), TagId(20)]);
+        assert_eq!(d.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn kappa_is_larger_for_flatter_distributions() {
+        let peaked = TagDistribution::new(vec![(TagId(1), 97.0), (TagId(2), 2.0), (TagId(3), 1.0)]);
+        let flat = TagDistribution::new(vec![(TagId(1), 1.0), (TagId(2), 1.0), (TagId(3), 1.0)]);
+        assert!(
+            flat.kappa() > peaked.kappa(),
+            "flat {} vs peaked {}",
+            flat.kappa(),
+            peaked.kappa()
+        );
+    }
+
+    #[test]
+    fn kappa_of_point_mass_is_zero() {
+        let point = TagDistribution::new(vec![(TagId(1), 1.0)]);
+        assert!(point.kappa().abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_then_sampling_still_works() {
+        let d = dist();
+        let bytes = itag_store::serbin::to_bytes(&d).unwrap();
+        let mut back: TagDistribution = itag_store::serbin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, d);
+        // Works without rebuild (fallback path)…
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = back.sample_tag(&mut rng);
+        // …and with the rebuilt fast path.
+        back.rebuild_sampler();
+        let t = back.sample_tag(&mut rng);
+        assert!(back.tags().contains(&t));
+    }
+
+    #[test]
+    fn tags_per_post_bounds() {
+        let tpp = TagsPerPost::new(2, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let n = tpp.sample(&mut rng);
+            assert!((2..=4).contains(&n));
+        }
+        assert_eq!(TagsPerPost::new(3, 3).sample(&mut rng), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tag")]
+    fn zero_min_tags_rejected() {
+        let _ = TagsPerPost::new(0, 3);
+    }
+}

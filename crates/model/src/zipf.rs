@@ -1,0 +1,216 @@
+//! Zipf-distributed sampling.
+//!
+//! Collaborative-tagging popularity is famously heavy-tailed (Golder &
+//! Huberman, reference 5 of the paper: "most tags are directed to a small
+//! number of highly popular resources"). The generator and the FC strategy
+//! both sample from Zipf laws; `rand` ships no Zipf distribution in the
+//! sanctioned version, so this module implements one via a precomputed
+//! cumulative table + binary search — exact, O(log n) per draw, and
+//! deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with `P(rank = i) ∝ 1/(i+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cumulative[i]` = P(rank ≤ i).
+    cumulative: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; Delicious-like skew is `s ≈ 1`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite — both are
+    /// configuration errors, not runtime conditions.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be ≥ 0");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            let w = 1.0 / ((i + 1) as f64).powf(s);
+            weights.push(w);
+            total += w;
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &mut weights {
+            *w /= total;
+            acc += *w;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cumulative.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler {
+            cumulative,
+            weights,
+        }
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Normalized probability of each rank.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Samples an index from explicit non-negative weights (cumulative table +
+/// binary search). Used for latent tag distributions and FC popularity.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedSampler {
+    /// Builds from raw weights; they need not be normalized.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "WeightedSampler needs weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be ≥ 0, got {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        WeightedSampler { cumulative }
+    }
+
+    /// Draws an index in `0..weights.len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_probabilities_decrease_with_rank() {
+        let z = ZipfSampler::new(100, 1.0);
+        for w in z.weights().windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        let sum: f64 = z.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for &w in z.weights() {
+            assert!((w - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_skew_matches_theory() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 1000];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should receive ≈ w[0] of the mass (within 10% relative).
+        let expected = z.weights()[0] * draws as f64;
+        let got = counts[0] as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "rank0: got {got}, expected {expected}"
+        );
+        // Head (top 10%) should dominate the tail: the paper's motivation.
+        let head: u32 = counts[..100].iter().sum();
+        assert!(head as f64 > 0.6 * draws as f64);
+    }
+
+    #[test]
+    fn samples_are_always_in_range() {
+        let z = ZipfSampler::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn weighted_sampler_respects_zero_weights() {
+        let w = WeightedSampler::new(&[0.0, 1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..20_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        // index 3 should get ≈ 3× the draws of index 1.
+        let ratio = counts[3] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_empty_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn weighted_all_zero_panics() {
+        let _ = WeightedSampler::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = ZipfSampler::new(50, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Distribution summaries of per-resource qualities.
+//!
+//! The provider screens show more than the mean: "resources can be sorted
+//! according to some rules (e.g., tagging quality)" implies the provider
+//! reasons about the *distribution* — how many resources are still bad,
+//! how compressed the corpus is. These summaries also back the
+//! `satisfied-vs-budget` figure and the monitor's percentile readouts.
+
+use serde::{Deserialize, Serialize};
+
+/// Percentile/shape summary of a quality vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualitySummary {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub p10: f64,
+    pub median: f64,
+    pub p90: f64,
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl QualitySummary {
+    /// Summarizes `values` (all expected in `[0, 1]`; empty input yields
+    /// an all-zero summary).
+    pub fn compute(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return QualitySummary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                p10: 0.0,
+                median: 0.0,
+                p90: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let pct = |p: f64| -> f64 {
+            // Nearest-rank percentile on the sorted vector.
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            sorted[rank - 1]
+        };
+        QualitySummary {
+            count: n,
+            mean,
+            min: sorted[0],
+            p10: pct(0.10),
+            median: pct(0.50),
+            p90: pct(0.90),
+            max: sorted[n - 1],
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Interquantile spread `p90 − p10`: how *unevenly* quality is
+    /// distributed. MU-style equalization drives this down; FC drives it
+    /// up (head improves, tail starves).
+    pub fn spread(&self) -> f64 {
+        self.p90 - self.p10
+    }
+}
+
+/// Fixed-width histogram over `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityHistogram {
+    /// Bin counts; bin `i` covers `[i/bins, (i+1)/bins)`, the last bin is
+    /// closed at 1.0.
+    pub bins: Vec<usize>,
+}
+
+impl QualityHistogram {
+    /// Histograms `values` into `bins` buckets.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0`.
+    pub fn compute(values: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let clamped = v.clamp(0.0, 1.0);
+            let idx = ((clamped * bins as f64) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        QualityHistogram { bins: counts }
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.bins.iter().sum()
+    }
+
+    /// ASCII sparkline-ish rendering for console monitors.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let bar = "#".repeat(c * width / max);
+                format!("[{:>4.2}) {:>6} {}", i as f64 / self.bins.len() as f64, c, bar)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_vector() {
+        let values: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+        let s = QualitySummary::compute(&values);
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 0.55).abs() < 1e-12);
+        assert_eq!(s.min, 0.1);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.p10, 0.1);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.p90, 0.9);
+        assert!((s.spread() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = QualitySummary::compute(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn equalized_corpus_has_smaller_spread() {
+        let compressed = vec![0.7; 100];
+        let spread_out: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        assert!(
+            QualitySummary::compute(&compressed).spread()
+                < QualitySummary::compute(&spread_out).spread()
+        );
+    }
+
+    #[test]
+    fn histogram_bins_cover_the_unit_interval() {
+        let h = QualityHistogram::compute(&[0.0, 0.05, 0.5, 0.95, 1.0], 10);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bins[0], 2); // 0.0, 0.05
+        assert_eq!(h.bins[5], 1); // 0.5
+        assert_eq!(h.bins[9], 2); // 0.95, 1.0 (closed top bin)
+    }
+
+    #[test]
+    fn histogram_render_has_one_line_per_bin() {
+        let h = QualityHistogram::compute(&[0.1, 0.9], 4);
+        assert_eq!(h.render(20).lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = QualityHistogram::compute(&[0.5], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn summary_stats_are_ordered(values in proptest::collection::vec(0.0f64..=1.0, 1..200)) {
+            let s = QualitySummary::compute(&values);
+            prop_assert!(s.min <= s.p10);
+            prop_assert!(s.p10 <= s.median);
+            prop_assert!(s.median <= s.p90);
+            prop_assert!(s.p90 <= s.max);
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+            prop_assert!(s.stddev >= 0.0);
+        }
+
+        #[test]
+        fn histogram_conserves_mass(
+            values in proptest::collection::vec(0.0f64..=1.0, 0..200),
+            bins in 1usize..20,
+        ) {
+            let h = QualityHistogram::compute(&values, bins);
+            prop_assert_eq!(h.total(), values.len());
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Learning curves: projected quality as a function of post count.
+//!
+//! Multinomial concentration gives `E[TV(rfd_k, p)] ≈ κ/√k`, so quality
+//! follows `q(k) ≈ q∞ − a/√(k+b)`. The OPT allocator plans with these
+//! curves; the Quality Manager fits them to observed series to project
+//! "quality gains" on the provider screens (Fig. 3/5).
+
+use crate::history::QualityPoint;
+use serde::{Deserialize, Serialize};
+
+/// `q̂(k) = clamp(q∞ − a/√(k+b), 0, 1)`, with `a ≥ 0` so the curve is
+/// non-decreasing and concave — which makes greedy unit-by-unit budget
+/// allocation optimal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    pub q_inf: f64,
+    pub a: f64,
+    pub b: f64,
+}
+
+impl LearningCurve {
+    /// Oracle curve from the analytic instability coefficient
+    /// [`itag_model::vocab::TagDistribution::kappa`]:
+    /// `q̂(k) = 1 − κ/√(k + κ²)`.
+    ///
+    /// The `b = κ²` offset makes `q̂(0) = 0` exactly, so the curve is
+    /// smooth, increasing and concave over its whole domain — no clamped
+    /// region where marginals would spuriously vanish (which would break
+    /// the optimality of greedy allocation).
+    pub fn from_kappa(kappa: f64) -> Self {
+        let a = kappa.max(0.0);
+        LearningCurve {
+            q_inf: 1.0,
+            a,
+            b: a * a,
+        }
+    }
+
+    /// A flat zero-gain curve (used for resources where nothing is known
+    /// and no prior applies).
+    pub fn flat(q: f64) -> Self {
+        LearningCurve {
+            q_inf: q.clamp(0.0, 1.0),
+            a: 0.0,
+            b: 0.0,
+        }
+    }
+
+    /// A generic prior for unseen resources: pessimistic start, moderate
+    /// convergence pace (κ ≈ 2 matches a ~20-tag Zipf support).
+    pub fn default_prior() -> Self {
+        LearningCurve {
+            q_inf: 1.0,
+            a: 2.0,
+            b: 1.0,
+        }
+    }
+
+    /// Projected quality after `k` posts.
+    pub fn predict(&self, k: u32) -> f64 {
+        if self.a == 0.0 {
+            return self.q_inf.clamp(0.0, 1.0);
+        }
+        let kk = k as f64 + self.b;
+        if kk <= 0.0 {
+            return 0.0;
+        }
+        (self.q_inf - self.a / kk.sqrt()).clamp(0.0, 1.0)
+    }
+
+    /// Projected gain of one more post at count `k`: `q̂(k+1) − q̂(k)`.
+    /// Non-negative by construction.
+    pub fn marginal(&self, k: u32) -> f64 {
+        (self.predict(k + 1) - self.predict(k)).max(0.0)
+    }
+
+    /// Projected gain of `extra` more posts at count `k`.
+    pub fn gain(&self, k: u32, extra: u32) -> f64 {
+        (self.predict(k + extra) - self.predict(k)).max(0.0)
+    }
+
+    /// Marginal of the **unclamped** curve `q∞ − a/√(k+b)`: strictly
+    /// decreasing in `k`, so greedy allocation planned with it is optimal
+    /// even where the clamped curve sits flat at 0 or 1 (fitted curves can
+    /// have such regions; the oracle curve never does).
+    pub fn planning_marginal(&self, k: u32) -> f64 {
+        if self.a == 0.0 {
+            return 0.0;
+        }
+        let kk = k as f64 + self.b;
+        if kk <= 0.0 {
+            // Degenerate caller-constructed curve; fall back to the
+            // clamped marginal rather than dividing by zero.
+            return self.marginal(k);
+        }
+        self.a * (1.0 / kk.sqrt() - 1.0 / (kk + 1.0).sqrt())
+    }
+
+    /// Least-squares fit of `q∞` and `a` on `q = q∞ − a·x`, `x = 1/√(k+b)`
+    /// with `b = 1` fixed. Needs at least two samples at distinct `k`;
+    /// returns `None` otherwise. A negative fitted `a` (quality *falling*
+    /// with posts — noise) is clamped to the flat curve at the series mean.
+    pub fn fit(points: &[QualityPoint]) -> Option<LearningCurve> {
+        const B: f64 = 1.0;
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let xs: Vec<f64> = points.iter().map(|p| 1.0 / (p.k as f64 + B).sqrt()).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.quality).collect();
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+        if sxx < 1e-12 {
+            return None; // all samples at the same k
+        }
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = sxy / sxx; // = −a
+        let a = (-slope).max(0.0);
+        if a == 0.0 {
+            return Some(LearningCurve::flat(mean_y));
+        }
+        let q_inf = (mean_y + a * mean_x).clamp(0.0, 1.5);
+        Some(LearningCurve { q_inf, a, b: B })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn predict_is_monotone_and_bounded() {
+        let c = LearningCurve::from_kappa(1.5);
+        let mut prev = c.predict(0);
+        for k in 1..200 {
+            let q = c.predict(k);
+            assert!(q >= prev, "monotone at k={k}");
+            assert!((0.0..=1.0).contains(&q));
+            prev = q;
+        }
+        assert!(c.predict(10_000) > 0.98);
+    }
+
+    #[test]
+    fn marginals_decrease_once_unclamped() {
+        // Concavity: after the 0-clamp region ends, marginal gains shrink.
+        let c = LearningCurve::from_kappa(1.0);
+        let start = (1..500)
+            .find(|&k| c.predict(k) > 0.0)
+            .expect("curve rises eventually");
+        let mut prev = c.marginal(start);
+        for k in start + 1..start + 100 {
+            let m = c.marginal(k);
+            assert!(
+                m <= prev + 1e-12,
+                "marginal must not grow: k={k}, {m} > {prev}"
+            );
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn gain_equals_sum_of_marginals() {
+        let c = LearningCurve::default_prior();
+        let direct = c.gain(10, 5);
+        let summed: f64 = (10..15).map(|k| c.marginal(k)).sum();
+        assert!((direct - summed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_curve_has_zero_gain() {
+        let c = LearningCurve::flat(0.7);
+        assert_eq!(c.predict(0), 0.7);
+        assert_eq!(c.marginal(100), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_parameters() {
+        let truth = LearningCurve {
+            q_inf: 0.95,
+            a: 1.8,
+            b: 1.0,
+        };
+        let points: Vec<QualityPoint> = (1..60)
+            .map(|k| QualityPoint {
+                k,
+                quality: truth.q_inf - truth.a / ((k as f64 + 1.0).sqrt()),
+            })
+            .collect();
+        let fitted = LearningCurve::fit(&points).expect("fit");
+        assert!((fitted.q_inf - truth.q_inf).abs() < 0.02, "{fitted:?}");
+        assert!((fitted.a - truth.a).abs() < 0.05, "{fitted:?}");
+    }
+
+    #[test]
+    fn fit_requires_two_distinct_ks() {
+        assert!(LearningCurve::fit(&[]).is_none());
+        assert!(LearningCurve::fit(&[QualityPoint { k: 3, quality: 0.5 }]).is_none());
+        let same_k = vec![
+            QualityPoint { k: 3, quality: 0.5 },
+            QualityPoint { k: 3, quality: 0.6 },
+        ];
+        assert!(LearningCurve::fit(&same_k).is_none());
+    }
+
+    #[test]
+    fn fit_clamps_declining_series_to_flat() {
+        // Quality falling with k would imply negative marginal gains; the
+        // fit must degrade to a flat curve instead.
+        let points: Vec<QualityPoint> = (1..20)
+            .map(|k| QualityPoint {
+                k,
+                quality: 0.9 - 0.01 * k as f64,
+            })
+            .collect();
+        let fitted = LearningCurve::fit(&points).expect("fit");
+        assert_eq!(fitted.a, 0.0);
+        assert!(fitted.marginal(5) == 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn predict_always_in_unit_interval(
+            kappa in 0.0f64..10.0,
+            k in 0u32..10_000,
+        ) {
+            let c = LearningCurve::from_kappa(kappa);
+            let q = c.predict(k);
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+
+        #[test]
+        fn marginal_never_negative(
+            q_inf in 0.0f64..1.0,
+            a in 0.0f64..5.0,
+            b in 0.0f64..4.0,
+            k in 0u32..1000,
+        ) {
+            let c = LearningCurve { q_inf, a, b };
+            prop_assert!(c.marginal(k) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-resource projected-gain models for budget allocation.
+//!
+//! The OPT allocator needs `Δ_i(x) = q̂_i(c_i + x) − q̂_i(c_i)` for every
+//! resource. Two sources exist:
+//!
+//! * **Oracle** — curves derived analytically from the latent distributions
+//!   (`κ/√k` concentration). This is the "optimal allocation strategy" the
+//!   demo compares against: it knows what no real strategy can know.
+//! * **Fitted** — curves fitted to each resource's observed quality series,
+//!   falling back to a shared prior when the series is too short. This is
+//!   what a deployed iTag can actually compute, and what the Quality
+//!   Manager shows providers as "projected quality gains".
+
+use crate::curve::LearningCurve;
+use crate::history::ResourceQuality;
+use itag_model::vocab::TagDistribution;
+
+/// A bank of per-resource learning curves.
+#[derive(Debug, Clone)]
+pub struct GainEstimator {
+    curves: Vec<LearningCurve>,
+}
+
+impl GainEstimator {
+    /// Oracle curves from latent distributions (one per resource).
+    pub fn oracle(latents: &[TagDistribution]) -> Self {
+        GainEstimator {
+            curves: latents
+                .iter()
+                .map(|l| LearningCurve::from_kappa(l.kappa()))
+                .collect(),
+        }
+    }
+
+    /// `n` copies of the shared prior; call [`GainEstimator::refit`] as
+    /// series accumulate.
+    pub fn with_prior(n: usize, prior: LearningCurve) -> Self {
+        GainEstimator {
+            curves: vec![prior; n],
+        }
+    }
+
+    /// Number of resources covered.
+    pub fn len(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// True when covering no resources.
+    pub fn is_empty(&self) -> bool {
+        self.curves.is_empty()
+    }
+
+    /// Re-fits resource `i`'s curve from its recorded quality series;
+    /// keeps the previous curve when the series cannot be fitted yet.
+    pub fn refit(&mut self, i: usize, state: &ResourceQuality) {
+        if let Some(c) = LearningCurve::fit(state.series()) {
+            self.curves[i] = c;
+        }
+    }
+
+    /// The curve of resource `i`.
+    pub fn curve(&self, i: usize) -> &LearningCurve {
+        &self.curves[i]
+    }
+
+    /// Projected quality of resource `i` after `k` posts.
+    pub fn predict(&self, i: usize, k: u32) -> f64 {
+        self.curves[i].predict(k)
+    }
+
+    /// Projected gain of one more post for resource `i` at count `k`.
+    pub fn marginal(&self, i: usize, k: u32) -> f64 {
+        self.curves[i].marginal(k)
+    }
+
+    /// Planning marginal (unclamped; see
+    /// [`LearningCurve::planning_marginal`]).
+    pub fn planning_marginal(&self, i: usize, k: u32) -> f64 {
+        self.curves[i].planning_marginal(k)
+    }
+
+    /// Projected total gain of spending `budget` optimally (greedy over
+    /// marginals) starting from `counts`; returns `(gain, allocation)`.
+    /// This is the planning core of OPT, exposed here so the Quality
+    /// Manager can show providers the projected effect of added budget.
+    pub fn plan_greedy(&self, counts: &[u32], budget: u32) -> (f64, Vec<u32>) {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Cand {
+            gain: f64,
+            i: usize,
+            k: u32,
+        }
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Max-heap by gain; deterministic tie-break by index.
+                self.gain
+                    .partial_cmp(&other.gain)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.i.cmp(&self.i))
+            }
+        }
+
+        assert_eq!(counts.len(), self.curves.len(), "counts/curves mismatch");
+        let mut alloc = vec![0u32; counts.len()];
+        let mut heap: BinaryHeap<Cand> = (0..counts.len())
+            .map(|i| Cand {
+                gain: self.planning_marginal(i, counts[i]),
+                i,
+                k: counts[i],
+            })
+            .collect();
+        let mut total = 0.0;
+        for _ in 0..budget {
+            let Some(top) = heap.pop() else { break };
+            if top.gain <= 0.0 {
+                break; // nothing left to gain anywhere
+            }
+            // Account the *clamped* (truthful) gain of this unit.
+            total += self.marginal(top.i, top.k);
+            alloc[top.i] += 1;
+            heap.push(Cand {
+                gain: self.planning_marginal(top.i, top.k + 1),
+                i: top.i,
+                k: top.k + 1,
+            });
+        }
+        (total, alloc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itag_model::ids::TagId;
+
+    fn latents() -> Vec<TagDistribution> {
+        vec![
+            // Peaked: converges fast, low κ.
+            TagDistribution::new(vec![(TagId(0), 0.9), (TagId(1), 0.1)]),
+            // Flat over 10 tags: converges slowly, high κ.
+            TagDistribution::new((0..10).map(|i| (TagId(i), 0.1)).collect()),
+        ]
+    }
+
+    #[test]
+    fn oracle_orders_resources_by_convergence_difficulty() {
+        let g = GainEstimator::oracle(&latents());
+        // The flat resource needs more posts to reach the same quality.
+        assert!(g.predict(1, 50) < g.predict(0, 50));
+        assert!(g.curve(1).a > g.curve(0).a);
+    }
+
+    #[test]
+    fn greedy_plan_spends_whole_budget_when_gains_exist() {
+        let g = GainEstimator::oracle(&latents());
+        let (gain, alloc) = g.plan_greedy(&[0, 0], 50);
+        assert_eq!(alloc.iter().sum::<u32>(), 50);
+        assert!(gain > 0.0);
+        // The hard (flat) resource must receive the larger share.
+        assert!(
+            alloc[1] > alloc[0],
+            "flat resource should get more: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_plan_stops_when_no_gain_remains() {
+        let g = GainEstimator::with_prior(3, LearningCurve::flat(0.9));
+        let (gain, alloc) = g.plan_greedy(&[0, 5, 10], 100);
+        assert_eq!(gain, 0.0);
+        assert_eq!(alloc, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_tiny_instance() {
+        let g = GainEstimator::oracle(&latents());
+        let counts = [2u32, 2];
+        let budget = 6u32;
+        let (greedy_gain, _) = g.plan_greedy(&counts, budget);
+        // Exhaustive search over all splits of 6 tasks between 2 resources.
+        let mut best = f64::MIN;
+        for x0 in 0..=budget {
+            let x1 = budget - x0;
+            let gain = g.curve(0).gain(counts[0], x0) + g.curve(1).gain(counts[1], x1);
+            best = best.max(gain);
+        }
+        assert!(
+            (greedy_gain - best).abs() < 1e-9,
+            "greedy {greedy_gain} vs exhaustive {best}"
+        );
+    }
+
+    #[test]
+    fn refit_updates_curve_from_series() {
+        let mut g = GainEstimator::with_prior(1, LearningCurve::default_prior());
+        let mut state = ResourceQuality::new(3);
+        // Build a series that saturates immediately: quality 0.9 at all k.
+        for k in 1..10u32 {
+            state.push_post(&[TagId(0)]);
+            let _ = k;
+            state.record(0.9);
+        }
+        g.refit(0, &state);
+        assert!(g.marginal(0, 20) < LearningCurve::default_prior().marginal(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "counts/curves mismatch")]
+    fn plan_validates_input_shape() {
+        let g = GainEstimator::with_prior(2, LearningCurve::default_prior());
+        let _ = g.plan_greedy(&[0], 1);
+    }
+}

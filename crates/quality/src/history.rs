@@ -1,0 +1,200 @@
+//! Per-resource quality state: the live rfd, a short post ring for lagged
+//! rfd reconstruction, and the recorded quality series.
+//!
+//! Windowed stability needs `rfd` at post count `k − w`. Rather than
+//! snapshotting whole rfds per post, the state keeps the last `max_lag`
+//! posts' tag lists and *subtracts* them from the live rfd on demand —
+//! O(w · tags-per-post) per evaluation, O(w) memory.
+
+use crate::rfd::Rfd;
+use itag_model::ids::TagId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A `(post count, quality)` sample of a resource's quality evolution —
+/// the series behind the project-details chart (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityPoint {
+    pub k: u32,
+    pub quality: f64,
+}
+
+/// Live quality state of one resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceQuality {
+    rfd: Rfd,
+    /// Tag lists of the most recent posts, newest at the back.
+    recent: VecDeque<Vec<TagId>>,
+    max_lag: usize,
+    posts: u32,
+    series: Vec<QualityPoint>,
+}
+
+impl ResourceQuality {
+    /// State able to reconstruct rfds up to `max_lag` posts back.
+    ///
+    /// # Panics
+    /// Panics if `max_lag == 0`; stability needs at least lag 1.
+    pub fn new(max_lag: usize) -> Self {
+        assert!(max_lag >= 1, "max_lag must be at least 1");
+        ResourceQuality {
+            rfd: Rfd::new(),
+            recent: VecDeque::with_capacity(max_lag + 1),
+            max_lag,
+            posts: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Folds in one post.
+    pub fn push_post(&mut self, tags: &[TagId]) {
+        self.rfd.add_tags(tags);
+        self.posts += 1;
+        self.recent.push_back(tags.to_vec());
+        if self.recent.len() > self.max_lag {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Convenience: replay a whole post sequence.
+    pub fn seed_from_posts<'a, I: IntoIterator<Item = &'a [TagId]>>(&mut self, posts: I) {
+        for tags in posts {
+            self.push_post(tags);
+        }
+    }
+
+    /// Number of posts folded in (`k_i`).
+    pub fn posts(&self) -> u32 {
+        self.posts
+    }
+
+    /// The live rfd.
+    pub fn rfd(&self) -> &Rfd {
+        &self.rfd
+    }
+
+    /// Largest reconstructible lag right now.
+    pub fn available_lag(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// The rfd as it was `lag` posts ago (clamped to the available lag).
+    pub fn rfd_at_lag(&self, lag: usize) -> Rfd {
+        let lag = lag.min(self.recent.len());
+        let mut past = self.rfd.clone();
+        for tags in self.recent.iter().rev().take(lag) {
+            past.remove_tags(tags);
+        }
+        past
+    }
+
+    /// Records a quality sample at the current post count.
+    pub fn record(&mut self, quality: f64) {
+        self.series.push(QualityPoint {
+            k: self.posts,
+            quality,
+        });
+    }
+
+    /// The recorded quality series (chronological).
+    pub fn series(&self) -> &[QualityPoint] {
+        &self.series
+    }
+
+    /// Most recently recorded quality, if any.
+    pub fn last_recorded(&self) -> Option<f64> {
+        self.series.last().map(|p| p.quality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tags(xs: &[u32]) -> Vec<TagId> {
+        xs.iter().map(|&x| TagId(x)).collect()
+    }
+
+    #[test]
+    fn lag_reconstruction_matches_replay_from_scratch() {
+        let posts = vec![
+            tags(&[1, 2]),
+            tags(&[1]),
+            tags(&[3, 4, 1]),
+            tags(&[2, 2]), // Post::new would dedupe; Rfd counts raw adds
+            tags(&[5]),
+        ];
+        let mut state = ResourceQuality::new(3);
+        for p in &posts {
+            state.push_post(p);
+        }
+        for lag in 0..=3usize {
+            let lagged = state.rfd_at_lag(lag);
+            let mut expect = Rfd::new();
+            for p in &posts[..posts.len() - lag] {
+                expect.add_tags(p);
+            }
+            assert_eq!(lagged, expect, "lag {lag}");
+        }
+    }
+
+    #[test]
+    fn lag_clamps_to_available_history() {
+        let mut state = ResourceQuality::new(5);
+        state.push_post(&tags(&[1]));
+        let past = state.rfd_at_lag(10);
+        assert!(past.is_empty(), "only one post exists; lag 10 clamps to 1");
+    }
+
+    #[test]
+    fn ring_is_bounded_by_max_lag() {
+        let mut state = ResourceQuality::new(2);
+        for i in 0..100u32 {
+            state.push_post(&tags(&[i % 5]));
+        }
+        assert_eq!(state.available_lag(), 2);
+        assert_eq!(state.posts(), 100);
+        assert_eq!(state.rfd().total(), 100);
+    }
+
+    #[test]
+    fn series_records_in_order() {
+        let mut state = ResourceQuality::new(1);
+        state.push_post(&tags(&[1]));
+        state.record(0.2);
+        state.push_post(&tags(&[1]));
+        state.record(0.5);
+        assert_eq!(state.series().len(), 2);
+        assert_eq!(state.series()[0].k, 1);
+        assert_eq!(state.last_recorded(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_lag_state_rejected() {
+        let _ = ResourceQuality::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn reconstruction_invariant_holds_for_arbitrary_posts(
+            post_tags in proptest::collection::vec(
+                proptest::collection::vec(0u32..8, 1..4), 1..20),
+            max_lag in 1usize..6,
+        ) {
+            let mut state = ResourceQuality::new(max_lag);
+            let posts: Vec<Vec<TagId>> = post_tags.iter().map(|p| tags(p)).collect();
+            for p in &posts {
+                state.push_post(p);
+            }
+            let lag = max_lag.min(posts.len());
+            let lagged = state.rfd_at_lag(lag);
+            let mut expect = Rfd::new();
+            for p in &posts[..posts.len() - lag] {
+                expect.add_tags(p);
+            }
+            prop_assert_eq!(lagged, expect);
+        }
+    }
+}

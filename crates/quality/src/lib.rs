@@ -1,0 +1,61 @@
+//! # itag-quality — tagging-quality metrics
+//!
+//! Implements Section II of the paper: the quality `q_i(k_i)` of a resource
+//! with `k_i` posts, "based on the stability of relative frequency
+//! distributions (rfds) of the tags", and the dataset quality
+//! `q(R, k⃗) = (1/n) Σ q_i(k_i)`.
+//!
+//! Three layers:
+//!
+//! * [`rfd`] — relative frequency distributions and distance kernels;
+//! * [`history`] + [`metric`] — per-resource quality state and the metric
+//!   family (windowed stability — the paper's metric — plus a simulation
+//!   oracle that measures true convergence to the latent distribution);
+//! * [`curve`] + [`gain`] — learning curves `q̂(k) ≈ q∞ − a/√(k+b)` used to
+//!   project marginal quality gains for the OPT allocator and the provider
+//!   feedback screens.
+//!
+//! ```
+//! use itag_model::ids::TagId;
+//! use itag_quality::{QualityMetric, ResourceQuality};
+//!
+//! let metric = QualityMetric::default();
+//! let mut state = ResourceQuality::new(5);
+//! assert_eq!(metric.eval(&state, None), 0.0); // no posts: lowest quality
+//! for _ in 0..10 {
+//!     state.push_post(&[TagId(1), TagId(2)]); // perfectly agreeing crowd
+//! }
+//! assert!(metric.eval(&state, None) > 0.99); // stable rfd: high quality
+//! ```
+
+pub mod aggregate;
+pub mod curve;
+pub mod gain;
+pub mod history;
+pub mod metric;
+pub mod rfd;
+
+pub use aggregate::{QualityHistogram, QualitySummary};
+pub use curve::LearningCurve;
+pub use gain::GainEstimator;
+pub use history::ResourceQuality;
+pub use metric::{QualityMetric, StabilityKernel};
+pub use rfd::Rfd;
+
+/// Dataset-level quality: the mean of per-resource qualities
+/// (`q(R, k⃗)` in the paper).
+pub fn mean_quality(qualities: &[f64]) -> f64 {
+    if qualities.is_empty() {
+        return 0.0;
+    }
+    qualities.iter().sum::<f64>() / qualities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mean_quality_handles_empty_and_values() {
+        assert_eq!(super::mean_quality(&[]), 0.0);
+        assert!((super::mean_quality(&[0.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+}

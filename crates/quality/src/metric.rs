@@ -1,0 +1,406 @@
+//! The quality metric family.
+//!
+//! **Stability** (the paper's metric): how little the rfd moved over the
+//! last `window` posts, measured by a similarity kernel, scaled by a
+//! confidence ramp `min(1, (k−1)/window)` so that a resource cannot look
+//! "stable" before it has at least `window+1` posts. Resources with 0 or 1
+//! posts score 0 — they are exactly the "low tagging quality" resources the
+//! paper's motivation describes.
+//!
+//! **Oracle** (simulation-only): `1 − TV(rfd, latent)`, the true
+//! convergence to the latent distribution. Benchmarks report it alongside
+//! stability to show the stability signal tracks real convergence
+//! (`figures -- convergence`).
+
+use crate::history::ResourceQuality;
+use crate::rfd::Rfd;
+use itag_model::vocab::TagDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Similarity kernel comparing the current rfd to a lagged one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StabilityKernel {
+    /// Cosine similarity of the frequency vectors.
+    Cosine,
+    /// `1 − total variation distance`.
+    OneMinusTv,
+    /// Jaccard similarity of the top-`k` tag sets (coarse but cheap; the
+    /// set of "agreed" tags matters more than exact frequencies).
+    TopKJaccard { k: usize },
+}
+
+impl StabilityKernel {
+    /// Similarity between `now` and `past`, in `[0, 1]`.
+    pub fn similarity(&self, now: &Rfd, past: &Rfd) -> f64 {
+        match self {
+            StabilityKernel::Cosine => now.cosine(past),
+            StabilityKernel::OneMinusTv => 1.0 - now.tv(past),
+            StabilityKernel::TopKJaccard { k } => now.jaccard_top_k(past, *k),
+        }
+    }
+
+    /// Short label used in figures and ablation tables.
+    pub fn label(&self) -> String {
+        match self {
+            StabilityKernel::Cosine => "cosine".to_string(),
+            StabilityKernel::OneMinusTv => "1-tv".to_string(),
+            StabilityKernel::TopKJaccard { k } => format!("jaccard@{k}"),
+        }
+    }
+}
+
+/// A quality metric `q_i(k_i) ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QualityMetric {
+    /// The paper's rfd-stability metric.
+    Stability {
+        /// Lag (in posts) between the compared rfds.
+        window: u32,
+        kernel: StabilityKernel,
+    },
+    /// Stability with exponential smoothing over the recorded series:
+    /// `q = α·raw + (1−α)·previous`. Damps the post-to-post jitter of the
+    /// raw signal so MU's ranking churns less (the DESIGN.md §2 option).
+    SmoothedStability {
+        window: u32,
+        kernel: StabilityKernel,
+        /// Smoothing weight of the *new* observation, in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Ground-truth convergence (needs the latent distribution; simulation
+    /// only).
+    Oracle,
+}
+
+impl Default for QualityMetric {
+    /// `Stability { window: 5, Cosine }` — the configuration used by every
+    /// experiment unless stated otherwise.
+    fn default() -> Self {
+        QualityMetric::Stability {
+            window: 5,
+            kernel: StabilityKernel::Cosine,
+        }
+    }
+}
+
+impl QualityMetric {
+    /// Evaluates the metric on `state`. `latent` is required by
+    /// [`QualityMetric::Oracle`] and ignored by stability.
+    ///
+    /// # Panics
+    /// Panics when `Oracle` is evaluated without a latent distribution —
+    /// that combination is a harness bug, not a runtime condition.
+    pub fn eval(&self, state: &ResourceQuality, latent: Option<&TagDistribution>) -> f64 {
+        match self {
+            QualityMetric::Stability { window, kernel } => {
+                raw_stability(state, *window, *kernel)
+            }
+            QualityMetric::SmoothedStability {
+                window,
+                kernel,
+                alpha,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(alpha) && *alpha > 0.0,
+                    "alpha must be in (0, 1]"
+                );
+                let raw = raw_stability(state, *window, *kernel);
+                match state.last_recorded() {
+                    Some(prev) => (alpha * raw + (1.0 - alpha) * prev).clamp(0.0, 1.0),
+                    None => raw,
+                }
+            }
+            QualityMetric::Oracle => {
+                let latent = latent.expect("Oracle metric requires the latent distribution");
+                if state.posts() == 0 {
+                    return 0.0;
+                }
+                (1.0 - state.rfd().tv_to_latent(latent)).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Instability `1 − q`, the MU strategy's ranking signal.
+    pub fn instability(&self, state: &ResourceQuality, latent: Option<&TagDistribution>) -> f64 {
+        1.0 - self.eval(state, latent)
+    }
+
+    /// Label used in figures and ablation tables.
+    pub fn label(&self) -> String {
+        match self {
+            QualityMetric::Stability { window, kernel } => {
+                format!("stability(w={window},{})", kernel.label())
+            }
+            QualityMetric::SmoothedStability {
+                window,
+                kernel,
+                alpha,
+            } => format!("stability(w={window},{},ewma={alpha})", kernel.label()),
+            QualityMetric::Oracle => "oracle".to_string(),
+        }
+    }
+}
+
+/// Windowed stability with the confidence ramp (the raw paper metric).
+fn raw_stability(state: &ResourceQuality, window: u32, kernel: StabilityKernel) -> f64 {
+    let k = state.posts();
+    if k < 2 {
+        return 0.0;
+    }
+    let lag = (window as usize).min(k as usize - 1);
+    let past = state.rfd_at_lag(lag);
+    let sim = kernel.similarity(state.rfd(), &past);
+    // Confidence ramp: with fewer than window+1 posts the comparison spans
+    // fewer than `window` new posts, so similarity is discounted
+    // proportionally.
+    let confidence = ((k - 1) as f64 / window as f64).min(1.0);
+    (sim * confidence).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itag_model::ids::TagId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tags(xs: &[u32]) -> Vec<TagId> {
+        xs.iter().map(|&x| TagId(x)).collect()
+    }
+
+    fn metric() -> QualityMetric {
+        QualityMetric::Stability {
+            window: 3,
+            kernel: StabilityKernel::Cosine,
+        }
+    }
+
+    #[test]
+    fn zero_and_one_post_score_zero() {
+        let mut state = ResourceQuality::new(3);
+        assert_eq!(metric().eval(&state, None), 0.0);
+        state.push_post(&tags(&[1]));
+        assert_eq!(metric().eval(&state, None), 0.0);
+    }
+
+    #[test]
+    fn identical_posts_converge_to_one_after_window_fills() {
+        let mut state = ResourceQuality::new(3);
+        for _ in 0..10 {
+            state.push_post(&tags(&[1, 2]));
+        }
+        let q = metric().eval(&state, None);
+        assert!((q - 1.0).abs() < 1e-9, "q = {q}");
+    }
+
+    #[test]
+    fn confidence_ramp_discounts_early_posts() {
+        let m = metric();
+        let mut state = ResourceQuality::new(3);
+        state.push_post(&tags(&[1]));
+        state.push_post(&tags(&[1]));
+        // Perfect similarity but only 1 comparison post: q = 1 × (1/3).
+        let q = m.eval(&state, None);
+        assert!((q - 1.0 / 3.0).abs() < 1e-9, "q = {q}");
+    }
+
+    #[test]
+    fn churn_scores_lower_than_agreement() {
+        let m = metric();
+        let mut stable = ResourceQuality::new(3);
+        let mut churn = ResourceQuality::new(3);
+        for i in 0..12u32 {
+            stable.push_post(&tags(&[1, 2]));
+            churn.push_post(&tags(&[i * 2, i * 2 + 1])); // all-new tags each post
+        }
+        assert!(m.eval(&stable, None) > m.eval(&churn, None) + 0.1);
+    }
+
+    #[test]
+    fn oracle_tracks_true_convergence() {
+        let latent = TagDistribution::new(vec![
+            (TagId(0), 0.5),
+            (TagId(1), 0.3),
+            (TagId(2), 0.2),
+        ]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut state = ResourceQuality::new(3);
+        let m = QualityMetric::Oracle;
+        let q_at = |state: &ResourceQuality| m.eval(state, Some(&latent));
+
+        assert_eq!(q_at(&state), 0.0);
+        let mut q5 = 0.0;
+        let mut q500 = 0.0;
+        for k in 1..=500 {
+            state.push_post(&[latent.sample_tag(&mut rng)]);
+            if k == 5 {
+                q5 = q_at(&state);
+            }
+            if k == 500 {
+                q500 = q_at(&state);
+            }
+        }
+        assert!(
+            q500 > q5,
+            "oracle quality must grow with posts: q5={q5}, q500={q500}"
+        );
+        assert!(q500 > 0.9, "after 500 honest posts: {q500}");
+    }
+
+    #[test]
+    fn stability_correlates_with_oracle_under_honest_tagging() {
+        // The load-bearing claim behind MU: the observable stability signal
+        // moves with the unobservable true convergence.
+        let latent = TagDistribution::new(
+            (0..20).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect(),
+        );
+        let stab = QualityMetric::default();
+        let oracle = QualityMetric::Oracle;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut state = ResourceQuality::new(5);
+        let mut pairs = Vec::new();
+        for _ in 0..300 {
+            let n = 1 + (rng.gen_range(0..3u32) as usize);
+            let mut post = Vec::new();
+            for _ in 0..n {
+                post.push(latent.sample_tag(&mut rng));
+            }
+            state.push_post(&post);
+            pairs.push((stab.eval(&state, None), oracle.eval(&state, Some(&latent))));
+        }
+        // Compare mean stability early vs late; both must rise.
+        let early: f64 = pairs[..50].iter().map(|p| p.0).sum::<f64>() / 50.0;
+        let late: f64 = pairs[250..].iter().map(|p| p.0).sum::<f64>() / 50.0;
+        assert!(late > early, "stability should rise: {early} → {late}");
+        let o_early: f64 = pairs[..50].iter().map(|p| p.1).sum::<f64>() / 50.0;
+        let o_late: f64 = pairs[250..].iter().map(|p| p.1).sum::<f64>() / 50.0;
+        assert!(o_late > o_early);
+    }
+
+    #[test]
+    fn all_kernels_stay_in_unit_interval() {
+        let kernels = [
+            StabilityKernel::Cosine,
+            StabilityKernel::OneMinusTv,
+            StabilityKernel::TopKJaccard { k: 5 },
+        ];
+        let mut state = ResourceQuality::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            state.push_post(&tags(&[rng.gen_range(0..10u32)]));
+            for kernel in kernels {
+                let m = QualityMetric::Stability { window: 4, kernel };
+                let q = m.eval(&state, None);
+                assert!((0.0..=1.0).contains(&q), "{} gave {q}", m.label());
+            }
+        }
+    }
+
+    #[test]
+    fn instability_is_complement() {
+        let mut state = ResourceQuality::new(3);
+        for _ in 0..8 {
+            state.push_post(&tags(&[1]));
+        }
+        let m = metric();
+        assert!((m.eval(&state, None) + m.instability(&state, None) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothed_stability_damps_jitter() {
+        let latent = TagDistribution::new(
+            (0..15).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect(),
+        );
+        let raw_metric = QualityMetric::Stability {
+            window: 3,
+            kernel: StabilityKernel::Cosine,
+        };
+        let smooth_metric = QualityMetric::SmoothedStability {
+            window: 3,
+            kernel: StabilityKernel::Cosine,
+            alpha: 0.3,
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        // Two identical states fed the same posts; one records raw, one
+        // records smoothed — then compare the step-to-step variance.
+        let mut raw_state = ResourceQuality::new(3);
+        let mut smooth_state = ResourceQuality::new(3);
+        let mut raw_series = Vec::new();
+        let mut smooth_series = Vec::new();
+        for _ in 0..80 {
+            let post = vec![latent.sample_tag(&mut rng), latent.sample_tag(&mut rng)];
+            raw_state.push_post(&post);
+            smooth_state.push_post(&post);
+            let rq = raw_metric.eval(&raw_state, None);
+            raw_state.record(rq);
+            raw_series.push(rq);
+            let sq = smooth_metric.eval(&smooth_state, None);
+            smooth_state.record(sq);
+            smooth_series.push(sq);
+        }
+        let jitter = |xs: &[f64]| -> f64 {
+            xs.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (xs.len() - 1) as f64
+        };
+        assert!(
+            jitter(&smooth_series) < jitter(&raw_series),
+            "smoothed jitter {} must be below raw {}",
+            jitter(&smooth_series),
+            jitter(&raw_series)
+        );
+        // Both must still converge upward.
+        assert!(smooth_series.last().unwrap() > &0.5);
+    }
+
+    #[test]
+    fn smoothed_equals_raw_on_first_evaluation() {
+        let raw = QualityMetric::Stability {
+            window: 3,
+            kernel: StabilityKernel::Cosine,
+        };
+        let smooth = QualityMetric::SmoothedStability {
+            window: 3,
+            kernel: StabilityKernel::Cosine,
+            alpha: 0.5,
+        };
+        let mut state = ResourceQuality::new(3);
+        state.push_post(&tags(&[1]));
+        state.push_post(&tags(&[1]));
+        // No recorded history: the smoothed value falls back to raw.
+        assert_eq!(raw.eval(&state, None), smooth.eval(&state, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn smoothed_rejects_bad_alpha() {
+        let m = QualityMetric::SmoothedStability {
+            window: 3,
+            kernel: StabilityKernel::Cosine,
+            alpha: 0.0,
+        };
+        let state = ResourceQuality::new(3);
+        let _ = m.eval(&state, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the latent")]
+    fn oracle_without_latent_panics() {
+        let state = ResourceQuality::new(2);
+        let _ = QualityMetric::Oracle.eval(&state, None);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(QualityMetric::default().label(), "stability(w=5,cosine)");
+        assert_eq!(QualityMetric::Oracle.label(), "oracle");
+        assert_eq!(
+            QualityMetric::Stability {
+                window: 2,
+                kernel: StabilityKernel::TopKJaccard { k: 7 }
+            }
+            .label(),
+            "stability(w=2,jaccard@7)"
+        );
+    }
+
+    use rand::Rng;
+}

@@ -1,0 +1,322 @@
+//! Relative frequency distributions (rfds).
+//!
+//! The rfd of a resource after `k` posts assigns each tag the fraction of
+//! tag occurrences it received: `f(t) = count(t) / Σ_t count(t)`. Quality
+//! metrics compare rfds at different points of the post sequence (and, in
+//! simulation, against the latent truth).
+
+use itag_model::ids::TagId;
+use itag_model::vocab::TagDistribution;
+use itag_store::codec::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A tag-count multiset with O(1) frequency queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Rfd {
+    counts: FxHashMap<TagId, u32>,
+    total: u64,
+}
+
+impl Rfd {
+    /// An empty rfd (no posts yet).
+    pub fn new() -> Self {
+        Rfd::default()
+    }
+
+    /// Folds one post's tags in.
+    pub fn add_tags(&mut self, tags: &[TagId]) {
+        for &t in tags {
+            *self.counts.entry(t).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Removes one post's tags (used to reconstruct a lagged rfd).
+    ///
+    /// # Panics
+    /// Panics if a tag was never added — that means the caller's post log
+    /// and this rfd have diverged, which is a logic error.
+    pub fn remove_tags(&mut self, tags: &[TagId]) {
+        for &t in tags {
+            let c = self
+                .counts
+                .get_mut(&t)
+                .unwrap_or_else(|| panic!("removing tag {t} that was never added"));
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&t);
+            }
+            self.total -= 1;
+        }
+    }
+
+    /// Occurrences of `tag`.
+    pub fn count(&self, tag: TagId) -> u32 {
+        self.counts.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency of `tag` (0 when the rfd is empty).
+    pub fn freq(&self, tag: TagId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(tag) as f64 / self.total as f64
+        }
+    }
+
+    /// Total tag occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct tags.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no tags have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// `(tag, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, u32)> + '_ {
+        self.counts.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// The `k` most frequent tags (count desc, id asc for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<TagId> {
+        let mut pairs: Vec<(TagId, u32)> = self.iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs.into_iter().map(|(t, _)| t).collect()
+    }
+
+    /// Cosine similarity of the two frequency vectors, in `[0, 1]`.
+    /// Zero if either rfd is empty.
+    pub fn cosine(&self, other: &Rfd) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let mut dot = 0.0;
+        for (t, c) in self.iter() {
+            let f1 = c as f64 / self.total as f64;
+            let f2 = other.freq(t);
+            dot += f1 * f2;
+        }
+        let n1: f64 = self
+            .iter()
+            .map(|(_, c)| {
+                let f = c as f64 / self.total as f64;
+                f * f
+            })
+            .sum::<f64>()
+            .sqrt();
+        let n2: f64 = other
+            .iter()
+            .map(|(_, c)| {
+                let f = c as f64 / other.total as f64;
+                f * f
+            })
+            .sum::<f64>()
+            .sqrt();
+        (dot / (n1 * n2)).clamp(0.0, 1.0)
+    }
+
+    /// Total-variation distance `½ Σ_t |f₁(t) − f₂(t)|`, in `[0, 1]`.
+    /// Defined as 1 when exactly one side is empty, 0 when both are.
+    pub fn tv(&self, other: &Rfd) -> f64 {
+        match (self.total, other.total) {
+            (0, 0) => return 0.0,
+            (0, _) | (_, 0) => return 1.0,
+            _ => {}
+        }
+        let mut acc = 0.0;
+        for (t, c) in self.iter() {
+            let f1 = c as f64 / self.total as f64;
+            acc += (f1 - other.freq(t)).abs();
+        }
+        // Tags present only in `other`.
+        for (t, c) in other.iter() {
+            if self.count(t) == 0 {
+                acc += c as f64 / other.total as f64;
+            }
+        }
+        (acc / 2.0).clamp(0.0, 1.0)
+    }
+
+    /// Total-variation distance to a latent [`TagDistribution`]
+    /// (simulation oracle). 1 when the rfd is empty.
+    pub fn tv_to_latent(&self, latent: &TagDistribution) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let mut acc = 0.0;
+        for (t, p) in latent.iter() {
+            acc += (self.freq(t) - p).abs();
+        }
+        // Observed tags outside the latent support (noise).
+        for (t, c) in self.iter() {
+            if latent.prob(t) == 0.0 {
+                acc += c as f64 / self.total as f64;
+            }
+        }
+        (acc / 2.0).clamp(0.0, 1.0)
+    }
+
+    /// Jaccard similarity of the two top-`k` tag sets, in `[0, 1]`.
+    pub fn jaccard_top_k(&self, other: &Rfd, k: usize) -> f64 {
+        let a = self.top_k(k);
+        let b = other.top_k(k);
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.iter().filter(|t| b.contains(t)).count();
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rfd_of(tags: &[u32]) -> Rfd {
+        let mut r = Rfd::new();
+        r.add_tags(&tags.iter().map(|&t| TagId(t)).collect::<Vec<_>>());
+        r
+    }
+
+    #[test]
+    fn counts_and_freqs() {
+        let r = rfd_of(&[1, 1, 2, 3]);
+        assert_eq!(r.count(TagId(1)), 2);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.distinct(), 3);
+        assert!((r.freq(TagId(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.freq(TagId(9)), 0.0);
+    }
+
+    #[test]
+    fn remove_undoes_add_exactly() {
+        let mut r = rfd_of(&[1, 1, 2]);
+        r.remove_tags(&[TagId(1), TagId(2)]);
+        assert_eq!(r.count(TagId(1)), 1);
+        assert_eq!(r.count(TagId(2)), 0);
+        assert_eq!(r.total(), 1);
+        assert_eq!(r.distinct(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never added")]
+    fn removing_unknown_tag_panics() {
+        let mut r = rfd_of(&[1]);
+        r.remove_tags(&[TagId(7)]);
+    }
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let r = rfd_of(&[1, 1, 2]);
+        assert!((r.cosine(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_is_zero() {
+        let a = rfd_of(&[1, 2]);
+        let b = rfd_of(&[3, 4]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(a.cosine(&Rfd::new()), 0.0);
+    }
+
+    #[test]
+    fn tv_known_value() {
+        // f1 = {1: .5, 2: .5}, f2 = {1: 1.0} → TV = ½(|.5−1| + .5) = .5
+        let a = rfd_of(&[1, 2]);
+        let b = rfd_of(&[1]);
+        assert!((a.tv(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_empty_conventions() {
+        let e = Rfd::new();
+        let r = rfd_of(&[1]);
+        assert_eq!(e.tv(&e), 0.0);
+        assert_eq!(e.tv(&r), 1.0);
+        assert_eq!(r.tv(&e), 1.0);
+    }
+
+    #[test]
+    fn tv_to_latent_decreases_with_matching_counts() {
+        let latent = TagDistribution::new(vec![(TagId(1), 0.5), (TagId(2), 0.5)]);
+        let close = rfd_of(&[1, 2, 1, 2]);
+        let far = rfd_of(&[1, 1, 1, 1]);
+        assert!(close.tv_to_latent(&latent) < far.tv_to_latent(&latent));
+        assert_eq!(Rfd::new().tv_to_latent(&latent), 1.0);
+    }
+
+    #[test]
+    fn tv_to_latent_counts_noise_outside_support() {
+        let latent = TagDistribution::new(vec![(TagId(1), 1.0)]);
+        let noisy = rfd_of(&[1, 99]);
+        // f = {1: .5, 99: .5}; TV = ½(|.5−1| + .5) = .5
+        assert!((noisy.tv_to_latent(&latent) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_ties() {
+        let r = rfd_of(&[5, 3, 5, 3, 1]);
+        assert_eq!(r.top_k(2), vec![TagId(3), TagId(5)]);
+        assert_eq!(r.top_k(0), Vec::<TagId>::new());
+    }
+
+    #[test]
+    fn jaccard_top_k_cases() {
+        let a = rfd_of(&[1, 2, 3]);
+        let b = rfd_of(&[2, 3, 4]);
+        // top-3 sets {1,2,3} vs {2,3,4}: |∩| = 2, |∪| = 4.
+        assert!((a.jaccard_top_k(&b, 3) - 0.5).abs() < 1e-12);
+        assert_eq!(Rfd::new().jaccard_top_k(&Rfd::new(), 3), 0.0);
+        assert!((a.jaccard_top_k(&a, 3) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn tv_is_a_bounded_symmetric_metric(
+            xs in proptest::collection::vec(0u32..20, 1..40),
+            ys in proptest::collection::vec(0u32..20, 1..40),
+        ) {
+            let a = rfd_of(&xs);
+            let b = rfd_of(&ys);
+            let d = a.tv(&b);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert!((a.tv(&b) - b.tv(&a)).abs() < 1e-12);
+            prop_assert!(a.tv(&a) < 1e-12);
+        }
+
+        #[test]
+        fn cosine_is_bounded_and_symmetric(
+            xs in proptest::collection::vec(0u32..20, 1..40),
+            ys in proptest::collection::vec(0u32..20, 1..40),
+        ) {
+            let a = rfd_of(&xs);
+            let b = rfd_of(&ys);
+            let c = a.cosine(&b);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!((a.cosine(&b) - b.cosine(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn add_then_remove_is_identity(
+            base in proptest::collection::vec(0u32..10, 1..30),
+            extra in proptest::collection::vec(0u32..10, 1..10),
+        ) {
+            let before = rfd_of(&base);
+            let mut after = before.clone();
+            let extra_tags: Vec<TagId> = extra.iter().map(|&t| TagId(t)).collect();
+            after.add_tags(&extra_tags);
+            after.remove_tags(&extra_tags);
+            prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! The [`Store`]: ordered key/value tables + WAL + snapshots.
+//!
+//! Concurrency model: multi-reader / single-writer behind a
+//! `parking_lot::RwLock`, matching how the iTag engine uses storage (one
+//! allocation loop writes; monitoring endpoints read). Reads return
+//! [`bytes::Bytes`] so monitors copy nothing.
+
+use crate::error::{Result, StoreError};
+use crate::txn::{Op, WalEntry, WriteBatch};
+use crate::{serbin, snapshot, wal, TableId};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How hard the store tries to make each commit durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Pure in-memory operation; no files at all. Used by simulations and
+    /// benches where the dataset is regenerated per run.
+    InMemory,
+    /// WAL appends are flushed to the OS per commit but not fsynced; a
+    /// process crash loses nothing, a power failure may lose the tail.
+    Buffered,
+    /// WAL appends are fsynced per commit.
+    Sync,
+}
+
+/// Tuning knobs for [`Store::open`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    pub durability: Durability,
+    /// Auto-checkpoint after this many committed batches (0 = manual only).
+    pub checkpoint_every: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            durability: Durability::Buffered,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// Monotonic operation counters (cheap, lock-free reads).
+#[derive(Debug, Default)]
+struct Counters {
+    gets: AtomicU64,
+    scans: AtomicU64,
+    commits: AtomicU64,
+    ops_applied: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+/// A point-in-time view of store activity and size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    pub gets: u64,
+    pub scans: u64,
+    pub commits: u64,
+    pub ops_applied: u64,
+    pub checkpoints: u64,
+    pub tables: usize,
+    pub keys: usize,
+    /// Entries replayed from the WAL during the last open.
+    pub recovered_entries: u64,
+    /// True if the last open had to drop a torn WAL tail.
+    pub recovered_torn_tail: bool,
+}
+
+struct Inner {
+    tables: BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>>,
+    wal: Option<wal::Wal>,
+    next_lsn: u64,
+    dir: Option<PathBuf>,
+    opts: StoreOptions,
+    commits_since_checkpoint: u64,
+    recovered_entries: u64,
+    recovered_torn_tail: bool,
+}
+
+/// The storage engine. See module docs.
+pub struct Store {
+    inner: RwLock<Inner>,
+    counters: Counters,
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("db.wal")
+}
+
+fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("db.snp")
+}
+
+impl Store {
+    /// An ephemeral store with no durability (no files are touched).
+    pub fn in_memory() -> Self {
+        Store {
+            inner: RwLock::new(Inner {
+                tables: BTreeMap::new(),
+                wal: None,
+                next_lsn: 1,
+                dir: None,
+                opts: StoreOptions {
+                    durability: Durability::InMemory,
+                    checkpoint_every: 0,
+                },
+                commits_since_checkpoint: 0,
+                recovered_entries: 0,
+                recovered_torn_tail: false,
+            }),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Opens (or creates) a durable store in `dir`, running recovery:
+    /// load the snapshot if present, then replay WAL entries past it.
+    pub fn open(dir: &Path, opts: StoreOptions) -> Result<Self> {
+        if opts.durability == Durability::InMemory {
+            return Ok(Store::in_memory());
+        }
+        std::fs::create_dir_all(dir)?;
+
+        let mut tables: BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>> = BTreeMap::new();
+        let mut last_lsn = 0u64;
+        if let Some(snap) = snapshot::read(&snapshot_path(dir))? {
+            last_lsn = snap.last_lsn;
+            for dump in snap.tables {
+                let table = tables.entry(dump.table).or_default();
+                for (k, v) in dump.entries {
+                    table.insert(k, Bytes::from(v));
+                }
+            }
+        }
+
+        let scan = wal::scan(&wal_path(dir))?;
+        let mut recovered = 0u64;
+        for frame in &scan.frames {
+            let entry: WalEntry = serbin::from_bytes(frame)
+                .map_err(|e| StoreError::Corrupt(format!("undecodable WAL entry: {e}")))?;
+            if entry.lsn <= last_lsn {
+                continue; // already folded into the snapshot
+            }
+            last_lsn = entry.lsn;
+            apply_ops(&mut tables, &entry.ops);
+            recovered += 1;
+        }
+
+        let wal = wal::Wal::open_for_append(&wal_path(dir), scan.valid_len).or_else(|_| {
+            // No WAL yet (fresh dir): create one.
+            wal::Wal::create(&wal_path(dir))
+        })?;
+
+        Ok(Store {
+            inner: RwLock::new(Inner {
+                tables,
+                wal: Some(wal),
+                next_lsn: last_lsn + 1,
+                dir: Some(dir.to_path_buf()),
+                opts,
+                commits_since_checkpoint: 0,
+                recovered_entries: recovered,
+                recovered_torn_tail: scan.truncated_tail,
+            }),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Commits a batch atomically: one WAL frame, then apply to memtables.
+    pub fn commit(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let entry = WalEntry {
+            lsn,
+            ops: batch.ops,
+        };
+
+        if inner.wal.is_some() {
+            let payload = serbin::to_bytes(&entry)?;
+            let durability = inner.opts.durability;
+            let w = inner.wal.as_mut().expect("checked above");
+            w.append(&payload)?;
+            match durability {
+                Durability::Sync => w.sync()?,
+                Durability::Buffered => w.flush()?,
+                Durability::InMemory => unreachable!("in-memory store has no WAL"),
+            }
+        }
+
+        let applied = entry.ops.len() as u64;
+        apply_ops(&mut inner.tables, &entry.ops);
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        self.counters.ops_applied.fetch_add(applied, Ordering::Relaxed);
+
+        inner.commits_since_checkpoint += 1;
+        let auto = inner.opts.checkpoint_every;
+        if auto > 0 && inner.commits_since_checkpoint >= auto && inner.wal.is_some() {
+            self.checkpoint_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Single-key put (a one-op batch).
+    pub fn put(&self, table: TableId, key: Vec<u8>, value: Vec<u8>) -> Result<()> {
+        let mut b = WriteBatch::with_capacity(1);
+        b.put(table, key, value);
+        self.commit(b)
+    }
+
+    /// Single-key delete (a one-op batch).
+    pub fn delete(&self, table: TableId, key: Vec<u8>) -> Result<()> {
+        let mut b = WriteBatch::with_capacity(1);
+        b.delete(table, key);
+        self.commit(b)
+    }
+
+    /// Point lookup. The returned [`Bytes`] is a zero-copy handle.
+    pub fn get(&self, table: TableId, key: &[u8]) -> Result<Option<Bytes>> {
+        self.counters.gets.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read();
+        Ok(inner.tables.get(&table).and_then(|t| t.get(key)).cloned())
+    }
+
+    /// True if `key` exists in `table`.
+    pub fn contains(&self, table: TableId, key: &[u8]) -> bool {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(&table)
+            .map(|t| t.contains_key(key))
+            .unwrap_or(false)
+    }
+
+    /// All pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, table: TableId, prefix: &[u8]) -> Vec<(Vec<u8>, Bytes)> {
+        self.counters.scans.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read();
+        let Some(t) = inner.tables.get(&table) else {
+            return Vec::new();
+        };
+        t.range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Pairs in `[from, to)` (`to = None` means unbounded), in key order.
+    pub fn scan_range(
+        &self,
+        table: TableId,
+        from: &[u8],
+        to: Option<&[u8]>,
+    ) -> Vec<(Vec<u8>, Bytes)> {
+        self.counters.scans.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read();
+        let Some(t) = inner.tables.get(&table) else {
+            return Vec::new();
+        };
+        let upper = match to {
+            Some(end) => Bound::Excluded(end),
+            None => Bound::Unbounded,
+        };
+        t.range::<[u8], _>((Bound::Included(from), upper))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Every pair in `table`, in key order.
+    pub fn scan_all(&self, table: TableId) -> Vec<(Vec<u8>, Bytes)> {
+        self.scan_range(table, &[], None)
+    }
+
+    /// Number of keys in `table`.
+    pub fn count(&self, table: TableId) -> usize {
+        let inner = self.inner.read();
+        inner.tables.get(&table).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// The largest key in `table` (used to resume id counters on reopen).
+    pub fn last_key(&self, table: TableId) -> Option<Vec<u8>> {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .get(&table)
+            .and_then(|t| t.keys().next_back().cloned())
+    }
+
+    /// Writes a snapshot of every table and starts a fresh WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.wal.is_none() {
+            return Err(StoreError::NotDurable);
+        }
+        self.checkpoint_locked(&mut inner)
+    }
+
+    fn checkpoint_locked(&self, inner: &mut Inner) -> Result<()> {
+        let dir = inner.dir.clone().ok_or(StoreError::NotDurable)?;
+        let snap = snapshot::Snapshot {
+            last_lsn: inner.next_lsn - 1,
+            tables: inner
+                .tables
+                .iter()
+                .map(|(id, t)| snapshot::TableDump {
+                    table: *id,
+                    entries: t.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect(),
+                })
+                .collect(),
+        };
+        // Make sure every WAL frame covered by the snapshot is on disk
+        // before the snapshot replaces them.
+        if let Some(w) = inner.wal.as_mut() {
+            w.sync()?;
+        }
+        snapshot::write(&snapshot_path(&dir), &snap)?;
+        inner.wal = Some(wal::Wal::create(&wal_path(&dir))?);
+        inner.commits_since_checkpoint = 0;
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the WAL regardless of the durability level.
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if let Some(w) = inner.wal.as_mut() {
+            w.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Activity and size counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.read();
+        StoreStats {
+            gets: self.counters.gets.load(Ordering::Relaxed),
+            scans: self.counters.scans.load(Ordering::Relaxed),
+            commits: self.counters.commits.load(Ordering::Relaxed),
+            ops_applied: self.counters.ops_applied.load(Ordering::Relaxed),
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            tables: inner.tables.len(),
+            keys: inner.tables.values().map(|t| t.len()).sum(),
+            recovered_entries: inner.recovered_entries,
+            recovered_torn_tail: inner.recovered_torn_tail,
+        }
+    }
+
+    /// True when the store persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().wal.is_some()
+    }
+}
+
+fn apply_ops(tables: &mut BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Put { table, key, value } => {
+                tables
+                    .entry(*table)
+                    .or_default()
+                    .insert(key.clone(), Bytes::from(value.clone()));
+            }
+            Op::Delete { table, key } => {
+                if let Some(t) = tables.get_mut(table) {
+                    t.remove(key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    const T1: TableId = TableId(1);
+    const T2: TableId = TableId(2);
+
+    #[test]
+    fn in_memory_crud() {
+        let s = Store::in_memory();
+        s.put(T1, b"a".to_vec(), b"1".to_vec()).unwrap();
+        s.put(T1, b"b".to_vec(), b"2".to_vec()).unwrap();
+        assert_eq!(s.get(T1, b"a").unwrap().unwrap().as_ref(), b"1");
+        assert!(s.get(T2, b"a").unwrap().is_none());
+        s.put(T1, b"a".to_vec(), b"9".to_vec()).unwrap();
+        assert_eq!(s.get(T1, b"a").unwrap().unwrap().as_ref(), b"9");
+        s.delete(T1, b"a".to_vec()).unwrap();
+        assert!(s.get(T1, b"a").unwrap().is_none());
+        assert_eq!(s.count(T1), 1);
+    }
+
+    #[test]
+    fn scans_are_ordered_and_bounded() {
+        let s = Store::in_memory();
+        for i in [5u8, 1, 9, 3, 7] {
+            s.put(T1, vec![i], vec![i * 10]).unwrap();
+        }
+        let all = s.scan_all(T1);
+        let keys: Vec<u8> = all.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+
+        let mid = s.scan_range(T1, &[3], Some(&[8]));
+        let keys: Vec<u8> = mid.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn prefix_scan_stops_at_prefix_end() {
+        let s = Store::in_memory();
+        s.put(T1, b"ab1".to_vec(), vec![]).unwrap();
+        s.put(T1, b"ab2".to_vec(), vec![]).unwrap();
+        s.put(T1, b"ac0".to_vec(), vec![]).unwrap();
+        let hits = s.scan_prefix(T1, b"ab");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn batch_commit_is_atomic_across_tables() {
+        let s = Store::in_memory();
+        let mut b = WriteBatch::new();
+        b.put(T1, b"k".to_vec(), b"v".to_vec());
+        b.put(T2, b"idx".to_vec(), b"k".to_vec());
+        s.commit(b).unwrap();
+        assert!(s.contains(T1, b"k"));
+        assert!(s.contains(T2, b"idx"));
+        assert_eq!(s.stats().commits, 1);
+        assert_eq!(s.stats().ops_applied, 2);
+    }
+
+    #[test]
+    fn durable_store_recovers_from_wal() {
+        let dir = TestDir::new("db-recover");
+        {
+            let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+            s.put(T1, b"x".to_vec(), b"1".to_vec()).unwrap();
+            s.put(T1, b"y".to_vec(), b"2".to_vec()).unwrap();
+            s.delete(T1, b"x".to_vec()).unwrap();
+            s.sync().unwrap();
+        }
+        let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert!(s.get(T1, b"x").unwrap().is_none());
+        assert_eq!(s.get(T1, b"y").unwrap().unwrap().as_ref(), b"2");
+        assert_eq!(s.stats().recovered_entries, 3);
+    }
+
+    #[test]
+    fn checkpoint_then_recover_uses_snapshot_plus_tail() {
+        let dir = TestDir::new("db-ckpt");
+        {
+            let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+            for i in 0..10u8 {
+                s.put(T1, vec![i], vec![i]).unwrap();
+            }
+            s.checkpoint().unwrap();
+            // Post-checkpoint writes land in the fresh WAL.
+            s.put(T1, vec![100], vec![100]).unwrap();
+            s.sync().unwrap();
+        }
+        let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert_eq!(s.count(T1), 11);
+        // Only the post-checkpoint entry should have been replayed.
+        assert_eq!(s.stats().recovered_entries, 1);
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_only_the_torn_batch() {
+        let dir = TestDir::new("db-torn");
+        {
+            let s = Store::open(
+                dir.path(),
+                StoreOptions {
+                    durability: Durability::Sync,
+                    checkpoint_every: 0,
+                },
+            )
+            .unwrap();
+            s.put(T1, b"keep".to_vec(), b"1".to_vec()).unwrap();
+            s.put(T1, b"lost".to_vec(), b"2".to_vec()).unwrap();
+        }
+        // Tear the last frame.
+        let wal = dir.path().join("db.wal");
+        let data = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &data[..data.len() - 2]).unwrap();
+
+        let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert!(s.contains(T1, b"keep"));
+        assert!(!s.contains(T1, b"lost"));
+        assert!(s.stats().recovered_torn_tail);
+
+        // The store keeps working after tail truncation.
+        s.put(T1, b"new".to_vec(), b"3".to_vec()).unwrap();
+        s.sync().unwrap();
+        let s2 = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert!(s2.contains(T1, b"new"));
+    }
+
+    #[test]
+    fn auto_checkpoint_triggers() {
+        let dir = TestDir::new("db-auto");
+        let s = Store::open(
+            dir.path(),
+            StoreOptions {
+                durability: Durability::Buffered,
+                checkpoint_every: 5,
+            },
+        )
+        .unwrap();
+        for i in 0..12u8 {
+            s.put(T1, vec![i], vec![i]).unwrap();
+        }
+        assert_eq!(s.stats().checkpoints, 2);
+        drop(s);
+        let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert_eq!(s.count(T1), 12);
+    }
+
+    #[test]
+    fn empty_batch_commit_is_a_noop() {
+        let s = Store::in_memory();
+        s.commit(WriteBatch::new()).unwrap();
+        assert_eq!(s.stats().commits, 0);
+    }
+
+    #[test]
+    fn checkpoint_on_in_memory_store_is_rejected() {
+        let s = Store::in_memory();
+        assert!(matches!(s.checkpoint(), Err(StoreError::NotDurable)));
+    }
+
+    #[test]
+    fn concurrent_readers_with_writer() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::in_memory());
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    s.put(T1, i.to_be_bytes().to_vec(), vec![1]).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..200 {
+                        let n = s.count(T1);
+                        assert!(n >= last, "count must be monotone under puts");
+                        last = n;
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(s.count(T1), 1000);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by every layer of the storage engine.
+
+use crate::TableId;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A WAL frame or snapshot failed its integrity check. Recovery treats a
+    /// corrupt *tail* frame as a torn write and truncates; corruption in the
+    /// middle of the log is reported through this variant.
+    Corrupt(String),
+    /// Encoding or decoding of a record failed.
+    Codec(String),
+    /// A durable operation was attempted on an in-memory store.
+    NotDurable,
+    /// The requested key does not exist.
+    NotFound { table: TableId, key: Vec<u8> },
+    /// A uniqueness constraint on a typed table or index was violated.
+    Conflict(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corruption detected: {m}"),
+            StoreError::Codec(m) => write!(f, "codec error: {m}"),
+            StoreError::NotDurable => write!(f, "operation requires a durable (on-disk) store"),
+            StoreError::NotFound { table, key } => {
+                write!(f, "key {key:02x?} not found in {table}")
+            }
+            StoreError::Conflict(m) => write!(f, "constraint violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<crate::serbin::CodecError> for StoreError {
+    fn from(e: crate::serbin::CodecError) -> Self {
+        StoreError::Codec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = StoreError::NotFound {
+            table: TableId(7),
+            key: vec![0xAB],
+        };
+        let s = e.to_string();
+        assert!(s.contains("table#7"), "{s}");
+        assert!(s.contains("ab") || s.contains("AB"), "{s}");
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let e: StoreError = std::io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn corrupt_display() {
+        let e = StoreError::Corrupt("bad crc".into());
+        assert!(e.to_string().contains("bad crc"));
+    }
+}

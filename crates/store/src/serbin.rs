@@ -1,0 +1,864 @@
+//! `serbin` — a compact, non-self-describing serde binary format.
+//!
+//! The sanctioned dependency set includes `serde` but no serde *format*
+//! crate, so the engine carries its own: a bincode-style encoding used for
+//! WAL records, snapshots and dataset exports.
+//!
+//! Encoding rules:
+//!
+//! * `u8` → 1 raw byte; `u16`/`u32`/`u64`/`usize` → unsigned LEB128 varint;
+//! * signed integers → zig-zag + varint; `u128`/`i128` → 16 bytes LE;
+//! * `f32`/`f64` → IEEE-754 bits, little-endian, fixed width;
+//! * `bool` → 1 byte (0/1); `char` → varint of the scalar value;
+//! * strings and byte slices → varint length + raw bytes;
+//! * `Option` → 1-byte tag (0 = `None`, 1 = `Some`) + value;
+//! * sequences and maps → varint length + elements (length must be known);
+//! * tuples and structs → fields in order, no framing;
+//! * enums → varint variant index + variant payload.
+//!
+//! The format is not self-describing: decoding requires the same type that
+//! produced the bytes. That is exactly the WAL/snapshot use case, and it
+//! keeps records small and encoding branch-free.
+
+use crate::codec::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode};
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+/// Error raised while encoding or decoding `serbin` bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serbin: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+/// Serializes `value` into a fresh byte vector.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(64);
+    to_writer(&mut out, value)?;
+    Ok(out)
+}
+
+/// Serializes `value`, appending to an existing buffer (lets callers reuse
+/// a workhorse allocation across many records).
+pub fn to_writer<T: Serialize + ?Sized>(out: &mut Vec<u8>, value: &T) -> Result<()> {
+    let mut ser = BinSerializer { out };
+    value.serialize(&mut ser)
+}
+
+/// Decodes a value of type `T`, requiring that all input bytes are consumed.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let mut de = BinDeserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after value",
+            de.input.len()
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+struct BinSerializer<'w> {
+    out: &'w mut Vec<u8>,
+}
+
+struct Compound<'a, 'w> {
+    ser: &'a mut BinSerializer<'w>,
+}
+
+impl<'a, 'w> ser::Serializer for &'a mut BinSerializer<'w> {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Compound<'a, 'w>;
+    type SerializeTuple = Compound<'a, 'w>;
+    type SerializeTupleStruct = Compound<'a, 'w>;
+    type SerializeTupleVariant = Compound<'a, 'w>;
+    type SerializeMap = Compound<'a, 'w>;
+    type SerializeStruct = Compound<'a, 'w>;
+    type SerializeStructVariant = Compound<'a, 'w>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        write_uvarint(self.out, zigzag_encode(v));
+        Ok(())
+    }
+    fn serialize_i128(self, v: i128) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<()> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<()> {
+        write_uvarint(self.out, v as u64);
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<()> {
+        write_uvarint(self.out, v as u64);
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        write_uvarint(self.out, v);
+        Ok(())
+    }
+    fn serialize_u128(self, v: u128) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<()> {
+        write_uvarint(self.out, v as u64);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.serialize_bytes(v.as_bytes())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        write_uvarint(self.out, v.len() as u64);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        write_uvarint(self.out, variant_index as u64);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        write_uvarint(self.out, variant_index as u64);
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq> {
+        let len = len.ok_or_else(|| CodecError("sequences must have a known length".into()))?;
+        write_uvarint(self.out, len as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant> {
+        write_uvarint(self.out, variant_index as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap> {
+        let len = len.ok_or_else(|| CodecError("maps must have a known length".into()))?;
+        write_uvarint(self.out, len as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self::SerializeStruct> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant> {
+        write_uvarint(self.out, variant_index as u64);
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! impl_compound {
+    ($trait:ident, $method:ident) => {
+        impl ser::$trait for Compound<'_, '_> {
+            type Ok = ();
+            type Error = CodecError;
+
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+                value.serialize(&mut *self.ser)
+            }
+
+            fn end(self) -> Result<()> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound!(SerializeSeq, serialize_element);
+impl_compound!(SerializeTuple, serialize_element);
+impl_compound!(SerializeTupleStruct, serialize_field);
+impl_compound!(SerializeTupleVariant, serialize_field);
+
+impl ser::SerializeMap for Compound<'_, '_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = CodecError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+struct BinDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> BinDeserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.input.len() < n {
+            return Err(CodecError(format!(
+                "unexpected end of input: need {n} bytes, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_uvarint(&mut self) -> Result<u64> {
+        let (v, rest) =
+            read_uvarint(self.input).ok_or_else(|| CodecError("bad varint".into()))?;
+        self.input = rest;
+        Ok(v)
+    }
+
+    fn read_ivarint(&mut self) -> Result<i64> {
+        Ok(zigzag_decode(self.read_uvarint()?))
+    }
+
+    fn read_len(&mut self) -> Result<usize> {
+        let v = self.read_uvarint()?;
+        // A length can never exceed the remaining input; reject early so a
+        // corrupt length cannot trigger a huge allocation.
+        if v > self.input.len() as u64 {
+            return Err(CodecError(format!(
+                "declared length {v} exceeds remaining input {}",
+                self.input.len()
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn read_bytes(&mut self) -> Result<&'de [u8]> {
+        let len = self.read_len()?;
+        self.take(len)
+    }
+}
+
+macro_rules! de_signed {
+    ($fn:ident, $visit:ident, $ty:ty) => {
+        fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let v = self.read_ivarint()?;
+            let narrowed = <$ty>::try_from(v)
+                .map_err(|_| CodecError(format!("value {v} out of range for {}", stringify!($ty))))?;
+            visitor.$visit(narrowed)
+        }
+    };
+}
+
+macro_rules! de_unsigned {
+    ($fn:ident, $visit:ident, $ty:ty) => {
+        fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            let v = self.read_uvarint()?;
+            let narrowed = <$ty>::try_from(v)
+                .map_err(|_| CodecError(format!("value {v} out of range for {}", stringify!($ty))))?;
+            visitor.$visit(narrowed)
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CodecError("serbin is not self-describing".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.read_u8()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(CodecError(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    de_signed!(deserialize_i8, visit_i8, i8);
+    de_signed!(deserialize_i16, visit_i16, i16);
+    de_signed!(deserialize_i32, visit_i32, i32);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.read_ivarint()?;
+        visitor.visit_i64(v)
+    }
+
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes = self.take(16)?;
+        let mut buf = [0u8; 16];
+        buf.copy_from_slice(bytes);
+        visitor.visit_i128(i128::from_le_bytes(buf))
+    }
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.read_u8()?;
+        visitor.visit_u8(v)
+    }
+
+    de_unsigned!(deserialize_u16, visit_u16, u16);
+    de_unsigned!(deserialize_u32, visit_u32, u32);
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.read_uvarint()?;
+        visitor.visit_u64(v)
+    }
+
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes = self.take(16)?;
+        let mut buf = [0u8; 16];
+        buf.copy_from_slice(bytes);
+        visitor.visit_u128(u128::from_le_bytes(buf))
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes = self.take(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(bytes);
+        visitor.visit_f32(f32::from_le_bytes(buf))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(bytes);
+        visitor.visit_f64(f64::from_le_bytes(buf))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let v = self.read_uvarint()?;
+        let c = u32::try_from(v)
+            .ok()
+            .and_then(char::from_u32)
+            .ok_or_else(|| CodecError(format!("invalid char scalar {v}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes = self.read_bytes()?;
+        let s = std::str::from_utf8(bytes).map_err(|e| CodecError(format!("bad utf8: {e}")))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let bytes = self.read_bytes()?;
+        visitor.visit_borrowed_bytes(bytes)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.read_u8()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(CodecError(format!("invalid option tag {other}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        visitor.visit_seq(BinSeqAccess {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(BinSeqAccess {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.read_len()?;
+        visitor.visit_map(BinMapAccess {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(BinEnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CodecError("serbin does not encode identifiers".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(CodecError("cannot skip values in a non-self-describing format".into()))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct BinSeqAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for BinSeqAccess<'_, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct BinMapAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::MapAccess<'de> for BinMapAccess<'_, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct BinEnumAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'de, 'a> de::EnumAccess<'de> for BinEnumAccess<'a, 'de> {
+    type Error = CodecError;
+    type Variant = BinVariantAccess<'a, 'de>;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant)> {
+        let index = self.de.read_uvarint()?;
+        let value = seed.deserialize(index.into_deserializer())?;
+        Ok((value, BinVariantAccess { de: self.de }))
+    }
+}
+
+struct BinVariantAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'de> de::VariantAccess<'de> for BinVariantAccess<'_, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(BinSeqAccess {
+            de: self.de,
+            remaining: len,
+        })
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(BinSeqAccess {
+            de: self.de,
+            remaining: fields.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        id: u32,
+        label: String,
+        weights: Vec<f64>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        NewType(u64),
+        Tuple(i32, String),
+        Struct { a: bool, b: Option<Nested> },
+    }
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = to_bytes(value).expect("encode");
+        let back: T = from_bytes(&bytes).expect("decode");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0u8);
+        roundtrip(&255u8);
+        roundtrip(&u16::MAX);
+        roundtrip(&u32::MAX);
+        roundtrip(&u64::MAX);
+        roundtrip(&i8::MIN);
+        roundtrip(&i64::MIN);
+        roundtrip(&i64::MAX);
+        roundtrip(&0.0f64);
+        roundtrip(&-1.5f32);
+        roundtrip(&f64::MAX);
+        roundtrip(&'字');
+        roundtrip(&"hello iTag".to_string());
+        roundtrip(&u128::MAX);
+        roundtrip(&i128::MIN);
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let bytes = to_bytes(&f64::NAN).unwrap();
+        let back: f64 = from_bytes(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&Vec::<String>::new());
+        roundtrip(&Some("x".to_string()));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&(1u8, "two".to_string(), 3.0f64));
+        let mut m = BTreeMap::new();
+        m.insert("alpha".to_string(), vec![1u64, 2]);
+        m.insert("beta".to_string(), vec![]);
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn structs_and_enums_roundtrip() {
+        let nested = Nested {
+            id: 42,
+            label: "resource".into(),
+            weights: vec![0.25, 0.75],
+        };
+        roundtrip(&nested);
+        roundtrip(&Shape::Unit);
+        roundtrip(&Shape::NewType(9));
+        roundtrip(&Shape::Tuple(-7, "t".into()));
+        roundtrip(&Shape::Struct {
+            a: true,
+            b: Some(nested),
+        });
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&"some string".to_string()).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes::<String>(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_length_does_not_allocate() {
+        // Declared length far beyond the input must be rejected up front.
+        let mut bytes = Vec::new();
+        crate::codec::write_uvarint(&mut bytes, u64::MAX / 2);
+        assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_rejected() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[9, 0]).is_err());
+    }
+
+    #[test]
+    fn varint_encoding_is_compact() {
+        assert_eq!(to_bytes(&1u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&300u64).unwrap().len(), 2);
+        // Struct fields carry no per-field framing.
+        let n = Nested {
+            id: 1,
+            label: String::new(),
+            weights: vec![],
+        };
+        assert_eq!(to_bytes(&n).unwrap().len(), 3); // varint id + len 0 + len 0
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_nested_roundtrip(
+            id in any::<u32>(),
+            label in ".{0,40}",
+            weights in proptest::collection::vec(any::<f64>().prop_filter("no NaN", |f| !f.is_nan()), 0..16),
+        ) {
+            roundtrip(&Nested { id, label, weights });
+        }
+
+        #[test]
+        fn arbitrary_map_roundtrip(
+            entries in proptest::collection::btree_map(any::<u64>(), any::<i64>(), 0..32)
+        ) {
+            roundtrip(&entries);
+        }
+
+        #[test]
+        fn decode_of_random_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Must return Ok or Err, never panic or over-allocate.
+            let _ = from_bytes::<Shape>(&data);
+            let _ = from_bytes::<Nested>(&data);
+            let _ = from_bytes::<Vec<String>>(&data);
+        }
+    }
+}

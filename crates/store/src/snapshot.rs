@@ -1,0 +1,156 @@
+//! Point-in-time snapshots of the full table set.
+//!
+//! A snapshot is the serbin encoding of every table's sorted contents plus
+//! the LSN it covers, wrapped in `[magic][crc][len][payload]` and installed
+//! with the write-to-temp + atomic-rename idiom so that a crash during
+//! checkpointing can never destroy the previous snapshot.
+
+use crate::codec::crc32;
+use crate::error::{Result, StoreError};
+use crate::{serbin, TableId};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// `ITAGSNP1` — snapshot file magic + format version.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ITAGSNP1";
+
+/// Serialized form of a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// LSN of the last WAL entry folded into this snapshot. Replay resumes
+    /// with the first WAL entry whose LSN is greater.
+    pub last_lsn: u64,
+    /// Every table's full sorted contents.
+    pub tables: Vec<TableDump>,
+}
+
+/// One table inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableDump {
+    pub table: TableId,
+    /// Key/value pairs in key order.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// Writes `snapshot` to `path` atomically (temp file + rename).
+pub fn write(path: &Path, snapshot: &Snapshot) -> Result<()> {
+    let payload = serbin::to_bytes(snapshot)?;
+    let tmp = path.with_extension("snp.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&SNAPSHOT_MAGIC)?;
+        file.write_all(&crc32(&payload).to_le_bytes())?;
+        file.write_all(&(payload.len() as u64).to_le_bytes())?;
+        file.write_all(&payload)?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself where the platform allows it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_data();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot if one exists. `Ok(None)` means a fresh database.
+pub fn read(path: &Path) -> Result<Option<Snapshot>> {
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+
+    let header = SNAPSHOT_MAGIC.len() + 4 + 8;
+    if data.len() < header {
+        return Err(StoreError::Corrupt("snapshot shorter than header".into()));
+    }
+    if data[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt("bad snapshot magic".into()));
+    }
+    let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let len = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
+    let payload = data
+        .get(header..header + len)
+        .ok_or_else(|| StoreError::Corrupt("snapshot payload truncated".into()))?;
+    if crc32(payload) != crc {
+        return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
+    }
+    Ok(Some(serbin::from_bytes(payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            last_lsn: 42,
+            tables: vec![
+                TableDump {
+                    table: TableId(1),
+                    entries: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())],
+                },
+                TableDump {
+                    table: TableId(9),
+                    entries: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = TestDir::new("snap-rt");
+        let path = dir.path().join("db.snp");
+        write(&path, &sample()).unwrap();
+        let back = read(&path).unwrap().unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = TestDir::new("snap-none");
+        assert!(read(&dir.path().join("db.snp")).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let dir = TestDir::new("snap-corrupt");
+        let path = dir.path().join("db.snp");
+        write(&path, &sample()).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(read(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn leftover_tmp_file_does_not_shadow_snapshot() {
+        let dir = TestDir::new("snap-tmp");
+        let path = dir.path().join("db.snp");
+        // A crash can leave a garbage temp file behind; a subsequent write
+        // must still install atomically over it.
+        std::fs::write(path.with_extension("snp.tmp"), b"garbage").unwrap();
+        write(&path, &sample()).unwrap();
+        assert_eq!(read(&path).unwrap().unwrap(), sample());
+    }
+
+    #[test]
+    fn truncated_snapshot_is_corrupt_not_panic() {
+        let dir = TestDir::new("snap-trunc");
+        let path = dir.path().join("db.snp");
+        write(&path, &sample()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        for cut in [0usize, 4, 10, data.len() / 2] {
+            std::fs::write(&path, &data[..cut]).unwrap();
+            assert!(read(&path).is_err(), "cut={cut}");
+        }
+    }
+}

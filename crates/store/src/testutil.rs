@@ -1,0 +1,59 @@
+//! Test support: self-cleaning temporary directories.
+//!
+//! The sanctioned dependency set has no `tempfile`, so the engine carries a
+//! minimal equivalent used by its own tests and by downstream crates'
+//! durability tests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates `"$TMPDIR/itag-<label>-<pid>-<seq>"`.
+    pub fn new(label: &str) -> Self {
+        let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "itag-{label}-{}-{}",
+            std::process::id(),
+            seq
+        ));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        // Best effort; leaking a temp dir must not fail a test run.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_cleaned() {
+        let p1;
+        {
+            let d1 = TestDir::new("unique");
+            let d2 = TestDir::new("unique");
+            assert_ne!(d1.path(), d2.path());
+            assert!(d1.path().is_dir());
+            p1 = d1.path().to_path_buf();
+        }
+        assert!(!p1.exists(), "dir should be removed on drop");
+    }
+}

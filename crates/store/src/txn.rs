@@ -1,0 +1,116 @@
+//! Atomic multi-table write batches.
+//!
+//! A [`WriteBatch`] collects puts and deletes across any number of logical
+//! tables; [`crate::Store::commit`] appends the whole batch as **one** WAL
+//! frame and applies it to the memtables under a single writer lock, so a
+//! batch is all-or-nothing both on disk and in memory. The iTag managers use
+//! this to keep entity tables and their secondary indexes mutually
+//! consistent.
+
+use crate::TableId;
+use serde::{Deserialize, Serialize};
+
+/// A single mutation inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Insert or overwrite `key` in `table`.
+    Put {
+        table: TableId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    /// Remove `key` from `table` (no-op if absent).
+    Delete { table: TableId, key: Vec<u8> },
+}
+
+/// The WAL frame payload: a batch plus its log sequence number.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct WalEntry {
+    pub lsn: u64,
+    pub ops: Vec<Op>,
+}
+
+/// An ordered set of mutations committed atomically.
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    pub(crate) ops: Vec<Op>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Pre-sizes the op list when the caller knows the batch size.
+    pub fn with_capacity(n: usize) -> Self {
+        WriteBatch {
+            ops: Vec::with_capacity(n),
+        }
+    }
+
+    /// Stages an insert/overwrite.
+    pub fn put(&mut self, table: TableId, key: Vec<u8>, value: Vec<u8>) -> &mut Self {
+        self.ops.push(Op::Put { table, key, value });
+        self
+    }
+
+    /// Stages a delete.
+    pub fn delete(&mut self, table: TableId, key: Vec<u8>) -> &mut Self {
+        self.ops.push(Op::Delete { table, key });
+        self
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drops all staged operations, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builder_collects_in_order() {
+        let mut b = WriteBatch::new();
+        b.put(TableId(1), vec![1], vec![10])
+            .delete(TableId(2), vec![2])
+            .put(TableId(1), vec![3], vec![30]);
+        assert_eq!(b.len(), 3);
+        assert!(matches!(b.ops[1], Op::Delete { .. }));
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn wal_entry_roundtrips_through_serbin() {
+        let entry = WalEntry {
+            lsn: 7,
+            ops: vec![
+                Op::Put {
+                    table: TableId(3),
+                    key: vec![0, 1],
+                    value: vec![2, 3, 4],
+                },
+                Op::Delete {
+                    table: TableId(3),
+                    key: vec![9],
+                },
+            ],
+        };
+        let bytes = crate::serbin::to_bytes(&entry).unwrap();
+        let back: WalEntry = crate::serbin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, entry);
+    }
+}

@@ -1,0 +1,296 @@
+//! Write-ahead log with CRC-framed records and torn-tail recovery.
+//!
+//! On-disk layout: a fixed 8-byte file header (`magic || version`) followed
+//! by frames of `[len: u32 LE][crc32(payload): u32 LE][payload]`. Recovery
+//! scans frames until EOF or the first frame whose length or checksum is
+//! invalid — that point is treated as a torn write (the classic ARIES-style
+//! assumption for an append-only log) and the file is truncated there on the
+//! next append.
+
+use crate::codec::crc32;
+use crate::error::{Result, StoreError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// `ITAGWAL1` — identifies a WAL file and its format version.
+pub const WAL_MAGIC: [u8; 8] = *b"ITAGWAL1";
+
+/// Frame header size: length + checksum.
+const FRAME_HEADER: usize = 8;
+
+/// Appender half of the WAL. One writer exists per store.
+pub struct Wal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    /// Bytes of the file known to contain valid frames (header included).
+    len: u64,
+    appended_frames: u64,
+}
+
+impl Wal {
+    /// Creates a fresh WAL at `path`, truncating any existing file.
+    pub fn create(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.flush()?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            len: WAL_MAGIC.len() as u64,
+            appended_frames: 0,
+        })
+    }
+
+    /// Opens an existing WAL for appending after recovery decided that the
+    /// first `valid_len` bytes hold intact frames. Anything after that point
+    /// is a torn tail and is cut off.
+    pub fn open_for_append(path: &Path, valid_len: u64) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+            len: valid_len,
+            appended_frames: 0,
+        })
+    }
+
+    /// Appends one frame. The frame is buffered; call [`Wal::sync`] to make
+    /// it durable (the store decides based on its durability level).
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| StoreError::Codec("WAL frame larger than 4 GiB".into()))?;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(&crc32(payload).to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        self.len += (FRAME_HEADER + payload.len()) as u64;
+        self.appended_frames += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered frames and fsyncs the file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Flushes buffered frames to the OS without fsync.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Total bytes written (valid prefix).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no frames have been written beyond the header.
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// Frames appended through this handle (diagnostics).
+    pub fn appended_frames(&self) -> u64 {
+        self.appended_frames
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Outcome of scanning a WAL file on startup.
+pub struct WalScan {
+    /// Intact frame payloads, in append order.
+    pub frames: Vec<Vec<u8>>,
+    /// Length of the valid prefix; the file should be truncated here before
+    /// further appends.
+    pub valid_len: u64,
+    /// True when a torn tail was detected (and silently dropped).
+    pub truncated_tail: bool,
+}
+
+/// Reads every intact frame from the WAL at `path`.
+///
+/// * A missing file yields an empty scan (fresh database).
+/// * A bad magic header is a hard [`StoreError::Corrupt`] — the file is not
+///   a WAL at all, and destroying it silently would lose someone's data.
+/// * A torn final frame is expected after a crash and is dropped.
+pub fn scan(path: &Path) -> Result<WalScan> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                frames: Vec::new(),
+                valid_len: WAL_MAGIC.len() as u64,
+                truncated_tail: false,
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let mut data = Vec::new();
+    file.read_to_end(&mut data)?;
+
+    if data.len() < WAL_MAGIC.len() {
+        // File exists but even the header is torn: treat as empty.
+        return Ok(WalScan {
+            frames: Vec::new(),
+            valid_len: WAL_MAGIC.len() as u64,
+            truncated_tail: true,
+        });
+    }
+    if data[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{} is not an iTag WAL (bad magic)",
+            path.display()
+        )));
+    }
+
+    let mut frames = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    let mut truncated_tail = false;
+    while offset < data.len() {
+        if data.len() - offset < FRAME_HEADER {
+            truncated_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+        let body_start = offset + FRAME_HEADER;
+        if data.len() - body_start < len {
+            truncated_tail = true;
+            break;
+        }
+        let payload = &data[body_start..body_start + len];
+        if crc32(payload) != crc {
+            truncated_tail = true;
+            break;
+        }
+        frames.push(payload.to_vec());
+        offset = body_start + len;
+    }
+
+    Ok(WalScan {
+        frames,
+        valid_len: offset as u64,
+        truncated_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestDir;
+
+    #[test]
+    fn append_and_scan_roundtrip() {
+        let dir = TestDir::new("wal-roundtrip");
+        let path = dir.path().join("test.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        for i in 0..100u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.frames.len(), 100);
+        assert!(!scan.truncated_tail);
+        for (i, frame) in scan.frames.iter().enumerate() {
+            assert_eq!(frame.as_slice(), (i as u32).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn missing_file_is_empty_scan() {
+        let dir = TestDir::new("wal-missing");
+        let scan = scan(&dir.path().join("nope.wal")).unwrap();
+        assert!(scan.frames.is_empty());
+        assert!(!scan.truncated_tail);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_recovery_can_continue() {
+        let dir = TestDir::new("wal-torn");
+        let path = dir.path().join("test.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"frame-one").unwrap();
+        wal.append(b"frame-two").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Simulate a torn write: chop bytes off the final frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let s = scan(&path).unwrap();
+        assert_eq!(s.frames.len(), 1);
+        assert_eq!(s.frames[0], b"frame-one");
+        assert!(s.truncated_tail);
+
+        // Re-open for append at the valid prefix and write again.
+        let mut wal = Wal::open_for_append(&path, s.valid_len).unwrap();
+        wal.append(b"frame-three").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let s = scan(&path).unwrap();
+        assert_eq!(s.frames.len(), 2);
+        assert_eq!(s.frames[1], b"frame-three");
+        assert!(!s.truncated_tail);
+    }
+
+    #[test]
+    fn corrupt_frame_crc_truncates_from_that_frame() {
+        let dir = TestDir::new("wal-crc");
+        let path = dir.path().join("test.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"good").unwrap();
+        wal.append(b"will-be-corrupted").unwrap();
+        wal.append(b"unreachable").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second frame's payload.
+        let second_payload_start = WAL_MAGIC.len() + FRAME_HEADER + 4 + FRAME_HEADER;
+        data[second_payload_start] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let s = scan(&path).unwrap();
+        assert_eq!(s.frames.len(), 1);
+        assert!(s.truncated_tail);
+    }
+
+    #[test]
+    fn bad_magic_is_hard_error() {
+        let dir = TestDir::new("wal-magic");
+        let path = dir.path().join("test.wal");
+        std::fs::write(&path, b"NOTAWAL!extra-bytes-here").unwrap();
+        assert!(matches!(scan(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_payload_frames_are_legal() {
+        let dir = TestDir::new("wal-empty-frame");
+        let path = dir.path().join("test.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(b"").unwrap();
+        wal.append(b"x").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.frames.len(), 2);
+        assert!(s.frames[0].is_empty());
+    }
+}

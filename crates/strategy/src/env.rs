@@ -1,0 +1,48 @@
+//! The environment traits strategies operate against.
+//!
+//! [`EnvView`] is the read-only face: exactly the statistics UPDATE()
+//! maintains in Algorithm 1. [`AllocationEnv`] adds the one mutation the
+//! framework performs — issuing a tagging task and folding in its result.
+//! Both the pure simulator ([`crate::simenv::SimWorld`]) and the full iTag
+//! engine implement them, so every strategy runs unchanged in either.
+
+use itag_model::ids::ResourceId;
+use rand::rngs::StdRng;
+
+/// Read-only view of the tagging state.
+pub trait EnvView {
+    /// Number of resources `n`.
+    fn num_resources(&self) -> usize;
+
+    /// Current post count `k_i` of `r` (initial `c_i` plus allocated).
+    fn post_count(&self, r: ResourceId) -> u32;
+
+    /// Observable instability `1 − q_i(k_i)` under the configured metric.
+    fn instability(&self, r: ResourceId) -> f64;
+
+    /// Current quality `q_i(k_i)`.
+    fn quality(&self, r: ResourceId) -> f64;
+
+    /// Dataset quality `q(R, k⃗)` (mean over resources).
+    fn mean_quality(&self) -> f64;
+
+    /// Relative weight with which free-choice taggers pick `r`.
+    fn popularity_weight(&self, r: ResourceId) -> f64;
+
+    /// Projected quality gain of giving `r` its `(k+1)`-th post, per the
+    /// environment's gain model (oracle curves in simulation benchmarks,
+    /// fitted curves in deployable mode). Only OPT consumes this.
+    fn planning_marginal(&self, r: ResourceId, k: u32) -> f64;
+}
+
+/// A world the framework can act on.
+pub trait AllocationEnv: EnvView {
+    /// Issues one tagging task for `r` and folds the resulting post into
+    /// the statistics (Algorithm 1 steps 4–6 for a single resource).
+    fn tag_once(&mut self, r: ResourceId, rng: &mut StdRng);
+}
+
+/// Iterator over all resource ids of an environment.
+pub fn resource_ids(env: &dyn EnvView) -> impl Iterator<Item = ResourceId> + '_ {
+    (0..env.num_resources() as u32).map(ResourceId)
+}

@@ -1,0 +1,207 @@
+//! FC — Free Choice.
+//!
+//! Table I: "Let taggers freely choose resources to tag. Pro: get taggers'
+//! preferences and popularity of resources. Con: may not improve tag
+//! quality of R significantly."
+//!
+//! Taggers left to themselves pick popular resources, so FC samples
+//! proportionally to popularity. Two flavours:
+//!
+//! * [`FcMode::StaticPopularity`] — the dataset's intrinsic popularity
+//!   (replays the observed Delicious arrival skew);
+//! * [`FcMode::PreferentialAttachment`] — weight `k_i + 1`, the
+//!   rich-get-richer dynamic where visible tags attract more taggers.
+
+use crate::env::EnvView;
+use crate::framework::ChooseResources;
+use itag_model::ids::ResourceId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How free-choice taggers weigh resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FcMode {
+    /// Sample ∝ the dataset's static popularity.
+    StaticPopularity,
+    /// Sample ∝ `post_count + 1` (rich-get-richer).
+    PreferentialAttachment,
+}
+
+/// The FC strategy.
+#[derive(Debug, Clone)]
+pub struct FreeChoice {
+    mode: FcMode,
+    /// Cached cumulative weights (rebuilt per batch for the preferential
+    /// mode, once at init for the static mode).
+    cumulative: Vec<f64>,
+}
+
+impl FreeChoice {
+    pub fn new(mode: FcMode) -> Self {
+        FreeChoice {
+            mode,
+            cumulative: Vec::new(),
+        }
+    }
+
+    fn rebuild(&mut self, env: &dyn EnvView) {
+        let n = env.num_resources();
+        self.cumulative.clear();
+        self.cumulative.reserve(n);
+        let mut acc = 0.0;
+        for i in 0..n as u32 {
+            let r = ResourceId(i);
+            let w = match self.mode {
+                FcMode::StaticPopularity => env.popularity_weight(r).max(0.0),
+                FcMode::PreferentialAttachment => env.post_count(r) as f64 + 1.0,
+            };
+            acc += w;
+            self.cumulative.push(acc);
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> ResourceId {
+        let total = *self.cumulative.last().expect("rebuilt before sampling");
+        let u: f64 = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        ResourceId(idx.min(self.cumulative.len() - 1) as u32)
+    }
+}
+
+impl ChooseResources for FreeChoice {
+    fn name(&self) -> &str {
+        match self.mode {
+            FcMode::StaticPopularity => "FC",
+            FcMode::PreferentialAttachment => "FC-pref",
+        }
+    }
+
+    fn init(&mut self, env: &dyn EnvView, _budget: u32, _rng: &mut StdRng) {
+        self.rebuild(env);
+    }
+
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, rng: &mut StdRng) -> Vec<ResourceId> {
+        if env.num_resources() == 0 {
+            return Vec::new();
+        }
+        if self.mode == FcMode::PreferentialAttachment {
+            // Post counts moved since the last batch; refresh the weights.
+            self.rebuild(env);
+        }
+        (0..batch).map(|_| self.sample(rng)).collect()
+    }
+
+    fn notify_update(&mut self, _env: &dyn EnvView, _r: ResourceId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::AllocationEnv;
+    use rand::SeedableRng;
+
+    struct PopEnv {
+        pop: Vec<f64>,
+        counts: Vec<u32>,
+    }
+
+    impl EnvView for PopEnv {
+        fn num_resources(&self) -> usize {
+            self.pop.len()
+        }
+        fn post_count(&self, r: ResourceId) -> u32 {
+            self.counts[r.index()]
+        }
+        fn instability(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn quality(&self, _r: ResourceId) -> f64 {
+            0.0
+        }
+        fn mean_quality(&self) -> f64 {
+            0.0
+        }
+        fn popularity_weight(&self, r: ResourceId) -> f64 {
+            self.pop[r.index()]
+        }
+        fn planning_marginal(&self, _r: ResourceId, _k: u32) -> f64 {
+            0.0
+        }
+    }
+
+    impl AllocationEnv for PopEnv {
+        fn tag_once(&mut self, r: ResourceId, _rng: &mut StdRng) {
+            self.counts[r.index()] += 1;
+        }
+    }
+
+    #[test]
+    fn static_mode_follows_popularity() {
+        let env = PopEnv {
+            pop: vec![8.0, 1.0, 1.0],
+            counts: vec![0; 3],
+        };
+        let mut fc = FreeChoice::new(FcMode::StaticPopularity);
+        let mut rng = StdRng::seed_from_u64(5);
+        fc.init(&env, 0, &mut rng);
+        let mut hits = [0u32; 3];
+        for _ in 0..200 {
+            for r in fc.choose(&env, 10, &mut rng) {
+                hits[r.index()] += 1;
+            }
+        }
+        let f0 = hits[0] as f64 / 2000.0;
+        assert!((f0 - 0.8).abs() < 0.05, "resource 0 share: {f0}");
+    }
+
+    #[test]
+    fn preferential_mode_reinforces_the_leader() {
+        let mut env = PopEnv {
+            pop: vec![1.0; 4],
+            counts: vec![0, 0, 0, 50], // resource 3 starts far ahead
+        };
+        let mut fc = FreeChoice::new(FcMode::PreferentialAttachment);
+        let mut rng = StdRng::seed_from_u64(6);
+        fc.init(&env, 0, &mut rng);
+        let mut hits = [0u32; 4];
+        for _ in 0..100 {
+            for r in fc.choose(&env, 5, &mut rng) {
+                hits[r.index()] += 1;
+                env.tag_once(r, &mut rng);
+            }
+        }
+        assert!(
+            hits[3] > hits[0] + hits[1] + hits[2],
+            "leader should dominate: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_resources_are_never_chosen() {
+        let env = PopEnv {
+            pop: vec![0.0, 1.0],
+            counts: vec![0; 2],
+        };
+        let mut fc = FreeChoice::new(FcMode::StaticPopularity);
+        let mut rng = StdRng::seed_from_u64(7);
+        fc.init(&env, 0, &mut rng);
+        for _ in 0..500 {
+            for r in fc.choose(&env, 2, &mut rng) {
+                assert_ne!(r, ResourceId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_env_yields_empty_choice() {
+        let env = PopEnv {
+            pop: vec![],
+            counts: vec![],
+        };
+        let mut fc = FreeChoice::new(FcMode::StaticPopularity);
+        let mut rng = StdRng::seed_from_u64(8);
+        fc.init(&env, 0, &mut rng);
+        assert!(fc.choose(&env, 3, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! FP — Fewest Posts First.
+//!
+//! Table I: "Prioritize resources with fewest posts. Pro: reduce the
+//! number of resources with low tag quality."
+//!
+//! A lazy min-heap over `(post count, resource)`. Entries may go stale
+//! when posts land (including posts from other strategies after a
+//! mid-run switch); stale entries are re-keyed on pop. When a resource is
+//! chosen, it is re-inserted with `count + 1` immediately, so a batch
+//! spreads over the `batch` least-posted resources instead of hammering
+//! one.
+
+use crate::env::{resource_ids, EnvView};
+use crate::framework::ChooseResources;
+use itag_model::ids::ResourceId;
+use rand::rngs::StdRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The FP strategy.
+#[derive(Debug, Clone, Default)]
+pub struct FewestPosts {
+    /// Min-heap of `(assumed post count, resource id)`; id as tie-break
+    /// keeps runs deterministic.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+}
+
+impl FewestPosts {
+    pub fn new() -> Self {
+        FewestPosts::default()
+    }
+}
+
+impl ChooseResources for FewestPosts {
+    fn name(&self) -> &str {
+        "FP"
+    }
+
+    fn init(&mut self, env: &dyn EnvView, _budget: u32, _rng: &mut StdRng) {
+        self.heap.clear();
+        for r in resource_ids(env) {
+            self.heap.push(Reverse((env.post_count(r), r.0)));
+        }
+    }
+
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, _rng: &mut StdRng) -> Vec<ResourceId> {
+        let mut chosen = Vec::with_capacity(batch);
+        // Each pop either yields a fresh entry (chosen) or re-keys a stale
+        // one; staleness is bounded by posts landed since init, so this
+        // terminates.
+        let mut guard = 0usize;
+        let max_iter = 4 * (env.num_resources() + batch) + 64;
+        while chosen.len() < batch && guard < max_iter {
+            guard += 1;
+            let Some(Reverse((assumed, rid))) = self.heap.pop() else {
+                break;
+            };
+            let r = ResourceId(rid);
+            let actual = env.post_count(r);
+            if assumed < actual {
+                // Stale: a post landed since this entry was pushed.
+                self.heap.push(Reverse((actual, rid)));
+                continue;
+            }
+            chosen.push(r);
+            // Optimistically account the task we are about to issue.
+            self.heap.push(Reverse((actual + 1, rid)));
+        }
+        chosen
+    }
+
+    fn notify_update(&mut self, _env: &dyn EnvView, _r: ResourceId) {
+        // The optimistic re-insert in choose() already accounted the post.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::AllocationEnv;
+    use rand::SeedableRng;
+
+    struct CountEnv {
+        counts: Vec<u32>,
+    }
+
+    impl EnvView for CountEnv {
+        fn num_resources(&self) -> usize {
+            self.counts.len()
+        }
+        fn post_count(&self, r: ResourceId) -> u32 {
+            self.counts[r.index()]
+        }
+        fn instability(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn quality(&self, _r: ResourceId) -> f64 {
+            0.0
+        }
+        fn mean_quality(&self) -> f64 {
+            0.0
+        }
+        fn popularity_weight(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn planning_marginal(&self, _r: ResourceId, _k: u32) -> f64 {
+            0.0
+        }
+    }
+
+    impl AllocationEnv for CountEnv {
+        fn tag_once(&mut self, r: ResourceId, _rng: &mut StdRng) {
+            self.counts[r.index()] += 1;
+        }
+    }
+
+    #[test]
+    fn picks_the_least_posted_resources_first() {
+        let env = CountEnv {
+            counts: vec![5, 0, 3, 0, 9],
+        };
+        let mut fp = FewestPosts::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        fp.init(&env, 0, &mut rng);
+        let chosen = fp.choose(&env, 2, &mut rng);
+        let mut ids: Vec<u32> = chosen.iter().map(|r| r.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn batch_spreads_rather_than_hammers() {
+        let env = CountEnv {
+            counts: vec![0, 0, 0, 0],
+        };
+        let mut fp = FewestPosts::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        fp.init(&env, 0, &mut rng);
+        let chosen = fp.choose(&env, 4, &mut rng);
+        let mut ids: Vec<u32> = chosen.iter().map(|r| r.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "each resource at most once per batch here");
+    }
+
+    #[test]
+    fn equalizes_post_counts_over_a_full_run() {
+        let mut env = CountEnv {
+            counts: vec![10, 0, 5, 2],
+        };
+        let mut fp = FewestPosts::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = crate::framework::Framework {
+            batch_size: 1,
+            record_every: 100,
+        }
+        .run(&mut env, &mut fp, 23, &mut rng);
+        // 10+0+5+2+23 = 40 total → perfectly levelled at 10 each.
+        assert_eq!(env.counts, vec![10, 10, 10, 10]);
+        assert_eq!(report.spent, 23);
+    }
+
+    #[test]
+    fn stale_entries_self_heal_after_external_posts() {
+        let mut env = CountEnv {
+            counts: vec![0, 1],
+        };
+        let mut fp = FewestPosts::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        fp.init(&env, 0, &mut rng);
+        // Posts land outside the strategy (e.g. FC phase of a switch).
+        env.counts[0] = 7;
+        let chosen = fp.choose(&env, 1, &mut rng);
+        assert_eq!(chosen, vec![ResourceId(1)], "must re-key the stale 0");
+    }
+
+    #[test]
+    fn empty_env_returns_empty() {
+        let env = CountEnv { counts: vec![] };
+        let mut fp = FewestPosts::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        fp.init(&env, 0, &mut rng);
+        assert!(fp.choose(&env, 3, &mut rng).is_empty());
+    }
+}

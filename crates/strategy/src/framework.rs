@@ -1,0 +1,320 @@
+//! Algorithm 1: the strategy framework.
+//!
+//! ```text
+//! Require: Budget B, Resources R, Initial no. of posts c⃗
+//!  1: for i ← 1 to n do x[i] ← 0
+//!  2: while B > 0 do
+//!  3:     Rc ← CHOOSERESOURCES()
+//!  4:     assign Rc to taggers
+//!  5:     ∀ri ∈ Rc. xi ← xi + 1, B ← B − 1
+//!  6:     UPDATE()
+//!  return x⃗
+//! ```
+//!
+//! [`Framework::run`] is that loop verbatim; CHOOSERESOURCES() is the
+//! [`ChooseResources`] object, steps 4–6 are [`AllocationEnv::tag_once`].
+
+use crate::env::{AllocationEnv, EnvView};
+use itag_model::ids::ResourceId;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A strategy: the CHOOSERESOURCES() implementation of Algorithm 1.
+pub trait ChooseResources {
+    /// Display name (used in figures and reports).
+    fn name(&self) -> &str;
+
+    /// Called once before the loop with the initial statistics; build
+    /// heaps / plans here. `budget` is the total task budget `B`.
+    fn init(&mut self, env: &dyn EnvView, budget: u32, rng: &mut StdRng);
+
+    /// Picks up to `batch` resources to tag next. Returning fewer than
+    /// `batch` is allowed; returning an empty set ends the run early
+    /// (e.g. every resource stopped by the provider).
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, rng: &mut StdRng) -> Vec<ResourceId>;
+
+    /// Called after a task on `r` completed and UPDATE() refreshed the
+    /// statistics.
+    fn notify_update(&mut self, env: &dyn EnvView, r: ResourceId);
+}
+
+/// One point of a quality-vs-budget trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetPoint {
+    /// Tasks spent so far.
+    pub spent: u32,
+    /// `q(R, c⃗+x⃗)` at that point.
+    pub mean_quality: f64,
+}
+
+/// Outcome of one framework run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Strategy display name.
+    pub strategy: String,
+    /// The assignment `x⃗` (tasks per resource).
+    pub allocation: Vec<u32>,
+    /// Quality trajectory, including the `spent = 0` starting point.
+    pub series: Vec<BudgetPoint>,
+    /// `q(R, c⃗)`.
+    pub initial_quality: f64,
+    /// `q(R, c⃗+x⃗)`.
+    pub final_quality: f64,
+    /// Tasks actually issued (≤ B when the strategy exhausts early).
+    pub spent: u32,
+}
+
+impl RunReport {
+    /// The objective of the paper: `q(R, c⃗+x⃗) − q(R, c⃗)`.
+    pub fn improvement(&self) -> f64 {
+        self.final_quality - self.initial_quality
+    }
+}
+
+/// Loop driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Framework {
+    /// Resources chosen per CHOOSERESOURCES() call (|Rc|).
+    pub batch_size: usize,
+    /// Record a [`BudgetPoint`] every this many tasks.
+    pub record_every: u32,
+}
+
+impl Default for Framework {
+    fn default() -> Self {
+        Framework {
+            batch_size: 10,
+            record_every: 250,
+        }
+    }
+}
+
+impl Framework {
+    /// Runs Algorithm 1 for `budget` tasks.
+    pub fn run(
+        &self,
+        env: &mut dyn AllocationEnv,
+        strategy: &mut dyn ChooseResources,
+        budget: u32,
+        rng: &mut StdRng,
+    ) -> RunReport {
+        let n = env.num_resources();
+        let mut allocation = vec![0u32; n];
+        let initial_quality = env.mean_quality();
+        let mut series = vec![BudgetPoint {
+            spent: 0,
+            mean_quality: initial_quality,
+        }];
+
+        strategy.init(env.as_view(), budget, rng);
+
+        let mut spent = 0u32;
+        let mut next_record = self.record_every.max(1);
+        while spent < budget {
+            let want = self.batch_size.min((budget - spent) as usize).max(1);
+            let chosen = strategy.choose(env.as_view(), want, rng);
+            if chosen.is_empty() {
+                break; // strategy has nothing left to allocate
+            }
+            for r in chosen {
+                debug_assert!((r.index()) < n, "strategy chose unknown resource {r}");
+                env.tag_once(r, rng);
+                allocation[r.index()] += 1;
+                spent += 1;
+                strategy.notify_update(env.as_view(), r);
+                if spent >= next_record {
+                    series.push(BudgetPoint {
+                        spent,
+                        mean_quality: env.mean_quality(),
+                    });
+                    next_record += self.record_every.max(1);
+                }
+                if spent >= budget {
+                    break;
+                }
+            }
+        }
+
+        let final_quality = env.mean_quality();
+        if series.last().map(|p| p.spent) != Some(spent) {
+            series.push(BudgetPoint {
+                spent,
+                mean_quality: final_quality,
+            });
+        }
+        RunReport {
+            strategy: strategy.name().to_string(),
+            allocation,
+            series,
+            initial_quality,
+            final_quality,
+            spent,
+        }
+    }
+}
+
+/// Upcast helper: `&mut dyn AllocationEnv → &dyn EnvView`.
+trait AsView {
+    fn as_view(&self) -> &dyn EnvView;
+}
+
+impl AsView for dyn AllocationEnv + '_ {
+    fn as_view(&self) -> &dyn EnvView {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A deterministic toy world: quality of a resource is
+    /// `min(1, posts/10)`; popularity uniform; no latent anything.
+    struct ToyEnv {
+        counts: Vec<u32>,
+    }
+
+    impl EnvView for ToyEnv {
+        fn num_resources(&self) -> usize {
+            self.counts.len()
+        }
+        fn post_count(&self, r: ResourceId) -> u32 {
+            self.counts[r.index()]
+        }
+        fn instability(&self, r: ResourceId) -> f64 {
+            1.0 - self.quality(r)
+        }
+        fn quality(&self, r: ResourceId) -> f64 {
+            (self.counts[r.index()] as f64 / 10.0).min(1.0)
+        }
+        fn mean_quality(&self) -> f64 {
+            let n = self.counts.len() as f64;
+            self.counts
+                .iter()
+                .map(|&c| (c as f64 / 10.0).min(1.0))
+                .sum::<f64>()
+                / n
+        }
+        fn popularity_weight(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn planning_marginal(&self, _r: ResourceId, k: u32) -> f64 {
+            if k < 10 {
+                0.1
+            } else {
+                0.0
+            }
+        }
+    }
+
+    impl AllocationEnv for ToyEnv {
+        fn tag_once(&mut self, r: ResourceId, _rng: &mut StdRng) {
+            self.counts[r.index()] += 1;
+        }
+    }
+
+    /// Round-robin strategy for framework tests.
+    struct RoundRobin {
+        next: u32,
+    }
+
+    impl ChooseResources for RoundRobin {
+        fn name(&self) -> &str {
+            "round-robin"
+        }
+        fn init(&mut self, _env: &dyn EnvView, _budget: u32, _rng: &mut StdRng) {
+            self.next = 0;
+        }
+        fn choose(
+            &mut self,
+            env: &dyn EnvView,
+            batch: usize,
+            _rng: &mut StdRng,
+        ) -> Vec<ResourceId> {
+            let n = env.num_resources() as u32;
+            (0..batch as u32)
+                .map(|i| ResourceId((self.next + i) % n))
+                .collect()
+        }
+        fn notify_update(&mut self, _env: &dyn EnvView, _r: ResourceId) {
+            self.next += 1;
+        }
+    }
+
+    #[test]
+    fn run_spends_exactly_the_budget() {
+        let mut env = ToyEnv {
+            counts: vec![0; 7],
+        };
+        let mut strat = RoundRobin { next: 0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = Framework {
+            batch_size: 3,
+            record_every: 5,
+        }
+        .run(&mut env, &mut strat, 20, &mut rng);
+
+        assert_eq!(report.spent, 20);
+        assert_eq!(report.allocation.iter().sum::<u32>(), 20);
+        assert_eq!(report.series.first().unwrap().spent, 0);
+        assert_eq!(report.series.last().unwrap().spent, 20);
+        assert!(report.improvement() > 0.0);
+    }
+
+    #[test]
+    fn quality_series_is_monotone_for_monotone_world() {
+        let mut env = ToyEnv {
+            counts: vec![0; 4],
+        };
+        let mut strat = RoundRobin { next: 0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = Framework {
+            batch_size: 1,
+            record_every: 1,
+        }
+        .run(&mut env, &mut strat, 30, &mut rng);
+        for w in report.series.windows(2) {
+            assert!(w[1].mean_quality >= w[0].mean_quality);
+        }
+        // 30 tasks over 4 resources: quality = mean(min(1, c/10)).
+        assert!((report.final_quality - 0.75).abs() < 1e-9);
+    }
+
+    /// A strategy that gives up immediately.
+    struct GiveUp;
+    impl ChooseResources for GiveUp {
+        fn name(&self) -> &str {
+            "give-up"
+        }
+        fn init(&mut self, _: &dyn EnvView, _: u32, _: &mut StdRng) {}
+        fn choose(&mut self, _: &dyn EnvView, _: usize, _: &mut StdRng) -> Vec<ResourceId> {
+            Vec::new()
+        }
+        fn notify_update(&mut self, _: &dyn EnvView, _: ResourceId) {}
+    }
+
+    #[test]
+    fn empty_choice_ends_the_run_early() {
+        let mut env = ToyEnv {
+            counts: vec![5; 3],
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = Framework::default().run(&mut env, &mut GiveUp, 100, &mut rng);
+        assert_eq!(report.spent, 0);
+        assert_eq!(report.improvement(), 0.0);
+        assert_eq!(report.series.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_is_a_noop() {
+        let mut env = ToyEnv {
+            counts: vec![0; 3],
+        };
+        let mut strat = RoundRobin { next: 0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = Framework::default().run(&mut env, &mut strat, 0, &mut rng);
+        assert_eq!(report.spent, 0);
+        assert_eq!(report.allocation, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,218 @@
+//! FP-MU — the hybrid strategy.
+//!
+//! Table I: "use FP first, then use MU. Pro: most effective in improving
+//! tag quality of R."
+//!
+//! The FP phase levels the field (every resource reaches a base of posts
+//! so its rfd is *measurable*); the MU phase then spends the rest of the
+//! budget where the rfd is still moving. The switch rule is configurable —
+//! the DESIGN.md ablation sweeps it.
+
+use crate::env::{resource_ids, EnvView};
+use crate::fp::FewestPosts;
+use crate::framework::ChooseResources;
+use crate::mu::MostUnstable;
+use itag_model::ids::ResourceId;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// When to hand over from FP to MU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SwitchRule {
+    /// Switch once every resource has at least this many posts (the
+    /// natural choice: a stability window's worth).
+    MinPosts(u32),
+    /// Switch after this fraction of the budget is spent (0.0–1.0).
+    BudgetFraction(f64),
+}
+
+/// The FP-MU strategy.
+#[derive(Debug, Clone)]
+pub struct FpMu {
+    fp: FewestPosts,
+    mu: MostUnstable,
+    rule: SwitchRule,
+    switched: bool,
+    issued: u32,
+    budget: u32,
+}
+
+impl FpMu {
+    pub fn new(rule: SwitchRule) -> Self {
+        if let SwitchRule::BudgetFraction(f) = rule {
+            assert!((0.0..=1.0).contains(&f), "budget fraction must be in [0,1]");
+        }
+        FpMu {
+            fp: FewestPosts::new(),
+            mu: MostUnstable::new(),
+            rule,
+            switched: false,
+            issued: 0,
+            budget: 0,
+        }
+    }
+
+    /// Default rule: FP until every resource has `window`-many posts —
+    /// i.e. until every rfd is measurable by the stability metric.
+    pub fn with_min_posts(min_posts: u32) -> Self {
+        FpMu::new(SwitchRule::MinPosts(min_posts))
+    }
+
+    /// True once MU has taken over (exposed for monitoring).
+    pub fn in_mu_phase(&self) -> bool {
+        self.switched
+    }
+
+    fn should_switch(&self, env: &dyn EnvView) -> bool {
+        match self.rule {
+            SwitchRule::MinPosts(t) => resource_ids(env).all(|r| env.post_count(r) >= t),
+            SwitchRule::BudgetFraction(f) => {
+                self.budget > 0 && (self.issued as f64) >= f * self.budget as f64
+            }
+        }
+    }
+}
+
+impl ChooseResources for FpMu {
+    fn name(&self) -> &str {
+        "FP-MU"
+    }
+
+    fn init(&mut self, env: &dyn EnvView, budget: u32, rng: &mut StdRng) {
+        self.switched = false;
+        self.issued = 0;
+        self.budget = budget;
+        self.fp.init(env, budget, rng);
+        self.mu.init(env, budget, rng);
+    }
+
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, rng: &mut StdRng) -> Vec<ResourceId> {
+        if !self.switched && self.should_switch(env) {
+            self.switched = true;
+            // MU's heap was fed by notify_update throughout the FP phase,
+            // so it takes over with fresh instabilities.
+        }
+        let chosen = if self.switched {
+            self.mu.choose(env, batch, rng)
+        } else {
+            self.fp.choose(env, batch, rng)
+        };
+        self.issued += chosen.len() as u32;
+        chosen
+    }
+
+    fn notify_update(&mut self, env: &dyn EnvView, r: ResourceId) {
+        // Both phases observe every landed post so the inactive heap stays
+        // warm for (or after) the handover.
+        self.fp.notify_update(env, r);
+        self.mu.notify_update(env, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::AllocationEnv;
+    use rand::SeedableRng;
+
+    /// Instability 1 until 3 posts, then decays with posts.
+    struct World {
+        counts: Vec<u32>,
+    }
+
+    impl EnvView for World {
+        fn num_resources(&self) -> usize {
+            self.counts.len()
+        }
+        fn post_count(&self, r: ResourceId) -> u32 {
+            self.counts[r.index()]
+        }
+        fn instability(&self, r: ResourceId) -> f64 {
+            let c = self.counts[r.index()];
+            if c < 3 {
+                1.0
+            } else {
+                1.0 / (c as f64 - 1.0)
+            }
+        }
+        fn quality(&self, r: ResourceId) -> f64 {
+            1.0 - self.instability(r)
+        }
+        fn mean_quality(&self) -> f64 {
+            let n = self.counts.len() as f64;
+            (0..self.counts.len())
+                .map(|i| 1.0 - self.instability(ResourceId(i as u32)))
+                .sum::<f64>()
+                / n
+        }
+        fn popularity_weight(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn planning_marginal(&self, _r: ResourceId, _k: u32) -> f64 {
+            0.0
+        }
+    }
+
+    impl AllocationEnv for World {
+        fn tag_once(&mut self, r: ResourceId, _rng: &mut StdRng) {
+            self.counts[r.index()] += 1;
+        }
+    }
+
+    #[test]
+    fn fp_phase_levels_before_mu_takes_over() {
+        let mut env = World {
+            counts: vec![0, 6, 0, 2],
+        };
+        let mut s = FpMu::with_min_posts(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fw = crate::framework::Framework {
+            batch_size: 1,
+            record_every: 100,
+        };
+        // 7 tasks level the (0,2)-post resources to 3; the 8th is the first
+        // choose() after levelling, which is when the switch rule is
+        // evaluated (switching happens at batch boundaries).
+        let _ = fw.run(&mut env, &mut s, 8, &mut rng);
+        assert!(env.counts.iter().all(|&c| c >= 3), "{:?}", env.counts);
+        assert!(s.in_mu_phase());
+    }
+
+    #[test]
+    fn budget_fraction_rule_switches_mid_run() {
+        let mut env = World {
+            counts: vec![0; 4],
+        };
+        let mut s = FpMu::new(SwitchRule::BudgetFraction(0.5));
+        let mut rng = StdRng::seed_from_u64(2);
+        let fw = crate::framework::Framework {
+            batch_size: 1,
+            record_every: 100,
+        };
+        let _ = fw.run(&mut env, &mut s, 20, &mut rng);
+        assert!(s.in_mu_phase());
+    }
+
+    #[test]
+    fn never_switches_when_threshold_unreachable() {
+        let mut env = World {
+            counts: vec![0; 10],
+        };
+        let mut s = FpMu::with_min_posts(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let fw = crate::framework::Framework {
+            batch_size: 2,
+            record_every: 100,
+        };
+        let _ = fw.run(&mut env, &mut s, 30, &mut rng);
+        assert!(!s.in_mu_phase());
+        // Pure-FP behaviour: counts levelled to 3 each.
+        assert!(env.counts.iter().all(|&c| c == 3), "{:?}", env.counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget fraction")]
+    fn invalid_fraction_rejected() {
+        let _ = FpMu::new(SwitchRule::BudgetFraction(1.5));
+    }
+}

@@ -1,0 +1,123 @@
+//! Serializable strategy selector — what a provider picks on the
+//! Add-Project screen (Fig. 4), and what the engine's "we will help
+//! providers choose the best strategy" suggestion returns.
+
+use crate::fc::{FcMode, FreeChoice};
+use crate::fp::FewestPosts;
+use crate::framework::ChooseResources;
+use crate::hybrid::{FpMu, SwitchRule};
+use crate::mu::MostUnstable;
+use crate::optimal::{OptDp, OptGreedy};
+use crate::random::UniformRandom;
+use serde::{Deserialize, Serialize};
+
+/// The strategy menu.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Free choice, dataset popularity.
+    FreeChoice,
+    /// Free choice with rich-get-richer dynamics.
+    FreeChoicePreferential,
+    /// Fewest posts first.
+    FewestPosts,
+    /// Most unstable first.
+    MostUnstable,
+    /// FP then MU; switch when every resource has `min_posts` posts.
+    FpMu { min_posts: u32 },
+    /// FP then MU; switch after a budget fraction.
+    FpMuBudget { fraction: f64 },
+    /// Uniform random baseline.
+    Random,
+    /// Greedy optimal over projected gains.
+    Optimal,
+    /// Exact DP optimal (small instances only).
+    OptimalDp,
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy.
+    pub fn build(&self) -> Box<dyn ChooseResources + Send> {
+        match *self {
+            StrategyKind::FreeChoice => Box::new(FreeChoice::new(FcMode::StaticPopularity)),
+            StrategyKind::FreeChoicePreferential => {
+                Box::new(FreeChoice::new(FcMode::PreferentialAttachment))
+            }
+            StrategyKind::FewestPosts => Box::new(FewestPosts::new()),
+            StrategyKind::MostUnstable => Box::new(MostUnstable::new()),
+            StrategyKind::FpMu { min_posts } => Box::new(FpMu::new(SwitchRule::MinPosts(min_posts))),
+            StrategyKind::FpMuBudget { fraction } => {
+                Box::new(FpMu::new(SwitchRule::BudgetFraction(fraction)))
+            }
+            StrategyKind::Random => Box::new(UniformRandom),
+            StrategyKind::Optimal => Box::new(OptGreedy::new()),
+            StrategyKind::OptimalDp => Box::new(OptDp::new()),
+        }
+    }
+
+    /// Display name matching the paper's Table I.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::FreeChoice => "FC",
+            StrategyKind::FreeChoicePreferential => "FC-pref",
+            StrategyKind::FewestPosts => "FP",
+            StrategyKind::MostUnstable => "MU",
+            StrategyKind::FpMu { .. } | StrategyKind::FpMuBudget { .. } => "FP-MU",
+            StrategyKind::Random => "RAND",
+            StrategyKind::Optimal => "OPT",
+            StrategyKind::OptimalDp => "OPT-DP",
+        }
+    }
+
+    /// The strategy line-up of the paper's evaluation (Section IV):
+    /// the four Table-I strategies, the random baseline and the optimal.
+    pub fn paper_lineup(window: u32) -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::FreeChoice,
+            StrategyKind::Random,
+            StrategyKind::FewestPosts,
+            StrategyKind::MostUnstable,
+            StrategyKind::FpMu { min_posts: window },
+            StrategyKind::Optimal,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_labels() {
+        let kinds = [
+            StrategyKind::FreeChoice,
+            StrategyKind::FreeChoicePreferential,
+            StrategyKind::FewestPosts,
+            StrategyKind::MostUnstable,
+            StrategyKind::FpMu { min_posts: 5 },
+            StrategyKind::FpMuBudget { fraction: 0.4 },
+            StrategyKind::Random,
+            StrategyKind::Optimal,
+            StrategyKind::OptimalDp,
+        ];
+        for k in kinds {
+            let s = k.build();
+            assert!(!s.name().is_empty());
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn lineup_matches_section_four() {
+        let lineup = StrategyKind::paper_lineup(5);
+        let labels: Vec<&str> = lineup.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["FC", "RAND", "FP", "MU", "FP-MU", "OPT"]);
+    }
+
+    #[test]
+    fn kind_serializes_for_configs() {
+        let k = StrategyKind::FpMu { min_posts: 7 };
+        let bytes = itag_store::serbin::to_bytes(&k).unwrap();
+        let back: StrategyKind = itag_store::serbin::from_bytes(&bytes).unwrap();
+        assert_eq!(back, k);
+    }
+}

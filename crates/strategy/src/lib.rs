@@ -1,0 +1,57 @@
+//! # itag-strategy — budgeted task-allocation strategies
+//!
+//! Implements Algorithm 1 of the paper (the "choose resources – update
+//! model" framework) and every allocation strategy of Table I:
+//!
+//! | Strategy | Module | CHOOSERESOURCES() |
+//! |----------|--------|--------------------|
+//! | FC       | [`fc`] | taggers choose freely (popularity-weighted) |
+//! | FP       | [`fp`] | fewest posts first |
+//! | MU       | [`mu`] | most unstable rfd first |
+//! | FP-MU    | [`hybrid`] | FP phase, then MU |
+//! | RAND     | [`random`] | uniform baseline |
+//! | OPT      | [`optimal`] | greedy/DP over projected marginal gains — the "optimal allocation strategy" of Section IV |
+//!
+//! Strategies see the world only through [`env::EnvView`]: post counts,
+//! observable instability, popularity and projected gains. They never touch
+//! latent distributions (except OPT, whose whole point is to be the oracle
+//! upper bound).
+//!
+//! [`simenv::SimWorld`] is the pure-simulation environment used by the
+//! figure harness; `itag-core` provides the full-system environment that
+//! routes tasks through the crowdsourcing platform.
+//!
+//! ```
+//! use itag_model::delicious::DeliciousConfig;
+//! use itag_quality::metric::QualityMetric;
+//! use itag_strategy::{Framework, SimWorld, StrategyKind};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let corpus = DeliciousConfig::tiny(1).generate();
+//! let mut world = SimWorld::new(corpus.dataset, QualityMetric::default());
+//! let mut strategy = StrategyKind::FpMu { min_posts: 5 }.build();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let report = Framework::default().run(&mut world, strategy.as_mut(), 200, &mut rng);
+//! assert_eq!(report.spent, 200);
+//! assert!(report.improvement() > 0.0);
+//! ```
+
+pub mod env;
+pub mod fc;
+pub mod fp;
+pub mod framework;
+pub mod hybrid;
+pub mod kind;
+pub mod mu;
+pub mod optimal;
+pub mod ord;
+pub mod random;
+pub mod simenv;
+pub mod switch;
+pub mod trace_replay;
+
+pub use env::{AllocationEnv, EnvView};
+pub use framework::{BudgetPoint, ChooseResources, Framework, RunReport};
+pub use kind::StrategyKind;
+pub use simenv::SimWorld;
+pub use switch::SwitchableStrategy;

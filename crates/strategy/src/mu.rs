@@ -1,0 +1,221 @@
+//! MU — Most Unstable First.
+//!
+//! Table I: "Prioritize resources with most unstable rfds. Pro: increase
+//! the number of resources that can satisfy a certain quality
+//! requirement."
+//!
+//! A lazy max-heap over `(instability, resource)`. A resource's
+//! instability only changes when *it* receives a post, so entries are
+//! refreshed through [`ChooseResources::notify_update`]; a small epsilon
+//! guards against float drift on pop-validation. Resources chosen in the
+//! current batch are parked in a pending set until their post lands, so a
+//! batch never double-selects one resource.
+
+use crate::env::{resource_ids, EnvView};
+use crate::framework::ChooseResources;
+use crate::ord::F64Ord;
+use itag_model::ids::ResourceId;
+use itag_store::codec::FxHashSet;
+use rand::rngs::StdRng;
+use std::collections::BinaryHeap;
+
+/// Tolerance when validating a popped instability against the live value.
+const EPS: f64 = 1e-9;
+
+/// The MU strategy.
+#[derive(Debug, Clone, Default)]
+pub struct MostUnstable {
+    /// Max-heap of `(instability, resource id)`.
+    heap: BinaryHeap<(F64Ord, u32)>,
+    /// Resources with an in-flight task (chosen, post not yet landed).
+    pending: FxHashSet<u32>,
+}
+
+impl MostUnstable {
+    pub fn new() -> Self {
+        MostUnstable::default()
+    }
+}
+
+impl ChooseResources for MostUnstable {
+    fn name(&self) -> &str {
+        "MU"
+    }
+
+    fn init(&mut self, env: &dyn EnvView, _budget: u32, _rng: &mut StdRng) {
+        self.heap.clear();
+        self.pending.clear();
+        for r in resource_ids(env) {
+            self.heap.push((F64Ord(env.instability(r)), r.0));
+        }
+    }
+
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, _rng: &mut StdRng) -> Vec<ResourceId> {
+        let mut chosen = Vec::with_capacity(batch);
+        let mut guard = 0usize;
+        let max_iter = 4 * (env.num_resources() + batch) + 64;
+        while chosen.len() < batch && guard < max_iter {
+            guard += 1;
+            let Some((F64Ord(assumed), rid)) = self.heap.pop() else {
+                break;
+            };
+            if self.pending.contains(&rid) {
+                // Duplicate heap entry for an in-flight resource; drop it —
+                // notify_update will push a fresh one.
+                continue;
+            }
+            let r = ResourceId(rid);
+            let actual = env.instability(r);
+            if (assumed - actual).abs() > EPS {
+                self.heap.push((F64Ord(actual), rid));
+                continue;
+            }
+            self.pending.insert(rid);
+            chosen.push(r);
+        }
+        chosen
+    }
+
+    fn notify_update(&mut self, env: &dyn EnvView, r: ResourceId) {
+        self.pending.remove(&r.0);
+        self.heap.push((F64Ord(env.instability(r)), r.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::AllocationEnv;
+    use rand::SeedableRng;
+
+    /// Instability decreases by a fixed decay per post:
+    /// `inst = base · decay^posts`.
+    struct DecayEnv {
+        base: Vec<f64>,
+        counts: Vec<u32>,
+        decay: f64,
+    }
+
+    impl DecayEnv {
+        fn inst(&self, i: usize) -> f64 {
+            self.base[i] * self.decay.powi(self.counts[i] as i32)
+        }
+    }
+
+    impl EnvView for DecayEnv {
+        fn num_resources(&self) -> usize {
+            self.base.len()
+        }
+        fn post_count(&self, r: ResourceId) -> u32 {
+            self.counts[r.index()]
+        }
+        fn instability(&self, r: ResourceId) -> f64 {
+            self.inst(r.index())
+        }
+        fn quality(&self, r: ResourceId) -> f64 {
+            1.0 - self.inst(r.index())
+        }
+        fn mean_quality(&self) -> f64 {
+            let n = self.base.len() as f64;
+            (0..self.base.len()).map(|i| 1.0 - self.inst(i)).sum::<f64>() / n
+        }
+        fn popularity_weight(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn planning_marginal(&self, _r: ResourceId, _k: u32) -> f64 {
+            0.0
+        }
+    }
+
+    impl AllocationEnv for DecayEnv {
+        fn tag_once(&mut self, r: ResourceId, _rng: &mut StdRng) {
+            self.counts[r.index()] += 1;
+        }
+    }
+
+    #[test]
+    fn picks_most_unstable_first() {
+        let env = DecayEnv {
+            base: vec![0.2, 0.9, 0.5],
+            counts: vec![0; 3],
+            decay: 0.5,
+        };
+        let mut mu = MostUnstable::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        mu.init(&env, 0, &mut rng);
+        assert_eq!(mu.choose(&env, 1, &mut rng), vec![ResourceId(1)]);
+    }
+
+    #[test]
+    fn batch_does_not_double_select_one_resource() {
+        let env = DecayEnv {
+            base: vec![0.9, 0.8, 0.7],
+            counts: vec![0; 3],
+            decay: 0.5,
+        };
+        let mut mu = MostUnstable::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        mu.init(&env, 0, &mut rng);
+        let chosen = mu.choose(&env, 3, &mut rng);
+        let mut ids: Vec<u32> = chosen.iter().map(|r| r.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn refreshed_instability_reorders_the_queue() {
+        let mut env = DecayEnv {
+            base: vec![0.9, 0.6],
+            counts: vec![0; 2],
+            decay: 0.1, // one post crushes instability
+        };
+        let mut mu = MostUnstable::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        mu.init(&env, 0, &mut rng);
+
+        let first = mu.choose(&env, 1, &mut rng);
+        assert_eq!(first, vec![ResourceId(0)]);
+        env.tag_once(ResourceId(0), &mut rng);
+        mu.notify_update(&env, ResourceId(0));
+
+        // Resource 0 now has instability 0.09 < resource 1's 0.6.
+        let second = mu.choose(&env, 1, &mut rng);
+        assert_eq!(second, vec![ResourceId(1)]);
+    }
+
+    #[test]
+    fn full_run_equalizes_instability_better_than_neglect() {
+        let mut env = DecayEnv {
+            base: vec![0.9, 0.9, 0.9, 0.1],
+            counts: vec![0; 4],
+            decay: 0.7,
+        };
+        let mut mu = MostUnstable::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = crate::framework::Framework {
+            batch_size: 2,
+            record_every: 10,
+        }
+        .run(&mut env, &mut mu, 30, &mut rng);
+        assert_eq!(report.spent, 30);
+        // The already-stable resource must receive the fewest tasks.
+        let alloc = &report.allocation;
+        assert!(alloc[3] < alloc[0] && alloc[3] < alloc[1] && alloc[3] < alloc[2]);
+        // Quality must improve (monotone decay world).
+        assert!(report.improvement() > 0.0);
+    }
+
+    #[test]
+    fn empty_env_returns_empty() {
+        let env = DecayEnv {
+            base: vec![],
+            counts: vec![],
+            decay: 0.5,
+        };
+        let mut mu = MostUnstable::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        mu.init(&env, 0, &mut rng);
+        assert!(mu.choose(&env, 2, &mut rng).is_empty());
+    }
+}

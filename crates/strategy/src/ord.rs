@@ -1,0 +1,44 @@
+//! A totally-ordered `f64` wrapper for priority queues.
+
+/// `f64` with `Ord` via IEEE total ordering. Heap keys in this crate are
+/// qualities/gains in `[0, ∞)`, for which total order equals numeric order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64Ord(pub f64);
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_maximum_first() {
+        let mut h = BinaryHeap::new();
+        for v in [0.3, 0.9, 0.1, 0.5] {
+            h.push(F64Ord(v));
+        }
+        assert_eq!(h.pop(), Some(F64Ord(0.9)));
+        assert_eq!(h.pop(), Some(F64Ord(0.5)));
+    }
+
+    #[test]
+    fn tuple_ordering_breaks_ties_on_second_field() {
+        let mut h = BinaryHeap::new();
+        h.push((F64Ord(0.5), 1u32));
+        h.push((F64Ord(0.5), 9u32));
+        assert_eq!(h.pop(), Some((F64Ord(0.5), 9)));
+    }
+}

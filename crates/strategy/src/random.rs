@@ -1,0 +1,92 @@
+//! RAND — uniform random allocation.
+//!
+//! Not in Table I, but the natural null baseline between FC (popularity-
+//! skewed) and the informed strategies: it spreads budget evenly in
+//! expectation without using any statistics.
+
+use crate::env::EnvView;
+use crate::framework::ChooseResources;
+use itag_model::ids::ResourceId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The uniform-random strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformRandom;
+
+impl ChooseResources for UniformRandom {
+    fn name(&self) -> &str {
+        "RAND"
+    }
+
+    fn init(&mut self, _env: &dyn EnvView, _budget: u32, _rng: &mut StdRng) {}
+
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, rng: &mut StdRng) -> Vec<ResourceId> {
+        let n = env.num_resources();
+        if n == 0 {
+            return Vec::new();
+        }
+        (0..batch)
+            .map(|_| ResourceId(rng.gen_range(0..n as u32)))
+            .collect()
+    }
+
+    fn notify_update(&mut self, _env: &dyn EnvView, _r: ResourceId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct NEnv(usize);
+    impl EnvView for NEnv {
+        fn num_resources(&self) -> usize {
+            self.0
+        }
+        fn post_count(&self, _r: ResourceId) -> u32 {
+            0
+        }
+        fn instability(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn quality(&self, _r: ResourceId) -> f64 {
+            0.0
+        }
+        fn mean_quality(&self) -> f64 {
+            0.0
+        }
+        fn popularity_weight(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn planning_marginal(&self, _r: ResourceId, _k: u32) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn spreads_roughly_uniformly() {
+        let env = NEnv(10);
+        let mut s = UniformRandom;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = [0u32; 10];
+        for _ in 0..1000 {
+            for r in s.choose(&env, 10, &mut rng) {
+                hits[r.index()] += 1;
+            }
+        }
+        let (min, max) = (
+            *hits.iter().min().unwrap() as f64,
+            *hits.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.3, "min {min}, max {max}");
+    }
+
+    #[test]
+    fn empty_env_returns_empty() {
+        let env = NEnv(0);
+        let mut s = UniformRandom;
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(s.choose(&env, 5, &mut rng).is_empty());
+    }
+}

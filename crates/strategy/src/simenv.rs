@@ -1,0 +1,357 @@
+//! `SimWorld` — the pure-simulation allocation environment.
+//!
+//! Wraps a [`Dataset`] with live quality states. `tag_once` draws a post
+//! from the resource's latent distribution (optionally corrupted by tagger
+//! noise) and folds it into the rfd — the whole "assign to tagger /
+//! UPDATE()" round-trip without the crowdsourcing machinery. This is what
+//! the figure harness runs; `itag-core` provides the full-system
+//! environment with workers, approvals and payments on the same traits.
+
+use crate::env::{AllocationEnv, EnvView};
+use itag_model::dataset::Dataset;
+use itag_model::ids::{ResourceId, TagId};
+use itag_model::vocab::TagsPerPost;
+use itag_quality::gain::GainEstimator;
+use itag_quality::history::ResourceQuality;
+use itag_quality::metric::QualityMetric;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Pure-simulation environment.
+pub struct SimWorld {
+    dataset: Dataset,
+    states: Vec<ResourceQuality>,
+    metric: QualityMetric,
+    gains: GainEstimator,
+    counts: Vec<u32>,
+    qualities: Vec<f64>,
+    quality_sum: f64,
+    tags_per_post: TagsPerPost,
+    /// Per-tag probability that a tag is replaced by a uniform random
+    /// vocabulary tag (the paper's "noisy" taggers).
+    noise_rate: f64,
+    posts_issued: u64,
+}
+
+impl SimWorld {
+    /// Builds the world and replays the dataset's initial posts into the
+    /// quality states (the provider's pre-campaign statistics).
+    pub fn new(dataset: Dataset, metric: QualityMetric) -> Self {
+        let n = dataset.len();
+        let max_lag = match metric {
+            QualityMetric::Stability { window, .. }
+            | QualityMetric::SmoothedStability { window, .. } => window.max(1) as usize,
+            QualityMetric::Oracle => 1,
+        };
+        let mut states: Vec<ResourceQuality> =
+            (0..n).map(|_| ResourceQuality::new(max_lag)).collect();
+        for post in &dataset.initial_posts {
+            states[post.resource.index()].push_post(&post.tags);
+        }
+        let counts: Vec<u32> = states.iter().map(|s| s.posts()).collect();
+        let gains = GainEstimator::oracle(&dataset.latent);
+        let qualities: Vec<f64> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| metric.eval(s, Some(&dataset.latent[i])))
+            .collect();
+        let quality_sum = qualities.iter().sum();
+        let mut world = SimWorld {
+            dataset,
+            states,
+            metric,
+            gains,
+            counts,
+            qualities,
+            quality_sum,
+            tags_per_post: TagsPerPost::default(),
+            noise_rate: 0.0,
+            posts_issued: 0,
+        };
+        // Record the starting quality so learning-curve fitting has a
+        // baseline sample for every resource.
+        for i in 0..world.states.len() {
+            let q = world.qualities[i];
+            world.states[i].record(q);
+        }
+        world
+    }
+
+    /// Sets the tagger noise rate (0.0 = honest crowd, toward 1.0 = junk).
+    pub fn with_noise(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "noise rate in [0,1]");
+        self.noise_rate = rate;
+        self
+    }
+
+    /// Sets the tags-per-post distribution.
+    pub fn with_tags_per_post(mut self, tpp: TagsPerPost) -> Self {
+        self.tags_per_post = tpp;
+        self
+    }
+
+    /// Replaces the oracle gain model with curves fitted online — the
+    /// "deployable OPT" ablation.
+    pub fn with_fitted_gains(mut self) -> Self {
+        self.gains = GainEstimator::with_prior(
+            self.dataset.len(),
+            itag_quality::curve::LearningCurve::default_prior(),
+        );
+        self
+    }
+
+    /// The wrapped dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Current post counts (`c⃗ + x⃗` so far).
+    pub fn counts(&self) -> &[u32] {
+        self.counts.as_slice()
+    }
+
+    /// Posts issued through `tag_once` (excludes initial posts).
+    pub fn posts_issued(&self) -> u64 {
+        self.posts_issued
+    }
+
+    /// The active quality metric.
+    pub fn metric(&self) -> QualityMetric {
+        self.metric
+    }
+
+    /// Ground-truth dataset quality under the oracle metric, regardless of
+    /// the configured metric — the evaluation harness reports both.
+    pub fn oracle_mean_quality(&self) -> f64 {
+        let n = self.states.len().max(1) as f64;
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| QualityMetric::Oracle.eval(s, Some(&self.dataset.latent[i])))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Number of resources with fewer than `t` posts (the FP figure).
+    pub fn count_below_posts(&self, t: u32) -> usize {
+        self.counts.iter().filter(|&&c| c < t).count()
+    }
+
+    /// Number of resources with quality ≥ `tau` (the MU figure).
+    pub fn count_quality_at_least(&self, tau: f64) -> usize {
+        self.qualities.iter().filter(|&&q| q >= tau).count()
+    }
+
+    /// Generates a post's tags for `r`: honest draws from the latent
+    /// distribution with per-tag noise substitution.
+    fn gen_post_tags(&self, r: ResourceId, rng: &mut StdRng) -> Vec<TagId> {
+        let mut tags = self
+            .dataset
+            .sample_honest_tags(r, self.tags_per_post, rng);
+        if self.noise_rate > 0.0 {
+            let vocab = self.dataset.dictionary.len() as u32;
+            for t in tags.iter_mut() {
+                if rng.gen::<f64>() < self.noise_rate {
+                    *t = TagId(rng.gen_range(0..vocab));
+                }
+            }
+            // The noise substitution may introduce duplicates; posts are
+            // sets, so dedupe (keeping order).
+            let mut seen = Vec::with_capacity(tags.len());
+            tags.retain(|t| {
+                if seen.contains(t) {
+                    false
+                } else {
+                    seen.push(*t);
+                    true
+                }
+            });
+        }
+        tags
+    }
+
+    fn refresh_quality(&mut self, i: usize) {
+        let q = self
+            .metric
+            .eval(&self.states[i], Some(&self.dataset.latent[i]));
+        self.quality_sum += q - self.qualities[i];
+        self.qualities[i] = q;
+        self.states[i].record(q);
+    }
+}
+
+impl EnvView for SimWorld {
+    fn num_resources(&self) -> usize {
+        self.dataset.len()
+    }
+
+    fn post_count(&self, r: ResourceId) -> u32 {
+        self.counts[r.index()]
+    }
+
+    fn instability(&self, r: ResourceId) -> f64 {
+        1.0 - self.qualities[r.index()]
+    }
+
+    fn quality(&self, r: ResourceId) -> f64 {
+        self.qualities[r.index()]
+    }
+
+    fn mean_quality(&self) -> f64 {
+        if self.qualities.is_empty() {
+            0.0
+        } else {
+            self.quality_sum / self.qualities.len() as f64
+        }
+    }
+
+    fn popularity_weight(&self, r: ResourceId) -> f64 {
+        self.dataset.popularity[r.index()]
+    }
+
+    fn planning_marginal(&self, r: ResourceId, k: u32) -> f64 {
+        self.gains.planning_marginal(r.index(), k)
+    }
+}
+
+impl AllocationEnv for SimWorld {
+    fn tag_once(&mut self, r: ResourceId, rng: &mut StdRng) {
+        let tags = self.gen_post_tags(r, rng);
+        let i = r.index();
+        self.states[i].push_post(&tags);
+        self.counts[i] += 1;
+        self.posts_issued += 1;
+        self.refresh_quality(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Framework;
+    use crate::kind::StrategyKind;
+    use itag_model::delicious::DeliciousConfig;
+    use rand::SeedableRng;
+
+    fn world(seed: u64) -> SimWorld {
+        let d = DeliciousConfig::tiny(seed).generate();
+        SimWorld::new(d.dataset, QualityMetric::default())
+    }
+
+    #[test]
+    fn initial_state_reflects_dataset() {
+        let d = DeliciousConfig::tiny(1).generate();
+        let expected = d.dataset.initial_counts();
+        let w = SimWorld::new(d.dataset, QualityMetric::default());
+        assert_eq!(w.counts(), expected.as_slice());
+        let q = w.mean_quality();
+        assert!((0.0..=1.0).contains(&q));
+    }
+
+    #[test]
+    fn tag_once_updates_counts_and_quality_cache() {
+        let mut w = world(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = ResourceId(0);
+        let before = w.post_count(r);
+        w.tag_once(r, &mut rng);
+        assert_eq!(w.post_count(r), before + 1);
+        assert_eq!(w.posts_issued(), 1);
+        // Cached mean equals recomputed mean.
+        let mean: f64 =
+            (0..w.num_resources()).map(|i| w.quality(ResourceId(i as u32))).sum::<f64>()
+                / w.num_resources() as f64;
+        assert!((w.mean_quality() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_improves_under_any_informed_strategy() {
+        for kind in [
+            StrategyKind::FewestPosts,
+            StrategyKind::MostUnstable,
+            StrategyKind::FpMu { min_posts: 5 },
+            StrategyKind::Optimal,
+        ] {
+            let mut w = world(4);
+            let mut strat = kind.build();
+            let mut rng = StdRng::seed_from_u64(5);
+            let report = Framework {
+                batch_size: 5,
+                record_every: 200,
+            }
+            .run(&mut w, strat.as_mut(), 500, &mut rng);
+            assert!(
+                report.improvement() > 0.05,
+                "{} should improve quality, got {}",
+                report.strategy,
+                report.improvement()
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_quality_rises_with_honest_posts() {
+        let mut w = world(6);
+        let before = w.oracle_mean_quality();
+        let mut strat = StrategyKind::FewestPosts.build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = Framework::default().run(&mut w, strat.as_mut(), 400, &mut rng);
+        let after = w.oracle_mean_quality();
+        assert!(after > before, "oracle: {before} → {after}");
+    }
+
+    #[test]
+    fn noise_slows_quality_improvement() {
+        let run = |noise: f64| {
+            let d = DeliciousConfig::tiny(8).generate();
+            let mut w = SimWorld::new(d.dataset, QualityMetric::default()).with_noise(noise);
+            let mut strat = StrategyKind::FewestPosts.build();
+            let mut rng = StdRng::seed_from_u64(9);
+            Framework::default()
+                .run(&mut w, strat.as_mut(), 400, &mut rng)
+                .improvement()
+        };
+        let clean = run(0.0);
+        let noisy = run(0.8);
+        assert!(
+            clean > noisy,
+            "noise should hurt: clean {clean}, noisy {noisy}"
+        );
+    }
+
+    #[test]
+    fn counters_track_threshold_figures() {
+        let mut w = world(10);
+        let below_before = w.count_below_posts(10);
+        let mut strat = StrategyKind::FewestPosts.build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let _ = Framework::default().run(&mut w, strat.as_mut(), 300, &mut rng);
+        let below_after = w.count_below_posts(10);
+        assert!(
+            below_after < below_before,
+            "FP must reduce low-post resources: {below_before} → {below_after}"
+        );
+        // Sanity for the tau counter.
+        assert!(w.count_quality_at_least(0.0) == w.num_resources());
+        assert!(w.count_quality_at_least(1.01) == 0);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let run = || {
+            let mut w = world(12);
+            let mut strat = StrategyKind::MostUnstable.build();
+            let mut rng = StdRng::seed_from_u64(13);
+            Framework::default()
+                .run(&mut w, strat.as_mut(), 200, &mut rng)
+                .final_quality
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "noise rate")]
+    fn invalid_noise_rejected() {
+        let _ = world(1).with_noise(1.5);
+    }
+}

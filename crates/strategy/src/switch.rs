@@ -1,0 +1,231 @@
+//! Provider controls: mid-run strategy switching and per-resource
+//! promote/stop overrides.
+//!
+//! The demo UI (Figs. 3/5) lets providers "change allocation strategies if
+//! they are not satisfied with the current tagging progress", promote a
+//! resource ("ensuring that the resource will be chosen by the next
+//! CHOOSERESOURCES() step") and stop investing in a resource. This wrapper
+//! adds those controls around any inner strategy.
+
+use crate::env::EnvView;
+use crate::framework::ChooseResources;
+use itag_model::ids::ResourceId;
+use itag_store::codec::FxHashSet;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// A strategy wrapper with provider overrides.
+pub struct SwitchableStrategy {
+    inner: Box<dyn ChooseResources + Send>,
+    /// Promoted resources, served before anything the inner strategy picks.
+    promoted: VecDeque<ResourceId>,
+    /// Resources the provider stopped; never selected.
+    stopped: FxHashSet<u32>,
+    /// Set when `switch_to` replaced the inner strategy; the replacement is
+    /// re-initialized on the next choose() against current statistics.
+    needs_init: bool,
+    budget_hint: u32,
+    switches: u32,
+}
+
+impl SwitchableStrategy {
+    /// Wraps `inner`.
+    pub fn new(inner: Box<dyn ChooseResources + Send>) -> Self {
+        SwitchableStrategy {
+            inner,
+            promoted: VecDeque::new(),
+            stopped: FxHashSet::default(),
+            needs_init: false,
+            budget_hint: 0,
+            switches: 0,
+        }
+    }
+
+    /// The Promote button: `r` will be chosen by the next
+    /// CHOOSERESOURCES() step (unless stopped).
+    pub fn promote(&mut self, r: ResourceId) {
+        if !self.stopped.contains(&r.0) && !self.promoted.contains(&r) {
+            self.promoted.push_back(r);
+        }
+    }
+
+    /// The Stop button: stop investing in `r`.
+    pub fn stop_resource(&mut self, r: ResourceId) {
+        self.stopped.insert(r.0);
+        self.promoted.retain(|&p| p != r);
+    }
+
+    /// Re-allow a stopped resource.
+    pub fn resume_resource(&mut self, r: ResourceId) {
+        self.stopped.remove(&r.0);
+    }
+
+    /// Replaces the allocation strategy mid-run; it re-initializes from
+    /// current statistics on the next choose().
+    pub fn switch_to(&mut self, strategy: Box<dyn ChooseResources + Send>) {
+        self.inner = strategy;
+        self.needs_init = true;
+        self.switches += 1;
+    }
+
+    /// Number of mid-run switches performed.
+    pub fn switches(&self) -> u32 {
+        self.switches
+    }
+
+    /// Name of the currently active inner strategy.
+    pub fn active_name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// True if `r` is currently stopped.
+    pub fn is_stopped(&self, r: ResourceId) -> bool {
+        self.stopped.contains(&r.0)
+    }
+}
+
+impl ChooseResources for SwitchableStrategy {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn init(&mut self, env: &dyn EnvView, budget: u32, rng: &mut StdRng) {
+        self.budget_hint = budget;
+        self.needs_init = false;
+        self.inner.init(env, budget, rng);
+    }
+
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, rng: &mut StdRng) -> Vec<ResourceId> {
+        if self.needs_init {
+            self.needs_init = false;
+            self.inner.init(env, self.budget_hint, rng);
+        }
+        let mut out = Vec::with_capacity(batch);
+        while out.len() < batch {
+            let Some(r) = self.promoted.pop_front() else {
+                break;
+            };
+            if !self.stopped.contains(&r.0) {
+                out.push(r);
+            }
+        }
+        // Fill the remainder from the inner strategy, dropping stopped
+        // resources. Bounded retries: an inner strategy that only proposes
+        // stopped resources must not spin forever.
+        let mut attempts = 0;
+        while out.len() < batch && attempts < 8 {
+            attempts += 1;
+            let want = batch - out.len();
+            let picks = self.inner.choose(env, want, rng);
+            if picks.is_empty() {
+                break;
+            }
+            for r in picks {
+                if !self.stopped.contains(&r.0) && out.len() < batch {
+                    out.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    fn notify_update(&mut self, env: &dyn EnvView, r: ResourceId) {
+        self.inner.notify_update(env, r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::FewestPosts;
+    use crate::mu::MostUnstable;
+    use crate::random::UniformRandom;
+    use rand::SeedableRng;
+
+    struct Flat(usize);
+    impl EnvView for Flat {
+        fn num_resources(&self) -> usize {
+            self.0
+        }
+        fn post_count(&self, _r: ResourceId) -> u32 {
+            0
+        }
+        fn instability(&self, r: ResourceId) -> f64 {
+            1.0 - (r.0 as f64) / 100.0 // resource 0 most unstable
+        }
+        fn quality(&self, _r: ResourceId) -> f64 {
+            0.0
+        }
+        fn mean_quality(&self) -> f64 {
+            0.0
+        }
+        fn popularity_weight(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn planning_marginal(&self, _r: ResourceId, _k: u32) -> f64 {
+            0.1
+        }
+    }
+
+    #[test]
+    fn promoted_resources_come_first() {
+        let env = Flat(10);
+        let mut s = SwitchableStrategy::new(Box::new(MostUnstable::new()));
+        let mut rng = StdRng::seed_from_u64(1);
+        s.init(&env, 100, &mut rng);
+        s.promote(ResourceId(7));
+        s.promote(ResourceId(3));
+        let picks = s.choose(&env, 3, &mut rng);
+        assert_eq!(picks[0], ResourceId(7));
+        assert_eq!(picks[1], ResourceId(3));
+        // Third pick comes from MU: resource 0 is the most unstable.
+        assert_eq!(picks[2], ResourceId(0));
+    }
+
+    #[test]
+    fn stopped_resources_are_filtered_everywhere() {
+        let env = Flat(3);
+        let mut s = SwitchableStrategy::new(Box::new(MostUnstable::new()));
+        let mut rng = StdRng::seed_from_u64(2);
+        s.init(&env, 100, &mut rng);
+        s.promote(ResourceId(1));
+        s.stop_resource(ResourceId(1)); // un-promotes too
+        s.stop_resource(ResourceId(0)); // MU's favourite
+        for _ in 0..5 {
+            for r in s.choose(&env, 2, &mut rng) {
+                assert!(r != ResourceId(0) && r != ResourceId(1), "picked {r}");
+                s.notify_update(&env, r);
+            }
+        }
+        assert!(s.is_stopped(ResourceId(0)));
+        s.resume_resource(ResourceId(0));
+        assert!(!s.is_stopped(ResourceId(0)));
+    }
+
+    #[test]
+    fn switching_reinitializes_against_current_stats() {
+        let env = Flat(5);
+        let mut s = SwitchableStrategy::new(Box::new(UniformRandom));
+        let mut rng = StdRng::seed_from_u64(3);
+        s.init(&env, 10, &mut rng);
+        assert_eq!(s.active_name(), "RAND");
+        s.switch_to(Box::new(FewestPosts::new()));
+        assert_eq!(s.active_name(), "FP");
+        assert_eq!(s.switches(), 1);
+        // Must not panic even though FP's init has not run explicitly —
+        // choose() runs it lazily.
+        let picks = s.choose(&env, 3, &mut rng);
+        assert_eq!(picks.len(), 3);
+    }
+
+    #[test]
+    fn all_stopped_ends_allocation() {
+        let env = Flat(2);
+        let mut s = SwitchableStrategy::new(Box::new(MostUnstable::new()));
+        let mut rng = StdRng::seed_from_u64(4);
+        s.init(&env, 10, &mut rng);
+        s.stop_resource(ResourceId(0));
+        s.stop_resource(ResourceId(1));
+        assert!(s.choose(&env, 4, &mut rng).is_empty());
+    }
+}

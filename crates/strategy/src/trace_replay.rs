@@ -1,0 +1,159 @@
+//! Trace-replay free choice.
+//!
+//! Section IV evaluates strategies against the *recorded* Delicious
+//! stream: the post-split trace is what free-choice taggers actually did.
+//! [`TraceReplay`] follows that stream's resource order verbatim — the
+//! ground-truth FC — while [`crate::fc::FreeChoice`] samples from the
+//! fitted popularity law. Comparing the two (`figures -- trace-replay`)
+//! validates that the synthetic FC is statistically faithful.
+
+use crate::env::EnvView;
+use crate::framework::ChooseResources;
+use itag_model::ids::ResourceId;
+use itag_model::trace::Trace;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// Replays a recorded tagging stream as the allocation order.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    order: VecDeque<ResourceId>,
+    consumed: usize,
+}
+
+impl TraceReplay {
+    /// Builds the replay order from a trace (time order).
+    pub fn from_trace(trace: &Trace) -> Self {
+        TraceReplay {
+            order: trace.events().iter().map(|e| e.resource).collect(),
+            consumed: 0,
+        }
+    }
+
+    /// Events consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Events left in the stream.
+    pub fn remaining(&self) -> usize {
+        self.order.len()
+    }
+}
+
+impl ChooseResources for TraceReplay {
+    fn name(&self) -> &str {
+        "FC-trace"
+    }
+
+    fn init(&mut self, _env: &dyn EnvView, _budget: u32, _rng: &mut StdRng) {}
+
+    fn choose(&mut self, env: &dyn EnvView, batch: usize, _rng: &mut StdRng) -> Vec<ResourceId> {
+        let n = env.num_resources() as u32;
+        let mut out = Vec::with_capacity(batch);
+        while out.len() < batch {
+            let Some(r) = self.order.pop_front() else {
+                break; // trace exhausted: the run ends early, like §IV's
+                       // finite evaluation stream
+            };
+            self.consumed += 1;
+            if r.0 < n {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    fn notify_update(&mut self, _env: &dyn EnvView, _r: ResourceId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itag_model::ids::{TagId, TaggerId};
+    use itag_model::trace::TraceEvent;
+    use rand::SeedableRng;
+
+    struct N(usize);
+    impl EnvView for N {
+        fn num_resources(&self) -> usize {
+            self.0
+        }
+        fn post_count(&self, _r: ResourceId) -> u32 {
+            0
+        }
+        fn instability(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn quality(&self, _r: ResourceId) -> f64 {
+            0.0
+        }
+        fn mean_quality(&self) -> f64 {
+            0.0
+        }
+        fn popularity_weight(&self, _r: ResourceId) -> f64 {
+            1.0
+        }
+        fn planning_marginal(&self, _r: ResourceId, _k: u32) -> f64 {
+            0.0
+        }
+    }
+
+    fn trace(resources: &[u32]) -> Trace {
+        Trace::new(
+            resources
+                .iter()
+                .enumerate()
+                .map(|(at, &r)| TraceEvent {
+                    at: at as u64,
+                    resource: ResourceId(r),
+                    tagger: TaggerId(0),
+                    tags: vec![TagId(0)],
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn replays_in_trace_order() {
+        let mut s = TraceReplay::from_trace(&trace(&[3, 1, 4, 1, 5]));
+        let env = N(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        s.init(&env, 100, &mut rng);
+        assert_eq!(
+            s.choose(&env, 3, &mut rng),
+            vec![ResourceId(3), ResourceId(1), ResourceId(4)]
+        );
+        assert_eq!(s.choose(&env, 3, &mut rng), vec![ResourceId(1), ResourceId(5)]);
+        assert!(s.choose(&env, 3, &mut rng).is_empty(), "trace exhausted");
+        assert_eq!(s.consumed(), 5);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn skips_resources_outside_the_project() {
+        // The trace may mention resources the project did not upload.
+        let mut s = TraceReplay::from_trace(&trace(&[0, 99, 1]));
+        let env = N(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let picks = s.choose(&env, 3, &mut rng);
+        assert_eq!(picks, vec![ResourceId(0), ResourceId(1)]);
+    }
+
+    #[test]
+    fn full_run_through_framework_ends_at_trace_end() {
+        use crate::framework::Framework;
+        use crate::simenv::SimWorld;
+        use itag_model::delicious::DeliciousConfig;
+        use itag_quality::metric::QualityMetric;
+
+        let corpus = DeliciousConfig::tiny(5).generate();
+        let mut world = SimWorld::new(corpus.dataset, QualityMetric::default());
+        let mut s = TraceReplay::from_trace(&corpus.eval_trace);
+        let mut rng = StdRng::seed_from_u64(3);
+        let budget = corpus.eval_trace.len() as u32 + 500; // more than the trace holds
+        let report = Framework::default().run(&mut world, &mut s, budget, &mut rng);
+        assert_eq!(report.spent, corpus.eval_trace.len() as u32);
+        assert!(report.improvement() > 0.0);
+    }
+}

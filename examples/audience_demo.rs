@@ -1,0 +1,90 @@
+//! The demonstration's "Audience Participation" mode (Section IV): the
+//! audience tags resources live, earning incentives when the provider
+//! approves — here scripted, but through the exact API a conference-room
+//! UI (or a real marketplace adapter) would call.
+//!
+//! ```text
+//! cargo run --release --example audience_demo
+//! ```
+
+use itag::core::config::EngineConfig;
+use itag::core::engine::ITagEngine;
+use itag::core::project::ProjectSpec;
+use itag::crowd::audience::ManualPlatform;
+use itag::crowd::platform::{CrowdPlatform, PlatformKind};
+use itag::model::delicious::DeliciousConfig;
+use itag::model::ids::TaggerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut engine = ITagEngine::new(EngineConfig::in_memory(0xA0D1)).expect("engine");
+    let provider = engine.register_provider("icde-demo-host").expect("register");
+
+    // The host publishes one of the "several prepared workloads".
+    let corpus = DeliciousConfig {
+        resources: 60,
+        initial_posts: 240,
+        eval_posts: 0,
+        seed: 0xA0D1,
+        ..DeliciousConfig::default()
+    }
+    .generate();
+    let latents = corpus.dataset.latent.clone();
+    let project = engine
+        .add_project_with_platform(
+            provider,
+            ProjectSpec::demo("audience-session", 120),
+            corpus.dataset,
+            Box::new(ManualPlatform::new(PlatformKind::Facebook)),
+        )
+        .expect("project");
+
+    println!("audience session open: 120 tasks, 5c each\n");
+    let mut rng = StdRng::seed_from_u64(0xA0D1);
+
+    // Six rounds: publish a batch, the "audience" tags what's open.
+    for round in 1..=6 {
+        let published = engine.publish_batch(project, 20).expect("publish");
+        let open: Vec<_> = {
+            let platform: &mut ManualPlatform = engine.platform_mut(project).expect("platform");
+            let ids: Vec<_> = platform.open_task_ids().collect();
+            ids.iter()
+                .map(|&t| (t, platform.task(t).expect("open task").resource))
+                .collect()
+        };
+
+        // Audience members (varying diligence) claim and tag.
+        for (task, resource) in open {
+            let member = TaggerId(rng.gen_range(0..12u32));
+            let latent = &latents[resource.index()];
+            // Most members copy the resource's evident tags; a few troll.
+            let tags = if rng.gen::<f64>() < 0.85 {
+                latent.top_k(2 + rng.gen_range(0..2usize)).to_vec()
+            } else {
+                vec![itag::model::ids::TagId(rng.gen_range(0..5_000u32))]
+            };
+            let platform: &mut ManualPlatform = engine.platform_mut(project).expect("platform");
+            let _ = platform.submit(task, member, tags);
+        }
+
+        let (approved, rejected) = engine.collect_once(project).expect("collect");
+        let m = engine.monitor(project).expect("monitor");
+        println!(
+            "round {round}: published {published:>2}, approved {approved:>2}, rejected {rejected:>2} | quality {:.4} (Δ {:+.4})",
+            m.quality_mean,
+            m.improvement()
+        );
+    }
+
+    let m = engine.monitor(project).expect("monitor");
+    println!(
+        "\nsession over: {} approved, {} rejected, {}c paid to the audience, {}c saved by rejections",
+        m.tasks_approved, m.tasks_rejected, m.paid, m.refunded
+    );
+    let listings = engine.browse_projects().expect("browse");
+    println!(
+        "tagger-side listing: '{}' pays {}c/task, provider approval rate {:.2}",
+        listings[0].name, listings[0].pay_per_task_cents, listings[0].provider_approval_rate
+    );
+}

@@ -1,0 +1,115 @@
+//! The full iTag system driven like the demo (Figs. 3–8): a provider adds
+//! a project, monitors quality in real time, promotes and stops individual
+//! resources, reacts to notifications, switches strategies, and finally
+//! exports the tagged corpus.
+//!
+//! ```text
+//! cargo run --release --example live_platform
+//! ```
+
+use itag::core::config::EngineConfig;
+use itag::core::engine::ITagEngine;
+use itag::core::monitor::SortKey;
+use itag::core::notify::Notification;
+use itag::core::project::ProjectSpec;
+use itag::model::delicious::DeliciousConfig;
+use itag::strategy::StrategyKind;
+
+fn main() {
+    let mut engine = ITagEngine::new(EngineConfig::in_memory(0xD3)).expect("engine");
+
+    // --- Provider signs up and adds a project (Fig. 4) ---------------
+    let provider = engine.register_provider("acme-datasets").expect("register");
+    let dataset = DeliciousConfig {
+        resources: 300,
+        initial_posts: 1_500,
+        eval_posts: 0,
+        seed: 0xD3,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset;
+    let mut spec = ProjectSpec::demo("web-urls-2010", 3_000);
+    spec.description = "Low-quality Web URL tags from the 2010 crawl".into();
+    let project = engine.add_project(provider, spec, dataset).expect("project");
+    println!("created {project} for provider {provider}\n");
+
+    // iTag suggests a strategy from the corpus statistics.
+    let suggestion = engine.suggest_strategy(project).expect("suggest");
+    println!("iTag suggests: {}\n", suggestion.label());
+
+    // --- First funding tranche; monitor (Fig. 3) ---------------------
+    engine.run(project, 1_000).expect("run");
+    let mut m = engine.monitor(project).expect("monitor");
+    m.sort_rows(SortKey::QualityAsc);
+    println!("{}", m.render_table(8));
+
+    // --- Manual steering (Promote / Stop buttons) --------------------
+    let worst = m.rows.first().expect("rows").id;
+    let best = m.rows.last().expect("rows").id;
+    engine.promote(project, worst).expect("promote");
+    engine.stop_resource(project, best).expect("stop");
+    println!(
+        "promoted {worst} (worst quality), stopped {best} (already good)\n"
+    );
+
+    // --- Provider dissatisfied with progress: switch strategy (Fig. 5)
+    engine
+        .switch_strategy(project, StrategyKind::MostUnstable)
+        .expect("switch");
+    engine.run(project, 1_000).expect("run");
+
+    // --- Single-resource drill-down (Fig. 6) -------------------------
+    let detail = engine.resource_detail(project, worst).expect("detail");
+    println!(
+        "resource {} [{}] posts={} quality={:.4}",
+        detail.id, detail.uri, detail.posts, detail.quality
+    );
+    for (tag, count) in detail.top_tags.iter().take(5) {
+        println!("  {tag:<16} ×{count}");
+    }
+    println!();
+
+    // --- Notifications (Fig. 6's Notification section) ---------------
+    let notes = engine.take_notifications();
+    let decided = notes
+        .iter()
+        .filter(|n| matches!(n, Notification::TagDecided { .. }))
+        .count();
+    println!("{} notifications ({} tag decisions); last non-tag events:", notes.len(), decided);
+    for n in notes
+        .iter()
+        .filter(|n| !matches!(n, Notification::TagDecided { .. }))
+        .rev()
+        .take(5)
+    {
+        println!("  {n:?}");
+    }
+    println!();
+
+    // --- Finish the budget; settle accounts --------------------------
+    engine.run(project, u32::MAX).expect("run to completion");
+    let m = engine.monitor(project).expect("monitor");
+    println!(
+        "final: state={} quality {:.4} (Δ {:+.4}) | {} approved, {} rejected | paid {}c refunded {}c",
+        m.state,
+        m.quality_mean,
+        m.improvement(),
+        m.tasks_approved,
+        m.tasks_rejected,
+        m.paid,
+        m.refunded
+    );
+    println!(
+        "provider approval rate (generosity): {:.2}",
+        engine.provider_approval_rate(provider).expect("rate")
+    );
+
+    // --- Export (the Export button) -----------------------------------
+    let export = engine.export(project).expect("export");
+    let csv = export.to_csv();
+    println!("\nexport: {} resources; first CSV lines:", export.resources.len());
+    for line in csv.lines().take(4) {
+        println!("  {line}");
+    }
+}

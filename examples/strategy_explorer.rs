@@ -1,0 +1,92 @@
+//! Interactive-ish strategy exploration: sweep one knob from the command
+//! line and compare strategies under it.
+//!
+//! ```text
+//! cargo run --release --example strategy_explorer -- noise 0.5
+//! cargo run --release --example strategy_explorer -- window 10
+//! cargo run --release --example strategy_explorer -- budget 8000
+//! cargo run --release --example strategy_explorer -- resources 5000
+//! ```
+
+use itag::model::delicious::DeliciousConfig;
+use itag::quality::metric::{QualityMetric, StabilityKernel};
+use itag::strategy::framework::Framework;
+use itag::strategy::simenv::SimWorld;
+use itag::strategy::StrategyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Knobs {
+    resources: usize,
+    budget: u32,
+    noise: f64,
+    window: u32,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            resources: 1_000,
+            budget: 5_000,
+            noise: 0.0,
+            window: 5,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut knobs = Knobs::default();
+    if args.len() >= 2 {
+        let value = &args[1];
+        match args[0].as_str() {
+            "noise" => knobs.noise = value.parse().expect("noise in [0,1]"),
+            "window" => knobs.window = value.parse().expect("window ≥ 1"),
+            "budget" => knobs.budget = value.parse().expect("budget ≥ 0"),
+            "resources" => knobs.resources = value.parse().expect("resources ≥ 1"),
+            other => {
+                eprintln!("unknown knob '{other}' (noise|window|budget|resources)");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "n={} budget={} noise={} window={}\n",
+        knobs.resources, knobs.budget, knobs.noise, knobs.window
+    );
+
+    let corpus = DeliciousConfig {
+        resources: knobs.resources,
+        initial_posts: knobs.resources * 5,
+        eval_posts: 0,
+        seed: 0xE5,
+        ..DeliciousConfig::default()
+    }
+    .generate();
+    let metric = QualityMetric::Stability {
+        window: knobs.window,
+        kernel: StabilityKernel::Cosine,
+    };
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10}",
+        "strategy", "Δq(stab)", "Δq(oracle)", "q≥0.9", "spent"
+    );
+    for kind in StrategyKind::paper_lineup(knobs.window) {
+        let mut world =
+            SimWorld::new(corpus.dataset.clone(), metric).with_noise(knobs.noise);
+        let oracle0 = world.oracle_mean_quality();
+        let mut strategy = kind.build();
+        let mut rng = StdRng::seed_from_u64(0xE5);
+        let report =
+            Framework::default().run(&mut world, strategy.as_mut(), knobs.budget, &mut rng);
+        println!(
+            "{:<8} {:>+10.4} {:>+10.4} {:>12} {:>10}",
+            report.strategy,
+            report.improvement(),
+            world.oracle_mean_quality() - oracle0,
+            world.count_quality_at_least(0.9),
+            report.spent,
+        );
+    }
+}

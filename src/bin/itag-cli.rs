@@ -1,0 +1,340 @@
+//! `itag-cli` — command-line front end for the iTag reproduction.
+//!
+//! ```text
+//! itag-cli generate --resources 1000 --posts 5000 --seed 7 --out corpus.bin
+//! itag-cli ingest   --input events.tsv --out corpus.bin
+//! itag-cli inspect  corpus.bin
+//! itag-cli campaign --corpus corpus.bin --strategy fp-mu --budget 5000
+//! itag-cli compare  --corpus corpus.bin --budget 5000
+//! itag-cli export   --corpus corpus.bin --strategy mu --budget 5000 --out tags.csv
+//! ```
+//!
+//! Corpus files are the `serbin` encoding of [`itag::model::Dataset`];
+//! `events.tsv` rows are `at<TAB>resource<TAB>tagger<TAB>tag1,tag2,…`.
+
+use itag::core::config::EngineConfig;
+use itag::core::engine::ITagEngine;
+use itag::core::project::ProjectSpec;
+use itag::model::dataset::Dataset;
+use itag::model::delicious::DeliciousConfig;
+use itag::model::ingest::{ingest, RawEvent};
+use itag::model::resource::ResourceKind;
+use itag::quality::metric::{QualityMetric, StabilityKernel};
+use itag::store::serbin;
+use itag::strategy::framework::Framework;
+use itag::strategy::simenv::SimWorld;
+use itag::strategy::StrategyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
+    Ok(match name {
+        "fc" => StrategyKind::FreeChoice,
+        "fc-pref" => StrategyKind::FreeChoicePreferential,
+        "fp" => StrategyKind::FewestPosts,
+        "mu" => StrategyKind::MostUnstable,
+        "fp-mu" => StrategyKind::FpMu { min_posts: 5 },
+        "rand" => StrategyKind::Random,
+        "opt" => StrategyKind::Optimal,
+        "opt-dp" => StrategyKind::OptimalDp,
+        other => return Err(format!("unknown strategy '{other}' (fc|fc-pref|fp|mu|fp-mu|rand|opt|opt-dp)")),
+    })
+}
+
+fn parse_metric(args: &Args) -> Result<QualityMetric, String> {
+    let window: u32 = args.parse_num("window", 5)?;
+    let kernel = match args.get_or("kernel", "cosine").as_str() {
+        "cosine" => StabilityKernel::Cosine,
+        "tv" => StabilityKernel::OneMinusTv,
+        "jaccard" => StabilityKernel::TopKJaccard { k: 10 },
+        other => return Err(format!("unknown kernel '{other}' (cosine|tv|jaccard)")),
+    };
+    Ok(QualityMetric::Stability { window, kernel })
+}
+
+fn load_corpus(path: &str) -> Result<Dataset, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut dataset: Dataset =
+        serbin::from_bytes(&bytes).map_err(|e| format!("decode {path}: {e}"))?;
+    dataset.dictionary.rebuild_index();
+    for latent in &mut dataset.latent {
+        latent.rebuild_sampler();
+    }
+    Ok(dataset)
+}
+
+fn save_corpus(path: &str, dataset: &Dataset) -> Result<(), String> {
+    let bytes = serbin::to_bytes(dataset).map_err(|e| e.to_string())?;
+    std::fs::write(path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let resources: usize = args.parse_num("resources", 1_000)?;
+    let posts: usize = args.parse_num("posts", resources * 5)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let out = args.require("out")?;
+    let corpus = DeliciousConfig {
+        resources,
+        initial_posts: posts,
+        eval_posts: 0,
+        seed,
+        ..DeliciousConfig::default()
+    }
+    .generate();
+    save_corpus(out, &corpus.dataset)
+}
+
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let input = args.require("input")?;
+    let out = args.require("out")?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 4 {
+            return Err(format!(
+                "{input}:{}: expected 4 tab-separated columns, got {}",
+                lineno + 1,
+                cols.len()
+            ));
+        }
+        let at: u64 = cols[0]
+            .parse()
+            .map_err(|_| format!("{input}:{}: bad timestamp '{}'", lineno + 1, cols[0]))?;
+        events.push(RawEvent {
+            at,
+            resource: cols[1].to_string(),
+            tagger: cols[2].to_string(),
+            tags: cols[3].split(',').map(str::to_string).collect(),
+        });
+    }
+    let ingested =
+        ingest(&events, ResourceKind::WebUrl).ok_or("no usable events in the input")?;
+    println!(
+        "ingested {} events onto {} resources ({} dropped)",
+        ingested.dataset.initial_posts.len(),
+        ingested.dataset.len(),
+        ingested.dropped_events
+    );
+    save_corpus(out, &ingested.dataset)
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .or_else(|| args.get("corpus"))
+        .ok_or("usage: itag-cli inspect <corpus.bin>")?;
+    let dataset = load_corpus(path)?;
+    let stats = dataset.stats();
+    println!("corpus {path}");
+    println!("  resources     {}", stats.resources);
+    println!("  posts         {}", stats.total_posts);
+    println!("  tags          {}", dataset.dictionary.len());
+    println!("  mean posts    {:.2}", stats.mean_posts);
+    println!("  median posts  {}", stats.median_posts);
+    println!("  max posts     {}", stats.max_posts);
+    println!("  zero-post     {:.1}%", stats.zero_fraction * 100.0);
+    println!("  top-10% share {:.1}%", stats.head_share * 100.0);
+    println!("  gini          {:.3}", stats.gini);
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let dataset = load_corpus(args.require("corpus")?)?;
+    let kind = parse_strategy(&args.get_or("strategy", "fp-mu"))?;
+    let budget: u32 = args.parse_num("budget", 5_000)?;
+    let seed: u64 = args.parse_num("seed", 7)?;
+    let noise: f64 = args.parse_num("noise", 0.0)?;
+    let metric = parse_metric(args)?;
+
+    let mut world = SimWorld::new(dataset, metric).with_noise(noise);
+    let oracle0 = world.oracle_mean_quality();
+    let mut strategy = kind.build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = Framework {
+        batch_size: args.parse_num("batch", 10)?,
+        record_every: (budget / 20).max(1),
+    }
+    .run(&mut world, strategy.as_mut(), budget, &mut rng);
+
+    println!(
+        "{}: q {:.4} → {:.4} (Δ {:+.4}) | oracle Δ {:+.4} | {} tasks",
+        report.strategy,
+        report.initial_quality,
+        report.final_quality,
+        report.improvement(),
+        world.oracle_mean_quality() - oracle0,
+        report.spent
+    );
+    for p in &report.series {
+        println!("  B={:>6}  q={:.4}", p.spent, p.mean_quality);
+    }
+    if let Some(csv) = args.get("csv") {
+        let mut out = String::from("spent,mean_quality\n");
+        for p in &report.series {
+            out.push_str(&format!("{},{}\n", p.spent, p.mean_quality));
+        }
+        std::fs::write(csv, out).map_err(|e| format!("write {csv}: {e}"))?;
+        println!("(series: {csv})");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let dataset = load_corpus(args.require("corpus")?)?;
+    let budget: u32 = args.parse_num("budget", 5_000)?;
+    let seed: u64 = args.parse_num("seed", 7)?;
+    let metric = parse_metric(args)?;
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "strategy", "Δq(stab)", "Δq(oracle)", "low-post", "q≥0.75"
+    );
+    for kind in StrategyKind::paper_lineup(5) {
+        let mut world = SimWorld::new(dataset.clone(), metric);
+        let oracle0 = world.oracle_mean_quality();
+        let mut strategy = kind.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = Framework::default().run(&mut world, strategy.as_mut(), budget, &mut rng);
+        println!(
+            "{:<8} {:>+10.4} {:>+10.4} {:>10} {:>10}",
+            report.strategy,
+            report.improvement(),
+            world.oracle_mean_quality() - oracle0,
+            world.count_below_posts(5),
+            world.count_quality_at_least(0.75),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let dataset = load_corpus(args.require("corpus")?)?;
+    let kind = parse_strategy(&args.get_or("strategy", "fp-mu"))?;
+    let budget: u32 = args.parse_num("budget", 5_000)?;
+    let seed: u64 = args.parse_num("seed", 7)?;
+    let out = args.require("out")?;
+
+    let mut engine =
+        ITagEngine::new(EngineConfig::in_memory(seed)).map_err(|e| e.to_string())?;
+    let provider = engine
+        .register_provider("itag-cli")
+        .map_err(|e| e.to_string())?;
+    let mut spec = ProjectSpec::demo("cli-export", budget);
+    spec.strategy = kind;
+    let project = engine
+        .add_project(provider, spec, dataset)
+        .map_err(|e| e.to_string())?;
+    let summary = engine.run(project, budget).map_err(|e| e.to_string())?;
+    let export = engine.export(project).map_err(|e| e.to_string())?;
+    std::fs::write(out, export.to_csv()).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "campaign: {} issued, {} approved, Δq {:+.4}; exported {} resources to {out}",
+        summary.issued,
+        summary.approved,
+        summary.improvement,
+        export.resources.len()
+    );
+    Ok(())
+}
+
+const USAGE: &str = "\
+itag-cli — incentive-based tagging (iTag, ICDE 2014 reproduction)
+
+USAGE:
+  itag-cli generate --out <file> [--resources N] [--posts M] [--seed S]
+  itag-cli ingest   --input <events.tsv> --out <file>
+  itag-cli inspect  <corpus.bin>
+  itag-cli campaign --corpus <file> [--strategy fp-mu] [--budget B]
+                    [--seed S] [--noise x] [--window w] [--kernel cosine|tv|jaccard]
+                    [--batch n] [--csv series.csv]
+  itag-cli compare  --corpus <file> [--budget B] [--seed S]
+  itag-cli export   --corpus <file> --out <tags.csv> [--strategy mu] [--budget B]
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let command = args.positional.first().map(String::as_str).unwrap_or("");
+    let result = match command {
+        "generate" => cmd_generate(&args),
+        "ingest" => cmd_ingest(&args),
+        "inspect" => cmd_inspect(&args),
+        "campaign" => cmd_campaign(&args),
+        "compare" => cmd_compare(&args),
+        "export" => cmd_export(&args),
+        "" | "help" | "--help" => {
+            println!("{USAGE}");
+            return;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # iTag — incentive-based tagging
+//!
+//! Facade crate re-exporting the full iTag reproduction stack. Most users
+//! want [`core::engine::ITagEngine`] (the whole system) or
+//! [`strategy`] + [`quality`] (the pure algorithms).
+//!
+//! Crate map (bottom-up):
+//!
+//! * [`store`] — embedded WAL/snapshot storage engine (MySQL substitute),
+//! * [`model`] — resources, tags, posts, and the synthetic Delicious trace,
+//! * [`quality`] — rfd stability quality metrics and learning curves,
+//! * [`strategy`] — the Algorithm-1 framework and FC/FP/MU/FP-MU/OPT,
+//! * [`crowd`] — the crowdsourcing platform and tagger simulator,
+//! * [`core`] — the iTag engine: managers, projects, monitoring.
+//!
+//! ```no_run
+//! use itag::prelude::*;
+//! ```
+
+pub use itag_core as core;
+pub use itag_crowd as crowd;
+pub use itag_model as model;
+pub use itag_quality as quality;
+pub use itag_store as store;
+pub use itag_strategy as strategy;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use itag_core::config::EngineConfig;
+    pub use itag_core::engine::ITagEngine;
+    pub use itag_core::project::{ProjectSpec, ProjectState};
+    pub use itag_crowd::behavior::TaggerBehavior;
+    pub use itag_crowd::platform::PlatformKind;
+    pub use itag_model::delicious::{DeliciousConfig, DeliciousDataset};
+    pub use itag_model::ids::{ProjectId, ResourceId, TagId, TaggerId};
+    pub use itag_quality::metric::{QualityMetric, StabilityKernel};
+    pub use itag_strategy::StrategyKind;
+}

@@ -1,0 +1,164 @@
+//! End-to-end tests of the `itag-cli` binary: generate → inspect →
+//! campaign → export, and TSV ingestion.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_itag-cli"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("itag-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn generate_inspect_campaign_roundtrip() {
+    let corpus = temp_path("corpus.bin");
+    let _ = std::fs::remove_file(&corpus);
+
+    // generate
+    let out = cli()
+        .args([
+            "generate",
+            "--resources",
+            "80",
+            "--posts",
+            "400",
+            "--seed",
+            "3",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(corpus.exists());
+
+    // inspect
+    let out = cli()
+        .args(["inspect", corpus.to_str().unwrap()])
+        .output()
+        .expect("run inspect");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("resources     80"), "{text}");
+    assert!(text.contains("gini"), "{text}");
+
+    // campaign
+    let out = cli()
+        .args([
+            "campaign",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--strategy",
+            "fp-mu",
+            "--budget",
+            "400",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("run campaign");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FP-MU"), "{text}");
+    assert!(text.contains("400 tasks"), "{text}");
+
+    // export
+    let tags_csv = temp_path("tags.csv");
+    let _ = std::fs::remove_file(&tags_csv);
+    let out = cli()
+        .args([
+            "export",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--strategy",
+            "mu",
+            "--budget",
+            "200",
+            "--out",
+            tags_csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run export");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let csv = std::fs::read_to_string(&tags_csv).expect("csv written");
+    assert_eq!(csv.lines().count(), 81, "header + one row per resource");
+
+    let _ = std::fs::remove_file(&corpus);
+    let _ = std::fs::remove_file(&tags_csv);
+}
+
+#[test]
+fn ingest_tsv_and_compare() {
+    let input = temp_path("events.tsv");
+    let corpus = temp_path("ingested.bin");
+    let mut tsv = String::from("# at\tresource\ttagger\ttags\n");
+    for i in 0..200u64 {
+        tsv.push_str(&format!(
+            "{i}\thttps://r{}\tu{}\ttag{},common\n",
+            i % 10,
+            i % 7,
+            i % 4
+        ));
+    }
+    std::fs::write(&input, tsv).unwrap();
+
+    let out = cli()
+        .args([
+            "ingest",
+            "--input",
+            input.to_str().unwrap(),
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run ingest");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ingested 200 events onto 10 resources"), "{text}");
+
+    let out = cli()
+        .args([
+            "compare",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--budget",
+            "100",
+        ])
+        .output()
+        .expect("run compare");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for label in ["FC", "RAND", "FP", "MU", "FP-MU", "OPT"] {
+        assert!(text.contains(label), "missing {label} in:\n{text}");
+    }
+
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&corpus);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn bad_flags_are_reported() {
+    let out = cli()
+        .args(["campaign", "--corpus"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let out = cli()
+        .args(["campaign", "--corpus", "/nonexistent/corpus.bin"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}

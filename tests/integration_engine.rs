@@ -1,0 +1,168 @@
+//! Cross-crate integration: a full campaign through the engine — the
+//! system path with platform, approvals and payments — and durability
+//! across an engine restart.
+
+use itag::core::config::EngineConfig;
+use itag::core::engine::ITagEngine;
+use itag::core::monitor::SortKey;
+use itag::core::project::ProjectSpec;
+use itag::model::delicious::DeliciousConfig;
+use itag::store::testutil::TestDir;
+use itag::strategy::StrategyKind;
+
+fn dataset(seed: u64, n: usize) -> itag::model::dataset::Dataset {
+    DeliciousConfig {
+        resources: n,
+        initial_posts: n * 5,
+        eval_posts: 0,
+        seed,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset
+}
+
+#[test]
+fn campaign_end_to_end_with_monitoring() {
+    let mut engine = ITagEngine::new(EngineConfig::in_memory(0x11)).unwrap();
+    let provider = engine.register_provider("it-test").unwrap();
+    let project = engine
+        .add_project(provider, ProjectSpec::demo("e2e", 1_200), dataset(0x11, 300))
+        .unwrap();
+
+    let q0 = engine.monitor(project).unwrap().quality_mean;
+    let mut improvements = Vec::new();
+    for _ in 0..3 {
+        let summary = engine.run(project, 400).unwrap();
+        assert_eq!(summary.issued, 400);
+        improvements.push(summary.improvement);
+    }
+    assert!(
+        improvements.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+        "improvement must be cumulative across runs: {improvements:?}"
+    );
+
+    let mut m = engine.monitor(project).unwrap();
+    assert_eq!(m.budget_spent, 1_200);
+    assert_eq!(m.state, "completed");
+    assert!(m.quality_mean > q0);
+    assert_eq!(m.tasks_approved + m.tasks_rejected, 1_200);
+    // Budget × pay is fully accounted.
+    assert_eq!(m.paid + m.refunded + m.escrowed, 1_200 * 5);
+
+    // Sorted monitoring views stay consistent with each other.
+    m.sort_rows(SortKey::PostsAsc);
+    let min_posts_row = m.rows.first().unwrap().posts;
+    assert!(m.rows.iter().all(|r| r.posts >= min_posts_row));
+
+    // The quality series the provider watches is non-trivial and ends at
+    // the final spend.
+    assert!(m.series.len() >= 3);
+    assert_eq!(m.series.last().unwrap().spent, 1_200);
+}
+
+#[test]
+fn engine_and_simulator_agree_on_direction() {
+    // The system path (approvals, noise, latency) and the pure simulator
+    // must agree on the paper's core claim: informed allocation beats FC.
+    let run_engine = |kind: StrategyKind| -> f64 {
+        let mut engine = ITagEngine::new(EngineConfig::in_memory(0x22)).unwrap();
+        let provider = engine.register_provider("dir").unwrap();
+        let mut spec = ProjectSpec::demo("dir", 1_500);
+        spec.strategy = kind;
+        let p = engine
+            .add_project(provider, spec, dataset(0x22, 300))
+            .unwrap();
+        engine.run(p, 1_500).unwrap().improvement
+    };
+    let fc = run_engine(StrategyKind::FreeChoice);
+    let hybrid = run_engine(StrategyKind::FpMu { min_posts: 5 });
+    assert!(
+        hybrid > fc,
+        "engine path: FP-MU ({hybrid:+.4}) must beat FC ({fc:+.4})"
+    );
+}
+
+#[test]
+fn durable_campaign_survives_restart_and_continues() {
+    let dir = TestDir::new("it-durable");
+    let project;
+    let quality_before;
+    {
+        let mut engine =
+            ITagEngine::new(EngineConfig::durable(0x33, dir.path().to_path_buf())).unwrap();
+        let provider = engine.register_provider("durable").unwrap();
+        project = engine
+            .add_project(provider, ProjectSpec::demo("restart", 800), dataset(0x33, 200))
+            .unwrap();
+        engine.run(project, 400).unwrap();
+        engine.checkpoint().unwrap();
+        quality_before = engine.monitor(project).unwrap().quality_mean;
+    }
+
+    let mut engine =
+        ITagEngine::new(EngineConfig::durable(0x33, dir.path().to_path_buf())).unwrap();
+    engine.resume_project(project).unwrap();
+    let m = engine.monitor(project).unwrap();
+    assert!(
+        (m.quality_mean - quality_before).abs() < 1e-9,
+        "quality after replay {} vs before {}",
+        m.quality_mean,
+        quality_before
+    );
+    assert_eq!(m.budget_spent, 400);
+
+    // Continue the campaign to completion on the reopened engine.
+    let summary = engine.run(project, 400).unwrap();
+    assert_eq!(summary.issued, 400);
+    assert_eq!(engine.monitor(project).unwrap().state, "completed");
+}
+
+#[test]
+fn export_roundtrips_and_matches_monitor() {
+    let mut engine = ITagEngine::new(EngineConfig::in_memory(0x44)).unwrap();
+    let provider = engine.register_provider("export").unwrap();
+    let p = engine
+        .add_project(provider, ProjectSpec::demo("export", 600), dataset(0x44, 150))
+        .unwrap();
+    engine.run(p, 600).unwrap();
+
+    let m = engine.monitor(p).unwrap();
+    let export = engine.export(p).unwrap();
+    assert_eq!(export.resources.len(), m.rows.len());
+    for (row, exp) in m.rows.iter().zip(&export.resources) {
+        assert_eq!(row.posts, exp.posts);
+        assert!((row.quality - exp.quality).abs() < 1e-12);
+    }
+
+    let bytes = export.to_bytes();
+    let back = itag::core::export::Export::from_bytes(&bytes).unwrap();
+    assert_eq!(back, export);
+
+    let csv = export.to_csv();
+    assert_eq!(csv.lines().count(), export.resources.len() + 1);
+}
+
+#[test]
+fn two_projects_are_fully_isolated() {
+    let mut engine = ITagEngine::new(EngineConfig::in_memory(0x55)).unwrap();
+    let provider = engine.register_provider("multi").unwrap();
+    let p1 = engine
+        .add_project(provider, ProjectSpec::demo("one", 500), dataset(1, 100))
+        .unwrap();
+    let p2 = engine
+        .add_project(provider, ProjectSpec::demo("two", 500), dataset(2, 120))
+        .unwrap();
+
+    engine.run(p1, 500).unwrap();
+    let m1 = engine.monitor(p1).unwrap();
+    let m2 = engine.monitor(p2).unwrap();
+    assert_eq!(m1.budget_spent, 500);
+    assert_eq!(m2.budget_spent, 0, "project two must be untouched");
+    assert_eq!(m1.rows.len(), 100);
+    assert_eq!(m2.rows.len(), 120);
+
+    engine.run(p2, 100).unwrap();
+    assert_eq!(engine.monitor(p2).unwrap().budget_spent, 100);
+    assert_eq!(engine.monitor(p1).unwrap().budget_spent, 500);
+}

@@ -1,0 +1,150 @@
+//! Property-based integration tests: Algorithm-1 invariants must hold for
+//! arbitrary workloads, budgets and strategies.
+
+use itag::model::delicious::DeliciousConfig;
+use itag::quality::metric::{QualityMetric, StabilityKernel};
+use itag::strategy::framework::Framework;
+use itag::strategy::simenv::SimWorld;
+use itag::strategy::StrategyKind;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn strategy_kind() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        Just(StrategyKind::FreeChoice),
+        Just(StrategyKind::FreeChoicePreferential),
+        Just(StrategyKind::FewestPosts),
+        Just(StrategyKind::MostUnstable),
+        (1u32..8).prop_map(|m| StrategyKind::FpMu { min_posts: m }),
+        Just(StrategyKind::Random),
+        Just(StrategyKind::Optimal),
+    ]
+}
+
+fn kernel() -> impl Strategy<Value = StabilityKernel> {
+    prop_oneof![
+        Just(StabilityKernel::Cosine),
+        Just(StabilityKernel::OneMinusTv),
+        (2usize..12).prop_map(|k| StabilityKernel::TopKJaccard { k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any corpus/strategy/budget/metric: the budget is spent exactly
+    /// (informed strategies never run dry on a non-empty corpus), the
+    /// allocation vector accounts for every task, qualities stay in
+    /// [0, 1], and the recorded series is budget-monotone.
+    #[test]
+    fn algorithm1_invariants_hold_for_arbitrary_runs(
+        seed in 0u64..1_000,
+        resources in 20usize..120,
+        posts_per_resource in 0usize..8,
+        budget in 0u32..600,
+        batch in 1usize..20,
+        kind in strategy_kind(),
+        window in 1u32..8,
+        kernel in kernel(),
+        noise in 0.0f64..0.5,
+    ) {
+        let corpus = DeliciousConfig {
+            resources,
+            initial_posts: resources * posts_per_resource,
+            eval_posts: 0,
+            seed,
+            ..DeliciousConfig::default()
+        }
+        .generate();
+        let metric = QualityMetric::Stability { window, kernel };
+        let mut world = SimWorld::new(corpus.dataset, metric).with_noise(noise);
+        let mut strategy = kind.build();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let report = Framework {
+            batch_size: batch,
+            record_every: 50,
+        }
+        .run(&mut world, strategy.as_mut(), budget, &mut rng);
+
+        // Budget accounting.
+        prop_assert!(report.spent <= budget);
+        prop_assert_eq!(
+            report.allocation.iter().sum::<u32>(),
+            report.spent,
+            "allocation must account for every issued task"
+        );
+        // OPT may stop early when no gain remains; everyone else spends
+        // the full budget on a non-empty corpus.
+        if !matches!(kind, StrategyKind::Optimal) {
+            prop_assert_eq!(report.spent, budget);
+        }
+
+        // Quality bounds.
+        prop_assert!((0.0..=1.0).contains(&report.initial_quality));
+        prop_assert!((0.0..=1.0).contains(&report.final_quality));
+        for point in &report.series {
+            prop_assert!((0.0..=1.0).contains(&point.mean_quality));
+        }
+
+        // Series covers [0, spent] with strictly increasing budget marks.
+        prop_assert_eq!(report.series.first().map(|p| p.spent), Some(0));
+        prop_assert_eq!(report.series.last().map(|p| p.spent), Some(report.spent));
+        prop_assert!(report.series.windows(2).all(|w| w[0].spent < w[1].spent));
+
+        // Post counts equal initial + allocation, resource by resource.
+        let initial: Vec<u32> = {
+            let corpus2 = DeliciousConfig {
+                resources,
+                initial_posts: resources * posts_per_resource,
+                eval_posts: 0,
+                seed,
+                ..DeliciousConfig::default()
+            }
+            .generate();
+            corpus2.dataset.initial_counts()
+        };
+        for (i, (&c0, &x)) in initial.iter().zip(&report.allocation).enumerate() {
+            prop_assert_eq!(world.counts()[i], c0 + x, "resource {}", i);
+        }
+    }
+
+    /// Engine-path invariant: money conservation holds for arbitrary
+    /// budgets and spammer mixes.
+    #[test]
+    fn engine_money_conservation(
+        seed in 0u64..100,
+        budget in 1u32..120,
+        spammer_fraction in 0.0f64..0.6,
+    ) {
+        use itag::core::config::EngineConfig;
+        use itag::core::engine::ITagEngine;
+        use itag::core::project::ProjectSpec;
+
+        let mut config = EngineConfig::in_memory(seed);
+        config.spammer_fraction = spammer_fraction;
+        let mut engine = ITagEngine::new(config).unwrap();
+        let provider = engine.register_provider("prop").unwrap();
+        let dataset = DeliciousConfig {
+            resources: 30,
+            initial_posts: 90,
+            eval_posts: 0,
+            seed,
+            ..DeliciousConfig::default()
+        }
+        .generate()
+        .dataset;
+        let p = engine
+            .add_project(provider, ProjectSpec::demo("prop", budget), dataset)
+            .unwrap();
+        let summary = engine.run(p, budget).unwrap();
+        let m = engine.monitor(p).unwrap();
+
+        prop_assert_eq!(summary.issued, budget);
+        prop_assert_eq!(summary.approved + summary.rejected, budget);
+        prop_assert_eq!(m.paid + m.refunded + m.escrowed, budget as u64 * 5);
+        prop_assert_eq!(m.paid, m.tasks_approved * 5);
+        prop_assert_eq!(m.refunded, m.tasks_rejected * 5);
+        prop_assert_eq!(engine.verify_integrity(p).unwrap(), 30);
+    }
+}
