@@ -46,7 +46,10 @@ fn bench_full_run(c: &mut Criterion) {
         initial_posts: 5_000,
         ..SweepConfig::default()
     };
-    for kind in [StrategyKind::FewestPosts, StrategyKind::FpMu { min_posts: 5 }] {
+    for kind in [
+        StrategyKind::FewestPosts,
+        StrategyKind::FpMu { min_posts: 5 },
+    ] {
         group.bench_function(kind.label(), |b| {
             b.iter_batched(
                 || (sim_world(&small), kind.build(), StdRng::seed_from_u64(5)),

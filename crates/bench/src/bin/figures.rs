@@ -15,7 +15,6 @@
 //! build artifacts (`target/figures/<id>.csv`).
 
 use itag_bench::scenario::{gini, run_strategy, sim_world, SweepConfig};
-use itag_strategy::simenv::SimWorld;
 use itag_bench::table::{delta, f, Table};
 use itag_core::config::EngineConfig;
 use itag_core::engine::ITagEngine;
@@ -26,6 +25,7 @@ use itag_quality::history::ResourceQuality;
 use itag_quality::metric::{QualityMetric, StabilityKernel};
 use itag_strategy::framework::Framework;
 use itag_strategy::kind::StrategyKind;
+use itag_strategy::simenv::SimWorld;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -241,7 +241,9 @@ fn gatekeeping() {
         .dataset;
         let mut spec = ProjectSpec::demo("gate", 2_000);
         spec.approval = approval;
-        let p = engine.add_project(provider, spec, dataset).expect("project");
+        let p = engine
+            .add_project(provider, spec, dataset)
+            .expect("project");
         let oracle0 = engine.monitor(p).expect("monitor").oracle_quality;
         let summary = engine.run(p, 2_000).expect("run");
         let m = engine.monitor(p).expect("monitor");
@@ -459,8 +461,14 @@ fn switching() {
     };
 
     let mut t = Table::new(["plan", "improvement"]);
-    t.row(["FC (full budget)".to_string(), delta(run_pure(StrategyKind::FreeChoice))]);
-    t.row(["MU (full budget)".to_string(), delta(run_pure(StrategyKind::MostUnstable))]);
+    t.row([
+        "FC (full budget)".to_string(),
+        delta(run_pure(StrategyKind::FreeChoice)),
+    ]);
+    t.row([
+        "MU (full budget)".to_string(),
+        delta(run_pure(StrategyKind::MostUnstable)),
+    ]);
     t.row([format!("FC→MU (switch at {half})"), delta(switched)]);
     emit(
         "switching",
@@ -551,7 +559,9 @@ fn throughput() {
     let mut t = Table::new(["resources", "tasks", "seconds", "tasks_per_sec"]);
     for n in [100usize, 1_000, 5_000] {
         let mut engine = ITagEngine::new(EngineConfig::in_memory(0x7A)).expect("engine");
-        let provider = engine.register_provider("fig-throughput").expect("register");
+        let provider = engine
+            .register_provider("fig-throughput")
+            .expect("register");
         let dataset = DeliciousConfig {
             resources: n,
             initial_posts: n * 5,
@@ -680,7 +690,12 @@ fn ablation_ewma() {
 
 /// Ablation: FP→MU switch point.
 fn ablation_switch() {
-    let mut t = Table::new(["min_posts", "dq_stability", "low_post_after", "satisfied_after"]);
+    let mut t = Table::new([
+        "min_posts",
+        "dq_stability",
+        "low_post_after",
+        "satisfied_after",
+    ]);
     for min_posts in [1u32, 3, 5, 10, 20] {
         let cfg = SweepConfig::default();
         let (report, world) = run_strategy(&cfg, StrategyKind::FpMu { min_posts }, 6_000);

@@ -463,8 +463,13 @@ impl ITagEngine {
                 let rec = self.resources.get(rt.id, result.resource)?;
                 self.resources.stage_increment_posts(&mut batch, &rec)?;
                 let q = rt.pq.apply_post(&rt.dataset, result.resource, &post.tags);
-                self.quality
-                    .stage_snapshot(&mut batch, rt.id, result.resource, rt.pq.counts[i], q)?;
+                self.quality.stage_snapshot(
+                    &mut batch,
+                    rt.id,
+                    result.resource,
+                    rt.pq.counts[i],
+                    q,
+                )?;
                 rt.tasks_approved += 1;
                 approved += 1;
             } else {
@@ -476,10 +481,7 @@ impl ITagEngine {
 
             // Reliability enforcement: a tagger whose received-approval
             // rate fell through the gate stops receiving assignments.
-            if self.config.enforce_reliability
-                && !approve
-                && !self.users.is_reliable(worker.0)?
-            {
+            if self.config.enforce_reliability && !approve && !self.users.is_reliable(worker.0)? {
                 rt.platform.ban_worker(worker);
             }
 
@@ -578,10 +580,7 @@ impl ITagEngine {
             }
         }
 
-        let rt = self
-            .runtimes
-            .get_mut(&project.0)
-            .expect("checked at entry");
+        let rt = self.runtimes.get_mut(&project.0).expect("checked at entry");
         // Close the series at the exact final spend.
         if rt.series.last().map(|p| p.spent) != Some(rt.budget_spent) {
             rt.series.push(BudgetPoint {
@@ -874,7 +873,10 @@ impl ITagEngine {
         listings.sort_by(|a, b| {
             b.pay_per_task_cents
                 .cmp(&a.pay_per_task_cents)
-                .then(b.provider_approval_rate.total_cmp(&a.provider_approval_rate))
+                .then(
+                    b.provider_approval_rate
+                        .total_cmp(&a.provider_approval_rate),
+                )
                 .then(a.project.cmp(&b.project))
         });
         Ok(listings)
@@ -945,7 +947,12 @@ impl ITagEngine {
 
     /// Ids of all persisted projects (including not-yet-resumed ones).
     pub fn stored_projects(&self) -> Result<Vec<ProjectId>> {
-        Ok(self.projects.scan_all()?.into_iter().map(|p| p.id).collect())
+        Ok(self
+            .projects
+            .scan_all()?
+            .into_iter()
+            .map(|p| p.id)
+            .collect())
     }
 }
 
@@ -997,7 +1004,11 @@ mod tests {
         assert_eq!(summary.approved + summary.rejected, 300);
         assert!(summary.approved > 0, "some submissions must be approved");
         let after = e.monitor(p).unwrap();
-        assert!(after.quality_mean > before, "{before} → {}", after.quality_mean);
+        assert!(
+            after.quality_mean > before,
+            "{before} → {}",
+            after.quality_mean
+        );
         assert_eq!(after.state, "completed");
         assert_eq!(after.budget_spent, 300);
     }
@@ -1201,10 +1212,7 @@ mod tests {
         assert!(m.banned_taggers > 0);
         // Stalled tasks and their escrow are visible, money conserved.
         assert!(m.open_tasks > 0 || m.tasks_rejected > 0);
-        assert_eq!(
-            m.paid + m.refunded + m.escrowed,
-            summary.issued as u64 * 5
-        );
+        assert_eq!(m.paid + m.refunded + m.escrowed, summary.issued as u64 * 5);
     }
 
     #[test]
@@ -1243,8 +1251,7 @@ mod tests {
         };
         assert_eq!(open.len(), 10);
         for (idx, (task, resource)) in open.iter().enumerate() {
-            let tags: Vec<itag_model::ids::TagId> =
-                latents[resource.index()].top_k(2).to_vec();
+            let tags: Vec<itag_model::ids::TagId> = latents[resource.index()].top_k(2).to_vec();
             let platform: &mut ManualPlatform = e.platform_mut(p).unwrap();
             platform
                 .submit(*task, TaggerId(idx as u32 % 3), tags)

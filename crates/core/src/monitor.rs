@@ -101,7 +101,11 @@ impl MonitorSnapshot {
             self.budget_total,
             self.open_tasks,
         );
-        let _ = writeln!(out, "{:>6} {:<28} {:>6} {:>8} {:>7}", "id", "uri", "posts", "quality", "stopped");
+        let _ = writeln!(
+            out,
+            "{:>6} {:<28} {:>6} {:>8} {:>7}",
+            "id", "uri", "posts", "quality", "stopped"
+        );
         for row in self.rows.iter().take(limit) {
             let _ = writeln!(
                 out,

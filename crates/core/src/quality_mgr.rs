@@ -70,9 +70,7 @@ impl ProjectQuality {
         let i = r.index();
         self.states[i].push_post(tags);
         self.counts[i] += 1;
-        let q = self
-            .metric
-            .eval(&self.states[i], Some(&dataset.latent[i]));
+        let q = self.metric.eval(&self.states[i], Some(&dataset.latent[i]));
         self.quality_sum += q - self.qualities[i];
         self.qualities[i] = q;
         self.states[i].record(q);
@@ -161,12 +159,7 @@ impl QualityManager {
         if thin > 0.10 {
             return StrategyKind::FpMu { min_posts: window };
         }
-        let unstable = pq
-            .qualities
-            .iter()
-            .filter(|&&q| q < 0.8)
-            .count() as f64
-            / n as f64;
+        let unstable = pq.qualities.iter().filter(|&&q| q < 0.8).count() as f64 / n as f64;
         if unstable > 0.05 {
             StrategyKind::MostUnstable
         } else {

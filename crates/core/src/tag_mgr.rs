@@ -55,7 +55,12 @@ impl TagManager {
     }
 
     /// Stages one post (row + by-resource and by-tagger indexes).
-    pub fn stage_post(&self, batch: &mut WriteBatch, project: ProjectId, post: &Post) -> Result<()> {
+    pub fn stage_post(
+        &self,
+        batch: &mut WriteBatch,
+        project: ProjectId,
+        post: &Post,
+    ) -> Result<()> {
         let record = PostRecord {
             project,
             post: post.clone(),
@@ -181,7 +186,8 @@ mod tests {
         let m = mgr();
         let mut batch = WriteBatch::new();
         m.stage_post(&mut batch, P, &post(0, 0, 1)).unwrap();
-        m.stage_post(&mut batch, ProjectId(2), &post(1, 0, 1)).unwrap();
+        m.stage_post(&mut batch, ProjectId(2), &post(1, 0, 1))
+            .unwrap();
         m.posts.store().commit(batch).unwrap();
         assert_eq!(m.all_posts(P).unwrap().len(), 1);
         assert_eq!(m.all_posts(ProjectId(2)).unwrap().len(), 1);

@@ -5,9 +5,9 @@
 //! level" (Section III-A).
 
 use crate::records::{UserRecord, UserRole};
-use itag_store::table::Entity;
 use crate::Result;
 use itag_store::codec::FxHashMap;
+use itag_store::table::Entity;
 use itag_store::{Store, TypedTable, WriteBatch};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -43,9 +43,7 @@ impl UserManager {
         }
         let record = UserRecord::new(role, id, name.to_string());
         self.table.upsert(&record)?;
-        self.cache
-            .lock()
-            .insert((role.tag(), id), record.clone());
+        self.cache.lock().insert((role.tag(), id), record.clone());
         Ok(record)
     }
 
@@ -70,9 +68,9 @@ impl UserManager {
         let mut p = self.get(UserRole::Provider, provider)?.unwrap_or_else(|| {
             UserRecord::new(UserRole::Provider, provider, format!("provider-{provider}"))
         });
-        let mut t = self
-            .get(UserRole::Tagger, tagger)?
-            .unwrap_or_else(|| UserRecord::new(UserRole::Tagger, tagger, format!("tagger-{tagger}")));
+        let mut t = self.get(UserRole::Tagger, tagger)?.unwrap_or_else(|| {
+            UserRecord::new(UserRole::Tagger, tagger, format!("tagger-{tagger}"))
+        });
         if approved {
             p.approvals_given += 1;
             t.approvals_received += 1;

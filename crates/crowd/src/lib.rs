@@ -63,10 +63,7 @@ impl std::fmt::Display for CrowdError {
                 project,
                 want,
                 have,
-            } => write!(
-                f,
-                "project {project}: escrow has {have} cents, need {want}"
-            ),
+            } => write!(f, "project {project}: escrow has {have} cents, need {want}"),
         }
     }
 }

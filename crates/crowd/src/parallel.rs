@@ -3,9 +3,9 @@
 //! The discrete-tick [`crate::platform::SimPlatform`] is deterministic and
 //! single-threaded — right for experiments. A real deployment aggregates
 //! submissions arriving concurrently from the marketplace; this module
-//! reproduces that shape with a crossbeam fan-out/fan-in: worker threads
-//! pull tagging jobs from a channel and push results back. Used by the
-//! throughput bench and the engine's bulk-seeding path.
+//! reproduces that shape with a scoped fan-out/fan-in: worker threads
+//! claim tagging jobs off a shared cursor and return their results at
+//! join. Used by the throughput bench and the engine's bulk-seeding path.
 
 use crate::behavior::TaggerBehavior;
 use itag_model::ids::{ResourceId, TagId};
@@ -42,40 +42,40 @@ pub fn run_parallel_tagging(
     seed: u64,
 ) -> Vec<TagJobResult> {
     assert!(threads >= 1, "need at least one thread");
-    let (job_tx, job_rx) = crossbeam::channel::unbounded::<TagJob>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<TagJobResult>();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
 
-    for job in jobs {
-        job_tx.send(job.clone()).expect("receiver alive");
-    }
-    drop(job_tx);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok(job) = job_rx.recv() {
-                    // Independent deterministic stream per job: the result
-                    // set does not depend on which thread ran the job.
-                    let mut rng = StdRng::seed_from_u64(seed ^ job.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    let latent = &latents[job.resource.index()];
-                    let tags = behavior.generate_tags(latent, vocab_size, &mut rng);
-                    res_tx
-                        .send(TagJobResult {
+    let mut results: Vec<TagJobResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let behavior = &behavior;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        // Independent deterministic stream per job: the result
+                        // set does not depend on which thread ran the job.
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ job.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        let latent = &latents[job.resource.index()];
+                        let tags = behavior.generate_tags(latent, vocab_size, &mut rng);
+                        out.push(TagJobResult {
                             resource: job.resource,
                             seq: job.seq,
                             tags,
-                        })
-                        .expect("collector alive");
-                }
-            });
-        }
-        drop(res_tx);
-    })
-    .expect("tagging threads must not panic");
-
-    let mut results: Vec<TagJobResult> = res_rx.iter().collect();
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("tagging threads must not panic"))
+            .collect()
+    });
     results.sort_by_key(|r| r.seq);
     results
 }
@@ -86,12 +86,7 @@ mod tests {
 
     fn latents() -> Vec<TagDistribution> {
         (0..5)
-            .map(|i| {
-                TagDistribution::new(vec![
-                    (TagId(i * 10), 0.6),
-                    (TagId(i * 10 + 1), 0.4),
-                ])
-            })
+            .map(|i| TagDistribution::new(vec![(TagId(i * 10), 0.6), (TagId(i * 10 + 1), 0.4)]))
             .collect()
     }
 

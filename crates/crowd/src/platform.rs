@@ -225,8 +225,7 @@ impl SimPlatform {
         // a bounded random walk.
         if rng.gen::<f64>() < churn.arrival {
             let id = TaggerId(self.workers.len() as u32);
-            self.workers
-                .push(Worker::new(id, churn.draw_behavior(rng)));
+            self.workers.push(Worker::new(id, churn.draw_behavior(rng)));
             self.free_workers.push_back(id);
         }
     }
@@ -314,11 +313,7 @@ impl CrowdPlatform for SimPlatform {
                 continue;
             }
             let task = self.tasks.get_mut(&f.task.0).expect("assigned task");
-            let behavior = self
-                .workers
-                .get(f.worker)
-                .expect("worker exists")
-                .behavior;
+            let behavior = self.workers.get(f.worker).expect("worker exists").behavior;
             let tags =
                 behavior.generate_tags(source.latent(task.resource), source.vocab_size(), rng);
             task.state = TaskState::Submitted {
@@ -426,10 +421,7 @@ mod tests {
     }
 
     fn source() -> OneLatent {
-        OneLatent(TagDistribution::new(vec![
-            (TagId(1), 0.6),
-            (TagId(2), 0.4),
-        ]))
+        OneLatent(TagDistribution::new(vec![(TagId(1), 0.6), (TagId(2), 0.4)]))
     }
 
     fn platform(n_workers: usize) -> SimPlatform {
@@ -538,11 +530,7 @@ mod tests {
     #[test]
     fn churn_replaces_departing_workers_and_work_still_completes() {
         let pool = WorkerPool::uniform(4, TaggerBehavior::casual());
-        let churn = ChurnModel::new(
-            0.5,
-            0.1,
-            vec![(TaggerBehavior::diligent(), 1.0)],
-        );
+        let churn = ChurnModel::new(0.5, 0.1, vec![(TaggerBehavior::diligent(), 1.0)]);
         let mut p = SimPlatform::new(PlatformKind::MTurk, pool).with_churn(churn);
         let src = source();
         let mut rng = StdRng::seed_from_u64(11);

@@ -111,7 +111,10 @@ impl CrowdSim {
                         .refund(self.project, pay as u64)
                         .expect("pay was escrowed at publish");
                 }
-                decided.push(DecidedResult { result, approved: approve });
+                decided.push(DecidedResult {
+                    result,
+                    approved: approve,
+                });
             }
             if self.platform.open_tasks() == 0 {
                 break;

@@ -43,7 +43,10 @@ impl TaskState {
 
     /// True for `Approved` / `Rejected`.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, TaskState::Approved { .. } | TaskState::Rejected { .. })
+        matches!(
+            self,
+            TaskState::Approved { .. } | TaskState::Rejected { .. }
+        )
     }
 }
 

@@ -286,7 +286,11 @@ mod tests {
     fn stats_on_uniform_counts() {
         let s = DatasetStats::compute(&[5, 5, 5, 5]);
         assert_eq!(s.total_posts, 20);
-        assert!((s.gini).abs() < 1e-9, "uniform gini should be 0: {}", s.gini);
+        assert!(
+            (s.gini).abs() < 1e-9,
+            "uniform gini should be 0: {}",
+            s.gini
+        );
         assert_eq!(s.zero_fraction, 0.0);
     }
 

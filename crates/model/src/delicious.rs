@@ -218,10 +218,7 @@ mod tests {
         let b = DeliciousConfig::tiny(9).generate();
         assert_eq!(a.dataset.initial_counts(), b.dataset.initial_counts());
         assert_eq!(a.eval_trace.len(), b.eval_trace.len());
-        assert_eq!(
-            a.eval_trace.events()[0].tags,
-            b.eval_trace.events()[0].tags
-        );
+        assert_eq!(a.eval_trace.events()[0].tags, b.eval_trace.events()[0].tags);
         let c = DeliciousConfig::tiny(10).generate();
         assert_ne!(
             a.dataset.initial_counts(),

@@ -78,7 +78,9 @@ pub fn ingest(events: &[RawEvent], kind: ResourceKind) -> Option<Ingested> {
                 ResourceId(next_id)
             });
         let next_tagger = tagger_ids.len() as u32;
-        let tid = *tagger_ids.entry(event.tagger.clone()).or_insert(next_tagger);
+        let tid = *tagger_ids
+            .entry(event.tagger.clone())
+            .or_insert(next_tagger);
         per_resource_events[rid.index()].push((event.at, tid, tags));
     }
 
@@ -145,7 +147,11 @@ pub fn ingest(events: &[RawEvent], kind: ResourceKind) -> Option<Ingested> {
 
 /// Convenience: ingest an internal [`Trace`] (already interned ids), using
 /// the trace's own tag ids with a supplied dictionary.
-pub fn ingest_trace(trace: &Trace, dictionary: TagDictionary, kind: ResourceKind) -> Option<Ingested> {
+pub fn ingest_trace(
+    trace: &Trace,
+    dictionary: TagDictionary,
+    kind: ResourceKind,
+) -> Option<Ingested> {
     let events: Vec<RawEvent> = trace
         .events()
         .iter()
@@ -204,10 +210,7 @@ mod tests {
 
     #[test]
     fn empty_tag_events_are_dropped_not_fatal() {
-        let events = vec![
-            ev(0, "r", "u", &["  ", ""]),
-            ev(1, "r", "u", &["good"]),
-        ];
+        let events = vec![ev(0, "r", "u", &["  ", ""]), ev(1, "r", "u", &["good"])];
         let ingested = ingest(&events, ResourceKind::Image).unwrap();
         assert_eq!(ingested.dropped_events, 1);
         assert_eq!(ingested.dataset.initial_counts(), vec![1]);
@@ -231,7 +234,8 @@ mod tests {
                     i,
                     &format!("r{}", i % 5),
                     &format!("u{}", i % 7),
-                    ["alpha", "beta", "gamma"][..1 + (i % 3) as usize].to_vec()
+                    ["alpha", "beta", "gamma"][..1 + (i % 3) as usize]
+                        .to_vec()
                         .as_slice(),
                 )
             })

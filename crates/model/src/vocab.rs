@@ -116,10 +116,7 @@ impl TagDistribution {
     /// unit-by-unit allocation optimal.
     pub fn kappa(&self) -> f64 {
         let c = (2.0 / std::f64::consts::PI).sqrt() / 2.0;
-        self.probs
-            .iter()
-            .map(|&p| c * (p * (1.0 - p)).sqrt())
-            .sum()
+        self.probs.iter().map(|&p| c * (p * (1.0 - p)).sqrt()).sum()
     }
 }
 
@@ -164,11 +161,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn dist() -> TagDistribution {
-        TagDistribution::new(vec![
-            (TagId(10), 5.0),
-            (TagId(20), 3.0),
-            (TagId(30), 2.0),
-        ])
+        TagDistribution::new(vec![(TagId(10), 5.0), (TagId(20), 3.0), (TagId(30), 2.0)])
     }
 
     #[test]

@@ -105,7 +105,12 @@ impl QualityHistogram {
             .enumerate()
             .map(|(i, &c)| {
                 let bar = "#".repeat(c * width / max);
-                format!("[{:>4.2}) {:>6} {}", i as f64 / self.bins.len() as f64, c, bar)
+                format!(
+                    "[{:>4.2}) {:>6} {}",
+                    i as f64 / self.bins.len() as f64,
+                    c,
+                    bar
+                )
             })
             .collect::<Vec<_>>()
             .join("\n")

@@ -106,7 +106,10 @@ impl LearningCurve {
             return None;
         }
         let n = points.len() as f64;
-        let xs: Vec<f64> = points.iter().map(|p| 1.0 / (p.k as f64 + B).sqrt()).collect();
+        let xs: Vec<f64> = points
+            .iter()
+            .map(|p| 1.0 / (p.k as f64 + B).sqrt())
+            .collect();
         let ys: Vec<f64> = points.iter().map(|p| p.quality).collect();
         let mean_x = xs.iter().sum::<f64>() / n;
         let mean_y = ys.iter().sum::<f64>() / n;

@@ -92,9 +92,7 @@ impl QualityMetric {
     /// that combination is a harness bug, not a runtime condition.
     pub fn eval(&self, state: &ResourceQuality, latent: Option<&TagDistribution>) -> f64 {
         match self {
-            QualityMetric::Stability { window, kernel } => {
-                raw_stability(state, *window, *kernel)
-            }
+            QualityMetric::Stability { window, kernel } => raw_stability(state, *window, *kernel),
             QualityMetric::SmoothedStability {
                 window,
                 kernel,
@@ -218,11 +216,7 @@ mod tests {
 
     #[test]
     fn oracle_tracks_true_convergence() {
-        let latent = TagDistribution::new(vec![
-            (TagId(0), 0.5),
-            (TagId(1), 0.3),
-            (TagId(2), 0.2),
-        ]);
+        let latent = TagDistribution::new(vec![(TagId(0), 0.5), (TagId(1), 0.3), (TagId(2), 0.2)]);
         let mut rng = StdRng::seed_from_u64(42);
         let mut state = ResourceQuality::new(3);
         let m = QualityMetric::Oracle;
@@ -251,9 +245,8 @@ mod tests {
     fn stability_correlates_with_oracle_under_honest_tagging() {
         // The load-bearing claim behind MU: the observable stability signal
         // moves with the unobservable true convergence.
-        let latent = TagDistribution::new(
-            (0..20).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect(),
-        );
+        let latent =
+            TagDistribution::new((0..20).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect());
         let stab = QualityMetric::default();
         let oracle = QualityMetric::Oracle;
         let mut rng = StdRng::seed_from_u64(7);
@@ -308,9 +301,8 @@ mod tests {
 
     #[test]
     fn smoothed_stability_damps_jitter() {
-        let latent = TagDistribution::new(
-            (0..15).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect(),
-        );
+        let latent =
+            TagDistribution::new((0..15).map(|i| (TagId(i), 1.0 / (i + 1) as f64)).collect());
         let raw_metric = QualityMetric::Stability {
             window: 3,
             kernel: StabilityKernel::Cosine,

@@ -198,7 +198,9 @@ impl Store {
         let applied = entry.ops.len() as u64;
         apply_ops(&mut inner.tables, &entry.ops);
         self.counters.commits.fetch_add(1, Ordering::Relaxed);
-        self.counters.ops_applied.fetch_add(applied, Ordering::Relaxed);
+        self.counters
+            .ops_applied
+            .fetch_add(applied, Ordering::Relaxed);
 
         inner.commits_since_checkpoint += 1;
         let auto = inner.opts.checkpoint_every;

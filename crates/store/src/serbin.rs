@@ -369,8 +369,7 @@ impl<'de> BinDeserializer<'de> {
     }
 
     fn read_uvarint(&mut self) -> Result<u64> {
-        let (v, rest) =
-            read_uvarint(self.input).ok_or_else(|| CodecError("bad varint".into()))?;
+        let (v, rest) = read_uvarint(self.input).ok_or_else(|| CodecError("bad varint".into()))?;
         self.input = rest;
         Ok(v)
     }
@@ -402,8 +401,9 @@ macro_rules! de_signed {
     ($fn:ident, $visit:ident, $ty:ty) => {
         fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
             let v = self.read_ivarint()?;
-            let narrowed = <$ty>::try_from(v)
-                .map_err(|_| CodecError(format!("value {v} out of range for {}", stringify!($ty))))?;
+            let narrowed = <$ty>::try_from(v).map_err(|_| {
+                CodecError(format!("value {v} out of range for {}", stringify!($ty)))
+            })?;
             visitor.$visit(narrowed)
         }
     };
@@ -413,8 +413,9 @@ macro_rules! de_unsigned {
     ($fn:ident, $visit:ident, $ty:ty) => {
         fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
             let v = self.read_uvarint()?;
-            let narrowed = <$ty>::try_from(v)
-                .map_err(|_| CodecError(format!("value {v} out of range for {}", stringify!($ty))))?;
+            let narrowed = <$ty>::try_from(v).map_err(|_| {
+                CodecError(format!("value {v} out of range for {}", stringify!($ty)))
+            })?;
             visitor.$visit(narrowed)
         }
     };
@@ -596,7 +597,9 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
-        Err(CodecError("cannot skip values in a non-self-describing format".into()))
+        Err(CodecError(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
     }
 
     fn is_human_readable(&self) -> bool {

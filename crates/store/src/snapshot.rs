@@ -94,7 +94,10 @@ mod tests {
             tables: vec![
                 TableDump {
                     table: TableId(1),
-                    entries: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())],
+                    entries: vec![
+                        (b"a".to_vec(), b"1".to_vec()),
+                        (b"b".to_vec(), b"2".to_vec()),
+                    ],
                 },
                 TableDump {
                     table: TableId(9),

@@ -166,8 +166,7 @@ impl<E: Entity> TypedTable<E> {
                 E::NAME
             )));
         }
-        self.store
-            .put(E::TABLE, key, serbin::to_bytes(entity)?)
+        self.store.put(E::TABLE, key, serbin::to_bytes(entity)?)
     }
 
     /// Stages an upsert into an existing batch (for multi-table atomicity).
@@ -370,10 +369,7 @@ mod tests {
     #[test]
     fn must_get_reports_not_found() {
         let t = table();
-        assert!(matches!(
-            t.must_get(&99),
-            Err(StoreError::NotFound { .. })
-        ));
+        assert!(matches!(t.must_get(&99), Err(StoreError::NotFound { .. })));
     }
 
     #[test]

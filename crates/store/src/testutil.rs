@@ -18,11 +18,8 @@ impl TestDir {
     /// Creates `"$TMPDIR/itag-<label>-<pid>-<seq>"`.
     pub fn new(label: &str) -> Self {
         let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "itag-{label}-{}-{}",
-            std::process::id(),
-            seq
-        ));
+        let path =
+            std::env::temp_dir().join(format!("itag-{label}-{}-{}", std::process::id(), seq));
         std::fs::create_dir_all(&path).expect("create test dir");
         TestDir { path }
     }

@@ -162,9 +162,7 @@ mod tests {
 
     #[test]
     fn stale_entries_self_heal_after_external_posts() {
-        let mut env = CountEnv {
-            counts: vec![0, 1],
-        };
+        let mut env = CountEnv { counts: vec![0, 1] };
         let mut fp = FewestPosts::new();
         let mut rng = StdRng::seed_from_u64(4);
         fp.init(&env, 0, &mut rng);

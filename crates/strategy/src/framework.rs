@@ -244,9 +244,7 @@ mod tests {
 
     #[test]
     fn run_spends_exactly_the_budget() {
-        let mut env = ToyEnv {
-            counts: vec![0; 7],
-        };
+        let mut env = ToyEnv { counts: vec![0; 7] };
         let mut strat = RoundRobin { next: 0 };
         let mut rng = StdRng::seed_from_u64(1);
         let report = Framework {
@@ -264,9 +262,7 @@ mod tests {
 
     #[test]
     fn quality_series_is_monotone_for_monotone_world() {
-        let mut env = ToyEnv {
-            counts: vec![0; 4],
-        };
+        let mut env = ToyEnv { counts: vec![0; 4] };
         let mut strat = RoundRobin { next: 0 };
         let mut rng = StdRng::seed_from_u64(2);
         let report = Framework {
@@ -296,9 +292,7 @@ mod tests {
 
     #[test]
     fn empty_choice_ends_the_run_early() {
-        let mut env = ToyEnv {
-            counts: vec![5; 3],
-        };
+        let mut env = ToyEnv { counts: vec![5; 3] };
         let mut rng = StdRng::seed_from_u64(3);
         let report = Framework::default().run(&mut env, &mut GiveUp, 100, &mut rng);
         assert_eq!(report.spent, 0);
@@ -308,9 +302,7 @@ mod tests {
 
     #[test]
     fn zero_budget_is_a_noop() {
-        let mut env = ToyEnv {
-            counts: vec![0; 3],
-        };
+        let mut env = ToyEnv { counts: vec![0; 3] };
         let mut strat = RoundRobin { next: 0 };
         let mut rng = StdRng::seed_from_u64(4);
         let report = Framework::default().run(&mut env, &mut strat, 0, &mut rng);

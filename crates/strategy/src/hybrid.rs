@@ -180,9 +180,7 @@ mod tests {
 
     #[test]
     fn budget_fraction_rule_switches_mid_run() {
-        let mut env = World {
-            counts: vec![0; 4],
-        };
+        let mut env = World { counts: vec![0; 4] };
         let mut s = FpMu::new(SwitchRule::BudgetFraction(0.5));
         let mut rng = StdRng::seed_from_u64(2);
         let fw = crate::framework::Framework {

@@ -44,7 +44,9 @@ impl StrategyKind {
             }
             StrategyKind::FewestPosts => Box::new(FewestPosts::new()),
             StrategyKind::MostUnstable => Box::new(MostUnstable::new()),
-            StrategyKind::FpMu { min_posts } => Box::new(FpMu::new(SwitchRule::MinPosts(min_posts))),
+            StrategyKind::FpMu { min_posts } => {
+                Box::new(FpMu::new(SwitchRule::MinPosts(min_posts)))
+            }
             StrategyKind::FpMuBudget { fraction } => {
                 Box::new(FpMu::new(SwitchRule::BudgetFraction(fraction)))
             }

@@ -117,7 +117,10 @@ mod tests {
         }
         fn mean_quality(&self) -> f64 {
             let n = self.base.len() as f64;
-            (0..self.base.len()).map(|i| 1.0 - self.inst(i)).sum::<f64>() / n
+            (0..self.base.len())
+                .map(|i| 1.0 - self.inst(i))
+                .sum::<f64>()
+                / n
         }
         fn popularity_weight(&self, _r: ResourceId) -> f64 {
             1.0

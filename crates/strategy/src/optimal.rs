@@ -42,7 +42,8 @@ impl ChooseResources for OptGreedy {
         self.heap.clear();
         for r in resource_ids(env) {
             let k = env.post_count(r);
-            self.heap.push((F64Ord(env.planning_marginal(r, k)), r.0, k));
+            self.heap
+                .push((F64Ord(env.planning_marginal(r, k)), r.0, k));
         }
     }
 

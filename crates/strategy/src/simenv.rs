@@ -145,9 +145,7 @@ impl SimWorld {
     /// Generates a post's tags for `r`: honest draws from the latent
     /// distribution with per-tag noise substitution.
     fn gen_post_tags(&self, r: ResourceId, rng: &mut StdRng) -> Vec<TagId> {
-        let mut tags = self
-            .dataset
-            .sample_honest_tags(r, self.tags_per_post, rng);
+        let mut tags = self.dataset.sample_honest_tags(r, self.tags_per_post, rng);
         if self.noise_rate > 0.0 {
             let vocab = self.dataset.dictionary.len() as u32;
             for t in tags.iter_mut() {
@@ -258,9 +256,10 @@ mod tests {
         assert_eq!(w.post_count(r), before + 1);
         assert_eq!(w.posts_issued(), 1);
         // Cached mean equals recomputed mean.
-        let mean: f64 =
-            (0..w.num_resources()).map(|i| w.quality(ResourceId(i as u32))).sum::<f64>()
-                / w.num_resources() as f64;
+        let mean: f64 = (0..w.num_resources())
+            .map(|i| w.quality(ResourceId(i as u32)))
+            .sum::<f64>()
+            / w.num_resources() as f64;
         assert!((w.mean_quality() - mean).abs() < 1e-12);
     }
 

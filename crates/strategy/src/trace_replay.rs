@@ -124,7 +124,10 @@ mod tests {
             s.choose(&env, 3, &mut rng),
             vec![ResourceId(3), ResourceId(1), ResourceId(4)]
         );
-        assert_eq!(s.choose(&env, 3, &mut rng), vec![ResourceId(1), ResourceId(5)]);
+        assert_eq!(
+            s.choose(&env, 3, &mut rng),
+            vec![ResourceId(1), ResourceId(5)]
+        );
         assert!(s.choose(&env, 3, &mut rng).is_empty(), "trace exhausted");
         assert_eq!(s.consumed(), 5);
         assert_eq!(s.remaining(), 0);

@@ -19,7 +19,9 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut engine = ITagEngine::new(EngineConfig::in_memory(0xA0D1)).expect("engine");
-    let provider = engine.register_provider("icde-demo-host").expect("register");
+    let provider = engine
+        .register_provider("icde-demo-host")
+        .expect("register");
 
     // The host publishes one of the "several prepared workloads".
     let corpus = DeliciousConfig {

@@ -31,7 +31,9 @@ fn main() {
     .dataset;
     let mut spec = ProjectSpec::demo("web-urls-2010", 3_000);
     spec.description = "Low-quality Web URL tags from the 2010 crawl".into();
-    let project = engine.add_project(provider, spec, dataset).expect("project");
+    let project = engine
+        .add_project(provider, spec, dataset)
+        .expect("project");
     println!("created {project} for provider {provider}\n");
 
     // iTag suggests a strategy from the corpus statistics.
@@ -49,9 +51,7 @@ fn main() {
     let best = m.rows.last().expect("rows").id;
     engine.promote(project, worst).expect("promote");
     engine.stop_resource(project, best).expect("stop");
-    println!(
-        "promoted {worst} (worst quality), stopped {best} (already good)\n"
-    );
+    println!("promoted {worst} (worst quality), stopped {best} (already good)\n");
 
     // --- Provider dissatisfied with progress: switch strategy (Fig. 5)
     engine
@@ -76,7 +76,11 @@ fn main() {
         .iter()
         .filter(|n| matches!(n, Notification::TagDecided { .. }))
         .count();
-    println!("{} notifications ({} tag decisions); last non-tag events:", notes.len(), decided);
+    println!(
+        "{} notifications ({} tag decisions); last non-tag events:",
+        notes.len(),
+        decided
+    );
     for n in notes
         .iter()
         .filter(|n| !matches!(n, Notification::TagDecided { .. }))
@@ -108,7 +112,10 @@ fn main() {
     // --- Export (the Export button) -----------------------------------
     let export = engine.export(project).expect("export");
     let csv = export.to_csv();
-    println!("\nexport: {} resources; first CSV lines:", export.resources.len());
+    println!(
+        "\nexport: {} resources; first CSV lines:",
+        export.resources.len()
+    );
     for line in csv.lines().take(4) {
         println!("  {line}");
     }

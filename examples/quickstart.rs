@@ -52,6 +52,9 @@ fn main() {
     );
     for point in report.series.iter().step_by(4) {
         let bar = "#".repeat((point.mean_quality * 50.0) as usize);
-        println!("  B={:>5}  q={:.4} {}", point.spent, point.mean_quality, bar);
+        println!(
+            "  B={:>5}  q={:.4} {}",
+            point.spent, point.mean_quality, bar
+        );
     }
 }

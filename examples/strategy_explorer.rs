@@ -73,8 +73,7 @@ fn main() {
         "strategy", "Δq(stab)", "Δq(oracle)", "q≥0.9", "spent"
     );
     for kind in StrategyKind::paper_lineup(knobs.window) {
-        let mut world =
-            SimWorld::new(corpus.dataset.clone(), metric).with_noise(knobs.noise);
+        let mut world = SimWorld::new(corpus.dataset.clone(), metric).with_noise(knobs.noise);
         let oracle0 = world.oracle_mean_quality();
         let mut strategy = kind.build();
         let mut rng = StdRng::seed_from_u64(0xE5);

@@ -1,0 +1,138 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! Only [`Bytes`] is provided: a cheaply clonable, immutable, contiguous
+//! byte buffer backed by `Arc<[u8]>`. Cloning copies a pointer, never the
+//! payload, which is the property the store layer relies on ("monitors
+//! copy nothing").
+
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents out into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    // No `slice()`: upstream's is a zero-copy sub-view, and a faithful
+    // one needs (Arc, offset, len) internals. Offering a copying version
+    // under the same name would silently break the "monitors copy
+    // nothing" contract the store layer builds on, so the method is
+    // omitted until a real view implementation is needed.
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.0[..] == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(Arc::strong_count(&a.0), 2);
+    }
+
+    #[test]
+    fn conversions() {
+        let b = Bytes::from(&b"abc"[..]);
+        assert_eq!(b.to_vec(), vec![b'a', b'b', b'c']);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[1..], b"bc");
+    }
+}

@@ -1,0 +1,204 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace carries
+//! a small wall-clock harness with the same API shape: `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. There is no statistical
+//! analysis: each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a fixed measurement window, and the mean ns/iter is
+//! printed. Good enough to compare hot-path changes locally; CI only
+//! compiles benches (`cargo bench --no-run`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim re-runs setup per
+/// batch regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), self.measurement_window, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            window: self.measurement_window,
+            _criterion: self,
+        }
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by wall
+    /// clock, not by count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Wall-clock window each benchmark's measurement run is sized to.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.measurement_window = window;
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    /// Group-scoped copy: `measurement_time` on a group must not leak
+    /// into later groups or top-level benchmarks (upstream semantics).
+    window: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&full, self.window, f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by wall
+    /// clock, not by count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Wall-clock window for this group's benchmarks only.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.window = window;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records the timed routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back to back for the requested iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F>(id: &str, window: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: one iteration, to size the measurement run.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let ns = bencher.elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    println!("bench: {id:<48} {ns:>14.1} ns/iter (x{iters})");
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(1));
+        target(&mut c);
+    }
+}

@@ -1,0 +1,674 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace carries
+//! its own property-testing harness with the same macro surface:
+//! `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! `any::<T>()`, `Just`, ranges as strategies, `prop_map`/`prop_filter`,
+//! and the `collection`/`option` strategy constructors.
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs (every
+//!   argument is `Debug`-printed) and the case number instead of a
+//!   minimized counterexample.
+//! * **Deterministic by construction.** Case `i` of a test derives its RNG
+//!   seed from the test's module path, name and `i` (FNV-1a), so a failure
+//!   reproduces exactly on re-run — no persistence files needed. Set
+//!   `PROPTEST_BASE_SEED` to explore a different deterministic universe.
+//! * String strategies interpret only the tiny pattern subset the
+//!   workspace uses (`.{lo,hi}`-style length classes), not full regexes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod test_runner {
+    //! Runner configuration plus the deterministic per-case RNG.
+
+    use super::*;
+
+    /// Subset of upstream's `ProptestConfig`: only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001B3);
+        }
+        hash
+    }
+
+    /// Deterministic RNG for one test case. Failures print `(test, case)`,
+    /// which is all that is needed to reproduce.
+    pub fn rng_for_case(test_path: &str, case: u32) -> StdRng {
+        let base = std::env::var("PROPTEST_BASE_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0xCBF29CE484222325);
+        let seed =
+            fnv1a(test_path.as_bytes(), base) ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::*;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream there is no value tree / shrinking: a strategy is
+    /// just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..10_000 {
+                let candidate = self.inner.generate(rng);
+                if (self.pred)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "prop_filter({:?}): predicate rejected 10000 consecutive candidates",
+                self.reason
+            );
+        }
+    }
+
+    /// Weighted choice between boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, arm) in &self.arms {
+                if pick < *weight as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("prop_oneof!: weighted pick out of bounds")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+
+    /// String "pattern" strategy. Supports the `X{lo,hi}` length-class
+    /// shape the workspace uses (`".{0,40}"`); any other pattern falls
+    /// back to a short random ASCII string.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (lo, hi) = parse_length_class(self).unwrap_or((0, 16));
+            let len = rng.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| {
+                    // Printable ASCII, biased toward alphanumerics.
+                    let c = rng.gen_range(0u32..36 + 26 + 33);
+                    match c {
+                        0..=9 => (b'0' + c as u8) as char,
+                        10..=35 => (b'a' + (c - 10) as u8) as char,
+                        36..=61 => (b'A' + (c - 36) as u8) as char,
+                        _ => (b'!' + (c - 62) as u8) as char,
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_length_class(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix('.')?;
+        let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> std::fmt::Debug for AnyStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("any::<_>()")
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> $ty {
+                    rng.gen::<u64>() as $ty
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> $ty {
+                    rng.gen::<u64>() as $ty
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut StdRng) -> char {
+            // Mostly ASCII, occasionally an arbitrary scalar value.
+            if rng.gen::<f64>() < 0.9 {
+                rng.gen_range(0x20u32..0x7F) as u8 as char
+            } else {
+                char::from_u32(rng.gen_range(0u32..=0x10FFFF)).unwrap_or('\u{FFFD}')
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Raw bit patterns: exercises subnormals, infinities and NaN.
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            f64::from_bits(rng.gen::<u64>())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut StdRng) -> f32 {
+            f32::from_bits(rng.gen::<u32>())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec`, `btree_map`, `btree_set`, `hash_map`.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Size specification accepted by collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        /// Inclusive upper bound.
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = std::collections::BTreeMap::new();
+            // Duplicate keys collapse; retry a bounded number of times to
+            // approach the requested size, then accept what we have.
+            let mut attempts = 0;
+            while out.len() < len && attempts < len * 4 + 8 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `BTreeMap` strategy with an approximate size drawn from `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < len && attempts < len * 4 + 8 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` strategy with an approximate size drawn from `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `proptest::option::of`.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+        some_probability: f64,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen::<f64>() < self.some_probability {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Option` strategy: `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy {
+            inner,
+            some_probability: 0.75,
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `use proptest::prelude::*;` idiom expects.
+
+    /// Upstream re-exports the crate under `prop` for path-style access.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs one property: generates inputs, `Debug`-prints them on failure,
+/// and rethrows the panic. Used by the `proptest!` expansion.
+#[doc(hidden)]
+pub fn __run_case<F: FnOnce() + std::panic::UnwindSafe>(
+    test_path: &str,
+    case: u32,
+    cases: u32,
+    inputs: &str,
+    body: F,
+) {
+    if let Err(payload) = std::panic::catch_unwind(body) {
+        eprintln!(
+            "\n[proptest shim] {test_path}: case {case}/{cases} FAILED with inputs:\n  {inputs}\n\
+             (deterministic: re-running reproduces this case; set PROPTEST_BASE_SEED to vary)\n"
+        );
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// The `proptest!` macro: wraps each enclosed `#[test] fn name(arg in
+/// strategy, ...) { body }` in a deterministic multi-case runner.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for_case(__path, __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let mut __inputs = String::new();
+                $(
+                    __inputs.push_str(stringify!($arg));
+                    __inputs.push_str(" = ");
+                    __inputs.push_str(&format!("{:?}", &$arg));
+                    __inputs.push_str(", ");
+                )+
+                $crate::__run_case(
+                    __path,
+                    __case,
+                    __config.cases,
+                    &__inputs,
+                    ::std::panic::AssertUnwindSafe(move || { $body; }),
+                );
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let __arms: ::std::vec::Vec<(u32, $crate::strategy::BoxedStrategy<_>)> =
+            ::std::vec![$(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+];
+        $crate::strategy::Union::new(__arms)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1u32 => $strat),+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism() {
+        let strat = crate::collection::vec(any::<u32>(), 1..8);
+        let mut a = crate::test_runner::rng_for_case("x", 3);
+        let mut b = crate::test_runner::rng_for_case("x", 3);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn union_respects_value_sets() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)];
+        let mut rng = crate::test_runner::rng_for_case("u", 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || v == 2 || (5..7).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_roundtrip(a in 0u32..10, s in ".{0,5}", v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(s.len() <= 5);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

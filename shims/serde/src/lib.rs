@@ -1,0 +1,21 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace carries
+//! its own implementation of the serde *data model*: the [`ser`] and [`de`]
+//! trait hierarchies, implementations for the std types the engine
+//! persists, and re-exported `#[derive(Serialize, Deserialize)]` macros
+//! from the companion `serde_derive` shim.
+//!
+//! The surface mirrors upstream serde closely enough that `itag-store`'s
+//! `serbin` format (a full `Serializer`/`Deserializer` pair) compiles and
+//! behaves identically, but it is not a drop-in for arbitrary serde users:
+//! only the parts of the data model exercised by this workspace are
+//! implemented.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,691 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros for the serde shim.
+//!
+//! The offline build has no `syn`/`quote`, so the item is parsed directly
+//! from the `proc_macro` token stream and code is generated as text. The
+//! supported shapes are exactly what this workspace uses: non-generic
+//! structs (unit / tuple / named, with `#[serde(skip)]` on named fields)
+//! and non-generic enums whose variants are unit, newtype, tuple or
+//! struct-like. Field and variant *types* never need to be parsed — the
+//! generated code recovers them through inference from the constructors.
+//!
+//! Encoding contract (shared with `serde::de::value`): enum variant tags
+//! travel through the data model as their positional `u32` index.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Debug)]
+struct Field {
+    /// Identifier for named fields, decimal index for tuple fields.
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Tokens = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: `#` followed by a bracket group.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_vis_suffix(&mut toks);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut toks, "struct name");
+                reject_generics(&mut toks, &name);
+                let fields = match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(parse_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                    other => panic!(
+                        "serde_derive shim: unexpected token after `struct {name}`: {other:?}"
+                    ),
+                };
+                return Item {
+                    name,
+                    body: Body::Struct(fields),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut toks, "enum name");
+                reject_generics(&mut toks, &name);
+                let variants = match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        parse_variants(g.stream())
+                    }
+                    other => {
+                        panic!("serde_derive shim: expected enum body for `{name}`, got {other:?}")
+                    }
+                };
+                return Item {
+                    name,
+                    body: Body::Enum(variants),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "union" => {
+                panic!("serde_derive shim: unions are not supported")
+            }
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected {what}, got {other:?}"),
+    }
+}
+
+/// After `pub`, consume an optional `(crate)` / `(in path)` restriction.
+fn skip_vis_suffix(toks: &mut Tokens) {
+    if let Some(TokenTree::Group(g)) = toks.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            toks.next();
+        }
+    }
+}
+
+fn reject_generics(toks: &mut Tokens, name: &str) {
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive shim: `{name}` is generic; generic types are not supported \
+                 by the offline derive (add a manual impl instead)"
+            );
+        }
+    }
+}
+
+/// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
+/// Any *other* `#[serde(...)]` content is a hard error: the offline derive
+/// must refuse attributes it cannot honour (e.g. `rename`, `default`,
+/// `skip_serializing_if`) rather than silently change their semantics.
+fn take_attrs(toks: &mut Tokens) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(g.stream());
+            }
+            other => panic!("serde_derive shim: malformed attribute: {other:?}"),
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let args: Vec<String> = g
+                .stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(id) => Some(id.to_string()),
+                    _ => None,
+                })
+                .collect();
+            match args.as_slice() {
+                [arg] if arg == "skip" => true,
+                _ => panic!(
+                    "serde_derive shim: unsupported serde attribute #[serde({})]; \
+                     only #[serde(skip)] is implemented",
+                    g.stream()
+                ),
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Skips a type (or discriminant expression) up to a top-level `,`,
+/// tracking `<`/`>` nesting so commas inside generics don't split fields.
+fn skip_to_field_end(toks: &mut Tokens) {
+    let mut angle_depth: i64 = 0;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                toks.next();
+                return;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                toks.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                toks.next();
+            }
+            _ => {
+                toks.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = take_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                skip_vis_suffix(&mut toks);
+            }
+        }
+        let name = expect_ident(&mut toks, "field name");
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_to_field_end(&mut toks);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    loop {
+        let skip = take_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        if let Some(TokenTree::Ident(id)) = toks.peek() {
+            if id.to_string() == "pub" {
+                toks.next();
+                skip_vis_suffix(&mut toks);
+            }
+        }
+        skip_to_field_end(&mut toks);
+        fields.push(Field {
+            name: index.to_string(),
+            skip,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if take_attrs(&mut toks) {
+            // Real serde omits the variant from both impls; the offline
+            // derive cannot honour that, so refuse rather than persist
+            // data the author meant to exclude.
+            panic!("serde_derive shim: #[serde(skip)] on enum variants is not supported");
+        }
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks, "variant name");
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = parse_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Optional discriminant (`= expr`) and the trailing comma.
+        skip_to_field_end(&mut toks);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => gen_serialize_struct_body(name, fields),
+        Body::Enum(variants) => gen_serialize_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Fields::Tuple(fields) if fields.len() == 1 && !fields[0].skip => format!(
+            "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Fields::Tuple(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut out = format!(
+                "let mut __st = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {})?;\n",
+                live.len()
+            );
+            for f in &live {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{})?;\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            out
+        }
+        Fields::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut out = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                live.len()
+            );
+            for f in &live {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__st)");
+            out
+        }
+    }
+}
+
+fn gen_serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, variant) in variants.iter().enumerate() {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+            )),
+            Fields::Tuple(fields) if fields.len() == 1 && !fields[0].skip => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                ))
+            }
+            Fields::Tuple(fields) => {
+                // Skipped fields bind as `_` and are neither counted nor
+                // written, mirroring the deserialize side exactly.
+                let binders: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        if f.skip {
+                            "_".to_string()
+                        } else {
+                            format!("__f{i}")
+                        }
+                    })
+                    .collect();
+                let live: Vec<&String> = binders.iter().filter(|b| b.as_str() != "_").collect();
+                let mut arm = format!(
+                    "{name}::{vname}({}) => {{\n\
+                         let mut __sv = ::serde::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                    binders.join(", "),
+                    live.len()
+                );
+                for b in &live {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __sv, {b})?;\n"
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeTupleVariant::end(__sv)\n},\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(fields) => {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                let pattern: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            format!("{}: _", f.name)
+                        } else {
+                            f.name.clone()
+                        }
+                    })
+                    .collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                         let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                    pattern.join(", "),
+                    live.len()
+                );
+                for f in &live {
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(\
+                             &mut __sv, \"{0}\", {0})?;\n",
+                        f.name
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}\n}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Emits `let` bindings that pull each field of `fields` out of `__seq`
+/// in declaration order (skipped fields come from `Default::default()`),
+/// followed by `Ok(<constructor>)`.
+fn gen_visit_seq_bindings(
+    context: &str,
+    constructor: &str,
+    fields: &[Field],
+    named: bool,
+) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if f.skip {
+            out.push_str(&format!(
+                "let __field{i} = ::core::default::Default::default();\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "let __field{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                     ::core::option::Option::Some(__v) => __v,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(\n\
+                         ::serde::de::Error::custom(\"{context}: missing field `{}`\")),\n\
+                 }};\n",
+                f.name
+            ));
+        }
+    }
+    let ctor_fields: Vec<String> = fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            if named {
+                format!("{}: __field{i}", f.name)
+            } else {
+                format!("__field{i}")
+            }
+        })
+        .collect();
+    let ctor = if named {
+        format!("{constructor} {{ {} }}", ctor_fields.join(", "))
+    } else if ctor_fields.is_empty() {
+        constructor.to_string()
+    } else {
+        format!("{constructor}({})", ctor_fields.join(", "))
+    };
+    out.push_str(&format!("::core::result::Result::Ok({ctor})\n"));
+    out
+}
+
+fn field_name_list(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| format!("\"{}\"", f.name))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let (visitor_methods, entry_point) = match &item.body {
+        Body::Struct(Fields::Unit) => (
+            format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}"
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+            ),
+        ),
+        Body::Struct(Fields::Tuple(fields)) if fields.len() == 1 && !fields[0].skip => (
+            format!(
+                "fn visit_newtype_struct<__D2: ::serde::Deserializer<'de>>(self, __d: __D2)\n\
+                     -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     {}\n\
+                 }}",
+                gen_visit_seq_bindings(&format!("struct {name}"), name, fields, false)
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)"
+            ),
+        ),
+        Body::Struct(Fields::Tuple(fields)) => {
+            let live = fields.iter().filter(|f| !f.skip).count();
+            (
+                format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {}\n\
+                     }}",
+                    gen_visit_seq_bindings(&format!("struct {name}"), name, fields, false)
+                ),
+                format!(
+                    "::serde::Deserializer::deserialize_tuple_struct(\
+                         __deserializer, \"{name}\", {live}, __Visitor)"
+                ),
+            )
+        }
+        Body::Struct(Fields::Named(fields)) => (
+            format!(
+                "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     {}\n\
+                 }}",
+                gen_visit_seq_bindings(&format!("struct {name}"), name, fields, true)
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_struct(\
+                     __deserializer, \"{name}\", &[{}], __Visitor)",
+                field_name_list(fields)
+            ),
+        ),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                let path = format!("{name}::{vname}");
+                let arm_body = match &variant.fields {
+                    Fields::Unit => format!(
+                        "{{ ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                             ::core::result::Result::Ok({path}) }}"
+                    ),
+                    Fields::Tuple(fields) if fields.len() == 1 && !fields[0].skip => format!(
+                        "{{ ::core::result::Result::Ok({path}(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant)?)) }}"
+                    ),
+                    Fields::Tuple(fields) => format!(
+                        "{{\n\
+                             struct __V{idx};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{\n\
+                                 type Value = {name};\n\
+                                 fn expecting(&self, __f: &mut ::core::fmt::Formatter)\n\
+                                     -> ::core::fmt::Result {{\n\
+                                     __f.write_str(\"tuple variant {name}::{vname}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A2: ::serde::de::SeqAccess<'de>>(\
+                                     self, mut __seq: __A2)\n\
+                                     -> ::core::result::Result<Self::Value, __A2::Error> {{\n\
+                                     {}\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::tuple_variant(__variant, {}, __V{idx})\n\
+                         }}",
+                        gen_visit_seq_bindings(
+                            &format!("variant {name}::{vname}"),
+                            &path,
+                            fields,
+                            false
+                        ),
+                        fields.iter().filter(|f| !f.skip).count()
+                    ),
+                    Fields::Named(fields) => format!(
+                        "{{\n\
+                             struct __V{idx};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{\n\
+                                 type Value = {name};\n\
+                                 fn expecting(&self, __f: &mut ::core::fmt::Formatter)\n\
+                                     -> ::core::fmt::Result {{\n\
+                                     __f.write_str(\"struct variant {name}::{vname}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A2: ::serde::de::SeqAccess<'de>>(\
+                                     self, mut __seq: __A2)\n\
+                                     -> ::core::result::Result<Self::Value, __A2::Error> {{\n\
+                                     {}\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::struct_variant(\
+                                 __variant, &[{}], __V{idx})\n\
+                         }}",
+                        gen_visit_seq_bindings(
+                            &format!("variant {name}::{vname}"),
+                            &path,
+                            fields,
+                            true
+                        ),
+                        field_name_list(fields)
+                    ),
+                };
+                arms.push_str(&format!("{idx}u32 => {arm_body},\n"));
+            }
+            let variant_names = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            (
+                format!(
+                    "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __variant) = ::serde::de::EnumAccess::variant_seed(\n\
+                             __data, ::core::marker::PhantomData::<u32>)?;\n\
+                         match __idx {{\n\
+                             {arms}\n\
+                             __other => ::core::result::Result::Err(::serde::de::Error::custom(\n\
+                                 ::core::format_args!(\n\
+                                     \"invalid variant index {{}} for enum {name}\", __other))),\n\
+                         }}\n\
+                     }}"
+                ),
+                format!(
+                    "::serde::Deserializer::deserialize_enum(\
+                         __deserializer, \"{name}\", &[{variant_names}], __Visitor)"
+                ),
+            )
+        }
+    };
+
+    let expecting = match &item.body {
+        Body::Struct(_) => format!("struct {name}"),
+        Body::Enum(_) => format!("enum {name}"),
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"{expecting}\")\n\
+                     }}\n\
+                     {visitor_methods}\n\
+                 }}\n\
+                 {entry_point}\n\
+             }}\n\
+         }}"
+    )
+}

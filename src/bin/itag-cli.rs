@@ -40,9 +40,7 @@ impl Args {
         let mut it = raw.iter();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 flags.push((key.to_string(), value.clone()));
             } else {
                 positional.push(arg.clone());
@@ -87,7 +85,11 @@ fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
         "rand" => StrategyKind::Random,
         "opt" => StrategyKind::Optimal,
         "opt-dp" => StrategyKind::OptimalDp,
-        other => return Err(format!("unknown strategy '{other}' (fc|fc-pref|fp|mu|fp-mu|rand|opt|opt-dp)")),
+        other => {
+            return Err(format!(
+                "unknown strategy '{other}' (fc|fc-pref|fp|mu|fp-mu|rand|opt|opt-dp)"
+            ))
+        }
     })
 }
 
@@ -164,8 +166,7 @@ fn cmd_ingest(args: &Args) -> Result<(), String> {
             tags: cols[3].split(',').map(str::to_string).collect(),
         });
     }
-    let ingested =
-        ingest(&events, ResourceKind::WebUrl).ok_or("no usable events in the input")?;
+    let ingested = ingest(&events, ResourceKind::WebUrl).ok_or("no usable events in the input")?;
     println!(
         "ingested {} events onto {} resources ({} dropped)",
         ingested.dataset.initial_posts.len(),
@@ -273,8 +274,7 @@ fn cmd_export(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parse_num("seed", 7)?;
     let out = args.require("out")?;
 
-    let mut engine =
-        ITagEngine::new(EngineConfig::in_memory(seed)).map_err(|e| e.to_string())?;
+    let mut engine = ITagEngine::new(EngineConfig::in_memory(seed)).map_err(|e| e.to_string())?;
     let provider = engine
         .register_provider("itag-cli")
         .map_err(|e| e.to_string())?;

@@ -32,7 +32,11 @@ fn generate_inspect_campaign_roundtrip() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(corpus.exists());
 
     // inspect
@@ -60,7 +64,11 @@ fn generate_inspect_campaign_roundtrip() {
         ])
         .output()
         .expect("run campaign");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("FP-MU"), "{text}");
     assert!(text.contains("400 tasks"), "{text}");
@@ -82,7 +90,11 @@ fn generate_inspect_campaign_roundtrip() {
         ])
         .output()
         .expect("run export");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let csv = std::fs::read_to_string(&tags_csv).expect("csv written");
     assert_eq!(csv.lines().count(), 81, "header + one row per resource");
 
@@ -115,9 +127,16 @@ fn ingest_tsv_and_compare() {
         ])
         .output()
         .expect("run ingest");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("ingested 200 events onto 10 resources"), "{text}");
+    assert!(
+        text.contains("ingested 200 events onto 10 resources"),
+        "{text}"
+    );
 
     let out = cli()
         .args([
@@ -129,7 +148,11 @@ fn ingest_tsv_and_compare() {
         ])
         .output()
         .expect("run compare");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     for label in ["FC", "RAND", "FP", "MU", "FP-MU", "OPT"] {
         assert!(text.contains(label), "missing {label} in:\n{text}");
@@ -149,10 +172,7 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn bad_flags_are_reported() {
-    let out = cli()
-        .args(["campaign", "--corpus"])
-        .output()
-        .expect("run");
+    let out = cli().args(["campaign", "--corpus"]).output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
 

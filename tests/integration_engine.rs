@@ -27,7 +27,11 @@ fn campaign_end_to_end_with_monitoring() {
     let mut engine = ITagEngine::new(EngineConfig::in_memory(0x11)).unwrap();
     let provider = engine.register_provider("it-test").unwrap();
     let project = engine
-        .add_project(provider, ProjectSpec::demo("e2e", 1_200), dataset(0x11, 300))
+        .add_project(
+            provider,
+            ProjectSpec::demo("e2e", 1_200),
+            dataset(0x11, 300),
+        )
         .unwrap();
 
     let q0 = engine.monitor(project).unwrap().quality_mean;
@@ -93,7 +97,11 @@ fn durable_campaign_survives_restart_and_continues() {
             ITagEngine::new(EngineConfig::durable(0x33, dir.path().to_path_buf())).unwrap();
         let provider = engine.register_provider("durable").unwrap();
         project = engine
-            .add_project(provider, ProjectSpec::demo("restart", 800), dataset(0x33, 200))
+            .add_project(
+                provider,
+                ProjectSpec::demo("restart", 800),
+                dataset(0x33, 200),
+            )
             .unwrap();
         engine.run(project, 400).unwrap();
         engine.checkpoint().unwrap();
@@ -123,7 +131,11 @@ fn export_roundtrips_and_matches_monitor() {
     let mut engine = ITagEngine::new(EngineConfig::in_memory(0x44)).unwrap();
     let provider = engine.register_provider("export").unwrap();
     let p = engine
-        .add_project(provider, ProjectSpec::demo("export", 600), dataset(0x44, 150))
+        .add_project(
+            provider,
+            ProjectSpec::demo("export", 600),
+            dataset(0x44, 150),
+        )
         .unwrap();
     engine.run(p, 600).unwrap();
 

@@ -1,0 +1,69 @@
+//! Workspace-surface smoke tests: the facade prelude must expose a
+//! workable API, and the flagship example must run under
+//! `cargo run --example quickstart`. Guards the Cargo wiring itself
+//! (manifest paths, re-exports, example registration) rather than any
+//! single algorithm.
+
+use itag::prelude::*;
+use std::process::Command;
+
+/// `itag::prelude::*` alone is enough to build a corpus, run a funded
+/// campaign through the engine, and read the monitor.
+#[test]
+fn prelude_drives_an_engine_campaign() {
+    let dataset = DeliciousConfig {
+        resources: 40,
+        initial_posts: 120,
+        eval_posts: 0,
+        seed: 11,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset;
+
+    let config = EngineConfig::in_memory(11);
+    let mut engine = ITagEngine::new(config).expect("engine boots in memory");
+    let provider = engine.register_provider("smoke").expect("provider");
+    let project = engine
+        .add_project(provider, ProjectSpec::demo("smoke", 60), dataset)
+        .expect("project");
+
+    let summary = engine.run(project, 60).expect("campaign runs");
+    assert_eq!(summary.issued, 60);
+    assert_eq!(summary.approved + summary.rejected, 60);
+
+    let monitor = engine.monitor(project).expect("monitor");
+    assert!((0.0..=1.0).contains(&monitor.quality_mean));
+
+    // Names from every layer resolve through the prelude.
+    let _ = (
+        StrategyKind::FreeChoice,
+        QualityMetric::default(),
+        StabilityKernel::Cosine,
+        TaggerBehavior::casual(),
+        PlatformKind::MTurk,
+        ProjectState::Running,
+        (ResourceId(0), TagId(0), TaggerId(0), ProjectId(0)),
+    );
+}
+
+/// The quickstart example must build and run via the same command the
+/// README advertises. Uses the `cargo` that is driving this test.
+#[test]
+fn quickstart_example_runs_under_cargo_run() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["run", "--example", "quickstart"])
+        .output()
+        .expect("spawn cargo run --example quickstart");
+    assert!(
+        out.status.success(),
+        "quickstart failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("corpus:"), "unexpected output:\n{stdout}");
+    assert!(stdout.contains("strategy"), "unexpected output:\n{stdout}");
+}
