@@ -1,0 +1,35 @@
+//! Parallel-tick throughput: many concurrent campaigns over Zipf-popular
+//! resources, ticked through `ITagEngine::run_all_on` at 1/2/4/8 threads.
+//! Per-iteration time over a fixed task count is the ticks/sec figure; the
+//! determinism suite guarantees every thread count computes the same
+//! result, so the sweep measures pure scaling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use itag_bench::scenario::{build_multi_campaign, MultiCampaignConfig};
+use std::hint::black_box;
+
+fn bench_multi_campaign(c: &mut Criterion) {
+    let cfg = MultiCampaignConfig::default();
+    let total_tasks = cfg.projects as u32 * cfg.budget;
+    let name = format!("engine/multi_campaign_{}x{}tasks", cfg.projects, cfg.budget);
+    let mut group = c.benchmark_group(&name);
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter_batched(
+                || build_multi_campaign(&cfg),
+                |(mut engine, _projects)| {
+                    let summaries = engine.run_all_on(cfg.budget, threads).unwrap();
+                    let issued: u32 = summaries.iter().map(|(_, s)| s.issued).sum();
+                    assert_eq!(issued, total_tasks);
+                    black_box(summaries)
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_campaign);
+criterion_main!(benches);

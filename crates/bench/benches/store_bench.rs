@@ -39,7 +39,7 @@ fn bench_commit(c: &mut Criterion) {
             dir.path(),
             StoreOptions {
                 durability: Durability::Buffered,
-                checkpoint_every: 0,
+                ..StoreOptions::default()
             },
         )
         .unwrap();

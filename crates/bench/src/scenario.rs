@@ -1,6 +1,10 @@
 //! Scenario builders shared by the figure harness and the benches.
 
+use itag_core::config::EngineConfig;
+use itag_core::engine::ITagEngine;
+use itag_core::project::ProjectSpec;
 use itag_model::delicious::{DeliciousConfig, DeliciousDataset};
+use itag_model::ids::ProjectId;
 use itag_quality::metric::QualityMetric;
 use itag_strategy::framework::{Framework, RunReport};
 use itag_strategy::simenv::SimWorld;
@@ -70,6 +74,79 @@ pub fn gini(counts: &[u32]) -> f64 {
     itag_model::dataset::DatasetStats::compute(counts).gini
 }
 
+/// Parameters of a many-campaign engine workload: `projects` concurrent
+/// campaigns, each over its own Zipf-popular resource set (the heavy-tailed
+/// shape self-organized tagging systems exhibit), all ticked through
+/// [`ITagEngine::run_all_on`]. This is the scenario the parallel-tick
+/// bench sweeps across thread counts.
+#[derive(Debug, Clone)]
+pub struct MultiCampaignConfig {
+    /// Concurrent campaigns.
+    pub projects: usize,
+    /// Resources per campaign.
+    pub resources: usize,
+    /// Pre-campaign posts per campaign.
+    pub initial_posts: usize,
+    /// Task budget per campaign.
+    pub budget: u32,
+    /// Zipf exponent of resource popularity (≈1 on Delicious).
+    pub popularity_exponent: f64,
+    /// Simulated workers per campaign platform.
+    pub workers: usize,
+    /// Master seed; each campaign derives its own dataset seed.
+    pub seed: u64,
+}
+
+impl Default for MultiCampaignConfig {
+    fn default() -> Self {
+        MultiCampaignConfig {
+            projects: 8,
+            resources: 200,
+            initial_posts: 1_000,
+            budget: 200,
+            popularity_exponent: 1.0,
+            workers: 24,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// Builds an in-memory engine populated with `cfg.projects` campaigns,
+/// ready for [`ITagEngine::run_all_on`]. Deterministic in `cfg.seed`.
+pub fn build_multi_campaign(cfg: &MultiCampaignConfig) -> (ITagEngine, Vec<ProjectId>) {
+    let mut engine_config = EngineConfig::in_memory(cfg.seed);
+    engine_config.workers = cfg.workers;
+    let mut engine = ITagEngine::new(engine_config).expect("in-memory engine");
+    let provider = engine
+        .register_provider("multi-campaign")
+        .expect("provider registration");
+    let mut projects = Vec::with_capacity(cfg.projects);
+    for i in 0..cfg.projects {
+        let dataset = DeliciousConfig {
+            resources: cfg.resources,
+            initial_posts: cfg.initial_posts,
+            eval_posts: 0,
+            popularity_exponent: cfg.popularity_exponent,
+            seed: cfg
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            ..DeliciousConfig::default()
+        }
+        .generate()
+        .dataset;
+        projects.push(
+            engine
+                .add_project(
+                    provider,
+                    ProjectSpec::demo(&format!("campaign-{i}"), cfg.budget),
+                    dataset,
+                )
+                .expect("valid generated dataset"),
+        );
+    }
+    (engine, projects)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +185,25 @@ mod tests {
     fn gini_detects_concentration() {
         assert!(gini(&[1, 1, 1, 1]) < 0.01);
         assert!(gini(&[0, 0, 0, 100]) > 0.7);
+    }
+
+    #[test]
+    fn multi_campaign_builder_is_deterministic_and_runnable() {
+        let cfg = MultiCampaignConfig {
+            projects: 3,
+            resources: 30,
+            initial_posts: 120,
+            budget: 40,
+            workers: 8,
+            ..MultiCampaignConfig::default()
+        };
+        let (mut a, pa) = build_multi_campaign(&cfg);
+        let (mut b, pb) = build_multi_campaign(&cfg);
+        assert_eq!(pa.len(), 3);
+        assert_eq!(pa, pb);
+        let sa = a.run_all_on(cfg.budget, 2).unwrap();
+        let sb = b.run_all_on(cfg.budget, 4).unwrap();
+        assert_eq!(sa, sb, "same scenario, different thread counts");
+        assert_eq!(a.store_checksum(), b.store_checksum());
     }
 }

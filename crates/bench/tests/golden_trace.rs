@@ -1,0 +1,72 @@
+//! Golden-trace regression test: a small pinned-seed sweep whose
+//! per-round quality trajectory is committed as a fixture. Any change to
+//! strategy allocation order, RNG consumption, or quality arithmetic shows
+//! up as a line-level diff here instead of a silent drift in the figures.
+//!
+//! To re-bless after an *intentional* behaviour change:
+//! `ITAG_BLESS=1 cargo test -p itag-bench --test golden_trace`
+
+use itag_bench::scenario::{run_strategy, SweepConfig};
+use itag_strategy::StrategyKind;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_trace.txt")
+}
+
+fn render_trace() -> String {
+    let cfg = SweepConfig {
+        resources: 120,
+        initial_posts: 600,
+        seed: 0x601D,
+        ..SweepConfig::default()
+    };
+    let mut out = String::new();
+    for kind in [
+        StrategyKind::FewestPosts,
+        StrategyKind::MostUnstable,
+        StrategyKind::FpMu { min_posts: 5 },
+    ] {
+        let (report, _) = run_strategy(&cfg, kind, 300);
+        for p in &report.series {
+            writeln!(
+                out,
+                "{} {} {:.12}",
+                report.strategy, p.spent, p.mean_quality
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn quality_trajectory_matches_committed_fixture() {
+    let trace = render_trace();
+    let path = fixture_path();
+    if std::env::var("ITAG_BLESS").is_ok() {
+        std::fs::write(&path, &trace).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .expect("fixture missing — run once with ITAG_BLESS=1 to create it");
+    for (i, (got, want)) in trace.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "trajectory diverges at line {} — a strategy-order or RNG regression \
+             (re-bless with ITAG_BLESS=1 only if the change is intentional)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        trace.lines().count(),
+        expected.lines().count(),
+        "trajectory length changed"
+    );
+}
+
+#[test]
+fn trace_is_reproducible_within_a_process() {
+    assert_eq!(render_trace(), render_trace());
+}

@@ -46,6 +46,11 @@ pub struct EngineConfig {
     /// banned from claiming further tasks (Section III-A: the approval
     /// rate of platform taggers is kept "at a reliable level").
     pub enforce_reliability: bool,
+    /// Threads for [`crate::engine::ITagEngine::run_all`]. `0` = auto:
+    /// the `ITAG_THREADS` environment variable if set, else the machine's
+    /// available parallelism capped at 8. The tick is deterministic in the
+    /// thread count, so this is purely a throughput knob.
+    pub threads: usize,
     /// Storage backend.
     pub storage: StorageConfig,
 }
@@ -63,6 +68,7 @@ impl Default for EngineConfig {
             record_every: 100,
             max_ticks_per_batch: 100_000,
             enforce_reliability: true,
+            threads: 0,
             storage: StorageConfig::InMemory,
         }
     }

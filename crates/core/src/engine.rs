@@ -24,7 +24,7 @@ use itag_crowd::payment::Ledger;
 use itag_crowd::platform::{CrowdPlatform, SimPlatform};
 use itag_crowd::worker::WorkerPool;
 use itag_model::dataset::Dataset;
-use itag_model::ids::{PostId, ProjectId, ResourceId};
+use itag_model::ids::{PostId, ProjectId, ResourceId, TagId, TaggerId};
 use itag_model::post::Post;
 use itag_store::codec::{FxHashMap, FxHashSet};
 use itag_store::table::{Entity, KeyCodec};
@@ -90,6 +90,10 @@ struct ProjectRuntime {
     tasks_approved: u64,
     tasks_rejected: u64,
     next_record: u32,
+    /// Per-project RNG stream for the parallel tick: seeded from the
+    /// engine seed and the project id, so a project's trajectory is the
+    /// same no matter which thread (or how many threads) runs it.
+    rng: StdRng,
 }
 
 /// Outcome of one `run` call.
@@ -105,6 +109,253 @@ pub struct RunSummary {
     pub quality: f64,
     /// `q(R)` improvement since the campaign started.
     pub improvement: f64,
+}
+
+/// One buffered decision from a parallel round, ready to be merged into
+/// the shared tables on the main thread (where the global post id is
+/// assigned).
+struct DecisionRecord {
+    worker: TaggerId,
+    approved: bool,
+    pay: u32,
+    resource: ResourceId,
+    tags: Vec<TagId>,
+    submitted_at: u64,
+    /// `pq.counts[r]` after the post was folded in (the post's ordinal).
+    posts_after: u32,
+    /// Quality right after folding (approved decisions only).
+    quality_after: f64,
+}
+
+/// Everything one project produced during a parallel round.
+struct ProjectOutcome {
+    summary: RunSummary,
+    decisions: Vec<DecisionRecord>,
+    notifications: Vec<Notification>,
+}
+
+/// A ticked project waiting to be merged: its outcome plus the block of
+/// global post ids assigned to its approved decisions (blocks are handed
+/// out in project-id order, so ids are thread-count independent).
+struct MergeJob {
+    project: ProjectId,
+    provider: u32,
+    budget_spent: u32,
+    state: ProjectState,
+    post_base: u64,
+    outcome: ProjectOutcome,
+}
+
+/// Stages one project's post, resource-count and quality-snapshot ops into
+/// a fresh batch. Runs on a worker thread: the managers are stateless
+/// views over the store, which stays frozen until the serial commit phase,
+/// so concurrent staging reads a consistent base.
+fn stage_project_effects(
+    job: &mut MergeJob,
+    tags: &TagManager,
+    resources: &ResourceManager,
+    quality: &QualityManager,
+) -> Result<WriteBatch> {
+    let mut batch = WriteBatch::with_capacity(job.outcome.decisions.len() * 4);
+    let mut next_id = job.post_base;
+    let mut resource_recs: FxHashMap<u32, crate::records::ResourceRecord> = FxHashMap::default();
+    for d in job.outcome.decisions.iter_mut() {
+        if !d.approved {
+            continue;
+        }
+        let post = Post::new(
+            PostId(next_id),
+            d.resource,
+            d.worker,
+            std::mem::take(&mut d.tags),
+            d.posts_after,
+            d.submitted_at,
+        );
+        next_id += 1;
+        tags.stage_post(&mut batch, job.project, &post)?;
+        // Fetch each resource record once, then thread it through its
+        // staged increments so repeated approvals see fresh counts.
+        let rec = match resource_recs.entry(d.resource.0) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(resources.get(job.project, d.resource)?)
+            }
+        };
+        *rec = resources.stage_increment_posts(&mut batch, rec)?;
+        quality.stage_snapshot(
+            &mut batch,
+            job.project,
+            d.resource,
+            d.posts_after,
+            d.quality_after,
+        )?;
+    }
+    Ok(batch)
+}
+
+/// Runs the full Algorithm-1 loop for one project using only project-local
+/// state (plus read-only reputation lookups), buffering every effect that
+/// touches shared tables. Mirrors [`ITagEngine::run`] step for step; the
+/// merge in [`ITagEngine::run_all_on`] replays the buffers in project-id
+/// order, so the stored bytes are identical across thread counts.
+fn tick_campaign(
+    rt: &mut ProjectRuntime,
+    config: &EngineConfig,
+    users: &UserManager,
+    max_tasks: u32,
+) -> Result<ProjectOutcome> {
+    let mut decisions = Vec::new();
+    let mut notifications = Vec::new();
+    // (approved, rejected) per worker in this round, layered over the
+    // persisted counters for reliability gating: the shared tables are
+    // frozen while worker threads run, so the gate sees the pre-round
+    // base plus this project's own decisions — thread-count independent.
+    let mut overlay: FxHashMap<u32, (u32, u32)> = FxHashMap::default();
+
+    let mut issued = 0u32;
+    let mut approved_total = 0u32;
+    let mut rejected_total = 0u32;
+
+    loop {
+        let want = config
+            .batch_size
+            .min((max_tasks - issued) as usize)
+            .min((rt.budget_total - rt.budget_spent) as usize);
+        if want == 0 {
+            break;
+        }
+
+        if !rt.strategy_initialized {
+            let view = RuntimeView {
+                pq: &rt.pq,
+                popularity: &rt.dataset.popularity,
+            };
+            rt.strategy.init(&view, rt.budget_total, &mut rt.rng);
+            rt.strategy_initialized = true;
+        }
+        let chosen = {
+            let view = RuntimeView {
+                pq: &rt.pq,
+                popularity: &rt.dataset.popularity,
+            };
+            rt.strategy.choose(&view, want, &mut rt.rng)
+        };
+        if chosen.is_empty() {
+            break; // strategy has nothing left
+        }
+        for &r in &chosen {
+            let task = rt.platform.publish(rt.id, r, rt.pay_cents);
+            rt.ledger.escrow(rt.id, rt.pay_cents as u64);
+            rt.pending.insert(task.0);
+        }
+        rt.budget_spent += chosen.len() as u32;
+        issued += chosen.len() as u32;
+
+        let mut ticks = 0u32;
+        while !rt.pending.is_empty() && ticks < config.max_ticks_per_batch {
+            ticks += 1;
+            let results = rt.platform.step(&rt.dataset, &mut rt.rng);
+            for result in results {
+                rt.pending.remove(&result.task.0);
+                let i = result.resource.index();
+                let approve = rt.approval.decide(&result.tags, rt.pq.states[i].rfd());
+                let (worker, pay) = rt.platform.decide(result.task, approve)?;
+                let counts = overlay.entry(worker.0).or_insert((0, 0));
+                let mut posts_after = 0u32;
+                let mut quality_after = 0.0f64;
+                if approve {
+                    counts.0 += 1;
+                    rt.ledger.release(rt.id, worker, pay as u64)?;
+                    quality_after = rt.pq.apply_post(&rt.dataset, result.resource, &result.tags);
+                    posts_after = rt.pq.counts[i];
+                    rt.tasks_approved += 1;
+                    approved_total += 1;
+                } else {
+                    counts.1 += 1;
+                    rt.ledger.refund(rt.id, pay as u64)?;
+                    rt.tasks_rejected += 1;
+                    rejected_total += 1;
+                }
+
+                if config.enforce_reliability && !approve {
+                    let (extra_a, extra_r) = overlay[&worker.0];
+                    if !users.is_reliable_with(worker.0, extra_a, extra_r)? {
+                        rt.platform.ban_worker(worker);
+                    }
+                }
+
+                let view = RuntimeView {
+                    pq: &rt.pq,
+                    popularity: &rt.dataset.popularity,
+                };
+                rt.strategy.notify_update(&view, result.resource);
+
+                notifications.push(Notification::TagDecided {
+                    project: rt.id,
+                    resource: result.resource,
+                    tagger: worker,
+                    approved: approve,
+                });
+                decisions.push(DecisionRecord {
+                    worker,
+                    approved: approve,
+                    pay,
+                    resource: result.resource,
+                    tags: result.tags,
+                    submitted_at: result.submitted_at,
+                    posts_after,
+                    quality_after,
+                });
+            }
+
+            // Feedback: series point + quality milestones, once per tick
+            // (the cadence of `collect_once`).
+            if rt.budget_spent >= rt.next_record {
+                rt.series.push(BudgetPoint {
+                    spent: rt.budget_spent,
+                    mean_quality: rt.pq.mean_quality(),
+                });
+                rt.next_record += config.record_every.max(1);
+            }
+            let q = rt.pq.mean_quality();
+            while q >= rt.last_milestone + 0.1 {
+                rt.last_milestone += 0.1;
+                notifications.push(Notification::QualityMilestone {
+                    project: rt.id,
+                    quality: q,
+                    milestone: rt.last_milestone,
+                });
+            }
+        }
+        if !rt.pending.is_empty() {
+            break; // platform starvation — same bail-out as `run`
+        }
+    }
+
+    // Close the series at the exact final spend.
+    if rt.series.last().map(|p| p.spent) != Some(rt.budget_spent) {
+        rt.series.push(BudgetPoint {
+            spent: rt.budget_spent,
+            mean_quality: rt.pq.mean_quality(),
+        });
+    }
+    if rt.budget_spent >= rt.budget_total {
+        rt.state = ProjectState::Completed;
+        notifications.push(Notification::BudgetExhausted { project: rt.id });
+    }
+
+    let quality = rt.pq.mean_quality();
+    Ok(ProjectOutcome {
+        summary: RunSummary {
+            issued,
+            approved: approved_total,
+            rejected: rejected_total,
+            quality,
+            improvement: quality - rt.initial_quality,
+        },
+        decisions,
+        notifications,
+    })
 }
 
 /// The iTag system.
@@ -141,6 +392,7 @@ impl ITagEngine {
                 StoreOptions {
                     durability: *durability,
                     checkpoint_every: *checkpoint_every,
+                    ..StoreOptions::default()
                 },
             )?,
         });
@@ -373,6 +625,10 @@ impl ITagEngine {
             tasks_approved: 0,
             tasks_rejected: 0,
             next_record: record.budget_spent + self.config.record_every.max(1),
+            rng: StdRng::seed_from_u64(
+                self.config.seed
+                    ^ 0x51_7c_c1_b7_27_22_0a_95u64.wrapping_mul(record.id.0 as u64 + 1),
+            ),
         })
     }
 
@@ -612,6 +868,171 @@ impl ITagEngine {
             quality,
             improvement: quality - rt.initial_quality,
         })
+    }
+
+    /// Ticks every `Running` project concurrently — Algorithm 1 per
+    /// project, up to `max_tasks` tasks each — across `threads` scoped
+    /// worker threads claiming projects off a shared cursor
+    /// ([`itag_crowd::parallel::scoped_map`]). Non-running projects are
+    /// skipped. Returns `(project, summary)` pairs in project-id order.
+    ///
+    /// Determinism contract: each project consumes its own RNG stream and
+    /// buffers its effects while the shared tables stay frozen; the
+    /// buffers are then merged in project-id order on the calling thread
+    /// (global post ids are assigned here). Monitor snapshots, ledgers and
+    /// stored tables are therefore **identical for every thread count**.
+    /// Cross-project reputation (the reliability gate) is read at round
+    /// granularity: a round sees the counters persisted before the round
+    /// plus its own project's in-round decisions.
+    pub fn run_all_on(
+        &mut self,
+        max_tasks: u32,
+        threads: usize,
+    ) -> Result<Vec<(ProjectId, RunSummary)>> {
+        let threads = threads.max(1);
+        let mut ids: Vec<u32> = self
+            .runtimes
+            .iter()
+            .filter(|(_, rt)| rt.state == ProjectState::Running)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        let work: Vec<(u32, ProjectRuntime)> = ids
+            .iter()
+            .map(|id| (*id, self.runtimes.remove(id).expect("listed above")))
+            .collect();
+
+        let config = &self.config;
+        let users = &self.users;
+        let outcomes = itag_crowd::parallel::scoped_map(work, threads, |_, (id, mut rt)| {
+            let outcome = tick_campaign(&mut rt, config, users, max_tasks);
+            (id, rt, outcome)
+        });
+
+        // Reinsert the runtimes and hand each project its post-id block,
+        // in project-id order — ids are independent of the thread count.
+        let mut jobs: Vec<MergeJob> = Vec::with_capacity(outcomes.len());
+        let mut first_err: Option<EngineError> = None;
+        for (id, rt, outcome) in outcomes {
+            let project = ProjectId(id);
+            let provider = rt.provider;
+            let budget_spent = rt.budget_spent;
+            let state = rt.state;
+            self.runtimes.insert(id, rt);
+            match outcome {
+                Ok(o) => {
+                    let post_base = self.next_post_id;
+                    self.next_post_id += o.decisions.iter().filter(|d| d.approved).count() as u64;
+                    jobs.push(MergeJob {
+                        project,
+                        provider,
+                        budget_spent,
+                        state,
+                        post_base,
+                        outcome: o,
+                    });
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+
+        // Stage each project's per-project effects (posts, resource
+        // counts, quality snapshots) in parallel; the store is read-only
+        // until the serial commit phase below.
+        let tags_mgr = &self.tags;
+        let resources_mgr = &self.resources;
+        let quality_mgr = &self.quality;
+        let staged = itag_crowd::parallel::scoped_map(jobs, threads, |_, mut job| {
+            let batch = stage_project_effects(&mut job, tags_mgr, resources_mgr, quality_mgr);
+            (job, batch)
+        });
+
+        // Serial phase, project-id order: cross-project user decisions,
+        // one group-commit frame per project, notifications, project rows.
+        let mut summaries = Vec::with_capacity(staged.len());
+        for (job, batch) in staged {
+            let MergeJob {
+                project,
+                provider,
+                budget_spent,
+                state,
+                outcome,
+                ..
+            } = job;
+            let ProjectOutcome {
+                summary,
+                decisions,
+                notifications,
+            } = outcome;
+            let merged: Result<RunSummary> = (|| {
+                let mut batch = batch?;
+                for d in &decisions {
+                    self.users
+                        .stage_decision(&mut batch, provider, d.worker.0, d.approved, d.pay)?;
+                }
+                self.store.commit(batch)?;
+                for n in notifications {
+                    self.notifications.push(n);
+                }
+                let mut record = self
+                    .projects
+                    .get(&project)?
+                    .ok_or(EngineError::UnknownProject(project))?;
+                record.budget_spent = budget_spent;
+                record.state = state;
+                self.projects.upsert(&record)?;
+                Ok(summary)
+            })();
+            match merged {
+                Ok(s) => summaries.push((project, s)),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(summaries),
+        }
+    }
+
+    /// [`ITagEngine::run_all_on`] with the configured thread count
+    /// ([`EngineConfig::threads`], else `ITAG_THREADS`, else auto).
+    pub fn run_all(&mut self, max_tasks: u32) -> Result<Vec<(ProjectId, RunSummary)>> {
+        let threads = self.resolved_threads();
+        self.run_all_on(max_tasks, threads)
+    }
+
+    /// Thread count the parallel tick will use (a throughput knob only —
+    /// results do not depend on it).
+    pub fn resolved_threads(&self) -> usize {
+        if self.config.threads > 0 {
+            return self.config.threads;
+        }
+        if let Some(n) = std::env::var("ITAG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1)
+    }
+
+    /// Worker payouts of a project's ledger, sorted by worker id.
+    pub fn worker_balances(&self, project: ProjectId) -> Result<Vec<(u32, u64)>> {
+        Ok(self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?
+            .ledger
+            .worker_balances())
+    }
+
+    /// Order-independent digest of every persisted table (see
+    /// [`itag_store::Store::content_checksum`]).
+    pub fn store_checksum(&self) -> u64 {
+        self.store.content_checksum()
     }
 
     /// The Fig. 3 / Fig. 5 view of a project.
@@ -1367,6 +1788,78 @@ mod tests {
             e.promote(p, ResourceId(0)),
             Err(EngineError::UnknownProject(_))
         ));
+    }
+
+    #[test]
+    fn run_all_drives_every_project_and_keeps_integrity() {
+        let mut e = engine();
+        let provider = e.register_provider("fleet").unwrap();
+        let mut projects = Vec::new();
+        for seed in 20..24u64 {
+            projects.push(
+                e.add_project(
+                    provider,
+                    ProjectSpec::demo(&format!("campaign-{seed}"), 80),
+                    dataset(seed),
+                )
+                .unwrap(),
+            );
+        }
+        let summaries = e.run_all_on(80, 4).unwrap();
+        assert_eq!(summaries.len(), 4);
+        let ids: Vec<ProjectId> = summaries.iter().map(|(p, _)| *p).collect();
+        assert_eq!(ids, projects, "summaries come back in project-id order");
+        for (p, s) in &summaries {
+            assert_eq!(s.issued, 80);
+            assert_eq!(s.approved + s.rejected, 80);
+            let m = e.monitor(*p).unwrap();
+            assert_eq!(m.state, "completed");
+            assert_eq!(m.budget_spent, 80);
+            assert_eq!(m.paid + m.refunded + m.escrowed, 80 * 5);
+            assert_eq!(e.verify_integrity(*p).unwrap(), 50);
+        }
+        // A second round on completed projects is a clean no-op.
+        assert!(e.run_all_on(10, 2).unwrap().is_empty());
+        // Notifications from the round were merged (budget exhausted × 4).
+        let notes = e.take_notifications();
+        assert_eq!(
+            notes
+                .iter()
+                .filter(|n| matches!(n, Notification::BudgetExhausted { .. }))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn run_all_is_identical_across_thread_counts() {
+        let outputs: Vec<_> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                let mut e = engine();
+                let provider = e.register_provider("det").unwrap();
+                let mut projects = Vec::new();
+                for seed in 40..43u64 {
+                    projects.push(
+                        e.add_project(
+                            provider,
+                            ProjectSpec::demo(&format!("det-{seed}"), 60),
+                            dataset(seed),
+                        )
+                        .unwrap(),
+                    );
+                }
+                let summaries = e.run_all_on(60, threads).unwrap();
+                let monitors: Vec<_> = projects.iter().map(|p| e.monitor(*p).unwrap()).collect();
+                let balances: Vec<_> = projects
+                    .iter()
+                    .map(|p| e.worker_balances(*p).unwrap())
+                    .collect();
+                (summaries, monitors, balances, e.store_checksum())
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "1 vs 2 threads diverged");
+        assert_eq!(outputs[0], outputs[2], "1 vs 8 threads diverged");
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub enum SortKey {
 }
 
 /// A point-in-time view of a project (Fig. 3 + Fig. 5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field (including the float series exactly) —
+/// the concurrency determinism suite relies on bit-for-bit equality of
+/// snapshots taken at different thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MonitorSnapshot {
     pub project: ProjectId,
     pub name: String,
@@ -138,7 +142,7 @@ pub struct ProjectListing {
 
 /// The single-resource drill-down (Fig. 6): tags with frequencies plus the
 /// quality evolution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceDetail {
     pub id: ResourceId,
     pub uri: String,

@@ -107,14 +107,30 @@ impl UserManager {
     /// The reliability gate: false once a tagger with enough history falls
     /// below the threshold.
     pub fn is_reliable(&self, tagger: u32) -> Result<bool> {
-        let Some(u) = self.get(UserRole::Tagger, tagger)? else {
-            return Ok(true);
-        };
-        let decided = u.approvals_received + u.rejections_received;
-        if decided < self.grace_decisions {
+        self.is_reliable_with(tagger, 0, 0)
+    }
+
+    /// The reliability gate with not-yet-persisted decisions added on top
+    /// of the stored counters. The engine's parallel tick buffers each
+    /// round's decisions and commits them after the round, so in-round
+    /// gating reads the stored base plus the project-local overlay —
+    /// deterministic regardless of how many threads run the round.
+    pub fn is_reliable_with(
+        &self,
+        tagger: u32,
+        extra_approved: u32,
+        extra_rejected: u32,
+    ) -> Result<bool> {
+        let (base_approved, base_rejected) = self
+            .get(UserRole::Tagger, tagger)?
+            .map(|u| (u.approvals_received, u.rejections_received))
+            .unwrap_or((0, 0));
+        let approved = base_approved as u64 + extra_approved as u64;
+        let decided = approved + base_rejected as u64 + extra_rejected as u64;
+        if decided < self.grace_decisions as u64 {
             return Ok(true);
         }
-        Ok(u.approval_rate_received() >= self.reliability_threshold)
+        Ok(approved as f64 / decided as f64 >= self.reliability_threshold)
     }
 
     /// All taggers, for reporting.

@@ -80,6 +80,59 @@ pub fn run_parallel_tagging(
     results
 }
 
+/// Generic scoped fan-out over owned work items: `threads` OS threads claim
+/// items off a shared atomic cursor, `f(index, item)` runs on whichever
+/// thread claimed the slot, and the results come back **in input order** —
+/// the caller never sees scheduling. The engine uses this to tick
+/// independent project runtimes concurrently and merge deterministically.
+pub fn scoped_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let out: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let slots = &slots;
+            let out = &out;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let r = f(i, item);
+                *out[i].lock().expect("result lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("scoped threads completed every item")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +182,27 @@ mod tests {
         let l = latents();
         let out = run_parallel_tagging(&l, 100, TaggerBehavior::casual(), &[], 4, 1);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scoped_map_preserves_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1usize, 3, 8] {
+            let out = scoped_map(items.clone(), threads, |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_map_moves_owned_items_and_handles_empty_input() {
+        let strings = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens = scoped_map(strings, 2, |_, s| s.len());
+        assert_eq!(lens, vec![1, 2, 3]);
+        let nothing: Vec<u8> = scoped_map(Vec::<u8>::new(), 4, |_, x| x);
+        assert!(nothing.is_empty());
     }
 }

@@ -78,6 +78,14 @@ impl Ledger {
         (self.total_escrowed, self.total_paid, self.total_refunded)
     }
 
+    /// Every worker balance, sorted by worker id (deterministic view for
+    /// audits and the cross-thread-count equivalence tests).
+    pub fn worker_balances(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.balances.iter().map(|(w, c)| (*w, *c)).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Conservation check: everything escrowed is either still held, paid
     /// out, or refunded.
     pub fn is_balanced(&self) -> bool {

@@ -1,19 +1,33 @@
-//! The [`Store`]: ordered key/value tables + WAL + snapshots.
+//! The [`Store`]: sharded ordered key/value tables + group-commit WAL +
+//! snapshots.
 //!
-//! Concurrency model: multi-reader / single-writer behind a
-//! `parking_lot::RwLock`, matching how the iTag engine uses storage (one
-//! allocation loop writes; monitoring endpoints read). Reads return
+//! Concurrency model: the memtable set is **hash-partitioned into N
+//! shards**, each behind its own `parking_lot::RwLock`, so readers on
+//! different shards never contend. Durability is a **single group-commit
+//! WAL**: concurrent `commit` calls enqueue their batches under a small
+//! mutex, one caller becomes the group leader, appends every queued frame
+//! with one flush/fsync, applies the group to the shards in LSN order, and
+//! wakes the followers. With one writer the path degenerates to the classic
+//! per-commit WAL append; under contention the fsync cost is amortised
+//! across the whole group.
+//!
+//! Consistency: a committed batch is applied while holding the write locks
+//! of every shard it touches, so point reads and full scans (which lock all
+//! shards at once) never observe half a batch. Reads return
 //! [`bytes::Bytes`] so monitors copy nothing.
 
+use crate::codec::FxHasher;
 use crate::error::{Result, StoreError};
 use crate::txn::{Op, WalEntry, WriteBatch};
 use crate::{serbin, snapshot, wal, TableId};
 use bytes::Bytes;
-use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::hash::Hasher;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// How hard the store tries to make each commit durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,12 +35,15 @@ pub enum Durability {
     /// Pure in-memory operation; no files at all. Used by simulations and
     /// benches where the dataset is regenerated per run.
     InMemory,
-    /// WAL appends are flushed to the OS per commit but not fsynced; a
-    /// process crash loses nothing, a power failure may lose the tail.
+    /// WAL appends are flushed to the OS per commit group but not fsynced;
+    /// a process crash loses nothing, a power failure may lose the tail.
     Buffered,
-    /// WAL appends are fsynced per commit.
+    /// WAL appends are fsynced per commit group.
     Sync,
 }
+
+/// Default number of hash partitions (see [`StoreOptions::shards`]).
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// Tuning knobs for [`Store::open`].
 #[derive(Debug, Clone)]
@@ -34,6 +51,10 @@ pub struct StoreOptions {
     pub durability: Durability,
     /// Auto-checkpoint after this many committed batches (0 = manual only).
     pub checkpoint_every: u64,
+    /// Number of hash-partitioned memtable shards (min 1). The on-disk
+    /// format is shard-agnostic: a database written with one shard count
+    /// reopens fine under another.
+    pub shards: usize,
 }
 
 impl Default for StoreOptions {
@@ -41,6 +62,7 @@ impl Default for StoreOptions {
         StoreOptions {
             durability: Durability::Buffered,
             checkpoint_every: 0,
+            shards: DEFAULT_SHARDS,
         }
     }
 }
@@ -53,6 +75,7 @@ struct Counters {
     commits: AtomicU64,
     ops_applied: AtomicU64,
     checkpoints: AtomicU64,
+    group_commits: AtomicU64,
 }
 
 /// A point-in-time view of store activity and size.
@@ -63,20 +86,49 @@ pub struct StoreStats {
     pub commits: u64,
     pub ops_applied: u64,
     pub checkpoints: u64,
+    /// WAL write groups formed (== commits when writers never contend).
+    pub group_commits: u64,
     pub tables: usize,
     pub keys: usize,
+    /// Number of memtable shards.
+    pub shards: usize,
     /// Entries replayed from the WAL during the last open.
     pub recovered_entries: u64,
     /// True if the last open had to drop a torn WAL tail.
     pub recovered_torn_tail: bool,
 }
 
-struct Inner {
-    tables: BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>>,
-    wal: Option<wal::Wal>,
+/// One table set partition: `table → (key → value)`.
+type Memtable = BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>>;
+
+/// A batch waiting in the group-commit queue.
+struct Pending {
+    lsn: u64,
+    ops: Vec<Op>,
+    /// Pre-serialized WAL frame (durable stores only).
+    payload: Option<Vec<u8>>,
+}
+
+/// Shared commit ordering state, guarded by `Store::commit_mu`.
+struct CommitState {
     next_lsn: u64,
+    /// Every entry with `lsn <= applied_lsn` is in the memtables (and, on a
+    /// durable store, flushed per the durability level).
+    applied_lsn: u64,
+    queue: VecDeque<Pending>,
+    leader_active: bool,
+    /// A manual checkpoint is quiescing: new batches hold off enqueueing so
+    /// the in-flight work can drain (bounds the checkpoint's wait).
+    checkpoint_waiting: bool,
+    /// Set on an unrecoverable WAL I/O failure; all later commits fail.
+    broken: Option<String>,
+}
+
+/// WAL + recovery bookkeeping, guarded by `Store::log_mu`. Only the group
+/// leader (or a quiesced checkpoint) holds this lock.
+struct LogState {
+    wal: Option<wal::Wal>,
     dir: Option<PathBuf>,
-    opts: StoreOptions,
     commits_since_checkpoint: u64,
     recovered_entries: u64,
     recovered_torn_tail: bool,
@@ -84,7 +136,11 @@ struct Inner {
 
 /// The storage engine. See module docs.
 pub struct Store {
-    inner: RwLock<Inner>,
+    shards: Vec<RwLock<Memtable>>,
+    commit_mu: Mutex<CommitState>,
+    commit_cv: Condvar,
+    log_mu: Mutex<LogState>,
+    opts: StoreOptions,
     counters: Counters,
 }
 
@@ -96,36 +152,109 @@ fn snapshot_path(dir: &Path) -> PathBuf {
     dir.join("db.snp")
 }
 
+/// Stable shard router: FxHash of `(table, key)` mod shard count. Must not
+/// change across versions or recovery would repartition differently than
+/// the writes that produced the WAL (harmless, but checksums over shard
+/// contents would shift).
+fn route(shards: usize, table: TableId, key: &[u8]) -> usize {
+    if shards == 1 {
+        return 0;
+    }
+    let mut h = FxHasher::default();
+    h.write_u16(table.0);
+    h.write(key);
+    (h.finish() % shards as u64) as usize
+}
+
+/// std mutexes poison on panic; the store treats a poisoned guard as still
+/// usable (matching `parking_lot` semantics used elsewhere in the crate).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|p| p.into_inner())
+}
+
+/// Builds a WAL frame payload from a pre-serialized op list. `WalEntry`
+/// is `{ lsn, ops }` and serbin encodes structs as plain field
+/// concatenation (see the `serbin` module docs), so `varint(lsn) ++
+/// serbin(ops)` is byte-identical to `serbin(WalEntry { lsn, ops })` —
+/// which lets committers serialize their ops *outside* the commit mutex
+/// and splice the LSN in under it.
+fn frame_payload(lsn: u64, ops_bytes: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(10 + ops_bytes.len());
+    crate::codec::write_uvarint(&mut payload, lsn);
+    payload.extend_from_slice(ops_bytes);
+    payload
+}
+
+/// What the group leader reports back: the WAL-append + memtable-apply
+/// verdict (a failure here poisons the store — log and memory can no
+/// longer be trusted to agree) and, separately, the auto-checkpoint
+/// verdict (a failure here is transient and surfaced only to the leader;
+/// the group itself is durable and applied).
+struct LeadOutcome {
+    wal_apply: Result<()>,
+    checkpoint: Result<()>,
+}
+
+/// Union of table ids across a full set of shard guards, ascending.
+fn tables_union(guards: &[RwLockReadGuard<'_, Memtable>]) -> BTreeSet<TableId> {
+    let mut ids = BTreeSet::new();
+    for g in guards {
+        ids.extend(g.keys().copied());
+    }
+    ids
+}
+
+/// One table's pairs gathered from every shard, merged into key order.
+fn merged_pairs<'g>(
+    guards: &'g [RwLockReadGuard<'_, Memtable>],
+    table: TableId,
+) -> Vec<(&'g Vec<u8>, &'g Bytes)> {
+    let mut pairs: Vec<(&Vec<u8>, &Bytes)> = guards
+        .iter()
+        .filter_map(|g| g.get(&table))
+        .flat_map(|t| t.iter())
+        .collect();
+    pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    pairs
+}
+
 impl Store {
     /// An ephemeral store with no durability (no files are touched).
     pub fn in_memory() -> Self {
-        Store {
-            inner: RwLock::new(Inner {
-                tables: BTreeMap::new(),
-                wal: None,
-                next_lsn: 1,
-                dir: None,
-                opts: StoreOptions {
-                    durability: Durability::InMemory,
-                    checkpoint_every: 0,
-                },
-                commits_since_checkpoint: 0,
-                recovered_entries: 0,
-                recovered_torn_tail: false,
-            }),
-            counters: Counters::default(),
-        }
+        Store::in_memory_sharded(DEFAULT_SHARDS)
+    }
+
+    /// An ephemeral store with an explicit shard count (tests and benches
+    /// that sweep partitioning).
+    pub fn in_memory_sharded(shards: usize) -> Self {
+        Store::assemble(
+            StoreOptions {
+                durability: Durability::InMemory,
+                checkpoint_every: 0,
+                shards,
+            },
+            Memtable::new(),
+            None,
+            None,
+            0,
+            0,
+            false,
+        )
     }
 
     /// Opens (or creates) a durable store in `dir`, running recovery:
     /// load the snapshot if present, then replay WAL entries past it.
     pub fn open(dir: &Path, opts: StoreOptions) -> Result<Self> {
         if opts.durability == Durability::InMemory {
-            return Ok(Store::in_memory());
+            return Ok(Store::in_memory_sharded(opts.shards));
         }
         std::fs::create_dir_all(dir)?;
 
-        let mut tables: BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>> = BTreeMap::new();
+        let mut tables = Memtable::new();
         let mut last_lsn = 0u64;
         if let Some(snap) = snapshot::read(&snapshot_path(dir))? {
             last_lsn = snap.last_lsn;
@@ -155,59 +284,249 @@ impl Store {
             wal::Wal::create(&wal_path(dir))
         })?;
 
-        Ok(Store {
-            inner: RwLock::new(Inner {
-                tables,
-                wal: Some(wal),
+        Ok(Store::assemble(
+            opts,
+            tables,
+            Some(wal),
+            Some(dir.to_path_buf()),
+            last_lsn,
+            recovered,
+            scan.truncated_tail,
+        ))
+    }
+
+    fn assemble(
+        opts: StoreOptions,
+        initial: Memtable,
+        wal: Option<wal::Wal>,
+        dir: Option<PathBuf>,
+        last_lsn: u64,
+        recovered_entries: u64,
+        recovered_torn_tail: bool,
+    ) -> Self {
+        let n = opts.shards.max(1);
+        let mut parts: Vec<Memtable> = (0..n).map(|_| Memtable::new()).collect();
+        for (table, entries) in initial {
+            for (k, v) in entries {
+                parts[route(n, table, &k)]
+                    .entry(table)
+                    .or_default()
+                    .insert(k, v);
+            }
+        }
+        Store {
+            shards: parts.into_iter().map(RwLock::new).collect(),
+            commit_mu: Mutex::new(CommitState {
                 next_lsn: last_lsn + 1,
-                dir: Some(dir.to_path_buf()),
-                opts,
-                commits_since_checkpoint: 0,
-                recovered_entries: recovered,
-                recovered_torn_tail: scan.truncated_tail,
+                applied_lsn: last_lsn,
+                queue: VecDeque::new(),
+                leader_active: false,
+                checkpoint_waiting: false,
+                broken: None,
             }),
+            commit_cv: Condvar::new(),
+            log_mu: Mutex::new(LogState {
+                wal,
+                dir,
+                commits_since_checkpoint: 0,
+                recovered_entries,
+                recovered_torn_tail,
+            }),
+            opts,
             counters: Counters::default(),
-        })
+        }
+    }
+
+    fn shard_of(&self, table: TableId, key: &[u8]) -> usize {
+        route(self.shards.len(), table, key)
+    }
+
+    /// Read-locks every shard at once (index order), giving scans a
+    /// batch-atomic view: the group leader applies each batch while holding
+    /// the write locks of all shards that batch touches.
+    fn lock_all(&self) -> Vec<RwLockReadGuard<'_, Memtable>> {
+        self.shards.iter().map(|s| s.read()).collect()
     }
 
     /// Commits a batch atomically: one WAL frame, then apply to memtables.
+    ///
+    /// Concurrent callers are batched: one becomes the group leader and
+    /// writes every queued frame with a single flush/fsync.
     pub fn commit(&self, batch: WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.write();
-        let lsn = inner.next_lsn;
-        inner.next_lsn += 1;
-        let entry = WalEntry {
-            lsn,
-            ops: batch.ops,
+        // Serialize the ops before taking the commit mutex — only the
+        // tiny LSN prefix is built under the lock (see `frame_payload`).
+        let ops_bytes = if self.opts.durability != Durability::InMemory {
+            Some(serbin::to_bytes(&batch.ops)?)
+        } else {
+            None
         };
 
-        if inner.wal.is_some() {
-            let payload = serbin::to_bytes(&entry)?;
-            let durability = inner.opts.durability;
-            let w = inner.wal.as_mut().expect("checked above");
-            w.append(&payload)?;
-            match durability {
-                Durability::Sync => w.sync()?,
-                Durability::Buffered => w.flush()?,
-                Durability::InMemory => unreachable!("in-memory store has no WAL"),
-            }
+        let mut state = lock(&self.commit_mu);
+        // Hold off while a manual checkpoint is quiescing so its wait is
+        // bounded; queued work keeps draining below regardless.
+        while state.checkpoint_waiting {
+            state = wait(&self.commit_cv, state);
         }
+        if let Some(msg) = &state.broken {
+            return Err(StoreError::Corrupt(msg.clone()));
+        }
+        let lsn = state.next_lsn;
+        state.next_lsn += 1;
+        state.queue.push_back(Pending {
+            lsn,
+            ops: batch.ops,
+            payload: ops_bytes.map(|b| frame_payload(lsn, &b)),
+        });
 
-        let applied = entry.ops.len() as u64;
-        apply_ops(&mut inner.tables, &entry.ops);
-        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        loop {
+            // `applied_lsn` is checked before `broken`: a batch that made
+            // it into an earlier, successful group really is durable and
+            // applied, even if a *later* group has since broken the store.
+            if state.applied_lsn >= lsn {
+                return Ok(());
+            }
+            if let Some(msg) = &state.broken {
+                return Err(StoreError::Corrupt(msg.clone()));
+            }
+            if state.leader_active {
+                state = wait(&self.commit_cv, state);
+                continue;
+            }
+            // Become the group leader: drain the queue, do the I/O and the
+            // memtable applies without holding the commit mutex, then report
+            // back and wake the followers.
+            state.leader_active = true;
+            let group: Vec<Pending> = state.queue.drain(..).collect();
+            drop(state);
+
+            let outcome = self.lead_group(&group);
+
+            state = lock(&self.commit_mu);
+            state.leader_active = false;
+            match &outcome.wal_apply {
+                Ok(()) => {
+                    if let Some(last) = group.last() {
+                        state.applied_lsn = state.applied_lsn.max(last.lsn);
+                    }
+                }
+                Err(e) => {
+                    // A WAL write failed mid-group; the log can no longer
+                    // be trusted to match the memtables, so fail this
+                    // group (applied_lsn is NOT advanced past it) and
+                    // every later commit loudly instead of diverging
+                    // silently.
+                    state.broken = Some(format!("group commit failed: {e}"));
+                }
+            }
+            self.commit_cv.notify_all();
+            // The group is durable and applied even if the piggybacked
+            // auto-checkpoint failed; surface such a failure to the leader
+            // alone (matching the pre-sharding behaviour, where the commit
+            // that tripped the threshold reported the error) and let the
+            // next qualifying group retry it.
+            outcome.checkpoint?;
+        }
+    }
+
+    /// Group-leader work: append + flush all frames, apply in LSN order,
+    /// bump counters, maybe auto-checkpoint.
+    fn lead_group(&self, group: &[Pending]) -> LeadOutcome {
+        let mut log = lock(&self.log_mu);
+        let wal_apply = (|| -> Result<()> {
+            if let Some(w) = log.wal.as_mut() {
+                for p in group {
+                    w.append(
+                        p.payload
+                            .as_ref()
+                            .expect("durable stores serialize on enqueue"),
+                    )?;
+                }
+                match self.opts.durability {
+                    Durability::Sync => w.sync()?,
+                    Durability::Buffered => w.flush()?,
+                    Durability::InMemory => unreachable!("in-memory store has no WAL"),
+                }
+            }
+            Ok(())
+        })();
+        if wal_apply.is_err() {
+            return LeadOutcome {
+                wal_apply,
+                checkpoint: Ok(()),
+            };
+        }
+        let mut ops_total = 0u64;
+        for p in group {
+            self.apply_batch(&p.ops);
+            ops_total += p.ops.len() as u64;
+        }
+        self.counters
+            .commits
+            .fetch_add(group.len() as u64, Ordering::Relaxed);
         self.counters
             .ops_applied
-            .fetch_add(applied, Ordering::Relaxed);
+            .fetch_add(ops_total, Ordering::Relaxed);
+        self.counters.group_commits.fetch_add(1, Ordering::Relaxed);
 
-        inner.commits_since_checkpoint += 1;
-        let auto = inner.opts.checkpoint_every;
-        if auto > 0 && inner.commits_since_checkpoint >= auto && inner.wal.is_some() {
-            self.checkpoint_locked(&mut inner)?;
+        let mut checkpoint = Ok(());
+        if log.wal.is_some() && self.opts.checkpoint_every > 0 {
+            log.commits_since_checkpoint += group.len() as u64;
+            if log.commits_since_checkpoint >= self.opts.checkpoint_every {
+                let last = group.last().map(|p| p.lsn).unwrap_or(0);
+                checkpoint = self.checkpoint_locked(&mut log, last);
+            }
         }
-        Ok(())
+        LeadOutcome {
+            wal_apply,
+            checkpoint,
+        }
+    }
+
+    /// Applies one batch while holding the write locks of every shard it
+    /// touches, so concurrent readers see all of the batch or none of it.
+    fn apply_batch(&self, ops: &[Op]) {
+        let n = self.shards.len();
+        if n == 1 {
+            apply_ops(&mut self.shards[0].write(), ops);
+            return;
+        }
+        let mut touched: Vec<usize> = ops
+            .iter()
+            .map(|op| match op {
+                Op::Put { table, key, .. } | Op::Delete { table, key } => route(n, *table, key),
+            })
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let mut guards: Vec<Option<RwLockWriteGuard<'_, Memtable>>> =
+            (0..n).map(|_| None).collect();
+        for &s in &touched {
+            guards[s] = Some(self.shards[s].write());
+        }
+        for op in ops {
+            match op {
+                Op::Put { table, key, value } => {
+                    guards[route(n, *table, key)]
+                        .as_mut()
+                        .expect("touched shard is locked")
+                        .entry(*table)
+                        .or_default()
+                        .insert(key.clone(), Bytes::from(value.clone()));
+                }
+                Op::Delete { table, key } => {
+                    if let Some(t) = guards[route(n, *table, key)]
+                        .as_mut()
+                        .expect("touched shard is locked")
+                        .get_mut(table)
+                    {
+                        t.remove(key);
+                    }
+                }
+            }
+        }
     }
 
     /// Single-key put (a one-op batch).
@@ -227,15 +546,14 @@ impl Store {
     /// Point lookup. The returned [`Bytes`] is a zero-copy handle.
     pub fn get(&self, table: TableId, key: &[u8]) -> Result<Option<Bytes>> {
         self.counters.gets.fetch_add(1, Ordering::Relaxed);
-        let inner = self.inner.read();
-        Ok(inner.tables.get(&table).and_then(|t| t.get(key)).cloned())
+        let shard = self.shards[self.shard_of(table, key)].read();
+        Ok(shard.get(&table).and_then(|t| t.get(key)).cloned())
     }
 
     /// True if `key` exists in `table`.
     pub fn contains(&self, table: TableId, key: &[u8]) -> bool {
-        let inner = self.inner.read();
-        inner
-            .tables
+        let shard = self.shards[self.shard_of(table, key)].read();
+        shard
             .get(&table)
             .map(|t| t.contains_key(key))
             .unwrap_or(false)
@@ -244,14 +562,18 @@ impl Store {
     /// All pairs whose key starts with `prefix`, in key order.
     pub fn scan_prefix(&self, table: TableId, prefix: &[u8]) -> Vec<(Vec<u8>, Bytes)> {
         self.counters.scans.fetch_add(1, Ordering::Relaxed);
-        let inner = self.inner.read();
-        let Some(t) = inner.tables.get(&table) else {
-            return Vec::new();
-        };
-        t.range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+        let guards = self.lock_all();
+        let mut out = Vec::new();
+        for g in &guards {
+            let Some(t) = g.get(&table) else { continue };
+            out.extend(
+                t.range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
+                    .take_while(|(k, _)| k.starts_with(prefix))
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Pairs in `[from, to)` (`to = None` means unbounded), in key order.
@@ -262,17 +584,21 @@ impl Store {
         to: Option<&[u8]>,
     ) -> Vec<(Vec<u8>, Bytes)> {
         self.counters.scans.fetch_add(1, Ordering::Relaxed);
-        let inner = self.inner.read();
-        let Some(t) = inner.tables.get(&table) else {
-            return Vec::new();
-        };
+        let guards = self.lock_all();
         let upper = match to {
             Some(end) => Bound::Excluded(end),
             None => Bound::Unbounded,
         };
-        t.range::<[u8], _>((Bound::Included(from), upper))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+        let mut out = Vec::new();
+        for g in &guards {
+            let Some(t) = g.get(&table) else { continue };
+            out.extend(
+                t.range::<[u8], _>((Bound::Included(from), upper))
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Every pair in `table`, in key order.
@@ -282,57 +608,111 @@ impl Store {
 
     /// Number of keys in `table`.
     pub fn count(&self, table: TableId) -> usize {
-        let inner = self.inner.read();
-        inner.tables.get(&table).map(|t| t.len()).unwrap_or(0)
+        let guards = self.lock_all();
+        guards
+            .iter()
+            .filter_map(|g| g.get(&table))
+            .map(|t| t.len())
+            .sum()
     }
 
     /// The largest key in `table` (used to resume id counters on reopen).
     pub fn last_key(&self, table: TableId) -> Option<Vec<u8>> {
-        let inner = self.inner.read();
-        inner
-            .tables
-            .get(&table)
-            .and_then(|t| t.keys().next_back().cloned())
+        let guards = self.lock_all();
+        guards
+            .iter()
+            .filter_map(|g| g.get(&table))
+            .filter_map(|t| t.keys().next_back())
+            .max()
+            .cloned()
+    }
+
+    /// Ids of every table that has ever been written, ascending.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        let guards = self.lock_all();
+        tables_union(&guards).into_iter().collect()
+    }
+
+    /// Order-independent digest of the full logical contents (every table,
+    /// every pair, in key order). Shard-count invariant; used by the
+    /// determinism tests to compare stores byte-for-byte.
+    pub fn content_checksum(&self) -> u64 {
+        let guards = self.lock_all();
+        let mut h = FxHasher::default();
+        for table in tables_union(&guards) {
+            h.write_u16(table.0);
+            for (k, v) in merged_pairs(&guards, table) {
+                h.write_usize(k.len());
+                h.write(k);
+                h.write_usize(v.len());
+                h.write(v);
+            }
+        }
+        h.finish()
     }
 
     /// Writes a snapshot of every table and starts a fresh WAL.
     pub fn checkpoint(&self) -> Result<()> {
-        let mut inner = self.inner.write();
-        if inner.wal.is_none() {
+        if self.opts.durability == Durability::InMemory {
             return Err(StoreError::NotDurable);
         }
-        self.checkpoint_locked(&mut inner)
+        // Quiesce: raise the checkpoint flag so new batches hold off
+        // enqueueing (bounding this wait even under sustained traffic),
+        // then wait for the in-flight work to drain. Holding the commit
+        // mutex afterwards keeps enqueues blocked for the duration of the
+        // checkpoint, so the snapshot is a clean LSN cut.
+        let mut state = lock(&self.commit_mu);
+        while state.checkpoint_waiting {
+            state = wait(&self.commit_cv, state); // serialize checkpointers
+        }
+        state.checkpoint_waiting = true;
+        while state.leader_active || !state.queue.is_empty() {
+            state = wait(&self.commit_cv, state);
+        }
+        let last = state.applied_lsn;
+        let result = {
+            let mut log = lock(&self.log_mu);
+            self.checkpoint_locked(&mut log, last)
+        };
+        state.checkpoint_waiting = false;
+        self.commit_cv.notify_all();
+        result
     }
 
-    fn checkpoint_locked(&self, inner: &mut Inner) -> Result<()> {
-        let dir = inner.dir.clone().ok_or(StoreError::NotDurable)?;
-        let snap = snapshot::Snapshot {
-            last_lsn: inner.next_lsn - 1,
-            tables: inner
-                .tables
-                .iter()
-                .map(|(id, t)| snapshot::TableDump {
-                    table: *id,
-                    entries: t.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect(),
-                })
-                .collect(),
-        };
+    fn checkpoint_locked(&self, log: &mut LogState, last_lsn: u64) -> Result<()> {
+        let dir = log.dir.clone().ok_or(StoreError::NotDurable)?;
         // Make sure every WAL frame covered by the snapshot is on disk
         // before the snapshot replaces them.
-        if let Some(w) = inner.wal.as_mut() {
+        if let Some(w) = log.wal.as_mut() {
             w.sync()?;
         }
+        let snap = {
+            let guards = self.lock_all();
+            snapshot::Snapshot {
+                last_lsn,
+                tables: tables_union(&guards)
+                    .into_iter()
+                    .map(|id| snapshot::TableDump {
+                        table: id,
+                        entries: merged_pairs(&guards, id)
+                            .into_iter()
+                            .map(|(k, v)| (k.clone(), v.to_vec()))
+                            .collect(),
+                    })
+                    .collect(),
+            }
+        };
         snapshot::write(&snapshot_path(&dir), &snap)?;
-        inner.wal = Some(wal::Wal::create(&wal_path(&dir))?);
-        inner.commits_since_checkpoint = 0;
+        log.wal = Some(wal::Wal::create(&wal_path(&dir))?);
+        log.commits_since_checkpoint = 0;
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Flushes and fsyncs the WAL regardless of the durability level.
     pub fn sync(&self) -> Result<()> {
-        let mut inner = self.inner.write();
-        if let Some(w) = inner.wal.as_mut() {
+        let mut log = lock(&self.log_mu);
+        if let Some(w) = log.wal.as_mut() {
             w.sync()?;
         }
         Ok(())
@@ -340,27 +720,45 @@ impl Store {
 
     /// Activity and size counters.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.read();
+        let (tables, keys) = {
+            let guards = self.lock_all();
+            let keys = guards
+                .iter()
+                .map(|g| g.values().map(|t| t.len()).sum::<usize>())
+                .sum();
+            (tables_union(&guards).len(), keys)
+        };
+        let (recovered_entries, recovered_torn_tail) = {
+            let log = lock(&self.log_mu);
+            (log.recovered_entries, log.recovered_torn_tail)
+        };
         StoreStats {
             gets: self.counters.gets.load(Ordering::Relaxed),
             scans: self.counters.scans.load(Ordering::Relaxed),
             commits: self.counters.commits.load(Ordering::Relaxed),
             ops_applied: self.counters.ops_applied.load(Ordering::Relaxed),
             checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
-            tables: inner.tables.len(),
-            keys: inner.tables.values().map(|t| t.len()).sum(),
-            recovered_entries: inner.recovered_entries,
-            recovered_torn_tail: inner.recovered_torn_tail,
+            group_commits: self.counters.group_commits.load(Ordering::Relaxed),
+            tables,
+            keys,
+            shards: self.shards.len(),
+            recovered_entries,
+            recovered_torn_tail,
         }
     }
 
     /// True when the store persists to disk.
     pub fn is_durable(&self) -> bool {
-        self.inner.read().wal.is_some()
+        self.opts.durability != Durability::InMemory
+    }
+
+    /// Number of memtable shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
-fn apply_ops(tables: &mut BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>>, ops: &[Op]) {
+fn apply_ops(tables: &mut Memtable, ops: &[Op]) {
     for op in ops {
         match op {
             Op::Put { table, key, value } => {
@@ -481,7 +879,7 @@ mod tests {
                 dir.path(),
                 StoreOptions {
                     durability: Durability::Sync,
-                    checkpoint_every: 0,
+                    ..StoreOptions::default()
                 },
             )
             .unwrap();
@@ -513,6 +911,7 @@ mod tests {
             StoreOptions {
                 durability: Durability::Buffered,
                 checkpoint_every: 5,
+                ..StoreOptions::default()
             },
         )
         .unwrap();
@@ -568,5 +967,190 @@ mod tests {
             r.join().unwrap();
         }
         assert_eq!(s.count(T1), 1000);
+    }
+
+    #[test]
+    fn frame_payload_matches_serbin_wal_entry() {
+        // commit() splices `varint(lsn) ++ serbin(ops)` together outside
+        // the lock; recovery decodes a full `WalEntry`. The two layouts
+        // must stay byte-identical.
+        for lsn in [0u64, 1, 127, 128, u32::MAX as u64 + 7] {
+            let ops = vec![
+                Op::Put {
+                    table: T1,
+                    key: vec![1, 2],
+                    value: vec![3; 20],
+                },
+                Op::Delete {
+                    table: T2,
+                    key: vec![9],
+                },
+            ];
+            let spliced = frame_payload(lsn, &serbin::to_bytes(&ops).unwrap());
+            let direct = serbin::to_bytes(&WalEntry {
+                lsn,
+                ops: ops.clone(),
+            })
+            .unwrap();
+            assert_eq!(spliced, direct, "lsn={lsn}");
+            let back: WalEntry = serbin::from_bytes(&spliced).unwrap();
+            assert_eq!(back.lsn, lsn);
+            assert_eq!(back.ops, ops);
+        }
+    }
+
+    #[test]
+    fn sharded_store_reads_back_every_key() {
+        for shards in [1usize, 2, 3, 16] {
+            let s = Store::in_memory_sharded(shards);
+            assert_eq!(s.shard_count(), shards);
+            for i in 0..200u32 {
+                s.put(T1, i.to_be_bytes().to_vec(), i.to_le_bytes().to_vec())
+                    .unwrap();
+            }
+            for i in 0..200u32 {
+                assert_eq!(
+                    s.get(T1, &i.to_be_bytes()).unwrap().unwrap().as_ref(),
+                    i.to_le_bytes()
+                );
+            }
+            let all = s.scan_all(T1);
+            assert_eq!(all.len(), 200);
+            assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan stays sorted");
+            assert_eq!(s.count(T1), 200);
+            assert_eq!(s.last_key(T1).unwrap(), 199u32.to_be_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn content_checksum_is_shard_count_invariant() {
+        let mut digests = Vec::new();
+        for shards in [1usize, 2, 16] {
+            let s = Store::in_memory_sharded(shards);
+            for i in 0..100u32 {
+                s.put(T1, i.to_be_bytes().to_vec(), vec![i as u8; 3])
+                    .unwrap();
+                s.put(T2, vec![i as u8], vec![1]).unwrap();
+            }
+            s.delete(T2, vec![7]).unwrap();
+            digests.push(s.content_checksum());
+        }
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+        assert_eq!(
+            Store::in_memory_sharded(4).table_ids(),
+            Vec::<TableId>::new()
+        );
+    }
+
+    #[test]
+    fn reopen_with_a_different_shard_count_keeps_data() {
+        let dir = TestDir::new("db-reshard");
+        {
+            let s = Store::open(
+                dir.path(),
+                StoreOptions {
+                    shards: 4,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            for i in 0..50u8 {
+                s.put(T1, vec![i], vec![i]).unwrap();
+            }
+            s.checkpoint().unwrap();
+            s.put(T1, vec![200], vec![200]).unwrap();
+            s.sync().unwrap();
+        }
+        let s = Store::open(
+            dir.path(),
+            StoreOptions {
+                shards: 2,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.count(T1), 51);
+        assert_eq!(s.stats().shards, 2);
+    }
+
+    #[test]
+    fn group_commit_absorbs_concurrent_writers() {
+        use std::sync::Arc;
+        let dir = TestDir::new("db-group");
+        let s = Arc::new(
+            Store::open(
+                dir.path(),
+                StoreOptions {
+                    durability: Durability::Buffered,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let threads: Vec<_> = (0..8u8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..50u8 {
+                        let mut b = WriteBatch::new();
+                        b.put(T1, vec![t, i], vec![i]);
+                        b.put(T2, vec![t, i], vec![t]);
+                        s.commit(b).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.commits, 400);
+        assert_eq!(stats.ops_applied, 800);
+        assert!(
+            stats.group_commits <= stats.commits,
+            "groups never exceed commits"
+        );
+        assert_eq!(s.count(T1), 400);
+        s.sync().unwrap();
+        drop(s);
+        let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert_eq!(s.count(T1), 400);
+        assert_eq!(s.count(T2), 400);
+    }
+
+    #[test]
+    fn scans_never_observe_half_a_batch() {
+        use std::sync::Arc;
+        // Each batch writes a *pair* of keys to the same table; a scan
+        // (which locks every shard at once) must always see an even count,
+        // or it observed half a batch.
+        let s = Arc::new(Store::in_memory_sharded(4));
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let mut b = WriteBatch::new();
+                    b.put(T1, [i.to_be_bytes().as_slice(), &[0]].concat(), vec![1]);
+                    b.put(T1, [i.to_be_bytes().as_slice(), &[1]].concat(), vec![1]);
+                    s.commit(b).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let n = s.scan_all(T1).len();
+                        assert_eq!(n % 2, 0, "scan observed a torn batch ({n} keys)");
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
     }
 }

@@ -16,9 +16,11 @@
 //! * a compact serde binary format used for records, snapshots and exports
 //!   ([`serbin`]).
 //!
-//! The engine is single-process, multi-reader/single-writer (a
-//! `parking_lot::RwLock` guards the memtable set), which matches how the
-//! iTag engine drives it: one allocation loop writing, monitors reading.
+//! The engine is single-process and multi-reader/multi-writer: the
+//! memtable set is hash-partitioned into shards (each behind its own
+//! `RwLock`) and concurrent commits are funneled through a group-commit
+//! WAL — one leader appends every queued frame with a single flush and
+//! applies the group in LSN order (see [`db`] module docs).
 //!
 //! ```
 //! use itag_store::db::{Store, StoreOptions};
@@ -40,7 +42,7 @@ pub mod testutil;
 pub mod txn;
 pub mod wal;
 
-pub use db::{Durability, Store, StoreOptions, StoreStats};
+pub use db::{Durability, Store, StoreOptions, StoreStats, DEFAULT_SHARDS};
 pub use error::{Result, StoreError};
 pub use table::{Entity, KeyCodec, TypedTable};
 pub use txn::WriteBatch;

@@ -118,13 +118,62 @@ proptest! {
     }
 
     #[test]
+    fn sharded_store_matches_model_across_shard_counts(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        // The same op sequence applied under shard counts 1, 2 and 16 must
+        // agree with the model on every get, range scan and count — the
+        // partitioning is invisible at the API.
+        let mut model = Model::new();
+        let stores = [
+            Store::in_memory_sharded(1),
+            Store::in_memory_sharded(2),
+            Store::in_memory_sharded(16),
+        ];
+        for op in &ops {
+            for store in &stores {
+                apply_store(store, op);
+            }
+            apply_model(&mut model, op);
+        }
+        for store in &stores {
+            assert_equivalent(store, &model);
+            // Point gets and bounded range scans agree too.
+            for table in 0u8..3 {
+                for key in 0u8..=255 {
+                    let expected = model.get(&(table, key)).cloned();
+                    let actual = store
+                        .get(TableId(table as u16), &[key])
+                        .unwrap()
+                        .map(|b| b.to_vec());
+                    prop_assert_eq!(actual, expected, "get({}, {}) diverged", table, key);
+                }
+                let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range((table, 40)..(table, 200))
+                    .map(|((_, k), v)| (vec![*k], v.clone()))
+                    .collect();
+                let actual: Vec<(Vec<u8>, Vec<u8>)> = store
+                    .scan_range(TableId(table as u16), &[40], Some(&[200]))
+                    .into_iter()
+                    .map(|(k, v)| (k, v.to_vec()))
+                    .collect();
+                prop_assert_eq!(actual, expected, "range scan diverged on table {}", table);
+            }
+        }
+        // Identical logical contents → identical digests, shard count aside.
+        let d0 = stores[0].content_checksum();
+        prop_assert_eq!(d0, stores[1].content_checksum());
+        prop_assert_eq!(d0, stores[2].content_checksum());
+    }
+
+    #[test]
     fn durable_store_matches_model_across_restarts(
         ops in proptest::collection::vec(op_strategy(), 1..40)
     ) {
         let dir = TestDir::new("model-based");
         let opts = StoreOptions {
             durability: Durability::Buffered,
-            checkpoint_every: 0,
+            ..StoreOptions::default()
         };
         let mut store = Store::open(dir.path(), opts.clone()).unwrap();
         let mut model = Model::new();
@@ -154,7 +203,7 @@ fn wal_truncation_fuzz_recovers_a_prefix() {
     let dir = TestDir::new("wal-fuzz");
     let opts = StoreOptions {
         durability: Durability::Sync,
-        checkpoint_every: 0,
+        ..StoreOptions::default()
     };
     // Commit a known sequence: key i → value i, one commit each.
     {

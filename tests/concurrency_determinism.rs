@@ -1,0 +1,164 @@
+//! Concurrency determinism suite: the parallel engine tick must be
+//! bit-for-bit identical at every thread count. The same multi-campaign
+//! scenario (spammers included, so the reliability overlay is exercised)
+//! runs at `threads = 1, 2, 8`; monitor snapshots, per-worker ledger
+//! balances, and a digest of every stored table must agree exactly.
+
+use itag::core::config::EngineConfig;
+use itag::core::engine::{ITagEngine, RunSummary};
+use itag::core::monitor::MonitorSnapshot;
+use itag::core::project::ProjectSpec;
+use itag::model::delicious::DeliciousConfig;
+use itag::model::ids::ProjectId;
+
+fn dataset(seed: u64) -> itag::model::dataset::Dataset {
+    DeliciousConfig {
+        resources: 40,
+        initial_posts: 200,
+        eval_posts: 0,
+        seed,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset
+}
+
+fn build_engine() -> (ITagEngine, Vec<ProjectId>) {
+    let mut config = EngineConfig::in_memory(0xD17E);
+    config.workers = 16;
+    config.spammer_fraction = 0.25; // rejections → bans → overlay gating
+    let mut e = ITagEngine::new(config).unwrap();
+    let provider = e.register_provider("determinism-suite").unwrap();
+    let mut projects = Vec::new();
+    for i in 0..6u64 {
+        projects.push(
+            e.add_project(
+                provider,
+                ProjectSpec::demo(&format!("campaign-{i}"), 150),
+                dataset(0xD17E + i),
+            )
+            .unwrap(),
+        );
+    }
+    (e, projects)
+}
+
+#[allow(clippy::type_complexity)]
+fn run_with(
+    threads: usize,
+    rounds: u32,
+    tasks_per_round: u32,
+) -> (
+    Vec<(ProjectId, RunSummary)>,
+    Vec<MonitorSnapshot>,
+    Vec<Vec<(u32, u64)>>,
+    u64,
+) {
+    let (mut e, projects) = build_engine();
+    let mut summaries = Vec::new();
+    for _ in 0..rounds {
+        summaries.extend(e.run_all_on(tasks_per_round, threads).unwrap());
+    }
+    let monitors = projects.iter().map(|p| e.monitor(*p).unwrap()).collect();
+    let balances = projects
+        .iter()
+        .map(|p| e.worker_balances(*p).unwrap())
+        .collect();
+    let checksum = e.store_checksum();
+    (summaries, monitors, balances, checksum)
+}
+
+#[test]
+fn single_round_is_identical_at_1_2_and_8_threads() {
+    let base = run_with(1, 1, 150);
+    for threads in [2usize, 8] {
+        let other = run_with(threads, 1, 150);
+        assert_eq!(base.0, other.0, "run summaries differ at {threads} threads");
+        assert_eq!(
+            base.1, other.1,
+            "monitor snapshots differ at {threads} threads"
+        );
+        assert_eq!(
+            base.2, other.2,
+            "ledger balances differ at {threads} threads"
+        );
+        assert_eq!(
+            base.3, other.3,
+            "stored-table checksums differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn multi_round_interleaving_is_identical_across_thread_counts() {
+    // Several smaller rounds: reputation persisted between rounds feeds
+    // the next round's reliability gate, so round boundaries must land in
+    // the same places at every thread count.
+    let base = run_with(1, 3, 50);
+    for threads in [2usize, 8] {
+        let other = run_with(threads, 3, 50);
+        assert_eq!(base.0, other.0, "summaries differ at {threads} threads");
+        assert_eq!(base.1, other.1, "monitors differ at {threads} threads");
+        assert_eq!(base.2, other.2, "balances differ at {threads} threads");
+        assert_eq!(base.3, other.3, "checksums differ at {threads} threads");
+    }
+}
+
+#[test]
+fn run_all_with_env_resolved_threads_matches_explicit_single_thread() {
+    // `run_all()` resolves its thread count from `EngineConfig::threads`,
+    // then `ITAG_THREADS`, then the machine — this is the path the CI
+    // matrix (ITAG_THREADS=1 and 8) actually exercises. Whatever it
+    // resolves to, the results must equal an explicit one-thread round.
+    let (mut via_env, projects) = build_engine();
+    let (mut explicit, _) = build_engine();
+    assert!(via_env.resolved_threads() >= 1);
+    let a = via_env.run_all(150).unwrap();
+    let b = explicit.run_all_on(150, 1).unwrap();
+    assert_eq!(a, b, "env-resolved thread count changed the results");
+    assert_eq!(via_env.store_checksum(), explicit.store_checksum());
+    for p in &projects {
+        assert_eq!(
+            via_env.monitor(*p).unwrap(),
+            explicit.monitor(*p).unwrap(),
+            "monitor for {p:?} differs"
+        );
+    }
+}
+
+#[test]
+fn parallel_rounds_preserve_integrity_and_money_conservation() {
+    let (mut e, projects) = build_engine();
+    let summaries = e.run_all_on(150, 4).unwrap();
+    assert_eq!(summaries.len(), projects.len());
+    for p in &projects {
+        assert_eq!(e.verify_integrity(*p).unwrap(), 40);
+        let m = e.monitor(*p).unwrap();
+        assert_eq!(
+            m.paid + m.refunded + m.escrowed,
+            m.budget_spent as u64 * 5,
+            "project {p:?} leaks money"
+        );
+    }
+}
+
+#[test]
+fn sequential_and_parallel_paths_can_interleave() {
+    // run() (engine-global RNG) and run_all() (per-project RNG) are
+    // different streams by design, but mixing them must keep every
+    // invariant: budgets, integrity, and the ability to finish a project
+    // either way.
+    let (mut e, projects) = build_engine();
+    let first = projects[0];
+    let s = e.run(first, 30).unwrap();
+    assert_eq!(s.issued, 30);
+    let summaries = e.run_all_on(40, 3).unwrap();
+    assert_eq!(summaries.len(), projects.len());
+    let (_, s0) = summaries[0];
+    assert_eq!(s0.issued, 40);
+    let m = e.monitor(first).unwrap();
+    assert_eq!(m.budget_spent, 70);
+    for p in &projects {
+        assert_eq!(e.verify_integrity(*p).unwrap(), 40);
+    }
+}
