@@ -3,11 +3,73 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use itag_store::db::{Durability, Store, StoreOptions};
+use itag_store::table::Entity;
 use itag_store::testutil::TestDir;
-use itag_store::{TableId, WriteBatch};
+use itag_store::{TableId, TypedTable, WriteBatch};
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
+use std::sync::Arc;
 
 const T: TableId = TableId(1);
+
+/// A record with enough string payload that decoding is non-trivial —
+/// the shape the entity cache is built for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchRecord {
+    id: u64,
+    uri: String,
+    description: String,
+    counts: Vec<u32>,
+}
+
+impl Entity for BenchRecord {
+    const TABLE: TableId = TableId(30);
+    const NAME: &'static str = "bench-record";
+    type Key = u64;
+
+    fn primary_key(&self) -> u64 {
+        self.id
+    }
+}
+
+fn bench_typed_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/typed_get");
+    for (name, cache) in [("cached", true), ("uncached", false)] {
+        let table: TypedTable<BenchRecord> =
+            TypedTable::new(Arc::new(Store::in_memory_with(StoreOptions {
+                entity_cache: cache,
+                ..StoreOptions::default()
+            })));
+        for id in 0..1_000u64 {
+            table
+                .upsert(&BenchRecord {
+                    id,
+                    uri: format!("https://example.org/resource/{id}"),
+                    description: format!("synthetic benchmark record number {id}"),
+                    counts: (0..16).collect(),
+                })
+                .unwrap();
+        }
+        // Point reads over a hot working set: with the cache on, repeat
+        // reads skip the serbin decode entirely.
+        group.bench_function(format!("hot_reads_{name}"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                black_box(table.get(&(i % 64)).unwrap());
+                i = i.wrapping_add(7);
+            });
+        });
+        // The zero-copy variant: cache hits return the shared Arc.
+        group.bench_function(format!("hot_reads_arc_{name}"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                black_box(table.get_arc(&(i % 64)).unwrap());
+                i = i.wrapping_add(7);
+            });
+        });
+    }
+    group.finish();
+}
 
 fn bench_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("store/commit");
@@ -111,5 +173,11 @@ fn bench_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_commit, bench_reads, bench_recovery);
+criterion_group!(
+    benches,
+    bench_commit,
+    bench_reads,
+    bench_typed_reads,
+    bench_recovery
+);
 criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! `multi_campaign_timing` — wall-clock harness behind `BENCH_pr3.json`.
+//!
+//! ```text
+//! cargo run --release -p itag-bench --bin multi_campaign_timing -- \
+//!     [iters] [threads] [projects] [budget]
+//! ```
+//!
+//! Runs the standard `MultiCampaignConfig` scenario (the same one the
+//! Criterion `multi_campaign` bench sweeps) `iters` times at a fixed
+//! thread count and prints per-iteration wall time plus tasks/sec for the
+//! best run. Criterion gives distributions; this binary gives one stable
+//! headline number cheaply, which is what the PR-over-PR BENCH_*.json
+//! records compare.
+
+use itag_bench::scenario::{build_multi_campaign, MultiCampaignConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    let mut cfg = MultiCampaignConfig::default();
+    if let Some(projects) = args.next().and_then(|a| a.parse().ok()) {
+        cfg.projects = projects;
+    }
+    if let Some(budget) = args.next().and_then(|a| a.parse().ok()) {
+        cfg.budget = budget;
+    }
+    let total_tasks = cfg.projects as u32 * cfg.budget;
+    println!(
+        "scenario: {} projects x {} tasks, {} resources each, threads={threads}",
+        cfg.projects, cfg.budget, cfg.resources
+    );
+
+    let mut best = f64::INFINITY;
+    for i in 0..iters {
+        let (mut engine, _projects) = build_multi_campaign(&cfg);
+        let start = Instant::now();
+        let summaries = engine.run_all_on(cfg.budget, threads).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        let issued: u32 = summaries.iter().map(|(_, s)| s.issued).sum();
+        assert_eq!(issued, total_tasks);
+        let stats = engine.store_stats();
+        println!(
+            "iter {i}: {:.3}s  ({:.0} tasks/s, cache {}h/{}m)",
+            secs,
+            total_tasks as f64 / secs,
+            stats.cache_hits,
+            stats.cache_misses,
+        );
+        best = best.min(secs);
+    }
+    println!(
+        "best: {best:.3}s  throughput: {:.0} tasks/s",
+        total_tasks as f64 / best
+    );
+}

@@ -14,6 +14,9 @@ pub enum StorageConfig {
     Durable {
         dir: PathBuf,
         durability: itag_store::Durability,
+        /// Fsync cadence under `Durability::Sync` (see the store's
+        /// durability contract); ignored otherwise.
+        sync_policy: itag_store::SyncPolicy,
         /// Auto-checkpoint period in commits (0 = manual).
         checkpoint_every: u64,
     },
@@ -51,6 +54,10 @@ pub struct EngineConfig {
     /// available parallelism capped at 8. The tick is deterministic in the
     /// thread count, so this is purely a throughput knob.
     pub threads: usize,
+    /// Enables the store's decoded-entity cache. Purely a throughput knob:
+    /// results are bit-identical either way (`ITAG_NO_CACHE=1` forces it
+    /// off regardless, which the CI matrix uses to prove it).
+    pub entity_cache: bool,
     /// Storage backend.
     pub storage: StorageConfig,
 }
@@ -69,6 +76,7 @@ impl Default for EngineConfig {
             max_ticks_per_batch: 100_000,
             enforce_reliability: true,
             threads: 0,
+            entity_cache: true,
             storage: StorageConfig::InMemory,
         }
     }
@@ -90,6 +98,7 @@ impl EngineConfig {
             storage: StorageConfig::Durable {
                 dir,
                 durability: itag_store::Durability::Buffered,
+                sync_policy: itag_store::SyncPolicy::Always,
                 checkpoint_every: 10_000,
             },
             ..EngineConfig::default()

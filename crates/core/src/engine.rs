@@ -146,19 +146,34 @@ struct MergeJob {
     outcome: ProjectOutcome,
 }
 
+/// One resource's accumulated effects over a parallel round.
+struct ResourceRound {
+    orig: crate::records::ResourceRecord,
+    approved: u32,
+    last_posts: u32,
+    last_quality: f64,
+}
+
 /// Stages one project's post, resource-count and quality-snapshot ops into
 /// a fresh batch. Runs on a worker thread: the managers are stateless
 /// views over the store, which stays frozen until the serial commit phase,
 /// so concurrent staging reads a consistent base.
+///
+/// Post rows are staged per decision (each is a distinct key), but
+/// resource records — post count, index position and quality snapshot —
+/// are folded to **one final row per touched resource**: the intermediate
+/// counts a batch would stage are overwritten inside the same atomic
+/// commit anyway, so skipping them produces identical stored state for a
+/// fraction of the encode and apply work. Finals are staged in
+/// resource-id order (deterministic merge).
 fn stage_project_effects(
     job: &mut MergeJob,
     tags: &TagManager,
     resources: &ResourceManager,
-    quality: &QualityManager,
 ) -> Result<WriteBatch> {
-    let mut batch = WriteBatch::with_capacity(job.outcome.decisions.len() * 4);
+    let mut batch = WriteBatch::with_capacity(job.outcome.decisions.len() * 3 + 8);
     let mut next_id = job.post_base;
-    let mut resource_recs: FxHashMap<u32, crate::records::ResourceRecord> = FxHashMap::default();
+    let mut touched: FxHashMap<u32, ResourceRound> = FxHashMap::default();
     for d in job.outcome.decisions.iter_mut() {
         if !d.approved {
             continue;
@@ -173,22 +188,32 @@ fn stage_project_effects(
         );
         next_id += 1;
         tags.stage_post(&mut batch, job.project, &post)?;
-        // Fetch each resource record once, then thread it through its
-        // staged increments so repeated approvals see fresh counts.
-        let rec = match resource_recs.entry(d.resource.0) {
+        let agg = match touched.entry(d.resource.0) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(resources.get(job.project, d.resource)?)
-            }
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(ResourceRound {
+                orig: resources.get(job.project, d.resource)?,
+                approved: 0,
+                last_posts: 0,
+                last_quality: 0.0,
+            }),
         };
-        *rec = resources.stage_increment_posts(&mut batch, rec)?;
-        quality.stage_snapshot(
-            &mut batch,
-            job.project,
-            d.resource,
-            d.posts_after,
-            d.quality_after,
-        )?;
+        agg.approved += 1;
+        agg.last_posts = d.posts_after;
+        agg.last_quality = d.quality_after;
+    }
+    let mut rounds: Vec<(u32, ResourceRound)> = touched.into_iter().collect();
+    rounds.sort_unstable_by_key(|(rid, _)| *rid);
+    for (rid, agg) in rounds {
+        let mut record = agg.orig;
+        let old_posts = record.posts;
+        record.posts += agg.approved;
+        debug_assert_eq!(
+            record.posts, agg.last_posts,
+            "record count and live count must agree"
+        );
+        let _ = rid;
+        record.quality = agg.last_quality;
+        resources.stage_finalize_posts(&mut batch, old_posts, record)?;
     }
     Ok(batch)
 }
@@ -358,12 +383,20 @@ fn tick_campaign(
     })
 }
 
+/// Version of the core record encodings stored in [`crate::tables::META`].
+/// serbin is not self-describing, so any change to a stored record's
+/// layout must bump this — an old database then fails cleanly at open
+/// instead of mis-decoding. History: v2 folded the quality column into
+/// [`crate::records::ResourceRecord`] and retired the quality table.
+pub const SCHEMA_VERSION: u32 = 2;
+
+const SCHEMA_KEY: &[u8] = b"schema_version";
+
 /// The iTag system.
 pub struct ITagEngine {
     store: Arc<Store>,
     resources: ResourceManager,
     tags: TagManager,
-    quality: QualityManager,
     users: UserManager,
     projects: TypedTable<ProjectRecord>,
     datasets: TypedTable<DatasetRecord>,
@@ -382,24 +415,31 @@ impl ITagEngine {
     /// [`ITagEngine::resume_project`].
     pub fn new(config: EngineConfig) -> Result<Self> {
         let store = Arc::new(match &config.storage {
-            StorageConfig::InMemory => Store::in_memory(),
+            StorageConfig::InMemory => Store::in_memory_with(StoreOptions {
+                entity_cache: config.entity_cache,
+                ..StoreOptions::default()
+            }),
             StorageConfig::Durable {
                 dir,
                 durability,
+                sync_policy,
                 checkpoint_every,
             } => Store::open(
                 dir,
                 StoreOptions {
                     durability: *durability,
+                    sync_policy: *sync_policy,
                     checkpoint_every: *checkpoint_every,
+                    entity_cache: config.entity_cache,
                     ..StoreOptions::default()
                 },
             )?,
         });
 
+        Self::check_schema(&store)?;
+
         let resources = ResourceManager::new(Arc::clone(&store));
         let tags = TagManager::new(Arc::clone(&store));
-        let quality = QualityManager::new(Arc::clone(&store));
         let users = UserManager::new(Arc::clone(&store));
         let projects: TypedTable<ProjectRecord> = TypedTable::new(Arc::clone(&store));
         let datasets: TypedTable<DatasetRecord> = TypedTable::new(Arc::clone(&store));
@@ -422,7 +462,6 @@ impl ITagEngine {
             store,
             resources,
             tags,
-            quality,
             users,
             projects,
             datasets,
@@ -434,6 +473,40 @@ impl ITagEngine {
             next_project_id,
             next_provider_id,
         })
+    }
+
+    /// Verifies (or, on a fresh store, stamps) the record-schema version.
+    /// A database written by a binary with a different record layout is
+    /// rejected here with a clear message instead of mis-decoding later.
+    fn check_schema(store: &Store) -> Result<()> {
+        use itag_store::StoreError;
+        match store.get(crate::tables::META, SCHEMA_KEY)? {
+            Some(bytes) => {
+                let found = <[u8; 4]>::try_from(bytes.as_ref())
+                    .map(u32::from_be_bytes)
+                    .map_err(|_| StoreError::Corrupt("unreadable schema-version row".into()))?;
+                if found != SCHEMA_VERSION {
+                    return Err(EngineError::Store(StoreError::Corrupt(format!(
+                        "database schema v{found} does not match this binary's \
+                         v{SCHEMA_VERSION}; no migration exists — re-ingest or \
+                         use a matching build"
+                    ))));
+                }
+                Ok(())
+            }
+            None if store.table_ids().is_empty() => {
+                store.put(
+                    crate::tables::META,
+                    SCHEMA_KEY.to_vec(),
+                    SCHEMA_VERSION.to_be_bytes().to_vec(),
+                )?;
+                Ok(())
+            }
+            None => Err(EngineError::Store(StoreError::Corrupt(format!(
+                "database predates schema versioning (pre-v{SCHEMA_VERSION}); \
+                 no migration exists — re-ingest or use a matching build"
+            )))),
+        }
     }
 
     /// Registers a provider account and returns its id.
@@ -459,7 +532,9 @@ impl ITagEngine {
         self.next_project_id += 1;
 
         let counts = dataset.initial_counts();
-        self.resources.upload(id, &dataset.resources, &counts)?;
+        let pq = ProjectQuality::from_dataset(&dataset, self.config.metric);
+        self.resources
+            .upload(id, &dataset.resources, &counts, &pq.qualities)?;
         self.tags.store_dictionary(&dataset.dictionary)?;
         let record = ProjectRecord {
             id,
@@ -470,13 +545,20 @@ impl ITagEngine {
             budget_spent: 0,
             created_at: 0,
         };
-        self.projects.upsert(&record)?;
-        self.datasets.upsert(&DatasetRecord {
-            project: id,
-            dataset: dataset.clone(),
-        })?;
+        // Project row + dataset row commit atomically: a crash between the
+        // two can no longer leave a project without its dataset.
+        let mut batch = WriteBatch::new();
+        self.projects.stage_upsert_cached(&mut batch, &record)?;
+        self.datasets.stage_upsert(
+            &mut batch,
+            &DatasetRecord {
+                project: id,
+                dataset: dataset.clone(),
+            },
+        )?;
+        self.store.commit(batch)?;
 
-        let runtime = self.build_runtime(record, dataset, None)?;
+        let runtime = self.build_runtime(record, dataset, pq, None)?;
         self.runtimes.insert(id.0, runtime);
         Ok(id)
     }
@@ -496,7 +578,9 @@ impl ITagEngine {
         let id = ProjectId(self.next_project_id);
         self.next_project_id += 1;
         let counts = dataset.initial_counts();
-        self.resources.upload(id, &dataset.resources, &counts)?;
+        let pq = ProjectQuality::from_dataset(&dataset, self.config.metric);
+        self.resources
+            .upload(id, &dataset.resources, &counts, &pq.qualities)?;
         self.tags.store_dictionary(&dataset.dictionary)?;
         let record = ProjectRecord {
             id,
@@ -507,12 +591,17 @@ impl ITagEngine {
             budget_spent: 0,
             created_at: 0,
         };
-        self.projects.upsert(&record)?;
-        self.datasets.upsert(&DatasetRecord {
-            project: id,
-            dataset: dataset.clone(),
-        })?;
-        let runtime = self.build_runtime(record, dataset, Some(platform))?;
+        let mut batch = WriteBatch::new();
+        self.projects.stage_upsert_cached(&mut batch, &record)?;
+        self.datasets.stage_upsert(
+            &mut batch,
+            &DatasetRecord {
+                project: id,
+                dataset: dataset.clone(),
+            },
+        )?;
+        self.store.commit(batch)?;
+        let runtime = self.build_runtime(record, dataset, pq, Some(platform))?;
         self.runtimes.insert(id.0, runtime);
         Ok(id)
     }
@@ -558,7 +647,8 @@ impl ITagEngine {
             latent.rebuild_sampler();
         }
 
-        let mut runtime = self.build_runtime(record, dataset, None)?;
+        let pq = ProjectQuality::from_dataset(&dataset, self.config.metric);
+        let mut runtime = self.build_runtime(record, dataset, pq, None)?;
         for post in self.tags.all_posts(id)? {
             let r = post.resource;
             let q = runtime.pq.apply_post(&runtime.dataset, r, &post.tags);
@@ -578,9 +668,9 @@ impl ITagEngine {
         &mut self,
         record: ProjectRecord,
         dataset: Dataset,
+        pq: ProjectQuality,
         platform: Option<Box<dyn CrowdPlatform + Send>>,
     ) -> Result<ProjectRuntime> {
-        let pq = ProjectQuality::from_dataset(&dataset, self.config.metric);
         let platform = match platform {
             Some(p) => p,
             None => {
@@ -716,16 +806,15 @@ impl ITagEngine {
                 );
                 self.next_post_id += 1;
                 self.tags.stage_post(&mut batch, rt.id, &post)?;
-                let rec = self.resources.get(rt.id, result.resource)?;
-                self.resources.stage_increment_posts(&mut batch, &rec)?;
                 let q = rt.pq.apply_post(&rt.dataset, result.resource, &post.tags);
-                self.quality.stage_snapshot(
-                    &mut batch,
-                    rt.id,
-                    result.resource,
-                    rt.pq.counts[i],
-                    q,
-                )?;
+                // The resource row carries count + quality together; the
+                // fetched record moves straight into the staged batch.
+                let mut rec = self.resources.get(rt.id, result.resource)?;
+                rec.quality = q;
+                let old_posts = rec.posts;
+                rec.posts += 1;
+                self.resources
+                    .stage_finalize_posts(&mut batch, old_posts, rec)?;
                 rt.tasks_approved += 1;
                 approved += 1;
             } else {
@@ -851,15 +940,17 @@ impl ITagEngine {
                 .push(Notification::BudgetExhausted { project: rt.id });
         }
 
-        // Persist the project row (budget/state).
-        let mut record = self
-            .projects
-            .get(&project)?
+        // Persist the project row (budget/state) — read-modify-write
+        // staged as one batch.
+        let (budget_spent, state) = (rt.budget_spent, rt.state);
+        self.projects
+            .update(&project, |record| {
+                record.budget_spent = budget_spent;
+                record.state = state;
+            })?
             .ok_or(EngineError::UnknownProject(project))?;
-        record.budget_spent = rt.budget_spent;
-        record.state = rt.state;
-        self.projects.upsert(&record)?;
 
+        let rt = self.runtimes.get(&project.0).expect("checked at entry");
         let quality = rt.pq.mean_quality();
         Ok(RunSummary {
             issued,
@@ -937,13 +1028,12 @@ impl ITagEngine {
         }
 
         // Stage each project's per-project effects (posts, resource
-        // counts, quality snapshots) in parallel; the store is read-only
+        // rows with counts + quality) in parallel; the store is read-only
         // until the serial commit phase below.
         let tags_mgr = &self.tags;
         let resources_mgr = &self.resources;
-        let quality_mgr = &self.quality;
         let staged = itag_crowd::parallel::scoped_map(jobs, threads, |_, mut job| {
-            let batch = stage_project_effects(&mut job, tags_mgr, resources_mgr, quality_mgr);
+            let batch = stage_project_effects(&mut job, tags_mgr, resources_mgr);
             (job, batch)
         });
 
@@ -966,21 +1056,54 @@ impl ITagEngine {
             } = outcome;
             let merged: Result<RunSummary> = (|| {
                 let mut batch = batch?;
+                // Fold the round's decisions per worker (ascending id — a
+                // deterministic order) so each tagger record is encoded
+                // once per project instead of once per decision, and the
+                // provider record exactly once (its round totals); the
+                // counter deltas commute, so the stored records are
+                // identical to per-decision staging.
+                let mut per_worker: FxHashMap<u32, (u32, u32, u64)> = FxHashMap::default();
+                let (mut approved_total, mut rejected_total) = (0u32, 0u32);
                 for d in &decisions {
+                    let e = per_worker.entry(d.worker.0).or_insert((0, 0, 0));
+                    if d.approved {
+                        e.0 += 1;
+                        e.2 += d.pay as u64;
+                        approved_total += 1;
+                    } else {
+                        e.1 += 1;
+                        rejected_total += 1;
+                    }
+                }
+                let mut workers: Vec<u32> = per_worker.keys().copied().collect();
+                workers.sort_unstable();
+                for w in workers {
+                    let (approved, rejected, earned) = per_worker[&w];
                     self.users
-                        .stage_decision(&mut batch, provider, d.worker.0, d.approved, d.pay)?;
+                        .stage_tagger_decisions(&mut batch, w, approved, rejected, earned)?;
                 }
-                self.store.commit(batch)?;
-                for n in notifications {
-                    self.notifications.push(n);
+                if !decisions.is_empty() {
+                    self.users.stage_provider_decisions(
+                        &mut batch,
+                        provider,
+                        approved_total,
+                        rejected_total,
+                    )?;
                 }
+                // The project row rides in the same frame as the round's
+                // effects: budget/state can never run ahead of (or behind)
+                // the posts they paid for, and the separate commit is gone.
                 let mut record = self
                     .projects
                     .get(&project)?
                     .ok_or(EngineError::UnknownProject(project))?;
                 record.budget_spent = budget_spent;
                 record.state = state;
-                self.projects.upsert(&record)?;
+                self.projects.stage_upsert_owned(&mut batch, record)?;
+                self.store.commit(batch)?;
+                for n in notifications {
+                    self.notifications.push(n);
+                }
                 Ok(summary)
             })();
             match merged {
@@ -1143,10 +1266,9 @@ impl ITagEngine {
             .ok_or(EngineError::UnknownProject(project))?;
         rt.strategy.switch_to(kind.build());
         rt.strategy_initialized = true; // SwitchableStrategy re-inits lazily
-        if let Some(mut record) = self.projects.get(&project)? {
+        self.projects.update(&project, |record| {
             record.spec.strategy = kind;
-            self.projects.upsert(&record)?;
-        }
+        })?;
         self.notifications.push(Notification::StrategySwitched {
             project,
             to: kind.label().to_string(),
@@ -1164,11 +1286,11 @@ impl ITagEngine {
         if rt.state == ProjectState::Completed {
             rt.state = ProjectState::Running;
         }
-        if let Some(mut record) = self.projects.get(&project)? {
-            record.budget_total = rt.budget_total;
-            record.state = rt.state;
-            self.projects.upsert(&record)?;
-        }
+        let (budget_total, state) = (rt.budget_total, rt.state);
+        self.projects.update(&project, |record| {
+            record.budget_total = budget_total;
+            record.state = state;
+        })?;
         Ok(())
     }
 
@@ -1180,10 +1302,9 @@ impl ITagEngine {
             .get_mut(&project.0)
             .ok_or(EngineError::UnknownProject(project))?;
         rt.state = ProjectState::Stopped;
-        if let Some(mut record) = self.projects.get(&project)? {
+        self.projects.update(&project, |record| {
             record.state = ProjectState::Stopped;
-            self.projects.upsert(&record)?;
-        }
+        })?;
         self.notifications
             .push(Notification::ProjectStopped { project });
         Ok(())
@@ -1367,13 +1488,14 @@ impl ITagEngine {
     }
 
     /// Ids of all persisted projects (including not-yet-resumed ones).
+    /// Streams the table — only the ids are materialized, not the records.
     pub fn stored_projects(&self) -> Result<Vec<ProjectId>> {
-        Ok(self
-            .projects
-            .scan_all()?
-            .into_iter()
-            .map(|p| p.id)
-            .collect())
+        let mut ids = Vec::new();
+        self.projects.for_each(|p: ProjectRecord| {
+            ids.push(p.id);
+            true
+        })?;
+        Ok(ids)
     }
 }
 
@@ -1860,6 +1982,47 @@ mod tests {
             .collect();
         assert_eq!(outputs[0], outputs[1], "1 vs 2 threads diverged");
         assert_eq!(outputs[0], outputs[2], "1 vs 8 threads diverged");
+    }
+
+    #[test]
+    fn schema_version_gate_rejects_foreign_databases() {
+        use itag_store::{Store, StoreOptions};
+        // A mismatched version row is rejected with a clear error.
+        let dir = itag_store::testutil::TestDir::new("engine-schema-mismatch");
+        {
+            let store = Store::open(dir.path(), StoreOptions::default()).unwrap();
+            store
+                .put(
+                    crate::tables::META,
+                    SCHEMA_KEY.to_vec(),
+                    (SCHEMA_VERSION + 1).to_be_bytes().to_vec(),
+                )
+                .unwrap();
+            store.sync().unwrap();
+        }
+        let err = ITagEngine::new(EngineConfig::durable(1, dir.path().to_path_buf()))
+            .err()
+            .expect("mismatched schema must be rejected");
+        assert!(err.to_string().contains("schema"), "got: {err}");
+
+        // A pre-versioning database (core tables, no meta row) is rejected.
+        let dir = itag_store::testutil::TestDir::new("engine-schema-legacy");
+        {
+            let store = Store::open(dir.path(), StoreOptions::default()).unwrap();
+            store
+                .put(crate::tables::PROJECTS, vec![0, 0, 0, 0], vec![1])
+                .unwrap();
+            store.sync().unwrap();
+        }
+        assert!(
+            ITagEngine::new(EngineConfig::durable(1, dir.path().to_path_buf())).is_err(),
+            "legacy database must be rejected"
+        );
+
+        // A fresh directory is stamped and reopens cleanly.
+        let dir = itag_store::testutil::TestDir::new("engine-schema-fresh");
+        drop(ITagEngine::new(EngineConfig::durable(1, dir.path().to_path_buf())).unwrap());
+        drop(ITagEngine::new(EngineConfig::durable(1, dir.path().to_path_buf())).unwrap());
     }
 
     #[test]

@@ -5,19 +5,17 @@
 //!
 //! The per-project *live* quality state lives here: rfd histories, cached
 //! qualities, learning-curve gain estimators. The engine consults it for
-//! every strategy decision and persists snapshots through
-//! [`crate::records::QualityRecord`].
+//! every strategy decision; the durable per-resource quality snapshot is
+//! the `quality` column of [`crate::records::ResourceRecord`] (staged by
+//! the Resource Manager together with the post count, so both commit
+//! atomically in one record per resource per round).
 
-use crate::records::QualityRecord;
-use crate::Result;
 use itag_model::dataset::Dataset;
-use itag_model::ids::{ProjectId, ResourceId, TagId};
+use itag_model::ids::{ResourceId, TagId};
 use itag_quality::gain::GainEstimator;
 use itag_quality::history::ResourceQuality;
 use itag_quality::metric::QualityMetric;
-use itag_store::{Store, TypedTable, WriteBatch};
 use itag_strategy::StrategyKind;
-use std::sync::Arc;
 
 /// Live quality state of one project.
 pub struct ProjectQuality {
@@ -108,44 +106,11 @@ impl ProjectQuality {
     }
 }
 
-/// Persistence + advice around [`ProjectQuality`].
-pub struct QualityManager {
-    table: TypedTable<QualityRecord>,
-}
+/// Advice around [`ProjectQuality`] (persistence moved onto the resource
+/// rows — see the module docs).
+pub struct QualityManager;
 
 impl QualityManager {
-    pub fn new(store: Arc<Store>) -> Self {
-        QualityManager {
-            table: TypedTable::new(store),
-        }
-    }
-
-    /// Stages the latest quality snapshot of a resource.
-    pub fn stage_snapshot(
-        &self,
-        batch: &mut WriteBatch,
-        project: ProjectId,
-        r: ResourceId,
-        posts: u32,
-        quality: f64,
-    ) -> Result<()> {
-        self.table.stage_upsert(
-            batch,
-            &QualityRecord {
-                project,
-                resource: r,
-                posts,
-                quality,
-            },
-        )?;
-        Ok(())
-    }
-
-    /// Reads a persisted snapshot.
-    pub fn snapshot(&self, project: ProjectId, r: ResourceId) -> Result<Option<QualityRecord>> {
-        Ok(self.table.get(&(project, r))?)
-    }
-
     /// "We will help providers choose the best strategy given the current
     /// resources and tags statistics": the suggestion heuristic.
     ///
@@ -221,20 +186,6 @@ mod tests {
             QualityManager::suggest_strategy(&pq, 5),
             StrategyKind::FreeChoice
         );
-    }
-
-    #[test]
-    fn snapshots_persist_via_store() {
-        let store = Arc::new(Store::in_memory());
-        let qm = QualityManager::new(Arc::clone(&store));
-        let mut batch = WriteBatch::new();
-        qm.stage_snapshot(&mut batch, ProjectId(1), ResourceId(2), 7, 0.6)
-            .unwrap();
-        store.commit(batch).unwrap();
-        let snap = qm.snapshot(ProjectId(1), ResourceId(2)).unwrap().unwrap();
-        assert_eq!(snap.posts, 7);
-        assert!((snap.quality - 0.6).abs() < 1e-12);
-        assert!(qm.snapshot(ProjectId(1), ResourceId(9)).unwrap().is_none());
     }
 
     #[test]

@@ -9,13 +9,20 @@ use itag_store::table::{Entity, IndexDef};
 use itag_store::TableId;
 use serde::{Deserialize, Serialize};
 
-/// A resource owned by a project, with its live post count.
+/// A resource owned by a project, with its live post count and latest
+/// quality. The quality rides on the resource row (rather than a separate
+/// per-resource snapshot table) so the hot path stages **one** record per
+/// touched resource per round — posts, index position and quality commit
+/// together, atomically.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceRecord {
     pub project: ProjectId,
     pub resource: Resource,
     /// Approved posts (the `k_i` that drives quality).
     pub posts: u32,
+    /// Latest `q_i` snapshot (what survives restarts; the live series
+    /// stays in [`crate::quality_mgr::ProjectQuality`]).
+    pub quality: f64,
     /// Set by the provider's Stop button.
     pub stopped: bool,
 }
@@ -166,26 +173,6 @@ impl Entity for UserRecord {
     }
 }
 
-/// Latest quality snapshot of a resource (the project-details chart reads
-/// the live series; this row is what survives restarts).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QualityRecord {
-    pub project: ProjectId,
-    pub resource: ResourceId,
-    pub posts: u32,
-    pub quality: f64,
-}
-
-impl Entity for QualityRecord {
-    const TABLE: TableId = tables::QUALITY;
-    const NAME: &'static str = "quality";
-    type Key = (ProjectId, ResourceId);
-
-    fn primary_key(&self) -> Self::Key {
-        (self.project, self.resource)
-    }
-}
-
 /// The simulation dataset backing a project (latents + popularity),
 /// persisted so an engine reopen can resume the campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -216,12 +203,38 @@ mod tests {
             project: ProjectId(2),
             resource: Resource::synthetic(ResourceId(5), ResourceKind::WebUrl),
             posts: 3,
+            quality: 0.75,
             stopped: false,
         };
         assert_eq!(r.primary_key(), (ProjectId(2), ResourceId(5)));
         let bytes = serbin::to_bytes(&r).unwrap();
         let back: ResourceRecord = serbin::from_bytes(&bytes).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn borrowed_post_tuple_encodes_like_post_record() {
+        // TagManager::stage_post serializes `(project, &post)` instead of
+        // building a PostRecord (saves cloning the tag vector per post);
+        // serbin encodes structs and tuples as plain field concatenation,
+        // so the two layouts must stay byte-identical.
+        let post = Post::new(
+            PostId(7),
+            ResourceId(3),
+            itag_model::ids::TaggerId(11),
+            vec![TagId(1), TagId(2), TagId(9)],
+            4,
+            123,
+        );
+        let record = PostRecord {
+            project: ProjectId(5),
+            post: post.clone(),
+        };
+        let via_record = serbin::to_bytes(&record).unwrap();
+        let via_tuple = serbin::to_bytes(&(ProjectId(5), &post)).unwrap();
+        assert_eq!(via_record, via_tuple);
+        let back: PostRecord = serbin::from_bytes(&via_tuple).unwrap();
+        assert_eq!(back, record);
     }
 
     #[test]

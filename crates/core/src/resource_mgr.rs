@@ -24,12 +24,14 @@ impl ResourceManager {
     }
 
     /// Uploads a project's resources (all start with the given post
-    /// counts; counts come from the provider's pre-existing posts).
+    /// counts and quality snapshots; counts come from the provider's
+    /// pre-existing posts, qualities from the initial metric evaluation).
     pub fn upload(
         &self,
         project: ProjectId,
         resources: &[Resource],
         initial_counts: &[u32],
+        initial_qualities: &[f64],
     ) -> Result<()> {
         let mut batch = WriteBatch::with_capacity(resources.len() * 2);
         for (i, r) in resources.iter().enumerate() {
@@ -37,9 +39,11 @@ impl ResourceManager {
                 project,
                 resource: r.clone(),
                 posts: initial_counts.get(i).copied().unwrap_or(0),
+                quality: initial_qualities.get(i).copied().unwrap_or(0.0),
                 stopped: false,
             };
-            self.table.stage_upsert(&mut batch, &record)?;
+            // Write-through: the first tick's reads hit the entity cache.
+            self.table.stage_upsert_cached(&mut batch, &record)?;
             IDX_RESOURCE_BY_POSTCOUNT.stage_update(&mut batch, None, Some(&record));
         }
         self.store.commit(batch)?;
@@ -60,7 +64,8 @@ impl ResourceManager {
         Ok(self.table.scan_range(&from, Some(&to))?)
     }
 
-    /// Stages a post-count bump (keeps the count index consistent).
+    /// Stages a post-count bump (keeps the count index consistent); set
+    /// `record.quality` first and the fresh snapshot rides along.
     /// Returns the updated record.
     pub fn stage_increment_posts(
         &self,
@@ -69,16 +74,35 @@ impl ResourceManager {
     ) -> Result<ResourceRecord> {
         let mut updated = record.clone();
         updated.posts += 1;
-        self.table.stage_upsert(batch, &updated)?;
-        IDX_RESOURCE_BY_POSTCOUNT.stage_update(batch, Some(record), Some(&updated));
+        self.stage_finalize_posts(batch, record.posts, updated.clone())?;
         Ok(updated)
     }
 
-    /// Persists the provider's Stop/Resume toggle.
+    /// Stages the final record of a round by ownership: `record` already
+    /// carries its final post count and quality, `old_posts` is the count
+    /// the stored row and index still hold. One encode, zero extra record
+    /// clones — the record moves into the write-through cache hint.
+    pub fn stage_finalize_posts(
+        &self,
+        batch: &mut WriteBatch,
+        old_posts: u32,
+        record: ResourceRecord,
+    ) -> Result<()> {
+        use itag_store::table::{Entity, KeyCodec};
+        let pk = record.primary_key().encoded();
+        IDX_RESOURCE_BY_POSTCOUNT.stage_remove(batch, &(record.project, old_posts), &pk);
+        IDX_RESOURCE_BY_POSTCOUNT.stage_insert(batch, &(record.project, record.posts), &pk);
+        self.table.stage_upsert_owned(batch, record)?;
+        Ok(())
+    }
+
+    /// Persists the provider's Stop/Resume toggle. The read-modify-write
+    /// stages through a single [`WriteBatch`], so the flip commits as one
+    /// atomic frame instead of a separate read and write commit.
     pub fn set_stopped(&self, project: ProjectId, r: ResourceId, stopped: bool) -> Result<()> {
-        let mut record = self.get(project, r)?;
-        record.stopped = stopped;
-        self.table.upsert(&record)?;
+        self.table
+            .update(&(project, r), |record| record.stopped = stopped)?
+            .ok_or(EngineError::UnknownResource(r))?;
         Ok(())
     }
 
@@ -116,7 +140,13 @@ mod tests {
     #[test]
     fn upload_then_list_roundtrip() {
         let m = mgr();
-        m.upload(P, &resources(5), &[3, 0, 1, 0, 7]).unwrap();
+        m.upload(
+            P,
+            &resources(5),
+            &[3, 0, 1, 0, 7],
+            &[0.1, 0.2, 0.3, 0.4, 0.5],
+        )
+        .unwrap();
         let list = m.list(P).unwrap();
         assert_eq!(list.len(), 5);
         assert_eq!(list[0].posts, 3);
@@ -127,8 +157,8 @@ mod tests {
     #[test]
     fn projects_are_isolated() {
         let m = mgr();
-        m.upload(P, &resources(3), &[0, 0, 0]).unwrap();
-        m.upload(ProjectId(2), &resources(2), &[9, 9]).unwrap();
+        m.upload(P, &resources(3), &[0, 0, 0], &[]).unwrap();
+        m.upload(ProjectId(2), &resources(2), &[9, 9], &[]).unwrap();
         assert_eq!(m.list(P).unwrap().len(), 3);
         assert_eq!(m.list(ProjectId(2)).unwrap().len(), 2);
         assert!(m.get(P, ResourceId(0)).unwrap().posts == 0);
@@ -138,7 +168,7 @@ mod tests {
     #[test]
     fn below_posts_uses_the_count_index() {
         let m = mgr();
-        m.upload(P, &resources(4), &[0, 5, 2, 10]).unwrap();
+        m.upload(P, &resources(4), &[0, 5, 2, 10], &[]).unwrap();
         let low = m.below_posts(P, 3).unwrap();
         let ids: Vec<u32> = low.iter().map(|(_, r)| r.0).collect();
         assert_eq!(ids, vec![0, 2]); // sorted by (count, id): 0 posts, then 2
@@ -147,7 +177,7 @@ mod tests {
     #[test]
     fn increment_keeps_index_consistent() {
         let m = mgr();
-        m.upload(P, &resources(2), &[0, 0]).unwrap();
+        m.upload(P, &resources(2), &[0, 0], &[]).unwrap();
         let rec = m.get(P, ResourceId(0)).unwrap();
         let mut batch = WriteBatch::new();
         let updated = m.stage_increment_posts(&mut batch, &rec).unwrap();
@@ -162,7 +192,7 @@ mod tests {
     #[test]
     fn stop_flag_persists() {
         let m = mgr();
-        m.upload(P, &resources(1), &[0]).unwrap();
+        m.upload(P, &resources(1), &[0], &[]).unwrap();
         m.set_stopped(P, ResourceId(0), true).unwrap();
         assert!(m.get(P, ResourceId(0)).unwrap().stopped);
         m.set_stopped(P, ResourceId(0), false).unwrap();

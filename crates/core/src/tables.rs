@@ -15,8 +15,11 @@ pub const POSTS: TableId = TableId(3);
 pub const USERS: TableId = TableId(4);
 /// Projects, keyed by project id.
 pub const PROJECTS: TableId = TableId(5);
-/// Latest per-resource quality snapshots, keyed `(project, resource)`.
-pub const QUALITY: TableId = TableId(6);
+/// Retired: per-resource quality snapshots lived here until the quality
+/// column was folded into [`RESOURCES`] rows (one staged record per
+/// resource per round instead of two). The id stays reserved — never
+/// renumber or reuse.
+pub const QUALITY_RETIRED: TableId = TableId(6);
 /// Secondary index: posts by `(project, resource)`.
 pub const IDX_POSTS_BY_RESOURCE: TableId = TableId(7);
 /// Secondary index: resources by `(project, post count)` — FP's scan.
@@ -25,6 +28,11 @@ pub const IDX_RESOURCE_BY_POSTCOUNT: TableId = TableId(8);
 pub const DATASETS: TableId = TableId(9);
 /// Secondary index: posts by `(project, tagger)` — tagger history.
 pub const IDX_POSTS_BY_TAGGER: TableId = TableId(10);
+/// Engine metadata: the schema-version row lives here. serbin is not
+/// self-describing, so record-layout changes bump
+/// [`crate::engine::SCHEMA_VERSION`] and this row turns a silent
+/// mis-decode of an old database into a clean error at open.
+pub const META: TableId = TableId(11);
 
 #[cfg(test)]
 mod tests {
@@ -38,11 +46,12 @@ mod tests {
             POSTS,
             USERS,
             PROJECTS,
-            QUALITY,
+            QUALITY_RETIRED,
             IDX_POSTS_BY_RESOURCE,
             IDX_RESOURCE_BY_POSTCOUNT,
             DATASETS,
             IDX_POSTS_BY_TAGGER,
+            META,
         ];
         let mut ids: Vec<u16> = all.iter().map(|t| t.0).collect();
         ids.sort_unstable();

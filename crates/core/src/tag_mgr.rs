@@ -54,20 +54,24 @@ impl TagManager {
             .unwrap_or_default()
     }
 
-    /// Stages one post (row + by-resource and by-tagger indexes).
+    /// Stages one post (row + by-resource and by-tagger indexes) without
+    /// cloning the post: serbin encodes structs as plain field
+    /// concatenation, so the tuple `(project, &post)` produces bytes
+    /// identical to a built [`PostRecord`] (pinned by a records.rs test),
+    /// and the index rows are staged straight from the borrowed fields.
     pub fn stage_post(
         &self,
         batch: &mut WriteBatch,
         project: ProjectId,
         post: &Post,
     ) -> Result<()> {
-        let record = PostRecord {
-            project,
-            post: post.clone(),
-        };
-        self.posts.stage_upsert(batch, &record)?;
-        IDX_POSTS_BY_RESOURCE.stage_update(batch, None, Some(&record));
-        crate::records::IDX_POSTS_BY_TAGGER.stage_update(batch, None, Some(&record));
+        use itag_store::serbin;
+        use itag_store::table::{Entity, KeyCodec};
+        let pk = post.id.encoded();
+        let row = serbin::to_bytes(&(project, post)).map_err(itag_store::StoreError::from)?;
+        IDX_POSTS_BY_RESOURCE.stage_insert(batch, &(project, post.resource), &pk);
+        crate::records::IDX_POSTS_BY_TAGGER.stage_insert(batch, &(project, post.tagger), &pk);
+        batch.put(PostRecord::TABLE, pk, row);
         Ok(())
     }
 
@@ -103,15 +107,16 @@ impl TagManager {
         Ok(out)
     }
 
-    /// All posts of a project, arrival order.
+    /// All posts of a project, arrival order. Streams the post log instead
+    /// of materializing every project's posts just to filter one out.
     pub fn all_posts(&self, project: ProjectId) -> Result<Vec<Post>> {
-        let mut out: Vec<Post> = self
-            .posts
-            .scan_all()?
-            .into_iter()
-            .filter(|p| p.project == project)
-            .map(|p| p.post)
-            .collect();
+        let mut out: Vec<Post> = Vec::new();
+        self.posts.for_each(|p: PostRecord| {
+            if p.project == project {
+                out.push(p.post);
+            }
+            true
+        })?;
         out.sort_by_key(|p| p.id);
         Ok(out)
     }

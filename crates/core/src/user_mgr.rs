@@ -65,25 +65,75 @@ impl UserManager {
         approved: bool,
         pay_cents: u32,
     ) -> Result<()> {
-        let mut p = self.get(UserRole::Provider, provider)?.unwrap_or_else(|| {
-            UserRecord::new(UserRole::Provider, provider, format!("provider-{provider}"))
-        });
+        let (approved_n, rejected_n) = if approved { (1, 0) } else { (0, 1) };
+        self.stage_decisions(
+            batch,
+            provider,
+            tagger,
+            approved_n,
+            rejected_n,
+            if approved { pay_cents as u64 } else { 0 },
+        )
+    }
+
+    /// Records a whole round of decisions between one provider and one
+    /// tagger at once: `approved`/`rejected` counter deltas plus the pay
+    /// released. Counters are additive, so this stages the same final
+    /// records as the equivalent sequence of [`UserManager::stage_decision`]
+    /// calls while encoding each record once instead of once per decision.
+    pub fn stage_decisions(
+        &self,
+        batch: &mut WriteBatch,
+        provider: u32,
+        tagger: u32,
+        approved: u32,
+        rejected: u32,
+        earned_cents: u64,
+    ) -> Result<()> {
+        self.stage_tagger_decisions(batch, tagger, approved, rejected, earned_cents)?;
+        self.stage_provider_decisions(batch, provider, approved, rejected)
+    }
+
+    /// The tagger half of [`UserManager::stage_decisions`]: received
+    /// counters + earnings only. The parallel tick's merge phase calls
+    /// this once per worker, then stages the provider's round totals once
+    /// via [`UserManager::stage_provider_decisions`] — one provider-row
+    /// encode per project instead of one per worker.
+    pub fn stage_tagger_decisions(
+        &self,
+        batch: &mut WriteBatch,
+        tagger: u32,
+        approved: u32,
+        rejected: u32,
+        earned_cents: u64,
+    ) -> Result<()> {
         let mut t = self.get(UserRole::Tagger, tagger)?.unwrap_or_else(|| {
             UserRecord::new(UserRole::Tagger, tagger, format!("tagger-{tagger}"))
         });
-        if approved {
-            p.approvals_given += 1;
-            t.approvals_received += 1;
-            t.earned_cents += pay_cents as u64;
-        } else {
-            p.rejections_given += 1;
-            t.rejections_received += 1;
-        }
-        self.table.stage_upsert(batch, &p)?;
+        t.approvals_received += approved;
+        t.rejections_received += rejected;
+        t.earned_cents += earned_cents;
         self.table.stage_upsert(batch, &t)?;
-        let mut cache = self.cache.lock();
-        cache.insert(p.primary_key(), p);
-        cache.insert(t.primary_key(), t);
+        self.cache.lock().insert(t.primary_key(), t);
+        Ok(())
+    }
+
+    /// The provider half of [`UserManager::stage_decisions`]: given
+    /// counters only.
+    pub fn stage_provider_decisions(
+        &self,
+        batch: &mut WriteBatch,
+        provider: u32,
+        approved: u32,
+        rejected: u32,
+    ) -> Result<()> {
+        let mut p = self.get(UserRole::Provider, provider)?.unwrap_or_else(|| {
+            UserRecord::new(UserRole::Provider, provider, format!("provider-{provider}"))
+        });
+        p.approvals_given += approved;
+        p.rejections_given += rejected;
+        self.table.stage_upsert(batch, &p)?;
+        self.cache.lock().insert(p.primary_key(), p);
         Ok(())
     }
 
@@ -121,10 +171,7 @@ impl UserManager {
         extra_approved: u32,
         extra_rejected: u32,
     ) -> Result<bool> {
-        let (base_approved, base_rejected) = self
-            .get(UserRole::Tagger, tagger)?
-            .map(|u| (u.approvals_received, u.rejections_received))
-            .unwrap_or((0, 0));
+        let (base_approved, base_rejected) = self.tagger_counters(tagger)?;
         let approved = base_approved as u64 + extra_approved as u64;
         let decided = approved + base_rejected as u64 + extra_rejected as u64;
         if decided < self.grace_decisions as u64 {
@@ -133,24 +180,39 @@ impl UserManager {
         Ok(approved as f64 / decided as f64 >= self.reliability_threshold)
     }
 
+    /// Received-decision counters of a tagger without cloning the whole
+    /// profile (the reliability gate runs per rejected submission).
+    fn tagger_counters(&self, tagger: u32) -> Result<(u32, u32)> {
+        if let Some(u) = self.cache.lock().get(&(UserRole::Tagger.tag(), tagger)) {
+            return Ok((u.approvals_received, u.rejections_received));
+        }
+        Ok(self
+            .get(UserRole::Tagger, tagger)?
+            .map(|u| (u.approvals_received, u.rejections_received))
+            .unwrap_or((0, 0)))
+    }
+
+    /// All users in `role`, streamed off the table without materializing
+    /// the other role's records.
+    fn by_role(&self, role: UserRole) -> Result<Vec<UserRecord>> {
+        let mut out = Vec::new();
+        self.table.for_each(|u: UserRecord| {
+            if u.role == role {
+                out.push(u);
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
     /// All taggers, for reporting.
     pub fn taggers(&self) -> Result<Vec<UserRecord>> {
-        Ok(self
-            .table
-            .scan_all()?
-            .into_iter()
-            .filter(|u| u.role == UserRole::Tagger)
-            .collect())
+        self.by_role(UserRole::Tagger)
     }
 
     /// All providers, for id allocation and reporting.
     pub fn providers(&self) -> Result<Vec<UserRecord>> {
-        Ok(self
-            .table
-            .scan_all()?
-            .into_iter()
-            .filter(|u| u.role == UserRole::Provider)
-            .collect())
+        self.by_role(UserRole::Provider)
     }
 }
 

@@ -96,6 +96,16 @@ where
     if n == 0 {
         return Vec::new();
     }
+    if threads.min(n) == 1 {
+        // One worker claims every slot in input order anyway — run inline
+        // and skip the thread spawn/join (identical results by the
+        // determinism contract, ~100µs less overhead per call).
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
     let slots: Vec<std::sync::Mutex<Option<T>>> = items
         .into_iter()
         .map(|t| std::sync::Mutex::new(Some(t)))

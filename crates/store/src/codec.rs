@@ -98,12 +98,35 @@ fn crc_table() -> &'static [u32; 256] {
 /// CRC-32 (IEEE 802.3 polynomial) over `data`. Used to frame WAL records and
 /// snapshot payloads so torn or bit-rotted writes are detected on recovery.
 pub fn crc32(data: &[u8]) -> u32 {
-    let table = crc_table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// Incremental CRC-32 over a byte stream; `update` in any chunking yields
+/// the same digest as one-shot [`crc32`]. Lets the streaming snapshot
+/// writer checksum while it writes instead of buffering the payload.
+#[derive(Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
     }
-    c ^ 0xFFFF_FFFF
+
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc_table();
+        for &b in data {
+            self.state = table[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
 }
 
 /// Appends `v` to `out` as an unsigned LEB128 varint (1–10 bytes).
@@ -161,6 +184,24 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn incremental_crc32_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let expect = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 999, 1000] {
+            let mut c = Crc32::new();
+            for part in data.chunks(chunk) {
+                c.update(part);
+            }
+            assert_eq!(c.finish(), expect, "chunk size {chunk}");
+        }
+        assert_eq!(
+            Crc32::new().finish(),
+            0,
+            "empty stream matches crc32(b\"\")"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The [`Store`]: sharded ordered key/value tables + group-commit WAL +
-//! snapshots.
+//! snapshots + a typed entity cache.
 //!
 //! Concurrency model: the memtable set is **hash-partitioned into N
 //! shards**, each behind its own `parking_lot::RwLock`, so readers on
@@ -12,13 +12,54 @@
 //! across the whole group.
 //!
 //! Consistency: a committed batch is applied while holding the write locks
-//! of every shard it touches, so point reads and full scans (which lock all
-//! shards at once) never observe half a batch. Reads return
-//! [`bytes::Bytes`] so monitors copy nothing.
+//! of every shard it touches, so point reads and scans never observe half a
+//! batch. Single-table queries (scans, `count`, `last_key`) lock only the
+//! shards that can hold the table's keys (tracked by a per-table presence
+//! mask), not the whole shard set. Reads return [`bytes::Bytes`] so
+//! monitors copy nothing; memtable keys are [`Bytes`] too, so scans hand
+//! keys back without re-copying them.
+//!
+//! ## Durability contract ([`Durability`] × [`SyncPolicy`])
+//!
+//! * [`Durability::InMemory`] — no files; nothing survives the process.
+//! * [`Durability::Buffered`] — every commit group is `write(2)`-flushed to
+//!   the OS before the commit returns: a process crash loses nothing, a
+//!   power failure may lose any suffix of the log.
+//! * [`Durability::Sync`] — fsync cadence is set by [`SyncPolicy`]:
+//!   * [`SyncPolicy::Always`] — one fsync per commit group. A commit that
+//!     returned `Ok` is durable against power failure.
+//!   * [`SyncPolicy::EveryN`]`(n)` — flush per group, fsync once at least
+//!     every `n` commits. Power failure loses at most the last `n - 1`
+//!     commits; a process crash still loses nothing.
+//!   * [`SyncPolicy::Batched`] — adaptive group fsync: the leader fsyncs
+//!     whenever the commit queue is drained, and only flushes while more
+//!     writers are already queued behind it. A quiescent store is always
+//!     fully fsynced; power failure mid-burst may lose the most recent
+//!     groups of that burst. Process crash loses nothing.
+//!
+//!   Every policy fsyncs on [`Store::sync`], on checkpoints, and before a
+//!   snapshot replaces WAL frames, so recovery invariants (prefix
+//!   semantics, torn-tail truncation) are identical across policies.
+//!
+//! ## Entity cache
+//!
+//! The typed layer ([`crate::table::TypedTable`]) decodes records out of
+//! the stored bytes. To keep tight read-modify-write loops from paying a
+//! decode per `get`, the store carries a **per-shard decoded-entity
+//! cache**: `(table, key) → (stored bytes, Arc<decoded>)`. A cached entry
+//! is valid only while the memtable still holds the *same* `Bytes`
+//! allocation (pointer identity — the slot keeps the old buffer alive, so
+//! a match is proof nothing was overwritten). Committed puts staged via
+//! [`crate::txn::WriteBatch::put_cached`] write through into the cache
+//! under the same shard write lock that applies them; plain puts and
+//! deletes invalidate. The cache therefore never changes results, only
+//! skips decodes — `ITAG_NO_CACHE=1` (or `StoreOptions::entity_cache =
+//! false`) turns it off wholesale, which the equivalence tests use to
+//! prove bit-identical behaviour.
 
 use crate::codec::FxHasher;
 use crate::error::{Result, StoreError};
-use crate::txn::{Op, WalEntry, WriteBatch};
+use crate::txn::{CachedEntity, Op, WalEntry, WriteBatch};
 use crate::{serbin, snapshot, wal, TableId};
 use bytes::Bytes;
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -26,10 +67,11 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::Hasher;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-/// How hard the store tries to make each commit durable.
+/// How hard the store tries to make each commit durable. See the module
+/// docs for the full durability contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Durability {
     /// Pure in-memory operation; no files at all. Used by simulations and
@@ -38,31 +80,61 @@ pub enum Durability {
     /// WAL appends are flushed to the OS per commit group but not fsynced;
     /// a process crash loses nothing, a power failure may lose the tail.
     Buffered,
-    /// WAL appends are fsynced per commit group.
+    /// WAL appends are fsynced per the configured [`SyncPolicy`].
     Sync,
+}
+
+/// Fsync cadence under [`Durability::Sync`]. See the module docs for the
+/// durability contract of each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// One fsync per commit group (the strongest setting, and the
+    /// pre-policy behaviour of `Durability::Sync`).
+    Always,
+    /// Fsync once at least every `n` commits (`0` and `1` behave like
+    /// [`SyncPolicy::Always`]); flush-only groups in between.
+    EveryN(u64),
+    /// Adaptive group fsync: sync when the commit queue drains, flush while
+    /// more writers are already queued.
+    Batched,
 }
 
 /// Default number of hash partitions (see [`StoreOptions::shards`]).
 pub const DEFAULT_SHARDS: usize = 8;
 
+/// Default per-(table, shard) entity-cache capacity, in entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
 /// Tuning knobs for [`Store::open`].
 #[derive(Debug, Clone)]
 pub struct StoreOptions {
     pub durability: Durability,
+    /// Fsync cadence when `durability` is [`Durability::Sync`]; ignored
+    /// otherwise.
+    pub sync_policy: SyncPolicy,
     /// Auto-checkpoint after this many committed batches (0 = manual only).
     pub checkpoint_every: u64,
     /// Number of hash-partitioned memtable shards (min 1). The on-disk
     /// format is shard-agnostic: a database written with one shard count
     /// reopens fine under another.
     pub shards: usize,
+    /// Enables the decoded-entity cache (see module docs). `ITAG_NO_CACHE=1`
+    /// in the environment forces it off regardless of this flag.
+    pub entity_cache: bool,
+    /// Entity-cache entries per (table, shard) before the slab is dropped
+    /// and allowed to refill.
+    pub entity_cache_capacity: usize,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
         StoreOptions {
             durability: Durability::Buffered,
+            sync_policy: SyncPolicy::Always,
             checkpoint_every: 0,
             shards: DEFAULT_SHARDS,
+            entity_cache: true,
+            entity_cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -76,6 +148,8 @@ struct Counters {
     ops_applied: AtomicU64,
     checkpoints: AtomicU64,
     group_commits: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// A point-in-time view of store activity and size.
@@ -88,6 +162,10 @@ pub struct StoreStats {
     pub checkpoints: u64,
     /// WAL write groups formed (== commits when writers never contend).
     pub group_commits: u64,
+    /// Entity-cache lookups resolved without a decode.
+    pub cache_hits: u64,
+    /// Entity-cache lookups that had to decode (cold or invalidated key).
+    pub cache_misses: u64,
     pub tables: usize,
     pub keys: usize,
     /// Number of memtable shards.
@@ -98,13 +176,27 @@ pub struct StoreStats {
     pub recovered_torn_tail: bool,
 }
 
-/// One table set partition: `table → (key → value)`.
-type Memtable = BTreeMap<TableId, BTreeMap<Vec<u8>, Bytes>>;
+/// One table set partition: `table → (key → value)`. Keys are [`Bytes`] so
+/// scans can return them without copying.
+type Memtable = BTreeMap<TableId, BTreeMap<Bytes, Bytes>>;
+
+/// One decoded-entity cache partition: `table → key → slot`.
+struct CacheSlot {
+    /// The exact stored buffer this decode came from. Pointer identity
+    /// against the live memtable value proves the slot is current (the
+    /// slot keeps this allocation alive, so the address cannot be reused
+    /// while the entry exists).
+    value: Bytes,
+    decoded: CachedEntity,
+}
+type CacheShard = crate::codec::FxHashMap<TableId, crate::codec::FxHashMap<Bytes, CacheSlot>>;
 
 /// A batch waiting in the group-commit queue.
 struct Pending {
     lsn: u64,
     ops: Vec<Op>,
+    /// Decoded write-through hints, `(op index, entity)` ascending.
+    hints: Vec<(u32, CachedEntity)>,
     /// Pre-serialized WAL frame (durable stores only).
     payload: Option<Vec<u8>>,
 }
@@ -130,6 +222,8 @@ struct LogState {
     wal: Option<wal::Wal>,
     dir: Option<PathBuf>,
     commits_since_checkpoint: u64,
+    /// Commits flushed but not yet fsynced (drives [`SyncPolicy::EveryN`]).
+    commits_since_sync: u64,
     recovered_entries: u64,
     recovered_torn_tail: bool,
 }
@@ -137,9 +231,31 @@ struct LogState {
 /// The storage engine. See module docs.
 pub struct Store {
     shards: Vec<RwLock<Memtable>>,
+    /// Decoded-entity cache, partitioned like `shards` (same router).
+    cache: Vec<RwLock<CacheShard>>,
+    cache_enabled: bool,
+    cache_capacity: usize,
+    /// Tables that ever held a cache entry (grows monotonically). Lets
+    /// `apply_batch` skip cache invalidation entirely for write-only
+    /// tables (post logs, index rows) with one lookup per batch instead
+    /// of a cache-shard lock per op.
+    cached_tables: RwLock<crate::codec::FxHashSet<TableId>>,
+    /// Per-table shard-presence bitmask: bit `s` set ⇔ shard `s` may hold
+    /// keys of the table. Grows monotonically; set *before* a batch takes
+    /// its write locks so single-table readers can lock just these shards.
+    /// Unused (queries fall back to locking everything) when the shard
+    /// count exceeds the mask width.
+    presence: RwLock<crate::codec::FxHashMap<TableId, u128>>,
     commit_mu: Mutex<CommitState>,
     commit_cv: Condvar,
     log_mu: Mutex<LogState>,
+    /// Writers queued behind the current group (maintained under
+    /// `commit_mu`, read lock-free by the leader for [`SyncPolicy::Batched`]).
+    queued_hint: AtomicUsize,
+    /// Serializes read-modify-write cycles ([`Store::rmw_guard`]): holders
+    /// know no *other guard holder's* write can interleave between their
+    /// read and their commit.
+    rmw_mu: parking_lot::Mutex<()>,
     opts: StoreOptions,
     counters: Counters,
 }
@@ -199,7 +315,7 @@ struct LeadOutcome {
     checkpoint: Result<()>,
 }
 
-/// Union of table ids across a full set of shard guards, ascending.
+/// Union of table ids across a set of shard guards, ascending.
 fn tables_union(guards: &[RwLockReadGuard<'_, Memtable>]) -> BTreeSet<TableId> {
     let mut ids = BTreeSet::new();
     for g in guards {
@@ -208,18 +324,57 @@ fn tables_union(guards: &[RwLockReadGuard<'_, Memtable>]) -> BTreeSet<TableId> {
     ids
 }
 
-/// One table's pairs gathered from every shard, merged into key order.
-fn merged_pairs<'g>(
+/// Streams one table's pairs from a set of shard guards in ascending key
+/// order — a k-way merge over the per-shard ordered maps, so nothing is
+/// materialized (each shard holds disjoint keys, so ties cannot occur).
+struct MergedTableIter<'g> {
+    iters: Vec<std::collections::btree_map::Range<'g, Bytes, Bytes>>,
+    heads: Vec<Option<(&'g Bytes, &'g Bytes)>>,
+}
+
+impl<'g> Iterator for MergedTableIter<'g> {
+    type Item = (&'g Bytes, &'g Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some((k, _)) = head {
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        if self.heads[b].expect("best head is non-empty").0 > *k {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let i = best?;
+        let item = self.heads[i].take();
+        self.heads[i] = self.iters[i].next();
+        item
+    }
+}
+
+/// Merged in-order view of `table` over `guards`, bounded to
+/// `[from, to)` (`to = None` means unbounded).
+fn merged_range<'g>(
     guards: &'g [RwLockReadGuard<'_, Memtable>],
     table: TableId,
-) -> Vec<(&'g Vec<u8>, &'g Bytes)> {
-    let mut pairs: Vec<(&Vec<u8>, &Bytes)> = guards
+    from: &[u8],
+    to: Option<&[u8]>,
+) -> MergedTableIter<'g> {
+    let upper = match to {
+        Some(end) => Bound::Excluded(end),
+        None => Bound::Unbounded,
+    };
+    let mut iters: Vec<std::collections::btree_map::Range<'g, Bytes, Bytes>> = guards
         .iter()
         .filter_map(|g| g.get(&table))
-        .flat_map(|t| t.iter())
+        .map(|t| t.range::<[u8], _>((Bound::Included(from), upper)))
         .collect();
-    pairs.sort_unstable_by(|a, b| a.0.cmp(b.0));
-    pairs
+    let heads = iters.iter_mut().map(|it| it.next()).collect();
+    MergedTableIter { iters, heads }
 }
 
 impl Store {
@@ -231,11 +386,21 @@ impl Store {
     /// An ephemeral store with an explicit shard count (tests and benches
     /// that sweep partitioning).
     pub fn in_memory_sharded(shards: usize) -> Self {
+        Store::in_memory_with(StoreOptions {
+            durability: Durability::InMemory,
+            shards,
+            ..StoreOptions::default()
+        })
+    }
+
+    /// An ephemeral store with full control over the options (the
+    /// durability level is forced to [`Durability::InMemory`]).
+    pub fn in_memory_with(opts: StoreOptions) -> Self {
         Store::assemble(
             StoreOptions {
                 durability: Durability::InMemory,
                 checkpoint_every: 0,
-                shards,
+                ..opts
             },
             Memtable::new(),
             None,
@@ -250,7 +415,7 @@ impl Store {
     /// load the snapshot if present, then replay WAL entries past it.
     pub fn open(dir: &Path, opts: StoreOptions) -> Result<Self> {
         if opts.durability == Durability::InMemory {
-            return Ok(Store::in_memory_sharded(opts.shards));
+            return Ok(Store::in_memory_with(opts));
         }
         std::fs::create_dir_all(dir)?;
 
@@ -261,7 +426,7 @@ impl Store {
             for dump in snap.tables {
                 let table = tables.entry(dump.table).or_default();
                 for (k, v) in dump.entries {
-                    table.insert(k, Bytes::from(v));
+                    table.insert(Bytes::from(k), Bytes::from(v));
                 }
             }
         }
@@ -275,7 +440,7 @@ impl Store {
                 continue; // already folded into the snapshot
             }
             last_lsn = entry.lsn;
-            apply_ops(&mut tables, &entry.ops);
+            apply_ops(&mut tables, entry.ops);
             recovered += 1;
         }
 
@@ -306,16 +471,24 @@ impl Store {
     ) -> Self {
         let n = opts.shards.max(1);
         let mut parts: Vec<Memtable> = (0..n).map(|_| Memtable::new()).collect();
+        let mut presence: crate::codec::FxHashMap<TableId, u128> = Default::default();
         for (table, entries) in initial {
             for (k, v) in entries {
-                parts[route(n, table, &k)]
-                    .entry(table)
-                    .or_default()
-                    .insert(k, v);
+                let s = route(n, table, &k);
+                if n <= 128 {
+                    *presence.entry(table).or_insert(0) |= 1u128 << s;
+                }
+                parts[s].entry(table).or_default().insert(k, v);
             }
         }
+        let cache_enabled = opts.entity_cache && std::env::var_os("ITAG_NO_CACHE").is_none();
         Store {
             shards: parts.into_iter().map(RwLock::new).collect(),
+            cache: (0..n).map(|_| RwLock::new(CacheShard::default())).collect(),
+            cache_enabled,
+            cache_capacity: opts.entity_cache_capacity.max(1),
+            cached_tables: RwLock::new(Default::default()),
+            presence: RwLock::new(presence),
             commit_mu: Mutex::new(CommitState {
                 next_lsn: last_lsn + 1,
                 applied_lsn: last_lsn,
@@ -329,23 +502,106 @@ impl Store {
                 wal,
                 dir,
                 commits_since_checkpoint: 0,
+                commits_since_sync: 0,
                 recovered_entries,
                 recovered_torn_tail,
             }),
+            queued_hint: AtomicUsize::new(0),
+            rmw_mu: parking_lot::Mutex::new(()),
             opts,
             counters: Counters::default(),
         }
+    }
+
+    /// Guard for a read-modify-write cycle: while held, no other
+    /// `rmw_guard` holder can interleave a write between this caller's
+    /// read and commit ([`crate::table::TypedTable::update`] takes it).
+    /// Raw `commit` callers are not excluded — full isolation would need
+    /// transactions, which the store does not have.
+    pub fn rmw_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.rmw_mu.lock()
     }
 
     fn shard_of(&self, table: TableId, key: &[u8]) -> usize {
         route(self.shards.len(), table, key)
     }
 
-    /// Read-locks every shard at once (index order), giving scans a
-    /// batch-atomic view: the group leader applies each batch while holding
-    /// the write locks of all shards that batch touches.
+    /// Read-locks every shard at once (index order), giving multi-table
+    /// readers (checksums, stats, checkpoints) a batch-atomic view: the
+    /// group leader applies each batch while holding the write locks of
+    /// all shards that batch touches.
     fn lock_all(&self) -> Vec<RwLockReadGuard<'_, Memtable>> {
         self.shards.iter().map(|s| s.read()).collect()
+    }
+
+    /// The presence mask of `table` (shards that may hold its keys).
+    fn table_mask(&self, table: TableId) -> u128 {
+        self.presence.read().get(&table).copied().unwrap_or(0)
+    }
+
+    /// Read-locks only the shards that can hold keys of `table`, in index
+    /// order. The mask is re-checked after acquisition: writers set
+    /// presence bits *before* taking their write locks, so if the mask is
+    /// unchanged the guard set covers every committed (and in-flight) key
+    /// of the table and the view is still batch-atomic. Falls back to
+    /// locking everything when the shard count exceeds the mask width.
+    fn lock_table_shards(&self, table: TableId) -> Vec<RwLockReadGuard<'_, Memtable>> {
+        let n = self.shards.len();
+        if n == 1 {
+            return vec![self.shards[0].read()];
+        }
+        if n > 128 {
+            return self.lock_all();
+        }
+        loop {
+            let mask = self.table_mask(table);
+            if mask == 0 {
+                // Presence is raised before a batch locks its shards, so a
+                // zero mask means no key of this table is committed yet.
+                return Vec::new();
+            }
+            let guards: Vec<_> = (0..n)
+                .filter(|s| mask >> s & 1 == 1)
+                .map(|s| self.shards[s].read())
+                .collect();
+            if self.table_mask(table) == mask {
+                return guards;
+            }
+            // A batch spilled the table onto a new shard while we were
+            // locking; retry so we cannot observe half of it.
+            drop(guards);
+        }
+    }
+
+    /// Raises presence bits for every `(table, shard)` a batch touches.
+    /// Called before the batch's write locks are taken — see
+    /// [`Store::lock_table_shards`]. `routes[i]` is op `i`'s shard,
+    /// precomputed by the caller (each key is hashed exactly once per
+    /// apply).
+    fn note_presence(&self, ops: &[Op], routes: &[usize]) {
+        let n = self.shards.len();
+        if n == 1 || n > 128 {
+            return;
+        }
+        let mut needed: crate::codec::FxHashMap<TableId, u128> = Default::default();
+        for (op, &s) in ops.iter().zip(routes) {
+            if let Op::Put { table, .. } = op {
+                *needed.entry(*table).or_insert(0) |= 1u128 << s;
+            }
+        }
+        {
+            let p = self.presence.read();
+            if needed
+                .iter()
+                .all(|(t, bits)| p.get(t).is_some_and(|have| have & bits == *bits))
+            {
+                return; // steady state: no new bits
+            }
+        }
+        let mut p = self.presence.write();
+        for (t, bits) in needed {
+            *p.entry(t).or_insert(0) |= bits;
+        }
     }
 
     /// Commits a batch atomically: one WAL frame, then apply to memtables.
@@ -378,8 +634,10 @@ impl Store {
         state.queue.push_back(Pending {
             lsn,
             ops: batch.ops,
+            hints: batch.hints,
             payload: ops_bytes.map(|b| frame_payload(lsn, &b)),
         });
+        self.queued_hint.fetch_add(1, Ordering::Release);
 
         loop {
             // `applied_lsn` is checked before `broken`: a batch that made
@@ -399,17 +657,19 @@ impl Store {
             // memtable applies without holding the commit mutex, then report
             // back and wake the followers.
             state.leader_active = true;
-            let group: Vec<Pending> = state.queue.drain(..).collect();
+            let mut group: Vec<Pending> = state.queue.drain(..).collect();
+            self.queued_hint.store(0, Ordering::Release);
             drop(state);
 
-            let outcome = self.lead_group(&group);
+            let group_last_lsn = group.last().map(|p| p.lsn);
+            let outcome = self.lead_group(&mut group);
 
             state = lock(&self.commit_mu);
             state.leader_active = false;
             match &outcome.wal_apply {
                 Ok(()) => {
-                    if let Some(last) = group.last() {
-                        state.applied_lsn = state.applied_lsn.max(last.lsn);
+                    if let Some(last) = group_last_lsn {
+                        state.applied_lsn = state.applied_lsn.max(last);
                     }
                 }
                 Err(e) => {
@@ -431,13 +691,20 @@ impl Store {
         }
     }
 
-    /// Group-leader work: append + flush all frames, apply in LSN order,
-    /// bump counters, maybe auto-checkpoint.
-    fn lead_group(&self, group: &[Pending]) -> LeadOutcome {
+    /// Group-leader work: append + flush/fsync all frames per the sync
+    /// policy, apply in LSN order, bump counters, maybe auto-checkpoint.
+    /// Consumes each pending batch's ops (they are applied by value, so
+    /// keys and values move into the memtable without another copy).
+    fn lead_group(&self, group: &mut [Pending]) -> LeadOutcome {
         let mut log = lock(&self.log_mu);
         let wal_apply = (|| -> Result<()> {
-            if let Some(w) = log.wal.as_mut() {
-                for p in group {
+            let LogState {
+                wal,
+                commits_since_sync,
+                ..
+            } = &mut *log;
+            if let Some(w) = wal.as_mut() {
+                for p in group.iter() {
                     w.append(
                         p.payload
                             .as_ref()
@@ -445,7 +712,27 @@ impl Store {
                     )?;
                 }
                 match self.opts.durability {
-                    Durability::Sync => w.sync()?,
+                    Durability::Sync => match self.opts.sync_policy {
+                        SyncPolicy::Always => w.sync()?,
+                        SyncPolicy::EveryN(n) => {
+                            *commits_since_sync += group.len() as u64;
+                            if n <= 1 || *commits_since_sync >= n {
+                                w.sync()?;
+                                *commits_since_sync = 0;
+                            } else {
+                                w.flush()?;
+                            }
+                        }
+                        SyncPolicy::Batched => {
+                            // Writers already queued behind this group will
+                            // form the next one; defer the fsync to it.
+                            if self.queued_hint.load(Ordering::Acquire) == 0 {
+                                w.sync()?;
+                            } else {
+                                w.flush()?;
+                            }
+                        }
+                    },
                     Durability::Buffered => w.flush()?,
                     Durability::InMemory => unreachable!("in-memory store has no WAL"),
                 }
@@ -459,9 +746,11 @@ impl Store {
             };
         }
         let mut ops_total = 0u64;
-        for p in group {
-            self.apply_batch(&p.ops);
-            ops_total += p.ops.len() as u64;
+        for p in group.iter_mut() {
+            let ops = std::mem::take(&mut p.ops);
+            let hints = std::mem::take(&mut p.hints);
+            ops_total += ops.len() as u64;
+            self.apply_batch(ops, hints);
         }
         self.counters
             .commits
@@ -487,46 +776,181 @@ impl Store {
 
     /// Applies one batch while holding the write locks of every shard it
     /// touches, so concurrent readers see all of the batch or none of it.
-    fn apply_batch(&self, ops: &[Op]) {
+    /// Ops are consumed: keys and values move straight into the memtable.
+    /// Write-through hints install decoded entities into the cache under
+    /// the same locks; unhinted puts and deletes invalidate.
+    fn apply_batch(&self, ops: Vec<Op>, hints: Vec<(u32, CachedEntity)>) {
         let n = self.shards.len();
-        if n == 1 {
-            apply_ops(&mut self.shards[0].write(), ops);
-            return;
-        }
-        let mut touched: Vec<usize> = ops
+        // Hash every key exactly once; the presence update, the lock set
+        // and the apply loop all reuse these routes.
+        let routes: Vec<usize> = ops
             .iter()
             .map(|op| match op {
                 Op::Put { table, key, .. } | Op::Delete { table, key } => route(n, *table, key),
             })
             .collect();
-        touched.sort_unstable();
-        touched.dedup();
+        self.note_presence(&ops, &routes);
         let mut guards: Vec<Option<RwLockWriteGuard<'_, Memtable>>> =
             (0..n).map(|_| None).collect();
-        for &s in &touched {
-            guards[s] = Some(self.shards[s].write());
+        if n <= 128 {
+            let mut touched = 0u128;
+            for &s in &routes {
+                touched |= 1u128 << s;
+            }
+            for (s, guard) in guards.iter_mut().enumerate() {
+                if touched >> s & 1 == 1 {
+                    *guard = Some(self.shards[s].write());
+                }
+            }
+        } else {
+            let mut touched: Vec<usize> = routes.clone();
+            touched.sort_unstable();
+            touched.dedup();
+            for &s in &touched {
+                guards[s] = Some(self.shards[s].write());
+            }
         }
-        for op in ops {
+        // One lookup per batch decides which tables need cache
+        // maintenance at all; write-only tables (post logs, index rows)
+        // then skip the cache-shard locks entirely.
+        let cache_tables: Vec<TableId> = if self.cache_enabled {
+            self.cached_tables.read().iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+        let mut hints = hints.into_iter().peekable();
+        for (idx, (op, &s)) in ops.into_iter().zip(routes.iter()).enumerate() {
+            let hint = match hints.peek() {
+                Some((h, _)) if *h as usize == idx => hints.next().map(|(_, d)| d),
+                _ => None,
+            };
             match op {
                 Op::Put { table, key, value } => {
-                    guards[route(n, *table, key)]
+                    let key = Bytes::from(key);
+                    let value = Bytes::from(value);
+                    if self.cache_enabled && (hint.is_some() || cache_tables.contains(&table)) {
+                        self.cache_apply(s, table, &key, Some(&value), hint);
+                    }
+                    guards[s]
                         .as_mut()
                         .expect("touched shard is locked")
-                        .entry(*table)
+                        .entry(table)
                         .or_default()
-                        .insert(key.clone(), Bytes::from(value.clone()));
+                        .insert(key, value);
                 }
                 Op::Delete { table, key } => {
-                    if let Some(t) = guards[route(n, *table, key)]
+                    if self.cache_enabled && cache_tables.contains(&table) {
+                        self.cache_apply(s, table, &key, None, None);
+                    }
+                    if let Some(t) = guards[s]
                         .as_mut()
                         .expect("touched shard is locked")
-                        .get_mut(table)
+                        .get_mut(&table)
                     {
-                        t.remove(key);
+                        t.remove(key.as_slice());
                     }
                 }
             }
         }
+    }
+
+    /// Registers `table` as cache-bearing (cheap read-check fast path).
+    fn note_cached_table(&self, table: TableId) {
+        if !self.cached_tables.read().contains(&table) {
+            self.cached_tables.write().insert(table);
+        }
+    }
+
+    /// Cache side of applying one op (shard write lock already held, so
+    /// readers of the shard cannot interleave). `value = None` ⇒ delete.
+    fn cache_apply(
+        &self,
+        shard: usize,
+        table: TableId,
+        key: &[u8],
+        value: Option<&Bytes>,
+        hint: Option<CachedEntity>,
+    ) {
+        match (value, hint) {
+            (Some(v), Some(decoded)) => {
+                self.note_cached_table(table);
+                let mut cshard = self.cache[shard].write();
+                let m = cshard.entry(table).or_default();
+                if m.len() >= self.cache_capacity {
+                    m.clear();
+                }
+                m.insert(
+                    Bytes::copy_from_slice(key),
+                    CacheSlot {
+                        value: v.clone(),
+                        decoded,
+                    },
+                );
+            }
+            _ => {
+                // Unhinted put or delete: drop any stale decode. Take the
+                // cheap read-check first — most tables are never cached.
+                let stale = self.cache[shard]
+                    .read()
+                    .get(&table)
+                    .is_some_and(|m| m.contains_key(key));
+                if stale {
+                    if let Some(m) = self.cache[shard].write().get_mut(&table) {
+                        m.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the decoded-entity cache is active.
+    pub fn entity_cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Looks up the decoded entity cached for `(table, key)`, valid only
+    /// if `bytes` is the exact stored buffer the decode came from. Counts
+    /// a hit or miss either way (callers decode on `None`).
+    pub fn cache_lookup(&self, table: TableId, key: &[u8], bytes: &Bytes) -> Option<CachedEntity> {
+        if !self.cache_enabled {
+            return None;
+        }
+        let shard = self.shard_of(table, key);
+        // Empty buffers may share a dangling pointer, so they are never
+        // treated as cache-valid (no real entity encodes to zero bytes).
+        let hit = self.cache[shard].read().get(&table).and_then(|m| {
+            m.get(key).and_then(|slot| {
+                (!bytes.is_empty() && slot.value.as_ptr() == bytes.as_ptr())
+                    .then(|| CachedEntity::clone(&slot.decoded))
+            })
+        });
+        match hit {
+            Some(_) => self.counters.cache_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.cache_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Installs a read-through decode for `(table, key)`. `bytes` must be
+    /// the stored buffer the decode came from.
+    pub fn cache_store(&self, table: TableId, key: &[u8], bytes: Bytes, decoded: CachedEntity) {
+        if !self.cache_enabled {
+            return;
+        }
+        self.note_cached_table(table);
+        let shard = self.shard_of(table, key);
+        let mut cshard = self.cache[shard].write();
+        let m = cshard.entry(table).or_default();
+        if m.len() >= self.cache_capacity {
+            m.clear();
+        }
+        m.insert(
+            Bytes::copy_from_slice(key),
+            CacheSlot {
+                value: bytes,
+                decoded,
+            },
+        );
     }
 
     /// Single-key put (a one-op batch).
@@ -559,56 +983,57 @@ impl Store {
             .unwrap_or(false)
     }
 
-    /// All pairs whose key starts with `prefix`, in key order.
-    pub fn scan_prefix(&self, table: TableId, prefix: &[u8]) -> Vec<(Vec<u8>, Bytes)> {
+    /// All pairs whose key starts with `prefix`, in key order. Keys and
+    /// values are zero-copy handles onto the stored buffers.
+    pub fn scan_prefix(&self, table: TableId, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.counters.scans.fetch_add(1, Ordering::Relaxed);
-        let guards = self.lock_all();
-        let mut out = Vec::new();
-        for g in &guards {
-            let Some(t) = g.get(&table) else { continue };
-            out.extend(
-                t.range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded))
-                    .take_while(|(k, _)| k.starts_with(prefix))
-                    .map(|(k, v)| (k.clone(), v.clone())),
-            );
-        }
-        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        out
+        let guards = self.lock_table_shards(table);
+        merged_range(&guards, table, prefix, None)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Pairs in `[from, to)` (`to = None` means unbounded), in key order.
+    /// Keys and values are zero-copy handles onto the stored buffers.
     pub fn scan_range(
         &self,
         table: TableId,
         from: &[u8],
         to: Option<&[u8]>,
-    ) -> Vec<(Vec<u8>, Bytes)> {
+    ) -> Vec<(Bytes, Bytes)> {
         self.counters.scans.fetch_add(1, Ordering::Relaxed);
-        let guards = self.lock_all();
-        let upper = match to {
-            Some(end) => Bound::Excluded(end),
-            None => Bound::Unbounded,
-        };
-        let mut out = Vec::new();
-        for g in &guards {
-            let Some(t) = g.get(&table) else { continue };
-            out.extend(
-                t.range::<[u8], _>((Bound::Included(from), upper))
-                    .map(|(k, v)| (k.clone(), v.clone())),
-            );
-        }
-        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        out
+        let guards = self.lock_table_shards(table);
+        merged_range(&guards, table, from, to)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Every pair in `table`, in key order.
-    pub fn scan_all(&self, table: TableId) -> Vec<(Vec<u8>, Bytes)> {
+    pub fn scan_all(&self, table: TableId) -> Vec<(Bytes, Bytes)> {
         self.scan_range(table, &[], None)
     }
 
-    /// Number of keys in `table`.
+    /// Streams the pairs of `table` in `[from, to)` through `f` in key
+    /// order, without materializing the result set. `f` returns whether to
+    /// keep going. The table's shards stay read-locked for the duration,
+    /// so the view is batch-atomic — keep callbacks short.
+    pub fn for_each_range<F>(&self, table: TableId, from: &[u8], to: Option<&[u8]>, mut f: F)
+    where
+        F: FnMut(&Bytes, &Bytes) -> bool,
+    {
+        self.counters.scans.fetch_add(1, Ordering::Relaxed);
+        let guards = self.lock_table_shards(table);
+        for (k, v) in merged_range(&guards, table, from, to) {
+            if !f(k, v) {
+                break;
+            }
+        }
+    }
+
+    /// Number of keys in `table`. Locks only the table's shards.
     pub fn count(&self, table: TableId) -> usize {
-        let guards = self.lock_all();
+        let guards = self.lock_table_shards(table);
         guards
             .iter()
             .filter_map(|g| g.get(&table))
@@ -617,8 +1042,9 @@ impl Store {
     }
 
     /// The largest key in `table` (used to resume id counters on reopen).
-    pub fn last_key(&self, table: TableId) -> Option<Vec<u8>> {
-        let guards = self.lock_all();
+    /// Locks only the table's shards.
+    pub fn last_key(&self, table: TableId) -> Option<Bytes> {
+        let guards = self.lock_table_shards(table);
         guards
             .iter()
             .filter_map(|g| g.get(&table))
@@ -641,7 +1067,7 @@ impl Store {
         let mut h = FxHasher::default();
         for table in tables_union(&guards) {
             h.write_u16(table.0);
-            for (k, v) in merged_pairs(&guards, table) {
+            for (k, v) in merged_range(&guards, table, &[], None) {
                 h.write_usize(k.len());
                 h.write(k);
                 h.write_usize(v.len());
@@ -679,6 +1105,11 @@ impl Store {
         result
     }
 
+    /// Streams every shard's tables straight into the snapshot writer —
+    /// no intermediate clone of the memtable contents. Readers stay
+    /// unblocked (shards are only read-locked); writers are already
+    /// quiesced by the caller (manual checkpoint) or are the group leader
+    /// itself (auto-checkpoint).
     fn checkpoint_locked(&self, log: &mut LogState, last_lsn: u64) -> Result<()> {
         let dir = log.dir.clone().ok_or(StoreError::NotDurable)?;
         // Make sure every WAL frame covered by the snapshot is on disk
@@ -686,25 +1117,30 @@ impl Store {
         if let Some(w) = log.wal.as_mut() {
             w.sync()?;
         }
-        let snap = {
+        {
             let guards = self.lock_all();
-            snapshot::Snapshot {
+            let tables = tables_union(&guards);
+            let mut writer = snapshot::SnapshotWriter::create(
+                &snapshot_path(&dir),
                 last_lsn,
-                tables: tables_union(&guards)
-                    .into_iter()
-                    .map(|id| snapshot::TableDump {
-                        table: id,
-                        entries: merged_pairs(&guards, id)
-                            .into_iter()
-                            .map(|(k, v)| (k.clone(), v.to_vec()))
-                            .collect(),
-                    })
-                    .collect(),
+                tables.len() as u64,
+            )?;
+            for table in tables {
+                let entries: u64 = guards
+                    .iter()
+                    .filter_map(|g| g.get(&table))
+                    .map(|t| t.len() as u64)
+                    .sum();
+                writer.begin_table(table, entries)?;
+                for (k, v) in merged_range(&guards, table, &[], None) {
+                    writer.entry(k, v)?;
+                }
             }
-        };
-        snapshot::write(&snapshot_path(&dir), &snap)?;
+            writer.finish()?;
+        }
         log.wal = Some(wal::Wal::create(&wal_path(&dir))?);
         log.commits_since_checkpoint = 0;
+        log.commits_since_sync = 0;
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -715,6 +1151,7 @@ impl Store {
         if let Some(w) = log.wal.as_mut() {
             w.sync()?;
         }
+        log.commits_since_sync = 0;
         Ok(())
     }
 
@@ -739,6 +1176,8 @@ impl Store {
             ops_applied: self.counters.ops_applied.load(Ordering::Relaxed),
             checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
             group_commits: self.counters.group_commits.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             tables,
             keys,
             shards: self.shards.len(),
@@ -758,18 +1197,20 @@ impl Store {
     }
 }
 
-fn apply_ops(tables: &mut Memtable, ops: &[Op]) {
+/// Recovery-time apply onto the single pre-shard memtable (no cache, no
+/// presence — [`Store::assemble`] derives both from the final contents).
+fn apply_ops(tables: &mut Memtable, ops: Vec<Op>) {
     for op in ops {
         match op {
             Op::Put { table, key, value } => {
                 tables
-                    .entry(*table)
+                    .entry(table)
                     .or_default()
-                    .insert(key.clone(), Bytes::from(value.clone()));
+                    .insert(Bytes::from(key), Bytes::from(value));
             }
             Op::Delete { table, key } => {
-                if let Some(t) = tables.get_mut(table) {
-                    t.remove(key);
+                if let Some(t) = tables.get_mut(&table) {
+                    t.remove(key.as_slice());
                 }
             }
         }
@@ -780,6 +1221,7 @@ fn apply_ops(tables: &mut Memtable, ops: &[Op]) {
 mod tests {
     use super::*;
     use crate::testutil::TestDir;
+    use std::sync::Arc;
 
     const T1: TableId = TableId(1);
     const T2: TableId = TableId(2);
@@ -821,6 +1263,27 @@ mod tests {
         s.put(T1, b"ac0".to_vec(), vec![]).unwrap();
         let hits = s.scan_prefix(T1, b"ab");
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn streaming_scan_matches_collected_scan_and_stops_early() {
+        let s = Store::in_memory_sharded(4);
+        for i in 0..50u8 {
+            s.put(T1, vec![i], vec![i]).unwrap();
+        }
+        let mut streamed = Vec::new();
+        s.for_each_range(T1, &[], None, |k, v| {
+            streamed.push((k.clone(), v.clone()));
+            true
+        });
+        assert_eq!(streamed, s.scan_all(T1));
+
+        let mut first_three = Vec::new();
+        s.for_each_range(T1, &[], None, |k, _| {
+            first_three.push(k[0]);
+            first_three.len() < 3
+        });
+        assert_eq!(first_three, vec![0, 1, 2]);
     }
 
     #[test]
@@ -939,7 +1402,6 @@ mod tests {
 
     #[test]
     fn concurrent_readers_with_writer() {
-        use std::sync::Arc;
         let s = Arc::new(Store::in_memory());
         let writer = {
             let s = Arc::clone(&s);
@@ -1018,8 +1480,84 @@ mod tests {
             assert_eq!(all.len(), 200);
             assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan stays sorted");
             assert_eq!(s.count(T1), 200);
-            assert_eq!(s.last_key(T1).unwrap(), 199u32.to_be_bytes().to_vec());
+            assert_eq!(
+                s.last_key(T1).unwrap().as_ref(),
+                199u32.to_be_bytes().as_slice()
+            );
         }
+    }
+
+    #[test]
+    fn count_and_last_key_lock_only_presence_shards() {
+        // Regression for the lock_all → presence-mask change: single-table
+        // queries must stay correct for sparse tables (one shard), dense
+        // tables (all shards), unknown tables (no shards), and across
+        // deletes that empty a shard (presence is conservative).
+        for shards in [1usize, 2, 8, 16] {
+            let s = Store::in_memory_sharded(shards);
+            assert_eq!(s.count(T1), 0);
+            assert!(s.last_key(T1).is_none());
+
+            // One key: exactly one shard can hold T1.
+            s.put(T1, b"solo".to_vec(), vec![1]).unwrap();
+            assert_eq!(s.count(T1), 1);
+            assert_eq!(s.last_key(T1).unwrap().as_ref(), b"solo");
+
+            // Dense: every shard ends up holding some T1 key.
+            for i in 0..200u32 {
+                s.put(T1, i.to_be_bytes().to_vec(), vec![0]).unwrap();
+                s.put(T2, i.to_be_bytes().to_vec(), vec![0]).unwrap();
+            }
+            assert_eq!(s.count(T1), 201);
+            assert_eq!(s.count(T2), 200);
+            assert_eq!(s.last_key(T1).unwrap().as_ref(), b"solo");
+            assert_eq!(
+                s.last_key(T2).unwrap().as_ref(),
+                199u32.to_be_bytes().as_slice()
+            );
+
+            // Deletes keep answers correct even though presence never
+            // shrinks.
+            for i in 0..200u32 {
+                s.delete(T1, i.to_be_bytes().to_vec()).unwrap();
+            }
+            assert_eq!(s.count(T1), 1);
+            assert_eq!(s.last_key(T1).unwrap().as_ref(), b"solo");
+            s.delete(T1, b"solo".to_vec()).unwrap();
+            assert_eq!(s.count(T1), 0);
+            assert!(s.last_key(T1).is_none());
+            assert_eq!(s.count(T2), 200, "T2 untouched by T1 deletes");
+        }
+    }
+
+    #[test]
+    fn presence_survives_recovery_and_reshard() {
+        let dir = TestDir::new("db-presence");
+        {
+            let s = Store::open(
+                dir.path(),
+                StoreOptions {
+                    shards: 4,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            for i in 0..50u8 {
+                s.put(T1, vec![i], vec![i]).unwrap();
+            }
+            s.sync().unwrap();
+        }
+        let s = Store::open(
+            dir.path(),
+            StoreOptions {
+                shards: 8,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.count(T1), 50);
+        assert_eq!(s.last_key(T1).unwrap().as_ref(), &[49u8]);
+        assert_eq!(s.scan_all(T1).len(), 50);
     }
 
     #[test]
@@ -1076,7 +1614,6 @@ mod tests {
 
     #[test]
     fn group_commit_absorbs_concurrent_writers() {
-        use std::sync::Arc;
         let dir = TestDir::new("db-group");
         let s = Arc::new(
             Store::open(
@@ -1121,10 +1658,9 @@ mod tests {
 
     #[test]
     fn scans_never_observe_half_a_batch() {
-        use std::sync::Arc;
         // Each batch writes a *pair* of keys to the same table; a scan
-        // (which locks every shard at once) must always see an even count,
-        // or it observed half a batch.
+        // (which locks every presence shard at once) must always see an
+        // even count, or it observed half a batch.
         let s = Arc::new(Store::in_memory_sharded(4));
         let writer = {
             let s = Arc::clone(&s);
@@ -1151,6 +1687,135 @@ mod tests {
         writer.join().unwrap();
         for r in readers {
             r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn every_sync_policy_commits_and_recovers() {
+        for (name, policy) in [
+            ("always", SyncPolicy::Always),
+            ("every0", SyncPolicy::EveryN(0)),
+            ("every3", SyncPolicy::EveryN(3)),
+            ("batched", SyncPolicy::Batched),
+        ] {
+            let dir = TestDir::new(&format!("db-sync-{name}"));
+            {
+                let s = Store::open(
+                    dir.path(),
+                    StoreOptions {
+                        durability: Durability::Sync,
+                        sync_policy: policy,
+                        ..StoreOptions::default()
+                    },
+                )
+                .unwrap();
+                for i in 0..10u8 {
+                    s.put(T1, vec![i], vec![i]).unwrap();
+                }
+            }
+            let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+            assert_eq!(s.count(T1), 10, "policy {name} lost commits");
+            assert_eq!(s.stats().recovered_entries, 10);
+        }
+    }
+
+    #[test]
+    fn batched_policy_syncs_when_the_queue_drains() {
+        // Single-writer: every group sees an empty queue, so Batched must
+        // fsync like Always — i.e. the data survives a reopen without an
+        // explicit sync() and without relying on Drop-order luck.
+        let dir = TestDir::new("db-batched-drain");
+        let s = Store::open(
+            dir.path(),
+            StoreOptions {
+                durability: Durability::Sync,
+                sync_policy: SyncPolicy::Batched,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        s.put(T1, b"k".to_vec(), b"v".to_vec()).unwrap();
+        // No sync() here on purpose.
+        drop(s);
+        let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert!(s.contains(T1, b"k"));
+    }
+
+    #[test]
+    fn cache_write_through_and_invalidation() {
+        if std::env::var_os("ITAG_NO_CACHE").is_some() {
+            // The CI matrix re-runs the whole suite with the cache force-
+            // disabled; this test *is about* cache behaviour, so it only
+            // runs when the cache can be on. `cache_can_be_disabled_by_
+            // option` covers the disabled contract.
+            return;
+        }
+        let s = Store::in_memory();
+        assert!(s.entity_cache_enabled());
+
+        // Read-through: first lookup misses, install, second hits.
+        s.put(T1, b"k".to_vec(), b"v1".to_vec()).unwrap();
+        let bytes = s.get(T1, b"k").unwrap().unwrap();
+        assert!(s.cache_lookup(T1, b"k", &bytes).is_none());
+        s.cache_store(T1, b"k", bytes.clone(), Arc::new(41u32));
+        let hit = s.cache_lookup(T1, b"k", &bytes).unwrap();
+        assert_eq!(*hit.downcast::<u32>().unwrap(), 41);
+
+        // An unhinted overwrite invalidates.
+        s.put(T1, b"k".to_vec(), b"v2".to_vec()).unwrap();
+        let bytes2 = s.get(T1, b"k").unwrap().unwrap();
+        assert!(s.cache_lookup(T1, b"k", &bytes2).is_none());
+
+        // A write-through put is immediately visible as a hit.
+        let mut b = WriteBatch::new();
+        b.put_cached(T1, b"k".to_vec(), b"v3".to_vec(), Arc::new(43u32));
+        s.commit(b).unwrap();
+        let bytes3 = s.get(T1, b"k").unwrap().unwrap();
+        let hit = s.cache_lookup(T1, b"k", &bytes3).unwrap();
+        assert_eq!(*hit.downcast::<u32>().unwrap(), 43);
+
+        // Deletes invalidate too.
+        s.delete(T1, b"k".to_vec()).unwrap();
+        assert!(s.get(T1, b"k").unwrap().is_none());
+
+        let stats = s.stats();
+        assert!(stats.cache_hits >= 2);
+        assert!(stats.cache_misses >= 2);
+    }
+
+    #[test]
+    fn cache_can_be_disabled_by_option() {
+        let s = Store::in_memory_with(StoreOptions {
+            entity_cache: false,
+            ..StoreOptions::default()
+        });
+        assert!(!s.entity_cache_enabled());
+        s.put(T1, b"k".to_vec(), b"v".to_vec()).unwrap();
+        let bytes = s.get(T1, b"k").unwrap().unwrap();
+        s.cache_store(T1, b"k", bytes.clone(), Arc::new(1u8));
+        assert!(s.cache_lookup(T1, b"k", &bytes).is_none());
+        let stats = s.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn cache_eviction_keeps_answers_correct() {
+        let s = Store::in_memory_with(StoreOptions {
+            entity_cache_capacity: 4,
+            ..StoreOptions::default()
+        });
+        for i in 0..64u32 {
+            let mut b = WriteBatch::new();
+            b.put_cached(T1, i.to_be_bytes().to_vec(), vec![i as u8], Arc::new(i));
+            s.commit(b).unwrap();
+        }
+        for i in 0..64u32 {
+            let key = i.to_be_bytes();
+            let bytes = s.get(T1, &key).unwrap().unwrap();
+            assert_eq!(bytes.as_ref(), &[i as u8]);
+            if let Some(hit) = s.cache_lookup(T1, &key, &bytes) {
+                assert_eq!(*hit.downcast::<u32>().unwrap(), i);
+            }
         }
     }
 }

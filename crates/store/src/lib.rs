@@ -42,10 +42,10 @@ pub mod testutil;
 pub mod txn;
 pub mod wal;
 
-pub use db::{Durability, Store, StoreOptions, StoreStats, DEFAULT_SHARDS};
+pub use db::{Durability, Store, StoreOptions, StoreStats, SyncPolicy, DEFAULT_SHARDS};
 pub use error::{Result, StoreError};
 pub use table::{Entity, KeyCodec, TypedTable};
-pub use txn::WriteBatch;
+pub use txn::{CachedEntity, WriteBatch};
 
 /// Identifier of a logical table inside a [`Store`].
 ///

@@ -108,7 +108,12 @@ impl<A: FixedWidthKey, B: FixedWidthKey> FixedWidthKey for (A, B) {
 }
 
 /// A record type stored in its own table.
-pub trait Entity: Serialize + DeserializeOwned {
+///
+/// The `Clone + Send + Sync + 'static` bounds let decoded records live in
+/// the store's shared entity cache as `Arc<E>` (see
+/// [`crate::db::Store::cache_lookup`]); every record type is plain data,
+/// so the bounds cost nothing.
+pub trait Entity: Serialize + DeserializeOwned + Clone + Send + Sync + 'static {
     /// The table this entity lives in (statically assigned per subsystem).
     const TABLE: TableId;
     /// Human-readable name for diagnostics.
@@ -179,17 +184,98 @@ impl<E: Entity> TypedTable<E> {
         Ok(())
     }
 
+    /// Like [`TypedTable::stage_upsert`], but also hands the store a clone
+    /// of the decoded entity so the commit writes it through into the
+    /// entity cache — the next `get` of this key costs no decode. Use on
+    /// records the hot path re-reads (resource rows, project rows); skip
+    /// for write-once records (posts), where caching is pure overhead.
+    pub fn stage_upsert_cached(&self, batch: &mut WriteBatch, entity: &E) -> Result<()> {
+        if !self.store.entity_cache_enabled() {
+            return self.stage_upsert(batch, entity);
+        }
+        batch.put_cached(
+            E::TABLE,
+            entity.primary_key().encoded(),
+            serbin::to_bytes(entity)?,
+            Arc::new(entity.clone()),
+        );
+        Ok(())
+    }
+
+    /// [`TypedTable::stage_upsert_cached`] taking ownership: the entity
+    /// moves into the cache hint, so hot paths that already own the final
+    /// record pay one encode and zero clones.
+    pub fn stage_upsert_owned(&self, batch: &mut WriteBatch, entity: E) -> Result<()> {
+        if !self.store.entity_cache_enabled() {
+            return self.stage_upsert(batch, &entity);
+        }
+        batch.put_cached(
+            E::TABLE,
+            entity.primary_key().encoded(),
+            serbin::to_bytes(&entity)?,
+            Arc::new(entity),
+        );
+        Ok(())
+    }
+
     /// Stages a delete into an existing batch.
     pub fn stage_delete(&self, batch: &mut WriteBatch, key: &E::Key) {
         batch.delete(E::TABLE, key.encoded());
     }
 
-    /// Point lookup.
+    /// Point lookup through the entity cache: a hit costs one clone of the
+    /// cached record instead of a decode. With the cache disabled this is
+    /// a plain decode — no `Arc`, no clone.
     pub fn get(&self, key: &E::Key) -> Result<Option<E>> {
-        match self.store.get(E::TABLE, &key.encoded())? {
-            Some(bytes) => Ok(Some(serbin::from_bytes(&bytes)?)),
-            None => Ok(None),
+        if !self.store.entity_cache_enabled() {
+            return match self.store.get(E::TABLE, &key.encoded())? {
+                Some(bytes) => Ok(Some(serbin::from_bytes(&bytes)?)),
+                None => Ok(None),
+            };
         }
+        Ok(self.get_arc(key)?.map(|arc| (*arc).clone()))
+    }
+
+    /// Point lookup returning the shared cached record itself — the
+    /// zero-copy variant of [`TypedTable::get`] for read-only call sites.
+    pub fn get_arc(&self, key: &E::Key) -> Result<Option<Arc<E>>> {
+        let enc = key.encoded();
+        let Some(bytes) = self.store.get(E::TABLE, &enc)? else {
+            return Ok(None);
+        };
+        if !self.store.entity_cache_enabled() {
+            return Ok(Some(Arc::new(serbin::from_bytes(&bytes)?)));
+        }
+        if let Some(hit) = self.store.cache_lookup(E::TABLE, &enc, &bytes) {
+            // A downcast failure would mean two entity types share a table
+            // id; treat it as a miss rather than trusting the alias.
+            if let Ok(arc) = hit.downcast::<E>() {
+                return Ok(Some(arc));
+            }
+        }
+        let decoded: Arc<E> = Arc::new(serbin::from_bytes(&bytes)?);
+        self.store
+            .cache_store(E::TABLE, &enc, bytes, decoded.clone());
+        Ok(Some(decoded))
+    }
+
+    /// Read-modify-write: fetches `key`, applies `f`, and commits the new
+    /// record (write-through) as one staged batch. The whole cycle runs
+    /// under the store's RMW lock ([`crate::db::Store::rmw_guard`]), so
+    /// concurrent `update` calls — on any table of this store — cannot
+    /// lose each other's changes. Writers that commit the same key
+    /// directly (outside `update`) are not excluded. Returns the updated
+    /// record, or `None` if the key is absent.
+    pub fn update<F: FnOnce(&mut E)>(&self, key: &E::Key, f: F) -> Result<Option<E>> {
+        let _rmw = self.store.rmw_guard();
+        let Some(mut entity) = self.get(key)? else {
+            return Ok(None);
+        };
+        f(&mut entity);
+        let mut batch = WriteBatch::with_capacity(1);
+        self.stage_upsert_cached(&mut batch, &entity)?;
+        self.store.commit(batch)?;
+        Ok(Some(entity))
     }
 
     /// Point lookup that treats absence as an error.
@@ -229,6 +315,46 @@ impl<E: Entity> TypedTable<E> {
             .collect()
     }
 
+    /// Streams every entity through `f` in key order without materializing
+    /// the table. `f` returns whether to keep going. The table's shards
+    /// stay read-locked while streaming — decode-and-filter loops belong
+    /// here; long computations should collect first.
+    pub fn for_each<F: FnMut(E) -> bool>(&self, f: F) -> Result<()> {
+        self.for_each_range_raw(&[], None, f)
+    }
+
+    /// [`TypedTable::for_each`] over keys in `[from, to)`.
+    pub fn for_each_range<F: FnMut(E) -> bool>(
+        &self,
+        from: &E::Key,
+        to: Option<&E::Key>,
+        f: F,
+    ) -> Result<()> {
+        let to_enc = to.map(|k| k.encoded());
+        self.for_each_range_raw(&from.encoded(), to_enc.as_deref(), f)
+    }
+
+    fn for_each_range_raw<F: FnMut(E) -> bool>(
+        &self,
+        from: &[u8],
+        to: Option<&[u8]>,
+        mut f: F,
+    ) -> Result<()> {
+        let mut decode_err = None;
+        self.store
+            .for_each_range(E::TABLE, from, to, |_, v| match serbin::from_bytes(v) {
+                Ok(entity) => f(entity),
+                Err(e) => {
+                    decode_err = Some(e);
+                    false
+                }
+            });
+        match decode_err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
     /// Number of stored entities.
     pub fn count(&self) -> usize {
         self.store.count(E::TABLE)
@@ -253,16 +379,41 @@ impl<E: Entity, K: KeyCodec + FixedWidthKey> IndexDef<E, K> {
     pub fn stage_update(&self, batch: &mut WriteBatch, old: Option<&E>, new: Option<&E>) {
         if let Some(o) = old {
             let pk = o.primary_key().encoded();
-            let mut row = (self.extract)(o).encoded();
-            row.extend_from_slice(&pk);
-            batch.delete(self.table, row);
+            batch.delete(self.table, Self::row_key(&(self.extract)(o), &pk));
         }
         if let Some(n) = new {
             let pk = n.primary_key().encoded();
-            let mut row = (self.extract)(n).encoded();
-            row.extend_from_slice(&pk);
+            let row = Self::row_key(&(self.extract)(n), &pk);
             batch.put(self.table, row, pk);
         }
+    }
+
+    /// Stages the index row for a brand-new entity directly from its
+    /// indexed value and encoded primary key — the insert half of
+    /// [`IndexDef::stage_update`] without needing a built `E` (lets hot
+    /// paths stage records from borrowed parts). Byte-compatible with
+    /// `stage_update(None, Some(e))` by construction.
+    pub fn stage_insert(&self, batch: &mut WriteBatch, key: &K, primary_key_encoded: &[u8]) {
+        batch.put(
+            self.table,
+            Self::row_key(key, primary_key_encoded),
+            primary_key_encoded.to_vec(),
+        );
+    }
+
+    /// The delete half of [`IndexDef::stage_update`] from the indexed value
+    /// and encoded primary key alone.
+    pub fn stage_remove(&self, batch: &mut WriteBatch, key: &K, primary_key_encoded: &[u8]) {
+        batch.delete(self.table, Self::row_key(key, primary_key_encoded));
+    }
+
+    /// `secondary ‖ primary` row key, allocated at exact size (the
+    /// secondary width is statically known).
+    fn row_key(key: &K, primary_key_encoded: &[u8]) -> Vec<u8> {
+        let mut row = Vec::with_capacity(K::WIDTH + primary_key_encoded.len());
+        key.encode_into(&mut row);
+        row.extend_from_slice(primary_key_encoded);
+        row
     }
 
     /// Primary keys of entities whose indexed value equals `key`.

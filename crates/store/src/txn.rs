@@ -9,6 +9,12 @@
 
 use crate::TableId;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::sync::Arc;
+
+/// A type-erased decoded entity, as stored in the entity cache and carried
+/// by write-through hints (see [`WriteBatch::put_cached`]).
+pub type CachedEntity = Arc<dyn Any + Send + Sync>;
 
 /// A single mutation inside a batch.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,9 +37,25 @@ pub(crate) struct WalEntry {
 }
 
 /// An ordered set of mutations committed atomically.
-#[derive(Debug, Default, Clone)]
+///
+/// Hints are a side channel next to the ops: `(op index, decoded entity)`
+/// pairs that let the store install the already-decoded record into its
+/// entity cache when the batch is applied. They are never serialized (the
+/// WAL carries only the ops; the cache is rebuilt on demand after
+/// recovery) and have no effect on the committed bytes.
+#[derive(Default, Clone)]
 pub struct WriteBatch {
     pub(crate) ops: Vec<Op>,
+    pub(crate) hints: Vec<(u32, CachedEntity)>,
+}
+
+impl std::fmt::Debug for WriteBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteBatch")
+            .field("ops", &self.ops)
+            .field("hints", &self.hints.len())
+            .finish()
+    }
 }
 
 impl WriteBatch {
@@ -46,6 +68,7 @@ impl WriteBatch {
     pub fn with_capacity(n: usize) -> Self {
         WriteBatch {
             ops: Vec::with_capacity(n),
+            hints: Vec::new(),
         }
     }
 
@@ -53,6 +76,21 @@ impl WriteBatch {
     pub fn put(&mut self, table: TableId, key: Vec<u8>, value: Vec<u8>) -> &mut Self {
         self.ops.push(Op::Put { table, key, value });
         self
+    }
+
+    /// Stages an insert/overwrite together with its decoded form, which the
+    /// store writes through into its entity cache when the batch commits.
+    /// `decoded` must be the value `value` deserializes to — the typed
+    /// layer upholds this; raw callers are on their own.
+    pub fn put_cached(
+        &mut self,
+        table: TableId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        decoded: CachedEntity,
+    ) -> &mut Self {
+        self.hints.push((self.ops.len() as u32, decoded));
+        self.put(table, key, value)
     }
 
     /// Stages a delete.
@@ -74,6 +112,7 @@ impl WriteBatch {
     /// Drops all staged operations, keeping the allocation.
     pub fn clear(&mut self) {
         self.ops.clear();
+        self.hints.clear();
     }
 }
 

@@ -1,0 +1,138 @@
+//! Entity-cache equivalence: the decoded-record cache must be invisible —
+//! every read, every digest, every recovered state is bit-identical with
+//! the cache on, off, or pathologically small. Random typed operation
+//! sequences (cached upserts, plain upserts, read-modify-writes, deletes,
+//! point reads) drive three stores that differ only in cache
+//! configuration; any divergence is a cache coherence bug.
+
+use itag_store::table::Entity;
+use itag_store::{Store, StoreOptions, TableId, TypedTable, WriteBatch};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Item {
+    id: u32,
+    label: String,
+    score: u64,
+}
+
+impl Entity for Item {
+    const TABLE: TableId = TableId(21);
+    const NAME: &'static str = "item";
+    type Key = u32;
+
+    fn primary_key(&self) -> u32 {
+        self.id
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TypedOp {
+    /// Upsert through the write-through (cached) staging path.
+    UpsertCached {
+        id: u32,
+        score: u64,
+    },
+    /// Upsert through the plain staging path (cache must invalidate).
+    UpsertPlain {
+        id: u32,
+        score: u64,
+    },
+    /// Read-modify-write via `TypedTable::update`.
+    Bump {
+        id: u32,
+    },
+    Delete {
+        id: u32,
+    },
+    /// Point read; the *value* must agree across stores.
+    Get {
+        id: u32,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = TypedOp> {
+    prop_oneof![
+        3 => (0u32..24, any::<u64>()).prop_map(|(id, score)| TypedOp::UpsertCached { id, score }),
+        3 => (0u32..24, any::<u64>()).prop_map(|(id, score)| TypedOp::UpsertPlain { id, score }),
+        2 => (0u32..24).prop_map(|id| TypedOp::Bump { id }),
+        1 => (0u32..24).prop_map(|id| TypedOp::Delete { id }),
+        3 => (0u32..24).prop_map(|id| TypedOp::Get { id }),
+    ]
+}
+
+fn item(id: u32, score: u64) -> Item {
+    Item {
+        id,
+        label: format!("item-{id}"),
+        score,
+    }
+}
+
+fn apply(table: &TypedTable<Item>, op: &TypedOp) -> Option<Option<Item>> {
+    let store = table.store();
+    match op {
+        TypedOp::UpsertCached { id, score } => {
+            let mut b = WriteBatch::new();
+            table
+                .stage_upsert_cached(&mut b, &item(*id, *score))
+                .unwrap();
+            store.commit(b).unwrap();
+            None
+        }
+        TypedOp::UpsertPlain { id, score } => {
+            let mut b = WriteBatch::new();
+            table.stage_upsert(&mut b, &item(*id, *score)).unwrap();
+            store.commit(b).unwrap();
+            None
+        }
+        TypedOp::Bump { id } => {
+            table
+                .update(id, |it| it.score = it.score.wrapping_add(1))
+                .unwrap();
+            None
+        }
+        TypedOp::Delete { id } => {
+            table.delete(id).unwrap();
+            None
+        }
+        TypedOp::Get { id } => Some(table.get(id).unwrap()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_on_off_and_tiny_are_bit_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let configs = [
+            StoreOptions { entity_cache: true, ..StoreOptions::default() },
+            StoreOptions { entity_cache: false, ..StoreOptions::default() },
+            // A 2-entry cache evicts constantly — hammers the refill path.
+            StoreOptions { entity_cache: true, entity_cache_capacity: 2, ..StoreOptions::default() },
+        ];
+        let tables: Vec<TypedTable<Item>> = configs
+            .into_iter()
+            .map(|o| TypedTable::new(Arc::new(Store::in_memory_with(o))))
+            .collect();
+
+        for op in &ops {
+            let reads: Vec<Option<Option<Item>>> =
+                tables.iter().map(|t| apply(t, op)).collect();
+            prop_assert_eq!(&reads[0], &reads[1], "cached vs uncached read diverged: {:?}", op);
+            prop_assert_eq!(&reads[0], &reads[2], "cached vs tiny-cache read diverged: {:?}", op);
+        }
+
+        let d0 = tables[0].store().content_checksum();
+        prop_assert_eq!(d0, tables[1].store().content_checksum(), "stored bytes diverged (off)");
+        prop_assert_eq!(d0, tables[2].store().content_checksum(), "stored bytes diverged (tiny)");
+
+        // The cache-off store must never touch the cache counters.
+        let off_stats = tables[1].store().stats();
+        prop_assert_eq!((off_stats.cache_hits, off_stats.cache_misses), (0, 0));
+    }
+}

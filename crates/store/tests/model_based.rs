@@ -96,7 +96,7 @@ fn assert_equivalent(store: &Store, model: &Model) {
         let actual: Vec<(Vec<u8>, Vec<u8>)> = store
             .scan_all(TableId(table as u16))
             .into_iter()
-            .map(|(k, v)| (k, v.to_vec()))
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
             .collect();
         assert_eq!(actual, expected, "table {table} diverged");
         assert_eq!(store.count(TableId(table as u16)), expected.len());
@@ -155,7 +155,7 @@ proptest! {
                 let actual: Vec<(Vec<u8>, Vec<u8>)> = store
                     .scan_range(TableId(table as u16), &[40], Some(&[200]))
                     .into_iter()
-                    .map(|(k, v)| (k, v.to_vec()))
+                    .map(|(k, v)| (k.to_vec(), v.to_vec()))
                     .collect();
                 prop_assert_eq!(actual, expected, "range scan diverged on table {}", table);
             }

@@ -6,12 +6,22 @@
 //! exactly the committed prefix (all batches but the torn one), and the
 //! next append must heal the tail so a further reopen sees it.
 
-use itag_store::db::{Durability, Store, StoreOptions};
+use itag_store::db::{Durability, Store, StoreOptions, SyncPolicy};
 use itag_store::testutil::TestDir;
 use itag_store::wal::WAL_MAGIC;
 use itag_store::{TableId, WriteBatch};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+/// Every fsync cadence under test. Recovery semantics (prefix property,
+/// torn-tail truncation, healing) must be identical across all of them —
+/// the policies only change *when* fsync happens, never what a reopened
+/// store contains after a clean shutdown.
+const POLICIES: [SyncPolicy; 3] = [
+    SyncPolicy::Always,
+    SyncPolicy::EveryN(2),
+    SyncPolicy::Batched,
+];
 
 /// One random mutation: `(table, key, Some(value) | None)`.
 type ModelOp = (u8, u8, Option<Vec<u8>>);
@@ -61,7 +71,7 @@ fn assert_matches_model(store: &Store, model: &Model, context: &str) {
         let actual: Vec<(Vec<u8>, Vec<u8>)> = store
             .scan_all(TableId(table as u16))
             .into_iter()
-            .map(|(k, v)| (k, v.to_vec()))
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
             .collect();
         assert_eq!(actual, expected, "{context}: table {table} diverged");
     }
@@ -90,62 +100,97 @@ proptest! {
     fn torn_tail_recovers_exactly_the_prefix_and_heals(
         batches in proptest::collection::vec(batch_strategy(), 2..7)
     ) {
-        let dir = TestDir::new("wal-crash-prop");
-        let opts = StoreOptions {
-            durability: Durability::Sync,
-            ..StoreOptions::default()
-        };
+        for (pi, policy) in POLICIES.into_iter().enumerate() {
+            let dir = TestDir::new(&format!("wal-crash-prop-{pi}"));
+            let opts = StoreOptions {
+                durability: Durability::Sync,
+                sync_policy: policy,
+                ..StoreOptions::default()
+            };
 
-        // Commit every batch; one WAL frame each (writers are sequential).
-        let mut prefix_model = Model::new();
-        {
-            let store = Store::open(dir.path(), opts.clone()).unwrap();
-            for batch in &batches {
-                store.commit(to_write_batch(batch)).unwrap();
+            // Commit every batch; one WAL frame each (writers are
+            // sequential). The store is dropped cleanly, so every frame is
+            // in the file regardless of the fsync cadence.
+            let mut prefix_model = Model::new();
+            {
+                let store = Store::open(dir.path(), opts.clone()).unwrap();
+                for batch in &batches {
+                    store.commit(to_write_batch(batch)).unwrap();
+                }
             }
+            for batch in &batches[..batches.len() - 1] {
+                apply_model(&mut prefix_model, batch);
+            }
+            let mut full_model = prefix_model.clone();
+            apply_model(&mut full_model, batches.last().unwrap());
+
+            let wal_path = dir.path().join("db.wal");
+            let full = std::fs::read(&wal_path).unwrap();
+            let tail_start = last_frame_start(&full);
+            prop_assert!(tail_start < full.len(), "log must hold at least one frame");
+
+            for cut in tail_start..full.len() {
+                // Tear the file mid-frame and reopen: the torn batch
+                // vanishes, everything before it survives.
+                std::fs::write(&wal_path, &full[..cut]).unwrap();
+                let store = Store::open(dir.path(), opts.clone()).unwrap();
+                prop_assert!(
+                    store.stats().recovered_torn_tail || cut == tail_start,
+                    "{policy:?} cut={cut}: a mid-frame cut must be reported as torn"
+                );
+                assert_matches_model(&store, &prefix_model, &format!("{policy:?} cut={cut}"));
+
+                // The next append heals the tail: reopen again and the
+                // healed write is there on top of the recovered prefix.
+                store.put(TableId(7), vec![cut as u8], vec![1, 2, 3]).unwrap();
+                store.sync().unwrap();
+                drop(store);
+                let healed = Store::open(dir.path(), opts.clone()).unwrap();
+                assert_matches_model(&healed, &prefix_model, &format!("{policy:?} healed cut={cut}"));
+                prop_assert_eq!(
+                    healed.get(TableId(7), &[cut as u8]).unwrap().map(|b| b.to_vec()),
+                    Some(vec![1, 2, 3]),
+                    "{:?} cut={}: healing append must survive reopen", policy, cut
+                );
+                prop_assert!(
+                    !healed.stats().recovered_torn_tail,
+                    "{:?} cut={}: the healed log has no torn tail", policy, cut
+                );
+            }
+
+            // Sanity: the untouched log recovers every batch.
+            std::fs::write(&wal_path, &full).unwrap();
+            let store = Store::open(dir.path(), opts).unwrap();
+            assert_matches_model(&store, &full_model, &format!("{policy:?} full log"));
         }
-        for batch in &batches[..batches.len() - 1] {
-            apply_model(&mut prefix_model, batch);
+    }
+
+    #[test]
+    fn clean_shutdown_state_is_identical_across_sync_policies(
+        batches in proptest::collection::vec(batch_strategy(), 1..10)
+    ) {
+        // Same batch sequence, one store per fsync policy, clean shutdown:
+        // every reopened store must hold bit-identical contents (the
+        // policies trade durability-under-power-loss for fsync count, not
+        // committed state).
+        let mut digests = Vec::new();
+        for (pi, policy) in POLICIES.into_iter().enumerate() {
+            let dir = TestDir::new(&format!("wal-sync-equiv-{pi}"));
+            let opts = StoreOptions {
+                durability: Durability::Sync,
+                sync_policy: policy,
+                ..StoreOptions::default()
+            };
+            {
+                let store = Store::open(dir.path(), opts.clone()).unwrap();
+                for batch in &batches {
+                    store.commit(to_write_batch(batch)).unwrap();
+                }
+            }
+            let reopened = Store::open(dir.path(), opts).unwrap();
+            digests.push(reopened.content_checksum());
         }
-        let mut full_model = prefix_model.clone();
-        apply_model(&mut full_model, batches.last().unwrap());
-
-        let wal_path = dir.path().join("db.wal");
-        let full = std::fs::read(&wal_path).unwrap();
-        let tail_start = last_frame_start(&full);
-        prop_assert!(tail_start < full.len(), "log must hold at least one frame");
-
-        for cut in tail_start..full.len() {
-            // Tear the file mid-frame and reopen: the torn batch vanishes,
-            // everything before it survives.
-            std::fs::write(&wal_path, &full[..cut]).unwrap();
-            let store = Store::open(dir.path(), opts.clone()).unwrap();
-            prop_assert!(
-                store.stats().recovered_torn_tail || cut == tail_start,
-                "cut={cut}: a mid-frame cut must be reported as torn"
-            );
-            assert_matches_model(&store, &prefix_model, &format!("cut={cut}"));
-
-            // The next append heals the tail: reopen again and the healed
-            // write is there on top of the recovered prefix.
-            store.put(TableId(7), vec![cut as u8], vec![1, 2, 3]).unwrap();
-            drop(store);
-            let healed = Store::open(dir.path(), opts.clone()).unwrap();
-            assert_matches_model(&healed, &prefix_model, &format!("healed cut={cut}"));
-            prop_assert_eq!(
-                healed.get(TableId(7), &[cut as u8]).unwrap().map(|b| b.to_vec()),
-                Some(vec![1, 2, 3]),
-                "cut={}: healing append must survive reopen", cut
-            );
-            prop_assert!(
-                !healed.stats().recovered_torn_tail,
-                "cut={}: the healed log has no torn tail", cut
-            );
-        }
-
-        // Sanity: the untouched log recovers every batch.
-        std::fs::write(&wal_path, &full).unwrap();
-        let store = Store::open(dir.path(), opts).unwrap();
-        assert_matches_model(&store, &full_model, "full log");
+        prop_assert_eq!(digests[0], digests[1], "Always vs EveryN(2) diverged");
+        prop_assert_eq!(digests[0], digests[2], "Always vs Batched diverged");
     }
 }
