@@ -1,8 +1,9 @@
 //! Parallel-tick throughput: many concurrent campaigns over Zipf-popular
-//! resources, ticked through `ITagEngine::run_all_on` at 1/2/4/8 threads.
-//! Per-iteration time over a fixed task count is the ticks/sec figure; the
-//! determinism suite guarantees every thread count computes the same
-//! result, so the sweep measures pure scaling.
+//! resources, ticked through `ITagEngine::run_all_with` at 1/2/4/8 threads
+//! and round-pipeline depths 0 (barrier schedule) and 2 (staged projects
+//! drain through a dedicated merger while later projects tick). The
+//! determinism suite guarantees every (threads, depth) cell computes the
+//! same result, so the sweep measures pure scheduling.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use itag_bench::scenario::{build_multi_campaign, MultiCampaignConfig};
@@ -14,19 +15,26 @@ fn bench_multi_campaign(c: &mut Criterion) {
     let name = format!("engine/multi_campaign_{}x{}tasks", cfg.projects, cfg.budget);
     let mut group = c.benchmark_group(&name);
     group.sample_size(10);
-    for threads in [1usize, 2, 4, 8] {
-        group.bench_function(format!("threads_{threads}"), |b| {
-            b.iter_batched(
-                || build_multi_campaign(&cfg),
-                |(mut engine, _projects)| {
-                    let summaries = engine.run_all_on(cfg.budget, threads).unwrap();
-                    let issued: u32 = summaries.iter().map(|(_, s)| s.issued).sum();
-                    assert_eq!(issued, total_tasks);
-                    black_box(summaries)
+    for pipeline_depth in [0usize, 2] {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(
+                format!("threads_{threads}_pipeline_{pipeline_depth}"),
+                |b| {
+                    b.iter_batched(
+                        || build_multi_campaign(&cfg),
+                        |(mut engine, _projects)| {
+                            let summaries = engine
+                                .run_all_with(cfg.budget, threads, pipeline_depth)
+                                .unwrap();
+                            let issued: u32 = summaries.iter().map(|(_, s)| s.issued).sum();
+                            assert_eq!(issued, total_tasks);
+                            black_box(summaries)
+                        },
+                        BatchSize::PerIteration,
+                    );
                 },
-                BatchSize::PerIteration,
             );
-        });
+        }
     }
     group.finish();
 }

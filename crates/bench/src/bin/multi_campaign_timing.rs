@@ -1,16 +1,17 @@
-//! `multi_campaign_timing` — wall-clock harness behind `BENCH_pr3.json`.
+//! `multi_campaign_timing` — wall-clock harness behind `BENCH_pr*.json`.
 //!
 //! ```text
 //! cargo run --release -p itag-bench --bin multi_campaign_timing -- \
-//!     [iters] [threads] [projects] [budget]
+//!     [iters] [threads] [projects] [budget] [pipeline_depth]
 //! ```
 //!
 //! Runs the standard `MultiCampaignConfig` scenario (the same one the
 //! Criterion `multi_campaign` bench sweeps) `iters` times at a fixed
-//! thread count and prints per-iteration wall time plus tasks/sec for the
-//! best run. Criterion gives distributions; this binary gives one stable
-//! headline number cheaply, which is what the PR-over-PR BENCH_*.json
-//! records compare.
+//! thread count and round-pipeline depth (`0` = barrier schedule, `n` =
+//! pipelined with a channel of `n`; default 2) and prints per-iteration
+//! wall time plus tasks/sec for the best run. Criterion gives
+//! distributions; this binary gives one stable headline number cheaply,
+//! which is what the PR-over-PR BENCH_*.json records compare.
 
 use itag_bench::scenario::{build_multi_campaign, MultiCampaignConfig};
 use std::time::Instant;
@@ -27,9 +28,10 @@ fn main() {
     if let Some(budget) = args.next().and_then(|a| a.parse().ok()) {
         cfg.budget = budget;
     }
+    let pipeline_depth: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
     let total_tasks = cfg.projects as u32 * cfg.budget;
     println!(
-        "scenario: {} projects x {} tasks, {} resources each, threads={threads}",
+        "scenario: {} projects x {} tasks, {} resources each, threads={threads}, pipeline_depth={pipeline_depth}",
         cfg.projects, cfg.budget, cfg.resources
     );
 
@@ -37,7 +39,9 @@ fn main() {
     for i in 0..iters {
         let (mut engine, _projects) = build_multi_campaign(&cfg);
         let start = Instant::now();
-        let summaries = engine.run_all_on(cfg.budget, threads).unwrap();
+        let summaries = engine
+            .run_all_with(cfg.budget, threads, pipeline_depth)
+            .unwrap();
         let secs = start.elapsed().as_secs_f64();
         let issued: u32 = summaries.iter().map(|(_, s)| s.issued).sum();
         assert_eq!(issued, total_tasks);

@@ -41,6 +41,85 @@ fn render_trace() -> String {
     out
 }
 
+fn engine_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_engine_trace.txt")
+}
+
+/// Renders a small multi-campaign engine run — three rounds through
+/// `run_all_with` — as one line per (round, project): spend, approvals
+/// and the quality trajectory, pinned to 12 decimals.
+fn render_engine_trace(pipeline_depth: usize) -> String {
+    use itag_bench::scenario::{build_multi_campaign, MultiCampaignConfig};
+    let cfg = MultiCampaignConfig {
+        projects: 4,
+        resources: 60,
+        initial_posts: 240,
+        budget: 120,
+        workers: 12,
+        ..MultiCampaignConfig::default()
+    };
+    let (mut engine, projects) = build_multi_campaign(&cfg);
+    let mut out = String::new();
+    for round in 0..3u32 {
+        let summaries = engine.run_all_with(40, 4, pipeline_depth).unwrap();
+        for (p, s) in &summaries {
+            writeln!(
+                out,
+                "round {round} project {} issued {} approved {} rejected {} quality {:.12}",
+                p.0, s.issued, s.approved, s.rejected, s.quality
+            )
+            .unwrap();
+        }
+    }
+    let checksum = engine.store_checksum();
+    for p in &projects {
+        let m = engine.monitor(*p).unwrap();
+        writeln!(
+            out,
+            "final project {} spent {} quality {:.12} checksum {checksum}",
+            p.0, m.budget_spent, m.quality_mean,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn engine_trajectory_matches_committed_fixture_at_every_pipeline_depth() {
+    // The engine-side golden trace: the round pipeline (off, depth 1,
+    // depth 2) must render the exact same multi-round trajectory, and
+    // that trajectory is pinned as a fixture so RNG-stream or merge-order
+    // regressions surface as a line diff.
+    let base = render_engine_trace(0);
+    for depth in [1usize, 2] {
+        assert_eq!(
+            base,
+            render_engine_trace(depth),
+            "pipeline depth {depth} diverged from the barrier schedule"
+        );
+    }
+    let path = engine_fixture_path();
+    if std::env::var("ITAG_BLESS").is_ok() {
+        std::fs::write(&path, &base).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path)
+        .expect("fixture missing — run once with ITAG_BLESS=1 to create it");
+    for (i, (got, want)) in base.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "engine trajectory diverges at line {} — a merge-order or RNG \
+             regression (re-bless with ITAG_BLESS=1 only if intentional)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        base.lines().count(),
+        expected.lines().count(),
+        "engine trajectory length changed"
+    );
+}
+
 #[test]
 fn quality_trajectory_matches_committed_fixture() {
     let trace = render_trace();

@@ -58,9 +58,21 @@ pub struct EngineConfig {
     /// results are bit-identical either way (`ITAG_NO_CACHE=1` forces it
     /// off regardless, which the CI matrix uses to prove it).
     pub entity_cache: bool,
+    /// Round-pipeline depth for [`crate::engine::ITagEngine::run_all`]:
+    /// how many staged projects may queue ahead of the merger thread
+    /// before staging blocks (back-pressure). `Some(0)` disables the
+    /// pipeline (the pre-pipeline barrier schedule); `None` = auto: the
+    /// `ITAG_PIPELINE` environment variable if set (`0` = off, `n` =
+    /// depth `n`), else [`DEFAULT_PIPELINE_DEPTH`]. Results are
+    /// bit-identical at every depth — a throughput knob only.
+    pub pipeline_depth: Option<usize>,
     /// Storage backend.
     pub storage: StorageConfig,
 }
+
+/// Pipeline depth used when neither [`EngineConfig::pipeline_depth`] nor
+/// `ITAG_PIPELINE` says otherwise.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -77,8 +89,80 @@ impl Default for EngineConfig {
             enforce_reliability: true,
             threads: 0,
             entity_cache: true,
+            pipeline_depth: None,
             storage: StorageConfig::InMemory,
         }
+    }
+}
+
+/// The engine's environment overrides, parsed **strictly** at
+/// [`crate::engine::ITagEngine::new`]: a malformed value is a loud
+/// configuration error naming the variable and the offending text, never
+/// a silent fallback (`ITAG_THREADS=abc` used to quietly mean "auto").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnvOverrides {
+    /// `ITAG_THREADS`: worker threads for the parallel tick (≥ 1).
+    pub threads: Option<usize>,
+    /// `ITAG_PIPELINE`: round-pipeline depth (`0` = pipeline off).
+    pub pipeline_depth: Option<usize>,
+    /// `ITAG_NO_CACHE`: force the decoded-entity cache off.
+    pub no_cache: Option<bool>,
+}
+
+impl EnvOverrides {
+    /// Reads and validates the overrides from the process environment.
+    pub fn from_env() -> std::result::Result<EnvOverrides, String> {
+        let var = |name: &str| std::env::var(name).ok();
+        Ok(EnvOverrides {
+            threads: parse_threads(var("ITAG_THREADS").as_deref())?,
+            pipeline_depth: parse_pipeline(var("ITAG_PIPELINE").as_deref())?,
+            no_cache: parse_no_cache(var("ITAG_NO_CACHE").as_deref())?,
+        })
+    }
+}
+
+/// Parses `ITAG_THREADS`: an integer ≥ 1, or unset. An empty (or
+/// whitespace-only) value means unset — `ITAG_THREADS=` is the common
+/// shell idiom for clearing a variable, not garbage.
+pub fn parse_threads(raw: Option<&str>) -> std::result::Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    if raw.trim().is_empty() {
+        return Ok(None);
+    }
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!(
+            "ITAG_THREADS={raw:?} is not a valid thread count (expected an integer >= 1)"
+        )),
+    }
+}
+
+/// Parses `ITAG_PIPELINE`: a pipeline depth (`0` = off), or unset
+/// (empty counts as unset, matching the other knobs).
+pub fn parse_pipeline(raw: Option<&str>) -> std::result::Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    if raw.trim().is_empty() {
+        return Ok(None);
+    }
+    match raw.trim().parse::<usize>() {
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "ITAG_PIPELINE={raw:?} is not a valid pipeline depth (expected an integer; 0 disables)"
+        )),
+    }
+}
+
+/// Parses `ITAG_NO_CACHE`: `1`/`true` force the cache off, `0`/`false`
+/// leave it alone, unset/empty means unset, anything else is an error.
+pub fn parse_no_cache(raw: Option<&str>) -> std::result::Result<Option<bool>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim() {
+        "" => Ok(None),
+        "1" | "true" => Ok(Some(true)),
+        "0" | "false" => Ok(Some(false)),
+        _ => Err(format!(
+            "ITAG_NO_CACHE={raw:?} is not a valid cache switch (expected 0/1/true/false)"
+        )),
     }
 }
 
@@ -117,6 +201,47 @@ mod tests {
         assert!(c.workers >= 1);
         assert!((0.0..=1.0).contains(&c.spammer_fraction));
         assert!(matches!(c.storage, StorageConfig::InMemory));
+    }
+
+    #[test]
+    fn env_parsers_accept_valid_values() {
+        assert_eq!(parse_threads(None).unwrap(), None);
+        assert_eq!(parse_threads(Some("1")).unwrap(), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")).unwrap(), Some(8));
+        assert_eq!(parse_pipeline(None).unwrap(), None);
+        assert_eq!(parse_pipeline(Some("0")).unwrap(), Some(0));
+        assert_eq!(parse_pipeline(Some("3")).unwrap(), Some(3));
+        assert_eq!(parse_no_cache(None).unwrap(), None);
+        assert_eq!(parse_no_cache(Some("1")).unwrap(), Some(true));
+        assert_eq!(parse_no_cache(Some("true")).unwrap(), Some(true));
+        assert_eq!(parse_no_cache(Some("0")).unwrap(), Some(false));
+        assert_eq!(parse_no_cache(Some("false")).unwrap(), Some(false));
+        // `VAR=` in a shell means "cleared", not garbage — empty (or
+        // whitespace) parses as unset for every knob.
+        assert_eq!(parse_threads(Some("")).unwrap(), None);
+        assert_eq!(parse_pipeline(Some(" ")).unwrap(), None);
+        assert_eq!(parse_no_cache(Some("")).unwrap(), None);
+    }
+
+    #[test]
+    fn env_parsers_reject_garbage_loudly() {
+        for bad in ["abc", "-1", "1.5", "8x"] {
+            let err = parse_threads(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("ITAG_THREADS") && err.contains(bad),
+                "error must name the variable and the offending value: {err}"
+            );
+        }
+        // 0 threads is as invalid as garbage.
+        assert!(parse_threads(Some("0")).unwrap_err().contains("\"0\""));
+        for bad in ["on", "-2", "two"] {
+            let err = parse_pipeline(Some(bad)).unwrap_err();
+            assert!(err.contains("ITAG_PIPELINE") && err.contains(bad), "{err}");
+        }
+        for bad in ["yes", "2", "disable"] {
+            let err = parse_no_cache(Some(bad)).unwrap_err();
+            assert!(err.contains("ITAG_NO_CACHE") && err.contains(bad), "{err}");
+        }
     }
 
     #[test]

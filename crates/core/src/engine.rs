@@ -8,7 +8,7 @@
 //! system path the demo exercises; the `itag-strategy` simulator is the
 //! algorithm path the figures sweep.
 
-use crate::config::{EngineConfig, StorageConfig};
+use crate::config::{EngineConfig, EnvOverrides, StorageConfig};
 use crate::monitor::{MonitorSnapshot, ResourceDetail, ResourceRow};
 use crate::notify::{Notification, NotificationQueue};
 use crate::project::{ProjectRecord, ProjectSpec, ProjectState};
@@ -16,7 +16,7 @@ use crate::quality_mgr::{ProjectQuality, QualityManager};
 use crate::records::{DatasetRecord, UserRole};
 use crate::resource_mgr::ResourceManager;
 use crate::tag_mgr::TagManager;
-use crate::user_mgr::UserManager;
+use crate::user_mgr::{ReputationSnapshot, UserManager};
 use crate::{EngineError, Result};
 use itag_crowd::approval::ApprovalPolicy;
 use itag_crowd::behavior::TaggerBehavior;
@@ -34,6 +34,7 @@ use itag_strategy::framework::{BudgetPoint, ChooseResources};
 use itag_strategy::{StrategyKind, SwitchableStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Read-only [`EnvView`] over a project's live quality state.
@@ -146,18 +147,30 @@ struct MergeJob {
     outcome: ProjectOutcome,
 }
 
+/// What one project's round ended as, in the merge phase's output.
+enum RoundResult {
+    /// The tick itself failed; nothing was staged or committed.
+    TickFailed(EngineError),
+    /// The merge ran: the committed summary plus the round's
+    /// notifications, or the merge/staging error (no notifications then).
+    Merged(Result<RunSummary>, Vec<Notification>),
+}
+
 /// One resource's accumulated effects over a parallel round.
 struct ResourceRound {
-    orig: crate::records::ResourceRecord,
+    orig: Arc<crate::records::ResourceRecord>,
     approved: u32,
     last_posts: u32,
     last_quality: f64,
 }
 
 /// Stages one project's post, resource-count and quality-snapshot ops into
-/// a fresh batch. Runs on a worker thread: the managers are stateless
-/// views over the store, which stays frozen until the serial commit phase,
-/// so concurrent staging reads a consistent base.
+/// a fresh batch. Runs on a worker thread. The managers are stateless
+/// views over the store; staging reads only this project's resource rows,
+/// which nothing writes until this project's own merge — so staging is
+/// safe to overlap with the merger committing *earlier* projects (the
+/// round pipeline), and reads through [`ResourceManager::get_arc`], so it
+/// never clones or decodes a row the entity cache already holds.
 ///
 /// Post rows are staged per decision (each is a distinct key), but
 /// resource records — post count, index position and quality snapshot —
@@ -191,7 +204,7 @@ fn stage_project_effects(
         let agg = match touched.entry(d.resource.0) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => v.insert(ResourceRound {
-                orig: resources.get(job.project, d.resource)?,
+                orig: resources.get_arc(job.project, d.resource)?,
                 approved: 0,
                 last_posts: 0,
                 last_quality: 0.0,
@@ -204,7 +217,7 @@ fn stage_project_effects(
     let mut rounds: Vec<(u32, ResourceRound)> = touched.into_iter().collect();
     rounds.sort_unstable_by_key(|(rid, _)| *rid);
     for (rid, agg) in rounds {
-        let mut record = agg.orig;
+        let mut record = (*agg.orig).clone();
         let old_posts = record.posts;
         record.posts += agg.approved;
         debug_assert_eq!(
@@ -218,23 +231,125 @@ fn stage_project_effects(
     Ok(batch)
 }
 
+/// Hands a ticked project its block of global post ids off the shared
+/// counter. Called in strict project-id order — the pipeline's ordered
+/// handoff, or the barrier path's serial loop — so the blocks are
+/// identical at every thread count and pipeline depth. Failed ticks
+/// consume no ids. (`Relaxed` suffices: calls are already serialized by
+/// the caller, and the final read happens after the scope joins.)
+fn assign_post_base(
+    next_post: &AtomicU64,
+    id: u32,
+    rt: &ProjectRuntime,
+    outcome: Result<ProjectOutcome>,
+) -> Result<MergeJob> {
+    let outcome = outcome?;
+    let approved = outcome.decisions.iter().filter(|d| d.approved).count() as u64;
+    let post_base = next_post.load(Ordering::Relaxed);
+    next_post.store(post_base + approved, Ordering::Relaxed);
+    Ok(MergeJob {
+        project: ProjectId(id),
+        provider: rt.provider,
+        budget_spent: rt.budget_spent,
+        state: rt.state,
+        post_base,
+        outcome,
+    })
+}
+
+/// The serial half of one project's round: fold the round's decisions per
+/// worker into the staged batch, add the provider's round totals and the
+/// project row, commit the whole frame, and hand back the round's
+/// notifications. Runs in project-id order — on the dedicated merger
+/// thread when the round pipeline is on, on the calling thread otherwise
+/// — so the stored bytes are identical either way.
+fn merge_ticked_project(
+    users: &UserManager,
+    projects: &TypedTable<ProjectRecord>,
+    store: &Store,
+    job: MergeJob,
+    batch: Result<WriteBatch>,
+) -> (Result<RunSummary>, Vec<Notification>) {
+    let MergeJob {
+        project,
+        provider,
+        budget_spent,
+        state,
+        outcome,
+        ..
+    } = job;
+    let ProjectOutcome {
+        summary,
+        decisions,
+        notifications,
+    } = outcome;
+    let merged: Result<RunSummary> = (|| {
+        let mut batch = batch?;
+        // Fold the round's decisions per worker (ascending id — a
+        // deterministic order) so each tagger record is encoded once per
+        // project instead of once per decision, and the provider record
+        // exactly once (its round totals); the counter deltas commute, so
+        // the stored records are identical to per-decision staging.
+        let mut per_worker: FxHashMap<u32, (u32, u32, u64)> = FxHashMap::default();
+        let (mut approved_total, mut rejected_total) = (0u32, 0u32);
+        for d in &decisions {
+            let e = per_worker.entry(d.worker.0).or_insert((0, 0, 0));
+            if d.approved {
+                e.0 += 1;
+                e.2 += d.pay as u64;
+                approved_total += 1;
+            } else {
+                e.1 += 1;
+                rejected_total += 1;
+            }
+        }
+        let mut workers: Vec<u32> = per_worker.keys().copied().collect();
+        workers.sort_unstable();
+        for w in workers {
+            let (approved, rejected, earned) = per_worker[&w];
+            users.stage_tagger_decisions(&mut batch, w, approved, rejected, earned)?;
+        }
+        if !decisions.is_empty() {
+            users.stage_provider_decisions(&mut batch, provider, approved_total, rejected_total)?;
+        }
+        // The project row rides in the same frame as the round's effects:
+        // budget/state can never run ahead of (or behind) the posts they
+        // paid for, and the separate commit is gone.
+        let mut record = projects
+            .get(&project)?
+            .ok_or(EngineError::UnknownProject(project))?;
+        record.budget_spent = budget_spent;
+        record.state = state;
+        projects.stage_upsert_owned(&mut batch, record)?;
+        store.commit(batch)?;
+        Ok(summary)
+    })();
+    match merged {
+        Ok(s) => (Ok(s), notifications),
+        Err(e) => (Err(e), Vec::new()),
+    }
+}
+
 /// Runs the full Algorithm-1 loop for one project using only project-local
-/// state (plus read-only reputation lookups), buffering every effect that
-/// touches shared tables. Mirrors [`ITagEngine::run`] step for step; the
-/// merge in [`ITagEngine::run_all_on`] replays the buffers in project-id
-/// order, so the stored bytes are identical across thread counts.
+/// state plus the round-start [`ReputationSnapshot`], buffering every
+/// effect that touches shared tables. Mirrors [`ITagEngine::run`] step for
+/// step; the merge in [`ITagEngine::run_all_with`] replays the buffers in
+/// project-id order, so the stored bytes are identical across thread
+/// counts. Reading reputation from the snapshot (never the live tables)
+/// is what lets the merger commit earlier projects while this tick is
+/// still running without breaking that contract.
 fn tick_campaign(
     rt: &mut ProjectRuntime,
     config: &EngineConfig,
-    users: &UserManager,
+    rep: &ReputationSnapshot,
     max_tasks: u32,
 ) -> Result<ProjectOutcome> {
     let mut decisions = Vec::new();
     let mut notifications = Vec::new();
     // (approved, rejected) per worker in this round, layered over the
-    // persisted counters for reliability gating: the shared tables are
-    // frozen while worker threads run, so the gate sees the pre-round
-    // base plus this project's own decisions — thread-count independent.
+    // round-start snapshot for reliability gating: the gate sees the
+    // pre-round base plus this project's own decisions — independent of
+    // the thread count and of how far the merger has advanced.
     let mut overlay: FxHashMap<u32, (u32, u32)> = FxHashMap::default();
 
     let mut issued = 0u32;
@@ -304,7 +419,7 @@ fn tick_campaign(
 
                 if config.enforce_reliability && !approve {
                     let (extra_a, extra_r) = overlay[&worker.0];
-                    if !users.is_reliable_with(worker.0, extra_a, extra_r)? {
+                    if !rep.is_reliable_with(worker.0, extra_a, extra_r) {
                         rt.platform.ban_worker(worker);
                     }
                 }
@@ -402,6 +517,9 @@ pub struct ITagEngine {
     datasets: TypedTable<DatasetRecord>,
     runtimes: FxHashMap<u32, ProjectRuntime>,
     config: EngineConfig,
+    /// Environment overrides, validated once at construction — garbage in
+    /// `ITAG_THREADS`/`ITAG_PIPELINE`/`ITAG_NO_CACHE` fails `new` loudly.
+    env: EnvOverrides,
     rng: StdRng,
     notifications: NotificationQueue,
     next_post_id: u64,
@@ -414,9 +532,15 @@ impl ITagEngine {
     /// runs recovery; projects found on disk can then be resumed with
     /// [`ITagEngine::resume_project`].
     pub fn new(config: EngineConfig) -> Result<Self> {
+        let env = EnvOverrides::from_env().map_err(EngineError::Config)?;
+        // The engine owns its store, so the validated `ITAG_NO_CACHE`
+        // override is applied here through `StoreOptions` — one parser,
+        // one decision (the store's own env fallback only matters for
+        // raw `Store` users).
+        let entity_cache = config.entity_cache && !env.no_cache.unwrap_or(false);
         let store = Arc::new(match &config.storage {
             StorageConfig::InMemory => Store::in_memory_with(StoreOptions {
-                entity_cache: config.entity_cache,
+                entity_cache,
                 ..StoreOptions::default()
             }),
             StorageConfig::Durable {
@@ -430,7 +554,7 @@ impl ITagEngine {
                     durability: *durability,
                     sync_policy: *sync_policy,
                     checkpoint_every: *checkpoint_every,
-                    entity_cache: config.entity_cache,
+                    entity_cache,
                     ..StoreOptions::default()
                 },
             )?,
@@ -467,6 +591,7 @@ impl ITagEngine {
             datasets,
             runtimes: FxHashMap::default(),
             config,
+            env,
             rng,
             notifications: NotificationQueue::default(),
             next_post_id,
@@ -963,22 +1088,45 @@ impl ITagEngine {
 
     /// Ticks every `Running` project concurrently — Algorithm 1 per
     /// project, up to `max_tasks` tasks each — across `threads` scoped
-    /// worker threads claiming projects off a shared cursor
-    /// ([`itag_crowd::parallel::scoped_map`]). Non-running projects are
-    /// skipped. Returns `(project, summary)` pairs in project-id order.
-    ///
-    /// Determinism contract: each project consumes its own RNG stream and
-    /// buffers its effects while the shared tables stay frozen; the
-    /// buffers are then merged in project-id order on the calling thread
-    /// (global post ids are assigned here). Monitor snapshots, ledgers and
-    /// stored tables are therefore **identical for every thread count**.
-    /// Cross-project reputation (the reliability gate) is read at round
-    /// granularity: a round sees the counters persisted before the round
-    /// plus its own project's in-round decisions.
+    /// worker threads, with the round pipeline at the resolved depth
+    /// ([`ITagEngine::resolved_pipeline_depth`]). Non-running projects
+    /// are skipped. Returns `(project, summary)` pairs in project-id
+    /// order.
     pub fn run_all_on(
         &mut self,
         max_tasks: u32,
         threads: usize,
+    ) -> Result<Vec<(ProjectId, RunSummary)>> {
+        let depth = self.resolved_pipeline_depth();
+        self.run_all_with(max_tasks, threads, depth)
+    }
+
+    /// [`ITagEngine::run_all_on`] with an explicit pipeline depth.
+    ///
+    /// `pipeline_depth = 0` runs the barrier schedule: tick every project,
+    /// then stage every project, then merge+commit every project — each
+    /// phase completes before the next begins. `pipeline_depth = n ≥ 1`
+    /// overlaps them: worker threads tick and stage projects while a
+    /// dedicated merger thread drains staged projects **in project-id
+    /// order**, at most `n` projects behind the workers (back-pressure).
+    /// The serial merge of project `k` thus runs concurrently with the
+    /// ticking/staging of projects `> k` instead of stalling every thread
+    /// at a round barrier.
+    ///
+    /// Determinism contract: each project consumes its own RNG stream;
+    /// ticks read cross-project reputation from a **round-start snapshot**
+    /// (never the live tables, which the merger may already be advancing);
+    /// post-id blocks are assigned in project-id order at the pipeline's
+    /// ordered handoff; staging reads only its own project's rows, which
+    /// only its own (later) merge writes; and the merger commits one frame
+    /// per project in project-id order. Monitor snapshots, ledgers and
+    /// stored bytes are therefore **identical for every thread count and
+    /// every pipeline depth**, including depth 0.
+    pub fn run_all_with(
+        &mut self,
+        max_tasks: u32,
+        threads: usize,
+        pipeline_depth: usize,
     ) -> Result<Vec<(ProjectId, RunSummary)>> {
         let threads = threads.max(1);
         let mut ids: Vec<u32> = self
@@ -992,126 +1140,114 @@ impl ITagEngine {
             .iter()
             .map(|id| (*id, self.runtimes.remove(id).expect("listed above")))
             .collect();
-
-        let config = &self.config;
-        let users = &self.users;
-        let outcomes = itag_crowd::parallel::scoped_map(work, threads, |_, (id, mut rt)| {
-            let outcome = tick_campaign(&mut rt, config, users, max_tasks);
-            (id, rt, outcome)
-        });
-
-        // Reinsert the runtimes and hand each project its post-id block,
-        // in project-id order — ids are independent of the thread count.
-        let mut jobs: Vec<MergeJob> = Vec::with_capacity(outcomes.len());
-        let mut first_err: Option<EngineError> = None;
-        for (id, rt, outcome) in outcomes {
-            let project = ProjectId(id);
-            let provider = rt.provider;
-            let budget_spent = rt.budget_spent;
-            let state = rt.state;
-            self.runtimes.insert(id, rt);
-            match outcome {
-                Ok(o) => {
-                    let post_base = self.next_post_id;
-                    self.next_post_id += o.decisions.iter().filter(|d| d.approved).count() as u64;
-                    jobs.push(MergeJob {
-                        project,
-                        provider,
-                        budget_spent,
-                        state,
-                        post_base,
-                        outcome: o,
-                    });
-                }
-                Err(e) => first_err = first_err.or(Some(e)),
-            }
+        if work.is_empty() {
+            return Ok(Vec::new());
         }
 
-        // Stage each project's per-project effects (posts, resource
-        // rows with counts + quality) in parallel; the store is read-only
-        // until the serial commit phase below.
-        let tags_mgr = &self.tags;
-        let resources_mgr = &self.resources;
-        let staged = itag_crowd::parallel::scoped_map(jobs, threads, |_, mut job| {
-            let batch = stage_project_effects(&mut job, tags_mgr, resources_mgr);
-            (job, batch)
-        });
+        // The snapshot's only consumer is the reliability gate inside
+        // `tick_campaign`, itself gated on `enforce_reliability` — skip
+        // the tagger-table scan entirely when the gate is off.
+        let rep = if self.config.enforce_reliability {
+            self.users.reputation_snapshot()?
+        } else {
+            self.users.empty_reputation_snapshot()
+        };
+        let results = {
+            let rep = &rep;
+            let config = &self.config;
+            let tags_mgr = &self.tags;
+            let resources_mgr = &self.resources;
+            let users = &self.users;
+            let projects_tbl = &self.projects;
+            let store: &Store = &self.store;
+            let next_post = &AtomicU64::new(self.next_post_id);
 
-        // Serial phase, project-id order: cross-project user decisions,
-        // one group-commit frame per project, notifications, project rows.
-        let mut summaries = Vec::with_capacity(staged.len());
-        for (job, batch) in staged {
-            let MergeJob {
-                project,
-                provider,
-                budget_spent,
-                state,
-                outcome,
-                ..
-            } = job;
-            let ProjectOutcome {
-                summary,
-                decisions,
-                notifications,
-            } = outcome;
-            let merged: Result<RunSummary> = (|| {
-                let mut batch = batch?;
-                // Fold the round's decisions per worker (ascending id — a
-                // deterministic order) so each tagger record is encoded
-                // once per project instead of once per decision, and the
-                // provider record exactly once (its round totals); the
-                // counter deltas commute, so the stored records are
-                // identical to per-decision staging.
-                let mut per_worker: FxHashMap<u32, (u32, u32, u64)> = FxHashMap::default();
-                let (mut approved_total, mut rejected_total) = (0u32, 0u32);
-                for d in &decisions {
-                    let e = per_worker.entry(d.worker.0).or_insert((0, 0, 0));
-                    if d.approved {
-                        e.0 += 1;
-                        e.2 += d.pay as u64;
-                        approved_total += 1;
-                    } else {
-                        e.1 += 1;
-                        rejected_total += 1;
+            // The four phases of one project's round. `tick` and `stage`
+            // run on whichever worker claimed the project; `sequence` runs
+            // in project-id order (the ordered handoff); `merge` runs in
+            // project-id order on the merger thread (pipelined) or the
+            // calling thread (barrier path).
+            let tick = |_: usize, (id, mut rt): (u32, ProjectRuntime)| {
+                let outcome = tick_campaign(&mut rt, config, rep, max_tasks);
+                (id, rt, outcome)
+            };
+            let sequence =
+                |_: usize, (id, rt, outcome): (u32, ProjectRuntime, Result<ProjectOutcome>)| {
+                    let job = assign_post_base(next_post, id, &rt, outcome);
+                    (id, rt, job)
+                };
+            let stage = |_: usize, (id, rt, job): (u32, ProjectRuntime, Result<MergeJob>)| {
+                let staged = job.map(|mut job| {
+                    let batch = stage_project_effects(&mut job, tags_mgr, resources_mgr);
+                    (job, batch)
+                });
+                (id, rt, staged)
+            };
+            type Staged = (u32, ProjectRuntime, Result<(MergeJob, Result<WriteBatch>)>);
+            let merge = |_: usize, (id, rt, staged): Staged| {
+                let round = match staged {
+                    Ok((job, batch)) => {
+                        let (summary, notes) =
+                            merge_ticked_project(users, projects_tbl, store, job, batch);
+                        RoundResult::Merged(summary, notes)
                     }
+                    Err(e) => RoundResult::TickFailed(e),
+                };
+                (id, rt, round)
+            };
+
+            let results: Vec<(u32, ProjectRuntime, RoundResult)> = if pipeline_depth == 0 {
+                // Barrier schedule (the pipeline-off reference): each
+                // phase completes for every project before the next one
+                // starts; merges run on this thread.
+                let ticked = itag_crowd::parallel::scoped_map(work, threads, tick);
+                let sequenced: Vec<_> = ticked
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| sequence(i, t))
+                    .collect();
+                let staged = itag_crowd::parallel::scoped_map(sequenced, threads, stage);
+                staged
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| merge(i, s))
+                    .collect()
+            } else {
+                itag_crowd::parallel::pipelined_map(
+                    work,
+                    threads,
+                    pipeline_depth,
+                    tick,
+                    sequence,
+                    stage,
+                    merge,
+                )
+            };
+            self.next_post_id = next_post.load(Ordering::Relaxed);
+            results
+        };
+
+        // Reinsert the runtimes (their RNG streams carry into the next
+        // round) and fold the per-project results in project-id order.
+        // Error precedence matches the pre-pipeline code: the first tick
+        // error in project order wins over the first merge error.
+        let mut summaries = Vec::with_capacity(results.len());
+        let mut tick_err: Option<EngineError> = None;
+        let mut merge_err: Option<EngineError> = None;
+        for (id, rt, round) in results {
+            self.runtimes.insert(id, rt);
+            match round {
+                RoundResult::TickFailed(e) => tick_err = tick_err.or(Some(e)),
+                RoundResult::Merged(Ok(s), notes) => {
+                    for n in notes {
+                        self.notifications.push(n);
+                    }
+                    summaries.push((ProjectId(id), s));
                 }
-                let mut workers: Vec<u32> = per_worker.keys().copied().collect();
-                workers.sort_unstable();
-                for w in workers {
-                    let (approved, rejected, earned) = per_worker[&w];
-                    self.users
-                        .stage_tagger_decisions(&mut batch, w, approved, rejected, earned)?;
-                }
-                if !decisions.is_empty() {
-                    self.users.stage_provider_decisions(
-                        &mut batch,
-                        provider,
-                        approved_total,
-                        rejected_total,
-                    )?;
-                }
-                // The project row rides in the same frame as the round's
-                // effects: budget/state can never run ahead of (or behind)
-                // the posts they paid for, and the separate commit is gone.
-                let mut record = self
-                    .projects
-                    .get(&project)?
-                    .ok_or(EngineError::UnknownProject(project))?;
-                record.budget_spent = budget_spent;
-                record.state = state;
-                self.projects.stage_upsert_owned(&mut batch, record)?;
-                self.store.commit(batch)?;
-                for n in notifications {
-                    self.notifications.push(n);
-                }
-                Ok(summary)
-            })();
-            match merged {
-                Ok(s) => summaries.push((project, s)),
-                Err(e) => first_err = first_err.or(Some(e)),
+                RoundResult::Merged(Err(e), _) => merge_err = merge_err.or(Some(e)),
             }
         }
-        match first_err {
+        match tick_err.or(merge_err) {
             Some(e) => Err(e),
             None => Ok(summaries),
         }
@@ -1125,21 +1261,34 @@ impl ITagEngine {
     }
 
     /// Thread count the parallel tick will use (a throughput knob only —
-    /// results do not depend on it).
+    /// results do not depend on it). `EngineConfig::threads`, else the
+    /// `ITAG_THREADS` override validated at construction, else the
+    /// machine's available parallelism capped at 8.
     pub fn resolved_threads(&self) -> usize {
         if self.config.threads > 0 {
             return self.config.threads;
         }
-        if let Some(n) = std::env::var("ITAG_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-        {
+        if let Some(n) = self.env.threads {
             return n;
         }
         std::thread::available_parallelism()
             .map(|n| n.get().min(8))
             .unwrap_or(1)
+    }
+
+    /// Round-pipeline depth [`ITagEngine::run_all`] will use (a
+    /// throughput knob only — results do not depend on it; `0` = the
+    /// barrier schedule). `EngineConfig::pipeline_depth`, else the
+    /// `ITAG_PIPELINE` override validated at construction, else
+    /// [`crate::config::DEFAULT_PIPELINE_DEPTH`].
+    pub fn resolved_pipeline_depth(&self) -> usize {
+        if let Some(d) = self.config.pipeline_depth {
+            return d;
+        }
+        if let Some(d) = self.env.pipeline_depth {
+            return d;
+        }
+        crate::config::DEFAULT_PIPELINE_DEPTH
     }
 
     /// Worker payouts of a project's ledger, sorted by worker id.
@@ -1982,6 +2131,174 @@ mod tests {
             .collect();
         assert_eq!(outputs[0], outputs[1], "1 vs 2 threads diverged");
         assert_eq!(outputs[0], outputs[2], "1 vs 8 threads diverged");
+    }
+
+    #[test]
+    fn run_all_is_identical_across_pipeline_depths() {
+        let outputs: Vec<_> = [0usize, 1, 2, 4]
+            .into_iter()
+            .map(|depth| {
+                let mut e = engine();
+                let provider = e.register_provider("pipe").unwrap();
+                let mut projects = Vec::new();
+                for seed in 50..53u64 {
+                    projects.push(
+                        e.add_project(
+                            provider,
+                            ProjectSpec::demo(&format!("pipe-{seed}"), 60),
+                            dataset(seed),
+                        )
+                        .unwrap(),
+                    );
+                }
+                let summaries = e.run_all_with(60, 4, depth).unwrap();
+                let monitors: Vec<_> = projects.iter().map(|p| e.monitor(*p).unwrap()).collect();
+                let notes = e.take_notifications().len();
+                (summaries, monitors, notes, e.store_checksum())
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "barrier vs depth-1 diverged");
+        assert_eq!(outputs[0], outputs[2], "barrier vs depth-2 diverged");
+        assert_eq!(outputs[0], outputs[3], "barrier vs depth-4 diverged");
+    }
+
+    /// [`SimPlatform`] wrapper whose first `decide` fails — forces one
+    /// deterministic tick error so the round's error routing can be
+    /// pinned across pipeline depths.
+    struct FailOncePlatform {
+        inner: SimPlatform,
+        failed: bool,
+    }
+
+    impl CrowdPlatform for FailOncePlatform {
+        fn kind(&self) -> itag_crowd::platform::PlatformKind {
+            self.inner.kind()
+        }
+        fn publish(
+            &mut self,
+            project: ProjectId,
+            resource: ResourceId,
+            pay_cents: u32,
+        ) -> itag_crowd::task::TaskId {
+            self.inner.publish(project, resource, pay_cents)
+        }
+        fn step(
+            &mut self,
+            source: &dyn itag_crowd::platform::TagSource,
+            rng: &mut StdRng,
+        ) -> Vec<itag_crowd::task::TaskResult> {
+            self.inner.step(source, rng)
+        }
+        fn decide(
+            &mut self,
+            task: itag_crowd::task::TaskId,
+            approve: bool,
+        ) -> itag_crowd::Result<(TaggerId, u32)> {
+            if !self.failed {
+                self.failed = true;
+                return Err(itag_crowd::CrowdError::UnknownTask(task));
+            }
+            self.inner.decide(task, approve)
+        }
+        fn task(&self, id: itag_crowd::task::TaskId) -> Option<&itag_crowd::task::TaggingTask> {
+            self.inner.task(id)
+        }
+        fn workers(&self) -> &WorkerPool {
+            self.inner.workers()
+        }
+        fn stats(&self) -> itag_crowd::platform::PlatformStats {
+            self.inner.stats()
+        }
+        fn open_tasks(&self) -> usize {
+            self.inner.open_tasks()
+        }
+        fn ban_worker(&mut self, worker: TaggerId) {
+            self.inner.ban_worker(worker)
+        }
+        fn banned_count(&self) -> usize {
+            self.inner.banned_count()
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn failing_tick_routes_identically_at_every_pipeline_depth() {
+        use itag_crowd::platform::PlatformKind;
+        // One of three projects fails its first round's tick (the first
+        // `decide` errors). The error must surface from run_all_with, the
+        // healthy projects must still commit, the failed project's
+        // runtime must survive for later rounds, and — because failed
+        // ticks consume no post-id block — the follow-up round must be
+        // bit-identical at every pipeline depth.
+        let outputs: Vec<_> = [0usize, 1, 2]
+            .into_iter()
+            .map(|depth| {
+                let mut e = engine();
+                let provider = e.register_provider("failing").unwrap();
+                let p0 = e
+                    .add_project(provider, ProjectSpec::demo("healthy-a", 120), dataset(60))
+                    .unwrap();
+                let mut rng = StdRng::seed_from_u64(0xFA11);
+                let pool = WorkerPool::from_mix(8, &[(TaggerBehavior::diligent(), 1.0)], &mut rng);
+                let p1 = e
+                    .add_project_with_platform(
+                        provider,
+                        ProjectSpec::demo("fails-once", 120),
+                        dataset(61),
+                        Box::new(FailOncePlatform {
+                            inner: SimPlatform::new(PlatformKind::MTurk, pool),
+                            failed: false,
+                        }),
+                    )
+                    .unwrap();
+                let p2 = e
+                    .add_project(provider, ProjectSpec::demo("healthy-b", 120), dataset(62))
+                    .unwrap();
+
+                let err = e.run_all_with(40, 4, depth).unwrap_err();
+                assert!(
+                    matches!(err, EngineError::Crowd(_)),
+                    "tick error must surface (depth {depth}): {err}"
+                );
+                // Healthy projects committed their round despite the error.
+                for p in [p0, p2] {
+                    assert_eq!(e.monitor(p).unwrap().budget_spent, 40, "depth {depth}");
+                    assert_eq!(e.verify_integrity(p).unwrap(), 50, "depth {depth}");
+                }
+                // The failed project's runtime survived the round.
+                let failed_monitor = e.monitor(p1).unwrap();
+                // A follow-up round runs clean (the platform fails once).
+                let summaries = e.run_all_with(40, 4, depth).unwrap();
+                assert_eq!(summaries.len(), 3, "depth {depth}");
+                let monitors: Vec<_> = [p0, p1, p2]
+                    .iter()
+                    .map(|p| e.monitor(*p).unwrap())
+                    .collect();
+                (failed_monitor, summaries, monitors, e.store_checksum())
+            })
+            .collect();
+        assert_eq!(
+            outputs[0], outputs[1],
+            "depth 0 vs 1 diverged after a tick error"
+        );
+        assert_eq!(
+            outputs[0], outputs[2],
+            "depth 0 vs 2 diverged after a tick error"
+        );
+    }
+
+    #[test]
+    fn pipeline_depth_resolution_prefers_config() {
+        let mut config = EngineConfig::in_memory(1);
+        config.pipeline_depth = Some(0);
+        let e = ITagEngine::new(config).unwrap();
+        assert_eq!(e.resolved_pipeline_depth(), 0);
+        let mut config = EngineConfig::in_memory(1);
+        config.pipeline_depth = Some(7);
+        let e = ITagEngine::new(config).unwrap();
+        assert_eq!(e.resolved_pipeline_depth(), 7);
     }
 
     #[test]

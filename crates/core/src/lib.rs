@@ -70,6 +70,10 @@ pub enum EngineError {
     },
     /// Dataset failed validation on upload.
     InvalidDataset(String),
+    /// Malformed configuration — e.g. a garbage `ITAG_THREADS` /
+    /// `ITAG_PIPELINE` / `ITAG_NO_CACHE` value, rejected loudly instead
+    /// of silently falling back to a default.
+    Config(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -83,6 +87,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "project {project} is {state}")
             }
             EngineError::InvalidDataset(m) => write!(f, "invalid dataset: {m}"),
+            EngineError::Config(m) => write!(f, "configuration: {m}"),
         }
     }
 }

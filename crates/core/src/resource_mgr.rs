@@ -57,6 +57,16 @@ impl ResourceManager {
             .ok_or(EngineError::UnknownResource(r))
     }
 
+    /// Zero-copy fetch of one resource record: a cache hit hands back the
+    /// shared decoded record, so concurrent staging threads never clone
+    /// (or decode) a row just to read it. Clone-on-write call sites keep
+    /// the `Arc` and clone only if they end up mutating.
+    pub fn get_arc(&self, project: ProjectId, r: ResourceId) -> Result<Arc<ResourceRecord>> {
+        self.table
+            .get_arc(&(project, r))?
+            .ok_or(EngineError::UnknownResource(r))
+    }
+
     /// All records of a project, in resource-id order.
     pub fn list(&self, project: ProjectId) -> Result<Vec<ResourceRecord>> {
         let from = (project, ResourceId(0));

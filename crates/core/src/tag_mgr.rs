@@ -45,12 +45,14 @@ impl TagManager {
     }
 
     /// The text of a tag (empty string if unknown — display contexts only).
+    /// Reads through [`TypedTable::get_arc`]: a hit clones only the text,
+    /// not the whole record.
     pub fn text(&self, id: TagId) -> String {
         self.tags
-            .get(&id)
+            .get_arc(&id)
             .ok()
             .flatten()
-            .map(|t| t.text)
+            .map(|t| t.text.clone())
             .unwrap_or_default()
     }
 

@@ -12,6 +12,57 @@ use itag_store::{Store, TypedTable, WriteBatch};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// A point-in-time copy of every tagger's received-decision counters,
+/// taken at the start of a parallel round. The pipelined tick reads
+/// reputation through this snapshot instead of the live tables, so a
+/// project that is still ticking can never observe the merger committing
+/// an earlier project's decisions — which is what keeps the round
+/// deterministic at every thread count and pipeline depth. (It also
+/// matches the pre-pipeline behaviour exactly: the tables used to be
+/// frozen for the whole round, so a live read *was* a round-start read.)
+#[derive(Debug, Clone)]
+pub struct ReputationSnapshot {
+    /// `tagger id → (approvals_received, rejections_received)`.
+    counters: FxHashMap<u32, (u32, u32)>,
+    threshold: f64,
+    grace: u32,
+}
+
+impl ReputationSnapshot {
+    /// The reliability gate over the snapshot, with a project's own
+    /// in-round decisions layered on top (see
+    /// [`UserManager::is_reliable_with`]).
+    pub fn is_reliable_with(&self, tagger: u32, extra_approved: u32, extra_rejected: u32) -> bool {
+        let (base_approved, base_rejected) = self.counters.get(&tagger).copied().unwrap_or((0, 0));
+        reliability_gate(
+            self.threshold,
+            self.grace,
+            base_approved,
+            base_rejected,
+            extra_approved,
+            extra_rejected,
+        )
+    }
+}
+
+/// The gate math shared by live and snapshot reads: approval rate over
+/// all decided tasks, after a grace period.
+fn reliability_gate(
+    threshold: f64,
+    grace: u32,
+    base_approved: u32,
+    base_rejected: u32,
+    extra_approved: u32,
+    extra_rejected: u32,
+) -> bool {
+    let approved = base_approved as u64 + extra_approved as u64;
+    let decided = approved + base_rejected as u64 + extra_rejected as u64;
+    if decided < grace as u64 {
+        return true;
+    }
+    approved as f64 / decided as f64 >= threshold
+}
+
 /// Profiles + two-sided approval accounting.
 ///
 /// A write-through cache provides read-your-own-writes semantics when
@@ -172,22 +223,59 @@ impl UserManager {
         extra_rejected: u32,
     ) -> Result<bool> {
         let (base_approved, base_rejected) = self.tagger_counters(tagger)?;
-        let approved = base_approved as u64 + extra_approved as u64;
-        let decided = approved + base_rejected as u64 + extra_rejected as u64;
-        if decided < self.grace_decisions as u64 {
-            return Ok(true);
+        Ok(reliability_gate(
+            self.reliability_threshold,
+            self.grace_decisions,
+            base_approved,
+            base_rejected,
+            extra_approved,
+            extra_rejected,
+        ))
+    }
+
+    /// Copies every tagger's received-decision counters into a
+    /// [`ReputationSnapshot`] — the round-start reputation view the
+    /// pipelined tick reads instead of the live tables. Streams only the
+    /// tagger key range (the role tag is the leading key component), so
+    /// provider records are never touched.
+    pub fn reputation_snapshot(&self) -> Result<ReputationSnapshot> {
+        let tag = UserRole::Tagger.tag();
+        let mut counters = FxHashMap::default();
+        self.table
+            .for_each_range(&(tag, 0u32), Some(&(tag + 1, 0u32)), |u: UserRecord| {
+                counters.insert(u.id, (u.approvals_received, u.rejections_received));
+                true
+            })?;
+        Ok(ReputationSnapshot {
+            counters,
+            threshold: self.reliability_threshold,
+            grace: self.grace_decisions,
+        })
+    }
+
+    /// A snapshot for rounds that never consult the gate (reliability
+    /// enforcement off): empty counters, gate parameters copied from
+    /// this manager so an accidental read still answers exactly like a
+    /// history-less tagger under the live gate (reliable).
+    pub fn empty_reputation_snapshot(&self) -> ReputationSnapshot {
+        ReputationSnapshot {
+            counters: FxHashMap::default(),
+            threshold: self.reliability_threshold,
+            grace: self.grace_decisions,
         }
-        Ok(approved as f64 / decided as f64 >= self.reliability_threshold)
     }
 
     /// Received-decision counters of a tagger without cloning the whole
-    /// profile (the reliability gate runs per rejected submission).
+    /// profile (the reliability gate runs per rejected submission). The
+    /// storage fallback reads through [`TypedTable::get_arc`], so a cache
+    /// miss decodes into a shared record instead of cloning one out.
     fn tagger_counters(&self, tagger: u32) -> Result<(u32, u32)> {
         if let Some(u) = self.cache.lock().get(&(UserRole::Tagger.tag(), tagger)) {
             return Ok((u.approvals_received, u.rejections_received));
         }
         Ok(self
-            .get(UserRole::Tagger, tagger)?
+            .table
+            .get_arc(&(UserRole::Tagger.tag(), tagger))?
             .map(|u| (u.approvals_received, u.rejections_received))
             .unwrap_or((0, 0)))
     }
@@ -274,6 +362,49 @@ mod tests {
         let m = mgr();
         assert!(m.is_reliable(42).unwrap());
         assert_eq!(m.tagger_approval_rate(42).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn reputation_snapshot_matches_live_gate_and_freezes_at_round_start() {
+        let m = mgr();
+        let mut batch = WriteBatch::new();
+        for _ in 0..5 {
+            m.stage_decision(&mut batch, 1, 9, false, 5).unwrap();
+        }
+        for _ in 0..6 {
+            m.stage_decision(&mut batch, 1, 8, true, 5).unwrap();
+        }
+        m.table.store().commit(batch).unwrap();
+
+        let snap = m.reputation_snapshot().unwrap();
+        for t in [8u32, 9, 42] {
+            assert_eq!(
+                snap.is_reliable_with(t, 0, 0),
+                m.is_reliable(t).unwrap(),
+                "snapshot and live gate disagree for tagger {t}"
+            );
+        }
+        // In-round overlays layer identically over both reads.
+        assert_eq!(
+            snap.is_reliable_with(42, 1, 4),
+            m.is_reliable_with(42, 1, 4).unwrap()
+        );
+
+        // Later commits must not leak into the snapshot: that is exactly
+        // the property the pipelined round relies on.
+        let mut batch = WriteBatch::new();
+        for _ in 0..7 {
+            m.stage_decision(&mut batch, 1, 8, false, 5).unwrap();
+        }
+        m.table.store().commit(batch).unwrap();
+        assert!(
+            !m.is_reliable(8).unwrap(),
+            "live gate sees the new rejections"
+        );
+        assert!(
+            snap.is_reliable_with(8, 0, 0),
+            "snapshot still answers from round start"
+        );
     }
 
     #[test]

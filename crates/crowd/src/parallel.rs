@@ -143,6 +143,210 @@ where
         .collect()
 }
 
+/// Shared state of one [`pipelined_map`] run.
+struct PipelineState<M> {
+    /// Staged results waiting for the merger, indexed by item.
+    staged: Vec<Option<M>>,
+    /// Next item the merger will consume; deposits more than `depth`
+    /// items ahead of this block (back-pressure).
+    next_merge: usize,
+    /// Next item allowed through the ordered handoff section.
+    next_order: usize,
+    /// Set when any thread panicked, so waiters fail instead of hanging.
+    poisoned: bool,
+}
+
+/// Marks the pipeline poisoned if the owning thread unwinds mid-item, so
+/// every blocked peer wakes up and propagates instead of deadlocking on a
+/// turn that will never come.
+struct PoisonOnPanic<'a, M> {
+    state: &'a std::sync::Mutex<PipelineState<M>>,
+    cv: &'a std::sync::Condvar,
+    armed: bool,
+}
+
+impl<M> Drop for PoisonOnPanic<'_, M> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut s) = self.state.lock() {
+                s.poisoned = true;
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Two-phase pipelined [`scoped_map`]: the parallel work on each item is
+/// split around a cheap **ordered handoff**, and a dedicated **merger
+/// thread** drains finished items in input order while the workers keep
+/// going — the serial phase of item `i` overlaps the parallel phases of
+/// items `> i` instead of stalling the pool at a barrier.
+///
+/// Per item `i`, four callbacks run in sequence:
+///
+/// 1. `work(i, item) -> A` — parallel, on whichever worker claimed `i`;
+/// 2. `order(i, A) -> B` — called in **strict input order** under the
+///    pipeline lock (a sequencer: keep it cheap — e.g. assigning an id
+///    block from a running counter);
+/// 3. `post(i, B) -> M` — parallel again, same worker;
+/// 4. `merge(i, M) -> R` — on the single merger thread, in input order.
+///
+/// `depth` bounds how many items may sit staged-but-unmerged ahead of the
+/// merger (min 1): a worker that finishes `post` blocks before depositing
+/// until the merger is within `depth` items — back-pressure, so a slow
+/// merger cannot be buried under an unbounded backlog.
+///
+/// Results come back in input order, and every `order`/`merge` call runs
+/// in input order regardless of `threads` or `depth` — the determinism
+/// contract of [`scoped_map`] extends to the pipeline. With one thread
+/// (or one item) everything runs inline in input order, which is the
+/// reference schedule the threaded runs must match.
+pub fn pipelined_map<T, A, B, M, R, FW, FO, FP, FM>(
+    items: Vec<T>,
+    threads: usize,
+    depth: usize,
+    work: FW,
+    order: FO,
+    post: FP,
+    mut merge: FM,
+) -> Vec<R>
+where
+    T: Send,
+    A: Send,
+    B: Send,
+    M: Send,
+    R: Send,
+    FW: Fn(usize, T) -> A + Sync,
+    FO: Fn(usize, A) -> B + Sync,
+    FP: Fn(usize, B) -> M + Sync,
+    FM: FnMut(usize, M) -> R + Send,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let depth = depth.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads.min(n) == 1 {
+        // The reference schedule: each item flows through all four phases
+        // before the next starts. Threaded runs produce the same calls in
+        // the same order by construction.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| merge(i, post(i, order(i, work(i, t)))))
+            .collect();
+    }
+
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let state = std::sync::Mutex::new(PipelineState::<M> {
+        staged: (0..n).map(|_| None).collect(),
+        next_merge: 0,
+        next_order: 0,
+        poisoned: false,
+    });
+    let cv = std::sync::Condvar::new();
+    let work = &work;
+    let order = &order;
+    let post = &post;
+
+    std::thread::scope(|scope| {
+        let merger = {
+            let state = &state;
+            let cv = &cv;
+            scope.spawn(move || {
+                let mut guard = PoisonOnPanic {
+                    state,
+                    cv,
+                    armed: true,
+                };
+                let mut out: Vec<R> = Vec::with_capacity(n);
+                for i in 0..n {
+                    let m = {
+                        let mut s = state.lock().expect("pipeline lock");
+                        loop {
+                            if s.poisoned {
+                                panic!("pipelined_map worker panicked");
+                            }
+                            if let Some(m) = s.staged[i].take() {
+                                s.next_merge = i + 1;
+                                break m;
+                            }
+                            s = cv.wait(s).expect("pipeline lock");
+                        }
+                    };
+                    // Workers blocked on back-pressure can move again.
+                    cv.notify_all();
+                    out.push(merge(i, m));
+                }
+                guard.armed = false;
+                out
+            })
+        };
+
+        for _ in 0..threads.min(n) {
+            let slots = &slots;
+            let cursor = &cursor;
+            let state = &state;
+            let cv = &cv;
+            scope.spawn(move || {
+                let mut guard = PoisonOnPanic {
+                    state,
+                    cv,
+                    armed: true,
+                };
+                loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("slot lock")
+                        .take()
+                        .expect("each slot is claimed exactly once");
+                    let a = work(i, item);
+                    // Ordered handoff: items pass through `order` in input
+                    // order, under the pipeline lock.
+                    let b = {
+                        let mut s = state.lock().expect("pipeline lock");
+                        while s.next_order != i {
+                            if s.poisoned {
+                                panic!("pipelined_map peer panicked");
+                            }
+                            s = cv.wait(s).expect("pipeline lock");
+                        }
+                        let b = order(i, a);
+                        s.next_order += 1;
+                        cv.notify_all();
+                        b
+                    };
+                    let m = post(i, b);
+                    // Deposit for the merger, at most `depth` items ahead.
+                    {
+                        let mut s = state.lock().expect("pipeline lock");
+                        while i >= s.next_merge + depth {
+                            if s.poisoned {
+                                panic!("pipelined_map peer panicked");
+                            }
+                            s = cv.wait(s).expect("pipeline lock");
+                        }
+                        s.staged[i] = Some(m);
+                        cv.notify_all();
+                    }
+                }
+                guard.armed = false;
+            });
+        }
+
+        merger.join().expect("pipeline merger must not panic")
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +409,164 @@ mod tests {
             let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
             assert_eq!(out, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn pipelined_map_matches_the_inline_schedule_at_any_threads_and_depth() {
+        let items: Vec<u64> = (0..157).collect();
+        // Reference: one thread runs everything inline in input order.
+        let reference = pipelined_map(
+            items.clone(),
+            1,
+            1,
+            |_, x: u64| x + 1,
+            |_, a| a * 3,
+            |_, b| b - 2,
+            |i, m| m + i as u64,
+        );
+        for threads in [2usize, 3, 8] {
+            for depth in [1usize, 2, 5, 100] {
+                let out = pipelined_map(
+                    items.clone(),
+                    threads,
+                    depth,
+                    |_, x: u64| x + 1,
+                    |_, a| a * 3,
+                    |_, b| b - 2,
+                    |i, m| m + i as u64,
+                );
+                assert_eq!(out, reference, "threads={threads} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_map_runs_order_and_merge_in_strict_input_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let n = 64usize;
+        let order_seen = AtomicUsize::new(0);
+        let merge_seen = Mutex::new(Vec::new());
+        let out = pipelined_map(
+            (0..n).collect::<Vec<_>>(),
+            4,
+            2,
+            |_, x: usize| x,
+            |i, a| {
+                // Each ordered-handoff call must be the next index.
+                assert_eq!(order_seen.fetch_add(1, Ordering::SeqCst), i);
+                a
+            },
+            |_, b| b,
+            |i, m: usize| {
+                merge_seen.lock().unwrap().push(i);
+                m
+            },
+        );
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+        assert_eq!(order_seen.load(Ordering::SeqCst), n);
+        assert_eq!(*merge_seen.lock().unwrap(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipelined_map_backpressure_bounds_the_staged_backlog() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A deliberately slow merger: workers must never run more than
+        // `depth` deposits ahead of it.
+        let depth = 2usize;
+        let staged = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let out = pipelined_map(
+            (0..40u64).collect::<Vec<_>>(),
+            4,
+            depth,
+            |_, x: u64| x,
+            |_, a| a,
+            |_, b| {
+                let now = staged.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                b
+            },
+            |_, m: u64| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                staged.fetch_sub(1, Ordering::SeqCst);
+                m * 2
+            },
+        );
+        assert_eq!(out, (0..40u64).map(|x| x * 2).collect::<Vec<_>>());
+        // `post` runs before the deposit blocks and the merger holds one
+        // item while merging it, so up to depth + threads + 1 items can
+        // be past `post` but not yet merged; the deposit window itself is
+        // what the pipeline bounds. Without back-pressure the peak would
+        // approach the full 40-item input.
+        assert!(
+            peak.load(Ordering::SeqCst) <= depth + 4 + 1,
+            "staged backlog exceeded depth + threads + 1: {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn pipelined_map_worker_panic_poisons_instead_of_hanging() {
+        // A panicking `work` closure strands every peer: later items wait
+        // for an order turn that will never come, and the merger waits
+        // for a deposit that will never arrive. PoisonOnPanic must wake
+        // them all so the call panics promptly instead of deadlocking —
+        // this test hangs forever if that wakeup path breaks.
+        let _ = pipelined_map(
+            (0..32u64).collect::<Vec<_>>(),
+            4,
+            1,
+            |_, x: u64| {
+                if x == 3 {
+                    panic!("worker died mid-item");
+                }
+                x
+            },
+            |_, a| a,
+            |_, b| b,
+            |_, m: u64| m,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn pipelined_map_merger_panic_poisons_instead_of_hanging() {
+        // Same contract from the other side: a panicking `merge` leaves
+        // workers blocked on back-pressure; the poison flag must wake
+        // and fail them rather than hang the scope join.
+        let _ = pipelined_map(
+            (0..32u64).collect::<Vec<_>>(),
+            4,
+            1,
+            |_, x: u64| x,
+            |_, a| a,
+            |_, b| b,
+            |i, m: u64| {
+                if i == 2 {
+                    panic!("merger died mid-item");
+                }
+                m
+            },
+        );
+    }
+
+    #[test]
+    fn pipelined_map_handles_empty_and_single_item_input() {
+        let nothing: Vec<u8> =
+            pipelined_map(Vec::new(), 4, 2, |_, x: u8| x, |_, a| a, |_, b| b, |_, m| m);
+        assert!(nothing.is_empty());
+        let one = pipelined_map(
+            vec![7u8],
+            4,
+            2,
+            |_, x: u8| x,
+            |_, a| a + 1,
+            |_, b| b,
+            |_, m| m,
+        );
+        assert_eq!(one, vec![8]);
     }
 
     #[test]

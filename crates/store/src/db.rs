@@ -31,11 +31,16 @@
 //!   * [`SyncPolicy::EveryN`]`(n)` — flush per group, fsync once at least
 //!     every `n` commits. Power failure loses at most the last `n - 1`
 //!     commits; a process crash still loses nothing.
-//!   * [`SyncPolicy::Batched`] — adaptive group fsync: the leader fsyncs
-//!     whenever the commit queue is drained, and only flushes while more
-//!     writers are already queued behind it. A quiescent store is always
-//!     fully fsynced; power failure mid-burst may lose the most recent
-//!     groups of that burst. Process crash loses nothing.
+//!   * [`SyncPolicy::Batched`] — adaptive group fsync: after appending its
+//!     group, the leader checks the commit queue **under the commit
+//!     mutex** — atomically with enqueues. Writers queued behind it will
+//!     form the next group, so the fsync is deferred to that group's
+//!     leader; an empty queue means this group is the last of the burst
+//!     and is fsynced now. A quiescent store is therefore always fully
+//!     fsynced (`StoreStats::wal_unsynced_commits == 0` once every commit
+//!     has returned — regression-tested); power failure mid-burst may
+//!     lose the most recent groups of that burst. Process crash loses
+//!     nothing.
 //!
 //!   Every policy fsyncs on [`Store::sync`], on checkpoints, and before a
 //!   snapshot replaces WAL frames, so recovery invariants (prefix
@@ -67,7 +72,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::Hasher;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// How hard the store tries to make each commit durable. See the module
@@ -150,6 +155,7 @@ struct Counters {
     group_commits: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    wal_syncs: AtomicU64,
 }
 
 /// A point-in-time view of store activity and size.
@@ -166,6 +172,12 @@ pub struct StoreStats {
     pub cache_hits: u64,
     /// Entity-cache lookups that had to decode (cold or invalidated key).
     pub cache_misses: u64,
+    /// WAL fsyncs performed (policy-driven, [`Store::sync`], checkpoints).
+    pub wal_syncs: u64,
+    /// Commits appended to the WAL since the last fsync. The
+    /// [`SyncPolicy::Batched`] contract says a quiescent store is fully
+    /// fsynced — i.e. this must read 0 once every commit has returned.
+    pub wal_unsynced_commits: u64,
     pub tables: usize,
     pub keys: usize,
     /// Number of memtable shards.
@@ -224,6 +236,10 @@ struct LogState {
     commits_since_checkpoint: u64,
     /// Commits flushed but not yet fsynced (drives [`SyncPolicy::EveryN`]).
     commits_since_sync: u64,
+    /// Commits appended since the last fsync, under any policy (feeds
+    /// `StoreStats::wal_unsynced_commits`; the Batched regression tests
+    /// assert it drains to 0 whenever the store quiesces).
+    unsynced_commits: u64,
     recovered_entries: u64,
     recovered_torn_tail: bool,
 }
@@ -249,15 +265,25 @@ pub struct Store {
     commit_mu: Mutex<CommitState>,
     commit_cv: Condvar,
     log_mu: Mutex<LogState>,
-    /// Writers queued behind the current group (maintained under
-    /// `commit_mu`, read lock-free by the leader for [`SyncPolicy::Batched`]).
-    queued_hint: AtomicUsize,
     /// Serializes read-modify-write cycles ([`Store::rmw_guard`]): holders
     /// know no *other guard holder's* write can interleave between their
     /// read and their commit.
     rmw_mu: parking_lot::Mutex<()>,
     opts: StoreOptions,
     counters: Counters,
+}
+
+/// Whether the `ITAG_NO_CACHE` environment variable forces the entity
+/// cache off: `1`/`true` disable it, `0`/`false`/empty leave it alone.
+/// The engine validates the value and rejects garbage loudly
+/// (`EngineError::Config`); the raw store stays conservative and treats
+/// an unrecognized value as "off", preserving the old presence-only
+/// semantics for direct store users. The cache tests gate on this same
+/// function so they can never desynchronize from the store's decision.
+fn env_disables_cache() -> bool {
+    std::env::var("ITAG_NO_CACHE")
+        .map(|v| !matches!(v.trim(), "" | "0" | "false"))
+        .unwrap_or(false)
 }
 
 fn wal_path(dir: &Path) -> PathBuf {
@@ -481,7 +507,7 @@ impl Store {
                 parts[s].entry(table).or_default().insert(k, v);
             }
         }
-        let cache_enabled = opts.entity_cache && std::env::var_os("ITAG_NO_CACHE").is_none();
+        let cache_enabled = opts.entity_cache && !env_disables_cache();
         Store {
             shards: parts.into_iter().map(RwLock::new).collect(),
             cache: (0..n).map(|_| RwLock::new(CacheShard::default())).collect(),
@@ -503,10 +529,10 @@ impl Store {
                 dir,
                 commits_since_checkpoint: 0,
                 commits_since_sync: 0,
+                unsynced_commits: 0,
                 recovered_entries,
                 recovered_torn_tail,
             }),
-            queued_hint: AtomicUsize::new(0),
             rmw_mu: parking_lot::Mutex::new(()),
             opts,
             counters: Counters::default(),
@@ -557,8 +583,20 @@ impl Store {
             let mask = self.table_mask(table);
             if mask == 0 {
                 // Presence is raised before a batch locks its shards, so a
-                // zero mask means no key of this table is committed yet.
-                return Vec::new();
+                // zero mask means no key of this table is committed yet and
+                // an empty view is a correct linearization (before any
+                // in-flight first batch). The re-check mirrors the non-zero
+                // arm's discipline: it narrows — but cannot close — the
+                // window in which a reader answers "empty" concurrently
+                // with a first-ever batch, at the cost of one map lookup.
+                // (Bits never clear, so a table whose rows were all deleted
+                // keeps its mask and takes the non-zero arm; the
+                // `presence_answers_stay_correct_*` regression test pins
+                // those delete paths.)
+                if self.table_mask(table) == 0 {
+                    return Vec::new();
+                }
+                continue;
             }
             let guards: Vec<_> = (0..n)
                 .filter(|s| mask >> s & 1 == 1)
@@ -637,7 +675,6 @@ impl Store {
             hints: batch.hints,
             payload: ops_bytes.map(|b| frame_payload(lsn, &b)),
         });
-        self.queued_hint.fetch_add(1, Ordering::Release);
 
         loop {
             // `applied_lsn` is checked before `broken`: a batch that made
@@ -658,7 +695,6 @@ impl Store {
             // back and wake the followers.
             state.leader_active = true;
             let mut group: Vec<Pending> = state.queue.drain(..).collect();
-            self.queued_hint.store(0, Ordering::Release);
             drop(state);
 
             let group_last_lsn = group.last().map(|p| p.lsn);
@@ -701,6 +737,7 @@ impl Store {
             let LogState {
                 wal,
                 commits_since_sync,
+                unsynced_commits,
                 ..
             } = &mut *log;
             if let Some(w) = wal.as_mut() {
@@ -711,25 +748,53 @@ impl Store {
                             .expect("durable stores serialize on enqueue"),
                     )?;
                 }
+                *unsynced_commits += group.len() as u64;
+                let fsync = |w: &mut wal::Wal,
+                             commits_since_sync: &mut u64,
+                             unsynced_commits: &mut u64|
+                 -> Result<()> {
+                    w.sync()?;
+                    *commits_since_sync = 0;
+                    *unsynced_commits = 0;
+                    self.counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                };
                 match self.opts.durability {
                     Durability::Sync => match self.opts.sync_policy {
-                        SyncPolicy::Always => w.sync()?,
+                        SyncPolicy::Always => fsync(w, commits_since_sync, unsynced_commits)?,
                         SyncPolicy::EveryN(n) => {
                             *commits_since_sync += group.len() as u64;
                             if n <= 1 || *commits_since_sync >= n {
-                                w.sync()?;
-                                *commits_since_sync = 0;
+                                fsync(w, commits_since_sync, unsynced_commits)?;
                             } else {
                                 w.flush()?;
                             }
                         }
                         SyncPolicy::Batched => {
-                            // Writers already queued behind this group will
-                            // form the next one; defer the fsync to it.
-                            if self.queued_hint.load(Ordering::Acquire) == 0 {
-                                w.sync()?;
-                            } else {
+                            // Derive the decision from the commit queue
+                            // itself, read under the commit mutex — i.e.
+                            // atomically with enqueues. The old lock-free
+                            // depth hint was written at drain time and
+                            // read here without any ordering against the
+                            // enqueues it was supposed to count, so the
+                            // leader could act on a count that never
+                            // corresponded to the queue state. Now: if
+                            // writers are queued behind this group they
+                            // *will* form the next group (they hold real
+                            // queue entries), and that group's leader
+                            // repeats this check — the last group of any
+                            // burst always observes an empty queue and
+                            // fsyncs, which is what keeps the "a
+                            // quiescent store is fully fsynced" contract
+                            // airtight. (Lock order is safe: a checkpoint
+                            // only takes `log_mu` under `commit_mu` after
+                            // observing `leader_active == false`, and we
+                            // are the active leader.)
+                            let followers_queued = !lock(&self.commit_mu).queue.is_empty();
+                            if followers_queued {
                                 w.flush()?;
+                            } else {
+                                fsync(w, commits_since_sync, unsynced_commits)?;
                             }
                         }
                     },
@@ -1116,6 +1181,7 @@ impl Store {
         // before the snapshot replaces them.
         if let Some(w) = log.wal.as_mut() {
             w.sync()?;
+            self.counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
         }
         {
             let guards = self.lock_all();
@@ -1141,6 +1207,7 @@ impl Store {
         log.wal = Some(wal::Wal::create(&wal_path(&dir))?);
         log.commits_since_checkpoint = 0;
         log.commits_since_sync = 0;
+        log.unsynced_commits = 0;
         self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -1150,8 +1217,10 @@ impl Store {
         let mut log = lock(&self.log_mu);
         if let Some(w) = log.wal.as_mut() {
             w.sync()?;
+            self.counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
         }
         log.commits_since_sync = 0;
+        log.unsynced_commits = 0;
         Ok(())
     }
 
@@ -1165,9 +1234,13 @@ impl Store {
                 .sum();
             (tables_union(&guards).len(), keys)
         };
-        let (recovered_entries, recovered_torn_tail) = {
+        let (recovered_entries, recovered_torn_tail, wal_unsynced_commits) = {
             let log = lock(&self.log_mu);
-            (log.recovered_entries, log.recovered_torn_tail)
+            (
+                log.recovered_entries,
+                log.recovered_torn_tail,
+                log.unsynced_commits,
+            )
         };
         StoreStats {
             gets: self.counters.gets.load(Ordering::Relaxed),
@@ -1178,6 +1251,8 @@ impl Store {
             group_commits: self.counters.group_commits.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            wal_syncs: self.counters.wal_syncs.load(Ordering::Relaxed),
+            wal_unsynced_commits,
             tables,
             keys,
             shards: self.shards.len(),
@@ -1742,12 +1817,149 @@ mod tests {
     }
 
     #[test]
+    fn batched_policy_fsyncs_every_uncontended_group() {
+        // Regression for the queue-depth hint: with a single writer the
+        // queue is empty at every group's decision point, so Batched must
+        // fsync each group — a leader may only skip the fsync for frames
+        // it just appended when real followers are queued to carry it.
+        let dir = TestDir::new("db-batched-every-group");
+        let s = Store::open(
+            dir.path(),
+            StoreOptions {
+                durability: Durability::Sync,
+                sync_policy: SyncPolicy::Batched,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..20u8 {
+            s.put(T1, vec![i], vec![i]).unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(
+            stats.wal_syncs, stats.group_commits,
+            "every uncontended Batched group must fsync"
+        );
+        assert_eq!(stats.wal_unsynced_commits, 0);
+    }
+
+    #[test]
+    fn batched_policy_leaves_no_unsynced_tail_after_a_burst() {
+        // The Batched contract: once every commit has returned and the
+        // queue is empty, the WAL is fully fsynced. The fix derives the
+        // leader's defer/fsync decision from the queue it actually sees
+        // under the commit mutex, so the last group of any burst always
+        // fsyncs — this must hold for every interleaving of the burst.
+        let dir = TestDir::new("db-batched-burst");
+        let s = Arc::new(
+            Store::open(
+                dir.path(),
+                StoreOptions {
+                    durability: Durability::Sync,
+                    sync_policy: SyncPolicy::Batched,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let threads: Vec<_> = (0..8u8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..50u8 {
+                        let mut b = WriteBatch::new();
+                        b.put(T1, vec![t, i], vec![i]);
+                        s.commit(b).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.commits, 400);
+        assert_eq!(
+            stats.wal_unsynced_commits, 0,
+            "a quiescent Batched store must be fully fsynced"
+        );
+        assert!(stats.wal_syncs >= 1);
+        // And the data really is durable without any explicit sync().
+        drop(s);
+        let s = Store::open(dir.path(), StoreOptions::default()).unwrap();
+        assert_eq!(s.count(T1), 400);
+    }
+
+    #[test]
+    fn presence_answers_stay_correct_when_a_batch_empties_a_table() {
+        // Regression for the presence-mask fast paths: a table whose only
+        // rows were deleted keeps its mask raised forever, so `count`,
+        // `last_key` and the scans must answer from the (empty) shard
+        // contents, never from the mask — including when the put and the
+        // delete ride in the *same* batch.
+        for shards in [1usize, 4, 16] {
+            let s = Store::in_memory_sharded(shards);
+
+            // Same-batch put + delete: the batch raises presence bits but
+            // commits an empty table.
+            let mut b = WriteBatch::new();
+            b.put(T1, b"a".to_vec(), vec![1]);
+            b.put(T1, b"b".to_vec(), vec![2]);
+            b.delete(T1, b"a".to_vec());
+            b.delete(T1, b"b".to_vec());
+            s.commit(b).unwrap();
+            assert_eq!(s.count(T1), 0, "shards={shards}");
+            assert!(s.last_key(T1).is_none(), "shards={shards}");
+            assert!(s.scan_all(T1).is_empty());
+            assert!(!s.contains(T1, b"a"));
+
+            // Rows spread over every shard, then emptied by one batch.
+            for i in 0..64u32 {
+                s.put(T1, i.to_be_bytes().to_vec(), vec![0]).unwrap();
+            }
+            let mut b = WriteBatch::new();
+            for i in 0..64u32 {
+                b.delete(T1, i.to_be_bytes().to_vec());
+            }
+            s.commit(b).unwrap();
+            assert_eq!(s.count(T1), 0);
+            assert!(s.last_key(T1).is_none());
+            assert!(s.scan_range(T1, &[], None).is_empty());
+            let mut streamed = 0;
+            s.for_each_range(T1, &[], None, |_, _| {
+                streamed += 1;
+                true
+            });
+            assert_eq!(streamed, 0);
+
+            // Delete + re-insert in one batch: answers must reflect the
+            // batch's net effect, in op order.
+            s.put(T1, b"x".to_vec(), vec![1]).unwrap();
+            let mut b = WriteBatch::new();
+            b.delete(T1, b"x".to_vec());
+            b.put(T1, b"y".to_vec(), vec![2]);
+            s.commit(b).unwrap();
+            assert_eq!(s.count(T1), 1);
+            assert_eq!(s.last_key(T1).unwrap().as_ref(), b"y");
+
+            // The emptied-then-reused table keeps working.
+            s.delete(T1, b"y".to_vec()).unwrap();
+            assert!(s.last_key(T1).is_none());
+            s.put(T1, b"z".to_vec(), vec![3]).unwrap();
+            assert_eq!(s.count(T1), 1);
+            assert_eq!(s.last_key(T1).unwrap().as_ref(), b"z");
+        }
+    }
+
+    #[test]
     fn cache_write_through_and_invalidation() {
-        if std::env::var_os("ITAG_NO_CACHE").is_some() {
-            // The CI matrix re-runs the whole suite with the cache force-
-            // disabled; this test *is about* cache behaviour, so it only
-            // runs when the cache can be on. `cache_can_be_disabled_by_
-            // option` covers the disabled contract.
+        // The CI matrix re-runs the whole suite with the cache force-
+        // disabled; this test *is about* cache behaviour, so it only runs
+        // when the cache can be on (`ITAG_NO_CACHE=0` keeps it on — the
+        // gate shares `assemble`'s parser rather than keying on mere
+        // presence). `cache_can_be_disabled_by_option` covers the
+        // disabled contract.
+        if env_disables_cache() {
             return;
         }
         let s = Store::in_memory();

@@ -1,8 +1,10 @@
 //! Concurrency determinism suite: the parallel engine tick must be
-//! bit-for-bit identical at every thread count. The same multi-campaign
-//! scenario (spammers included, so the reliability overlay is exercised)
-//! runs at `threads = 1, 2, 8`; monitor snapshots, per-worker ledger
-//! balances, and a digest of every stored table must agree exactly.
+//! bit-for-bit identical at every thread count **and every round-pipeline
+//! depth**. The same multi-campaign scenario (spammers included, so the
+//! reliability overlay is exercised) runs at `threads = 1, 2, 8` and
+//! pipeline depths `0` (the barrier schedule), `1` and `2`; monitor
+//! snapshots, per-worker ledger balances, and a digest of every stored
+//! table must agree exactly.
 
 use itag::core::config::EngineConfig;
 use itag::core::engine::{ITagEngine, RunSummary};
@@ -43,21 +45,26 @@ fn build_engine() -> (ITagEngine, Vec<ProjectId>) {
     (e, projects)
 }
 
-#[allow(clippy::type_complexity)]
-fn run_with(
-    threads: usize,
-    rounds: u32,
-    tasks_per_round: u32,
-) -> (
+type RoundOutput = (
     Vec<(ProjectId, RunSummary)>,
     Vec<MonitorSnapshot>,
     Vec<Vec<(u32, u64)>>,
     u64,
-) {
+);
+
+fn run_with(
+    threads: usize,
+    pipeline_depth: usize,
+    rounds: u32,
+    tasks_per_round: u32,
+) -> RoundOutput {
     let (mut e, projects) = build_engine();
     let mut summaries = Vec::new();
     for _ in 0..rounds {
-        summaries.extend(e.run_all_on(tasks_per_round, threads).unwrap());
+        summaries.extend(
+            e.run_all_with(tasks_per_round, threads, pipeline_depth)
+                .unwrap(),
+        );
     }
     let monitors = projects.iter().map(|p| e.monitor(*p).unwrap()).collect();
     let balances = projects
@@ -68,24 +75,34 @@ fn run_with(
     (summaries, monitors, balances, checksum)
 }
 
+fn assert_equal(base: &RoundOutput, other: &RoundOutput, what: &str) {
+    assert_eq!(base.0, other.0, "run summaries differ: {what}");
+    assert_eq!(base.1, other.1, "monitor snapshots differ: {what}");
+    assert_eq!(base.2, other.2, "ledger balances differ: {what}");
+    assert_eq!(base.3, other.3, "stored-table checksums differ: {what}");
+}
+
 #[test]
 fn single_round_is_identical_at_1_2_and_8_threads() {
-    let base = run_with(1, 1, 150);
+    let base = run_with(1, 0, 1, 150);
     for threads in [2usize, 8] {
-        let other = run_with(threads, 1, 150);
-        assert_eq!(base.0, other.0, "run summaries differ at {threads} threads");
-        assert_eq!(
-            base.1, other.1,
-            "monitor snapshots differ at {threads} threads"
-        );
-        assert_eq!(
-            base.2, other.2,
-            "ledger balances differ at {threads} threads"
-        );
-        assert_eq!(
-            base.3, other.3,
-            "stored-table checksums differ at {threads} threads"
-        );
+        let other = run_with(threads, 0, 1, 150);
+        assert_equal(&base, &other, &format!("{threads} threads, pipeline off"));
+    }
+}
+
+#[test]
+fn single_round_is_identical_across_pipeline_depths() {
+    // Pipelining on vs off, and at depth 1 vs 2, at every thread count:
+    // snapshots, ledgers and stored bytes must be bit-identical. This is
+    // the round-pipeline contract — the merger overlapping later ticks
+    // must be unobservable in the results.
+    let base = run_with(1, 0, 1, 150);
+    for threads in [1usize, 2, 8] {
+        for depth in [1usize, 2] {
+            let other = run_with(threads, depth, 1, 150);
+            assert_equal(&base, &other, &format!("{threads} threads, depth {depth}"));
+        }
     }
 }
 
@@ -94,27 +111,40 @@ fn multi_round_interleaving_is_identical_across_thread_counts() {
     // Several smaller rounds: reputation persisted between rounds feeds
     // the next round's reliability gate, so round boundaries must land in
     // the same places at every thread count.
-    let base = run_with(1, 3, 50);
+    let base = run_with(1, 0, 3, 50);
     for threads in [2usize, 8] {
-        let other = run_with(threads, 3, 50);
-        assert_eq!(base.0, other.0, "summaries differ at {threads} threads");
-        assert_eq!(base.1, other.1, "monitors differ at {threads} threads");
-        assert_eq!(base.2, other.2, "balances differ at {threads} threads");
-        assert_eq!(base.3, other.3, "checksums differ at {threads} threads");
+        let other = run_with(threads, 0, 3, 50);
+        assert_equal(&base, &other, &format!("{threads} threads, pipeline off"));
+    }
+}
+
+#[test]
+fn multi_round_interleaving_is_identical_across_pipeline_depths() {
+    // Round boundaries are where the pipeline hands its RNG streams and
+    // reputation snapshots across rounds; depths 1 and 2 must land every
+    // boundary in the same place the barrier schedule does.
+    let base = run_with(1, 0, 3, 50);
+    for threads in [2usize, 8] {
+        for depth in [1usize, 2] {
+            let other = run_with(threads, depth, 3, 50);
+            assert_equal(&base, &other, &format!("{threads} threads, depth {depth}"));
+        }
     }
 }
 
 #[test]
 fn run_all_with_env_resolved_threads_matches_explicit_single_thread() {
     // `run_all()` resolves its thread count from `EngineConfig::threads`,
-    // then `ITAG_THREADS`, then the machine — this is the path the CI
-    // matrix (ITAG_THREADS=1 and 8) actually exercises. Whatever it
-    // resolves to, the results must equal an explicit one-thread round.
+    // then `ITAG_THREADS`, then the machine — and its pipeline depth from
+    // `EngineConfig::pipeline_depth`, then `ITAG_PIPELINE`, then the
+    // default. This is the path the CI matrix (ITAG_THREADS x
+    // ITAG_PIPELINE) actually exercises. Whatever it resolves to, the
+    // results must equal an explicit one-thread, pipeline-off round.
     let (mut via_env, projects) = build_engine();
     let (mut explicit, _) = build_engine();
     assert!(via_env.resolved_threads() >= 1);
     let a = via_env.run_all(150).unwrap();
-    let b = explicit.run_all_on(150, 1).unwrap();
+    let b = explicit.run_all_with(150, 1, 0).unwrap();
     assert_eq!(a, b, "env-resolved thread count changed the results");
     assert_eq!(via_env.store_checksum(), explicit.store_checksum());
     for p in &projects {
@@ -128,17 +158,19 @@ fn run_all_with_env_resolved_threads_matches_explicit_single_thread() {
 
 #[test]
 fn parallel_rounds_preserve_integrity_and_money_conservation() {
-    let (mut e, projects) = build_engine();
-    let summaries = e.run_all_on(150, 4).unwrap();
-    assert_eq!(summaries.len(), projects.len());
-    for p in &projects {
-        assert_eq!(e.verify_integrity(*p).unwrap(), 40);
-        let m = e.monitor(*p).unwrap();
-        assert_eq!(
-            m.paid + m.refunded + m.escrowed,
-            m.budget_spent as u64 * 5,
-            "project {p:?} leaks money"
-        );
+    for depth in [0usize, 2] {
+        let (mut e, projects) = build_engine();
+        let summaries = e.run_all_with(150, 4, depth).unwrap();
+        assert_eq!(summaries.len(), projects.len());
+        for p in &projects {
+            assert_eq!(e.verify_integrity(*p).unwrap(), 40);
+            let m = e.monitor(*p).unwrap();
+            assert_eq!(
+                m.paid + m.refunded + m.escrowed,
+                m.budget_spent as u64 * 5,
+                "project {p:?} leaks money at pipeline depth {depth}"
+            );
+        }
     }
 }
 
@@ -161,4 +193,38 @@ fn sequential_and_parallel_paths_can_interleave() {
     for p in &projects {
         assert_eq!(e.verify_integrity(*p).unwrap(), 40);
     }
+}
+
+#[test]
+fn durable_store_bytes_are_identical_across_pipeline_depths() {
+    // The strongest form of the contract: the WAL frames the merger
+    // commits land in the same order with pipelining on and off, so two
+    // durable engines running the same rounds produce byte-identical
+    // recovered stores.
+    let mut checksums = Vec::new();
+    for depth in [0usize, 1, 2] {
+        let dir = itag::store::testutil::TestDir::new(&format!("det-pipeline-{depth}"));
+        {
+            let mut config = EngineConfig::durable(0xD17E, dir.path().to_path_buf());
+            config.workers = 16;
+            config.spammer_fraction = 0.25;
+            let mut e = ITagEngine::new(config).unwrap();
+            let provider = e.register_provider("determinism-suite").unwrap();
+            for i in 0..3u64 {
+                e.add_project(
+                    provider,
+                    ProjectSpec::demo(&format!("campaign-{i}"), 100),
+                    dataset(0xD17E + i),
+                )
+                .unwrap();
+            }
+            e.run_all_with(100, 4, depth).unwrap();
+            e.checkpoint().unwrap();
+        }
+        let reopened =
+            ITagEngine::new(EngineConfig::durable(0xD17E, dir.path().to_path_buf())).unwrap();
+        checksums.push(reopened.store_checksum());
+    }
+    assert_eq!(checksums[0], checksums[1], "depth 0 vs 1 diverged on disk");
+    assert_eq!(checksums[0], checksums[2], "depth 0 vs 2 diverged on disk");
 }
