@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use itag_bench::scenario::{build_multi_campaign, MultiCampaignConfig};
+use itag_core::config::ReputationMode;
 use std::hint::black_box;
 
 fn bench_multi_campaign(c: &mut Criterion) {
@@ -39,5 +40,55 @@ fn bench_multi_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_multi_campaign);
+/// The large-population scenario: a registered tagger population far
+/// beyond the per-round worker set, the campaign budget split over
+/// several rounds so per-round costs show. The `rescan` reputation
+/// schedule rebuilds the round-start snapshot by scanning that whole
+/// population every round; the `ledger` schedule applies the round's
+/// per-worker deltas instead — the gap between the two cells is exactly
+/// the per-round cost that used to scale with the registered population.
+fn bench_large_population(c: &mut Criterion) {
+    let rounds = 5u32;
+    let cfg = MultiCampaignConfig {
+        projects: 2,
+        resources: 50,
+        initial_posts: 250,
+        budget: 50,
+        workers: 12,
+        registered_taggers: 20_000,
+        ..MultiCampaignConfig::default()
+    };
+    let per_round = cfg.budget.div_ceil(rounds);
+    let total_tasks = cfg.projects as u32 * cfg.budget;
+    let name = format!(
+        "engine/large_population_{}taggers_{}rounds",
+        cfg.registered_taggers, rounds
+    );
+    let mut group = c.benchmark_group(&name);
+    group.sample_size(10);
+    for mode in [ReputationMode::Ledger, ReputationMode::Rescan] {
+        let cfg = MultiCampaignConfig {
+            reputation: Some(mode),
+            ..cfg.clone()
+        };
+        group.bench_function(format!("{mode:?}").to_lowercase(), |b| {
+            b.iter_batched(
+                || build_multi_campaign(&cfg),
+                |(mut engine, _projects)| {
+                    let mut issued = 0u32;
+                    for _ in 0..rounds {
+                        let summaries = engine.run_all_with(per_round, 2, 2).unwrap();
+                        issued += summaries.iter().map(|(_, s)| s.issued).sum::<u32>();
+                    }
+                    assert_eq!(issued, total_tasks);
+                    black_box(issued)
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_campaign, bench_large_population);
 criterion_main!(benches);

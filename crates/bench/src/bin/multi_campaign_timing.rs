@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! cargo run --release -p itag-bench --bin multi_campaign_timing -- \
-//!     [iters] [threads] [projects] [budget] [pipeline_depth]
+//!     [iters] [threads] [projects] [budget] [pipeline_depth] [registered_taggers] [rounds]
 //! ```
 //!
 //! Runs the standard `MultiCampaignConfig` scenario (the same one the
 //! Criterion `multi_campaign` bench sweeps) `iters` times at a fixed
 //! thread count and round-pipeline depth (`0` = barrier schedule, `n` =
 //! pipelined with a channel of `n`; default 2) and prints per-iteration
-//! wall time plus tasks/sec for the best run. Criterion gives
+//! wall time plus tasks/sec for the best run. `registered_taggers`
+//! (default 0) seeds that many inactive tagger accounts before the
+//! campaigns start — the large-population scenario where the `rescan`
+//! reputation schedule pays a per-round scan the `ledger` schedule
+//! doesn't (select the schedule with `ITAG_REPUTATION=ledger|rescan`).
+//! `rounds` (default 1) splits each campaign's budget across that many
+//! `run_all_with` calls — per-round work like the reputation snapshot
+//! happens once per call, so more rounds expose per-round costs that a
+//! single full-budget round amortizes away. Criterion gives
 //! distributions; this binary gives one stable headline number cheaply,
 //! which is what the PR-over-PR BENCH_*.json records compare.
 
@@ -29,21 +37,40 @@ fn main() {
         cfg.budget = budget;
     }
     let pipeline_depth: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    if let Some(registered) = args.next().and_then(|a| a.parse().ok()) {
+        cfg.registered_taggers = registered;
+    }
+    let rounds: u32 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .filter(|r| *r >= 1)
+        .unwrap_or(1);
     let total_tasks = cfg.projects as u32 * cfg.budget;
+    let per_round = cfg.budget.div_ceil(rounds);
     println!(
-        "scenario: {} projects x {} tasks, {} resources each, threads={threads}, pipeline_depth={pipeline_depth}",
-        cfg.projects, cfg.budget, cfg.resources
+        "scenario: {} projects x {} tasks over {rounds} round(s), {} resources each, \
+         {} registered taggers, threads={threads}, pipeline_depth={pipeline_depth}",
+        cfg.projects, cfg.budget, cfg.resources, cfg.registered_taggers
     );
 
     let mut best = f64::INFINITY;
     for i in 0..iters {
         let (mut engine, _projects) = build_multi_campaign(&cfg);
+        if i == 0 {
+            println!(
+                "reputation schedule: {:?}",
+                engine.resolved_reputation_mode()
+            );
+        }
         let start = Instant::now();
-        let summaries = engine
-            .run_all_with(cfg.budget, threads, pipeline_depth)
-            .unwrap();
+        let mut issued = 0u32;
+        for _ in 0..rounds {
+            let summaries = engine
+                .run_all_with(per_round, threads, pipeline_depth)
+                .unwrap();
+            issued += summaries.iter().map(|(_, s)| s.issued).sum::<u32>();
+        }
         let secs = start.elapsed().as_secs_f64();
-        let issued: u32 = summaries.iter().map(|(_, s)| s.issued).sum();
         assert_eq!(issued, total_tasks);
         let stats = engine.store_stats();
         println!(

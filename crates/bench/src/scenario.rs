@@ -1,6 +1,6 @@
 //! Scenario builders shared by the figure harness and the benches.
 
-use itag_core::config::EngineConfig;
+use itag_core::config::{EngineConfig, ReputationMode};
 use itag_core::engine::ITagEngine;
 use itag_core::project::ProjectSpec;
 use itag_model::delicious::{DeliciousConfig, DeliciousDataset};
@@ -93,6 +93,16 @@ pub struct MultiCampaignConfig {
     pub popularity_exponent: f64,
     /// Simulated workers per campaign platform.
     pub workers: usize,
+    /// Registered-but-inactive tagger accounts seeded into the user table
+    /// before the campaigns start — the north-star shape where the
+    /// registered population dwarfs any round's worker set. Inactive
+    /// accounts influence no decision (the equivalence suite proves it),
+    /// but the `rescan` reputation schedule pays to walk them at every
+    /// round start while the `ledger` schedule never sees them.
+    pub registered_taggers: u32,
+    /// Reputation schedule override (`None` = engine auto: config, then
+    /// `ITAG_REPUTATION`, then the ledger default).
+    pub reputation: Option<ReputationMode>,
     /// Master seed; each campaign derives its own dataset seed.
     pub seed: u64,
 }
@@ -106,6 +116,8 @@ impl Default for MultiCampaignConfig {
             budget: 200,
             popularity_exponent: 1.0,
             workers: 24,
+            registered_taggers: 0,
+            reputation: None,
             seed: 0x5CA1E,
         }
     }
@@ -116,7 +128,15 @@ impl Default for MultiCampaignConfig {
 pub fn build_multi_campaign(cfg: &MultiCampaignConfig) -> (ITagEngine, Vec<ProjectId>) {
     let mut engine_config = EngineConfig::in_memory(cfg.seed);
     engine_config.workers = cfg.workers;
+    engine_config.reputation = cfg.reputation;
     let mut engine = ITagEngine::new(engine_config).expect("in-memory engine");
+    if cfg.registered_taggers > 0 {
+        // Seed the inactive population well above the live worker-id
+        // range so campaign workers never collide with it.
+        engine
+            .seed_taggers(1 << 20, cfg.registered_taggers)
+            .expect("population seeding");
+    }
     let provider = engine
         .register_provider("multi-campaign")
         .expect("provider registration");
@@ -185,6 +205,38 @@ mod tests {
     fn gini_detects_concentration() {
         assert!(gini(&[1, 1, 1, 1]) < 0.01);
         assert!(gini(&[0, 0, 0, 100]) > 0.7);
+    }
+
+    #[test]
+    fn registered_population_and_schedule_do_not_change_outcomes() {
+        // The large-population scenario (registered taggers ≫ per-round
+        // workers) must produce the same campaign results as the plain
+        // one, in either reputation schedule — the population is pure
+        // scan load for the rescan schedule, never signal.
+        let base_cfg = MultiCampaignConfig {
+            projects: 2,
+            resources: 30,
+            initial_posts: 120,
+            budget: 40,
+            workers: 8,
+            ..MultiCampaignConfig::default()
+        };
+        let (mut base, projects) = build_multi_campaign(&base_cfg);
+        let base_summaries = base.run_all_on(base_cfg.budget, 2).unwrap();
+        for reputation in [Some(ReputationMode::Ledger), Some(ReputationMode::Rescan)] {
+            let cfg = MultiCampaignConfig {
+                registered_taggers: 2_000,
+                reputation,
+                ..base_cfg.clone()
+            };
+            let (mut e, p) = build_multi_campaign(&cfg);
+            assert_eq!(p, projects);
+            let summaries = e.run_all_on(cfg.budget, 2).unwrap();
+            assert_eq!(
+                summaries, base_summaries,
+                "population/schedule changed outcomes under {reputation:?}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,27 @@ pub enum StorageConfig {
     },
 }
 
+/// How the engine maintains the round-start reputation view the parallel
+/// tick reads (see `crate::user_mgr::ReputationLedger`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReputationMode {
+    /// Incremental (the default): the engine builds the ledger from the
+    /// tagger table once at open/recovery, then applies each round's
+    /// per-worker decision deltas on the merger thread — per-round cost
+    /// scales with the round's active workers, not the registered
+    /// population.
+    Ledger,
+    /// The pre-ledger escape hatch: rebuild the snapshot by rescanning
+    /// the tagger table at every round start. Kept as the reference
+    /// schedule the equivalence suite compares against; results are
+    /// bit-identical either way.
+    Rescan,
+}
+
+/// Reputation schedule used when neither [`EngineConfig::reputation`] nor
+/// `ITAG_REPUTATION` says otherwise.
+pub const DEFAULT_REPUTATION_MODE: ReputationMode = ReputationMode::Ledger;
+
 /// Engine-wide settings; per-project settings live in
 /// [`crate::project::ProjectSpec`].
 #[derive(Debug, Clone)]
@@ -66,6 +87,14 @@ pub struct EngineConfig {
     /// depth `n`), else [`DEFAULT_PIPELINE_DEPTH`]. Results are
     /// bit-identical at every depth — a throughput knob only.
     pub pipeline_depth: Option<usize>,
+    /// Reputation-snapshot schedule for
+    /// [`crate::engine::ITagEngine::run_all`]: `Some(Ledger)` maintains
+    /// the round-start view incrementally, `Some(Rescan)` rebuilds it by
+    /// scanning the tagger table each round; `None` = auto: the
+    /// `ITAG_REPUTATION` environment variable if set (`ledger`/`rescan`),
+    /// else [`DEFAULT_REPUTATION_MODE`]. Results are bit-identical in
+    /// either mode — a throughput knob only.
+    pub reputation: Option<ReputationMode>,
     /// Storage backend.
     pub storage: StorageConfig,
 }
@@ -90,6 +119,7 @@ impl Default for EngineConfig {
             threads: 0,
             entity_cache: true,
             pipeline_depth: None,
+            reputation: None,
             storage: StorageConfig::InMemory,
         }
     }
@@ -107,6 +137,9 @@ pub struct EnvOverrides {
     pub pipeline_depth: Option<usize>,
     /// `ITAG_NO_CACHE`: force the decoded-entity cache off.
     pub no_cache: Option<bool>,
+    /// `ITAG_REPUTATION`: reputation-snapshot schedule
+    /// (`ledger`/`rescan`).
+    pub reputation: Option<ReputationMode>,
 }
 
 impl EnvOverrides {
@@ -117,6 +150,7 @@ impl EnvOverrides {
             threads: parse_threads(var("ITAG_THREADS").as_deref())?,
             pipeline_depth: parse_pipeline(var("ITAG_PIPELINE").as_deref())?,
             no_cache: parse_no_cache(var("ITAG_NO_CACHE").as_deref())?,
+            reputation: parse_reputation(var("ITAG_REPUTATION").as_deref())?,
         })
     }
 }
@@ -162,6 +196,21 @@ pub fn parse_no_cache(raw: Option<&str>) -> std::result::Result<Option<bool>, St
         "0" | "false" => Ok(Some(false)),
         _ => Err(format!(
             "ITAG_NO_CACHE={raw:?} is not a valid cache switch (expected 0/1/true/false)"
+        )),
+    }
+}
+
+/// Parses `ITAG_REPUTATION`: `ledger` or `rescan`, case-insensitive;
+/// unset/empty means unset (auto), anything else is an error — the same
+/// strict contract as the other knobs.
+pub fn parse_reputation(raw: Option<&str>) -> std::result::Result<Option<ReputationMode>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" => Ok(None),
+        "ledger" => Ok(Some(ReputationMode::Ledger)),
+        "rescan" => Ok(Some(ReputationMode::Rescan)),
+        _ => Err(format!(
+            "ITAG_REPUTATION={raw:?} is not a valid reputation schedule (expected ledger or rescan)"
         )),
     }
 }
@@ -216,11 +265,21 @@ mod tests {
         assert_eq!(parse_no_cache(Some("true")).unwrap(), Some(true));
         assert_eq!(parse_no_cache(Some("0")).unwrap(), Some(false));
         assert_eq!(parse_no_cache(Some("false")).unwrap(), Some(false));
+        assert_eq!(parse_reputation(None).unwrap(), None);
+        assert_eq!(
+            parse_reputation(Some("ledger")).unwrap(),
+            Some(ReputationMode::Ledger)
+        );
+        assert_eq!(
+            parse_reputation(Some(" Rescan ")).unwrap(),
+            Some(ReputationMode::Rescan)
+        );
         // `VAR=` in a shell means "cleared", not garbage — empty (or
         // whitespace) parses as unset for every knob.
         assert_eq!(parse_threads(Some("")).unwrap(), None);
         assert_eq!(parse_pipeline(Some(" ")).unwrap(), None);
         assert_eq!(parse_no_cache(Some("")).unwrap(), None);
+        assert_eq!(parse_reputation(Some("")).unwrap(), None);
     }
 
     #[test]
@@ -241,6 +300,13 @@ mod tests {
         for bad in ["yes", "2", "disable"] {
             let err = parse_no_cache(Some(bad)).unwrap_err();
             assert!(err.contains("ITAG_NO_CACHE") && err.contains(bad), "{err}");
+        }
+        for bad in ["full", "0", "incremental"] {
+            let err = parse_reputation(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("ITAG_REPUTATION") && err.contains(bad),
+                "{err}"
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! system path the demo exercises; the `itag-strategy` simulator is the
 //! algorithm path the figures sweep.
 
-use crate::config::{EngineConfig, EnvOverrides, StorageConfig};
+use crate::config::{EngineConfig, EnvOverrides, ReputationMode, StorageConfig};
 use crate::monitor::{MonitorSnapshot, ResourceDetail, ResourceRow};
 use crate::notify::{Notification, NotificationQueue};
 use crate::project::{ProjectRecord, ProjectSpec, ProjectState};
@@ -16,7 +16,7 @@ use crate::quality_mgr::{ProjectQuality, QualityManager};
 use crate::records::{DatasetRecord, UserRole};
 use crate::resource_mgr::ResourceManager;
 use crate::tag_mgr::TagManager;
-use crate::user_mgr::{ReputationSnapshot, UserManager};
+use crate::user_mgr::{DecisionDeltas, ReputationLedger, ReputationSnapshot, UserManager};
 use crate::{EngineError, Result};
 use itag_crowd::approval::ApprovalPolicy;
 use itag_crowd::behavior::TaggerBehavior;
@@ -257,17 +257,22 @@ fn assign_post_base(
     })
 }
 
-/// The serial half of one project's round: fold the round's decisions per
-/// worker into the staged batch, add the provider's round totals and the
-/// project row, commit the whole frame, and hand back the round's
+/// The serial half of one project's round: stage the round's
+/// already-folded per-worker deltas and the provider's round totals, add
+/// the project row, commit the whole frame, and hand back the round's
 /// notifications. Runs in project-id order — on the dedicated merger
 /// thread when the round pipeline is on, on the calling thread otherwise
-/// — so the stored bytes are identical either way.
+/// — so the stored bytes are identical either way. Once (and only once)
+/// the frame has committed, the same deltas are applied to the
+/// incremental reputation ledger, so the ledger can never run ahead of
+/// the durable tagger table — a failed merge leaves both untouched.
 fn merge_ticked_project(
     users: &UserManager,
     projects: &TypedTable<ProjectRecord>,
     store: &Store,
+    ledger: Option<&ReputationLedger>,
     job: MergeJob,
+    deltas: DecisionDeltas,
     batch: Result<WriteBatch>,
 ) -> (Result<RunSummary>, Vec<Notification>) {
     let MergeJob {
@@ -280,38 +285,12 @@ fn merge_ticked_project(
     } = job;
     let ProjectOutcome {
         summary,
-        decisions,
         notifications,
+        ..
     } = outcome;
     let merged: Result<RunSummary> = (|| {
         let mut batch = batch?;
-        // Fold the round's decisions per worker (ascending id — a
-        // deterministic order) so each tagger record is encoded once per
-        // project instead of once per decision, and the provider record
-        // exactly once (its round totals); the counter deltas commute, so
-        // the stored records are identical to per-decision staging.
-        let mut per_worker: FxHashMap<u32, (u32, u32, u64)> = FxHashMap::default();
-        let (mut approved_total, mut rejected_total) = (0u32, 0u32);
-        for d in &decisions {
-            let e = per_worker.entry(d.worker.0).or_insert((0, 0, 0));
-            if d.approved {
-                e.0 += 1;
-                e.2 += d.pay as u64;
-                approved_total += 1;
-            } else {
-                e.1 += 1;
-                rejected_total += 1;
-            }
-        }
-        let mut workers: Vec<u32> = per_worker.keys().copied().collect();
-        workers.sort_unstable();
-        for w in workers {
-            let (approved, rejected, earned) = per_worker[&w];
-            users.stage_tagger_decisions(&mut batch, w, approved, rejected, earned)?;
-        }
-        if !decisions.is_empty() {
-            users.stage_provider_decisions(&mut batch, provider, approved_total, rejected_total)?;
-        }
+        users.stage_round_deltas(&mut batch, provider, &deltas)?;
         // The project row rides in the same frame as the round's effects:
         // budget/state can never run ahead of (or behind) the posts they
         // paid for, and the separate commit is gone.
@@ -324,8 +303,17 @@ fn merge_ticked_project(
         store.commit(batch)?;
         Ok(summary)
     })();
+    // The staged-record overlay only has to outlive the batch. Clearing
+    // on the failure path matters just as much: records staged into a
+    // batch that never committed must not keep answering reads.
+    users.clear_staged();
     match merged {
-        Ok(s) => (Ok(s), notifications),
+        Ok(s) => {
+            if let Some(ledger) = ledger {
+                ledger.apply(&deltas);
+            }
+            (Ok(s), notifications)
+        }
         Err(e) => (Err(e), Vec::new()),
     }
 }
@@ -518,8 +506,15 @@ pub struct ITagEngine {
     runtimes: FxHashMap<u32, ProjectRuntime>,
     config: EngineConfig,
     /// Environment overrides, validated once at construction — garbage in
-    /// `ITAG_THREADS`/`ITAG_PIPELINE`/`ITAG_NO_CACHE` fails `new` loudly.
+    /// `ITAG_THREADS`/`ITAG_PIPELINE`/`ITAG_NO_CACHE`/`ITAG_REPUTATION`
+    /// fails `new` loudly.
     env: EnvOverrides,
+    /// The incremental reputation ledger (`ITAG_REPUTATION=ledger`, the
+    /// default): built from the tagger table once at open/recovery, kept
+    /// current by the merger applying each committed round's deltas.
+    /// `None` in rescan mode, and when reliability enforcement is off
+    /// (the gate is never read, so nothing needs maintaining).
+    reputation: Option<ReputationLedger>,
     rng: StdRng,
     notifications: NotificationQueue,
     next_post_id: u64,
@@ -581,6 +576,18 @@ impl ITagEngine {
             .max()
             .unwrap_or(0);
 
+        // Build-once for the incremental schedule: one tagger-range scan
+        // here (which after a crash is the recovery rebuild — the WAL
+        // replay restored the table, this restores the ledger), then the
+        // merge phase's deltas keep it current; no per-round rescans.
+        let reputation_mode = resolve_reputation_mode(&config, &env);
+        let reputation = if config.enforce_reliability && reputation_mode == ReputationMode::Ledger
+        {
+            Some(users.reputation_ledger()?)
+        } else {
+            None
+        };
+
         let rng = StdRng::seed_from_u64(config.seed);
         Ok(ITagEngine {
             store,
@@ -592,6 +599,7 @@ impl ITagEngine {
             runtimes: FxHashMap::default(),
             config,
             env,
+            reputation,
             rng,
             notifications: NotificationQueue::default(),
             next_post_id,
@@ -901,6 +909,16 @@ impl ITagEngine {
     /// the statistics (UPDATE()), and emit feedback. Returns
     /// `(approved, rejected)` for this tick.
     pub fn collect_once(&mut self, project: ProjectId) -> Result<(u32, u32)> {
+        let out = self.collect_once_inner(project);
+        if out.is_err() {
+            // A failed collection may have left records staged for a batch
+            // that will never commit; they must not answer later reads.
+            self.users.clear_staged();
+        }
+        out
+    }
+
+    fn collect_once_inner(&mut self, project: ProjectId) -> Result<(u32, u32)> {
         let rt = self
             .runtimes
             .get_mut(&project.0)
@@ -948,6 +966,13 @@ impl ITagEngine {
                 rejected += 1;
             }
             self.store.commit(batch)?;
+            // The decision is durable: the staged overlay has served its
+            // read-your-own-writes purpose, and the reputation ledger
+            // (when maintained) absorbs the same delta the table just did.
+            self.users.clear_staged();
+            if let Some(ledger) = self.reputation.as_mut() {
+                ledger.bump(worker.0, approve as u32, !approve as u32);
+            }
 
             // Reliability enforcement: a tagger whose received-approval
             // rate fell through the gate stops receiving assignments.
@@ -1146,9 +1171,16 @@ impl ITagEngine {
 
         // The snapshot's only consumer is the reliability gate inside
         // `tick_campaign`, itself gated on `enforce_reliability` — skip
-        // the tagger-table scan entirely when the gate is off.
+        // building one entirely when the gate is off. With the gate on,
+        // ledger mode hands out the engine-held round-start view in O(1)
+        // (an `Arc` of the maintained counters); rescan mode rebuilds it
+        // from the tagger table — O(registered taggers) — as the
+        // reference schedule.
         let rep = if self.config.enforce_reliability {
-            self.users.reputation_snapshot()?
+            match &self.reputation {
+                Some(ledger) => ledger.snapshot(),
+                None => self.users.reputation_snapshot()?,
+            }
         } else {
             self.users.empty_reputation_snapshot()
         };
@@ -1158,6 +1190,7 @@ impl ITagEngine {
             let tags_mgr = &self.tags;
             let resources_mgr = &self.resources;
             let users = &self.users;
+            let ledger = self.reputation.as_ref();
             let projects_tbl = &self.projects;
             let store: &Store = &self.store;
             let next_post = &AtomicU64::new(self.next_post_id);
@@ -1178,17 +1211,39 @@ impl ITagEngine {
                 };
             let stage = |_: usize, (id, rt, job): (u32, ProjectRuntime, Result<MergeJob>)| {
                 let staged = job.map(|mut job| {
+                    // Fold the round's decisions into per-worker deltas on
+                    // the worker thread (the parallel half of the user
+                    // accounting); the merger just stages and applies them
+                    // — the delta handoff rides the pipeline with the
+                    // staged batch.
+                    let deltas = DecisionDeltas::from_decisions(
+                        job.outcome
+                            .decisions
+                            .iter()
+                            .map(|d| (d.worker.0, d.approved, d.pay)),
+                    );
                     let batch = stage_project_effects(&mut job, tags_mgr, resources_mgr);
-                    (job, batch)
+                    (job, deltas, batch)
                 });
                 (id, rt, staged)
             };
-            type Staged = (u32, ProjectRuntime, Result<(MergeJob, Result<WriteBatch>)>);
+            type Staged = (
+                u32,
+                ProjectRuntime,
+                Result<(MergeJob, DecisionDeltas, Result<WriteBatch>)>,
+            );
             let merge = |_: usize, (id, rt, staged): Staged| {
                 let round = match staged {
-                    Ok((job, batch)) => {
-                        let (summary, notes) =
-                            merge_ticked_project(users, projects_tbl, store, job, batch);
+                    Ok((job, deltas, batch)) => {
+                        let (summary, notes) = merge_ticked_project(
+                            users,
+                            projects_tbl,
+                            store,
+                            ledger,
+                            job,
+                            deltas,
+                            batch,
+                        );
                         RoundResult::Merged(summary, notes)
                     }
                     Err(e) => RoundResult::TickFailed(e),
@@ -1226,6 +1281,15 @@ impl ITagEngine {
             self.next_post_id = next_post.load(Ordering::Relaxed);
             results
         };
+
+        // The round is over and its snapshot is gone: fold the committed
+        // deltas into the ledger's counters (in place — no snapshot holds
+        // the map any more), so the next round starts from the exact
+        // state a rescan would rebuild.
+        drop(rep);
+        if let Some(ledger) = self.reputation.as_mut() {
+            ledger.fold_pending();
+        }
 
         // Reinsert the runtimes (their RNG streams carry into the next
         // round) and fold the per-project results in project-id order.
@@ -1289,6 +1353,28 @@ impl ITagEngine {
             return d;
         }
         crate::config::DEFAULT_PIPELINE_DEPTH
+    }
+
+    /// Reputation-snapshot schedule this engine runs
+    /// ([`EngineConfig::reputation`], else the `ITAG_REPUTATION` override
+    /// validated at construction, else
+    /// [`crate::config::DEFAULT_REPUTATION_MODE`]). Purely a throughput
+    /// knob: results are bit-identical in either mode.
+    pub fn resolved_reputation_mode(&self) -> ReputationMode {
+        resolve_reputation_mode(&self.config, &self.env)
+    }
+
+    /// Registers a population of tagger accounts in bulk (ids
+    /// `start..start + count`) — the scale harness for scenarios where
+    /// the registered population dwarfs any round's worker set. Existing
+    /// records are left untouched. Zero-decision taggers answer the
+    /// reliability gate exactly like unknown ones, so neither reputation
+    /// schedule tracks them — only the rescan schedule pays to skip them
+    /// every round.
+    pub fn seed_taggers(&mut self, start: u32, count: u32) -> Result<()> {
+        self.users
+            .register_bulk(UserRole::Tagger, start, count, "tagger-")?;
+        Ok(())
     }
 
     /// Worker payouts of a project's ledger, sorted by worker id.
@@ -1646,6 +1732,17 @@ impl ITagEngine {
         })?;
         Ok(ids)
     }
+}
+
+/// The one place the reputation schedule is resolved (config over env
+/// over default) — `ITagEngine::new` decides whether to build the ledger
+/// with it, and [`ITagEngine::resolved_reputation_mode`] reports it, so
+/// the two can never drift.
+fn resolve_reputation_mode(config: &EngineConfig, env: &EnvOverrides) -> ReputationMode {
+    config
+        .reputation
+        .or(env.reputation)
+        .unwrap_or(crate::config::DEFAULT_REPUTATION_MODE)
 }
 
 fn validate_dataset(dataset: &Dataset) -> Result<()> {
@@ -2287,6 +2384,174 @@ mod tests {
             outputs[0], outputs[2],
             "depth 0 vs 2 diverged after a tick error"
         );
+    }
+
+    #[test]
+    fn reputation_ledger_and_rescan_schedules_are_bit_identical() {
+        // The incremental ledger and the per-round rescan must produce
+        // identical engines: multi-round (the fold between rounds feeds
+        // the next round's snapshot) and with the serial `run` path mixed
+        // in (collect_once feeds the ledger per decision).
+        let outputs: Vec<_> = [ReputationMode::Ledger, ReputationMode::Rescan]
+            .into_iter()
+            .map(|mode| {
+                let mut config = EngineConfig::in_memory(0x1ED6);
+                config.workers = 16;
+                config.spammer_fraction = 0.25;
+                config.reputation = Some(mode);
+                let mut e = ITagEngine::new(config).unwrap();
+                assert_eq!(e.resolved_reputation_mode(), mode);
+                let provider = e.register_provider("mode-equiv").unwrap();
+                let mut projects = Vec::new();
+                for seed in 80..83u64 {
+                    projects.push(
+                        e.add_project(
+                            provider,
+                            ProjectSpec::demo(&format!("mode-{seed}"), 220),
+                            dataset(seed),
+                        )
+                        .unwrap(),
+                    );
+                }
+                let mut summaries = Vec::new();
+                summaries.extend(e.run_all_with(50, 4, 2).unwrap());
+                // Serial path between parallel rounds: per-decision
+                // commits must keep the ledger in lock-step.
+                let s = e.run(projects[0], 20).unwrap();
+                assert_eq!(s.issued, 20);
+                summaries.extend(e.run_all_with(50, 4, 0).unwrap());
+                summaries.extend(e.run_all_with(50, 4, 2).unwrap());
+                let monitors: Vec<_> = projects.iter().map(|p| e.monitor(*p).unwrap()).collect();
+                let unreliable = e.unreliable_tagger_count().unwrap();
+                (summaries, monitors, unreliable, e.store_checksum())
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "ledger and rescan modes diverged");
+    }
+
+    #[test]
+    fn staged_user_overlay_is_empty_after_runs() {
+        // The read-your-own-writes overlay is scoped to a batch, not a
+        // forever-growing cache: after serial and parallel campaigns over
+        // a churny worker pool it must hold nothing.
+        let mut config = EngineConfig::in_memory(0x0CAC);
+        config.workers = 32;
+        config.spammer_fraction = 0.2;
+        let mut e = ITagEngine::new(config).unwrap();
+        let provider = e.register_provider("bounded").unwrap();
+        let p0 = e
+            .add_project(provider, ProjectSpec::demo("serial", 150), dataset(90))
+            .unwrap();
+        let p1 = e
+            .add_project(provider, ProjectSpec::demo("parallel", 150), dataset(91))
+            .unwrap();
+        let _ = e.run(p0, 150).unwrap();
+        assert_eq!(
+            e.users.staged_len(),
+            0,
+            "serial path must clear the overlay per commit"
+        );
+        let _ = e.run_all_with(150, 4, 2).unwrap();
+        assert_eq!(
+            e.users.staged_len(),
+            0,
+            "merge path must clear the overlay per project frame"
+        );
+        assert!(e.monitor(p1).unwrap().tasks_approved > 0);
+    }
+
+    /// Runs the boundary scenario: exact-boundary reputation counters are
+    /// seeded behind the engine's back, the engine is reopened (which is
+    /// what rebuilds the ledger from the table), and two parallel rounds
+    /// run at the given depth/mode.
+    fn boundary_round_output(
+        mode: ReputationMode,
+        depth: usize,
+    ) -> (Vec<bool>, Vec<(ProjectId, RunSummary)>, usize, u64) {
+        let dir = itag_store::testutil::TestDir::new(&format!("gate-boundary-{mode:?}-{depth}"));
+        let seeded_config = || {
+            let mut config = EngineConfig::durable(0xB0DA, dir.path().to_path_buf());
+            config.workers = 12;
+            config.spammer_fraction = 0.4;
+            config
+        };
+        {
+            let mut config = seeded_config();
+            config.reputation = Some(ReputationMode::Rescan);
+            let mut e = ITagEngine::new(config).unwrap();
+            let provider = e.register_provider("boundary").unwrap();
+            for (i, seed) in [70u64, 71].into_iter().enumerate() {
+                e.add_project(
+                    provider,
+                    ProjectSpec::demo(&format!("boundary-{i}"), 200),
+                    dataset(seed),
+                )
+                .unwrap();
+            }
+            // Exact gate boundaries (threshold 0.5, grace 5), committed
+            // directly through the user manager: one decision short of
+            // grace, exactly at grace, exactly at the threshold, and one
+            // decision below it.
+            let mut batch = WriteBatch::new();
+            e.users
+                .stage_decisions(&mut batch, provider, 0, 0, 4, 0)
+                .unwrap();
+            e.users
+                .stage_decisions(&mut batch, provider, 1, 0, 5, 0)
+                .unwrap();
+            e.users
+                .stage_decisions(&mut batch, provider, 2, 5, 5, 0)
+                .unwrap();
+            e.users
+                .stage_decisions(&mut batch, provider, 3, 4, 5, 0)
+                .unwrap();
+            e.store.commit(batch).unwrap();
+            e.users.clear_staged();
+            for (tagger, reliable) in [(0u32, true), (1, false), (2, true), (3, false)] {
+                assert_eq!(
+                    e.is_reliable_tagger(tagger).unwrap(),
+                    reliable,
+                    "seeded boundary for tagger {tagger} is off"
+                );
+            }
+        }
+        let mut config = seeded_config();
+        config.reputation = Some(mode);
+        let mut e = ITagEngine::new(config).unwrap();
+        for p in e.stored_projects().unwrap() {
+            e.resume_project(p).unwrap();
+        }
+        let mut summaries = Vec::new();
+        for _ in 0..2 {
+            summaries.extend(e.run_all_with(50, 4, depth).unwrap());
+        }
+        let gates = (0..12u32)
+            .map(|t| e.is_reliable_tagger(t).unwrap())
+            .collect();
+        let unreliable = e.unreliable_tagger_count().unwrap();
+        (gates, summaries, unreliable, e.store_checksum())
+    }
+
+    #[test]
+    fn gate_boundaries_pin_identically_across_depths_and_modes() {
+        // Boundary counters (decided == grace, rate == threshold, one
+        // step either side) must steer every schedule identically:
+        // ledger vs rescan, pipeline depth 0 vs 2 — including the
+        // ledger's reopen/rebuild path, which is how the boundary
+        // counters reach it.
+        let base = boundary_round_output(ReputationMode::Rescan, 0);
+        for mode in [ReputationMode::Ledger, ReputationMode::Rescan] {
+            for depth in [0usize, 2] {
+                if (mode, depth) == (ReputationMode::Rescan, 0) {
+                    continue; // the base cell itself
+                }
+                let other = boundary_round_output(mode, depth);
+                assert_eq!(
+                    base, other,
+                    "boundary rounds diverged at mode {mode:?}, depth {depth}"
+                );
+            }
+        }
     }
 
     #[test]

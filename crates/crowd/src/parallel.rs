@@ -201,6 +201,13 @@ impl<M> Drop for PoisonOnPanic<'_, M> {
 /// contract of [`scoped_map`] extends to the pipeline. With one thread
 /// (or one item) everything runs inline in input order, which is the
 /// reference schedule the threaded runs must match.
+///
+/// Because `merge` is `FnMut` and single-threaded, it may carry mutable
+/// state across items (a running ledger, an accumulator): the engine
+/// applies each committed round's reputation deltas this way. Items whose
+/// earlier phases run concurrently still reach that state strictly in
+/// input order, so a stateful merge is exactly as deterministic as a
+/// stateless one.
 pub fn pipelined_map<T, A, B, M, R, FW, FO, FP, FM>(
     items: Vec<T>,
     threads: usize,
@@ -466,6 +473,54 @@ mod tests {
         assert_eq!(out, (0..n).collect::<Vec<_>>());
         assert_eq!(order_seen.load(Ordering::SeqCst), n);
         assert_eq!(*merge_seen.lock().unwrap(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pipelined_map_stateful_merge_matches_the_inline_schedule() {
+        // The merge closure may fold into mutable state it owns (the
+        // engine's reputation ledger does exactly this). The folded state
+        // must match the inline single-thread schedule at every thread
+        // count and depth even under an order-sensitive fold.
+        let items: Vec<u64> = (0..123).collect();
+        let fold =
+            |acc: u64, i: usize, m: u64| acc.wrapping_mul(0x100000001B3).wrapping_add(m ^ i as u64);
+        let reference = {
+            let mut acc = 0u64;
+            let _ = pipelined_map(
+                items.clone(),
+                1,
+                1,
+                |_, x: u64| x * 7,
+                |_, a| a,
+                |_, b| b + 1,
+                |i, m| {
+                    acc = fold(acc, i, m);
+                    m
+                },
+            );
+            acc
+        };
+        for threads in [2usize, 4, 8] {
+            for depth in [1usize, 3] {
+                let mut acc = 0u64;
+                let _ = pipelined_map(
+                    items.clone(),
+                    threads,
+                    depth,
+                    |_, x: u64| x * 7,
+                    |_, a| a,
+                    |_, b| b + 1,
+                    |i, m| {
+                        acc = fold(acc, i, m);
+                        m
+                    },
+                );
+                assert_eq!(
+                    acc, reference,
+                    "stateful merge diverged at threads={threads} depth={depth}"
+                );
+            }
+        }
     }
 
     #[test]

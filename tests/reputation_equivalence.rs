@@ -1,0 +1,236 @@
+//! Reputation-schedule equivalence suite: the incremental ledger
+//! (`ITAG_REPUTATION=ledger`, the default — built from the tagger table
+//! once at engine open, maintained by applying each committed round's
+//! per-worker deltas) must be **bit-identical** to the per-round rescan
+//! schedule (`ITAG_REPUTATION=rescan`, the pre-ledger reference) — across
+//! thread counts, pipeline depths, serial/parallel interleavings, crash +
+//! reopen (the ledger's recovery rebuild), and registered populations far
+//! larger than any round's worker set.
+
+use itag::core::config::{EngineConfig, ReputationMode};
+use itag::core::engine::{ITagEngine, RunSummary};
+use itag::core::monitor::MonitorSnapshot;
+use itag::core::project::ProjectSpec;
+use itag::model::delicious::DeliciousConfig;
+use itag::model::ids::ProjectId;
+
+fn dataset(seed: u64) -> itag::model::dataset::Dataset {
+    DeliciousConfig {
+        resources: 40,
+        initial_posts: 200,
+        eval_posts: 0,
+        seed,
+        ..DeliciousConfig::default()
+    }
+    .generate()
+    .dataset
+}
+
+fn build_engine(mode: ReputationMode, registered_taggers: u32) -> (ITagEngine, Vec<ProjectId>) {
+    let mut config = EngineConfig::in_memory(0x1ED6E4);
+    config.workers = 16;
+    config.spammer_fraction = 0.25; // rejections → gate reads → bans
+    config.reputation = Some(mode);
+    let mut e = ITagEngine::new(config).unwrap();
+    if registered_taggers > 0 {
+        // A registered population far above the worker-id range: rescan
+        // pays to walk it every round, the ledger never sees it.
+        e.seed_taggers(1 << 20, registered_taggers).unwrap();
+    }
+    let provider = e.register_provider("reputation-equivalence").unwrap();
+    let mut projects = Vec::new();
+    for i in 0..4u64 {
+        projects.push(
+            e.add_project(
+                provider,
+                ProjectSpec::demo(&format!("campaign-{i}"), 200),
+                dataset(0x1ED6E4 + i),
+            )
+            .unwrap(),
+        );
+    }
+    (e, projects)
+}
+
+type RoundOutput = (
+    Vec<(ProjectId, RunSummary)>,
+    Vec<MonitorSnapshot>,
+    Vec<Vec<(u32, u64)>>,
+    u64,
+);
+
+fn run_rounds(
+    mode: ReputationMode,
+    registered_taggers: u32,
+    threads: usize,
+    depth: usize,
+) -> RoundOutput {
+    let (mut e, projects) = build_engine(mode, registered_taggers);
+    let mut summaries = Vec::new();
+    for _ in 0..2 {
+        summaries.extend(e.run_all_with(75, threads, depth).unwrap());
+    }
+    let monitors = projects.iter().map(|p| e.monitor(*p).unwrap()).collect();
+    let balances = projects
+        .iter()
+        .map(|p| e.worker_balances(*p).unwrap())
+        .collect();
+    (summaries, monitors, balances, e.store_checksum())
+}
+
+#[test]
+fn ledger_matches_rescan_at_every_thread_count_and_depth() {
+    // The acceptance matrix: threads {1, 2, 8} × pipeline depths {0, 2},
+    // both schedules, all against one reference — monitor snapshots,
+    // payment ledgers and the stored-table digest must agree bit-for-bit.
+    let base = run_rounds(ReputationMode::Rescan, 0, 1, 0);
+    for mode in [ReputationMode::Ledger, ReputationMode::Rescan] {
+        for threads in [1usize, 2, 8] {
+            for depth in [0usize, 2] {
+                if (mode, threads, depth) == (ReputationMode::Rescan, 1, 0) {
+                    continue; // the base cell itself
+                }
+                let other = run_rounds(mode, 0, threads, depth);
+                assert_eq!(
+                    base.0, other.0,
+                    "summaries diverged: {mode:?}, {threads} threads, depth {depth}"
+                );
+                assert_eq!(
+                    base.1, other.1,
+                    "monitors diverged: {mode:?}, {threads} threads, depth {depth}"
+                );
+                assert_eq!(
+                    base.2, other.2,
+                    "ledger balances diverged: {mode:?}, {threads} threads, depth {depth}"
+                );
+                assert_eq!(
+                    base.3, other.3,
+                    "stored bytes diverged: {mode:?}, {threads} threads, depth {depth}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn large_registered_population_changes_nothing_but_the_user_table() {
+    // Registered-but-inactive taggers (the north-star shape: millions of
+    // accounts, a small active fringe) must not influence a single
+    // decision — in either schedule — and the two schedules must agree
+    // on the full stored state including the seeded rows.
+    let base = run_rounds(ReputationMode::Rescan, 0, 2, 2);
+    let ledger = run_rounds(ReputationMode::Ledger, 5_000, 2, 2);
+    let rescan = run_rounds(ReputationMode::Rescan, 5_000, 2, 2);
+    assert_eq!(
+        ledger.3, rescan.3,
+        "stored bytes diverged under a large registered population"
+    );
+    assert_eq!(ledger.0, rescan.0, "summaries diverged under population");
+    assert_eq!(ledger.1, rescan.1, "monitors diverged under population");
+    // The population is invisible to campaign outcomes (checksums differ
+    // only because the user table carries the extra rows).
+    assert_eq!(base.0, ledger.0, "inactive accounts influenced a round");
+    assert_eq!(base.1, ledger.1, "inactive accounts influenced a monitor");
+    assert_eq!(base.2, ledger.2, "inactive accounts influenced a payout");
+}
+
+/// One durable life-cycle with a mid-run reopen: rounds, drop with the
+/// WAL tail live (no checkpoint — reopening replays it, and in ledger
+/// mode rebuilds the ledger from the recovered table), more rounds,
+/// checkpoint, final reopen. Returns the post-reopen monitors and the
+/// durable store digest.
+fn durable_lifecycle(mode: ReputationMode) -> (Vec<MonitorSnapshot>, u64) {
+    let dir = itag::store::testutil::TestDir::new(&format!("rep-equiv-{mode:?}"));
+    let config = |seed: u64| {
+        let mut c = EngineConfig::durable(seed, dir.path().to_path_buf());
+        c.workers = 16;
+        c.spammer_fraction = 0.25;
+        c.reputation = Some(mode);
+        c
+    };
+    let projects: Vec<ProjectId> = {
+        let mut e = ITagEngine::new(config(0xC4A5)).unwrap();
+        let provider = e.register_provider("durable-equivalence").unwrap();
+        let projects: Vec<ProjectId> = (0..3u64)
+            .map(|i| {
+                e.add_project(
+                    provider,
+                    ProjectSpec::demo(&format!("durable-{i}"), 200),
+                    dataset(0xC4A5 + i),
+                )
+                .unwrap()
+            })
+            .collect();
+        for _ in 0..2 {
+            e.run_all_with(40, 4, 2).unwrap();
+        }
+        projects
+        // Dropped without a checkpoint: the WAL tail carries the rounds.
+    };
+    let monitors = {
+        let mut e = ITagEngine::new(config(0xC4A5)).unwrap();
+        for p in &projects {
+            e.resume_project(*p).unwrap();
+        }
+        for _ in 0..2 {
+            e.run_all_with(40, 4, 2).unwrap();
+        }
+        e.checkpoint().unwrap();
+        projects.iter().map(|p| e.monitor(*p).unwrap()).collect()
+    };
+    let reopened = ITagEngine::new(config(0xC4A5)).unwrap();
+    (monitors, reopened.store_checksum())
+}
+
+#[test]
+fn crash_reopen_mid_run_rebuilds_the_ledger_identically() {
+    let (ledger_monitors, ledger_digest) = durable_lifecycle(ReputationMode::Ledger);
+    let (rescan_monitors, rescan_digest) = durable_lifecycle(ReputationMode::Rescan);
+    assert_eq!(
+        ledger_monitors, rescan_monitors,
+        "post-reopen campaigns diverged between schedules"
+    );
+    assert_eq!(
+        ledger_digest, rescan_digest,
+        "durable on-disk state diverged between schedules after checkpoint + reopen"
+    );
+}
+
+#[test]
+fn env_selected_rescan_matches_config_selected_rescan() {
+    // The CI matrix selects the schedule through `ITAG_REPUTATION`; the
+    // engine must resolve config over env, and an engine with no config
+    // choice must land on whatever the environment (or the default) says
+    // while producing the same results either way.
+    let via_config = run_rounds(ReputationMode::Rescan, 0, 2, 2);
+    let (mut e, projects) = {
+        let mut config = EngineConfig::in_memory(0x1ED6E4);
+        config.workers = 16;
+        config.spammer_fraction = 0.25;
+        config.reputation = None; // resolve via ITAG_REPUTATION / default
+        let mut e = ITagEngine::new(config).unwrap();
+        let provider = e.register_provider("reputation-equivalence").unwrap();
+        let projects: Vec<ProjectId> = (0..4u64)
+            .map(|i| {
+                e.add_project(
+                    provider,
+                    ProjectSpec::demo(&format!("campaign-{i}"), 200),
+                    dataset(0x1ED6E4 + i),
+                )
+                .unwrap()
+            })
+            .collect();
+        (e, projects)
+    };
+    let mut summaries = Vec::new();
+    for _ in 0..2 {
+        summaries.extend(e.run_all_with(75, 2, 2).unwrap());
+    }
+    assert_eq!(
+        via_config.0, summaries,
+        "schedule resolution changed results"
+    );
+    let monitors: Vec<MonitorSnapshot> = projects.iter().map(|p| e.monitor(*p).unwrap()).collect();
+    assert_eq!(via_config.1, monitors);
+    assert_eq!(via_config.3, e.store_checksum());
+}
