@@ -188,16 +188,13 @@ pub fn parse_pipeline(raw: Option<&str>) -> std::result::Result<Option<usize>, S
 
 /// Parses `ITAG_NO_CACHE`: `1`/`true` force the cache off, `0`/`false`
 /// leave it alone, unset/empty means unset, anything else is an error.
+///
+/// Delegates to [`itag_store::envknob::parse_no_cache`] — one grammar for
+/// the knob whether the raw store or the engine reads it. The two layers
+/// differ only in error posture: the engine surfaces the `Err` loudly
+/// here, the store maps it to "cache off" (see `envknob`'s module docs).
 pub fn parse_no_cache(raw: Option<&str>) -> std::result::Result<Option<bool>, String> {
-    let Some(raw) = raw else { return Ok(None) };
-    match raw.trim() {
-        "" => Ok(None),
-        "1" | "true" => Ok(Some(true)),
-        "0" | "false" => Ok(Some(false)),
-        _ => Err(format!(
-            "ITAG_NO_CACHE={raw:?} is not a valid cache switch (expected 0/1/true/false)"
-        )),
-    }
+    itag_store::envknob::parse_no_cache(raw)
 }
 
 /// Parses `ITAG_REPUTATION`: `ledger` or `rescan`, case-insensitive;

@@ -164,6 +164,12 @@ struct ResourceRound {
     last_quality: f64,
 }
 
+// The staging/merge half of a parallel round is determinism-contracted:
+// the bytes it commits must be a pure function of (dataset, seed, order),
+// never of wall-clock time. The repo lint rejects `Instant::now()` /
+// `SystemTime::now()` inside this fence.
+// lint: determinism
+
 /// Stages one project's post, resource-count and quality-snapshot ops into
 /// a fresh batch. Runs on a worker thread. The managers are stateless
 /// views over the store; staging reads only this project's resource rows,
@@ -317,6 +323,8 @@ fn merge_ticked_project(
         Err(e) => (Err(e), Vec::new()),
     }
 }
+
+// lint: end determinism
 
 /// Runs the full Algorithm-1 loop for one project using only project-local
 /// state plus the round-start [`ReputationSnapshot`], buffering every

@@ -253,7 +253,7 @@ impl UserManager {
     pub fn new(store: Arc<Store>) -> Self {
         UserManager {
             table: TypedTable::new(store),
-            staged: Mutex::new(FxHashMap::default()),
+            staged: Mutex::named("core.user_mgr.staged", FxHashMap::default()),
             reliability_threshold: 0.5,
             grace_decisions: 5,
         }
@@ -508,7 +508,7 @@ impl UserManager {
     pub fn reputation_ledger(&self) -> Result<ReputationLedger> {
         Ok(ReputationLedger {
             counters: Arc::new(self.scan_tagger_counters()?),
-            pending: Mutex::new(FxHashMap::default()),
+            pending: Mutex::named("core.reputation.pending", FxHashMap::default()),
             threshold: self.reliability_threshold,
             grace: self.grace_decisions,
         })

@@ -20,6 +20,7 @@
 pub mod approval;
 pub mod audience;
 pub mod behavior;
+pub mod model;
 pub mod parallel;
 pub mod payment;
 pub mod platform;

@@ -1,0 +1,1057 @@
+//! Mini-loom: a deterministic schedule explorer for small concurrency
+//! models.
+//!
+//! The workspace cannot vendor loom or run ThreadSanitizer (no registry
+//! access), yet its whole determinism contract — "bit-identical results
+//! at any thread count × pipeline depth" — rests on the handoff,
+//! back-pressure and poisoning protocols in [`crate::parallel`] and the
+//! store's group commit. This module provides the missing systematic
+//! check: a **controlled scheduler** that runs a small closure-built
+//! model over instrumented mutex/condvar/atomic shims, one thread at a
+//! time, and explores the interleavings of their yield points.
+//!
+//! Two exploration modes:
+//!
+//! * [`explore`] — bounded-exhaustive DFS in the style of CHESS: every
+//!   schedule with at most [`Config::preemption_bound`] preemptions (a
+//!   context switch at a point where the running thread could have
+//!   continued) is executed exactly once. Small bounds find almost all
+//!   real protocol bugs while keeping the schedule space tractable.
+//! * [`explore_random`] — seeded random walks for larger models where
+//!   the exhaustive space is out of reach.
+//!
+//! A model **fails** by panicking (an `assert!` on an invariant, or an
+//! injected bug's panic) or by deadlocking (no thread can run but not
+//! all have finished). Either way the explorer panics on the driver
+//! thread with the failing schedule's trace, so a plain `#[test]` (or a
+//! `#[should_panic]` test proving a seeded bug is caught) is the whole
+//! harness.
+//!
+//! ## Model vocabulary
+//!
+//! The body closure receives an [`Env`]; everything shared must be built
+//! from it: [`Env::mutex`], [`Env::condvar`], [`Env::atomic_usize`],
+//! [`Env::atomic_bool`], [`Env::spawn`]. The primitives are `Clone`
+//! (internally `Arc`-shared) so closures can capture them. Every
+//! operation on them is a *yield point* where the scheduler may switch
+//! threads; plain computation between operations is invisible to the
+//! explorer, exactly like data outside `loom::model` types.
+//!
+//! Determinism requirements: the body must behave identically given the
+//! same schedule (no wall-clock, no OS randomness), and models must stay
+//! *small* — exhaustive exploration is exponential in yield points.
+//! `notify_one` deterministically wakes the lowest-id waiter; which
+//! waiter wins a mutex handoff *is* explored, since that is a scheduler
+//! decision.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicUsize as StdAtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum preemptions per schedule in [`explore`] (CHESS-style
+    /// context-switch bound). 2 catches the vast majority of real
+    /// ordering bugs; raise it only for tiny models.
+    pub preemption_bound: usize,
+    /// Hard cap on executed schedules; [`Report::complete`] is false if
+    /// the DFS was cut off here.
+    pub max_executions: u64,
+    /// Hard cap on live model threads (body + spawns).
+    pub max_threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_executions: 200_000,
+            max_threads: 8,
+        }
+    }
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules executed.
+    pub executions: u64,
+    /// True when the bounded schedule space was fully explored (always
+    /// false for [`explore_random`]).
+    pub complete: bool,
+}
+
+// ---------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Waiting to acquire the mutex with this id.
+    BlockedMutex(usize),
+    /// Parked on a condvar (re-armed to `BlockedMutex` by notify).
+    BlockedCv,
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChoiceRec {
+    chosen: usize,
+    options: usize,
+}
+
+enum Mode {
+    Exhaustive { bound: usize },
+    Random { rng: u64 },
+}
+
+struct Core {
+    states: Vec<TState>,
+    current: Option<usize>,
+    mutex_owner: Vec<Option<usize>>,
+    /// Per-condvar wait queue of `(thread, mutex)` pairs.
+    cv_waiters: Vec<Vec<(usize, usize)>>,
+    mode: Mode,
+    /// Forced decisions replayed from the DFS frontier.
+    prefix: Vec<usize>,
+    depth: usize,
+    preemptions: usize,
+    choices: Vec<ChoiceRec>,
+    trace: Vec<(usize, &'static str)>,
+    abort: Option<String>,
+    max_threads: usize,
+}
+
+struct Exec {
+    core: StdMutex<Core>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// Model-thread id of the calling OS thread (`usize::MAX` outside).
+    static TID: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// True on OS threads running model code; the panic hook stays quiet
+    /// for them (their panics are caught, carried to the driver, and
+    /// re-raised there with the schedule trace attached).
+    static IN_MODEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Internal payload used to unwind threads out of a dead execution.
+struct AbortExit;
+
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let old = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_MODEL.with(|f| f.get()) {
+                old(info);
+            }
+        }));
+    });
+}
+
+fn payload_msg(p: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+impl Exec {
+    fn new(mode: Mode, prefix: Vec<usize>, max_threads: usize) -> Self {
+        Exec {
+            core: StdMutex::new(Core {
+                states: Vec::new(),
+                current: None,
+                mutex_owner: Vec::new(),
+                cv_waiters: Vec::new(),
+                mode,
+                prefix,
+                depth: 0,
+                preemptions: 0,
+                choices: Vec::new(),
+                trace: Vec::new(),
+                abort: None,
+                max_threads,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_core(&self) -> std::sync::MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn enabled(core: &Core, t: usize) -> bool {
+        match core.states[t] {
+            TState::Runnable => true,
+            TState::BlockedMutex(m) => core.mutex_owner[m].is_none(),
+            TState::BlockedJoin(t2) => core.states[t2] == TState::Finished,
+            TState::BlockedCv | TState::Finished => false,
+        }
+    }
+
+    /// Picks the next thread to run. Called by the thread that currently
+    /// holds the baton (or the driver at start), with its new state
+    /// already written into `core.states`.
+    fn pick_next(&self, core: &mut Core, caller: Option<usize>, label: &'static str) {
+        let n = core.states.len();
+        let enabled: Vec<usize> = (0..n).filter(|&t| Self::enabled(core, t)).collect();
+        if enabled.is_empty() {
+            if core.states.iter().all(|s| *s == TState::Finished) {
+                core.current = None;
+            } else {
+                core.abort = Some(format!(
+                    "deadlock: no runnable thread (states: {:?})",
+                    core.states
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+
+        // Options are ordered caller-first: index 0 is always the
+        // "keep running" choice, so the DFS's default path performs no
+        // preemptions and the preemption counter pairs with indexes > 0.
+        let mut options = enabled;
+        let caller_enabled = caller.is_some_and(|c| options.contains(&c));
+        if let Some(c) = caller {
+            if let Some(pos) = options.iter().position(|&t| t == c) {
+                options.remove(pos);
+                options.insert(0, c);
+            }
+        }
+        if let Mode::Exhaustive { bound } = core.mode {
+            if caller_enabled && core.preemptions >= bound {
+                options.truncate(1);
+            }
+        }
+
+        let idx = match &mut core.mode {
+            Mode::Exhaustive { .. } => {
+                if core.depth < core.prefix.len() {
+                    let i = core.prefix[core.depth];
+                    assert!(
+                        i < options.len(),
+                        "model is nondeterministic: replay reached a decision with \
+                         {} options where the recorded schedule had more",
+                        options.len()
+                    );
+                    i
+                } else {
+                    0
+                }
+            }
+            Mode::Random { rng } => {
+                *rng ^= *rng << 13;
+                *rng ^= *rng >> 7;
+                *rng ^= *rng << 17;
+                (*rng % options.len() as u64) as usize
+            }
+        };
+        core.choices.push(ChoiceRec {
+            chosen: idx,
+            options: options.len(),
+        });
+        core.depth += 1;
+
+        let next = options[idx];
+        if caller_enabled && Some(next) != caller {
+            core.preemptions += 1;
+        }
+        match core.states[next] {
+            TState::BlockedMutex(m) => {
+                // Scheduling a lock-waiter transfers ownership to it.
+                debug_assert!(core.mutex_owner[m].is_none());
+                core.mutex_owner[m] = Some(next);
+                core.states[next] = TState::Runnable;
+            }
+            TState::BlockedJoin(_) => core.states[next] = TState::Runnable,
+            TState::Runnable => {}
+            TState::BlockedCv | TState::Finished => unreachable!("not enabled"),
+        }
+        core.current = Some(next);
+        core.trace.push((caller.unwrap_or(next), label));
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling OS thread until its model thread is scheduled.
+    /// Must be entered with the thread's state already set and
+    /// `pick_next` already run under the same `core` critical section.
+    fn wait_scheduled(&self, mut core: std::sync::MutexGuard<'_, Core>, tid: usize) {
+        loop {
+            if core.abort.is_some() {
+                drop(core);
+                if std::thread::panicking() {
+                    // Already unwinding (this is a guard drop); do not
+                    // double-panic — just stop cooperating.
+                    return;
+                }
+                std::panic::panic_any(AbortExit);
+            }
+            if core.current == Some(tid) && core.states[tid] == TState::Runnable {
+                return;
+            }
+            core = self.cv.wait(core).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The standard yield point: adopt `new_state`, let the scheduler
+    /// decide, come back when scheduled.
+    fn yield_point(&self, label: &'static str, new_state: TState) {
+        let tid = TID.with(|t| t.get());
+        debug_assert!(tid != usize::MAX, "model primitive used outside explore()");
+        let mut core = self.lock_core();
+        if core.abort.is_some() {
+            drop(core);
+            if std::thread::panicking() {
+                return;
+            }
+            std::panic::panic_any(AbortExit);
+        }
+        core.states[tid] = new_state;
+        self.pick_next(&mut core, Some(tid), label);
+        self.wait_scheduled(core, tid);
+    }
+
+    fn spawn_model_thread(self: &Arc<Self>, f: impl FnOnce() + Send + 'static) -> usize {
+        let tid = {
+            let mut core = self.lock_core();
+            assert!(
+                core.states.len() < core.max_threads,
+                "model exceeded Config::max_threads ({})",
+                core.max_threads
+            );
+            core.states.push(TState::Runnable);
+            core.states.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("model-t{tid}"))
+            .spawn(move || {
+                TID.with(|t| t.set(tid));
+                IN_MODEL.with(|m| m.set(true));
+                {
+                    let core = exec.lock_core();
+                    exec.wait_scheduled_or_exit(core, tid);
+                }
+                let result = catch_unwind(AssertUnwindSafe(f));
+                match result {
+                    Ok(()) => {
+                        let mut core = exec.lock_core();
+                        if core.abort.is_none() {
+                            core.states[tid] = TState::Finished;
+                            exec.pick_next(&mut core, Some(tid), "thread exit");
+                        }
+                    }
+                    Err(p) => {
+                        if !p.is::<AbortExit>() {
+                            let mut core = exec.lock_core();
+                            if core.abort.is_none() {
+                                core.abort =
+                                    Some(format!("thread {tid} panicked: {}", payload_msg(&p)));
+                            }
+                        }
+                        exec.cv.notify_all();
+                    }
+                }
+            })
+            .expect("spawn model OS thread");
+        self.handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(h);
+        tid
+    }
+
+    /// First-schedule wait for a fresh thread; exits silently if the
+    /// execution aborted before the thread ever ran.
+    fn wait_scheduled_or_exit(&self, mut core: std::sync::MutexGuard<'_, Core>, tid: usize) {
+        loop {
+            if core.abort.is_some() {
+                drop(core);
+                std::panic::panic_any(AbortExit);
+            }
+            if core.current == Some(tid) && core.states[tid] == TState::Runnable {
+                return;
+            }
+            core = self.cv.wait(core).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn start(&self) {
+        let mut core = self.lock_core();
+        debug_assert_eq!(core.states.len(), 1, "start() schedules the body thread");
+        core.current = Some(0);
+        core.trace.push((0, "start"));
+        self.cv.notify_all();
+    }
+
+    /// Driver-side wait for the execution to finish or abort.
+    fn wait_done(&self) -> (Option<String>, Vec<ChoiceRec>, String) {
+        let mut core = self.lock_core();
+        loop {
+            if core.abort.is_some() || core.states.iter().all(|s| *s == TState::Finished) {
+                break;
+            }
+            core = self.cv.wait(core).unwrap_or_else(|p| p.into_inner());
+        }
+        let abort = core.abort.clone();
+        // Wake every parked thread so aborted executions can drain.
+        self.cv.notify_all();
+        let choices = core.choices.clone();
+        let trace: Vec<String> = core
+            .trace
+            .iter()
+            .map(|(t, l)| format!("t{t}:{l}"))
+            .collect();
+        (abort, choices, trace.join(", "))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model-facing primitives
+// ---------------------------------------------------------------------
+
+/// Handle to the model world; the body closure builds everything
+/// through it.
+pub struct Env {
+    exec: Arc<Exec>,
+}
+
+impl Clone for Env {
+    fn clone(&self) -> Self {
+        Env {
+            exec: Arc::clone(&self.exec),
+        }
+    }
+}
+
+impl Env {
+    /// A schedule-instrumented mutex holding `value`.
+    pub fn mutex<T: Send + 'static>(&self, value: T) -> Mutex<T> {
+        let id = {
+            let mut core = self.exec.lock_core();
+            core.mutex_owner.push(None);
+            core.mutex_owner.len() - 1
+        };
+        Mutex {
+            exec: Arc::clone(&self.exec),
+            id,
+            data: Arc::new(StdMutex::new(value)),
+        }
+    }
+
+    /// A schedule-instrumented condition variable.
+    pub fn condvar(&self) -> Condvar {
+        let id = {
+            let mut core = self.exec.lock_core();
+            core.cv_waiters.push(Vec::new());
+            core.cv_waiters.len() - 1
+        };
+        Condvar {
+            exec: Arc::clone(&self.exec),
+            id,
+        }
+    }
+
+    /// A schedule-instrumented atomic counter (every operation is a
+    /// yield point; the single-threaded-at-a-time scheduler makes all
+    /// orderings sequentially consistent).
+    pub fn atomic_usize(&self, value: usize) -> AtomicUsize {
+        AtomicUsize {
+            exec: Arc::clone(&self.exec),
+            inner: Arc::new(StdAtomicUsize::new(value)),
+        }
+    }
+
+    /// Boolean counterpart of [`Env::atomic_usize`].
+    pub fn atomic_bool(&self, value: bool) -> AtomicBool {
+        AtomicBool {
+            exec: Arc::clone(&self.exec),
+            inner: Arc::new(StdAtomicBool::new(value)),
+        }
+    }
+
+    /// Spawns a model thread. The spawn itself is a yield point (the
+    /// child may run before the parent continues).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) -> Join {
+        let tid = self.exec.spawn_model_thread(f);
+        self.exec.yield_point("spawn", TState::Runnable);
+        Join {
+            exec: Arc::clone(&self.exec),
+            tid,
+        }
+    }
+
+    /// A bare yield point: lets the scheduler preempt here even though
+    /// no shared state is touched (useful to model a computation step).
+    pub fn yield_now(&self) {
+        self.exec.yield_point("yield", TState::Runnable);
+    }
+}
+
+/// Join handle for a model thread.
+pub struct Join {
+    exec: Arc<Exec>,
+    tid: usize,
+}
+
+impl Join {
+    /// Blocks (in model time) until the thread finishes.
+    pub fn join(self) {
+        self.exec.yield_point("join", TState::BlockedJoin(self.tid));
+    }
+}
+
+/// Schedule-instrumented mutex (see [`Env::mutex`]).
+pub struct Mutex<T> {
+    exec: Arc<Exec>,
+    id: usize,
+    data: Arc<StdMutex<T>>,
+}
+
+impl<T> Clone for Mutex<T> {
+    fn clone(&self) -> Self {
+        Mutex {
+            exec: Arc::clone(&self.exec),
+            id: self.id,
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Acquires the lock; a yield point whether or not it is contended.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.exec
+            .yield_point("mutex.lock", TState::BlockedMutex(self.id));
+        // The scheduler transferred ownership to us before waking us, so
+        // the inner lock is free by construction.
+        let inner = self
+            .data
+            .try_lock()
+            .unwrap_or_else(|_| unreachable!("model mutex owner is unique"));
+        MutexGuard {
+            mx: self,
+            inner: Some(inner),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is a yield point.
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds its lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds its lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_none() {
+            return;
+        }
+        let tid = TID.with(|t| t.get());
+        {
+            let mut core = self.mx.exec.lock_core();
+            debug_assert_eq!(core.mutex_owner[self.mx.id], Some(tid));
+            core.mutex_owner[self.mx.id] = None;
+            if core.abort.is_some() || std::thread::panicking() {
+                // Unwinding out of a dead or failing execution: release
+                // ownership so nothing wedges, but skip the yield (a
+                // panic inside a Drop during unwind would abort the
+                // process).
+                self.mx.exec.cv.notify_all();
+                return;
+            }
+        }
+        self.mx.exec.yield_point("mutex.unlock", TState::Runnable);
+    }
+}
+
+/// Schedule-instrumented condvar (see [`Env::condvar`]).
+pub struct Condvar {
+    exec: Arc<Exec>,
+    id: usize,
+}
+
+impl Clone for Condvar {
+    fn clone(&self) -> Self {
+        Condvar {
+            exec: Arc::clone(&self.exec),
+            id: self.id,
+        }
+    }
+}
+
+impl Condvar {
+    /// Releases the guard's mutex, parks until notified, reacquires.
+    /// Exactly the lost-wakeup-prone shape real condvars have: a notify
+    /// that happens before this wait starts is NOT remembered.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let tid = TID.with(|t| t.get());
+        let mid = guard.mx.id;
+        // Release the real lock first so the scheduler can hand the
+        // mutex to whoever it schedules next.
+        guard.inner.take();
+        {
+            let mut core = self.exec.lock_core();
+            if core.abort.is_some() {
+                drop(core);
+                if !std::thread::panicking() {
+                    std::panic::panic_any(AbortExit);
+                }
+                return;
+            }
+            debug_assert_eq!(core.mutex_owner[mid], Some(tid));
+            core.mutex_owner[mid] = None;
+            core.cv_waiters[self.id].push((tid, mid));
+            core.states[tid] = TState::BlockedCv;
+            self.exec.pick_next(&mut core, Some(tid), "cv.wait");
+            self.exec.wait_scheduled(core, tid);
+        }
+        // Scheduled again ⇒ notified and handed the mutex back.
+        guard.inner = Some(
+            guard
+                .mx
+                .data
+                .try_lock()
+                .unwrap_or_else(|_| unreachable!("model mutex owner is unique")),
+        );
+    }
+
+    /// Wakes the lowest-id waiter (deterministic; see module docs). A
+    /// yield point.
+    pub fn notify_one(&self) {
+        {
+            let mut core = self.exec.lock_core();
+            let q = &mut core.cv_waiters[self.id];
+            if let Some(pos) = (0..q.len()).min_by_key(|&i| q[i].0) {
+                let (w, mid) = q.remove(pos);
+                core.states[w] = TState::BlockedMutex(mid);
+            }
+        }
+        self.exec.yield_point("cv.notify_one", TState::Runnable);
+    }
+
+    /// Wakes every waiter. A yield point.
+    pub fn notify_all(&self) {
+        {
+            let mut core = self.exec.lock_core();
+            let waiters = std::mem::take(&mut core.cv_waiters[self.id]);
+            for (w, mid) in waiters {
+                core.states[w] = TState::BlockedMutex(mid);
+            }
+        }
+        self.exec.yield_point("cv.notify_all", TState::Runnable);
+    }
+}
+
+/// Schedule-instrumented atomic usize (see [`Env::atomic_usize`]).
+pub struct AtomicUsize {
+    exec: Arc<Exec>,
+    inner: Arc<StdAtomicUsize>,
+}
+
+impl Clone for AtomicUsize {
+    fn clone(&self) -> Self {
+        AtomicUsize {
+            exec: Arc::clone(&self.exec),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl AtomicUsize {
+    pub fn load(&self) -> usize {
+        self.exec.yield_point("atomic.load", TState::Runnable);
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, v: usize) {
+        self.exec.yield_point("atomic.store", TState::Runnable);
+        self.inner.store(v, Ordering::SeqCst)
+    }
+
+    pub fn fetch_add(&self, v: usize) -> usize {
+        self.exec.yield_point("atomic.fetch_add", TState::Runnable);
+        self.inner.fetch_add(v, Ordering::SeqCst)
+    }
+}
+
+/// Schedule-instrumented atomic bool (see [`Env::atomic_bool`]).
+pub struct AtomicBool {
+    exec: Arc<Exec>,
+    inner: Arc<StdAtomicBool>,
+}
+
+impl Clone for AtomicBool {
+    fn clone(&self) -> Self {
+        AtomicBool {
+            exec: Arc::clone(&self.exec),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl AtomicBool {
+    pub fn load(&self) -> bool {
+        self.exec.yield_point("atomic.load", TState::Runnable);
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, v: bool) {
+        self.exec.yield_point("atomic.store", TState::Runnable);
+        self.inner.store(v, Ordering::SeqCst)
+    }
+
+    /// Compare-and-swap; returns whether the swap happened.
+    pub fn compare_set(&self, expect: bool, new: bool) -> bool {
+        self.exec.yield_point("atomic.cas", TState::Runnable);
+        self.inner
+            .compare_exchange(expect, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+struct Outcome {
+    abort: Option<String>,
+    choices: Vec<ChoiceRec>,
+    trace: String,
+}
+
+fn run_once<F>(mode: Mode, prefix: Vec<usize>, body: &Arc<F>, max_threads: usize) -> Outcome
+where
+    F: Fn(&Env) + Send + Sync + 'static,
+{
+    let exec = Arc::new(Exec::new(mode, prefix, max_threads));
+    let env = Env {
+        exec: Arc::clone(&exec),
+    };
+    let b = Arc::clone(body);
+    exec.spawn_model_thread(move || b(&env));
+    exec.start();
+    let (abort, choices, trace) = exec.wait_done();
+    let handles = std::mem::take(&mut *exec.handles.lock().unwrap_or_else(|p| p.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    Outcome {
+        abort,
+        choices,
+        trace,
+    }
+}
+
+/// Exhaustively explores every schedule of `body` within
+/// [`Config::preemption_bound`], panicking on the driver thread if any
+/// schedule panics or deadlocks. Returns how many schedules ran.
+pub fn explore<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn(&Env) + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let body = Arc::new(body);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0u64;
+    loop {
+        executions += 1;
+        let out = run_once(
+            Mode::Exhaustive {
+                bound: cfg.preemption_bound,
+            },
+            prefix.clone(),
+            &body,
+            cfg.max_threads,
+        );
+        if let Some(abort) = out.abort {
+            panic!(
+                "model failed on schedule #{executions}: {abort}\n  schedule: [{}]",
+                out.trace
+            );
+        }
+        // DFS frontier: deepest decision with an unexplored sibling.
+        let next = (0..out.choices.len()).rev().find_map(|d| {
+            let c = out.choices[d];
+            (c.chosen + 1 < c.options).then(|| {
+                let mut p: Vec<usize> = out.choices[..d].iter().map(|c| c.chosen).collect();
+                p.push(c.chosen + 1);
+                p
+            })
+        });
+        match next {
+            None => {
+                return Report {
+                    executions,
+                    complete: true,
+                }
+            }
+            Some(_) if executions >= cfg.max_executions => {
+                return Report {
+                    executions,
+                    complete: false,
+                }
+            }
+            Some(p) => prefix = p,
+        }
+    }
+}
+
+/// Runs `iterations` random schedules of `body` from `seed` (no
+/// preemption bound), panicking with the seed and trace on failure.
+pub fn explore_random<F>(cfg: Config, seed: u64, iterations: u64, body: F) -> Report
+where
+    F: Fn(&Env) + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let body = Arc::new(body);
+    for i in 0..iterations {
+        let rng = (seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        let out = run_once(Mode::Random { rng }, Vec::new(), &body, cfg.max_threads);
+        if let Some(abort) = out.abort {
+            panic!(
+                "model failed on random schedule (seed {seed}, iteration {i}): {abort}\n  \
+                 schedule: [{}]",
+                out.trace
+            );
+        }
+    }
+    Report {
+        executions: iterations,
+        complete: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(bound: usize) -> Config {
+        Config {
+            preemption_bound: bound,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_model_runs_once() {
+        let r = explore(small(2), |env| {
+            let m = env.mutex(0u32);
+            *m.lock() += 1;
+            assert_eq!(*m.lock(), 1);
+        });
+        assert_eq!(r.executions, 1);
+        assert!(r.complete);
+    }
+
+    #[test]
+    fn mutex_is_mutually_exclusive_under_all_schedules() {
+        let r = explore(small(2), |env| {
+            let m = env.mutex((false, 0u32));
+            let mut joins = Vec::new();
+            for _ in 0..2 {
+                let m = m.clone();
+                joins.push(env.spawn(move || {
+                    let mut g = m.lock();
+                    assert!(!g.0, "two threads inside the critical section");
+                    g.0 = true;
+                    g.1 += 1;
+                    g.0 = false;
+                }));
+            }
+            for j in joins {
+                j.join();
+            }
+            assert_eq!(m.lock().1, 2);
+        });
+        assert!(r.complete);
+        assert!(r.executions > 1, "contention must branch the schedule");
+    }
+
+    #[test]
+    fn explorer_finds_racy_increment() {
+        // load-then-store on an atomic is the textbook lost update; the
+        // explorer must find a schedule where the total is wrong. The
+        // assert is on the MODEL; the test asserts the explorer panics.
+        let found = std::panic::catch_unwind(|| {
+            explore(small(2), |env| {
+                let a = env.atomic_usize(0);
+                let (a1, a2) = (a.clone(), a.clone());
+                let t1 = env.spawn(move || {
+                    let v = a1.load();
+                    a1.store(v + 1);
+                });
+                let t2 = env.spawn(move || {
+                    let v = a2.load();
+                    a2.store(v + 1);
+                });
+                t1.join();
+                t2.join();
+                assert_eq!(a.load(), 2, "lost update");
+            })
+        });
+        assert!(found.is_err(), "the lost update was not found");
+    }
+
+    #[test]
+    fn atomic_fetch_add_has_no_lost_update() {
+        let r = explore(small(2), |env| {
+            let a = env.atomic_usize(0);
+            let (a1, a2) = (a.clone(), a.clone());
+            let t1 = env.spawn(move || {
+                a1.fetch_add(1);
+            });
+            let t2 = env.spawn(move || {
+                a2.fetch_add(1);
+            });
+            t1.join();
+            t2.join();
+            assert_eq!(a.load(), 2);
+        });
+        assert!(r.complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected_and_reported() {
+        // Classic AB/BA deadlock; some schedule must wedge.
+        explore(small(2), |env| {
+            let a = env.mutex(());
+            let b = env.mutex(());
+            let (a1, b1) = (a.clone(), b.clone());
+            let (a2, b2) = (a.clone(), b.clone());
+            let t1 = env.spawn(move || {
+                let _ga = a1.lock();
+                let _gb = b1.lock();
+            });
+            let t2 = env.spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            t1.join();
+            t2.join();
+        });
+    }
+
+    #[test]
+    fn condvar_handshake_with_while_loop_never_hangs() {
+        // The CORRECT shape: re-check the predicate in a while loop
+        // under the lock. Exhaustive proof of no lost wakeup at bound 3.
+        let r = explore(small(3), |env| {
+            let m = env.mutex(false);
+            let cv = env.condvar();
+            let (m1, cv1) = (m.clone(), cv.clone());
+            let waiter = env.spawn(move || {
+                let mut g = m1.lock();
+                while !*g {
+                    cv1.wait(&mut g);
+                }
+            });
+            let (m2, cv2) = (m.clone(), cv.clone());
+            let signaler = env.spawn(move || {
+                *m2.lock() = true;
+                cv2.notify_one();
+            });
+            waiter.join();
+            signaler.join();
+        });
+        assert!(r.complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn explorer_catches_injected_lost_wakeup() {
+        // The INJECTED BUG the issue demands: the waiter checks the flag
+        // in one critical section and waits in another. If the signaler
+        // runs between them, the notify finds an empty wait queue and
+        // the waiter sleeps forever — the explorer must find that
+        // schedule and report the deadlock.
+        explore(small(2), |env| {
+            let m = env.mutex(false);
+            let cv = env.condvar();
+            let (m1, cv1) = (m.clone(), cv.clone());
+            let waiter = env.spawn(move || {
+                let ready = { *m1.lock() };
+                if !ready {
+                    let mut g = m1.lock();
+                    cv1.wait(&mut g);
+                }
+            });
+            let (m2, cv2) = (m.clone(), cv.clone());
+            let signaler = env.spawn(move || {
+                *m2.lock() = true;
+                cv2.notify_one();
+            });
+            waiter.join();
+            signaler.join();
+        });
+    }
+
+    #[test]
+    fn random_mode_runs_the_requested_iterations() {
+        let r = explore_random(Config::default(), 0xDECAF, 25, |env| {
+            let a = env.atomic_usize(0);
+            let a1 = a.clone();
+            let t = env.spawn(move || {
+                a1.fetch_add(1);
+            });
+            t.join();
+            assert_eq!(a.load(), 1);
+        });
+        assert_eq!(r.executions, 25);
+    }
+
+    #[test]
+    fn preemption_bound_caps_the_schedule_space() {
+        let count = |bound: usize| {
+            explore(small(bound), |env| {
+                let a = env.atomic_usize(0);
+                let (a1, a2) = (a.clone(), a.clone());
+                let t1 = env.spawn(move || {
+                    a1.fetch_add(1);
+                    a1.fetch_add(1);
+                });
+                let t2 = env.spawn(move || {
+                    a2.fetch_add(1);
+                    a2.fetch_add(1);
+                });
+                t1.join();
+                t2.join();
+            })
+            .executions
+        };
+        let (b0, b1, b2) = (count(0), count(1), count(2));
+        assert!(
+            b0 < b1 && b1 < b2,
+            "bound must widen the space: {b0} {b1} {b2}"
+        );
+    }
+}

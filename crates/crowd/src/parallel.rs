@@ -13,6 +13,12 @@ use itag_model::vocab::TagDistribution;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+// Everything below up to the test module is determinism-contracted: the
+// output of these maps must be a pure function of (input, seed), never of
+// wall-clock time or scheduling. The repo lint rejects `Instant::now()` /
+// `SystemTime::now()` inside this fence.
+// lint: determinism
+
 /// A unit of tagging work.
 #[derive(Debug, Clone)]
 pub struct TagJob {
@@ -106,12 +112,16 @@ where
             .map(|(i, t)| f(i, t))
             .collect();
     }
-    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+    // All slot locks share one lockcheck class (they are interchangeable
+    // for ordering purposes — no thread ever holds two at once), as do
+    // the result cells.
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = items
         .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
+        .map(|t| parking_lot::Mutex::named("crowd.scoped.slot", Some(t)))
         .collect();
-    let out: Vec<std::sync::Mutex<Option<R>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let out: Vec<parking_lot::Mutex<Option<R>>> = (0..n)
+        .map(|_| parking_lot::Mutex::named("crowd.scoped.result", None))
+        .collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let f = &f;
     std::thread::scope(|scope| {
@@ -126,20 +136,15 @@ where
                 }
                 let item = slots[i]
                     .lock()
-                    .expect("slot lock")
                     .take()
                     .expect("each slot is claimed exactly once");
                 let r = f(i, item);
-                *out[i].lock().expect("result lock") = Some(r);
+                *out[i].lock() = Some(r);
             });
         }
     });
     out.into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result lock")
-                .expect("scoped threads completed every item")
-        })
+        .map(|m| m.into_inner().expect("scoped threads completed every item"))
         .collect()
 }
 
@@ -160,17 +165,15 @@ struct PipelineState<M> {
 /// every blocked peer wakes up and propagates instead of deadlocking on a
 /// turn that will never come.
 struct PoisonOnPanic<'a, M> {
-    state: &'a std::sync::Mutex<PipelineState<M>>,
-    cv: &'a std::sync::Condvar,
+    state: &'a parking_lot::Mutex<PipelineState<M>>,
+    cv: &'a parking_lot::Condvar,
     armed: bool,
 }
 
 impl<M> Drop for PoisonOnPanic<'_, M> {
     fn drop(&mut self) {
         if self.armed {
-            if let Ok(mut s) = self.state.lock() {
-                s.poisoned = true;
-            }
+            self.state.lock().poisoned = true;
             self.cv.notify_all();
         }
     }
@@ -245,18 +248,21 @@ where
             .collect();
     }
 
-    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+    let slots: Vec<parking_lot::Mutex<Option<T>>> = items
         .into_iter()
-        .map(|t| std::sync::Mutex::new(Some(t)))
+        .map(|t| parking_lot::Mutex::named("crowd.pipeline.slot", Some(t)))
         .collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let state = std::sync::Mutex::new(PipelineState::<M> {
-        staged: (0..n).map(|_| None).collect(),
-        next_merge: 0,
-        next_order: 0,
-        poisoned: false,
-    });
-    let cv = std::sync::Condvar::new();
+    let state = parking_lot::Mutex::named(
+        "crowd.pipeline.state",
+        PipelineState::<M> {
+            staged: (0..n).map(|_| None).collect(),
+            next_merge: 0,
+            next_order: 0,
+            poisoned: false,
+        },
+    );
+    let cv = parking_lot::Condvar::new();
     let work = &work;
     let order = &order;
     let post = &post;
@@ -274,7 +280,7 @@ where
                 let mut out: Vec<R> = Vec::with_capacity(n);
                 for i in 0..n {
                     let m = {
-                        let mut s = state.lock().expect("pipeline lock");
+                        let mut s = state.lock();
                         loop {
                             if s.poisoned {
                                 panic!("pipelined_map worker panicked");
@@ -283,7 +289,7 @@ where
                                 s.next_merge = i + 1;
                                 break m;
                             }
-                            s = cv.wait(s).expect("pipeline lock");
+                            cv.wait(&mut s);
                         }
                     };
                     // Workers blocked on back-pressure can move again.
@@ -313,19 +319,18 @@ where
                     }
                     let item = slots[i]
                         .lock()
-                        .expect("slot lock")
                         .take()
                         .expect("each slot is claimed exactly once");
                     let a = work(i, item);
                     // Ordered handoff: items pass through `order` in input
                     // order, under the pipeline lock.
                     let b = {
-                        let mut s = state.lock().expect("pipeline lock");
+                        let mut s = state.lock();
                         while s.next_order != i {
                             if s.poisoned {
                                 panic!("pipelined_map peer panicked");
                             }
-                            s = cv.wait(s).expect("pipeline lock");
+                            cv.wait(&mut s);
                         }
                         let b = order(i, a);
                         s.next_order += 1;
@@ -335,12 +340,12 @@ where
                     let m = post(i, b);
                     // Deposit for the merger, at most `depth` items ahead.
                     {
-                        let mut s = state.lock().expect("pipeline lock");
+                        let mut s = state.lock();
                         while i >= s.next_merge + depth {
                             if s.poisoned {
                                 panic!("pipelined_map peer panicked");
                             }
-                            s = cv.wait(s).expect("pipeline lock");
+                            cv.wait(&mut s);
                         }
                         s.staged[i] = Some(m);
                         cv.notify_all();
@@ -353,6 +358,8 @@ where
         merger.join().expect("pipeline merger must not panic")
     })
 }
+
+// lint: end determinism
 
 #[cfg(test)]
 mod tests {

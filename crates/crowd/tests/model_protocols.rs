@@ -1,0 +1,407 @@
+//! Schedule-explorer models of the repo's two hand-rolled blocking
+//! protocols: the `pipelined_map` handoff/back-pressure/poisoning
+//! machinery in `itag_crowd::parallel`, and the store's group-commit
+//! leader election (`itag_store`'s `commit`/`lead_group`).
+//!
+//! Each test re-states the protocol's state machine over the model
+//! primitives from [`itag_crowd::model`] and lets the explorer run every
+//! schedule within a preemption bound. The models are shape-faithful,
+//! not line-faithful: the same locks, the same wait predicates, the same
+//! notify points — with the pure computation between them elided, since
+//! it cannot affect scheduling.
+//!
+//! Panic-driven unwinds are modeled as "set the poison/broken flag,
+//! notify, and stop cooperating" (what `PoisonOnPanic` / `LeaderAbort`
+//! do in their `Drop`), because in model-land a panic *is* the failure
+//! signal. A thread that would really propagate the panic instead
+//! `return`s; the invariant under test is that every surviving thread
+//! terminates — any wait loop missing its poison check shows up as a
+//! deadlock, which the explorer reports.
+
+use itag_crowd::model::{explore, Config, Env};
+
+fn cfg(preemption_bound: usize) -> Config {
+    Config {
+        preemption_bound,
+        ..Config::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// pipelined_map
+// ---------------------------------------------------------------------
+
+/// Shared pipeline state, exactly the fields of `PipelineState` plus the
+/// logs the invariants are asserted over.
+struct PipeState {
+    staged: Vec<Option<usize>>,
+    next_merge: usize,
+    next_order: usize,
+    poisoned: bool,
+    order_log: Vec<usize>,
+    merge_log: Vec<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Death {
+    None,
+    /// The worker that claimed this item unwinds during `work(i, ..)`.
+    Worker(usize),
+    /// The merger unwinds before merging this item.
+    Merger(usize),
+}
+
+/// Builds the pipeline model inside `env`: `workers` worker threads with
+/// a static item split (thread `w` owns items `w, w+workers, ...` — the
+/// claim cursor is elided so the explorer spends its schedules on the
+/// handoff, not on symmetric claim races) and one merger, over `n` items
+/// with back-pressure window `depth`.
+fn run_pipeline_model(env: &Env, n: usize, workers: usize, depth: usize, die: Death) {
+    let state = env.mutex(PipeState {
+        staged: (0..n).map(|_| None).collect(),
+        next_merge: 0,
+        next_order: 0,
+        poisoned: false,
+        order_log: Vec::new(),
+        merge_log: Vec::new(),
+    });
+    let cv = env.condvar();
+
+    let mut joins = Vec::new();
+
+    // Merger: drain items in input order, windowed by `depth`.
+    {
+        let state = state.clone();
+        let cv = cv.clone();
+        joins.push(env.spawn(move || {
+            for i in 0..n {
+                if die == Death::Merger(i) {
+                    // PoisonOnPanic on the merger thread.
+                    state.lock().poisoned = true;
+                    cv.notify_all();
+                    return;
+                }
+                {
+                    let mut s = state.lock();
+                    loop {
+                        if s.poisoned {
+                            return;
+                        }
+                        if s.staged[i].take().is_some() {
+                            s.next_merge = i + 1;
+                            s.merge_log.push(i);
+                            break;
+                        }
+                        cv.wait(&mut s);
+                    }
+                }
+                // Workers blocked on back-pressure can move again.
+                cv.notify_all();
+            }
+        }));
+    }
+
+    for w in 0..workers {
+        let state = state.clone();
+        let cv = cv.clone();
+        joins.push(env.spawn(move || {
+            let mut i = w;
+            while i < n {
+                if die == Death::Worker(i) {
+                    // PoisonOnPanic on a worker thread.
+                    state.lock().poisoned = true;
+                    cv.notify_all();
+                    return;
+                }
+                // Ordered handoff: wait for our turn through `order`.
+                {
+                    let mut s = state.lock();
+                    while s.next_order != i {
+                        if s.poisoned {
+                            return;
+                        }
+                        cv.wait(&mut s);
+                    }
+                    if s.poisoned {
+                        return;
+                    }
+                    s.order_log.push(i);
+                    s.next_order += 1;
+                }
+                cv.notify_all();
+                // (`post` runs here in the real code — pure computation.)
+                // Deposit, at most `depth` items ahead of the merger.
+                {
+                    let mut s = state.lock();
+                    while i >= s.next_merge + depth {
+                        if s.poisoned {
+                            return;
+                        }
+                        cv.wait(&mut s);
+                    }
+                    if s.poisoned {
+                        return;
+                    }
+                    s.staged[i] = Some(i);
+                    let backlog = s.staged.iter().filter(|x| x.is_some()).count();
+                    assert!(
+                        backlog <= depth,
+                        "staged backlog {backlog} exceeds depth {depth}"
+                    );
+                }
+                cv.notify_all();
+                i += workers;
+            }
+        }));
+    }
+
+    // Every thread must terminate under every schedule — a missed poison
+    // check or lost notify here is a deadlock the explorer reports.
+    for j in joins {
+        j.join();
+    }
+
+    let s = state.lock();
+    match die {
+        Death::None => {
+            assert!(!s.poisoned);
+            let want: Vec<usize> = (0..n).collect();
+            assert_eq!(s.order_log, want, "order() must run in strict input order");
+            assert_eq!(s.merge_log, want, "merge() must run in strict input order");
+            assert!(s.staged.iter().all(Option::is_none));
+        }
+        Death::Worker(_) | Death::Merger(_) => {
+            assert!(s.poisoned, "a death must raise the poison flag");
+            // Whatever did get ordered/merged still happened in order.
+            assert!(s.order_log.windows(2).all(|w| w[1] == w[0] + 1));
+            assert!(s.merge_log.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+    }
+}
+
+#[test]
+fn pipeline_handoff_is_ordered_and_bounded_under_every_schedule() {
+    // 2 workers + merger over 2 items at depth 1, exhaustive at
+    // preemption bound 2: strict order/merge order and the back-pressure
+    // window hold on every schedule, and everything terminates. (Both
+    // contended mechanisms engage even at this size: worker 1 must wait
+    // for its order turn, and its deposit is blocked until the merger
+    // consumes item 0.)
+    let r = explore(cfg(2), |env| run_pipeline_model(env, 2, 2, 1, Death::None));
+    assert!(r.complete, "schedule space not exhausted: {r:?}");
+    assert!(r.executions > 10, "model too small to mean anything: {r:?}");
+}
+
+#[test]
+fn pipeline_worker_death_poisons_and_every_peer_terminates() {
+    // Worker dies on item 1: the merger waits for a deposit that will
+    // never come and the other worker waits for an order turn that will
+    // never come. The poison checks in both wait loops must wake and
+    // release them on every schedule.
+    let r = explore(cfg(2), |env| {
+        run_pipeline_model(env, 3, 2, 1, Death::Worker(1))
+    });
+    assert!(r.complete, "schedule space not exhausted: {r:?}");
+}
+
+#[test]
+fn pipeline_merger_death_poisons_and_every_worker_terminates() {
+    // Merger dies before item 1: a worker stuck in the back-pressure
+    // wait (`i >= next_merge + depth` stays true forever) must be
+    // released by the poison check on every schedule.
+    let r = explore(cfg(2), |env| {
+        run_pipeline_model(env, 2, 2, 1, Death::Merger(1))
+    });
+    assert!(r.complete, "schedule space not exhausted: {r:?}");
+}
+
+// ---------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------
+
+/// The commit-mutex state, mirroring the store's `CommitState`.
+struct GcState {
+    next_lsn: u64,
+    queue: Vec<u64>,
+    leader_active: bool,
+    broken: bool,
+    applied_lsn: u64,
+    applied_log: Vec<u64>,
+    ok: usize,
+    err: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LeaderFate {
+    Lives,
+    /// The leader whose group contains this LSN unwinds between draining
+    /// the queue and the fsync — with the `LeaderAbort` guard running.
+    DiesWithGuard(u64),
+    /// Same death, but the guard is elided (the pre-guard bug).
+    DiesBare(u64),
+}
+
+/// Models `Store::commit` for `committers` concurrent callers: enqueue
+/// under the commit mutex, then loop — return once applied, error once
+/// broken, wait while a leader is active, else become the leader, drain
+/// the queue, "fsync" outside the lock, apply, report back, wake all.
+fn run_group_commit_model(env: &Env, committers: usize, fate: LeaderFate) {
+    let state = env.mutex(GcState {
+        next_lsn: 1,
+        queue: Vec::new(),
+        leader_active: false,
+        broken: false,
+        applied_lsn: 0,
+        applied_log: Vec::new(),
+        ok: 0,
+        err: 0,
+    });
+    let cv = env.condvar();
+
+    let mut joins = Vec::new();
+    for _ in 0..committers {
+        let state = state.clone();
+        let cv = cv.clone();
+        let env2 = env.clone();
+        joins.push(env.spawn(move || {
+            let lsn = {
+                let mut s = state.lock();
+                let l = s.next_lsn;
+                s.next_lsn += 1;
+                s.queue.push(l);
+                l
+            };
+            loop {
+                let group: Vec<u64> = {
+                    let mut s = state.lock();
+                    loop {
+                        // applied beats broken: a batch durably applied by
+                        // an earlier group succeeded even if a later group
+                        // broke the store.
+                        if s.applied_lsn >= lsn {
+                            s.ok += 1;
+                            return;
+                        }
+                        if s.broken {
+                            s.err += 1;
+                            return;
+                        }
+                        if s.leader_active {
+                            cv.wait(&mut s);
+                            continue;
+                        }
+                        break;
+                    }
+                    s.leader_active = true;
+                    s.queue.drain(..).collect()
+                };
+                assert!(
+                    !group.is_empty(),
+                    "a leader elected with applied_lsn < lsn must find its own entry queued"
+                );
+
+                // -- leader is between drain and fsync --
+                match fate {
+                    LeaderFate::DiesWithGuard(victim) if group.contains(&victim) => {
+                        // LeaderAbort::drop: un-elect, break the store,
+                        // wake everyone, then let the panic leave commit.
+                        {
+                            let mut s = state.lock();
+                            s.leader_active = false;
+                            s.broken = true;
+                        }
+                        cv.notify_all();
+                        return;
+                    }
+                    LeaderFate::DiesBare(victim) if group.contains(&victim) => {
+                        // The unguarded bug: the leader unwinds with
+                        // leader_active still set. Followers wait forever.
+                        return;
+                    }
+                    _ => {}
+                }
+                // The fsync + apply, outside the commit mutex.
+                env2.yield_now();
+
+                let mut s = state.lock();
+                s.leader_active = false;
+                for &l in &group {
+                    assert!(
+                        !s.applied_log.contains(&l),
+                        "lsn {l} drained by two different groups"
+                    );
+                    s.applied_log.push(l);
+                }
+                let last = *group.last().expect("checked non-empty");
+                s.applied_lsn = s.applied_lsn.max(last);
+                drop(s);
+                cv.notify_all();
+                // Loop back: the applied check returns Ok for our lsn.
+            }
+        }));
+    }
+
+    for j in joins {
+        j.join();
+    }
+
+    let s = state.lock();
+    // Applied LSNs are strictly increasing: groups drain in enqueue
+    // order and leaders serialize on `leader_active`.
+    assert!(
+        s.applied_log.windows(2).all(|w| w[0] < w[1]),
+        "applies went backwards: {:?}",
+        s.applied_log
+    );
+    match fate {
+        LeaderFate::Lives => {
+            assert!(!s.broken);
+            assert_eq!(s.ok, committers, "every committer must succeed");
+            assert_eq!(s.applied_log.len(), committers, "every lsn applied once");
+        }
+        LeaderFate::DiesWithGuard(_) => {
+            // One committer died as leader; every survivor must have come
+            // back with a definite outcome (no thread left waiting).
+            assert_eq!(s.ok + s.err, committers - 1);
+            assert!(s.broken, "the abort guard must break the store");
+        }
+        LeaderFate::DiesBare(_) => unreachable!("the bare death always deadlocks"),
+    }
+}
+
+#[test]
+fn group_commit_applies_every_batch_exactly_once_in_lsn_order() {
+    // 3 committers, exhaustive at preemption bound 2: exactly one leader
+    // at a time, no LSN drained twice, applies monotone, everyone
+    // returns. This covers both the solo-group and batched-group shapes
+    // (which one happens is a pure scheduling outcome).
+    let r = explore(cfg(2), |env| {
+        run_group_commit_model(env, 3, LeaderFate::Lives)
+    });
+    assert!(r.complete, "schedule space not exhausted: {r:?}");
+    assert!(r.executions > 10, "model too small to mean anything: {r:?}");
+}
+
+#[test]
+fn group_commit_leader_death_with_abort_guard_releases_followers() {
+    // The leader that drained LSN 1 dies between drain and fsync, with
+    // the LeaderAbort protocol. On every schedule the followers must
+    // observe `broken` and return an error instead of waiting on
+    // `leader_active` forever.
+    let r = explore(cfg(2), |env| {
+        run_group_commit_model(env, 3, LeaderFate::DiesWithGuard(1))
+    });
+    assert!(r.complete, "schedule space not exhausted: {r:?}");
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn group_commit_leader_death_without_guard_wedges_followers() {
+    // Drop the guard and the same death wedges the store: followers wait
+    // on `leader_active` that no one will ever clear. The explorer must
+    // find that schedule — this test is the proof that `LeaderAbort` is
+    // load-bearing.
+    explore(cfg(2), |env| {
+        run_group_commit_model(env, 3, LeaderFate::DiesBare(1))
+    });
+}

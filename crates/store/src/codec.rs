@@ -95,6 +95,21 @@ fn crc_table() -> &'static [u32; 256] {
     })
 }
 
+/// Reads a little-endian `u32` from the front of `b`, or `None` when `b`
+/// is too short. The file-format scanners use these instead of
+/// slice-`try_into().unwrap()` so a short buffer is a recoverable
+/// condition (torn tail, corrupt header) rather than a panic.
+pub fn read_le_u32(b: &[u8]) -> Option<u32> {
+    let arr: [u8; 4] = b.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+/// Little-endian `u64` counterpart of [`read_le_u32`].
+pub fn read_le_u64(b: &[u8]) -> Option<u64> {
+    let arr: [u8; 8] = b.get(..8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(arr))
+}
+
 /// CRC-32 (IEEE 802.3 polynomial) over `data`. Used to frame WAL records and
 /// snapshot payloads so torn or bit-rotted writes are detected on recovery.
 pub fn crc32(data: &[u8]) -> u32 {

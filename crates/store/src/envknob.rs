@@ -1,0 +1,62 @@
+//! The store's one sanctioned environment read.
+//!
+//! `ITAG_NO_CACHE` is consumed at two layers with different error
+//! postures: the engine routes it through [`parse_no_cache`] and fails
+//! loudly on garbage (`EngineError::Config`), while the raw store stays
+//! conservative and treats an unparseable value as "cache off". Both
+//! layers share this module's parser so the two decisions can never
+//! disagree about what a value *means* — only about what to do when it
+//! means nothing. The repo lint (`itag-lint`, rule `env-var`) pins this
+//! module and `core::config` as the only files allowed to call
+//! `std::env::var`.
+
+/// Parses `ITAG_NO_CACHE`: `1`/`true` force the cache off, `0`/`false`
+/// leave it alone, unset/empty means unset, anything else is an error.
+pub fn parse_no_cache(raw: Option<&str>) -> std::result::Result<Option<bool>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim() {
+        "" => Ok(None),
+        "1" | "true" => Ok(Some(true)),
+        "0" | "false" => Ok(Some(false)),
+        _ => Err(format!(
+            "ITAG_NO_CACHE={raw:?} is not a valid cache switch (expected 0/1/true/false)"
+        )),
+    }
+}
+
+/// Whether the `ITAG_NO_CACHE` environment variable forces the entity
+/// cache off for a raw store. Unrecognized values count as "off": the
+/// store cannot surface a config error from deep inside `assemble`, and
+/// disabling the cache is the behavior-preserving direction (presence
+/// semantics only, never a wrong answer). The engine rejects the same
+/// garbage loudly before a store is ever built.
+pub fn env_disables_cache() -> bool {
+    match parse_no_cache(std::env::var("ITAG_NO_CACHE").ok().as_deref()) {
+        Ok(force_off) => force_off == Some(true),
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_values() {
+        assert_eq!(parse_no_cache(None), Ok(None));
+        assert_eq!(parse_no_cache(Some("")), Ok(None));
+        assert_eq!(parse_no_cache(Some("  ")), Ok(None));
+        assert_eq!(parse_no_cache(Some("1")), Ok(Some(true)));
+        assert_eq!(parse_no_cache(Some("true")), Ok(Some(true)));
+        assert_eq!(parse_no_cache(Some("0")), Ok(Some(false)));
+        assert_eq!(parse_no_cache(Some(" false ")), Ok(Some(false)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_the_variable_name() {
+        for bad in ["yes", "no", "2", "TRUE!"] {
+            let err = parse_no_cache(Some(bad)).unwrap_err();
+            assert!(err.contains("ITAG_NO_CACHE") && err.contains(bad), "{err}");
+        }
+    }
+}

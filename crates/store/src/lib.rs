@@ -34,6 +34,7 @@
 
 pub mod codec;
 pub mod db;
+pub mod envknob;
 pub mod error;
 pub mod serbin;
 pub mod snapshot;

@@ -198,8 +198,9 @@ pub fn read(path: &Path) -> Result<Option<Snapshot>> {
     if data[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
         return Err(StoreError::Corrupt("bad snapshot magic".into()));
     }
-    let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
-    let len = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
+    let corrupt_header = || StoreError::Corrupt("snapshot header unreadable".into());
+    let crc = crate::codec::read_le_u32(&data[8..12]).ok_or_else(corrupt_header)?;
+    let len = crate::codec::read_le_u64(&data[12..20]).ok_or_else(corrupt_header)? as usize;
     let payload = data
         .get(header..header + len)
         .ok_or_else(|| StoreError::Corrupt("snapshot payload truncated".into()))?;

@@ -7,7 +7,7 @@
 //! assumption for an append-only log) and the file is truncated there on the
 //! next append.
 
-use crate::codec::crc32;
+use crate::codec::{crc32, read_le_u32};
 use crate::error::{Result, StoreError};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -75,10 +75,13 @@ impl Wal {
         Ok(())
     }
 
-    /// Flushes buffered frames and fsyncs the file.
+    /// Flushes buffered frames and fsyncs the file. This is the store's
+    /// single fsync choke point, so it doubles as the lockcheck probe for
+    /// "lock held across fsync" (see `parking_lot::lockcheck`).
     pub fn sync(&mut self) -> Result<()> {
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        parking_lot::lockcheck::note_fsync();
         Ok(())
     }
 
@@ -164,8 +167,15 @@ pub fn scan(path: &Path) -> Result<WalScan> {
             truncated_tail = true;
             break;
         }
-        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+        let (Some(len), Some(crc)) = (
+            read_le_u32(&data[offset..]).map(|v| v as usize),
+            read_le_u32(&data[offset + 4..]),
+        ) else {
+            // Unreachable given the FRAME_HEADER length check above, but
+            // a short read is a torn tail, never a panic.
+            truncated_tail = true;
+            break;
+        };
         let body_start = offset + FRAME_HEADER;
         if data.len() - body_start < len {
             truncated_tail = true;

@@ -1,0 +1,600 @@
+//! Lock-order and hold-time instrumentation for the shim's lock types.
+//!
+//! When active, every acquisition of a **named** lock (see
+//! [`crate::Mutex::named`] / [`crate::RwLock::named`]) is recorded into a
+//! per-thread stack of held lock classes and a global **acquisition
+//! graph**: acquiring class `B` while holding class `A` adds the edge
+//! `A → B`, annotated with the two source locations involved. A new edge
+//! that closes a cycle is a potential deadlock and panics immediately,
+//! naming both offending site pairs — the test that took the locks in the
+//! inverted order fails on the spot, whether or not the schedule actually
+//! deadlocked this run.
+//!
+//! Beyond ordering, the tracker keeps a **hold-time histogram** per class
+//! (acquisition count, total/max hold, bucketed durations) and records
+//! which classes were **held across an fsync** (the store's WAL reports
+//! its `sync_data` calls via [`note_fsync`]) — long holds and
+//! lock-across-fsync are reported, not fatal, because the group-commit
+//! design intentionally holds its log mutex over the sync; classes for
+//! which that is by design are declared via [`allow_held_across_fsync`]
+//! and anything else earns a loud stderr warning plus an entry in
+//! [`fsync_report`].
+//!
+//! ## Activation
+//!
+//! Three switches, all required to observe anything:
+//!
+//! 1. the `lockcheck` **cargo feature** (default-on; `--no-default-features`
+//!    strips every probe to nothing at compile time);
+//! 2. the `ITAG_LOCKCHECK` **environment variable** (`1`/`true`), read once
+//!    per process — or [`force_enable`] for tests that must not depend on
+//!    the environment;
+//! 3. a **named** lock: unnamed locks (everything constructed via the
+//!    plain `new`) carry class 0 and are skipped entirely, so third-party
+//!    code inside the workspace cannot produce false cycles.
+//!
+//! When the feature is on but the env switch is off, the entire probe is
+//! one relaxed atomic load per lock operation.
+//!
+//! ## False-positive policy
+//!
+//! A cycle in the acquisition graph is only a *potential* deadlock: state
+//! machines can make an inverted order unreachable. Such proven-safe
+//! inversions must be declared up front via [`allow_edge`] with a written
+//! justification — the exemption list is the reviewed waiver set of this
+//! checker, exactly like the lint's `// lint: allow(...)` budget. The
+//! acceptance bar for the repo is zero cycle reports with the shipped
+//! exemptions.
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Interned identifier of a lock class. Class 0 is "untracked".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassId(pub(crate) u16);
+
+/// The class of every unnamed lock; never tracked.
+pub const UNTRACKED: ClassId = ClassId(0);
+
+/// Hard cap on distinct classes; later names fall back to [`UNTRACKED`].
+pub const MAX_CLASSES: usize = 512;
+
+/// Hold-duration histogram bucket upper bounds, in nanoseconds
+/// (the last bucket is unbounded).
+pub const HOLD_BUCKETS_NS: [u64; 6] = [
+    1_000,         // < 1 µs
+    10_000,        // < 10 µs
+    100_000,       // < 100 µs
+    1_000_000,     // < 1 ms
+    10_000_000,    // < 10 ms
+    1_000_000_000, // < 1 s
+];
+
+#[derive(Debug, Clone)]
+struct Edge {
+    /// Where the already-held lock was acquired.
+    held_site: &'static Location<'static>,
+    /// Where the second lock was being acquired when the edge was seen.
+    acquire_site: &'static Location<'static>,
+    exempt: bool,
+}
+
+/// Per-class hold statistics.
+#[derive(Debug, Clone, Default)]
+pub struct HoldStats {
+    pub acquisitions: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+    /// Counts per [`HOLD_BUCKETS_NS`] bucket, plus one overflow bucket.
+    pub buckets: [u64; 7],
+}
+
+/// One "class was held across an fsync" observation set.
+#[derive(Debug, Clone)]
+pub struct FsyncObservation {
+    pub class: String,
+    pub count: u64,
+    /// Declared by-design via [`allow_held_across_fsync`].
+    pub allowed: bool,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Class names; index is the `ClassId`. Slot 0 is the untracked class.
+    names: Vec<String>,
+    by_name: HashMap<String, u16>,
+    edges: HashMap<(u16, u16), Edge>,
+    /// Exempted (from, to) pairs with their justification.
+    exemptions: HashMap<(u16, u16), String>,
+    fsync_allowed: HashMap<u16, String>,
+    hold: Vec<HoldStats>,
+    /// class → (observations, already-warned)
+    fsync_seen: HashMap<u16, (u64, bool)>,
+}
+
+fn registry() -> StdMutexGuard<'static, Registry> {
+    static REG: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    let reg = REG.get_or_init(|| {
+        StdMutex::new(Registry {
+            names: vec!["(untracked)".to_string()],
+            hold: vec![HoldStats::default()],
+            ..Registry::default()
+        })
+    });
+    // The registry mutex is the tracker's own and is deliberately a raw
+    // std mutex: instrumenting it would recurse.
+    reg.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+struct Held {
+    class: u16,
+    site: &'static Location<'static>,
+    since: Instant,
+}
+
+thread_local! {
+    static HELD: std::cell::RefCell<Vec<Held>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+static FORCED: AtomicBool = AtomicBool::new(false);
+
+/// True when the tracker is observing (feature compiled in, and either
+/// `ITAG_LOCKCHECK=1`/`true` in the environment or [`force_enable`]).
+#[inline]
+pub fn enabled() -> bool {
+    if !cfg!(feature = "lockcheck") {
+        return false;
+    }
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        // This is the shim's own switch, not an engine knob, so it is not
+        // routed through the engine's strict parser (the shim sits below
+        // every itag crate). Unrecognized values mean "off".
+        std::env::var("ITAG_LOCKCHECK")
+            .map(|v| matches!(v.trim(), "1" | "true"))
+            .unwrap_or(false)
+    }) || FORCED.load(Ordering::Relaxed)
+}
+
+/// Turns the tracker on for the rest of the process, regardless of the
+/// environment. For tests that must exercise the instrumentation
+/// deterministically. No-op without the `lockcheck` feature.
+pub fn force_enable() {
+    FORCED.store(true, Ordering::Relaxed);
+}
+
+/// Interns `name` and returns its class id. Returns [`UNTRACKED`] when
+/// the tracker is compiled out or the class table is full.
+pub fn class(name: &str) -> ClassId {
+    if !cfg!(feature = "lockcheck") {
+        return UNTRACKED;
+    }
+    let mut reg = registry();
+    if let Some(&id) = reg.by_name.get(name) {
+        return ClassId(id);
+    }
+    if reg.names.len() >= MAX_CLASSES {
+        return UNTRACKED;
+    }
+    let id = reg.names.len() as u16;
+    reg.names.push(name.to_string());
+    reg.by_name.insert(name.to_string(), id);
+    reg.hold.push(HoldStats::default());
+    ClassId(id)
+}
+
+/// Declares the acquisition order `from → to` as proven safe (a state
+/// machine makes the inversion unreachable) with a written reason. The
+/// edge is recorded but excluded from cycle detection. Part of the
+/// reviewed waiver surface — keep the justification honest.
+pub fn allow_edge(from: &str, to: &str, reason: &str) {
+    if !cfg!(feature = "lockcheck") {
+        return;
+    }
+    let (f, t) = (class(from), class(to));
+    if f == UNTRACKED || t == UNTRACKED {
+        return;
+    }
+    registry()
+        .exemptions
+        .entry((f.0, t.0))
+        .or_insert_with(|| reason.to_string());
+}
+
+/// Declares that holding `name` across an fsync is by design (e.g. the
+/// WAL group leader serializes log I/O under its log mutex).
+pub fn allow_held_across_fsync(name: &str, reason: &str) {
+    if !cfg!(feature = "lockcheck") {
+        return;
+    }
+    let c = class(name);
+    if c == UNTRACKED {
+        return;
+    }
+    registry()
+        .fsync_allowed
+        .entry(c.0)
+        .or_insert_with(|| reason.to_string());
+}
+
+/// Cycle check run *before* blocking on the lock, so a potential deadlock
+/// is reported even on schedules where it would not have bitten.
+pub fn pre_acquire(class: ClassId, site: &'static Location<'static>) {
+    if class == UNTRACKED || !enabled() {
+        return;
+    }
+    HELD.with(|held| {
+        let held = held.borrow();
+        for h in held.iter() {
+            if h.class == class.0 {
+                let name = registry().names[class.0 as usize].clone();
+                panic!(
+                    "lockcheck: class `{name}` acquired at {site} while already held \
+                     (acquired at {}) — same-class nesting is a self-deadlock with the \
+                     shim's non-reentrant std locks",
+                    h.site
+                );
+            }
+            record_edge(h.class, h.site, class.0, site);
+        }
+    });
+}
+
+/// Records the successful acquisition (hold timing starts now).
+pub fn post_acquire(class: ClassId, site: &'static Location<'static>) {
+    if class == UNTRACKED || !enabled() {
+        return;
+    }
+    HELD.with(|held| {
+        held.borrow_mut().push(Held {
+            class: class.0,
+            site,
+            since: Instant::now(),
+        });
+    });
+}
+
+/// Records a release (guard drop, or the release half of a condvar wait).
+/// Guards may drop in any order, so the stack is searched, not popped.
+pub fn on_release(class: ClassId) {
+    if class == UNTRACKED || !enabled() {
+        return;
+    }
+    let dur = HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        let idx = held.iter().rposition(|h| h.class == class.0)?;
+        let h = held.remove(idx);
+        Some(h.since.elapsed())
+    });
+    let Some(dur) = dur else { return };
+    let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    let mut reg = registry();
+    let stats = &mut reg.hold[class.0 as usize];
+    stats.acquisitions += 1;
+    stats.total_ns += ns;
+    stats.max_ns = stats.max_ns.max(ns);
+    let bucket = HOLD_BUCKETS_NS
+        .iter()
+        .position(|&ub| ns < ub)
+        .unwrap_or(HOLD_BUCKETS_NS.len());
+    stats.buckets[bucket] += 1;
+}
+
+/// Reports an fsync happening on the calling thread (the store's WAL
+/// calls this from `Wal::sync`). Every named lock currently held is
+/// recorded; classes not declared via [`allow_held_across_fsync`] earn a
+/// one-time stderr warning.
+#[track_caller]
+pub fn note_fsync() {
+    if !enabled() {
+        return;
+    }
+    let site = Location::caller();
+    HELD.with(|held| {
+        let held = held.borrow();
+        if held.is_empty() {
+            return;
+        }
+        let mut reg = registry();
+        for h in held.iter() {
+            let allowed = reg.fsync_allowed.contains_key(&h.class);
+            let lock_site = h.site;
+            let name = reg.names[h.class as usize].clone();
+            let entry = reg.fsync_seen.entry(h.class).or_insert((0, false));
+            entry.0 += 1;
+            if !allowed && !entry.1 {
+                entry.1 = true;
+                eprintln!(
+                    "lockcheck: WARNING: lock class `{name}` (acquired at {lock_site}) \
+                     held across fsync at {site}; declare it with \
+                     allow_held_across_fsync if this is by design"
+                );
+            }
+        }
+    });
+}
+
+/// Adds `from → to` to the acquisition graph; panics on a new cycle.
+fn record_edge(
+    from: u16,
+    held_site: &'static Location<'static>,
+    to: u16,
+    acquire_site: &'static Location<'static>,
+) {
+    let mut reg = registry();
+    if reg.edges.contains_key(&(from, to)) {
+        return;
+    }
+    let exempt = reg.exemptions.contains_key(&(from, to));
+    reg.edges.insert(
+        (from, to),
+        Edge {
+            held_site,
+            acquire_site,
+            exempt,
+        },
+    );
+    if exempt {
+        return;
+    }
+    // DFS from `to` over non-exempt edges; reaching `from` closes a cycle.
+    if let Some(path) = find_path(&reg, to, from) {
+        let name = |id: u16| reg.names[id as usize].clone();
+        let mut back = String::new();
+        for win in path.windows(2) {
+            let e = &reg.edges[&(win[0], win[1])];
+            back.push_str(&format!(
+                "\n    `{}` → `{}` (held from {}, acquired at {})",
+                name(win[0]),
+                name(win[1]),
+                e.held_site,
+                e.acquire_site
+            ));
+        }
+        panic!(
+            "lockcheck: lock-order cycle detected!\n  new edge: `{}` → `{}` \
+             (`{}` held from {}, `{}` being acquired at {})\n  conflicts with \
+             the previously recorded order:{}\n  If a state machine proves the \
+             inversion unreachable, declare it via lockcheck::allow_edge with a \
+             written reason.",
+            name(from),
+            name(to),
+            name(from),
+            held_site,
+            name(to),
+            acquire_site,
+            back
+        );
+    }
+}
+
+/// Shortest-ish path `start → … → goal` over non-exempt edges (DFS).
+fn find_path(reg: &Registry, start: u16, goal: u16) -> Option<Vec<u16>> {
+    let mut stack = vec![vec![start]];
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(start);
+    while let Some(path) = stack.pop() {
+        let last = *path.last()?;
+        for (&(a, b), e) in reg.edges.iter() {
+            if a != last || e.exempt {
+                continue;
+            }
+            if b == goal {
+                let mut p = path.clone();
+                p.push(b);
+                return Some(p);
+            }
+            if visited.insert(b) {
+                let mut p = path.clone();
+                p.push(b);
+                stack.push(p);
+            }
+        }
+    }
+    None
+}
+
+/// Number of distinct ordered class pairs observed so far.
+pub fn edge_count() -> usize {
+    if !cfg!(feature = "lockcheck") {
+        return 0;
+    }
+    registry().edges.len()
+}
+
+/// Hold statistics for `name`, if the class exists and was ever held.
+pub fn hold_stats(name: &str) -> Option<HoldStats> {
+    if !cfg!(feature = "lockcheck") {
+        return None;
+    }
+    let reg = registry();
+    let &id = reg.by_name.get(name)?;
+    let s = reg.hold[id as usize].clone();
+    (s.acquisitions > 0).then_some(s)
+}
+
+/// Every fsync observation so far (class held across an fsync).
+pub fn fsync_report() -> Vec<FsyncObservation> {
+    if !cfg!(feature = "lockcheck") {
+        return Vec::new();
+    }
+    let reg = registry();
+    let mut out: Vec<FsyncObservation> = reg
+        .fsync_seen
+        .iter()
+        .map(|(&c, &(count, _))| FsyncObservation {
+            class: reg.names[c as usize].clone(),
+            count,
+            allowed: reg.fsync_allowed.contains_key(&c),
+        })
+        .collect();
+    out.sort_by(|a, b| a.class.cmp(&b.class));
+    out
+}
+
+/// Human-readable hold-time histogram over every class that was ever
+/// held, sorted by total hold time descending. Used by the RwLock
+/// fairness audit and available to any test via `eprintln!`.
+pub fn hold_report() -> String {
+    if !cfg!(feature = "lockcheck") {
+        return String::from("lockcheck compiled out\n");
+    }
+    let reg = registry();
+    let mut rows: Vec<(String, HoldStats)> = reg
+        .names
+        .iter()
+        .zip(reg.hold.iter())
+        .filter(|(_, s)| s.acquisitions > 0)
+        .map(|(n, s)| (n.clone(), s.clone()))
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.total_ns));
+    let mut out = String::from(
+        "lock class                     acquires   total(ms)     max(us)  \
+         <1us <10us <100us <1ms <10ms <1s >=1s\n",
+    );
+    for (name, s) in rows {
+        out.push_str(&format!(
+            "{name:<30} {:>9} {:>11.3} {:>11.1}  {}\n",
+            s.acquisitions,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e3,
+            s.buckets
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(all(test, feature = "lockcheck"))]
+mod tests {
+    use super::*;
+
+    // Class names in these tests are unique per test: the graph is
+    // process-global, and a test that deliberately records a cycle
+    // leaves its edges behind.
+
+    fn site() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    #[test]
+    fn unnamed_classes_are_never_tracked() {
+        force_enable();
+        pre_acquire(UNTRACKED, site());
+        post_acquire(UNTRACKED, site());
+        on_release(UNTRACKED);
+        // No stats row appears for the untracked class.
+        assert!(hold_stats("(untracked)").is_none());
+    }
+
+    #[test]
+    fn consistent_order_and_hold_stats() {
+        force_enable();
+        let a = class("t1.a");
+        let b = class("t1.b");
+        for _ in 0..3 {
+            pre_acquire(a, site());
+            post_acquire(a, site());
+            pre_acquire(b, site());
+            post_acquire(b, site());
+            on_release(b);
+            on_release(a);
+        }
+        let s = hold_stats("t1.a").expect("held classes have stats");
+        assert_eq!(s.acquisitions, 3);
+        assert!(s.total_ns >= s.max_ns);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        assert!(hold_report().contains("t1.a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order cycle")]
+    fn inverted_order_panics_with_both_sites() {
+        force_enable();
+        let a = class("t2.a");
+        let b = class("t2.b");
+        pre_acquire(a, site());
+        post_acquire(a, site());
+        pre_acquire(b, site());
+        post_acquire(b, site());
+        on_release(b);
+        on_release(a);
+        // Inversion: b then a.
+        pre_acquire(b, site());
+        post_acquire(b, site());
+        pre_acquire(a, site()); // must panic
+    }
+
+    #[test]
+    #[should_panic(expected = "same-class nesting")]
+    fn reentrant_same_class_panics() {
+        force_enable();
+        let a = class("t3.a");
+        pre_acquire(a, site());
+        post_acquire(a, site());
+        pre_acquire(a, site()); // must panic
+    }
+
+    #[test]
+    fn exempted_edge_does_not_close_a_cycle() {
+        force_enable();
+        allow_edge("t4.b", "t4.a", "test: state machine proves this safe");
+        let a = class("t4.a");
+        let b = class("t4.b");
+        pre_acquire(a, site());
+        post_acquire(a, site());
+        pre_acquire(b, site());
+        post_acquire(b, site());
+        on_release(b);
+        on_release(a);
+        // The inversion is declared safe: no panic.
+        pre_acquire(b, site());
+        post_acquire(b, site());
+        pre_acquire(a, site());
+        post_acquire(a, site());
+        on_release(a);
+        on_release(b);
+    }
+
+    #[test]
+    fn fsync_observations_record_held_classes() {
+        force_enable();
+        allow_held_across_fsync("t5.log", "test: leader serializes WAL I/O");
+        let l = class("t5.log");
+        let x = class("t5.other");
+        pre_acquire(l, site());
+        post_acquire(l, site());
+        pre_acquire(x, site());
+        post_acquire(x, site());
+        note_fsync();
+        on_release(x);
+        on_release(l);
+        let report = fsync_report();
+        let log = report.iter().find(|o| o.class == "t5.log").unwrap();
+        assert!(log.allowed && log.count >= 1);
+        let other = report.iter().find(|o| o.class == "t5.other").unwrap();
+        assert!(!other.allowed && other.count >= 1);
+    }
+
+    #[test]
+    fn out_of_order_release_is_tolerated() {
+        force_enable();
+        let a = class("t6.a");
+        let b = class("t6.b");
+        pre_acquire(a, site());
+        post_acquire(a, site());
+        pre_acquire(b, site());
+        post_acquire(b, site());
+        // FIFO drop order, as Vec<Guard> does.
+        on_release(a);
+        on_release(b);
+        assert!(hold_stats("t6.a").is_some());
+        assert!(hold_stats("t6.b").is_some());
+    }
+}

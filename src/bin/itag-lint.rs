@@ -1,0 +1,47 @@
+//! CLI wrapper for the repo-invariant lint (`itag::lint`).
+//!
+//! Usage: `itag-lint [ROOT]` — lints the workspace rooted at ROOT
+//! (default: this crate's manifest directory, i.e. the repo checkout the
+//! binary was built from). Exits 1 on any violation, printing each as
+//! `file:line: [rule] message`. Clean runs print the scanned-file count
+//! and the reviewed waiver list, so the exception surface stays visible
+//! in CI logs.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+
+    let report = itag::lint::run(&root);
+
+    if !report.waivers_used.is_empty() {
+        println!("reviewed waivers in effect:");
+        for w in &report.waivers_used {
+            println!(
+                "  {}:{}: allow({})  [budget {}]",
+                w.file,
+                w.line,
+                w.rule,
+                itag::lint::waiver_budget(&w.rule)
+            );
+        }
+    }
+
+    if report.is_clean() {
+        println!(
+            "itag-lint: clean ({} files scanned, {} waivers used)",
+            report.files_scanned,
+            report.waivers_used.len()
+        );
+        return;
+    }
+
+    eprintln!("itag-lint: {} violation(s):", report.violations.len());
+    for v in &report.violations {
+        eprintln!("  {v}");
+    }
+    std::process::exit(1);
+}

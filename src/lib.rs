@@ -17,6 +17,8 @@
 //! use itag::prelude::*;
 //! ```
 
+pub mod lint;
+
 pub use itag_core as core;
 pub use itag_crowd as crowd;
 pub use itag_model as model;
