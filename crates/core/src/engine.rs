@@ -97,8 +97,9 @@ struct ProjectRuntime {
     rng: StdRng,
 }
 
-/// Outcome of one `run` call.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Outcome of one `run` call. Serializable so the server can hand it to
+/// remote provider sessions unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RunSummary {
     /// Tasks published against the budget.
     pub issued: u32,
@@ -528,6 +529,7 @@ pub struct ITagEngine {
     next_post_id: u64,
     next_project_id: u32,
     next_provider_id: u32,
+    next_tagger_id: u32,
 }
 
 impl ITagEngine {
@@ -583,6 +585,7 @@ impl ITagEngine {
             .map(|u| u.id + 1)
             .max()
             .unwrap_or(0);
+        let next_tagger_id = users.taggers()?.iter().map(|u| u.id + 1).max().unwrap_or(0);
 
         // Build-once for the incremental schedule: one tagger-range scan
         // here (which after a crash is the recovery rebuild — the WAL
@@ -613,6 +616,7 @@ impl ITagEngine {
             next_post_id,
             next_project_id,
             next_provider_id,
+            next_tagger_id,
         })
     }
 
@@ -655,6 +659,16 @@ impl ITagEngine {
         let id = self.next_provider_id;
         self.next_provider_id += 1;
         self.users.register(UserRole::Provider, id, name)?;
+        Ok(id)
+    }
+
+    /// Registers a tagger account and returns its id — the server-side
+    /// half of a remote tagger session's sign-up. Ids continue after both
+    /// earlier registrations and [`ITagEngine::seed_taggers`] ranges.
+    pub fn register_tagger(&mut self, name: &str) -> Result<u32> {
+        let id = self.next_tagger_id;
+        self.next_tagger_id += 1;
+        self.users.register(UserRole::Tagger, id, name)?;
         Ok(id)
     }
 
@@ -765,6 +779,40 @@ impl ITagEngine {
                 project,
                 state: "backed by a different platform type",
             })
+    }
+
+    /// Claimable tasks of an audience-platform project, oldest first —
+    /// the server-side half of a remote tagger's task-pull (Fig. 8's
+    /// tagging screen). Fails like [`ITagEngine::platform_mut`] when the
+    /// project is not backed by a [`ManualPlatform`].
+    pub fn audience_open_tasks(
+        &mut self,
+        project: ProjectId,
+        limit: usize,
+    ) -> Result<Vec<(u64, ResourceId)>> {
+        use itag_crowd::audience::ManualPlatform;
+        let platform: &mut ManualPlatform = self.platform_mut(project)?;
+        let ids: Vec<_> = platform.open_task_ids().take(limit).collect();
+        Ok(ids
+            .into_iter()
+            .filter_map(|t| platform.task(t).map(|task| (t.0, task.resource)))
+            .collect())
+    }
+
+    /// A remote tagger claims `task` on an audience-platform project and
+    /// submits `tags`; the decision lands at the next
+    /// [`ITagEngine::collect_once`].
+    pub fn audience_submit(
+        &mut self,
+        project: ProjectId,
+        task: u64,
+        tagger: TaggerId,
+        tags: Vec<TagId>,
+    ) -> Result<()> {
+        use itag_crowd::audience::ManualPlatform;
+        let platform: &mut ManualPlatform = self.platform_mut(project)?;
+        platform.submit(itag_crowd::task::TaskId(task), tagger, tags)?;
+        Ok(())
     }
 
     /// Rebuilds the runtime of a persisted project after a restart,
@@ -1382,6 +1430,7 @@ impl ITagEngine {
     pub fn seed_taggers(&mut self, start: u32, count: u32) -> Result<()> {
         self.users
             .register_bulk(UserRole::Tagger, start, count, "tagger-")?;
+        self.next_tagger_id = self.next_tagger_id.max(start.saturating_add(count));
         Ok(())
     }
 
@@ -1520,20 +1569,45 @@ impl ITagEngine {
     }
 
     /// "Providers may add budget to the project."
+    ///
+    /// The addition is checked: a wrap would leave `budget_total <
+    /// budget_spent`, and the `(budget_total - budget_spent)` task-quota
+    /// math in the tick would underflow to a near-infinite quota. The
+    /// durable project row is updated **before** the in-memory runtime,
+    /// so a store error can never leave memory ahead of disk.
     pub fn add_budget(&mut self, project: ProjectId, extra_tasks: u32) -> Result<()> {
+        let rt = self
+            .runtimes
+            .get(&project.0)
+            .ok_or(EngineError::UnknownProject(project))?;
+        let new_total =
+            rt.budget_total
+                .checked_add(extra_tasks)
+                .ok_or(EngineError::BudgetOverflow {
+                    project,
+                    current: rt.budget_total,
+                    extra: extra_tasks,
+                })?;
+        let new_state = if rt.state == ProjectState::Completed {
+            ProjectState::Running
+        } else {
+            rt.state
+        };
+        self.projects
+            .update(&project, |record| {
+                record.budget_total = new_total;
+                record.state = new_state;
+            })?
+            // A runtime without its stored row means the durable update
+            // silently applied to nothing — surface it instead of letting
+            // memory and disk diverge.
+            .ok_or(EngineError::UnknownProject(project))?;
         let rt = self
             .runtimes
             .get_mut(&project.0)
             .ok_or(EngineError::UnknownProject(project))?;
-        rt.budget_total += extra_tasks;
-        if rt.state == ProjectState::Completed {
-            rt.state = ProjectState::Running;
-        }
-        let (budget_total, state) = (rt.budget_total, rt.state);
-        self.projects.update(&project, |record| {
-            record.budget_total = budget_total;
-            record.state = state;
-        })?;
+        rt.budget_total = new_total;
+        rt.state = new_state;
         Ok(())
     }
 
@@ -1845,6 +1919,65 @@ mod tests {
         e.add_budget(p, 10).unwrap();
         let s3 = e.run(p, 100).unwrap();
         assert_eq!(s3.issued, 10);
+    }
+
+    #[test]
+    fn add_budget_overflow_is_a_named_error_and_mutates_nothing() {
+        let mut e = engine();
+        let provider = e.register_provider("croesus").unwrap();
+        let p = e
+            .add_project(
+                provider,
+                ProjectSpec::demo("rich", u32::MAX - 5),
+                dataset(3),
+            )
+            .unwrap();
+        // Pre-fix this wrapped in release, leaving budget_total <
+        // budget_spent and an underflowing task quota in the tick.
+        let err = e.add_budget(p, 10).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::BudgetOverflow {
+                    project,
+                    current,
+                    extra: 10,
+                } if project == p && current == u32::MAX - 5
+            ),
+            "expected BudgetOverflow, got {err}"
+        );
+        // Neither the runtime nor the stored row moved.
+        assert_eq!(e.monitor(p).unwrap().budget_total, u32::MAX - 5);
+        assert_eq!(
+            e.projects.get(&p).unwrap().unwrap().budget_total,
+            u32::MAX - 5
+        );
+        // A non-overflowing top-up still works.
+        e.add_budget(p, 5).unwrap();
+        assert_eq!(e.monitor(p).unwrap().budget_total, u32::MAX);
+    }
+
+    #[test]
+    fn add_budget_leaves_runtime_untouched_when_the_durable_update_fails() {
+        let mut e = engine();
+        let provider = e.register_provider("frank").unwrap();
+        let p = e
+            .add_project(provider, ProjectSpec::demo("torn", 50), dataset(3))
+            .unwrap();
+        // Sabotage the durable side: drop the project row behind the
+        // engine's back, so `projects.update` has nothing to apply to.
+        // Pre-fix the runtime was bumped first, leaving memory ahead of
+        // disk (the update silently applied to nothing).
+        assert!(e.projects.delete(&p).unwrap());
+        assert!(matches!(
+            e.add_budget(p, 10),
+            Err(EngineError::UnknownProject(q)) if q == p
+        ));
+        assert_eq!(
+            e.monitor(p).unwrap().budget_total,
+            50,
+            "runtime must not run ahead of the failed durable update"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub struct Export {
 
 impl Export {
     /// CSV rendering: one row per resource, tags as a `;`-joined list.
-    /// Fields containing the separator, quotes or newlines are quoted.
+    /// Fields containing the separator, quotes, or CR/LF are quoted.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("uri,kind,posts,quality,tags\n");
         for r in &self.resources {
@@ -57,7 +57,10 @@ impl Export {
 }
 
 fn csv_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
+    // `\r` must force quoting too: a bare CR (or a CRLF pair) inside an
+    // unquoted field splits the row in most CSV readers (RFC 4180 treats
+    // CR as part of the record terminator).
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -118,6 +121,45 @@ mod tests {
             }],
         };
         assert!(e.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_bare_cr_and_crlf() {
+        let e = Export {
+            project: "p".into(),
+            resources: vec![
+                ExportedResource {
+                    uri: "line\rbreak".into(),
+                    kind: "Web URL".into(),
+                    posts: 1,
+                    quality: 0.5,
+                    tags: vec![],
+                },
+                ExportedResource {
+                    uri: "crlf\r\nfield".into(),
+                    kind: "Image".into(),
+                    posts: 2,
+                    quality: 0.25,
+                    tags: vec![],
+                },
+            ],
+        };
+        let csv = e.to_csv();
+        // Quoted, so the CR cannot terminate the record early.
+        assert!(csv.contains("\"line\rbreak\""), "bare CR quoted: {csv:?}");
+        assert!(csv.contains("\"crlf\r\nfield\""), "CRLF quoted: {csv:?}");
+        // Exactly header + 2 records when records are split on `\n`
+        // outside quotes (what a conforming reader does).
+        let mut records = 0;
+        let mut in_quotes = false;
+        for c in csv.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                '\n' if !in_quotes => records += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(records, 3, "header + 2 rows: {csv:?}");
     }
 
     #[test]

@@ -70,6 +70,14 @@ pub enum EngineError {
     },
     /// Dataset failed validation on upload.
     InvalidDataset(String),
+    /// `add_budget` would overflow the project's task budget; in release
+    /// the old unchecked add wrapped, leaving `budget_total < budget_spent`
+    /// and an underflowing task quota.
+    BudgetOverflow {
+        project: itag_model::ids::ProjectId,
+        current: u32,
+        extra: u32,
+    },
     /// Malformed configuration — e.g. a garbage `ITAG_THREADS` /
     /// `ITAG_PIPELINE` / `ITAG_NO_CACHE` value, rejected loudly instead
     /// of silently falling back to a default.
@@ -87,6 +95,14 @@ impl std::fmt::Display for EngineError {
                 write!(f, "project {project} is {state}")
             }
             EngineError::InvalidDataset(m) => write!(f, "invalid dataset: {m}"),
+            EngineError::BudgetOverflow {
+                project,
+                current,
+                extra,
+            } => write!(
+                f,
+                "adding {extra} tasks to {project} overflows its budget of {current}"
+            ),
             EngineError::Config(m) => write!(f, "configuration: {m}"),
         }
     }

@@ -115,7 +115,7 @@ impl MonitorSnapshot {
                 out,
                 "{:>6} {:<28} {:>6} {:>8.4} {:>7}",
                 row.id.0,
-                &row.uri[..row.uri.len().min(28)],
+                truncate_utf8(&row.uri, 28),
                 row.posts,
                 row.quality,
                 if row.stopped { "yes" } else { "" },
@@ -123,6 +123,21 @@ impl MonitorSnapshot {
         }
         out
     }
+}
+
+/// The longest prefix of `s` that fits in `max_bytes` without splitting a
+/// UTF-8 sequence. Byte-slicing at a fixed index panics on multi-byte
+/// boundaries, which made any non-ASCII resource URI crash the monitor
+/// table.
+pub fn truncate_utf8(s: &str, max_bytes: usize) -> &str {
+    if s.len() <= max_bytes {
+        return s;
+    }
+    let mut end = max_bytes;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 /// One row of the tagger-side project browser (Fig. 7): "project
@@ -232,5 +247,41 @@ mod tests {
         assert!(out.contains("FP-MU"));
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2 + 2, "header + column line + 2 rows");
+    }
+
+    #[test]
+    fn render_truncates_multibyte_uris_on_char_boundaries() {
+        // 33 bytes, and byte 28 falls inside a 3-byte kanji sequence —
+        // the pre-fix byte slice `&uri[..28]` panicked here.
+        let mut s = snapshot();
+        s.rows[0].uri = "https://例.jp/資料/長い名前の頁".into();
+        assert!(s.rows[0].uri.len() > 28);
+        let out = s.render_table(3);
+        assert!(out.contains("https://例.jp/"), "prefix survives: {out}");
+        for line in out.lines() {
+            assert!(line.len() < 200); // sanity: still one row per line
+        }
+    }
+
+    #[test]
+    fn truncate_utf8_never_splits_sequences() {
+        let s = "aé字🙂"; // 1 + 2 + 3 + 4 bytes
+        let expect = [
+            "",
+            "a",
+            "a",
+            "aé",
+            "aé",
+            "aé",
+            "aé字",
+            "aé字",
+            "aé字",
+            "aé字",
+            "aé字🙂",
+        ];
+        for (max, want) in expect.iter().enumerate() {
+            assert_eq!(truncate_utf8(s, max), *want, "max_bytes={max}");
+        }
+        assert_eq!(truncate_utf8("ascii", 28), "ascii");
     }
 }

@@ -1,0 +1,390 @@
+//! Wire framing: one frame = a LEB128 length prefix followed by that many
+//! bytes of `serbin` payload.
+//!
+//! The reader applies the same discipline as `serbin::read_len`: the
+//! declared length is validated against the frame cap *before* any
+//! payload buffer is allocated, so a corrupt or hostile length prefix
+//! costs ten bytes of varint parsing, never an allocation. Partial input
+//! is first-class — the reader is a resumable state machine, so a socket
+//! read timeout ([`ReadOutcome::TimedOut`]) can be used to poll a
+//! shutdown flag and resume mid-frame, and a peer that disconnects
+//! mid-frame yields a typed [`FrameError::Torn`] instead of a panic or a
+//! silent short read.
+
+use std::io::{ErrorKind, Read, Write};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Longest accepted varint length prefix: 10 bytes encode any `u64`; an
+/// eleventh continuation byte is unconditionally garbage.
+const MAX_VARINT_BYTES: usize = 10;
+
+/// Framing failures. Every variant means the stream can no longer be
+/// trusted to be frame-aligned — the session must be dropped.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Peer closed the connection mid-frame.
+    Torn { got: usize, want: usize },
+    /// The length prefix is not a valid varint (continuation bytes past
+    /// the `u64` range).
+    BadLength,
+    /// The declared payload length exceeds the frame cap. Detected before
+    /// allocation: the declared size never turns into a buffer.
+    TooLarge { declared: u64, max: usize },
+    /// Transport error other than timeout/interrupt.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn { got, want } => {
+                write!(f, "connection closed mid-frame ({got}/{want} bytes)")
+            }
+            FrameError::BadLength => write!(f, "malformed frame length prefix"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds cap {max}")
+            }
+            FrameError::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// One step of [`FrameReader::read`].
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end of stream on a frame boundary (no bytes of a new frame
+    /// had arrived).
+    Eof,
+    /// The transport timed out (`WouldBlock`/`TimedOut`). Any partial
+    /// frame is retained; the caller may poll its shutdown flag and call
+    /// [`FrameReader::read`] again to resume.
+    TimedOut,
+}
+
+enum State {
+    /// Collecting the varint length prefix.
+    Len {
+        buf: [u8; MAX_VARINT_BYTES],
+        n: usize,
+    },
+    /// Collecting `want` payload bytes (`buf.len()` received so far).
+    Payload { buf: Vec<u8>, want: usize },
+}
+
+/// Resumable frame reader over any [`Read`].
+pub struct FrameReader {
+    max_frame: usize,
+    state: State,
+}
+
+impl FrameReader {
+    pub fn new(max_frame: usize) -> Self {
+        FrameReader {
+            max_frame,
+            state: State::Len {
+                buf: [0; MAX_VARINT_BYTES],
+                n: 0,
+            },
+        }
+    }
+
+    /// Reads until a full frame, EOF, timeout, or error.
+    pub fn read(&mut self, r: &mut impl Read) -> Result<ReadOutcome, FrameError> {
+        let mut scratch = [0u8; 8192];
+        loop {
+            match &mut self.state {
+                State::Len { buf, n } => {
+                    // One byte at a time: the prefix is at most ten bytes
+                    // and reading past it would swallow payload.
+                    let mut byte = [0u8; 1];
+                    match r.read(&mut byte) {
+                        Ok(0) => {
+                            return if *n == 0 {
+                                Ok(ReadOutcome::Eof)
+                            } else {
+                                Err(FrameError::Torn {
+                                    got: *n,
+                                    want: *n + 1,
+                                })
+                            };
+                        }
+                        Ok(_) => {
+                            buf[*n] = byte[0];
+                            *n += 1;
+                            if byte[0] & 0x80 == 0 {
+                                let declared = decode_uvarint(&buf[..*n])?;
+                                if declared > self.max_frame as u64 {
+                                    // Reject before allocating anything.
+                                    return Err(FrameError::TooLarge {
+                                        declared,
+                                        max: self.max_frame,
+                                    });
+                                }
+                                self.state = State::Payload {
+                                    buf: Vec::with_capacity(declared as usize),
+                                    want: declared as usize,
+                                };
+                            } else if *n == MAX_VARINT_BYTES {
+                                return Err(FrameError::BadLength);
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::TimedOut =>
+                        {
+                            return Ok(ReadOutcome::TimedOut);
+                        }
+                        Err(e) => return Err(FrameError::Io(e)),
+                    }
+                }
+                State::Payload { buf, want } => {
+                    if buf.len() == *want {
+                        let frame = std::mem::take(buf);
+                        self.state = State::Len {
+                            buf: [0; MAX_VARINT_BYTES],
+                            n: 0,
+                        };
+                        return Ok(ReadOutcome::Frame(frame));
+                    }
+                    let room = (*want - buf.len()).min(scratch.len());
+                    match r.read(&mut scratch[..room]) {
+                        Ok(0) => {
+                            return Err(FrameError::Torn {
+                                got: buf.len(),
+                                want: *want,
+                            });
+                        }
+                        Ok(k) => buf.extend_from_slice(&scratch[..k]),
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::TimedOut =>
+                        {
+                            return Ok(ReadOutcome::TimedOut);
+                        }
+                        Err(e) => return Err(FrameError::Io(e)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decodes a complete little-endian-base-128 varint (final byte has the
+/// continuation bit clear). Rejects encodings that overflow `u64`.
+fn decode_uvarint(bytes: &[u8]) -> Result<u64, FrameError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for &b in bytes {
+        let payload = (b & 0x7f) as u64;
+        v |= payload
+            .checked_shl(shift)
+            .filter(|_| shift < 64 && (shift != 63 || payload <= 1))
+            .ok_or(FrameError::BadLength)?;
+        shift += 7;
+    }
+    Ok(v)
+}
+
+/// Serializes `value` and writes it as one frame. Fails (without writing)
+/// if the encoded payload exceeds `max_frame` — the writer obeys the same
+/// cap it expects peers to enforce.
+pub fn write_frame<T: Serialize + ?Sized>(
+    w: &mut impl Write,
+    value: &T,
+    max_frame: usize,
+) -> Result<(), FrameError> {
+    let payload = itag_store::serbin::to_bytes(value)
+        .map_err(|e| FrameError::Io(std::io::Error::new(ErrorKind::InvalidData, e.to_string())))?;
+    if payload.len() > max_frame {
+        return Err(FrameError::TooLarge {
+            declared: payload.len() as u64,
+            max: max_frame,
+        });
+    }
+    let mut prefix = Vec::with_capacity(MAX_VARINT_BYTES);
+    itag_store::codec::write_uvarint(&mut prefix, payload.len() as u64);
+    w.write_all(&prefix)?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Decodes a frame payload produced by [`write_frame`].
+pub fn decode_payload<T: DeserializeOwned>(payload: &[u8]) -> Result<T, String> {
+    itag_store::serbin::from_bytes(payload).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame_bytes<T: Serialize>(v: &T) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, v, 1 << 20).unwrap();
+        out
+    }
+
+    fn read_all(bytes: &[u8], max: usize) -> Result<ReadOutcome, FrameError> {
+        FrameReader::new(max).read(&mut Cursor::new(bytes))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = frame_bytes(&("hello".to_string(), 42u32));
+        match read_all(&bytes, 1 << 20).unwrap() {
+            ReadOutcome::Frame(p) => {
+                let (s, n): (String, u32) = decode_payload(&p).unwrap();
+                assert_eq!((s.as_str(), n), ("hello", 42));
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let mut bytes = frame_bytes(&1u64);
+        bytes.extend(frame_bytes(&2u64));
+        let mut cur = Cursor::new(bytes);
+        let mut fr = FrameReader::new(1 << 20);
+        for want in [1u64, 2u64] {
+            match fr.read(&mut cur).unwrap() {
+                ReadOutcome::Frame(p) => assert_eq!(decode_payload::<u64>(&p).unwrap(), want),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+        assert!(matches!(fr.read(&mut cur).unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn clean_eof_between_frames() {
+        assert!(matches!(read_all(&[], 64).unwrap(), ReadOutcome::Eof));
+    }
+
+    /// The serbin torn-input idiom: every proper prefix of a valid frame
+    /// followed by EOF is either a clean EOF (zero bytes) or `Torn` —
+    /// never a panic, never a short frame.
+    #[test]
+    fn cut_sweep_of_a_valid_frame_is_torn_or_eof() {
+        let bytes = frame_bytes(&vec![7u8; 300]); // 2-byte varint prefix
+        for cut in 0..bytes.len() {
+            match read_all(&bytes[..cut], 1 << 20) {
+                Ok(ReadOutcome::Eof) => assert_eq!(cut, 0),
+                Err(FrameError::Torn { .. }) => assert!(cut > 0),
+                other => panic!("cut {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        // Declares ~1 TiB; the reader must refuse at the prefix without
+        // ever constructing a payload buffer.
+        let mut bytes = Vec::new();
+        itag_store::codec::write_uvarint(&mut bytes, 1 << 40);
+        match read_all(&bytes, 1 << 20) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, 1 << 40);
+                assert_eq!(max, 1 << 20);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_varint_prefix_is_bad_length() {
+        // Eleven continuation bytes: no u64 varint is that long.
+        assert!(matches!(
+            read_all(&[0xff; 11], 1 << 20),
+            Err(FrameError::BadLength)
+        ));
+        // Ten bytes whose top byte overflows u64.
+        let mut overflow = [0xffu8; 10];
+        overflow[9] = 0x7f;
+        assert!(matches!(
+            read_all(&overflow, u32::MAX as usize),
+            Err(FrameError::BadLength) | Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn timeout_preserves_partial_frame_state() {
+        struct Stutter {
+            chunks: Vec<Vec<u8>>,
+        }
+        impl Read for Stutter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.chunks.first_mut() {
+                    None => Ok(0),
+                    Some(c) if c.is_empty() => {
+                        self.chunks.remove(0);
+                        Err(std::io::Error::new(ErrorKind::WouldBlock, "slow"))
+                    }
+                    Some(c) => {
+                        let n = buf.len().min(c.len());
+                        buf[..n].copy_from_slice(&c[..n]);
+                        c.drain(..n);
+                        Ok(n)
+                    }
+                }
+            }
+        }
+        let bytes = frame_bytes(&vec![9u8; 500]);
+        let split = bytes.len() / 2;
+        let mut r = Stutter {
+            chunks: vec![bytes[..split].to_vec(), bytes[split..].to_vec()],
+        };
+        let mut fr = FrameReader::new(1 << 20);
+        assert!(matches!(fr.read(&mut r).unwrap(), ReadOutcome::TimedOut));
+        match fr.read(&mut r).unwrap() {
+            ReadOutcome::Frame(p) => {
+                assert_eq!(decode_payload::<Vec<u8>>(&p).unwrap(), vec![9u8; 500])
+            }
+            other => panic!("expected resumed frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_refuses_frames_over_the_cap() {
+        let mut out = Vec::new();
+        let big = vec![0u8; 4096];
+        assert!(matches!(
+            write_frame(&mut out, &big, 128),
+            Err(FrameError::TooLarge { .. })
+        ));
+        assert!(out.is_empty(), "nothing written on refusal");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random bytes fed to the reader never panic: they produce a
+        /// frame (which may fail to decode — that is the next layer's
+        /// problem), a clean EOF, or a typed framing error.
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+            let mut fr = FrameReader::new(256);
+            let mut cur = Cursor::new(bytes.as_slice());
+            for _ in 0..8 {
+                match fr.read(&mut cur) {
+                    Ok(ReadOutcome::Frame(p)) => prop_assert!(p.len() <= 256),
+                    Ok(ReadOutcome::Eof) | Ok(ReadOutcome::TimedOut) | Err(_) => break,
+                }
+            }
+        }
+    }
+}

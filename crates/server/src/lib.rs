@@ -1,0 +1,54 @@
+//! # itag-server — the networked front-end
+//!
+//! Turns the in-process [`itag_core::engine::ITagEngine`] into a
+//! multi-tenant TCP service: providers fund, inspect, and stop campaigns
+//! and download exports; taggers register, browse projects, pull tasks,
+//! submit posts, and query their reputation — the screens of Figs. 3–8
+//! of the iTag paper, spoken over a wire.
+//!
+//! Layering:
+//!
+//! * [`frame`] — length-prefixed `serbin` frames with the store codec's
+//!   varint discipline: declared lengths are validated against the frame
+//!   cap *before* allocation, torn input is a typed error, never a panic;
+//! * [`proto`] — versioned request/response enums behind a `Hello`
+//!   handshake;
+//! * [`queue`] — the bounded accept-to-worker handoff with explicit
+//!   `Busy` shedding (modeled under the schedule explorer);
+//! * [`server`] — the acceptor + worker pool around one engine behind a
+//!   lockcheck-registered `server.engine` mutex;
+//! * [`client`] — the blocking client the tests and `loadgen` use.
+//!
+//! ```no_run
+//! use itag_core::config::EngineConfig;
+//! use itag_core::engine::ITagEngine;
+//! use itag_core::project::ProjectSpec;
+//! use itag_server::proto::DatasetSpec;
+//! use itag_server::server::{serve, ServerConfig};
+//! use itag_server::client::Client;
+//!
+//! let engine = ITagEngine::new(EngineConfig::in_memory(7)).unwrap();
+//! let handle = serve(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut c = Client::connect(handle.addr()).unwrap();
+//! let provider = c.register_provider("docs").unwrap();
+//! let project = c
+//!     .create_project(provider, ProjectSpec::demo("wire", 50), DatasetSpec::small(7), false)
+//!     .unwrap();
+//! let summary = c.run_round(project, 50).unwrap();
+//! assert_eq!(summary.issued, 50);
+//! c.quit().unwrap();
+//!
+//! let report = handle.shutdown();
+//! assert_eq!(report.stats.served, 1);
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{DatasetSpec, ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
+pub use server::{serve, ServeStats, ServerConfig, ServerHandle, ShutdownReport};

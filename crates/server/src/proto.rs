@@ -1,0 +1,322 @@
+//! The versioned wire protocol: request/response enums covering the
+//! provider screens (Figs. 3–6: create/fund/inspect/stop campaigns,
+//! monitor snapshots, export download) and the tagger screens (Figs.
+//! 7–8: register, browse, pull tasks, submit posts, query reputation).
+//!
+//! Every session starts with [`Request::Hello`]; the server refuses any
+//! other first message and any unknown version, so a future v2 can
+//! change payload layouts behind the same handshake. Payloads are
+//! `serbin`, which is not self-describing — the version gate is what
+//! keeps both sides decoding the same shapes.
+
+use itag_core::engine::RunSummary;
+use itag_core::monitor::{MonitorSnapshot, ProjectListing, ResourceDetail};
+use itag_core::project::ProjectSpec;
+use itag_model::dataset::Dataset;
+use itag_model::delicious::DeliciousConfig;
+use itag_model::ids::{ProjectId, ResourceId, TagId, TaggerId};
+use itag_strategy::StrategyKind;
+use serde::{Deserialize, Serialize};
+
+/// Current protocol version; bumped on any wire-incompatible change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Dataset parameters a provider uploads with a new project. The server
+/// generates the dataset deterministically from these — the same spec
+/// always yields the same bytes, which is what lets a loopback session
+/// be compared byte-for-byte against the same operations in-process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    pub resources: u32,
+    pub vocab: u32,
+    pub initial_posts: u32,
+    pub eval_posts: u32,
+    pub taggers: u32,
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// A small campaign corpus, sized for tests and load generation.
+    pub fn small(seed: u64) -> Self {
+        DatasetSpec {
+            resources: 40,
+            vocab: 200,
+            initial_posts: 200,
+            eval_posts: 400,
+            taggers: 16,
+            seed,
+        }
+    }
+
+    /// Materializes the dataset (deterministic in the spec).
+    pub fn generate(&self) -> Dataset {
+        DeliciousConfig {
+            resources: self.resources as usize,
+            vocab: self.vocab as usize,
+            initial_posts: self.initial_posts as usize,
+            eval_posts: self.eval_posts as usize,
+            taggers: self.taggers as usize,
+            seed: self.seed,
+            ..DeliciousConfig::default()
+        }
+        .generate()
+        .dataset
+    }
+}
+
+/// An open task offered to a remote tagger (Fig. 8's tagging screen).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenTask {
+    pub task: u64,
+    pub resource: ResourceId,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Mandatory first message of every session.
+    Hello {
+        version: u32,
+    },
+    Ping,
+    // --- provider surface ---
+    RegisterProvider {
+        name: String,
+    },
+    /// `audience` selects a live [`itag_crowd::audience::ManualPlatform`]
+    /// (remote taggers pull/submit) instead of the simulated marketplace.
+    CreateProject {
+        provider: u32,
+        spec: ProjectSpec,
+        dataset: DatasetSpec,
+        audience: bool,
+    },
+    /// Publishes up to `want` tasks on an audience project.
+    PublishBatch {
+        project: ProjectId,
+        want: u32,
+    },
+    /// Runs up to `max_tasks` tasks through a simulated marketplace.
+    RunRound {
+        project: ProjectId,
+        max_tasks: u32,
+    },
+    /// Collects submitted audience posts through approval/payment.
+    Collect {
+        project: ProjectId,
+    },
+    Monitor {
+        project: ProjectId,
+    },
+    /// The rendered Fig. 3 console table (top `limit` rows).
+    MonitorTable {
+        project: ProjectId,
+        limit: u32,
+    },
+    ResourceDetail {
+        project: ProjectId,
+        resource: ResourceId,
+    },
+    AddBudget {
+        project: ProjectId,
+        extra_tasks: u32,
+    },
+    SwitchStrategy {
+        project: ProjectId,
+        strategy: StrategyKind,
+    },
+    StopProject {
+        project: ProjectId,
+    },
+    ExportCsv {
+        project: ProjectId,
+    },
+    /// The compact binary export ("download").
+    ExportDownload {
+        project: ProjectId,
+    },
+    // --- tagger surface ---
+    RegisterTagger {
+        name: String,
+    },
+    BrowseProjects,
+    PullTasks {
+        project: ProjectId,
+        limit: u32,
+    },
+    SubmitPost {
+        project: ProjectId,
+        task: u64,
+        tagger: TaggerId,
+        tags: Vec<TagId>,
+    },
+    Reputation {
+        tagger: u32,
+    },
+    // --- diagnostics ---
+    /// Order-independent digest of the engine's persisted tables.
+    Checksum,
+    Quit,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)] // one decoded response lives at a time
+pub enum Response {
+    HelloOk {
+        version: u32,
+    },
+    Pong,
+    Registered {
+        id: u32,
+    },
+    ProjectCreated {
+        project: ProjectId,
+    },
+    Published {
+        tasks: u32,
+    },
+    RunDone {
+        summary: RunSummary,
+    },
+    Collected {
+        approved: u32,
+        rejected: u32,
+    },
+    Snapshot(MonitorSnapshot),
+    Table {
+        rendered: String,
+    },
+    Detail(ResourceDetail),
+    Projects {
+        listings: Vec<ProjectListing>,
+    },
+    Tasks {
+        open: Vec<OpenTask>,
+    },
+    ReputationReport {
+        approval_rate: f64,
+        reliable: bool,
+    },
+    Csv {
+        csv: String,
+    },
+    Download {
+        bytes: Vec<u8>,
+    },
+    Checksum {
+        digest: u64,
+    },
+    /// Generic acknowledgement for state-changing requests with no
+    /// payload to return.
+    Done,
+    Bye,
+    /// Sent (followed by a close) when the accept queue is full — the
+    /// load-shedding contract: the server refuses loudly instead of
+    /// buffering without bound.
+    Busy,
+    Error(WireError),
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// Handshake spoke an unknown protocol version (or skipped `Hello`).
+    Version,
+    /// The frame decoded to no known request shape.
+    Malformed,
+    /// The engine rejected the operation (unknown project, bad state,
+    /// budget overflow, …). The session stays usable.
+    Engine,
+}
+
+/// A typed protocol error; `message` is advisory, `code` is contractual.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl WireError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_serbin() {
+        let reqs = vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::CreateProject {
+                provider: 3,
+                spec: ProjectSpec::demo("wire", 60),
+                dataset: DatasetSpec::small(9),
+                audience: true,
+            },
+            Request::SubmitPost {
+                project: ProjectId(1),
+                task: 7,
+                tagger: TaggerId(2),
+                tags: vec![TagId(5), TagId(9)],
+            },
+            Request::Quit,
+        ];
+        for r in reqs {
+            let bytes = itag_store::serbin::to_bytes(&r).unwrap();
+            let back: Request = itag_store::serbin::from_bytes(&bytes).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_serbin() {
+        let resps = vec![
+            Response::HelloOk {
+                version: PROTOCOL_VERSION,
+            },
+            Response::Tasks {
+                open: vec![OpenTask {
+                    task: 4,
+                    resource: ResourceId(11),
+                }],
+            },
+            Response::Busy,
+            Response::Error(WireError::new(ErrorCode::Malformed, "nope")),
+        ];
+        for r in resps {
+            let bytes = itag_store::serbin::to_bytes(&r).unwrap();
+            let back: Response = itag_store::serbin::from_bytes(&bytes).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn dataset_spec_is_deterministic() {
+        let a = DatasetSpec::small(42).generate();
+        let b = DatasetSpec::small(42).generate();
+        assert_eq!(a.resources.len(), b.resources.len());
+        assert_eq!(a.initial_posts, b.initial_posts);
+        let c = DatasetSpec::small(43).generate();
+        assert!(
+            itag_store::serbin::to_bytes(&a).unwrap() == itag_store::serbin::to_bytes(&b).unwrap()
+        );
+        assert!(
+            itag_store::serbin::to_bytes(&a).unwrap() != itag_store::serbin::to_bytes(&c).unwrap()
+        );
+    }
+}

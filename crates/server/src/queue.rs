@@ -1,0 +1,150 @@
+//! Bounded accept-to-worker handoff.
+//!
+//! The acceptor pushes fresh connections; a fixed pool of session
+//! workers pops them. The queue never grows past its capacity — when it
+//! is full the acceptor sheds the connection with a `Busy` response
+//! instead of buffering, which is the server's back-pressure contract.
+//!
+//! The lock is registered with the lockcheck layer as
+//! `server.session_queue`; it is never held while the engine lock
+//! (`server.engine`) is held, so the server adds no edges into the
+//! store's lock-order graph. The handoff protocol itself (bounded push
+//! with shedding, blocking pop with shutdown wakeup) is modeled under
+//! the schedule explorer in `tests/model_session_queue.rs`.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Result of a [`SessionQueue::pop`].
+#[derive(Debug)]
+pub enum Pop<T> {
+    Item(T),
+    /// Timed out with the queue still open — poll shutdown and retry.
+    Empty,
+    /// The queue is closed and drained; the worker should exit.
+    Closed,
+}
+
+/// A bounded MPMC queue with explicit shedding.
+pub struct SessionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl<T> SessionQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        SessionQueue {
+            inner: Mutex::named(
+                "server.session_queue",
+                Inner {
+                    items: VecDeque::with_capacity(capacity),
+                    closed: false,
+                },
+            ),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Hands a session to the pool, or returns it to the caller when the
+    /// queue is full or closed (the caller sheds it with `Busy`).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.lock();
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks up to `timeout` for a session.
+    pub fn pop(&self, timeout: Duration) -> Pop<T> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if g.closed {
+                return Pop::Closed;
+            }
+            if self.cv.wait_for(&mut g, timeout) {
+                return Pop::Empty;
+            }
+        }
+    }
+
+    /// Closes the queue: queued items remain poppable, new pushes shed,
+    /// and blocked workers wake to drain and exit.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = SessionQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.pop(TICK), Pop::Item(1)));
+        assert!(matches!(q.pop(TICK), Pop::Item(2)));
+        assert!(matches!(q.pop(TICK), Pop::Empty));
+    }
+
+    #[test]
+    fn full_queue_sheds() {
+        let q = SessionQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        assert!(matches!(q.pop(TICK), Pop::Item(1)));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = SessionQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue sheds new sessions");
+        assert!(matches!(q.pop(TICK), Pop::Item(7)), "queued work drains");
+        assert!(matches!(q.pop(TICK), Pop::Closed));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = std::sync::Arc::new(SessionQueue::<u32>::new(1));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            // A long timeout: only the close() wakeup can end this fast.
+            matches!(q2.pop(Duration::from_secs(30)), Pop::Closed)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert!(t.join().unwrap());
+    }
+}

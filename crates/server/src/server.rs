@@ -1,0 +1,436 @@
+//! The serving loop: one acceptor, a fixed worker pool, one engine.
+//!
+//! Sessions are whole-connection units of work: the acceptor hands each
+//! fresh `TcpStream` to the pool through the bounded [`SessionQueue`],
+//! shedding with [`Response::Busy`] when the queue is full, and a worker
+//! serves the connection's frames until `Quit`, disconnect, or a framing
+//! violation. The engine sits behind one `server.engine` lock (lockcheck
+//! class) acquired per request — never across a socket read or write, so
+//! a slow client cannot hold the engine hostage.
+//!
+//! Framing errors drop the session; payload-decode errors answer
+//! [`ErrorCode::Malformed`] and keep the session (frame alignment is
+//! intact); engine errors answer [`ErrorCode::Engine`] and keep the
+//! session. Nothing a client sends can panic the server — that contract
+//! is exercised by `tests/wire_adversarial.rs`.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use itag_core::engine::ITagEngine;
+use itag_crowd::audience::ManualPlatform;
+use parking_lot::Mutex;
+
+use crate::frame::{write_frame, FrameError, FrameReader, ReadOutcome};
+use crate::proto::{ErrorCode, OpenTask, Request, Response, WireError, PROTOCOL_VERSION};
+use crate::queue::{Pop, SessionQueue};
+
+/// Serving knobs. All configuration arrives through this struct (or the
+/// `loadgen` CLI) — the server itself reads no environment variables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Session workers: the concurrency ceiling for in-flight sessions.
+    pub workers: usize,
+    /// Accepted-but-unclaimed sessions; beyond this the acceptor sheds.
+    pub queue_capacity: usize,
+    /// Frame cap for both directions.
+    pub max_frame: usize,
+    /// Socket read timeout: how often a blocked session polls shutdown.
+    pub read_timeout: Duration,
+    /// Stack size for session workers (a worker keeps no deep state, so
+    /// pools of ~1k workers stay cheap).
+    pub worker_stack: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 64,
+            max_frame: 4 << 20,
+            read_timeout: Duration::from_millis(100),
+            worker_stack: 512 * 1024,
+        }
+    }
+}
+
+/// Counters a load test asserts over.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Sessions fully served by a worker.
+    pub served: u64,
+    /// Sessions refused with `Busy`.
+    pub shed: u64,
+    /// Sessions dropped for framing violations.
+    pub framing_errors: u64,
+}
+
+struct Shared {
+    engine: Mutex<ITagEngine>,
+    queue: SessionQueue<TcpStream>,
+    stop: AtomicBool,
+    served: AtomicU64,
+    shed: AtomicU64,
+    framing_errors: AtomicU64,
+    cfg: ServerConfig,
+}
+
+/// A running server; dropping it without [`ServerHandle::shutdown`]
+/// leaks the threads, so tests and `loadgen` always shut down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// What [`ServerHandle::shutdown`] hands back.
+pub struct ShutdownReport {
+    /// The engine, returned to the caller once every worker has exited —
+    /// this is what the loopback byte-identity test checksums.
+    pub engine: ITagEngine,
+    pub stats: ServeStats,
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+/// `engine`.
+pub fn serve(
+    engine: ITagEngine,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        engine: Mutex::named("server.engine", engine),
+        queue: SessionQueue::new(cfg.queue_capacity),
+        stop: AtomicBool::new(false),
+        served: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        framing_errors: AtomicU64::new(0),
+        cfg: cfg.clone(),
+    });
+
+    let mut workers = Vec::with_capacity(cfg.workers);
+    for i in 0..cfg.workers {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("itag-session-{i}"))
+                .stack_size(cfg.worker_stack)
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("itag-acceptor".into())
+            .spawn(move || accept_loop(listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        acceptor,
+        workers,
+    })
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            framing_errors: self.shared.framing_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, drains the pool, joins every thread, and returns
+    /// the engine. In-flight sessions are cut at their next read timeout.
+    pub fn shutdown(self) -> ShutdownReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let stats = ServeStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            framing_errors: self.shared.framing_errors.load(Ordering::Relaxed),
+        };
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("all server threads joined; no other owners remain"));
+        ShutdownReport {
+            engine: shared.engine.into_inner(),
+            stats,
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(stream) = shared.queue.try_push(stream) {
+                    shed(shared, stream);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// The load-shedding contract: a refused session gets a best-effort
+/// `Busy` frame, then its connection is closed. Short write timeout so a
+/// stalled peer cannot wedge the acceptor.
+fn shed(shared: &Shared, stream: TcpStream) {
+    shared.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let mut w = BufWriter::new(stream);
+    let _ = write_frame(&mut w, &Response::Busy, shared.cfg.max_frame);
+    let _ = w.flush();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop(shared.cfg.read_timeout) {
+            Pop::Item(stream) => {
+                serve_session(shared, stream);
+                shared.served.fetch_add(1, Ordering::Relaxed);
+            }
+            Pop::Empty => continue,
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// Outcome of one request: keep the session or end it.
+enum Ctl {
+    Continue,
+    Close,
+}
+
+fn serve_session(shared: &Shared, stream: TcpStream) {
+    if stream
+        .set_read_timeout(Some(shared.cfg.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut frames = FrameReader::new(shared.cfg.max_frame);
+    let mut helloed = false;
+
+    loop {
+        let payload = match frames.read(&mut reader) {
+            Ok(ReadOutcome::Frame(p)) => p,
+            Ok(ReadOutcome::Eof) => return,
+            Ok(ReadOutcome::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                shared.framing_errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort typed refusal; the stream is no longer
+                // frame-aligned either way, so the session ends here.
+                let code = match e {
+                    FrameError::TooLarge { .. } | FrameError::BadLength => ErrorCode::Malformed,
+                    _ => return,
+                };
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error(WireError::new(code, e.to_string())),
+                    shared.cfg.max_frame,
+                );
+                return;
+            }
+        };
+
+        let (response, ctl) = match crate::frame::decode_payload::<Request>(&payload) {
+            Err(e) => (
+                Response::Error(WireError::new(
+                    ErrorCode::Malformed,
+                    format!("undecodable request: {e}"),
+                )),
+                Ctl::Continue,
+            ),
+            Ok(Request::Hello { version }) => {
+                if version == PROTOCOL_VERSION {
+                    helloed = true;
+                    (
+                        Response::HelloOk {
+                            version: PROTOCOL_VERSION,
+                        },
+                        Ctl::Continue,
+                    )
+                } else {
+                    (
+                        Response::Error(WireError::new(
+                            ErrorCode::Version,
+                            format!(
+                                "unknown protocol version {version} (speaking {PROTOCOL_VERSION})"
+                            ),
+                        )),
+                        Ctl::Close,
+                    )
+                }
+            }
+            Ok(_) if !helloed => (
+                Response::Error(WireError::new(
+                    ErrorCode::Version,
+                    "session must start with Hello",
+                )),
+                Ctl::Close,
+            ),
+            Ok(Request::Quit) => (Response::Bye, Ctl::Close),
+            Ok(req) => (apply(shared, req), Ctl::Continue),
+        };
+
+        if write_frame(&mut writer, &response, shared.cfg.max_frame).is_err() {
+            return;
+        }
+        if matches!(ctl, Ctl::Close) {
+            return;
+        }
+    }
+}
+
+/// Executes one request against the engine. The engine lock is scoped to
+/// this function — never held across socket I/O.
+fn apply(shared: &Shared, req: Request) -> Response {
+    let mut engine = shared.engine.lock();
+    let result = dispatch(&mut engine, req);
+    match result {
+        Ok(resp) => resp,
+        Err(e) => Response::Error(WireError::new(ErrorCode::Engine, e.to_string())),
+    }
+}
+
+fn dispatch(engine: &mut ITagEngine, req: Request) -> itag_core::Result<Response> {
+    Ok(match req {
+        // Handled in the session loop; unreachable here but kept total so
+        // a new Request variant is a compile error until routed.
+        Request::Hello { .. } => Response::HelloOk {
+            version: PROTOCOL_VERSION,
+        },
+        Request::Quit => Response::Bye,
+        Request::Ping => Response::Pong,
+        Request::RegisterProvider { name } => Response::Registered {
+            id: engine.register_provider(&name)?,
+        },
+        Request::RegisterTagger { name } => Response::Registered {
+            id: engine.register_tagger(&name)?,
+        },
+        Request::CreateProject {
+            provider,
+            spec,
+            dataset,
+            audience,
+        } => {
+            let data = dataset.generate();
+            let project = if audience {
+                engine.add_project_with_platform(
+                    provider,
+                    spec.clone(),
+                    data,
+                    Box::new(ManualPlatform::new(spec.platform)),
+                )?
+            } else {
+                engine.add_project(provider, spec, data)?
+            };
+            Response::ProjectCreated { project }
+        }
+        Request::PublishBatch { project, want } => Response::Published {
+            tasks: engine.publish_batch(project, want as usize)?,
+        },
+        Request::RunRound { project, max_tasks } => Response::RunDone {
+            summary: engine.run(project, max_tasks)?,
+        },
+        Request::Collect { project } => {
+            let (approved, rejected) = engine.collect_once(project)?;
+            Response::Collected { approved, rejected }
+        }
+        Request::Monitor { project } => Response::Snapshot(engine.monitor(project)?),
+        Request::MonitorTable { project, limit } => Response::Table {
+            rendered: engine.monitor(project)?.render_table(limit as usize),
+        },
+        Request::ResourceDetail { project, resource } => {
+            Response::Detail(engine.resource_detail(project, resource)?)
+        }
+        Request::AddBudget {
+            project,
+            extra_tasks,
+        } => {
+            engine.add_budget(project, extra_tasks)?;
+            Response::Done
+        }
+        Request::SwitchStrategy { project, strategy } => {
+            engine.switch_strategy(project, strategy)?;
+            Response::Done
+        }
+        Request::StopProject { project } => {
+            engine.stop_project(project)?;
+            Response::Done
+        }
+        Request::ExportCsv { project } => Response::Csv {
+            csv: engine.export(project)?.to_csv(),
+        },
+        Request::ExportDownload { project } => Response::Download {
+            bytes: engine.export(project)?.to_bytes(),
+        },
+        Request::BrowseProjects => Response::Projects {
+            listings: engine.browse_projects()?,
+        },
+        Request::PullTasks { project, limit } => Response::Tasks {
+            open: engine
+                .audience_open_tasks(project, limit as usize)?
+                .into_iter()
+                .map(|(task, resource)| OpenTask { task, resource })
+                .collect(),
+        },
+        Request::SubmitPost {
+            project,
+            task,
+            tagger,
+            tags,
+        } => {
+            engine.audience_submit(project, task, tagger, tags)?;
+            Response::Done
+        }
+        Request::Reputation { tagger } => Response::ReputationReport {
+            approval_rate: engine.tagger_approval_rate(tagger)?,
+            reliable: engine.is_reliable_tagger(tagger)?,
+        },
+        Request::Checksum => Response::Checksum {
+            digest: engine.store_checksum(),
+        },
+    })
+}
+
+/// Applies the same operation a wire request would, directly to an
+/// engine — the in-process twin used by the loopback byte-identity test
+/// and kept here so server dispatch and twin dispatch cannot drift.
+pub fn apply_in_process(engine: &mut ITagEngine, req: Request) -> itag_core::Result<Response> {
+    dispatch(engine, req)
+}

@@ -1,0 +1,240 @@
+//! Adversarial framing: whatever bytes a client sends, the server
+//! answers with a typed protocol error or drops the session — it never
+//! panics, never over-allocates, and never wedges the pool. Each test
+//! finishes by completing a clean session, proving the server survived.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use itag_core::config::EngineConfig;
+use itag_core::engine::ITagEngine;
+use itag_server::client::Client;
+use itag_server::frame::{decode_payload, write_frame, FrameReader, ReadOutcome};
+use itag_server::proto::{ErrorCode, Request, Response, PROTOCOL_VERSION};
+use itag_server::server::{serve, ServerConfig, ServerHandle};
+
+/// A single-worker server: if any hostile session wedged or killed its
+/// worker, the follow-up health check could never complete.
+fn single_worker_server() -> ServerHandle {
+    let engine = ITagEngine::new(EngineConfig::in_memory(3)).expect("engine");
+    serve(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_frame: 1 << 20,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve")
+}
+
+/// Proves the server is still serving. Retries a bounded number of Busy
+/// sheds: under a connection storm the queue may legitimately be full,
+/// and a shed is the contract working — only a persistent failure to
+/// serve (or any panic) fails the check.
+fn health_check(handle: &ServerHandle) {
+    let mut last = None;
+    for _ in 0..50 {
+        match Client::connect(handle.addr()) {
+            Ok(mut c) => {
+                c.ping().expect("health ping");
+                c.quit().expect("health quit");
+                return;
+            }
+            Err(itag_server::client::ClientError::Busy) => {
+                last = Some("busy");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("health connect: {e}"),
+        }
+    }
+    panic!("server never recovered: last outcome {last:?}");
+}
+
+fn raw_connect(handle: &ServerHandle) -> TcpStream {
+    let s = TcpStream::connect(handle.addr()).expect("raw connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Reads one response frame off a raw stream.
+fn read_response(s: &mut TcpStream) -> Option<Response> {
+    let mut fr = FrameReader::new(1 << 20);
+    loop {
+        match fr.read(s) {
+            Ok(ReadOutcome::Frame(p)) => {
+                return Some(decode_payload(&p).expect("response decodes"))
+            }
+            Ok(ReadOutcome::TimedOut) => continue,
+            Ok(ReadOutcome::Eof) => return None,
+            Err(e) => panic!("client-side framing error: {e}"),
+        }
+    }
+}
+
+fn hello_frame() -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame(
+        &mut out,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        1 << 20,
+    )
+    .unwrap();
+    out
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_without_allocation() {
+    let handle = single_worker_server();
+    let mut s = raw_connect(&handle);
+    // Declares a 1 TiB frame. The server must refuse at the prefix —
+    // were it to allocate first, a handful of these would OOM the box.
+    let mut prefix = Vec::new();
+    itag_store::codec::write_uvarint(&mut prefix, 1 << 40);
+    s.write_all(&prefix).unwrap();
+    match read_response(&mut s) {
+        Some(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        None => {} // dropped without a reply is also within contract
+        other => panic!("unexpected {other:?}"),
+    }
+    health_check(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_varint_prefix_is_refused() {
+    let handle = single_worker_server();
+    let mut s = raw_connect(&handle);
+    // Eleven continuation bytes: not a u64 varint under any decoding.
+    s.write_all(&[0xff; 11]).unwrap();
+    match read_response(&mut s) {
+        Some(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        None => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    health_check(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnect_is_survived() {
+    let handle = single_worker_server();
+    // Declared 100-byte payload, deliver 10, vanish.
+    {
+        let mut s = raw_connect(&handle);
+        let mut bytes = Vec::new();
+        itag_store::codec::write_uvarint(&mut bytes, 100);
+        bytes.extend_from_slice(&[0xab; 10]);
+        s.write_all(&bytes).unwrap();
+    }
+    // Disconnect mid-varint (continuation bit left dangling).
+    {
+        let mut s = raw_connect(&handle);
+        s.write_all(&[0x80, 0x80]).unwrap();
+    }
+    health_check(&handle);
+    let report = handle.shutdown();
+    assert!(report.stats.framing_errors >= 2);
+}
+
+/// The serbin torn-input idiom lifted to the socket: every proper prefix
+/// of a valid Hello frame, then EOF. No cut may harm the server.
+#[test]
+fn cut_sweep_of_a_valid_hello_never_harms_the_server() {
+    let handle = single_worker_server();
+    let frame = hello_frame();
+    for cut in 0..frame.len() {
+        let mut s = raw_connect(&handle);
+        s.write_all(&frame[..cut]).unwrap();
+        drop(s);
+    }
+    health_check(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn valid_frame_with_garbage_payload_answers_malformed_and_session_continues() {
+    let handle = single_worker_server();
+    let mut s = raw_connect(&handle);
+    // A well-framed payload that decodes to no known request.
+    let garbage = [0xde, 0xad, 0xbe, 0xef, 0x99];
+    let mut bytes = Vec::new();
+    itag_store::codec::write_uvarint(&mut bytes, garbage.len() as u64);
+    bytes.extend_from_slice(&garbage);
+    s.write_all(&bytes).unwrap();
+    match read_response(&mut s) {
+        Some(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // Frame alignment is intact: the same socket can still handshake.
+    s.write_all(&hello_frame()).unwrap();
+    match read_response(&mut s) {
+        Some(Response::HelloOk { version }) => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected HelloOk after recovery, got {other:?}"),
+    }
+    drop(s);
+    health_check(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_protocol_version_is_refused_and_closed() {
+    let handle = single_worker_server();
+    let mut s = raw_connect(&handle);
+    let mut out = Vec::new();
+    write_frame(&mut out, &Request::Hello { version: 99 }, 1 << 20).unwrap();
+    s.write_all(&out).unwrap();
+    match read_response(&mut s) {
+        Some(Response::Error(e)) => {
+            assert_eq!(e.code, ErrorCode::Version);
+            assert!(e.message.contains("99"), "{}", e.message);
+        }
+        other => panic!("expected version refusal, got {other:?}"),
+    }
+    // The server closes after a version refusal.
+    let mut rest = Vec::new();
+    assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0);
+    health_check(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn requests_before_hello_are_refused() {
+    let handle = single_worker_server();
+    let mut s = raw_connect(&handle);
+    let mut out = Vec::new();
+    write_frame(&mut out, &Request::Ping, 1 << 20).unwrap();
+    s.write_all(&out).unwrap();
+    match read_response(&mut s) {
+        Some(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Version),
+        other => panic!("expected pre-hello refusal, got {other:?}"),
+    }
+    health_check(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn random_byte_storms_never_take_the_server_down() {
+    let handle = single_worker_server();
+    // Deterministic xorshift junk — no external RNG needed.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for round in 0..20 {
+        let mut junk = Vec::with_capacity(64 + round * 16);
+        for _ in 0..junk.capacity() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            junk.push(state as u8);
+        }
+        let mut s = raw_connect(&handle);
+        let _ = s.write_all(&junk);
+        drop(s);
+    }
+    health_check(&handle);
+    handle.shutdown();
+}

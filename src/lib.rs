@@ -11,7 +11,8 @@
 //! * [`quality`] — rfd stability quality metrics and learning curves,
 //! * [`strategy`] — the Algorithm-1 framework and FC/FP/MU/FP-MU/OPT,
 //! * [`crowd`] — the crowdsourcing platform and tagger simulator,
-//! * [`core`] — the iTag engine: managers, projects, monitoring.
+//! * [`core`] — the iTag engine: managers, projects, monitoring,
+//! * [`server`] — the framed-TCP front-end and its blocking client.
 //!
 //! ```no_run
 //! use itag::prelude::*;
@@ -23,6 +24,7 @@ pub use itag_core as core;
 pub use itag_crowd as crowd;
 pub use itag_model as model;
 pub use itag_quality as quality;
+pub use itag_server as server;
 pub use itag_store as store;
 pub use itag_strategy as strategy;
 

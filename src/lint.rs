@@ -97,10 +97,11 @@ const RULES: [&str; 4] = ["env-var", "store-unwrap", "std-sync", "determinism-in
 const ENV_VAR_ALLOWED: [&str; 2] = ["crates/core/src/config.rs", "crates/store/src/envknob.rs"];
 
 /// Paths (prefixes or exact files) where the `std-sync` rule applies.
-const STD_SYNC_SCOPE: [&str; 3] = [
+const STD_SYNC_SCOPE: [&str; 4] = [
     "crates/store/src/",
     "crates/core/src/",
     "crates/crowd/src/parallel.rs",
+    "crates/server/src/",
 ];
 
 /// How many `lint: allow(<rule>)` directives each rule tolerates
@@ -628,6 +629,13 @@ mod tests {
         assert!(lint_source("crates/crowd/src/model.rs", src).is_clean());
         assert_eq!(
             lint_source("crates/store/src/db.rs", src).violations.len(),
+            1
+        );
+        // The server's session/engine locks must go through the shim too.
+        assert_eq!(
+            lint_source("crates/server/src/queue.rs", src)
+                .violations
+                .len(),
             1
         );
         // Arc and atomics are fine everywhere.
