@@ -84,6 +84,20 @@ pub enum EngineError {
     Config(String),
 }
 
+impl EngineError {
+    /// True when this error means the *storage layer* faulted on an I/O
+    /// path — the signal the server uses to flip into read-only
+    /// degradation. Logical errors (unknown project, corrupt dataset,
+    /// bad state) are the caller's problem and never degrade the server.
+    pub fn is_storage_fault(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Store(itag_store::StoreError::Io(_))
+                | EngineError::Store(itag_store::StoreError::Broken(_))
+        )
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -35,6 +35,11 @@ struct Args {
     tasks: u32,
     seed: u64,
     out: Option<String>,
+    /// Fault storm: a `site:kind[@trigger],...` plan (same grammar as
+    /// `ITAG_FAULTS`) armed for the duration of the session storm. The
+    /// shakeout contract: sessions may fail *transiently*, the server
+    /// must stay healthy — zero panics, post-storm ping answered.
+    faults: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +50,7 @@ fn parse_args() -> Args {
         tasks: 2000,
         seed: 7,
         out: None,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,10 +62,44 @@ fn parse_args() -> Args {
             "--tasks" => args.tasks = take("--tasks").parse().expect("--tasks"),
             "--seed" => args.seed = take("--seed").parse().expect("--seed"),
             "--out" => args.out = Some(take("--out")),
+            "--faults" => args.faults = Some(take("--faults")),
             other => panic!("unknown flag {other}"),
         }
     }
     args
+}
+
+/// A session that died, and whether the death is tolerable under a fault
+/// storm (transient connection loss, shed, or a typed degraded refusal —
+/// the resilience machinery working as designed).
+struct SessionFailure {
+    msg: String,
+    tolerable: bool,
+}
+
+fn classify(e: ClientError, ctx: String) -> SessionFailure {
+    let tolerable = e.is_transient()
+        || matches!(
+            &e,
+            ClientError::Server(w) if w.code == itag_server::proto::ErrorCode::Degraded
+        );
+    SessionFailure {
+        msg: format!("{ctx}: {e}"),
+        tolerable,
+    }
+}
+
+fn connect(addr: std::net::SocketAddr, retry: bool) -> Result<Client, ClientError> {
+    if retry {
+        Client::connect_retrying(
+            addr,
+            4 << 20,
+            std::time::Duration::from_secs(30),
+            itag_server::client::RetryPolicy::default(),
+        )
+    } else {
+        Client::connect(addr)
+    }
 }
 
 /// One timed request round-trip, in microseconds.
@@ -80,10 +120,15 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 
 /// A provider session: create a private simulated campaign, run it,
 /// inspect it, fund it, and download the export.
-fn provider_session(addr: std::net::SocketAddr, n: usize, seed: u64) -> Result<Vec<u64>, String> {
+fn provider_session(
+    addr: std::net::SocketAddr,
+    n: usize,
+    seed: u64,
+    retry: bool,
+) -> Result<Vec<u64>, SessionFailure> {
     let mut lat = Vec::with_capacity(16);
     let mut run = || -> Result<(), ClientError> {
-        let mut c = Client::connect(addr)?;
+        let mut c = connect(addr, retry)?;
         let provider = timed(&mut lat, || c.register_provider(&format!("prov-{n}")))?;
         let project = timed(&mut lat, || {
             c.create_project(
@@ -115,7 +160,7 @@ fn provider_session(addr: std::net::SocketAddr, n: usize, seed: u64) -> Result<V
         c.quit()?;
         Ok(())
     };
-    run().map_err(|e| format!("provider session {n}: {e}"))?;
+    run().map_err(|e| classify(e, format!("provider session {n}")))?;
     Ok(lat)
 }
 
@@ -125,10 +170,11 @@ fn tagger_session(
     n: usize,
     shared_project: ProjectId,
     submitted: &AtomicU64,
-) -> Result<Vec<u64>, String> {
+    retry: bool,
+) -> Result<Vec<u64>, SessionFailure> {
     let mut lat = Vec::with_capacity(16);
     let mut run = || -> Result<(), ClientError> {
-        let mut c = Client::connect(addr)?;
+        let mut c = connect(addr, retry)?;
         let tagger = timed(&mut lat, || c.register_tagger(&format!("tagger-{n}")))?;
         let listings = timed(&mut lat, || c.browse_projects())?;
         if listings.is_empty() {
@@ -157,7 +203,7 @@ fn tagger_session(
         c.quit()?;
         Ok(())
     };
-    run().map_err(|e| format!("tagger session {n}: {e}"))?;
+    run().map_err(|e| classify(e, format!("tagger session {n}")))?;
     Ok(lat)
 }
 
@@ -220,6 +266,21 @@ fn main() {
         args.sessions, args.workers, args.queue
     );
 
+    // Fault storm: armed only after the healthy setup above, so the
+    // shared campaign always exists. With the `faults` feature off this
+    // panics loudly instead of silently testing nothing.
+    let fault_guard = args.faults.as_deref().map(|raw| {
+        assert!(
+            itag_store::faults::compiled_in(),
+            "--faults requires a build with the `faults` feature"
+        );
+        let plan =
+            itag_store::faults::FaultPlan::parse(raw).unwrap_or_else(|e| panic!("--faults: {e}"));
+        println!("fault storm armed: {raw}");
+        itag_store::faults::arm(&plan)
+    });
+    let storm = fault_guard.is_some();
+
     let submitted = Arc::new(AtomicU64::new(0));
     let wall = Instant::now();
     let mut joins = Vec::with_capacity(args.sessions);
@@ -232,9 +293,9 @@ fn main() {
                 .stack_size(256 * 1024)
                 .spawn(move || {
                     if n % 10 == 0 {
-                        provider_session(addr, n, seed)
+                        provider_session(addr, n, seed, storm)
                     } else {
-                        tagger_session(addr, n, shared_project, &submitted)
+                        tagger_session(addr, n, shared_project, &submitted, storm)
                     }
                 })
                 .expect("spawn session"),
@@ -243,25 +304,34 @@ fn main() {
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut busy = 0u64;
+    let mut faulted = 0u64;
     let mut failures: Vec<String> = Vec::new();
     for j in joins {
         match j.join().expect("session thread panicked") {
             Ok(lat) => latencies.extend(lat),
             // A shed session is the server keeping its bounded-queue
-            // promise under overload; anything else is a failure.
-            Err(e) if e.contains("server busy") => busy += 1,
-            Err(e) => failures.push(e),
+            // promise under overload; under a fault storm, transient
+            // deaths and degraded refusals are the resilience contract
+            // working. Anything else is a failure.
+            Err(f) if f.msg.contains("server busy") => busy += 1,
+            Err(f) if storm && f.tolerable => faulted += 1,
+            Err(f) => failures.push(f.msg),
         }
     }
     let wall_s = wall.elapsed().as_secs_f64();
 
+    // End the storm before the health check: the server must come back
+    // clean the moment faults stop, or resilience is just delayed death.
+    drop(fault_guard);
+
     // Post-run smoke: the server must still be healthy after the storm.
     {
-        let mut c = Client::connect(addr).expect("post-run connect");
+        let mut c = connect(addr, storm).expect("post-run connect");
         c.ping().expect("post-run ping");
         c.quit().expect("post-run quit");
     }
 
+    let was_degraded = handle.degraded();
     let report = handle.shutdown();
     assert!(
         failures.is_empty(),
@@ -269,6 +339,19 @@ fn main() {
         failures.len(),
         failures[0]
     );
+    assert_eq!(
+        report.stats.worker_panics, 0,
+        "server threads died by panic during the run"
+    );
+    if storm {
+        println!(
+            "fault storm: {faulted} sessions tolerably faulted; server counters: \
+             accept_faults {}, session_write_failures {}, degraded_refusals {}, degraded {was_degraded}",
+            report.stats.accept_faults,
+            report.stats.session_write_failures,
+            report.stats.degraded_refusals,
+        );
+    }
 
     latencies.sort_unstable();
     let requests = latencies.len() as u64;

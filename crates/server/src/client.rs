@@ -47,6 +47,38 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+impl ClientError {
+    /// True for failures worth retrying a fresh connection over: the
+    /// server shed us (`Busy`), the connection died before or during the
+    /// handshake, or the socket hit a transient-looking I/O condition.
+    /// Typed server refusals, decode failures, and protocol surprises
+    /// are deterministic — retrying them only repeats the mistake.
+    pub fn is_transient(&self) -> bool {
+        fn transient_io(e: &std::io::Error) -> bool {
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+            )
+        }
+        match self {
+            ClientError::Busy | ClientError::Closed => true,
+            ClientError::Io(e) => transient_io(e),
+            // A connection dying mid-frame surfaces as a framing-layer
+            // I/O error; it is as transient as the same error naked.
+            ClientError::Frame(FrameError::Io(e)) => transient_io(e),
+            ClientError::Frame(_)
+            | ClientError::Decode(_)
+            | ClientError::Server(_)
+            | ClientError::Unexpected(_) => false,
+        }
+    }
+}
+
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
@@ -60,6 +92,66 @@ impl From<FrameError> for ClientError {
 }
 
 pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// Opt-in retry/backoff for connection establishment. The policy only
+/// governs [`Client::connect_retrying`] — established sessions never
+/// retry implicitly, because re-sending a non-idempotent request (fund a
+/// project, submit a post) after an ambiguous failure could apply it
+/// twice. Backoff is exponential with deterministic decorrelated jitter:
+/// attempt `n` sleeps a duration drawn from `[d/2, d]` where
+/// `d = min(cap, base * 2^n)`, using a splitmix64 stream seeded by
+/// `seed` — reproducible in tests, spread out in a fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total connection attempts (≥ 1); the last failure is returned.
+    pub max_attempts: u32,
+    /// First backoff step.
+    pub base: Duration,
+    /// Ceiling for a single backoff step.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(1),
+            seed: 0x17a6_5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based: the delay after
+    /// the first failure is `backoff(0)`). Pure — the caller advances
+    /// `rng` between calls.
+    pub fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.cap);
+        let exp_ns = exp.as_nanos() as u64;
+        if exp_ns == 0 {
+            return Duration::ZERO;
+        }
+        // Jitter in [exp/2, exp] keeps a floor under the delay (pure
+        // full-jitter can draw ~0 and hammer the server anyway).
+        let half = exp_ns / 2;
+        Duration::from_nanos(half + splitmix64(rng) % (exp_ns - half + 1))
+    }
+}
+
+/// splitmix64: tiny, seedable, and good enough for jitter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A connected session. [`Client::connect`] performs the `Hello`
 /// handshake, so a constructed client is ready for typed calls.
@@ -99,6 +191,32 @@ impl Client {
             Response::Busy => Err(ClientError::Busy),
             Response::Error(e) => Err(ClientError::Server(e)),
             _ => Err(ClientError::Unexpected("HelloOk")),
+        }
+    }
+
+    /// [`Client::connect_with`], retried under `policy` for transient
+    /// failures — shed sessions (`Busy`), dropped connections, socket
+    /// timeouts. Deterministic refusals (version mismatch, malformed
+    /// traffic) fail immediately; the final attempt's error is returned
+    /// when the budget runs out.
+    pub fn connect_retrying(
+        addr: impl ToSocketAddrs + Clone,
+        max_frame: usize,
+        timeout: Duration,
+        policy: RetryPolicy,
+    ) -> Result<Client> {
+        let mut rng = policy.seed;
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match Client::connect_with(addr.clone(), max_frame, timeout) {
+                Ok(client) => return Ok(client),
+                Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                    std::thread::sleep(policy.backoff(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -335,5 +453,66 @@ impl Client {
             Response::Bye => Ok(()),
             _ => Err(ClientError::Unexpected("Bye")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 42,
+        };
+        let (mut a, mut b) = (policy.seed, policy.seed);
+        for attempt in 0..8 {
+            let d1 = policy.backoff(attempt, &mut a);
+            let d2 = policy.backoff(attempt, &mut b);
+            assert_eq!(d1, d2, "same seed must give the same schedule");
+            let exp = policy
+                .base
+                .saturating_mul(2u32.saturating_pow(attempt))
+                .min(policy.cap);
+            assert!(
+                d1 >= exp / 2 && d1 <= exp,
+                "attempt {attempt}: {d1:?} outside [{:?}, {exp:?}]",
+                exp / 2
+            );
+        }
+        // Deep attempts saturate at the cap, never overflow.
+        let mut rng = 7;
+        let deep = policy.backoff(1000, &mut rng);
+        assert!(deep <= policy.cap && deep >= policy.cap / 2);
+    }
+
+    #[test]
+    fn jitter_actually_varies_across_the_stream() {
+        let policy = RetryPolicy::default();
+        let mut rng = 1;
+        let draws: Vec<Duration> = (0..6).map(|_| policy.backoff(3, &mut rng)).collect();
+        assert!(
+            draws.windows(2).any(|w| w[0] != w[1]),
+            "six draws at the same attempt all equal — jitter is dead: {draws:?}"
+        );
+    }
+
+    #[test]
+    fn transient_classification_splits_retryable_from_deterministic() {
+        assert!(ClientError::Busy.is_transient());
+        assert!(ClientError::Closed.is_transient());
+        assert!(ClientError::Io(std::io::ErrorKind::TimedOut.into()).is_transient());
+        assert!(ClientError::Io(std::io::ErrorKind::ConnectionReset.into()).is_transient());
+        assert!(!ClientError::Io(std::io::ErrorKind::PermissionDenied.into()).is_transient());
+        assert!(!ClientError::Decode("junk".into()).is_transient());
+        assert!(!ClientError::Unexpected("Pong").is_transient());
+        assert!(!ClientError::Server(WireError::new(
+            crate::proto::ErrorCode::Degraded,
+            "read-only"
+        ))
+        .is_transient());
     }
 }

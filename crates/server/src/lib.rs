@@ -49,6 +49,6 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use proto::{DatasetSpec, ErrorCode, Request, Response, WireError, PROTOCOL_VERSION};
 pub use server::{serve, ServeStats, ServerConfig, ServerHandle, ShutdownReport};

@@ -19,7 +19,12 @@ use itag_strategy::StrategyKind;
 use serde::{Deserialize, Serialize};
 
 /// Current protocol version; bumped on any wire-incompatible change.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 appended [`ErrorCode::Degraded`] — serbin enum tags are positional
+/// and not self-describing, so a v1 client could not decode a frame
+/// carrying the new variant; the handshake gate is what makes the
+/// addition safe.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Dataset parameters a provider uploads with a new project. The server
 /// generates the dataset deterministically from these — the same spec
@@ -159,6 +164,40 @@ pub enum Request {
     Quit,
 }
 
+impl Request {
+    /// True for requests that mutate engine state. This is the wire
+    /// protocol's read/write split: a degraded (read-only) server refuses
+    /// exactly these with [`ErrorCode::Degraded`] and keeps serving the
+    /// rest. Exhaustive match so a new variant is a compile error until
+    /// classified.
+    pub fn is_write(&self) -> bool {
+        match self {
+            Request::RegisterProvider { .. }
+            | Request::RegisterTagger { .. }
+            | Request::CreateProject { .. }
+            | Request::PublishBatch { .. }
+            | Request::RunRound { .. }
+            | Request::Collect { .. }
+            | Request::AddBudget { .. }
+            | Request::SwitchStrategy { .. }
+            | Request::StopProject { .. }
+            | Request::SubmitPost { .. } => true,
+            Request::Hello { .. }
+            | Request::Ping
+            | Request::Monitor { .. }
+            | Request::MonitorTable { .. }
+            | Request::ResourceDetail { .. }
+            | Request::ExportCsv { .. }
+            | Request::ExportDownload { .. }
+            | Request::BrowseProjects
+            | Request::PullTasks { .. }
+            | Request::Reputation { .. }
+            | Request::Checksum
+            | Request::Quit => false,
+        }
+    }
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[allow(clippy::large_enum_variant)] // one decoded response lives at a time
@@ -228,6 +267,11 @@ pub enum ErrorCode {
     /// The engine rejected the operation (unknown project, bad state,
     /// budget overflow, …). The session stays usable.
     Engine,
+    /// The server is in read-only degradation after a storage fault on
+    /// the write path: reads keep serving, writes are refused until an
+    /// operator restarts (or explicitly clears) the server. Appended in
+    /// protocol v2 — new codes go at the end, serbin tags are positional.
+    Degraded,
 }
 
 /// A typed protocol error; `message` is advisory, `code` is contractual.

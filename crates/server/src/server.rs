@@ -13,13 +13,32 @@
 //! intact); engine errors answer [`ErrorCode::Engine`] and keep the
 //! session. Nothing a client sends can panic the server — that contract
 //! is exercised by `tests/wire_adversarial.rs`.
+//!
+//! # Degradation and drain
+//!
+//! Two resilience behaviours live here. **Read-only degradation**: when
+//! the engine reports a storage fault on a write request (the store's
+//! retryable `Io`/`Broken` family), the server flips a latch and from
+//! then on refuses writes with [`ErrorCode::Degraded`] while reads keep
+//! serving from the applied in-memory state — a half-alive server beats
+//! a dead one, and the latch is visible to operators via
+//! [`ServerHandle::degraded`]. **Graceful drain**: shutdown stops the
+//! acceptor, lets in-flight sessions finish up to
+//! [`ServerConfig::drain_deadline`], then cuts stragglers (counted in
+//! [`ServeStats::drain_cut`]) — without the deadline a
+//! continuously-streaming client would hold its worker, and `shutdown`'s
+//! join, hostage forever. The `server.accept` / `server.session_write`
+//! fault sites (see `itag_store::faults`) inject failures into both
+//! paths for the torture suite.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use itag_store::faults;
 
 use itag_core::engine::ITagEngine;
 use itag_crowd::audience::ManualPlatform;
@@ -44,6 +63,12 @@ pub struct ServerConfig {
     /// Stack size for session workers (a worker keeps no deep state, so
     /// pools of ~1k workers stay cheap).
     pub worker_stack: usize,
+    /// After shutdown is requested, in-flight sessions may keep serving
+    /// frames for this long before being cut ([`ServeStats::drain_cut`]).
+    pub drain_deadline: Duration,
+    /// Sessions idle (no complete frame) longer than this are reaped
+    /// ([`ServeStats::reaped_idle`]); `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +79,8 @@ impl Default for ServerConfig {
             max_frame: 4 << 20,
             read_timeout: Duration::from_millis(100),
             worker_stack: 512 * 1024,
+            drain_deadline: Duration::from_secs(1),
+            idle_timeout: None,
         }
     }
 }
@@ -67,16 +94,72 @@ pub struct ServeStats {
     pub shed: u64,
     /// Sessions dropped for framing violations.
     pub framing_errors: u64,
+    /// Shed sessions whose best-effort `Busy` frame could not even be
+    /// written — the peer saw a bare close instead of a typed refusal.
+    pub shed_write_failures: u64,
+    /// In-flight sessions cut because they outlived the drain deadline.
+    pub drain_cut: u64,
+    /// Sessions reaped for exceeding [`ServerConfig::idle_timeout`].
+    pub reaped_idle: u64,
+    /// Write requests refused because the server is degraded (read-only).
+    pub degraded_refusals: u64,
+    /// Accepted connections dropped by an injected `server.accept` fault.
+    pub accept_faults: u64,
+    /// Sessions cut because a response write failed (injected
+    /// `server.session_write` faults and real socket errors alike).
+    pub session_write_failures: u64,
+    /// Worker or acceptor threads that died by panic instead of joining
+    /// cleanly. Known only after shutdown; always zero before.
+    pub worker_panics: u64,
 }
 
 struct Shared {
     engine: Mutex<ITagEngine>,
     queue: SessionQueue<TcpStream>,
     stop: AtomicBool,
+    /// Read-only degradation latch; see the module docs.
+    degraded: AtomicBool,
     served: AtomicU64,
     shed: AtomicU64,
     framing_errors: AtomicU64,
+    shed_write_failures: AtomicU64,
+    drain_cut: AtomicU64,
+    reaped_idle: AtomicU64,
+    degraded_refusals: AtomicU64,
+    accept_faults: AtomicU64,
+    session_write_failures: AtomicU64,
+    /// When the server came up; drain deadlines are stored as offsets
+    /// from this epoch so they fit an atomic.
+    epoch: Instant,
+    /// Millis-from-epoch at which shutdown was requested; `u64::MAX`
+    /// while running. Written once (before `stop` flips) so workers can
+    /// compute the drain deadline without a lock.
+    stop_at_ms: AtomicU64,
     cfg: ServerConfig,
+}
+
+impl Shared {
+    fn stats_now(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            framing_errors: self.framing_errors.load(Ordering::Relaxed),
+            shed_write_failures: self.shed_write_failures.load(Ordering::Relaxed),
+            drain_cut: self.drain_cut.load(Ordering::Relaxed),
+            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
+            degraded_refusals: self.degraded_refusals.load(Ordering::Relaxed),
+            accept_faults: self.accept_faults.load(Ordering::Relaxed),
+            session_write_failures: self.session_write_failures.load(Ordering::Relaxed),
+            worker_panics: 0,
+        }
+    }
+
+    /// The instant past which in-flight sessions are cut, once shutdown
+    /// has been requested.
+    fn drain_deadline(&self) -> Option<Instant> {
+        let ms = self.stop_at_ms.load(Ordering::Acquire);
+        (ms != u64::MAX).then(|| self.epoch + Duration::from_millis(ms) + self.cfg.drain_deadline)
+    }
 }
 
 /// A running server; dropping it without [`ServerHandle::shutdown`]
@@ -111,9 +194,18 @@ pub fn serve(
         engine: Mutex::named("server.engine", engine),
         queue: SessionQueue::new(cfg.queue_capacity),
         stop: AtomicBool::new(false),
+        degraded: AtomicBool::new(false),
         served: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         framing_errors: AtomicU64::new(0),
+        shed_write_failures: AtomicU64::new(0),
+        drain_cut: AtomicU64::new(0),
+        reaped_idle: AtomicU64::new(0),
+        degraded_refusals: AtomicU64::new(0),
+        accept_faults: AtomicU64::new(0),
+        session_write_failures: AtomicU64::new(0),
+        epoch: Instant::now(),
+        stop_at_ms: AtomicU64::new(u64::MAX),
         cfg: cfg.clone(),
     });
 
@@ -149,26 +241,45 @@ impl ServerHandle {
     }
 
     pub fn stats(&self) -> ServeStats {
-        ServeStats {
-            served: self.shared.served.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            framing_errors: self.shared.framing_errors.load(Ordering::Relaxed),
-        }
+        self.shared.stats_now()
+    }
+
+    /// True once a storage fault flipped the server read-only.
+    pub fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Operator override for the degradation latch: set it to take the
+    /// server read-only preemptively, clear it after the storage fault
+    /// is resolved out of band.
+    pub fn set_degraded(&self, on: bool) {
+        self.shared.degraded.store(on, Ordering::SeqCst);
     }
 
     /// Stops accepting, drains the pool, joins every thread, and returns
-    /// the engine. In-flight sessions are cut at their next read timeout.
+    /// the engine. Idle sessions end at their next read timeout; sessions
+    /// still streaming requests may finish work until
+    /// [`ServerConfig::drain_deadline`], after which they are cut.
     pub fn shutdown(self) -> ShutdownReport {
+        let elapsed =
+            u64::try_from(self.shared.epoch.elapsed().as_millis()).unwrap_or(u64::MAX - 1);
+        // Deadline first, stop flag second: a worker that sees `stop`
+        // must be able to read a real deadline.
+        self.shared.stop_at_ms.store(elapsed, Ordering::Release);
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.queue.close();
-        let _ = self.acceptor.join();
+        let mut worker_panics = 0;
+        if self.acceptor.join().is_err() {
+            worker_panics += 1;
+        }
         for w in self.workers {
-            let _ = w.join();
+            if w.join().is_err() {
+                worker_panics += 1;
+            }
         }
         let stats = ServeStats {
-            served: self.shared.served.load(Ordering::Relaxed),
-            shed: self.shared.shed.load(Ordering::Relaxed),
-            framing_errors: self.shared.framing_errors.load(Ordering::Relaxed),
+            worker_panics,
+            ..self.shared.stats_now()
         };
         let shared = Arc::try_unwrap(self.shared)
             .unwrap_or_else(|_| panic!("all server threads joined; no other owners remain"));
@@ -183,6 +294,14 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // `server.accept` fault site: an injected failure here
+                // models accept()/fd-limit errors — the connection is
+                // dropped on the floor (the peer sees a reset), which is
+                // exactly what clients must retry through.
+                if faults::check_io(faults::SERVER_ACCEPT).is_err() {
+                    shared.accept_faults.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 if let Err(stream) = shared.queue.try_push(stream) {
                     shed(shared, stream);
                 }
@@ -197,13 +316,19 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 
 /// The load-shedding contract: a refused session gets a best-effort
 /// `Busy` frame, then its connection is closed. Short write timeout so a
-/// stalled peer cannot wedge the acceptor.
+/// stalled peer cannot wedge the acceptor. "Best-effort" is still
+/// accounted for: a refusal the peer never saw is a different outcome
+/// from a typed `Busy`, and `shed_write_failures` keeps the difference
+/// visible instead of silently dropping the write error.
 fn shed(shared: &Shared, stream: TcpStream) {
     shared.shed.fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let mut w = BufWriter::new(stream);
-    let _ = write_frame(&mut w, &Response::Busy, shared.cfg.max_frame);
-    let _ = w.flush();
+    let sent =
+        write_frame(&mut w, &Response::Busy, shared.cfg.max_frame).is_ok() && w.flush().is_ok();
+    if !sent {
+        shared.shed_write_failures.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -239,14 +364,26 @@ fn serve_session(shared: &Shared, stream: TcpStream) {
     let mut writer = BufWriter::new(stream);
     let mut frames = FrameReader::new(shared.cfg.max_frame);
     let mut helloed = false;
+    let mut last_frame_at = Instant::now();
 
     loop {
         let payload = match frames.read(&mut reader) {
-            Ok(ReadOutcome::Frame(p)) => p,
+            Ok(ReadOutcome::Frame(p)) => {
+                last_frame_at = Instant::now();
+                p
+            }
             Ok(ReadOutcome::Eof) => return,
             Ok(ReadOutcome::TimedOut) => {
+                // An idle session has nothing in flight: shutdown ends it
+                // at the next poll, no drain grace needed.
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
+                }
+                if let Some(limit) = shared.cfg.idle_timeout {
+                    if last_frame_at.elapsed() >= limit {
+                        shared.reaped_idle.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
                 }
                 continue;
             }
@@ -307,23 +444,64 @@ fn serve_session(shared: &Shared, stream: TcpStream) {
             Ok(req) => (apply(shared, req), Ctl::Continue),
         };
 
-        if write_frame(&mut writer, &response, shared.cfg.max_frame).is_err() {
+        // `server.session_write` fault site: an injected failure models a
+        // response write dying mid-session. Injected or real, a failed
+        // response write cuts the session (the peer's framing is gone)
+        // and is counted rather than silently swallowed.
+        if faults::check_io(faults::SERVER_SESSION_WRITE).is_err()
+            || write_frame(&mut writer, &response, shared.cfg.max_frame).is_err()
+        {
+            shared
+                .session_write_failures
+                .fetch_add(1, Ordering::Relaxed);
             return;
         }
         if matches!(ctl, Ctl::Close) {
             return;
+        }
+        // Graceful drain: once shutdown is requested this session may
+        // keep answering in-flight frames, but only until the deadline —
+        // a client that never stops streaming must not stall `shutdown`'s
+        // join forever.
+        if shared.stop.load(Ordering::SeqCst) {
+            if let Some(deadline) = shared.drain_deadline() {
+                if Instant::now() >= deadline {
+                    shared.drain_cut.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
         }
     }
 }
 
 /// Executes one request against the engine. The engine lock is scoped to
 /// this function — never held across socket I/O.
+///
+/// This is also where read-only degradation lives: a write request that
+/// fails with a storage fault latches `degraded`, and every later write
+/// is refused with [`ErrorCode::Degraded`] without touching the engine.
+/// Reads bypass the latch entirely — they serve the applied in-memory
+/// state, which a broken WAL does not invalidate.
 fn apply(shared: &Shared, req: Request) -> Response {
+    let is_write = req.is_write();
+    if is_write && shared.degraded.load(Ordering::SeqCst) {
+        shared.degraded_refusals.fetch_add(1, Ordering::Relaxed);
+        return Response::Error(WireError::new(
+            ErrorCode::Degraded,
+            "server is read-only after a storage fault; writes are refused",
+        ));
+    }
     let mut engine = shared.engine.lock();
     let result = dispatch(&mut engine, req);
+    drop(engine);
     match result {
         Ok(resp) => resp,
-        Err(e) => Response::Error(WireError::new(ErrorCode::Engine, e.to_string())),
+        Err(e) => {
+            if is_write && e.is_storage_fault() {
+                shared.degraded.store(true, Ordering::SeqCst);
+            }
+            Response::Error(WireError::new(ErrorCode::Engine, e.to_string()))
+        }
     }
 }
 

@@ -1,0 +1,168 @@
+//! Schedule-explorer model of the graceful-drain protocol in
+//! `itag_server::server::serve_session`: after shutdown is requested a
+//! session may finish in-flight frames, but once the drain deadline
+//! passes it must be cut.
+//!
+//! Shape-faithful to the serving loop: one critical section takes a
+//! frame and serves it (the model's "serve" is a counter bump), the
+//! blocked read is a condvar wait woken by new frames / EOF / the
+//! shutdown tick, an idle wake with `stop` set exits, and — the fix
+//! under test — a post-frame check exits once `stop` is set and the
+//! deadline has passed. The invariant: under every schedule, at most
+//! one frame is served after the deadline (the one already in flight).
+//! The `should_panic` twin removes the post-frame check, and the
+//! explorer finds the drain-forever schedule where a streaming client
+//! keeps a stopped worker serving past the deadline — the exact latent
+//! bug the drain deadline was added to kill (the old loop only noticed
+//! `stop` on read *timeouts*, which a busy session never hits).
+
+use itag_crowd::model::{explore, Config, Env};
+
+fn cfg(preemption_bound: usize) -> Config {
+    Config {
+        preemption_bound,
+        ..Config::default()
+    }
+}
+
+#[derive(Default)]
+struct DrainState {
+    frames_pending: usize,
+    served_total: usize,
+    /// Frames served in a critical section that already saw
+    /// `deadline_passed` — the quantity the drain contract bounds.
+    served_after_deadline: usize,
+    stop: bool,
+    deadline_passed: bool,
+    eof: bool,
+    session_done: bool,
+    cut: bool,
+}
+
+/// `frames` is how many the client will stream; `close_after` makes the
+/// client send EOF when done (a polite client); `shutdown` runs the
+/// stop + deadline-tick thread; `check_drain` is the post-frame deadline
+/// check — the fix. Invariants are asserted after all threads join, so a
+/// violation panics inside `explore` and is pinned to a schedule.
+fn run_drain_model(env: &Env, frames: usize, close_after: bool, shutdown: bool, check_drain: bool) {
+    let state = env.mutex(DrainState::default());
+    let cv = env.condvar();
+    let mut joins = Vec::new();
+
+    // The session worker: serve frames until EOF, an idle wake under
+    // `stop`, or (with the fix) the post-frame drain check.
+    {
+        let state = state.clone();
+        let cv = cv.clone();
+        joins.push(env.spawn(move || loop {
+            let mut g = state.lock();
+            loop {
+                if g.frames_pending > 0 {
+                    g.frames_pending -= 1;
+                    g.served_total += 1;
+                    if g.deadline_passed {
+                        g.served_after_deadline += 1;
+                    }
+                    break;
+                }
+                if g.eof || g.stop {
+                    // EOF, or a read timeout with shutdown requested: an
+                    // idle session has nothing to drain.
+                    g.session_done = true;
+                    return;
+                }
+                cv.wait(&mut g);
+            }
+            // Post-frame drain check — the line under test.
+            if check_drain && g.stop && g.deadline_passed {
+                g.cut = true;
+                g.session_done = true;
+                return;
+            }
+            drop(g);
+        }));
+    }
+
+    // The client: streams frames as fast as the schedule allows, bailing
+    // out if the server already ended the session.
+    {
+        let state = state.clone();
+        let cv = cv.clone();
+        joins.push(env.spawn(move || {
+            for _ in 0..frames {
+                let mut g = state.lock();
+                if g.session_done {
+                    return;
+                }
+                g.frames_pending += 1;
+                drop(g);
+                cv.notify_all();
+            }
+            if close_after {
+                state.lock().eof = true;
+                cv.notify_all();
+            }
+        }));
+    }
+
+    // Shutdown: request stop, then (separately interleavable) the drain
+    // deadline expires. Both wake the worker, mirroring how the real
+    // loop observes them on its next read wake.
+    if shutdown {
+        let state = state.clone();
+        let cv = cv.clone();
+        joins.push(env.spawn(move || {
+            state.lock().stop = true;
+            cv.notify_all();
+            state.lock().deadline_passed = true;
+            cv.notify_all();
+        }));
+    }
+
+    for j in joins {
+        j.join();
+    }
+
+    let s = state.lock();
+    assert!(s.session_done, "worker exited the loop without finishing");
+    assert!(
+        s.served_after_deadline <= 1,
+        "drain-forever: {} frames served after the drain deadline",
+        s.served_after_deadline
+    );
+    if !shutdown {
+        assert_eq!(
+            s.served_total, frames,
+            "without shutdown every streamed frame is served"
+        );
+        assert!(!s.cut, "nothing to cut without a shutdown");
+    }
+}
+
+/// The fixed protocol: a streaming client that never closes cannot keep
+/// the session alive past the deadline, under any interleaving of
+/// frames, stop, and the deadline tick.
+#[test]
+fn drain_is_bounded_under_every_schedule() {
+    let r = explore(cfg(2), |env| run_drain_model(env, 3, false, true, true));
+    assert!(r.complete, "schedule space not exhausted: {r:?}");
+    assert!(r.executions > 10, "model too small to mean anything: {r:?}");
+}
+
+/// No shutdown: a polite client's frames are all served and the session
+/// ends at EOF — the drain machinery must not eat normal traffic.
+#[test]
+fn without_shutdown_every_frame_is_served() {
+    let r = explore(cfg(2), |env| run_drain_model(env, 3, true, false, true));
+    assert!(r.complete, "schedule space not exhausted: {r:?}");
+}
+
+/// The broken twin: no post-frame deadline check (the pre-fix serving
+/// loop, which only noticed `stop` on read timeouts). The explorer must
+/// find a schedule where the streaming client keeps the stopped worker
+/// serving past the deadline.
+#[test]
+#[should_panic(expected = "drain-forever")]
+fn missing_deadline_check_serves_forever_past_the_deadline() {
+    explore(cfg(2), |env| run_drain_model(env, 3, false, true, false));
+}

@@ -46,6 +46,28 @@
 //!   snapshot replaces WAL frames, so recovery invariants (prefix
 //!   semantics, torn-tail truncation) are identical across policies.
 //!
+//! ## Retryable vs. fatal errors
+//!
+//! When a commit fails, the caller's next move depends on the
+//! [`StoreError`] variant (see [`StoreError::is_retryable`]):
+//!
+//! * **Retryable** — `Io` (a filesystem fault: `ENOSPC`, `EIO`, ...) and
+//!   `Broken` (the store poisoned itself after a group-commit I/O
+//!   failure, because the WAL and memtables can no longer be trusted to
+//!   agree). The durable prefix on disk is intact: **reopening the store
+//!   re-runs recovery and heals it**, after which the failed operation
+//!   may be retried. Serving layers degrade to read-only on these
+//!   instead of dying (reads never need the WAL).
+//! * **Fatal** — `Corrupt` (on-disk bytes failed an integrity check
+//!   somewhere recovery cannot truncate away), `Codec`, `Conflict`,
+//!   `NotFound`, `NotDurable`: retrying the same operation fails the
+//!   same way; these need operator or caller intervention.
+//!
+//! The fault-torture suite (`tests/fault_torture.rs`) pins the healing
+//! claim: for every storage fault site, an injected failure surfaces as
+//! a typed error, and the reopened store's contents are byte-identical
+//! to a fault-free twin that stopped at the same durable point.
+//!
 //! ## Entity cache
 //!
 //! The typed layer ([`crate::table::TypedTable`]) decodes records out of
@@ -469,6 +491,9 @@ impl Store {
         if opts.durability == Durability::InMemory {
             return Ok(Store::in_memory_with(opts));
         }
+        // Arm any `ITAG_FAULTS` plan before recovery runs, so the
+        // `recovery.scan` site can fault the very first open too.
+        crate::faults::init_env();
         std::fs::create_dir_all(dir)?;
 
         let mut tables = Memtable::new();
@@ -535,6 +560,7 @@ impl Store {
         }
         let cache_enabled = opts.entity_cache && !env_disables_cache();
         register_lockcheck_policy();
+        crate::faults::init_env();
         Store {
             shards: parts
                 .into_iter()
@@ -704,7 +730,7 @@ impl Store {
             self.commit_cv.wait(&mut state);
         }
         if let Some(msg) = &state.broken {
-            return Err(StoreError::Corrupt(msg.clone()));
+            return Err(StoreError::Broken(msg.clone()));
         }
         let lsn = state.next_lsn;
         state.next_lsn += 1;
@@ -723,7 +749,7 @@ impl Store {
                 return Ok(());
             }
             if let Some(msg) = &state.broken {
-                return Err(StoreError::Corrupt(msg.clone()));
+                return Err(StoreError::Broken(msg.clone()));
             }
             if state.leader_active {
                 self.commit_cv.wait(&mut state);
@@ -771,7 +797,7 @@ impl Store {
 
             state = self.commit_mu.lock();
             state.leader_active = false;
-            match &outcome.wal_apply {
+            match outcome.wal_apply {
                 Ok(()) => {
                     if let Some(last) = group_last_lsn {
                         state.applied_lsn = state.applied_lsn.max(last);
@@ -782,8 +808,14 @@ impl Store {
                     // be trusted to match the memtables, so fail this
                     // group (applied_lsn is NOT advanced past it) and
                     // every later commit loudly instead of diverging
-                    // silently.
+                    // silently. The leader reports the root cause (e.g.
+                    // the `Io` fault itself); followers and later commits
+                    // see `StoreError::Broken` until the store is
+                    // reopened.
                     state.broken = Some(format!("group commit failed: {e}"));
+                    drop(state);
+                    self.commit_cv.notify_all();
+                    return Err(e);
                 }
             }
             self.commit_cv.notify_all();

@@ -1,4 +1,4 @@
-//! The store's one sanctioned environment read.
+//! The store's sanctioned environment reads.
 //!
 //! `ITAG_NO_CACHE` is consumed at two layers with different error
 //! postures: the engine routes it through [`parse_no_cache`] and fails
@@ -9,6 +9,12 @@
 //! means nothing. The repo lint (`itag-lint`, rule `env-var`) pins this
 //! module and `core::config` as the only files allowed to call
 //! `std::env::var`.
+//!
+//! `ITAG_FAULTS` arms the deterministic fault-injection layer (see
+//! [`crate::faults`]) with a comma-separated `<site>:<kind>[@<trigger>]`
+//! plan. Its posture is strict everywhere: a plan that does not parse
+//! panics at [`crate::faults::init_env`] time, because silently running
+//! a "fault storm" that injects nothing would be worse than aborting.
 
 /// Parses `ITAG_NO_CACHE`: `1`/`true` force the cache off, `0`/`false`
 /// leave it alone, unset/empty means unset, anything else is an error.
@@ -37,6 +43,23 @@ pub fn env_disables_cache() -> bool {
     }
 }
 
+/// Parses an `ITAG_FAULTS` value: comma-separated `<site>:<kind>[@<trigger>]`
+/// entries, validated against the known fault sites. Unset or empty means
+/// no plan.
+pub fn parse_faults(
+    raw: Option<&str>,
+) -> std::result::Result<Vec<(String, crate::faults::FaultSpec)>, String> {
+    let Some(raw) = raw else {
+        return Ok(Vec::new());
+    };
+    crate::faults::parse_plan(raw).map_err(|e| format!("ITAG_FAULTS: {e}"))
+}
+
+/// Reads and parses `ITAG_FAULTS` from the environment.
+pub fn env_fault_plan() -> std::result::Result<Vec<(String, crate::faults::FaultSpec)>, String> {
+    parse_faults(std::env::var("ITAG_FAULTS").ok().as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +80,23 @@ mod tests {
         for bad in ["yes", "no", "2", "TRUE!"] {
             let err = parse_no_cache(Some(bad)).unwrap_err();
             assert!(err.contains("ITAG_NO_CACHE") && err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn parse_faults_is_strict_and_names_the_variable() {
+        assert!(parse_faults(None).unwrap().is_empty());
+        assert!(parse_faults(Some("")).unwrap().is_empty());
+        let plan = parse_faults(Some("wal.append:eio@nth2,wal.sync:enospc")).unwrap();
+        assert_eq!(plan.len(), 2);
+        for bad in [
+            "wal.append",
+            "nope:eio",
+            "wal.append:zap",
+            "wal.append:eio@weird",
+        ] {
+            let err = parse_faults(Some(bad)).unwrap_err();
+            assert!(err.contains("ITAG_FAULTS"), "{err}");
         }
     }
 }

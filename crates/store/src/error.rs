@@ -22,6 +22,28 @@ pub enum StoreError {
     NotFound { table: TableId, key: Vec<u8> },
     /// A uniqueness constraint on a typed table or index was violated.
     Conflict(String),
+    /// The store poisoned itself after a group-commit failure: the WAL
+    /// and memtables can no longer be trusted to agree, so every commit
+    /// fails with this until the store is reopened (which re-runs
+    /// recovery from the durable prefix). Distinct from [`Corrupt`]:
+    /// nothing on disk is corrupt — the durable prefix is intact and a
+    /// reopen heals the store.
+    ///
+    /// [`Corrupt`]: StoreError::Corrupt
+    Broken(String),
+}
+
+impl StoreError {
+    /// Whether retrying the failed operation against a *fresh* store
+    /// handle can succeed. `Io` (a transient filesystem failure, e.g.
+    /// `ENOSPC` that clears) and `Broken` (healed by reopening) are
+    /// retryable; corruption, codec, and constraint failures are not —
+    /// the same inputs will fail the same way. Serving layers use this
+    /// to decide between degrading (stop writes, keep reads) and
+    /// failing hard.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StoreError::Io(_) | StoreError::Broken(_))
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -35,6 +57,7 @@ impl std::fmt::Display for StoreError {
                 write!(f, "key {key:02x?} not found in {table}")
             }
             StoreError::Conflict(m) => write!(f, "constraint violation: {m}"),
+            StoreError::Broken(m) => write!(f, "store broken (reopen to recover): {m}"),
         }
     }
 }
@@ -86,5 +109,15 @@ mod tests {
     fn corrupt_display() {
         let e = StoreError::Corrupt("bad crc".into());
         assert!(e.to_string().contains("bad crc"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(StoreError::Io(std::io::Error::other("enospc")).is_retryable());
+        assert!(StoreError::Broken("group commit failed".into()).is_retryable());
+        assert!(!StoreError::Corrupt("bad crc".into()).is_retryable());
+        assert!(!StoreError::Codec("bad tag".into()).is_retryable());
+        assert!(!StoreError::Conflict("dup".into()).is_retryable());
+        assert!(!StoreError::NotDurable.is_retryable());
     }
 }

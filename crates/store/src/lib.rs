@@ -36,6 +36,7 @@ pub mod codec;
 pub mod db;
 pub mod envknob;
 pub mod error;
+pub mod faults;
 pub mod serbin;
 pub mod snapshot;
 pub mod table;

@@ -16,6 +16,7 @@
 
 use crate::codec::{crc32, write_uvarint, Crc32};
 use crate::error::{Result, StoreError};
+use crate::faults::{self, FaultFile};
 use crate::{serbin, TableId};
 use serde::{Deserialize, Serialize};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -42,12 +43,17 @@ pub struct TableDump {
     pub entries: Vec<(Vec<u8>, Vec<u8>)>,
 }
 
-/// Writes `snapshot` to `path` atomically (temp file + rename).
+/// Writes `snapshot` to `path` atomically (temp file + rename). The
+/// `snapshot.write` fault site covers the whole producer: the entry
+/// check fails the operation outright, and the [`FaultFile`] wrapper
+/// injects byte-level faults into the temp file (a torn temp file never
+/// installs — the rename only happens after a clean sync).
 pub fn write(path: &Path, snapshot: &Snapshot) -> Result<()> {
+    faults::check_io(faults::SNAPSHOT_WRITE)?;
     let payload = serbin::to_bytes(snapshot)?;
     let tmp = path.with_extension("snp.tmp");
     {
-        let mut file = std::fs::File::create(&tmp)?;
+        let mut file = FaultFile::new(std::fs::File::create(&tmp)?, faults::SNAPSHOT_WRITE);
         file.write_all(&SNAPSHOT_MAGIC)?;
         file.write_all(&crc32(&payload).to_le_bytes())?;
         file.write_all(&(payload.len() as u64).to_le_bytes())?;
@@ -69,7 +75,7 @@ pub fn write(path: &Path, snapshot: &Snapshot) -> Result<()> {
 /// fails if they were not met exactly, because the counts are the seq
 /// length prefixes already written into the payload.
 pub struct SnapshotWriter {
-    out: BufWriter<std::fs::File>,
+    out: BufWriter<FaultFile>,
     crc: Crc32,
     payload_len: u64,
     tmp: PathBuf,
@@ -83,8 +89,12 @@ impl SnapshotWriter {
     /// Opens the temp file and writes the header placeholder plus the
     /// snapshot preamble (`last_lsn`, table count).
     pub fn create(path: &Path, last_lsn: u64, table_count: u64) -> Result<Self> {
+        faults::check_io(faults::CHECKPOINT_STREAM)?;
         let tmp = path.with_extension("snp.tmp");
-        let mut out = BufWriter::new(std::fs::File::create(&tmp)?);
+        let mut out = BufWriter::new(FaultFile::new(
+            std::fs::File::create(&tmp)?,
+            faults::CHECKPOINT_STREAM,
+        ));
         out.write_all(&SNAPSHOT_MAGIC)?;
         // crc + len are back-patched in finish().
         out.write_all(&[0u8; 12])?;
@@ -121,6 +131,9 @@ impl SnapshotWriter {
 
     /// Starts the next table dump. The previous table must be complete.
     pub fn begin_table(&mut self, table: TableId, entry_count: u64) -> Result<()> {
+        // Per-table poll so `nth`/`every` triggers can fail a checkpoint
+        // mid-stream, not only at creation.
+        faults::check_io(faults::CHECKPOINT_STREAM)?;
         if self.entries_left != 0 {
             return Err(StoreError::Codec(format!(
                 "snapshot table started with {} entries still owed",
@@ -188,6 +201,9 @@ pub fn read(path: &Path) -> Result<Option<Snapshot>> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
     };
+    // Polled after the open so a fresh directory (no snapshot yet) does
+    // not consume a recovery-fault trigger.
+    faults::check_io(faults::RECOVERY_SCAN)?;
     let mut data = Vec::new();
     file.read_to_end(&mut data)?;
 

@@ -9,6 +9,7 @@
 
 use crate::codec::{crc32, read_le_u32};
 use crate::error::{Result, StoreError};
+use crate::faults::{self, FaultFile};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -20,22 +21,32 @@ pub const WAL_MAGIC: [u8; 8] = *b"ITAGWAL1";
 const FRAME_HEADER: usize = 8;
 
 /// Appender half of the WAL. One writer exists per store.
+///
+/// The file sits behind a [`FaultFile`] so the `wal.append` fault site
+/// can inject short writes, `EINTR`, and crash-at-byte-offset into the
+/// byte stream (offsets count from the start of the file, magic
+/// included) and `wal.sync` can fail the fsync.
 pub struct Wal {
-    writer: BufWriter<File>,
+    writer: BufWriter<FaultFile>,
     path: PathBuf,
     /// Bytes of the file known to contain valid frames (header included).
     len: u64,
     appended_frames: u64,
 }
 
+fn wrap(file: File) -> FaultFile {
+    FaultFile::new(file, faults::WAL_APPEND).with_sync_site(faults::WAL_SYNC)
+}
+
 impl Wal {
     /// Creates a fresh WAL at `path`, truncating any existing file.
     pub fn create(path: &Path) -> Result<Self> {
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
             .open(path)?;
+        let mut file = wrap(file);
         file.write_all(&WAL_MAGIC)?;
         file.flush()?;
         Ok(Wal {
@@ -52,7 +63,7 @@ impl Wal {
     pub fn open_for_append(path: &Path, valid_len: u64) -> Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         file.set_len(valid_len)?;
-        let mut file = file;
+        let mut file = wrap(file);
         file.seek(SeekFrom::End(0))?;
         Ok(Wal {
             writer: BufWriter::new(file),
@@ -65,6 +76,7 @@ impl Wal {
     /// Appends one frame. The frame is buffered; call [`Wal::sync`] to make
     /// it durable (the store decides based on its durability level).
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        faults::check_io(faults::WAL_APPEND)?;
         let len = u32::try_from(payload.len())
             .map_err(|_| StoreError::Codec("WAL frame larger than 4 GiB".into()))?;
         self.writer.write_all(&len.to_le_bytes())?;
@@ -141,6 +153,9 @@ pub fn scan(path: &Path) -> Result<WalScan> {
         }
         Err(e) => return Err(e.into()),
     };
+    // Polled after the open so a fresh directory (no WAL yet) does not
+    // consume a recovery-fault trigger.
+    faults::check_io(faults::RECOVERY_SCAN)?;
     let mut data = Vec::new();
     file.read_to_end(&mut data)?;
 

@@ -1,0 +1,50 @@
+//! End-to-end check of the `ITAG_FAULTS` env knob: the documented plan
+//! string, set in the environment before the first store open, arms the
+//! fault layer with no programmatic `arm` call at all.
+//!
+//! `init_env` latches the environment exactly once per process, so this
+//! binary holds a single test (test binaries are the process-isolation
+//! unit — see `fault_torture.rs`). Setting the variable from test code
+//! is fine here: the env-var lint rule skips `tests/` directories.
+
+#![cfg(feature = "faults")]
+
+use itag_store::db::{Store, StoreOptions};
+use itag_store::faults;
+use itag_store::testutil::TestDir;
+use itag_store::{Durability, StoreError, SyncPolicy, TableId};
+
+#[test]
+fn env_plan_arms_injection_without_programmatic_arming() {
+    // Must run before anything calls `init_env` in this process — this
+    // is the only test in the binary, so that is guaranteed.
+    std::env::set_var("ITAG_FAULTS", "wal.append:eio@nth2");
+
+    let opts = StoreOptions {
+        durability: Durability::Sync,
+        sync_policy: SyncPolicy::Always,
+        checkpoint_every: 0,
+        ..StoreOptions::default()
+    };
+    let dir = TestDir::new("env-faults");
+    let store = Store::open(dir.path(), opts.clone()).expect("open");
+    let t = TableId(1);
+
+    store
+        .put(t, b"a".to_vec(), b"1".to_vec())
+        .expect("first put passes");
+    let err = store
+        .put(t, b"b".to_vec(), b"2".to_vec())
+        .expect_err("second append should hit the env-armed fault");
+    assert!(matches!(err, StoreError::Io(_)), "got {err:?}");
+    assert_eq!(faults::fired(faults::WAL_APPEND), 1, "env plan never fired");
+    drop(store);
+
+    // `nth2` is consumed; the same env plan leaves a fresh store usable,
+    // and recovery of the first store keeps the acknowledged commit.
+    let healed = Store::open(dir.path(), opts).expect("reopen");
+    assert!(healed.get(t, b"a").expect("read").is_some());
+    healed
+        .put(t, b"c".to_vec(), b"3".to_vec())
+        .expect("healed put");
+}
