@@ -1084,6 +1084,7 @@ impl ITagEngine {
 
     /// Runs Algorithm 1 for up to `max_tasks` tasks (bounded by the
     /// remaining budget) through the crowdsourcing platform.
+    // lint: allow(panic-path)
     pub fn run(&mut self, project: ProjectId, max_tasks: u32) -> Result<RunSummary> {
         {
             let rt = self

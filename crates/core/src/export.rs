@@ -46,6 +46,7 @@ impl Export {
     }
 
     /// Compact binary export (the "download" format).
+    // lint: allow(panic-path)
     pub fn to_bytes(&self) -> Vec<u8> {
         itag_store::serbin::to_bytes(self).expect("export types always serialize")
     }

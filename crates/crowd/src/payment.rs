@@ -33,6 +33,7 @@ impl Ledger {
     }
 
     /// Releases `cents` from the project's escrow to `worker` (approval).
+    // lint: allow(panic-path)
     pub fn release(&mut self, project: ProjectId, worker: TaggerId, cents: u64) -> Result<()> {
         let have = self.escrow.get(&project.0).copied().unwrap_or(0);
         if have < cents {
@@ -49,6 +50,7 @@ impl Ledger {
     }
 
     /// Returns `cents` from escrow to the provider (rejection).
+    // lint: allow(panic-path)
     pub fn refund(&mut self, project: ProjectId, cents: u64) -> Result<()> {
         let have = self.escrow.get(&project.0).copied().unwrap_or(0);
         if have < cents {

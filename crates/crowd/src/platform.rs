@@ -240,6 +240,7 @@ impl SimPlatform {
         self.free_workers.len()
     }
 
+    // lint: allow(panic-path)
     fn behavior_of(&self, worker: TaggerId) -> TaggerBehavior {
         self.workers
             .get(worker)
@@ -272,6 +273,7 @@ impl CrowdPlatform for SimPlatform {
         id
     }
 
+    // lint: allow(panic-path)
     fn step(&mut self, source: &dyn TagSource, rng: &mut StdRng) -> Vec<TaskResult> {
         self.clock += 1;
         self.stats.ticks += 1;

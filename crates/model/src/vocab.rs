@@ -36,6 +36,7 @@ impl TagDistribution {
     ///
     /// # Panics
     /// Panics on an empty support or non-positive total weight.
+    // lint: allow(panic-path)
     pub fn new(mut pairs: Vec<(TagId, f64)>) -> Self {
         assert!(!pairs.is_empty(), "a tag distribution needs support");
         pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
@@ -81,6 +82,7 @@ impl TagDistribution {
     }
 
     /// Draws one tag from the distribution.
+    // lint: allow(panic-path)
     pub fn sample_tag<R: Rng + ?Sized>(&self, rng: &mut R) -> TagId {
         match &self.sampler {
             Some(s) => self.tags[s.sample(rng)],

@@ -25,6 +25,7 @@ impl ZipfSampler {
     /// # Panics
     /// Panics if `n == 0` or `s` is negative/non-finite — both are
     /// configuration errors, not runtime conditions.
+    // lint: allow(panic-path)
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "ZipfSampler needs at least one rank");
         assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be ≥ 0");
@@ -85,6 +86,7 @@ impl WeightedSampler {
     /// # Panics
     /// Panics if `weights` is empty, contains a negative/non-finite value,
     /// or sums to zero.
+    // lint: allow(panic-path)
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "WeightedSampler needs weights");
         let mut cumulative = Vec::with_capacity(weights.len());

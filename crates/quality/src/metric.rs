@@ -90,6 +90,7 @@ impl QualityMetric {
     /// # Panics
     /// Panics when `Oracle` is evaluated without a latent distribution —
     /// that combination is a harness bug, not a runtime condition.
+    // lint: allow(panic-path)
     pub fn eval(&self, state: &ResourceQuality, latent: Option<&TagDistribution>) -> f64 {
         match self {
             QualityMetric::Stability { window, kernel } => raw_stability(state, *window, *kernel),

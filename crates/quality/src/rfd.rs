@@ -36,6 +36,7 @@ impl Rfd {
     /// # Panics
     /// Panics if a tag was never added — that means the caller's post log
     /// and this rfd have diverged, which is a logic error.
+    // lint: allow(panic-path)
     pub fn remove_tags(&mut self, tags: &[TagId]) {
         for &t in tags {
             let c = self

@@ -101,6 +101,7 @@ impl FrameReader {
     }
 
     /// Reads until a full frame, EOF, timeout, or error.
+    // lint: allow(panic-path)
     pub fn read(&mut self, r: &mut impl Read) -> Result<ReadOutcome, FrameError> {
         let mut scratch = [0u8; 8192];
         loop {

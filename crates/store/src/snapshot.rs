@@ -195,6 +195,7 @@ impl SnapshotWriter {
 }
 
 /// Reads a snapshot if one exists. `Ok(None)` means a fresh database.
+// lint: allow(panic-path)
 pub fn read(path: &Path) -> Result<Option<Snapshot>> {
     let mut file = match std::fs::File::open(path) {
         Ok(f) => f,

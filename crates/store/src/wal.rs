@@ -141,6 +141,7 @@ pub struct WalScan {
 /// * A bad magic header is a hard [`StoreError::Corrupt`] — the file is not
 ///   a WAL at all, and destroying it silently would lose someone's data.
 /// * A torn final frame is expected after a crash and is dropped.
+// lint: allow(panic-path)
 pub fn scan(path: &Path) -> Result<WalScan> {
     let mut file = match File::open(path) {
         Ok(f) => f,

@@ -61,6 +61,7 @@ impl FreeChoice {
         }
     }
 
+    // lint: allow(panic-path)
     fn sample(&self, rng: &mut StdRng) -> ResourceId {
         let total = *self.cumulative.last().expect("rebuilt before sampling");
         let u: f64 = rng.gen::<f64>() * total;

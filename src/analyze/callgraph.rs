@@ -1,0 +1,1248 @@
+//! Workspace loading, per-function fact extraction, and the
+//! conservative call graph the analyses walk.
+//!
+//! Resolution is tiered, mirroring how much the token stream tells us:
+//!
+//! * **Tier A (precise):** free calls by name, `Type::method` and
+//!   `module::function` qualified calls, `self.method()` to the owning
+//!   impl, and method calls whose receiver type we can infer (params,
+//!   `self.field` through the owner's field table, `let x = Type::new`
+//!   locals). Lock-order propagation and fault-coverage delegation use
+//!   only these edges.
+//! * **Tier B (fallback):** a method call whose receiver type is
+//!   unknown links to *every* user-defined method of that name, except
+//!   for a short list of ubiquitous names (`lock`, `clone`, `get`, …)
+//!   where that would connect unrelated worlds. Panic-reachability
+//!   walks A∪B so an unresolved receiver errs toward reporting.
+//!
+//! Everything here is intraprocedural token scanning + a fixpoint; the
+//! graph is rebuilt from source on every run (the whole workspace lexes
+//! in well under a second).
+
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+
+use super::parse::{self, FnItem, ParsedFile, Tok, Token};
+
+/// Method names too generic for tier-B fallback: linking every
+/// `.lock()` to every user type with a `lock` method would weld the
+/// graph into one blob and drown real findings.
+const TIER_B_EXCLUDED: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "try_lock",
+    "try_read",
+    "try_write",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "next",
+    "flush",
+    "drain",
+    "clear",
+    "collect",
+    "new",
+    "default",
+    "fmt",
+    "drop",
+    "eq",
+    "cmp",
+    "hash",
+    "as_ref",
+    "as_mut",
+    "into",
+    "from",
+    "to_string",
+    "extend",
+    "entry",
+    "keys",
+    "values",
+];
+
+/// Smart-pointer-ish wrappers to look through when turning a type token
+/// run into "the type whose impl owns this method".
+const TYPE_WRAPPERS: &[&str] = &["Arc", "Rc", "Box", "Option", "Result", "Vec", "RefCell"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!`, `unreachable!`, `todo!`, `unimplemented!`.
+    Macro,
+    /// `.unwrap()` / `.expect(…)` (and the `_err` twins).
+    Unwrap,
+    /// Slice/array index or non-full-range slice expression.
+    Index,
+}
+
+impl PanicKind {
+    pub fn describe(self) -> &'static str {
+        match self {
+            PanicKind::Macro => "panicking macro",
+            PanicKind::Unwrap => "unwrap/expect",
+            PanicKind::Index => "index/slice expression",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub line: usize,
+    pub kind: PanicKind,
+    /// Short token excerpt for the report.
+    pub what: String,
+}
+
+/// A `Mutex::named` / `RwLock::named` construction site.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Normalized class name (`{…}` format args become `*`).
+    pub class: String,
+    /// The field or `let` binding the lock landed in, when detectable.
+    pub binding: Option<String>,
+    pub line: usize,
+}
+
+/// A `.lock()` / `.read()` / `.write()` acquisition.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Index of the method-name token in the fn body.
+    pub pos: usize,
+    pub line: usize,
+    /// Receiver summary, for class resolution (see `lockorder`).
+    pub receiver: Receiver,
+    /// Last token index (inclusive) the guard may live to; None until
+    /// `lockorder` computes extents.
+    pub extent: usize,
+}
+
+/// What the tokens before a `.method(` call told us about its receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.method()`.
+    SelfDirect,
+    /// `self.field.method()` (or `self.field[i].method()`).
+    SelfField(String),
+    /// `name.method()` — a local or parameter.
+    Var(String),
+    /// Anything else (chained calls, temporaries).
+    Unknown,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the callee-name token in the fn body.
+    pub pos: usize,
+    pub line: usize,
+    pub name: String,
+    /// `Some(Type)` for `Type::method` or receiver-resolved calls,
+    /// `None` for free/module-qualified calls.
+    pub owner_hint: Option<String>,
+    /// True when the owner hint came from real inference (tier A); a
+    /// call with `owner_hint: None` and `is_method: true` is tier B.
+    pub is_method: bool,
+}
+
+/// Everything extracted from one function body in a single pass.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    pub calls: Vec<CallSite>,
+    pub panics: Vec<PanicSite>,
+    pub lock_decls: Vec<LockDecl>,
+    pub acquisitions: Vec<Acquisition>,
+    /// Arguments of `check_io(X)` / `FaultFile::new(_, X)` /
+    /// `.with_sync_site(X)`: either a const ident or a literal string.
+    pub site_refs: Vec<SiteRef>,
+    /// Raw durability I/O tokens: (line, which).
+    pub raw_io: Vec<(usize, &'static str)>,
+    /// Idents used in `path::` positions (e.g. `faults`), to detect
+    /// direct consultation of the faults module.
+    pub consults_faults: bool,
+}
+
+#[derive(Debug, Clone)]
+pub enum SiteRef {
+    /// `faults::WAL_APPEND`-style const reference (last path ident).
+    Const(String, usize),
+    /// A literal `"wal.append"` string.
+    Lit(String, usize),
+}
+
+/// A function plus its facts and location.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    pub file: String,
+    pub item: FnItem,
+    pub facts: FnFacts,
+}
+
+impl FnNode {
+    pub fn qname(&self) -> String {
+        match &self.item.owner {
+            Some(o) => format!("{o}::{}", self.item.name),
+            None => self.item.name.clone(),
+        }
+    }
+}
+
+pub struct Workspace {
+    pub files: Vec<ParsedFile>,
+    pub fns: Vec<FnNode>,
+    /// (owner, name) → fn indices (several files may impl same-named
+    /// types; all candidates are kept — conservative).
+    by_owner_name: HashMap<(String, String), Vec<usize>>,
+    /// name → free-fn indices.
+    free_by_name: HashMap<String, Vec<usize>>,
+    /// name → method indices (any owner), for tier B.
+    methods_by_name: HashMap<String, Vec<usize>>,
+    /// Type name → field table (first wins; workspace type names are
+    /// unique enough for the crates we analyze).
+    fields_of: HashMap<String, HashMap<String, String>>,
+    /// Tier-A adjacency (fn index → callee indices).
+    pub edges_a: Vec<Vec<usize>>,
+    /// Tier-B-only extra adjacency.
+    pub edges_b: Vec<Vec<usize>>,
+}
+
+impl Workspace {
+    /// Lexes and parses every non-test `.rs` file under `crates/` and
+    /// `src/` (same walk as the lint), then builds facts and edges.
+    pub fn load(root: &Path) -> Workspace {
+        let mut paths = Vec::new();
+        crate::lint::collect_rs_files(&root.join("crates"), &mut paths);
+        crate::lint::collect_rs_files(&root.join("src"), &mut paths);
+        paths.sort();
+        let mut files = Vec::new();
+        for path in &paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let Ok(content) = std::fs::read_to_string(path) else {
+                continue;
+            };
+            files.push(parse::parse_file(&rel, &content));
+        }
+        Workspace::from_files(files)
+    }
+
+    /// Builds a workspace from already-parsed files (tests use this).
+    pub fn from_files(files: Vec<ParsedFile>) -> Workspace {
+        let mut fields_of: HashMap<String, HashMap<String, String>> = HashMap::new();
+        for pf in &files {
+            for ty in &pf.types {
+                fields_of.entry(ty.name.clone()).or_insert_with(|| {
+                    ty.fields
+                        .iter()
+                        .map(|f| (f.name.clone(), f.ty.clone()))
+                        .collect()
+                });
+            }
+        }
+
+        let mut fns = Vec::new();
+        for pf in &files {
+            for item in &pf.fns {
+                let facts = extract_facts(item, &fields_of);
+                fns.push(FnNode {
+                    file: pf.rel.clone(),
+                    item: item.clone(),
+                    facts,
+                });
+            }
+        }
+
+        let mut by_owner_name: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        let mut free_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut methods_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            match &f.item.owner {
+                Some(o) => {
+                    by_owner_name
+                        .entry((o.clone(), f.item.name.clone()))
+                        .or_default()
+                        .push(i);
+                    methods_by_name
+                        .entry(f.item.name.clone())
+                        .or_default()
+                        .push(i);
+                }
+                None => free_by_name.entry(f.item.name.clone()).or_default().push(i),
+            }
+        }
+
+        let mut ws = Workspace {
+            files,
+            fns,
+            by_owner_name,
+            free_by_name,
+            methods_by_name,
+            fields_of,
+            edges_a: Vec::new(),
+            edges_b: Vec::new(),
+        };
+        ws.build_edges();
+        ws
+    }
+
+    fn build_edges(&mut self) {
+        let n = self.fns.len();
+        let mut ea = vec![Vec::new(); n];
+        let mut eb = vec![Vec::new(); n];
+        for i in 0..n {
+            for call in &self.fns[i].facts.calls {
+                let (a, b) = self.resolve(call);
+                ea[i].extend(a);
+                eb[i].extend(b);
+            }
+            ea[i].sort_unstable();
+            ea[i].dedup();
+            eb[i].sort_unstable();
+            eb[i].dedup();
+        }
+        self.edges_a = ea;
+        self.edges_b = eb;
+    }
+
+    /// Resolves one call site → (tier-A targets, tier-B targets).
+    pub fn resolve(&self, call: &CallSite) -> (Vec<usize>, Vec<usize>) {
+        if let Some(owner) = &call.owner_hint {
+            if let Some(v) = self.by_owner_name.get(&(owner.clone(), call.name.clone())) {
+                return (v.clone(), Vec::new());
+            }
+            // Known owner but no such method in-workspace (std or shim
+            // type): no edge.
+            return (Vec::new(), Vec::new());
+        }
+        if call.is_method {
+            if TIER_B_EXCLUDED.contains(&call.name.as_str()) {
+                return (Vec::new(), Vec::new());
+            }
+            return (
+                Vec::new(),
+                self.methods_by_name
+                    .get(&call.name)
+                    .cloned()
+                    .unwrap_or_default(),
+            );
+        }
+        (
+            self.free_by_name
+                .get(&call.name)
+                .cloned()
+                .unwrap_or_default(),
+            Vec::new(),
+        )
+    }
+
+    /// Finds fn indices by owner/name, for roots and tests.
+    pub fn find(&self, owner: Option<&str>, name: &str) -> Vec<usize> {
+        match owner {
+            Some(o) => self
+                .by_owner_name
+                .get(&(o.to_string(), name.to_string()))
+                .cloned()
+                .unwrap_or_default(),
+            None => self.free_by_name.get(name).cloned().unwrap_or_default(),
+        }
+    }
+
+    pub fn field_type(&self, owner: &str, field: &str) -> Option<&str> {
+        self.fields_of.get(owner)?.get(field).map(String::as_str)
+    }
+
+    /// BFS from `roots` over tier-A (+ tier-B when `with_b`) edges,
+    /// skipping test fns. Returns a parent map for path reconstruction
+    /// (root entries map to themselves).
+    pub fn reach(&self, roots: &[usize], with_b: bool) -> HashMap<usize, usize> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                q.push_back(r);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            let step = |v: usize, parent: &mut HashMap<usize, usize>, q: &mut VecDeque<usize>| {
+                if self.fns[v].item.in_test {
+                    return;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(v) {
+                    e.insert(u);
+                    q.push_back(v);
+                }
+            };
+            for &v in &self.edges_a[u] {
+                step(v, &mut parent, &mut q);
+            }
+            if with_b {
+                for &v in &self.edges_b[u] {
+                    step(v, &mut parent, &mut q);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstructs `root → … → target` as qualified names.
+    pub fn path_to(&self, parent: &HashMap<usize, usize>, target: usize) -> Vec<String> {
+        let mut path = vec![target];
+        let mut cur = target;
+        let mut hops = 0;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur || hops > 64 {
+                break;
+            }
+            path.push(p);
+            cur = p;
+            hops += 1;
+        }
+        path.reverse();
+        path.iter().map(|&i| self.fns[i].qname()).collect()
+    }
+}
+
+// ------------------------------------------------------------- facts
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const UNWRAP_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const KEYWORDS_NOT_CALLS: &[&str] = &[
+    "if", "match", "while", "for", "in", "as", "return", "let", "else", "move", "mut", "ref",
+    "loop", "await", "unsafe", "dyn", "break", "continue", "where", "impl", "fn",
+];
+
+/// The single linear pass over a function body that feeds every
+/// analysis.
+pub fn extract_facts(
+    item: &FnItem,
+    fields_of: &HashMap<String, HashMap<String, String>>,
+) -> FnFacts {
+    let mut facts = FnFacts::default();
+    let body = &item.body;
+    let locals = infer_locals(item);
+    let owner_fields = item
+        .item_owner_fields(fields_of)
+        .cloned()
+        .unwrap_or_default();
+
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        let Some(name) = t.ident() else {
+            i += 1;
+            continue;
+        };
+
+        // path:: detection for faults consultation.
+        if name == "faults" && body.get(i + 1).is_some_and(|t| t.is_p(':')) {
+            facts.consults_faults = true;
+        }
+
+        let next = body.get(i + 1);
+        let next2 = body.get(i + 2);
+
+        // Macro invocation: `name ! (…|[…]|{…})`.
+        if next.is_some_and(|t| t.is_p('!'))
+            && next2.is_some_and(|t| t.is_p('(') || t.is_p('[') || t.is_p('{'))
+        {
+            if PANIC_MACROS.contains(&name) {
+                facts.panics.push(PanicSite {
+                    line: t.line,
+                    kind: PanicKind::Macro,
+                    what: format!("{name}!"),
+                });
+            }
+            i += 1;
+            continue;
+        }
+
+        // Call-ish: `name (`.
+        if next.is_some_and(|t| t.is_p('(')) {
+            let prev = i.checked_sub(1).map(|j| &body[j]);
+            let is_dot = prev.is_some_and(|t| t.is_p('.'));
+            let is_qual = prev.is_some_and(|t| t.is_p(':'))
+                && i.checked_sub(2)
+                    .map(|j| &body[j])
+                    .is_some_and(|t| t.is_p(':'));
+            if is_dot {
+                handle_method_call(item, body, i, name, &locals, &owner_fields, &mut facts);
+            } else if is_qual {
+                handle_qualified_call(body, i, name, &mut facts);
+            } else if !KEYWORDS_NOT_CALLS.contains(&name)
+                && name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+            {
+                facts.calls.push(CallSite {
+                    pos: i,
+                    line: t.line,
+                    name: name.to_string(),
+                    owner_hint: None,
+                    is_method: false,
+                });
+            }
+        }
+
+        // Index/slice expression: `expr [ … ]` where `…` isn't exactly
+        // `..` and prev token ends an expression.
+        if next.is_some_and(|t| t.is_p('[')) && expr_ends_at(body, i) {
+            if let Some((content_empty_range, close)) = bracket_group(body, i + 1) {
+                if !content_empty_range {
+                    facts.panics.push(PanicSite {
+                        line: t.line,
+                        kind: PanicKind::Index,
+                        what: format!(
+                            "{}[{}]",
+                            name,
+                            parse::toks_to_string(&body[i + 2..close.min(body.len())])
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Raw durability I/O.
+        if name == "File"
+            && next.is_some_and(|t| t.is_p(':'))
+            && body.get(i + 3).is_some_and(|t| t.is_ident("create"))
+        {
+            facts.raw_io.push((t.line, "File::create"));
+        }
+
+        i += 1;
+    }
+
+    // Second pass for dot-method things (unwrap, raw IO methods, lock
+    // acquisitions, with_sync_site) and Mutex::named/check_io args.
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        if let Some(name) = t.ident() {
+            let prev_dot = i
+                .checked_sub(1)
+                .map(|j| &body[j])
+                .is_some_and(|t| t.is_p('.'));
+            let next_paren = body.get(i + 1).is_some_and(|t| t.is_p('('));
+            if prev_dot && next_paren {
+                if UNWRAP_METHODS.contains(&name) {
+                    facts.panics.push(PanicSite {
+                        line: t.line,
+                        kind: PanicKind::Unwrap,
+                        what: format!(".{name}(…)"),
+                    });
+                }
+                if matches!(name, "write_all" | "sync_data" | "sync_all") {
+                    facts.raw_io.push((t.line, raw_io_static(name)));
+                }
+                if matches!(
+                    name,
+                    "lock" | "read" | "write" | "try_lock" | "try_read" | "try_write"
+                ) {
+                    facts.acquisitions.push(Acquisition {
+                        pos: i,
+                        line: t.line,
+                        receiver: receiver_of(body, i - 1, item),
+                        extent: 0,
+                    });
+                }
+                if name == "with_sync_site" {
+                    push_site_arg(body, i + 1, &mut facts);
+                }
+            }
+            if name == "check_io" && next_paren {
+                push_site_arg(body, i + 1, &mut facts);
+            }
+            if (name == "Mutex" || name == "RwLock")
+                && body.get(i + 1).is_some_and(|t| t.is_p(':'))
+                && body.get(i + 3).is_some_and(|t| t.is_ident("named"))
+                && body.get(i + 4).is_some_and(|t| t.is_p('('))
+            {
+                if let Some(decl) = lock_decl_at(body, i) {
+                    facts.lock_decls.push(decl);
+                }
+            }
+            if name == "FaultFile"
+                && body.get(i + 1).is_some_and(|t| t.is_p(':'))
+                && body.get(i + 3).is_some_and(|t| t.is_ident("new"))
+                && body.get(i + 4).is_some_and(|t| t.is_p('('))
+            {
+                // Second argument of FaultFile::new(file, SITE).
+                push_nth_arg_site(body, i + 4, 1, &mut facts);
+            }
+        }
+        i += 1;
+    }
+
+    facts.panics.sort_by_key(|p| p.line);
+    facts
+}
+
+impl FnItem {
+    fn item_owner_fields<'a>(
+        &self,
+        fields_of: &'a HashMap<String, HashMap<String, String>>,
+    ) -> Option<&'a HashMap<String, String>> {
+        fields_of.get(self.owner.as_deref()?)
+    }
+}
+
+fn raw_io_static(name: &str) -> &'static str {
+    match name {
+        "write_all" => ".write_all",
+        "sync_data" => ".sync_data",
+        _ => ".sync_all",
+    }
+}
+
+/// Does the token at `i` end an expression (so a following `[` indexes
+/// it)? True for idents not preceded by path/decl syntax.
+fn expr_ends_at(body: &[Token], i: usize) -> bool {
+    // An ident (variable, field after `.`, const) followed by `[` is an
+    // index expression. The non-index uses of `[` — slice patterns
+    // (`let [a, b] = …`), attributes (`#[…]`), array types (`: [u8; N]`)
+    // and literals (`= [0u8; N]`) — never have an ident immediately
+    // before the `[`, so only keywords need excluding here.
+    body.get(i).is_some_and(|t| matches!(t.tok, Tok::Ident(_)))
+        && !body.get(i).is_some_and(|t| {
+            t.ident()
+                .is_some_and(|s| KEYWORDS_NOT_CALLS.contains(&s) || s == "vec")
+        })
+}
+
+/// Returns `(content_is_exactly_fullrange, close_index)` for the `[`
+/// at `open`.
+fn bracket_group(body: &[Token], open: usize) -> Option<(bool, usize)> {
+    let mut depth = 0i32;
+    for (j, t) in body.iter().enumerate().skip(open) {
+        if t.is_p('[') {
+            depth += 1;
+        } else if t.is_p(']') {
+            depth -= 1;
+            if depth == 0 {
+                let inner = &body[open + 1..j];
+                let full = inner.len() == 2 && inner[0].is_p('.') && inner[1].is_p('.');
+                return Some((full, j));
+            }
+        }
+    }
+    None
+}
+
+fn handle_method_call(
+    item: &FnItem,
+    body: &[Token],
+    i: usize,
+    name: &str,
+    locals: &HashMap<String, String>,
+    owner_fields: &HashMap<String, String>,
+    facts: &mut FnFacts,
+) {
+    let recv = receiver_of(body, i - 1, item);
+    let owner_hint = match &recv {
+        Receiver::SelfDirect => item.owner.clone(),
+        Receiver::SelfField(f) => owner_fields.get(f).map(|ty| main_type_ident(ty)),
+        Receiver::Var(v) => locals.get(v).cloned(),
+        Receiver::Unknown => None,
+    };
+    facts.calls.push(CallSite {
+        pos: i,
+        line: body[i].line,
+        name: name.to_string(),
+        owner_hint,
+        is_method: true,
+    });
+}
+
+fn handle_qualified_call(body: &[Token], i: usize, name: &str, facts: &mut FnFacts) {
+    // Walk back the path: … seg :: seg :: name(
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = i;
+    while j >= 2 && body[j - 1].is_p(':') && body[j - 2].is_p(':') {
+        // Token before the `::` — ident, or `>` (turbofish/qualified
+        // generic) which we give up on.
+        if j >= 3 {
+            if let Some(s) = body[j - 3].ident() {
+                segs.push(s.to_string());
+                j -= 3;
+                continue;
+            }
+        }
+        break;
+    }
+    let qualifier = segs.first().cloned();
+    match qualifier {
+        Some(q) if q.chars().next().is_some_and(|c| c.is_uppercase()) => {
+            facts.calls.push(CallSite {
+                pos: i,
+                line: body[i].line,
+                name: name.to_string(),
+                owner_hint: Some(q),
+                is_method: false,
+            });
+        }
+        Some(q) if q == "Self" => {
+            // Self::helper() — owner filled by resolve via owner_hint
+            // "Self" is useless; treat as free-by-name within… simplest:
+            // method fallback by name (tier B) plus free fns.
+            facts.calls.push(CallSite {
+                pos: i,
+                line: body[i].line,
+                name: name.to_string(),
+                owner_hint: None,
+                is_method: true,
+            });
+        }
+        _ => {
+            // Module-qualified (`wal::replay`) or unqualified-path call:
+            // free fn by name.
+            facts.calls.push(CallSite {
+                pos: i,
+                line: body[i].line,
+                name: name.to_string(),
+                owner_hint: None,
+                is_method: false,
+            });
+        }
+    }
+}
+
+/// Classifies the receiver of `.method(` whose `.` sits at `dot`.
+pub fn receiver_of(body: &[Token], dot: usize, _item: &FnItem) -> Receiver {
+    let Some(before) = dot.checked_sub(1).map(|j| &body[j]) else {
+        return Receiver::Unknown;
+    };
+    // Skip back over one balanced `[…]` (indexing) group.
+    let (j, indexed) = if before.is_p(']') {
+        let mut depth = 0i32;
+        let mut j = dot - 1;
+        loop {
+            if body[j].is_p(']') {
+                depth += 1;
+            } else if body[j].is_p('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return Receiver::Unknown;
+            }
+            j -= 1;
+        }
+        if j == 0 {
+            return Receiver::Unknown;
+        }
+        (j - 1, true)
+    } else {
+        (dot - 1, false)
+    };
+    let _ = indexed;
+    let Some(name) = body[j].ident() else {
+        return Receiver::Unknown; // `)`-ended chain etc.
+    };
+    // Is this ident itself a field access `x.name` or path `x::name`?
+    if j >= 1 && body[j - 1].is_p('.') {
+        if j >= 2 && body[j - 2].is_ident("self") {
+            return Receiver::SelfField(name.to_string());
+        }
+        return Receiver::Unknown; // deeper chain
+    }
+    // A path segment (`a::name.method()`) hides the real receiver; a
+    // single `:` is a struct-literal field or type ascription and the
+    // ident before the `.` is still the receiver.
+    if j >= 2 && body[j - 1].is_p(':') && body[j - 2].is_p(':') {
+        return Receiver::Unknown;
+    }
+    if name == "self" {
+        return Receiver::SelfDirect;
+    }
+    if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return Receiver::Unknown; // `Type.method` is not a thing
+    }
+    Receiver::Var(name.to_string())
+}
+
+/// Very small local-type inference: parameters (`name: &mut Type`),
+/// `let x: Type = …`, `let x = Type::new(…)` / `Type { … }`.
+pub fn infer_locals(item: &FnItem) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    // Parameters.
+    for chunk in split_param_chunks(&item.params) {
+        let mut k = 0usize;
+        while chunk.get(k).is_some_and(|t| {
+            t.ident().is_some_and(|s| s == "mut") || t.is_p('&') || matches!(t.tok, Tok::Life(_))
+        }) {
+            k += 1;
+        }
+        let Some(name) = chunk.get(k).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !chunk.get(k + 1).is_some_and(|t| t.is_p(':')) {
+            continue;
+        }
+        let ty = parse::toks_to_string(&chunk[k + 2..]);
+        map.insert(name.to_string(), main_type_ident(&ty));
+    }
+    // Lets.
+    let body = &item.body;
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].is_ident("let") {
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = body.get(j).and_then(|t| t.ident()) {
+                // `let x: Type = …`
+                if body.get(j + 1).is_some_and(|t| t.is_p(':')) {
+                    // type tokens until `=` or `;` at depth 0.
+                    let mut k = j + 2;
+                    let start = k;
+                    let mut depth = 0i32;
+                    while let Some(t) = body.get(k) {
+                        match t.tok {
+                            Tok::P('<') | Tok::P('(') | Tok::P('[') => depth += 1,
+                            Tok::P('>') | Tok::P(')') | Tok::P(']') => depth -= 1,
+                            Tok::P('=') | Tok::P(';') if depth <= 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    let ty = parse::toks_to_string(&body[start..k.min(body.len())]);
+                    map.insert(name.to_string(), main_type_ident(&ty));
+                } else if body.get(j + 1).is_some_and(|t| t.is_p('=')) {
+                    // `let x = Type::…` or `let x = Type { … }`
+                    if let Some(tyname) = body.get(j + 2).and_then(|t| t.ident()) {
+                        if tyname.chars().next().is_some_and(|c| c.is_uppercase())
+                            && (body.get(j + 3).is_some_and(|t| t.is_p(':'))
+                                || body.get(j + 3).is_some_and(|t| t.is_p('{')))
+                            && !TYPE_WRAPPERS.contains(&tyname)
+                        {
+                            map.insert(name.to_string(), tyname.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    map
+}
+
+fn split_param_chunks(params: &[Token]) -> Vec<&[Token]> {
+    let mut parts = Vec::new();
+    let (mut p, mut b, mut c, mut a) = (0i32, 0i32, 0i32, 0i32);
+    let mut prev_dash = false;
+    let mut start = 0usize;
+    for (i, t) in params.iter().enumerate() {
+        match t.tok {
+            Tok::P('(') => p += 1,
+            Tok::P(')') => p -= 1,
+            Tok::P('[') => b += 1,
+            Tok::P(']') => b -= 1,
+            Tok::P('{') => c += 1,
+            Tok::P('}') => c -= 1,
+            Tok::P('<') => a += 1,
+            Tok::P('>') if !prev_dash => a -= 1,
+            Tok::P(',') if p == 0 && b == 0 && c == 0 && a <= 0 => {
+                parts.push(&params[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_dash = t.is_p('-');
+    }
+    if start < params.len() {
+        parts.push(&params[start..]);
+    }
+    parts
+}
+
+/// `"& mut Store"` → `Store`, `"Arc < Store >"` → `Store`,
+/// `"Vec < u8 >"` → `Vec`-wrapped → `u8`? No: only smart-pointer
+/// wrappers unwrap; `Vec<T>` methods belong to Vec (std), so keep the
+/// outer ident unless it's a wrapper.
+pub fn main_type_ident(ty: &str) -> String {
+    let toks: Vec<&str> = ty
+        .split_whitespace()
+        .filter(|s| !matches!(*s, "&" | "mut" | "'" | "dyn"))
+        .filter(|s| !s.starts_with('\''))
+        .collect();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            if TYPE_WRAPPERS.contains(&t) && toks.get(i + 1) == Some(&"<") {
+                i += 2; // unwrap one layer
+                continue;
+            }
+            // `path :: Type` — keep walking to the last path segment.
+            if toks.get(i + 1) == Some(&":") && toks.get(i + 2) == Some(&":") {
+                i += 3;
+                continue;
+            }
+            return t.to_string();
+        }
+        i += 1;
+    }
+    String::new()
+}
+
+/// Parses the class/binding of a `Mutex::named(`/`RwLock::named(` at
+/// token index `i` (pointing at `Mutex`/`RwLock`).
+fn lock_decl_at(body: &[Token], i: usize) -> Option<LockDecl> {
+    // First string literal inside the argument list is the class name
+    // (handles `&format!("store.shard[{i}]")`).
+    let open = i + 4;
+    let mut depth = 0i32;
+    let mut class = None;
+    for t in &body[open..] {
+        if t.is_p('(') {
+            depth += 1;
+        } else if t.is_p(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if class.is_none() {
+            if let Some(s) = t.str_lit() {
+                class = Some(normalize_class(s));
+            }
+        }
+    }
+    let class = class?;
+    // Binding: scan backwards for `let [mut] NAME =` or a struct-literal
+    // / struct-decl field `NAME :` within a short window.
+    let mut binding = None;
+    let lo = i.saturating_sub(60);
+    let mut j = i;
+    while j > lo {
+        j -= 1;
+        let t = &body[j];
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            if body.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            if let Some(name) = body.get(k).and_then(|t| t.ident()) {
+                binding = Some(name.to_string());
+            }
+            break;
+        }
+        // `name : Mutex::named(…)` struct-literal field (the `:` must
+        // not be part of `::`).
+        if t.is_p(':')
+            && !body.get(j + 1).is_some_and(|t| t.is_p(':'))
+            && j >= 1
+            && !body[j - 1].is_p(':')
+        {
+            if let Some(name) = body[j - 1].ident() {
+                // Only take it if the decl follows immediately (allowing
+                // for a path prefix like `parking_lot::`).
+                if j + 4 >= i {
+                    binding = Some(name.to_string());
+                    break;
+                }
+            }
+        }
+        if t.is_p(';') || t.is_p('{') {
+            break;
+        }
+    }
+    Some(LockDecl {
+        class,
+        binding,
+        line: body[i].line,
+    })
+}
+
+/// `store.shard[{i}]` → `store.shard[*]` — format captures become
+/// wildcards so runtime instance names and static classes line up.
+pub fn normalize_class(s: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0i32;
+    for c in s.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                if depth == 1 {
+                    out.push('*');
+                }
+            }
+            '}' => depth -= 1,
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Records the first argument of a call whose `(` is at `open` as a
+/// fault-site reference.
+fn push_site_arg(body: &[Token], open: usize, facts: &mut FnFacts) {
+    push_nth_arg_site(body, open, 0, facts);
+}
+
+fn push_nth_arg_site(body: &[Token], open: usize, n: usize, facts: &mut FnFacts) {
+    if !body.get(open).is_some_and(|t| t.is_p('(')) {
+        return;
+    }
+    let mut depth = 0i32;
+    let mut arg = 0usize;
+    let mut toks: Vec<&Token> = Vec::new();
+    for t in &body[open..] {
+        if t.is_p('(') {
+            depth += 1;
+            if depth == 1 {
+                continue;
+            }
+        } else if t.is_p(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_p(',') && depth == 1 {
+            arg += 1;
+            continue;
+        }
+        if arg == n && depth >= 1 {
+            toks.push(t);
+        }
+    }
+    // The reference is either a string literal or the last ident of a
+    // path (`faults :: WAL_APPEND`, `self . sync_site` is skipped — a
+    // field indirection is resolved by the struct-field rule instead).
+    for t in &toks {
+        if let Some(s) = t.str_lit() {
+            facts.site_refs.push(SiteRef::Lit(s.to_string(), t.line));
+            return;
+        }
+    }
+    if toks.iter().any(|t| t.is_ident("self")) {
+        return;
+    }
+    if let Some(last) = toks.iter().rev().find_map(|t| t.ident()) {
+        if last.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+            facts
+                .site_refs
+                .push(SiteRef::Const(last.to_string(), toks[0].line));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parse::parse_file;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        Workspace::from_files(srcs.iter().map(|(rel, src)| parse_file(rel, src)).collect())
+    }
+
+    #[test]
+    fn free_and_qualified_calls_resolve_tier_a() {
+        let w = ws(&[(
+            "a.rs",
+            "fn root() { helper(); Wal::create(); util::free2(); }\n\
+             fn helper() {}\n\
+             fn free2() {}\n\
+             struct Wal;\n\
+             impl Wal { fn create() {} }\n",
+        )]);
+        let root = w.find(None, "root")[0];
+        let names: Vec<String> = w.edges_a[root].iter().map(|&i| w.fns[i].qname()).collect();
+        assert!(names.contains(&"helper".to_string()));
+        assert!(names.contains(&"Wal::create".to_string()));
+        assert!(names.contains(&"free2".to_string()));
+    }
+
+    #[test]
+    fn self_and_field_receivers_resolve() {
+        let w = ws(&[(
+            "a.rs",
+            "struct Inner;\n\
+             impl Inner { fn go(&self) {} }\n\
+             struct Outer { inner: Inner }\n\
+             impl Outer {\n\
+                 fn run(&self) { self.step(); self.inner.go(); }\n\
+                 fn step(&self) {}\n\
+             }\n",
+        )]);
+        let run = w.find(Some("Outer"), "run")[0];
+        let names: Vec<String> = w.edges_a[run].iter().map(|&i| w.fns[i].qname()).collect();
+        assert!(names.contains(&"Outer::step".to_string()), "{names:?}");
+        assert!(names.contains(&"Inner::go".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn param_typed_receivers_resolve_through_refs_and_arc() {
+        let w = ws(&[(
+            "a.rs",
+            "struct Store;\n\
+             impl Store { fn commit(&self) {} }\n\
+             fn f(store: &mut Store, shared: std::sync::Arc<Store>) {\n\
+                 store.commit();\n\
+                 shared.commit();\n\
+             }\n",
+        )]);
+        let f = w.find(None, "f")[0];
+        assert_eq!(w.edges_a[f].len(), 1); // deduped
+        assert_eq!(w.fns[w.edges_a[f][0]].qname(), "Store::commit");
+    }
+
+    #[test]
+    fn unknown_receiver_falls_to_tier_b_except_ubiquitous_names() {
+        let w = ws(&[(
+            "a.rs",
+            "struct A;\n\
+             impl A { fn frobnicate(&self) {} fn lock(&self) {} }\n\
+             fn f(x: UnknownType) { mystery().frobnicate(); mystery().lock(); x.frobnicate(); }\n",
+        )]);
+        let f = w.find(None, "f")[0];
+        let b: Vec<String> = w.edges_b[f].iter().map(|&i| w.fns[i].qname()).collect();
+        // `mystery().frobnicate()` has an unresolvable receiver → tier B;
+        // `.lock()` is ubiquitous and excluded. `x.frobnicate()` has a
+        // *known* (external) type, which dispatches outside the
+        // workspace — no edge at all, so frobnicate appears once.
+        assert_eq!(b, vec!["A::frobnicate".to_string()]);
+    }
+
+    #[test]
+    fn panic_sites_detected() {
+        let w = ws(&[(
+            "crates/store/src/x.rs",
+            "fn f(v: Vec<u8>, o: Option<u8>) {\n\
+                 let a = v[0];\n\
+                 let b = &v[1..3];\n\
+                 let c = &v[..];\n\
+                 o.unwrap();\n\
+                 o.expect(\"msg\");\n\
+                 o.unwrap_or_default();\n\
+                 if false { panic!(\"boom\"); }\n\
+                 let neq = a != 3;\n\
+             }\n",
+        )]);
+        let f = &w.fns[w.find(None, "f")[0]];
+        let kinds: Vec<PanicKind> = f.facts.panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PanicKind::Index,
+                PanicKind::Index,
+                PanicKind::Unwrap,
+                PanicKind::Unwrap,
+                PanicKind::Macro
+            ],
+            "{:?}",
+            f.facts.panics
+        );
+    }
+
+    #[test]
+    fn lock_decls_capture_class_and_binding() {
+        let w = ws(&[(
+            "a.rs",
+            "struct S { commit_mu: Mutex<u8> }\n\
+             fn mk() {\n\
+                 let shards: Vec<_> = (0..4).map(|i| RwLock::named(&format!(\"store.shard[{i}]\"), i)).collect();\n\
+                 let s = S { commit_mu: Mutex::named(\"store.commit_mu\", 0) };\n\
+             }\n",
+        )]);
+        let mk = &w.fns[w.find(None, "mk")[0]];
+        let decls: Vec<(String, Option<String>)> = mk
+            .facts
+            .lock_decls
+            .iter()
+            .map(|d| (d.class.clone(), d.binding.clone()))
+            .collect();
+        assert!(
+            decls.contains(&("store.shard[*]".to_string(), Some("shards".to_string()))),
+            "{decls:?}"
+        );
+        assert!(
+            decls.contains(&("store.commit_mu".to_string(), Some("commit_mu".to_string()))),
+            "{decls:?}"
+        );
+    }
+
+    #[test]
+    fn site_refs_capture_consts_and_literals() {
+        let w = ws(&[(
+            "a.rs",
+            "fn f() {\n\
+                 faults::check_io(faults::WAL_APPEND)?;\n\
+                 check_io(\"wal.sync\")?;\n\
+                 let g = FaultFile::new(file, faults::SNAPSHOT_WRITE).with_sync_site(faults::WAL_SYNC);\n\
+             }\n",
+        )]);
+        let f = &w.fns[w.find(None, "f")[0]];
+        let refs: Vec<String> = f
+            .facts
+            .site_refs
+            .iter()
+            .map(|r| match r {
+                SiteRef::Const(c, _) => format!("c:{c}"),
+                SiteRef::Lit(s, _) => format!("l:{s}"),
+            })
+            .collect();
+        assert!(refs.contains(&"c:WAL_APPEND".to_string()), "{refs:?}");
+        assert!(refs.contains(&"l:wal.sync".to_string()), "{refs:?}");
+        assert!(refs.contains(&"c:SNAPSHOT_WRITE".to_string()), "{refs:?}");
+        assert!(refs.contains(&"c:WAL_SYNC".to_string()), "{refs:?}");
+        assert!(f.facts.consults_faults);
+    }
+
+    #[test]
+    fn reachability_skips_test_fns_and_reconstructs_paths() {
+        let w = ws(&[(
+            "a.rs",
+            "fn root() { mid(); }\n\
+             fn mid() { leaf(); }\n\
+             fn leaf() {}\n\
+             #[cfg(test)]\nmod t { fn tf() { leaf(); } }\n",
+        )]);
+        let root = w.find(None, "root")[0];
+        let leaf = w.find(None, "leaf")[0];
+        let parents = w.reach(&[root], true);
+        assert!(parents.contains_key(&leaf));
+        assert_eq!(w.path_to(&parents, leaf), vec!["root", "mid", "leaf"]);
+        let tf = w.find(None, "tf")[0];
+        assert!(!parents.contains_key(&tf));
+    }
+
+    #[test]
+    fn raw_io_detected() {
+        let w = ws(&[(
+            "a.rs",
+            "fn f(file: &mut File) { let g = File::create(p)?; g.write_all(b)?; g.sync_data()?; g.sync_all()?; }\n",
+        )]);
+        let f = &w.fns[w.find(None, "f")[0]];
+        let kinds: Vec<&str> = f.facts.raw_io.iter().map(|(_, k)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec!["File::create", ".write_all", ".sync_data", ".sync_all"]
+        );
+    }
+
+    #[test]
+    fn normalize_class_wildcards_format_args() {
+        assert_eq!(normalize_class("store.shard[{i}]"), "store.shard[*]");
+        assert_eq!(normalize_class("store.commit_mu"), "store.commit_mu");
+    }
+}

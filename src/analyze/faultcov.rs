@@ -1,0 +1,273 @@
+//! Fault-site coverage: durability I/O must be reachable by the fault
+//! injector, and `faults::SITES` is the single source of truth.
+//!
+//! Two checks:
+//!
+//! 1. **Coverage** — every raw `File::create` / `.write_all` /
+//!    `.sync_data` / `.sync_all` in `crates/store/src/{wal,snapshot,db}.rs`
+//!    must sit in a function that consults a named fault site: directly
+//!    (`faults::check_io(SITE)`, `FaultFile::new(_, SITE)`,
+//!    `.with_sync_site(SITE)` or any `faults::` reference), through a
+//!    tier-A direct callee that does, or on a struct whose fields route
+//!    I/O through a `FaultFile` (the writer wrappers). New LSM/MVCC
+//!    code that opens a file bare fails here until it claims a site.
+//! 2. **Registry** — every site name used anywhere in non-test code
+//!    must resolve to a member of `faults::SITES`, and every `SITES`
+//!    member must be consulted somewhere (no orphaned sites).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use super::callgraph::{SiteRef, Workspace};
+use super::AnalysisPart;
+use crate::lint::Violation;
+
+pub const RULE: &str = "fault-site";
+
+/// Files whose raw I/O must be fault-covered.
+const COVERED_FILES: &[&str] = &[
+    "crates/store/src/wal.rs",
+    "crates/store/src/snapshot.rs",
+    "crates/store/src/db.rs",
+];
+
+const FAULTS_RS: &str = "crates/store/src/faults.rs";
+
+/// Extracts the site-name registry from `faults.rs`: const name →
+/// string value, plus the `SITES` membership list.
+pub fn site_registry(ws: &Workspace) -> Option<(BTreeMap<String, String>, BTreeSet<String>)> {
+    let pf = ws.files.iter().find(|f| f.rel == FAULTS_RS)?;
+    let mut consts: BTreeMap<String, String> = BTreeMap::new();
+    for c in &pf.consts {
+        if let Some(s) = c.value.iter().find_map(|t| t.str_lit()) {
+            consts.insert(c.name.clone(), s.to_string());
+        }
+    }
+    let sites_const = pf.consts.iter().find(|c| c.name == "SITES")?;
+    let mut sites: BTreeSet<String> = BTreeSet::new();
+    for t in &sites_const.value {
+        if let Some(name) = t.ident() {
+            if let Some(v) = consts.get(name) {
+                sites.insert(v.clone());
+            }
+        } else if let Some(s) = t.str_lit() {
+            sites.insert(s.to_string());
+        }
+    }
+    Some((consts, sites))
+}
+
+pub fn check(_root: &Path, ws: &Workspace) -> AnalysisPart {
+    let mut part = AnalysisPart::new("fault-site coverage");
+
+    let Some((consts, sites)) = site_registry(ws) else {
+        part.violations.push(Violation {
+            file: FAULTS_RS.into(),
+            line: 0,
+            rule: RULE,
+            message: "could not extract the SITES registry from faults.rs — \
+                      the fault layer moved; update src/analyze/faultcov.rs"
+                .into(),
+        });
+        return part;
+    };
+
+    // ---- registry check: every site reference resolves to SITES ----
+    let mut consulted: BTreeSet<String> = BTreeSet::new();
+    for f in &ws.fns {
+        if f.item.in_test || f.file == FAULTS_RS || f.file.starts_with("src/") {
+            continue;
+        }
+        for r in &f.facts.site_refs {
+            let (resolved, line, shown) = match r {
+                SiteRef::Const(name, line) => {
+                    (consts.get(name).cloned(), *line, format!("faults::{name}"))
+                }
+                SiteRef::Lit(s, line) => (Some(s.clone()), *line, format!("{s:?}")),
+            };
+            match resolved {
+                Some(v) if sites.contains(&v) => {
+                    consulted.insert(v);
+                }
+                Some(v) => {
+                    part.violations.push(Violation {
+                        file: f.file.clone(),
+                        line,
+                        rule: RULE,
+                        message: format!(
+                            "fault site {shown} (= {v:?}) is not a member of faults::SITES — \
+                             register it there first"
+                        ),
+                    });
+                }
+                None => {
+                    part.violations.push(Violation {
+                        file: f.file.clone(),
+                        line,
+                        rule: RULE,
+                        message: format!(
+                            "fault site {shown} does not resolve to a known faults const"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for site in &sites {
+        if !consulted.contains(site) {
+            part.violations.push(Violation {
+                file: FAULTS_RS.into(),
+                line: 0,
+                rule: RULE,
+                message: format!(
+                    "orphaned fault site {site:?}: listed in SITES but consulted by no \
+                     non-test call site"
+                ),
+            });
+        }
+    }
+
+    // ---- coverage check ----
+    // A fn "consults" if it references faults:: / check_io /
+    // FaultFile::new / with_sync_site.
+    let n = ws.fns.len();
+    let consults: Vec<bool> = ws
+        .fns
+        .iter()
+        .map(|f| f.facts.consults_faults || !f.facts.site_refs.is_empty())
+        .collect();
+    // Owner structs with a FaultFile-routed field.
+    let faultfile_owner = |owner: &Option<String>| -> bool {
+        let Some(o) = owner else { return false };
+        ws.files.iter().any(|pf| {
+            pf.types
+                .iter()
+                .any(|t| t.name == *o && t.fields.iter().any(|fd| fd.ty.contains("FaultFile")))
+        })
+    };
+
+    for i in 0..n {
+        let f = &ws.fns[i];
+        if f.item.in_test || !COVERED_FILES.contains(&f.file.as_str()) {
+            continue;
+        }
+        if f.facts.raw_io.is_empty() {
+            continue;
+        }
+        let covered = consults[i]
+            || faultfile_owner(&f.item.owner)
+            || ws.edges_a[i].iter().any(|&j| consults[j]);
+        if covered {
+            continue;
+        }
+        for (line, what) in &f.facts.raw_io {
+            part.violations.push(Violation {
+                file: f.file.clone(),
+                line: *line,
+                rule: RULE,
+                message: format!(
+                    "raw `{what}` in `{}` without a named fault site in reach — route it \
+                     through FaultFile or consult faults::check_io(<SITE>) so torture tests \
+                     can injure it",
+                    f.qname()
+                ),
+            });
+        }
+    }
+
+    part.notes.push(format!(
+        "{} registered sites, {} consulted in non-test code",
+        sites.len(),
+        consulted.len()
+    ));
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::callgraph::Workspace;
+    use crate::analyze::parse::parse_file;
+
+    const FAULTS_STUB: &str = "pub const WAL_APPEND: &str = \"wal.append\";\n\
+         pub const WAL_SYNC: &str = \"wal.sync\";\n\
+         pub const SITES: &[&str] = &[WAL_APPEND, WAL_SYNC];\n";
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        let mut files: Vec<_> = srcs.iter().map(|(r, s)| parse_file(r, s)).collect();
+        files.push(parse_file("crates/store/src/faults.rs", FAULTS_STUB));
+        Workspace::from_files(files)
+    }
+
+    #[test]
+    fn uncovered_raw_io_flagged_and_direct_consult_clears_it() {
+        let w = ws(&[(
+            "crates/store/src/wal.rs",
+            "fn bare(p: &Path) { let f = File::create(p); }\n\
+             fn guarded(p: &Path) { faults::check_io(faults::WAL_APPEND); let f = File::create(p); f.sync_all(); }\n",
+        )]);
+        let part = check(Path::new("."), &w);
+        let cov: Vec<&Violation> = part
+            .violations
+            .iter()
+            .filter(|v| v.message.contains("without a named fault site"))
+            .collect();
+        assert_eq!(cov.len(), 1, "{:?}", part.violations);
+        assert!(cov[0].message.contains("bare"));
+    }
+
+    #[test]
+    fn one_hop_delegation_and_faultfile_fields_cover() {
+        let w = ws(&[(
+            "crates/store/src/wal.rs",
+            "fn wrap(f: File) { faults::check_io(faults::WAL_SYNC); }\n\
+             fn create(p: &Path) { let f = File::create(p); wrap(f); }\n\
+             struct Wal { writer: BufWriter<FaultFile> }\n\
+             impl Wal { fn sync(&self) { self.writer.get_ref().sync_data(); } }\n",
+        )]);
+        let part = check(Path::new("."), &w);
+        assert!(
+            !part
+                .violations
+                .iter()
+                .any(|v| v.message.contains("without a named fault site")),
+            "{:?}",
+            part.violations
+        );
+    }
+
+    #[test]
+    fn unregistered_and_orphaned_sites_flagged() {
+        let w = ws(&[(
+            "crates/store/src/snapshot.rs",
+            "fn f() { faults::check_io(\"snapshot.bogus\"); faults::check_io(faults::WAL_APPEND); }\n",
+        )]);
+        let part = check(Path::new("."), &w);
+        assert!(
+            part.violations
+                .iter()
+                .any(|v| v.message.contains("not a member of faults::SITES")),
+            "{:?}",
+            part.violations
+        );
+        // wal.sync is registered but never consulted → orphan.
+        assert!(
+            part.violations
+                .iter()
+                .any(|v| v.message.contains("orphaned fault site \"wal.sync\"")),
+            "{:?}",
+            part.violations
+        );
+    }
+
+    #[test]
+    fn test_code_raw_io_is_exempt() {
+        let w = ws(&[(
+            "crates/store/src/db.rs",
+            "#[cfg(test)]\nmod tests { fn t(p: &Path) { let f = File::create(p); } }\n\
+             fn consult() { faults::check_io(faults::WAL_APPEND); faults::check_io(faults::WAL_SYNC); }\n",
+        )]);
+        let part = check(Path::new("."), &w);
+        assert!(part.is_clean(), "{:?}", part.violations);
+    }
+}

@@ -1,0 +1,643 @@
+//! Static lock-order: the compile-time twin of PR 6's runtime
+//! lockcheck tracker.
+//!
+//! The runtime tracker only sees acquisition orders a test actually
+//! schedules. This analysis extracts every `Mutex::named` /
+//! `RwLock::named` construction (class name = first string literal in
+//! the call, `{…}` format captures wildcarded to `*`), maps guard
+//! bindings and struct fields back to their classes, computes how long
+//! each guard lives (`let`-bound guards to their enclosing block or a
+//! `drop(guard)`, temporaries to the end of their statement), and
+//! propagates may-hold sets over tier-A call edges to a fixpoint. The
+//! resulting class-level order graph is then diffed against the policy
+//! in `Store::register_lockcheck_policy`:
+//!
+//! * a cycle among lock classes not broken by a policy `allow_edge` is
+//!   a violation (an inversion no test has scheduled yet);
+//! * a policy `allow_edge` with no static witness is a violation too —
+//!   stale exemptions rot exactly like stale waivers.
+//!
+//! Same-class pairs are deliberately out of scope: instance-level
+//! ordering inside one class (e.g. two `store.shard[*]` shards) is the
+//! runtime tracker's domain — statically the instances are one node.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
+
+use super::callgraph::{Receiver, Workspace};
+use super::parse::Token;
+use super::AnalysisPart;
+use crate::lint::Violation;
+
+pub const RULE: &str = "lock-order";
+
+/// A witnessed ordered pair: `first` held while `second` acquired.
+#[derive(Debug, Clone)]
+pub struct EdgeWitness {
+    pub file: String,
+    pub line: usize,
+    pub in_fn: String,
+    /// Human-readable provenance: "intra-fn" or "via call from …".
+    pub how: String,
+}
+
+#[derive(Debug, Default)]
+pub struct OrderGraph {
+    /// (held, acquired) → first witness.
+    pub edges: BTreeMap<(String, String), EdgeWitness>,
+    pub classes: BTreeSet<String>,
+    pub notes: Vec<String>,
+}
+
+/// A guard's live range inside one fn body.
+struct Guard {
+    class: String,
+    pos: usize,
+    extent: usize,
+    line: usize,
+}
+
+/// Builds the class-level order graph for a workspace.
+pub fn build_graph(ws: &Workspace) -> OrderGraph {
+    let mut g = OrderGraph::default();
+
+    // 1. Global binding → class map (fields and let-bindings of lock
+    //    constructions). Ambiguous names are dropped, with a note.
+    let mut binding_class: HashMap<String, String> = HashMap::new();
+    let mut ambiguous: BTreeSet<String> = BTreeSet::new();
+    for f in ws.fns.iter().filter(|f| !f.item.in_test) {
+        for d in &f.facts.lock_decls {
+            g.classes.insert(d.class.clone());
+            if let Some(b) = &d.binding {
+                match binding_class.get(b) {
+                    Some(c) if c != &d.class => {
+                        ambiguous.insert(b.clone());
+                    }
+                    _ => {
+                        binding_class.insert(b.clone(), d.class.clone());
+                    }
+                }
+            }
+        }
+    }
+    for b in &ambiguous {
+        g.notes.push(format!(
+            "lock binding `{b}` names more than one class; its acquisitions are not tracked statically"
+        ));
+        binding_class.remove(b);
+    }
+
+    // 2. Per-fn guards with extents, and per-fn entry-hold fixpoint.
+    let n = ws.fns.len();
+    let mut guards: Vec<Vec<Guard>> = Vec::with_capacity(n);
+    for f in &ws.fns {
+        if f.item.in_test {
+            guards.push(Vec::new());
+            continue;
+        }
+        guards.push(fn_guards(f, &binding_class));
+    }
+
+    // held sets at each call site; entry_hold fixpoint over tier A.
+    let mut entry_hold: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 64 {
+        changed = false;
+        rounds += 1;
+        for i in 0..n {
+            let f = &ws.fns[i];
+            if f.item.in_test {
+                continue;
+            }
+            for call in &f.facts.calls {
+                let (targets, _) = ws.resolve(call);
+                if targets.is_empty() {
+                    continue;
+                }
+                let mut held: BTreeSet<String> = entry_hold[i].clone();
+                for gd in &guards[i] {
+                    if gd.pos < call.pos && call.pos <= gd.extent {
+                        held.insert(gd.class.clone());
+                    }
+                }
+                if held.is_empty() {
+                    continue;
+                }
+                for t in targets {
+                    if ws.fns[t].item.in_test {
+                        continue;
+                    }
+                    for h in &held {
+                        if entry_hold[t].insert(h.clone()) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Edges: intra-fn ordered pairs + entry-hold × local acquisition.
+    for i in 0..n {
+        let f = &ws.fns[i];
+        if f.item.in_test {
+            continue;
+        }
+        let gs = &guards[i];
+        for a in gs {
+            for b in gs {
+                if a.pos < b.pos && b.pos <= a.extent && a.class != b.class {
+                    g.edges
+                        .entry((a.class.clone(), b.class.clone()))
+                        .or_insert_with(|| EdgeWitness {
+                            file: f.file.clone(),
+                            line: b.line,
+                            in_fn: f.qname(),
+                            how: format!("intra-fn (held since line {})", a.line),
+                        });
+                }
+            }
+        }
+        for h in &entry_hold[i] {
+            for b in gs {
+                if h != &b.class {
+                    g.edges
+                        .entry((h.clone(), b.class.clone()))
+                        .or_insert_with(|| EdgeWitness {
+                            file: f.file.clone(),
+                            line: b.line,
+                            in_fn: f.qname(),
+                            how: format!("`{h}` held by a caller"),
+                        });
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Extracts this fn's guards: class-resolved acquisitions with extents.
+fn fn_guards(f: &super::callgraph::FnNode, binding_class: &HashMap<String, String>) -> Vec<Guard> {
+    let body = &f.item.body;
+    // Local lock decls shadow the global map.
+    let mut local: HashMap<String, String> = HashMap::new();
+    for d in &f.facts.lock_decls {
+        if let Some(b) = &d.binding {
+            local.insert(b.clone(), d.class.clone());
+        }
+    }
+    let lookup = |name: &str| -> Option<String> {
+        local.get(name).or_else(|| binding_class.get(name)).cloned()
+    };
+
+    // Precompute per-token brace depth and, for each position, the
+    // index of the close brace of its innermost enclosing block.
+    let mut depth_at = vec![0i32; body.len()];
+    let mut close_of = vec![body.len(); body.len()];
+    {
+        let mut stack: Vec<usize> = Vec::new();
+        let mut opens_at: Vec<Option<usize>> = vec![None; body.len()];
+        let mut d = 0i32;
+        for (i, t) in body.iter().enumerate() {
+            if t.is_p('{') {
+                d += 1;
+                stack.push(i);
+            }
+            depth_at[i] = d;
+            opens_at[i] = stack.last().copied();
+            if t.is_p('}') {
+                d -= 1;
+                if let Some(open) = stack.pop() {
+                    // Mark everyone inside [open, i] whose innermost
+                    // open is `open`.
+                    for j in open..=i {
+                        if opens_at[j] == Some(open) && close_of[j] == body.len() {
+                            close_of[j] = i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for acq in &f.facts.acquisitions {
+        let class = match &acq.receiver {
+            // A named receiver that isn't a known lock binding may still
+            // be a closure parameter over one (`shards.iter().map(|s|
+            // s.read())`) — fall through to the statement scan.
+            Receiver::SelfField(field) | Receiver::Var(field) => {
+                lookup(field).or_else(|| stmt_fallback_class(body, acq.pos, &lookup))
+            }
+            Receiver::SelfDirect => None,
+            Receiver::Unknown => stmt_fallback_class(body, acq.pos, &lookup),
+        };
+        let Some(class) = class else { continue };
+        // `let`-bound guard? Walk back to the statement start.
+        let mut j = acq.pos;
+        let mut guard_name: Option<String> = None;
+        while j > 0 {
+            j -= 1;
+            let t = &body[j];
+            if t.is_p(';') || t.is_p('{') || t.is_p('}') {
+                break;
+            }
+            if t.is_ident("let") {
+                let mut k = j + 1;
+                while body.get(k).is_some_and(|t| {
+                    t.is_ident("mut")
+                        || t.is_p('(')
+                        || t.ident()
+                            .is_some_and(|s| s.chars().next().is_some_and(char::is_uppercase))
+                }) {
+                    k += 1;
+                }
+                guard_name = body.get(k).and_then(|t| t.ident()).map(str::to_string);
+                break;
+            }
+        }
+        let extent = match guard_name {
+            Some(name) => {
+                let block_end = close_of.get(acq.pos).copied().unwrap_or(body.len());
+                // Shrink at an explicit `drop(name)`.
+                let mut end = block_end;
+                let mut k = acq.pos;
+                while k + 3 < body.len() && k < block_end {
+                    if body[k].is_ident("drop")
+                        && body[k + 1].is_p('(')
+                        && body[k + 2].is_ident(&name)
+                        && body[k + 3].is_p(')')
+                    {
+                        end = k;
+                        break;
+                    }
+                    k += 1;
+                }
+                end
+            }
+            None => {
+                // Temporary: held to the end of this statement.
+                let mut k = acq.pos;
+                while k < body.len() {
+                    if body[k].is_p(';') && depth_at[k] <= depth_at[acq.pos] {
+                        break;
+                    }
+                    k += 1;
+                }
+                k
+            }
+        };
+        out.push(Guard {
+            class,
+            pos: acq.pos,
+            extent,
+            line: acq.line,
+        });
+    }
+    out.sort_by_key(|g| g.pos);
+    out
+}
+
+/// Receiver unknown: if the statement around `pos` mentions exactly one
+/// known lock binding, attribute the acquisition to it (covers
+/// `self.shards.iter().map(|s| s.read())`).
+fn stmt_fallback_class(
+    body: &[Token],
+    pos: usize,
+    lookup: &dyn Fn(&str) -> Option<String>,
+) -> Option<String> {
+    let mut lo = pos;
+    while lo > 0 && !(body[lo - 1].is_p(';') || body[lo - 1].is_p('{')) {
+        lo -= 1;
+    }
+    let mut hi = pos;
+    while hi < body.len() && !body[hi].is_p(';') {
+        hi += 1;
+    }
+    let mut found: Option<String> = None;
+    for t in &body[lo..hi] {
+        if let Some(name) = t.ident() {
+            if let Some(c) = lookup(name) {
+                match &found {
+                    Some(prev) if prev != &c => return None, // ambiguous
+                    _ => found = Some(c),
+                }
+            }
+        }
+    }
+    found
+}
+
+// ----------------------------------------------------------- policy
+
+/// `allow_edge("a", "b")` pairs from `Store::register_lockcheck_policy`.
+pub fn policy_edges(ws: &Workspace) -> Option<Vec<(String, String, usize)>> {
+    // The policy lives in a free fn in crates/store/src/db.rs today; accept
+    // a `Store` method too so moving it into the impl doesn't break us.
+    let free = ws.find(None, "register_lockcheck_policy");
+    let assoc = ws.find(Some("Store"), "register_lockcheck_policy");
+    let idx = *free.first().or_else(|| assoc.first())?;
+    let body = &ws.fns[idx].item.body;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < body.len() {
+        if body[i].is_ident("allow_edge") && body[i + 1].is_p('(') {
+            let strs: Vec<(&str, usize)> = body[i + 2..]
+                .iter()
+                .take_while(|t| !t.is_p(')'))
+                .filter_map(|t| t.str_lit().map(|s| (s, t.line)))
+                .collect();
+            if strs.len() >= 2 {
+                out.push((strs[0].0.to_string(), strs[1].0.to_string(), strs[0].1));
+            }
+        }
+        i += 1;
+    }
+    Some(out)
+}
+
+// ----------------------------------------------------------- checking
+
+pub fn check(_root: &Path, ws: &Workspace) -> AnalysisPart {
+    let mut part = AnalysisPart::new("lock-order");
+    let graph = build_graph(ws);
+    part.notes.extend(graph.notes.iter().cloned());
+
+    let Some(policy) = policy_edges(ws) else {
+        part.violations.push(Violation {
+            file: "<workspace>".into(),
+            line: 0,
+            rule: RULE,
+            message: "Store::register_lockcheck_policy not found — the static checker diffs \
+                      against it; update src/analyze/lockorder.rs if it moved"
+                .into(),
+        });
+        return part;
+    };
+
+    // Stale policy entries: an allowed edge nobody takes statically.
+    for (a, b, line) in &policy {
+        if !graph.edges.contains_key(&(a.clone(), b.clone())) {
+            part.violations.push(Violation {
+                file: "crates/store/src/db.rs".into(),
+                line: *line,
+                rule: RULE,
+                message: format!(
+                    "policy allow_edge(\"{a}\", \"{b}\") has no static witness — remove it or \
+                     fix the analysis if the edge moved out of sight"
+                ),
+            });
+        }
+    }
+
+    // Cycle detection on the graph minus policy-allowed edges.
+    let allowed: BTreeSet<(String, String)> = policy
+        .iter()
+        .map(|(a, b, _)| (a.clone(), b.clone()))
+        .collect();
+    let kept: Vec<(&(String, String), &EdgeWitness)> = graph
+        .edges
+        .iter()
+        .filter(|(k, _)| !allowed.contains(k))
+        .collect();
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for ((a, b), _) in &kept {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    for cycle in find_cycles(&adj) {
+        let mut msg = String::from("lock-order cycle with no policy exemption: ");
+        for (i, c) in cycle.iter().enumerate() {
+            if i > 0 {
+                msg.push_str(" → ");
+            }
+            msg.push_str(c);
+        }
+        msg.push_str(" → ");
+        msg.push_str(cycle[0]);
+        // Name one witness per edge in the cycle.
+        let (mut file, mut line) = (String::from("<workspace>"), 0usize);
+        for w in cycle
+            .windows(2)
+            .chain(std::iter::once(&[cycle[cycle.len() - 1], cycle[0]][..]))
+        {
+            if let Some(wit) = graph.edges.get(&(w[0].to_string(), w[1].to_string())) {
+                msg.push_str(&format!(
+                    "; {}→{} at {}:{} in {} ({})",
+                    w[0], w[1], wit.file, wit.line, wit.in_fn, wit.how
+                ));
+                if line == 0 {
+                    file = wit.file.clone();
+                    line = wit.line;
+                }
+            }
+        }
+        part.violations.push(Violation {
+            file,
+            line,
+            rule: RULE,
+            message: msg,
+        });
+    }
+
+    part.notes.push(format!(
+        "{} lock classes, {} ordered pairs witnessed, {} policy exemptions",
+        graph.classes.len(),
+        graph.edges.len(),
+        policy.len()
+    ));
+    part
+}
+
+/// Strongly connected components with ≥2 nodes, as sorted node lists.
+fn find_cycles<'a>(adj: &BTreeMap<&'a str, Vec<&'a str>>) -> Vec<Vec<&'a str>> {
+    // Kosaraju: order by finish time on G, then collect on Gᵀ.
+    let nodes: Vec<&str> = adj
+        .iter()
+        .flat_map(|(k, vs)| std::iter::once(*k).chain(vs.iter().copied()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut order = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &start in &nodes {
+        if seen.contains(start) {
+            continue;
+        }
+        // Iterative DFS with explicit post-order.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        seen.insert(start);
+        while let Some((u, ci)) = stack.pop() {
+            let next = adj.get(u).and_then(|vs| vs.get(ci)).copied();
+            match next {
+                Some(v) => {
+                    stack.push((u, ci + 1));
+                    if seen.insert(v) {
+                        stack.push((v, 0));
+                    }
+                }
+                None => order.push(u),
+            }
+        }
+    }
+    let mut radj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, vs) in adj {
+        for v in vs {
+            radj.entry(v).or_default().push(a);
+        }
+    }
+    let mut comp: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut comps: Vec<Vec<&str>> = Vec::new();
+    for &u in order.iter().rev() {
+        if comp.contains_key(u) {
+            continue;
+        }
+        let id = comps.len();
+        let mut members = Vec::new();
+        let mut stack = vec![u];
+        comp.insert(u, id);
+        while let Some(x) = stack.pop() {
+            members.push(x);
+            for &y in radj.get(x).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if !comp.contains_key(y) {
+                    comp.insert(y, id);
+                    stack.push(y);
+                }
+            }
+        }
+        comps.push(members);
+    }
+    comps
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .map(|mut c| {
+            c.sort_unstable();
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::callgraph::Workspace;
+    use crate::analyze::parse::parse_file;
+
+    fn ws(srcs: &[(&str, &str)]) -> Workspace {
+        Workspace::from_files(srcs.iter().map(|(r, s)| parse_file(r, s)).collect())
+    }
+
+    const POLICY_EMPTY: &str = "struct Store;\nimpl Store { fn register_lockcheck_policy() {} }\n";
+
+    #[test]
+    fn intra_fn_order_and_drop_shrink() {
+        let w = ws(&[(
+            "crates/store/src/db.rs",
+            "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn mk() -> S { S { a: Mutex::named(\"c.a\", 0), b: Mutex::named(\"c.b\", 0) } }\n\
+             impl S {\n\
+                 fn both(&self) { let g = self.a.lock(); self.b.lock(); }\n\
+                 fn dropped(&self) { let g = self.a.lock(); drop(g); self.b.lock(); }\n\
+             }\n",
+        )]);
+        let g = build_graph(&w);
+        assert!(
+            g.edges.contains_key(&("c.a".into(), "c.b".into())),
+            "{:?}",
+            g.edges.keys()
+        );
+        // `dropped` must not add c.b→c.a or anything new beyond both().
+        assert_eq!(g.edges.len(), 1, "{:?}", g.edges.keys());
+    }
+
+    #[test]
+    fn temporaries_hold_to_end_of_statement_only() {
+        let w = ws(&[(
+            "crates/store/src/db.rs",
+            "struct S { a: Mutex<Q>, b: Mutex<u8> }\n\
+             fn mk() -> S { S { a: Mutex::named(\"c.a\", Q), b: Mutex::named(\"c.b\", 0) } }\n\
+             impl S {\n\
+                 fn peek(&self) { let empty = self.a.lock().queue.is_empty(); self.b.lock(); }\n\
+                 fn same_stmt(&self) { let x = self.a.lock().v + self.b.lock().v; }\n\
+             }\n",
+        )]);
+        let g = build_graph(&w);
+        // peek: a released at `;` before b → no edge. same_stmt: a held
+        // when b acquired → edge a→b.
+        assert!(g.edges.contains_key(&("c.a".into(), "c.b".into())));
+        assert_eq!(g.edges.len(), 1, "{:?}", g.edges.keys());
+    }
+
+    #[test]
+    fn call_under_hold_propagates_tier_a() {
+        let w = ws(&[(
+            "crates/store/src/db.rs",
+            "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn mk() -> S { S { a: Mutex::named(\"c.a\", 0), b: Mutex::named(\"c.b\", 0) } }\n\
+             impl S {\n\
+                 fn outer(&self) { let g = self.a.lock(); self.inner(); }\n\
+                 fn inner(&self) { self.b.lock(); }\n\
+             }\n",
+        )]);
+        let g = build_graph(&w);
+        let w2 = g.edges.get(&("c.a".into(), "c.b".into())).expect("edge");
+        assert!(w2.how.contains("held by a caller"), "{}", w2.how);
+    }
+
+    #[test]
+    fn cycle_without_policy_flagged_with_policy_clean() {
+        let cyclic = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+             fn mk() -> S { S { a: Mutex::named(\"c.a\", 0), b: Mutex::named(\"c.b\", 0) } }\n\
+             impl S {\n\
+                 fn ab(&self) { let g = self.a.lock(); self.b.lock(); }\n\
+                 fn ba(&self) { let g = self.b.lock(); self.a.lock(); }\n\
+             }\n";
+        let w = ws(&[(
+            "crates/store/src/db.rs",
+            &format!("{POLICY_EMPTY}{cyclic}")[..],
+        )]);
+        let part = check(Path::new("."), &w);
+        assert_eq!(part.violations.len(), 1, "{:?}", part.violations);
+        assert!(part.violations[0].message.contains("cycle"));
+
+        let with_policy = format!(
+            "struct Store;\n\
+             impl Store {{ fn register_lockcheck_policy() {{ lockcheck::allow_edge(\"c.b\", \"c.a\", \"reviewed\"); }} }}\n\
+             {cyclic}"
+        );
+        let w = ws(&[("crates/store/src/db.rs", &with_policy[..])]);
+        let part = check(Path::new("."), &w);
+        assert!(part.is_clean(), "{:?}", part.violations);
+    }
+
+    #[test]
+    fn stale_policy_edge_flagged() {
+        let src = "struct Store;\n\
+             impl Store { fn register_lockcheck_policy() { lockcheck::allow_edge(\"x.a\", \"x.b\", \"why\"); } }\n";
+        let w = ws(&[("crates/store/src/db.rs", src)]);
+        let part = check(Path::new("."), &w);
+        assert_eq!(part.violations.len(), 1, "{:?}", part.violations);
+        assert!(part.violations[0].message.contains("no static witness"));
+    }
+
+    #[test]
+    fn statement_fallback_resolves_closure_receivers() {
+        let w = ws(&[(
+            "crates/store/src/db.rs",
+            "struct S { shards: Vec<RwLock<u8>>, m: Mutex<u8> }\n\
+             fn mk(n: usize) -> S {\n\
+                 let shards = (0..n).map(|i| RwLock::named(&format!(\"c.shard[{i}]\"), 0)).collect();\n\
+                 S { shards, m: Mutex::named(\"c.m\", 0) }\n\
+             }\n\
+             impl S {\n\
+                 fn lock_all(&self) { let g = self.m.lock(); let all: Vec<_> = self.shards.iter().map(|s| s.read()).collect(); }\n\
+             }\n",
+        )]);
+        let g = build_graph(&w);
+        assert!(
+            g.edges.contains_key(&("c.m".into(), "c.shard[*]".into())),
+            "{:?}",
+            g.edges.keys()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Cross-crate static analyses over a registry-free Rust parse.
+//!
+//! `lint` (the token-matching sibling module) checks line-local
+//! invariants; this module parses the workspace into function tables
+//! and a conservative call graph ([`callgraph`]) and checks the
+//! *global* ones:
+//!
+//! * [`panics`] — panic-reachability from store commit/recovery and
+//!   server session-dispatch roots;
+//! * [`schema`] — serbin positional-layout lock (`schema.lock`);
+//! * [`lockorder`] — static lock-order vs the runtime lockcheck policy;
+//! * [`faultcov`] — fault-site coverage of raw durability I/O plus the
+//!   `faults::SITES` registry cross-check.
+//!
+//! All four run through [`run_all`]; the `itag-lint` binary exposes
+//! them as subcommands and `tests/analysis_gate.rs` pins the repo to
+//! zero unwaivered violations.
+
+pub mod callgraph;
+pub mod faultcov;
+pub mod lockorder;
+pub mod panics;
+pub mod parse;
+pub mod schema;
+
+use std::path::Path;
+
+use crate::lint::Violation;
+pub use callgraph::Workspace;
+
+/// Result of one analysis.
+#[derive(Debug, Default)]
+pub struct AnalysisPart {
+    pub name: &'static str,
+    pub violations: Vec<Violation>,
+    /// Reviewed exceptions that fired (the visible waiver surface).
+    pub waivers: Vec<String>,
+    /// Informational notes (compatible schema appends, statistics).
+    pub notes: Vec<String>,
+}
+
+impl AnalysisPart {
+    pub fn new(name: &'static str) -> Self {
+        AnalysisPart {
+            name,
+            ..Default::default()
+        }
+    }
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Combined report over every requested analysis.
+#[derive(Debug, Default)]
+pub struct AnalysisReport {
+    pub parts: Vec<AnalysisPart>,
+    pub fns_analyzed: usize,
+    pub files_parsed: usize,
+}
+
+impl AnalysisReport {
+    pub fn is_clean(&self) -> bool {
+        self.parts.iter().all(AnalysisPart::is_clean)
+    }
+    pub fn violations(&self) -> impl Iterator<Item = &Violation> {
+        self.parts.iter().flat_map(|p| p.violations.iter())
+    }
+}
+
+/// Default lock-file location under the workspace root.
+pub fn lock_path(root: &Path) -> std::path::PathBuf {
+    root.join("schema.lock")
+}
+
+/// Runs every call-graph analysis. `bless` rewrites `schema.lock`
+/// instead of diffing against it.
+pub fn run_all(root: &Path, bless: bool) -> AnalysisReport {
+    let ws = Workspace::load(root);
+    let mut report = AnalysisReport {
+        files_parsed: ws.files.len(),
+        fns_analyzed: ws.fns.len(),
+        ..Default::default()
+    };
+    report.parts.push(panics::check(root, &ws));
+    report
+        .parts
+        .push(schema::check(root, &ws.files, &lock_path(root), bless));
+    report.parts.push(lockorder::check(root, &ws));
+    report.parts.push(faultcov::check(root, &ws));
+    report
+}
+
+// ----------------------------------------------------------- output
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders violations + waivers as a single machine-readable JSON
+/// object (`--format=json`).
+pub fn render_json(
+    tool: &str,
+    violations: &[&Violation],
+    waivers: &[(String, String)],
+    clean: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"tool\":\"{}\",\"clean\":{},\"violations\":[",
+        json_escape(tool),
+        clean
+    ));
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(v.rule),
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.message)
+        ));
+    }
+    out.push_str("],\"waivers\":[");
+    for (i, (rule, w)) in waivers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"where\":\"{}\"}}",
+            json_escape(rule),
+            json_escape(w)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// GitHub Actions error annotations (`--format=github`): one
+/// `::error …` line per violation, shown inline on the PR diff.
+pub fn render_github(violations: &[&Violation]) -> String {
+    violations
+        .iter()
+        .map(|v| {
+            let msg = v.message.replace('%', "%25").replace('\n', "%0A");
+            if v.line > 0 {
+                format!(
+                    "::error file={},line={},title=itag-lint {}::{}",
+                    v.file, v.line, v.rule, msg
+                )
+            } else {
+                format!("::error title=itag-lint {}::[{}] {}", v.rule, v.file, msg)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let v = Violation {
+            file: "a\\b.rs".into(),
+            line: 3,
+            rule: "panic-path",
+            message: "say \"no\"\nplease".into(),
+        };
+        let s = render_json("itag-lint", &[&v], &[("x".into(), "y:1".into())], false);
+        assert!(s.contains("\"file\":\"a\\\\b.rs\""));
+        assert!(s.contains("\\\"no\\\"\\n"));
+        assert!(s.contains("\"clean\":false"));
+        assert!(s.contains("\"where\":\"y:1\""));
+    }
+
+    #[test]
+    fn github_annotations_format() {
+        let v = Violation {
+            file: "crates/store/src/db.rs".into(),
+            line: 7,
+            rule: "lock-order",
+            message: "bad".into(),
+        };
+        assert_eq!(
+            render_github(&[&v]),
+            "::error file=crates/store/src/db.rs,line=7,title=itag-lint lock-order::bad"
+        );
+    }
+
+    #[test]
+    fn the_workspace_itself_passes_all_analyses() {
+        // Mirrors tests/analysis_gate.rs so `cargo test -p itag --lib`
+        // is self-contained.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let report = run_all(root, false);
+        assert!(
+            report.is_clean(),
+            "analysis violations:\n{}",
+            report
+                .violations()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(report.fns_analyzed > 300, "parser found too few fns");
+    }
+}

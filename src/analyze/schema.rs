@@ -1,0 +1,548 @@
+//! serbin schema-drift lock.
+//!
+//! `serbin` is positional: struct fields concatenate in declaration
+//! order, enum variants are tagged by declaration index. Reordering
+//! `ErrorCode` or a `records.rs` struct silently corrupts wire/disk
+//! bytes — nothing fails until a peer or a recovery decodes garbage.
+//! This analysis freezes the canonical shape of every
+//! `#[derive(Serialize)]` type in the wire protocol and the on-disk
+//! record set into `schema.lock`, and diffs it on every run.
+//!
+//! Evolution rules, per section:
+//!
+//! * identical fingerprint + identical version → clean;
+//! * **enum append-at-end** with a *raised* section version
+//!   (`PROTOCOL_VERSION` / `SCHEMA_VERSION`) → clean: positional tags
+//!   of existing variants are untouched, so old bytes still decode
+//!   (this is how PR 8 added `ErrorCode::Degraded` under protocol v2);
+//! * everything else — variant reorder, middle insertion, removal,
+//!   field change, struct edits of any kind, version decrease, a new
+//!   serialized type, append without a bump — is a violation until a
+//!   human re-blesses the lock (`ITAG_BLESS=1` through the gate test,
+//!   or `itag-lint schema --bless`). Blessing is the explicit override
+//!   that says "I know this breaks decoding of old bytes".
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use super::parse::{ParsedFile, TypeKind};
+use super::AnalysisPart;
+use crate::lint::Violation;
+
+pub const RULE: &str = "schema-drift";
+
+/// One locked section: serialized types in `file`, versioned by
+/// `version_const` in `version_file`.
+pub struct Section {
+    pub name: &'static str,
+    pub file: &'static str,
+    pub version_file: &'static str,
+    pub version_const: &'static str,
+}
+
+/// The repo's sections: the wire protocol and the on-disk records.
+pub const SECTIONS: &[Section] = &[
+    Section {
+        name: "proto",
+        file: "crates/server/src/proto.rs",
+        version_file: "crates/server/src/proto.rs",
+        version_const: "PROTOCOL_VERSION",
+    },
+    Section {
+        name: "records",
+        file: "crates/core/src/records.rs",
+        version_file: "crates/core/src/engine.rs",
+        version_const: "SCHEMA_VERSION",
+    },
+];
+
+/// Canonical fingerprint of one serialized type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeFp {
+    pub kind: TypeKind,
+    /// For enums: `(variant, rendered fields)`; for structs:
+    /// `(field, type)`. Order is the positional contract.
+    pub entries: Vec<(String, String)>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SectionFp {
+    pub version: u64,
+    /// Type name → fingerprint (BTreeMap: lock file order is stable).
+    pub types: BTreeMap<String, TypeFp>,
+}
+
+/// Extracts a section fingerprint from parsed files.
+pub fn fingerprint(files: &[ParsedFile], section: &Section) -> Result<SectionFp, String> {
+    let Some(pf) = files.iter().find(|f| f.rel == section.file) else {
+        return Err(format!(
+            "schema file `{}` not found in workspace",
+            section.file
+        ));
+    };
+    let Some(vf) = files.iter().find(|f| f.rel == section.version_file) else {
+        return Err(format!(
+            "version file `{}` not found in workspace",
+            section.version_file
+        ));
+    };
+    let Some(vconst) = vf.consts.iter().find(|c| c.name == section.version_const) else {
+        return Err(format!(
+            "version const `{}` not found in `{}`",
+            section.version_const, section.version_file
+        ));
+    };
+    let version = vconst
+        .value
+        .iter()
+        .find_map(|t| match &t.tok {
+            super::parse::Tok::Num(n) => {
+                let digits: String = n.chars().take_while(|c| c.is_ascii_digit()).collect();
+                digits.parse::<u64>().ok()
+            }
+            _ => None,
+        })
+        .ok_or_else(|| {
+            format!(
+                "version const `{}` has no numeric literal value",
+                section.version_const
+            )
+        })?;
+
+    let mut types = BTreeMap::new();
+    for ty in &pf.types {
+        if ty.in_test
+            || !ty
+                .derives
+                .iter()
+                .any(|d| d == "Serialize" || d == "Deserialize")
+        {
+            continue;
+        }
+        let entries = match ty.kind {
+            TypeKind::Struct => ty
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), f.ty.clone()))
+                .collect(),
+            TypeKind::Enum => ty
+                .variants
+                .iter()
+                .map(|v| {
+                    let fields = v
+                        .fields
+                        .iter()
+                        .map(|f| format!("{}: {}", f.name, f.ty))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    (v.name.clone(), fields)
+                })
+                .collect(),
+        };
+        types.insert(
+            ty.name.clone(),
+            TypeFp {
+                kind: ty.kind,
+                entries,
+            },
+        );
+    }
+    Ok(SectionFp { version, types })
+}
+
+// ------------------------------------------------------------ lock IO
+
+/// Renders every section into the `schema.lock` text format.
+pub fn render_lock(sections: &[(&str, SectionFp)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# schema.lock — canonical serbin fingerprints (positional: order IS the format).\n\
+         # Re-bless after a reviewed change: `itag-lint schema --bless`, or\n\
+         # `ITAG_BLESS=1 cargo test --test analysis_gate`.\n",
+    );
+    for (name, fp) in sections {
+        let _ = writeln!(out, "\n[{name}] version={}", fp.version);
+        for (tyname, tfp) in &fp.types {
+            let _ = writeln!(out, "{} {}", tfp.kind, tyname);
+            for (ename, erest) in &tfp.entries {
+                if erest.is_empty() {
+                    let _ = writeln!(out, "  - {ename}");
+                } else {
+                    let _ = writeln!(out, "  - {ename} :: {erest}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses a lock file back into section fingerprints.
+pub fn parse_lock(text: &str) -> Result<Vec<(String, SectionFp)>, String> {
+    let mut sections: Vec<(String, SectionFp)> = Vec::new();
+    let mut cur_type: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let lno = idx + 1;
+        if line.is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let (name, rest) = rest
+                .split_once(']')
+                .ok_or_else(|| format!("lock line {lno}: malformed section header"))?;
+            let version = rest
+                .trim()
+                .strip_prefix("version=")
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("lock line {lno}: malformed section version"))?;
+            sections.push((
+                name.to_string(),
+                SectionFp {
+                    version,
+                    types: BTreeMap::new(),
+                },
+            ));
+            cur_type = None;
+            continue;
+        }
+        if let Some(entry) = line.trim_start().strip_prefix("- ") {
+            let (sec, tyname, lno) = match (sections.last_mut(), &cur_type) {
+                (Some((_, sec)), Some(ty)) => (sec, ty.clone(), lno),
+                _ => return Err(format!("lock line {lno}: entry outside a type")),
+            };
+            let (ename, erest) = match entry.split_once(" :: ") {
+                Some((n, r)) => (n.to_string(), r.to_string()),
+                None => (entry.to_string(), String::new()),
+            };
+            sec.types
+                .get_mut(&tyname)
+                .ok_or_else(|| format!("lock line {lno}: entry for unknown type"))?
+                .entries
+                .push((ename, erest));
+            continue;
+        }
+        let (kind, tyname) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("lock line {lno}: malformed type line"))?;
+        let kind = match kind {
+            "struct" => TypeKind::Struct,
+            "enum" => TypeKind::Enum,
+            _ => return Err(format!("lock line {lno}: unknown kind `{kind}`")),
+        };
+        let Some((_, sec)) = sections.last_mut() else {
+            return Err(format!("lock line {lno}: type outside a section"));
+        };
+        sec.types.insert(
+            tyname.to_string(),
+            TypeFp {
+                kind,
+                entries: Vec::new(),
+            },
+        );
+        cur_type = Some(tyname.to_string());
+    }
+    Ok(sections)
+}
+
+// ------------------------------------------------------------ checking
+
+/// Runs the drift check. With `bless`, (re)writes the lock and reports
+/// clean.
+pub fn check(root: &Path, files: &[ParsedFile], lock_path: &Path, bless: bool) -> AnalysisPart {
+    let _ = root;
+    let mut part = AnalysisPart::new("schema-drift");
+
+    let mut current: Vec<(&str, SectionFp)> = Vec::new();
+    for section in SECTIONS {
+        match fingerprint(files, section) {
+            Ok(fp) => current.push((section.name, fp)),
+            Err(msg) => {
+                part.violations.push(Violation {
+                    file: section.file.into(),
+                    line: 0,
+                    rule: RULE,
+                    message: msg,
+                });
+            }
+        }
+    }
+    if !part.violations.is_empty() {
+        return part;
+    }
+
+    if bless {
+        match std::fs::write(lock_path, render_lock(&current)) {
+            Ok(()) => part.notes.push(format!("blessed {}", lock_path.display())),
+            Err(e) => part.violations.push(Violation {
+                file: lock_path.to_string_lossy().into_owned(),
+                line: 0,
+                rule: RULE,
+                message: format!("could not write schema.lock: {e}"),
+            }),
+        }
+        return part;
+    }
+
+    let lock_text = match std::fs::read_to_string(lock_path) {
+        Ok(t) => t,
+        Err(_) => {
+            part.violations.push(Violation {
+                file: lock_path.to_string_lossy().into_owned(),
+                line: 0,
+                rule: RULE,
+                message: "schema.lock missing — run `itag-lint schema --bless` and commit it"
+                    .into(),
+            });
+            return part;
+        }
+    };
+    let locked = match parse_lock(&lock_text) {
+        Ok(l) => l,
+        Err(msg) => {
+            part.violations.push(Violation {
+                file: lock_path.to_string_lossy().into_owned(),
+                line: 0,
+                rule: RULE,
+                message: format!("unparseable schema.lock: {msg}"),
+            });
+            return part;
+        }
+    };
+
+    for (name, cur) in &current {
+        let Some((_, lock)) = locked.iter().find(|(n, _)| n == name) else {
+            part.violations.push(Violation {
+                file: "schema.lock".into(),
+                line: 0,
+                rule: RULE,
+                message: format!("section `[{name}]` missing from schema.lock — re-bless"),
+            });
+            continue;
+        };
+        diff_section(name, cur, lock, &mut part);
+    }
+    part
+}
+
+fn diff_section(name: &str, cur: &SectionFp, lock: &SectionFp, part: &mut AnalysisPart) {
+    let mut flag = |ty: &str, message: String| {
+        part.violations.push(Violation {
+            file: "schema.lock".into(),
+            line: 0,
+            rule: RULE,
+            message: format!("[{name}] {ty}: {message}"),
+        });
+    };
+    if cur.version < lock.version {
+        flag(
+            "<version>",
+            format!(
+                "section version went backwards ({} → {})",
+                lock.version, cur.version
+            ),
+        );
+    }
+    let bumped = cur.version > lock.version;
+    let mut compatible_appends = 0usize;
+
+    for (tyname, lfp) in &lock.types {
+        let Some(cfp) = cur.types.get(tyname) else {
+            flag(
+                tyname,
+                "serialized type removed; old bytes become undecodable — re-bless to accept".into(),
+            );
+            continue;
+        };
+        if cfp.kind != lfp.kind {
+            flag(
+                tyname,
+                format!("kind changed ({} → {})", lfp.kind, cfp.kind),
+            );
+            continue;
+        }
+        if cfp.entries == lfp.entries {
+            continue;
+        }
+        let is_prefix_append = cfp.kind == TypeKind::Enum
+            && cfp.entries.len() > lfp.entries.len()
+            && cfp.entries[..lfp.entries.len()] == lfp.entries[..];
+        if is_prefix_append {
+            if bumped {
+                compatible_appends += 1;
+                part.notes.push(format!(
+                    "[{name}] {tyname}: {} variant(s) appended under version bump \
+                     {} → {} (compatible; re-bless at leisure)",
+                    cfp.entries.len() - lfp.entries.len(),
+                    lock.version,
+                    cur.version
+                ));
+            } else {
+                flag(
+                    tyname,
+                    format!(
+                        "variant(s) appended without bumping the section version \
+                         (still {}); bump it so peers can negotiate",
+                        cur.version
+                    ),
+                );
+            }
+            continue;
+        }
+        // Pinpoint the first diverging position for the report.
+        let pos = cfp
+            .entries
+            .iter()
+            .zip(lfp.entries.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| cfp.entries.len().min(lfp.entries.len()));
+        let locked_at = lfp
+            .entries
+            .get(pos)
+            .map(|(n, _)| n.as_str())
+            .unwrap_or("<end>");
+        let now_at = cfp
+            .entries
+            .get(pos)
+            .map(|(n, _)| n.as_str())
+            .unwrap_or("<end>");
+        flag(
+            tyname,
+            format!(
+                "positional layout changed at index {pos} (locked `{locked_at}`, now `{now_at}`); \
+                 serbin bytes written by the old layout will decode as garbage — \
+                 re-bless schema.lock only after migrating stored/in-flight data"
+            ),
+        );
+    }
+    for tyname in cur.types.keys() {
+        if !lock.types.contains_key(tyname) {
+            flag(
+                tyname,
+                "new serialized type not in schema.lock — re-bless to freeze its layout".into(),
+            );
+        }
+    }
+    if cur.version > lock.version && compatible_appends == 0 && cur.types == lock.types {
+        part.notes.push(format!(
+            "[{name}] version bumped {} → {} with unchanged layout — re-bless to quiet this note",
+            lock.version, cur.version
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parse::parse_file;
+
+    const BASE_PROTO: &str = "pub const PROTOCOL_VERSION: u32 = 2;\n\
+         #[derive(Serialize, Deserialize)]\n\
+         pub enum ErrorCode { BadRequest, NotFound, Busy, Degraded }\n\
+         #[derive(Serialize)]\n\
+         pub struct Spec { pub name: String, pub cap: u32 }\n";
+    const BASE_RECORDS: &str =
+        "#[derive(Serialize, Deserialize)]\npub struct Rec { pub id: u64 }\n";
+    const BASE_ENGINE: &str = "pub const SCHEMA_VERSION: u32 = 2;\n";
+
+    fn files(proto: &str, engine: &str) -> Vec<ParsedFile> {
+        vec![
+            parse_file("crates/server/src/proto.rs", proto),
+            parse_file("crates/core/src/records.rs", BASE_RECORDS),
+            parse_file("crates/core/src/engine.rs", engine),
+        ]
+    }
+
+    fn check_against_blessed(proto: &str, engine: &str) -> AnalysisPart {
+        let dir = std::env::temp_dir().join(format!(
+            "itag-schema-test-{}-{:p}",
+            std::process::id(),
+            &proto
+        ));
+        let _ = std::fs::create_dir_all(&dir);
+        let lock = dir.join("schema.lock");
+        let base = files(BASE_PROTO, BASE_ENGINE);
+        let blessed = check(Path::new("."), &base, &lock, true);
+        assert!(blessed.is_clean(), "{:?}", blessed.violations);
+        let part = check(Path::new("."), &files(proto, engine), &lock, false);
+        let _ = std::fs::remove_dir_all(&dir);
+        part
+    }
+
+    #[test]
+    fn identical_schema_is_clean() {
+        let part = check_against_blessed(BASE_PROTO, BASE_ENGINE);
+        assert!(part.is_clean(), "{:?}", part.violations);
+    }
+
+    #[test]
+    fn variant_reorder_is_caught_even_with_a_bump() {
+        let reordered = "pub const PROTOCOL_VERSION: u32 = 3;\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub enum ErrorCode { NotFound, BadRequest, Busy, Degraded }\n\
+             #[derive(Serialize)]\n\
+             pub struct Spec { pub name: String, pub cap: u32 }\n";
+        let part = check_against_blessed(reordered, BASE_ENGINE);
+        assert_eq!(part.violations.len(), 1, "{:?}", part.violations);
+        assert!(part.violations[0].message.contains("index 0"));
+        assert!(part.violations[0].message.contains("decode as garbage"));
+    }
+
+    #[test]
+    fn append_at_end_with_bump_passes_without_one_fails() {
+        let appended_v3 = "pub const PROTOCOL_VERSION: u32 = 3;\n\
+             #[derive(Serialize, Deserialize)]\n\
+             pub enum ErrorCode { BadRequest, NotFound, Busy, Degraded, Throttled }\n\
+             #[derive(Serialize)]\n\
+             pub struct Spec { pub name: String, pub cap: u32 }\n";
+        let part = check_against_blessed(appended_v3, BASE_ENGINE);
+        assert!(part.is_clean(), "{:?}", part.violations);
+        assert_eq!(part.notes.len(), 1, "{:?}", part.notes);
+
+        let appended_v2 =
+            appended_v3.replace("PROTOCOL_VERSION: u32 = 3", "PROTOCOL_VERSION: u32 = 2");
+        let part = check_against_blessed(&appended_v2, BASE_ENGINE);
+        assert_eq!(part.violations.len(), 1, "{:?}", part.violations);
+        assert!(part.violations[0].message.contains("without bumping"));
+    }
+
+    #[test]
+    fn struct_field_type_change_is_caught() {
+        let changed = BASE_PROTO.replace("pub cap: u32", "pub cap: u64");
+        let part = check_against_blessed(&changed, BASE_ENGINE);
+        assert_eq!(part.violations.len(), 1, "{:?}", part.violations);
+        assert!(part.violations[0].message.contains("Spec"));
+    }
+
+    #[test]
+    fn version_decrease_and_new_type_are_caught() {
+        let down = BASE_PROTO.replace("PROTOCOL_VERSION: u32 = 2", "PROTOCOL_VERSION: u32 = 1");
+        let part = check_against_blessed(&down, BASE_ENGINE);
+        assert!(part
+            .violations
+            .iter()
+            .any(|v| v.message.contains("backwards")));
+
+        let extra = format!("{BASE_PROTO}#[derive(Serialize)]\npub struct Extra {{ pub x: u8 }}\n");
+        let part = check_against_blessed(&extra, BASE_ENGINE);
+        assert!(part
+            .violations
+            .iter()
+            .any(|v| v.message.contains("new serialized type")));
+    }
+
+    #[test]
+    fn lock_roundtrips() {
+        let base = files(BASE_PROTO, BASE_ENGINE);
+        let fps: Vec<(&str, SectionFp)> = SECTIONS
+            .iter()
+            .map(|s| (s.name, fingerprint(&base, s).unwrap()))
+            .collect();
+        let text = render_lock(&fps);
+        let parsed = parse_lock(&text).unwrap();
+        for ((n1, fp1), (n2, fp2)) in fps.iter().zip(parsed.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(fp1, fp2);
+        }
+    }
+}

@@ -1,47 +1,184 @@
-//! CLI wrapper for the repo-invariant lint (`itag::lint`).
+//! CLI for the repo-invariant lint and the call-graph analyses.
 //!
-//! Usage: `itag-lint [ROOT]` — lints the workspace rooted at ROOT
-//! (default: this crate's manifest directory, i.e. the repo checkout the
-//! binary was built from). Exits 1 on any violation, printing each as
-//! `file:line: [rule] message`. Clean runs print the scanned-file count
-//! and the reviewed waiver list, so the exception surface stays visible
-//! in CI logs.
+//! ```text
+//! itag-lint [SUBCOMMAND] [--format=text|json|github] [--bless] [--root PATH]
+//!
+//! Subcommands:
+//!   all        token lint + every analysis (default)
+//!   lint       token-level rules (env-var, store-unwrap, std-sync, fences)
+//!   panics     panic-reachability from commit/recovery/session roots
+//!   schema     serbin schema-drift check against schema.lock
+//!   lockorder  static lock-order vs the runtime lockcheck policy
+//!   faultcov   fault-site coverage + SITES registry cross-check
+//! ```
+//!
+//! `--format=json` emits one machine-readable object; `--format=github`
+//! emits GitHub Actions `::error` annotations (used by the CI `analysis`
+//! job). `--bless` (schema only) rewrites `schema.lock` from the
+//! current source. Exit code 1 on any violation.
 
 use std::path::PathBuf;
 
+use itag::analyze::{self, AnalysisReport};
+use itag::lint::{self, Violation};
+
+struct Args {
+    root: PathBuf,
+    cmd: String,
+    format: String,
+    bless: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")),
+        cmd: "all".into(),
+        format: "text".into(),
+        bless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if let Some(f) = a.strip_prefix("--format=") {
+            args.format = f.to_string();
+        } else if a == "--format" {
+            args.format = it.next().ok_or("--format needs a value")?;
+        } else if a == "--bless" {
+            args.bless = true;
+        } else if a == "--root" {
+            args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else if matches!(
+            a.as_str(),
+            "all" | "lint" | "panics" | "schema" | "lockorder" | "faultcov"
+        ) {
+            args.cmd = a;
+        } else {
+            // Back-compat: `itag-lint PATH` lints a workspace at PATH.
+            args.root = PathBuf::from(a);
+        }
+    }
+    if !matches!(args.format.as_str(), "text" | "json" | "github") {
+        return Err(format!("unknown format `{}`", args.format));
+    }
+    Ok(args)
+}
+
 fn main() {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("itag-lint: {e}");
+            std::process::exit(2);
+        }
+    };
 
-    let report = itag::lint::run(&root);
+    let run_lint = matches!(args.cmd.as_str(), "all" | "lint");
+    let lint_report = run_lint.then(|| lint::run(&args.root));
 
-    if !report.waivers_used.is_empty() {
-        println!("reviewed waivers in effect:");
-        for w in &report.waivers_used {
-            println!(
-                "  {}:{}: allow({})  [budget {}]",
-                w.file,
-                w.line,
-                w.rule,
-                itag::lint::waiver_budget(&w.rule)
+    let analysis: Option<AnalysisReport> = match args.cmd.as_str() {
+        "all" => Some(analyze::run_all(&args.root, args.bless)),
+        "panics" | "lockorder" | "faultcov" => {
+            let ws = analyze::Workspace::load(&args.root);
+            let part = match args.cmd.as_str() {
+                "panics" => analyze::panics::check(&args.root, &ws),
+                "lockorder" => analyze::lockorder::check(&args.root, &ws),
+                _ => analyze::faultcov::check(&args.root, &ws),
+            };
+            Some(AnalysisReport {
+                files_parsed: ws.files.len(),
+                fns_analyzed: ws.fns.len(),
+                parts: vec![part],
+            })
+        }
+        "schema" => {
+            let ws = analyze::Workspace::load(&args.root);
+            Some(AnalysisReport {
+                files_parsed: ws.files.len(),
+                fns_analyzed: ws.fns.len(),
+                parts: vec![analyze::schema::check(
+                    &args.root,
+                    &ws.files,
+                    &analyze::lock_path(&args.root),
+                    args.bless,
+                )],
+            })
+        }
+        _ => None,
+    };
+
+    // Collect everything for rendering.
+    let mut violations: Vec<&Violation> = Vec::new();
+    let mut waivers: Vec<(String, String)> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    if let Some(r) = &lint_report {
+        violations.extend(r.violations.iter());
+        waivers.extend(r.waivers_used.iter().map(|w| {
+            (
+                w.rule.clone(),
+                format!(
+                    "{}:{} [budget {}]",
+                    w.file,
+                    w.line,
+                    lint::waiver_budget(&w.rule)
+                ),
+            )
+        }));
+    }
+    if let Some(r) = &analysis {
+        for part in &r.parts {
+            violations.extend(part.violations.iter());
+            waivers.extend(
+                part.waivers
+                    .iter()
+                    .map(|w| ("panic-path".to_string(), w.clone())),
             );
+            notes.extend(part.notes.iter().map(|n| format!("{}: {n}", part.name)));
+        }
+    }
+    let clean = violations.is_empty();
+
+    match args.format.as_str() {
+        "json" => println!(
+            "{}",
+            analyze::render_json("itag-lint", &violations, &waivers, clean)
+        ),
+        "github" => {
+            if !clean {
+                println!("{}", analyze::render_github(&violations));
+            }
+            for n in &notes {
+                println!("::notice title=itag-lint::{n}");
+            }
+        }
+        _ => {
+            if !waivers.is_empty() {
+                println!("reviewed waivers in effect:");
+                for (rule, w) in &waivers {
+                    println!("  allow({rule}) {w}");
+                }
+            }
+            for n in &notes {
+                println!("note: {n}");
+            }
+            if clean {
+                let scanned = lint_report.as_ref().map(|r| r.files_scanned).unwrap_or(0);
+                let fns = analysis.as_ref().map(|r| r.fns_analyzed).unwrap_or(0);
+                println!(
+                    "itag-lint {}: clean ({scanned} files linted, {fns} fns analyzed, {} waivers)",
+                    args.cmd,
+                    waivers.len()
+                );
+            } else {
+                eprintln!("itag-lint {}: {} violation(s):", args.cmd, violations.len());
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+            }
         }
     }
 
-    if report.is_clean() {
-        println!(
-            "itag-lint: clean ({} files scanned, {} waivers used)",
-            report.files_scanned,
-            report.waivers_used.len()
-        );
-        return;
+    if !clean {
+        std::process::exit(1);
     }
-
-    eprintln!("itag-lint: {} violation(s):", report.violations.len());
-    for v in &report.violations {
-        eprintln!("  {v}");
-    }
-    std::process::exit(1);
 }

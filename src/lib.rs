@@ -18,6 +18,7 @@
 //! use itag::prelude::*;
 //! ```
 
+pub mod analyze;
 pub mod lint;
 
 pub use itag_core as core;

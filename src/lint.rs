@@ -21,12 +21,12 @@
 //! * `store-unwrap` — no `.unwrap()` / `.expect(` in non-test store
 //!   code: commit and recovery paths return typed `StoreError`s instead
 //!   of unwinding mid-protocol.
-//! * `std-sync` — no direct `std::sync::{Mutex, RwLock, Condvar}` in
-//!   the store, the engine, or `crowd::parallel`: those crates must use
-//!   the instrumented `parking_lot` shim so the lockcheck tracker sees
-//!   every acquisition. (`crowd::model` is deliberately out of scope —
-//!   its scheduler IS the instrumentation and needs the raw primitives,
-//!   as does the shim itself, which is not walked.)
+//! * `std-sync` — no direct `std::sync::{Mutex, RwLock, Condvar}`
+//!   anywhere under `crates/`: every crate must use the instrumented
+//!   `parking_lot` shim so the lockcheck tracker sees each acquisition.
+//!   (`crowd::model` is the one exemption — its scheduler IS the
+//!   instrumentation and needs the raw primitives, as does the shim
+//!   itself, which is not walked.)
 //! * `determinism-instant` — no `Instant::now()` / `SystemTime::now()`
 //!   between a `lint: determinism` fence comment and its matching
 //!   `lint: end determinism`: fenced regions promise bit-identical
@@ -42,6 +42,9 @@
 //! violation too (stale waivers rot), as is a waiver naming an unknown
 //! rule. Fences open with `lint: determinism` and close with
 //! `lint: end determinism`; unbalanced fences are violations.
+//!
+//! `allow(panic-path)` is accepted but handled by the call-graph
+//! analyses in [`crate::analyze`] (function-granular, budgeted there).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -93,16 +96,21 @@ impl LintReport {
 
 const RULES: [&str; 4] = ["env-var", "store-unwrap", "std-sync", "determinism-instant"];
 
+/// Rules handled by the call-graph analyses in `crate::analyze`, not
+/// here. Their `lint: allow(...)` directives are legal comments (so a
+/// file can carry both kinds), but this lint neither applies nor
+/// stale-tracks them — `itag-lint panics` does.
+const EXTERNAL_RULES: [&str; 1] = ["panic-path"];
+
 /// Files where `env::var` is sanctioned.
 const ENV_VAR_ALLOWED: [&str; 2] = ["crates/core/src/config.rs", "crates/store/src/envknob.rs"];
 
-/// Paths (prefixes or exact files) where the `std-sync` rule applies.
-const STD_SYNC_SCOPE: [&str; 4] = [
-    "crates/store/src/",
-    "crates/core/src/",
-    "crates/crowd/src/parallel.rs",
-    "crates/server/src/",
-];
+/// The `std-sync` rule covers every crate except `crowd::model`: the
+/// schedule explorer IS the instrumentation and needs raw primitives
+/// (as does the `parking_lot` shim itself, which is not walked).
+fn std_sync_in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/") && rel != "crates/crowd/src/model.rs"
+}
 
 /// How many `lint: allow(<rule>)` directives each rule tolerates
 /// repo-wide. Raising a budget is a reviewed change to this file.
@@ -186,7 +194,7 @@ fn rule_static(rule: &str) -> &'static str {
         .unwrap_or("env-var")
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -266,6 +274,8 @@ fn lint_file(
                         line: line_no,
                         used: false,
                     });
+                } else if EXTERNAL_RULES.contains(&rule) {
+                    // Owned by crate::analyze; nothing to do here.
                 } else {
                     report.violations.push(Violation {
                         file: rel.into(),
@@ -350,7 +360,7 @@ fn lint_file(
                 "panic in non-test store code; return a typed StoreError".into(),
             );
         }
-        if STD_SYNC_SCOPE.iter().any(|s| rel.starts_with(s))
+        if std_sync_in_scope(rel)
             && code.contains(p_std_sync)
             && ["Mutex", "RwLock", "Condvar"]
                 .iter()
@@ -615,6 +625,10 @@ mod tests {
         let r = lint_source("crates/store/src/db.rs", unknown);
         assert_eq!(r.violations.len(), 1);
         assert!(r.violations[0].message.contains("unknown rule"));
+
+        // Externally-owned rules pass through without stale-tracking.
+        let external = "// lint: allow(panic-path)\nfn f() {}\n";
+        assert!(lint_source("crates/store/src/db.rs", external).is_clean());
     }
 
     #[test]
@@ -638,6 +652,15 @@ mod tests {
                 .len(),
             1
         );
+        // Since PR 9 the scope is every crate (minus model.rs).
+        for rel in [
+            "crates/quality/src/metric.rs",
+            "crates/strategy/src/lib.rs",
+            "crates/model/src/delicious.rs",
+            "crates/crowd/src/behavior.rs",
+        ] {
+            assert_eq!(lint_source(rel, src).violations.len(), 1, "{rel}");
+        }
         // Arc and atomics are fine everywhere.
         assert!(lint_source("crates/store/src/db.rs", "use std::sync::Arc;\n").is_clean());
     }

@@ -1,0 +1,180 @@
+//! Golden tests for the registry-free parser and the schema-drift
+//! check, driven by the fixtures in `tests/fixtures/analyze/`.
+//!
+//! The torture fixture exercises every token shape that has bitten a
+//! hand-rolled Rust lexer — raw/byte strings, nested block comments,
+//! turbofish, lifetime-vs-char disambiguation, `#[cfg(test)]` regions,
+//! nested fns — and its parse is pinned to `torture.golden`. Re-bless
+//! after a reviewed parser change with `ITAG_BLESS=1 cargo test --test
+//! analyze_parser`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use itag::analyze::callgraph::Workspace;
+use itag::analyze::parse::parse_file;
+use itag::analyze::schema;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/analyze")
+        .join(name)
+}
+
+fn read(name: &str) -> String {
+    std::fs::read_to_string(fixture(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Deterministic dump of everything the analyses consume from a file:
+/// items with owners/lines/test-flags, plus per-fn extracted facts.
+fn dump(rel: &str, content: &str) -> String {
+    let pf = parse_file(rel, content);
+    let ws = Workspace::from_files(vec![pf.clone()]);
+    let mut out = String::new();
+    for c in &pf.consts {
+        writeln!(out, "const {} @{}", c.name, c.line).unwrap();
+    }
+    for t in &pf.types {
+        let parts: Vec<String> = match t.kind {
+            itag::analyze::parse::TypeKind::Struct => t
+                .fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, f.ty))
+                .collect(),
+            itag::analyze::parse::TypeKind::Enum => t
+                .variants
+                .iter()
+                .map(|v| {
+                    if v.fields.is_empty() {
+                        v.name.clone()
+                    } else {
+                        format!("{}({})", v.name, v.fields.len())
+                    }
+                })
+                .collect(),
+        };
+        writeln!(
+            out,
+            "{} {} @{}{} derives=[{}] {{ {} }}",
+            t.kind,
+            t.name,
+            t.line,
+            if t.in_test { " test" } else { "" },
+            t.derives.join(","),
+            parts.join(", ")
+        )
+        .unwrap();
+    }
+    for f in &ws.fns {
+        let mut line = format!(
+            "fn {} @{}{}",
+            f.qname(),
+            f.item.line,
+            if f.item.in_test { " test" } else { "" }
+        );
+        let panics: Vec<String> = f
+            .facts
+            .panics
+            .iter()
+            .map(|p| format!("{:?}@{}", p.kind, p.line))
+            .collect();
+        if !panics.is_empty() {
+            write!(line, " panics=[{}]", panics.join(",")).unwrap();
+        }
+        let locks: Vec<String> = f.facts.lock_decls.iter().map(|d| d.class.clone()).collect();
+        if !locks.is_empty() {
+            write!(line, " locks=[{}]", locks.join(",")).unwrap();
+        }
+        if !f.facts.acquisitions.is_empty() {
+            write!(line, " acquires={}", f.facts.acquisitions.len()).unwrap();
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn torture_fixture_matches_golden() {
+    let got = dump("crates/store/src/torture.rs", &read("torture.rs"));
+    let golden_path = fixture("torture.golden");
+    if std::env::var("ITAG_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&golden_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .expect("torture.golden missing — run with ITAG_BLESS=1 to create it");
+    assert_eq!(
+        got, want,
+        "parser output drifted from torture.golden — review the diff, then \
+         re-bless with `ITAG_BLESS=1 cargo test --test analyze_parser`"
+    );
+}
+
+#[test]
+fn torture_parse_is_total_on_truncations() {
+    // Chopping the fixture at any char boundary must never panic the
+    // lexer or parser (totality is what lets the lint run pre-commit).
+    let src = read("torture.rs");
+    for cut in (0..src.len()).step_by(97) {
+        if !src.is_char_boundary(cut) {
+            continue;
+        }
+        let _ = parse_file("x.rs", &src[..cut]);
+    }
+}
+
+// ----------------------------------------------------- schema drift
+
+fn schema_files(proto: &str) -> Vec<itag::analyze::parse::ParsedFile> {
+    vec![
+        parse_file("crates/server/src/proto.rs", proto),
+        parse_file("crates/core/src/records.rs", &read("schema/records.rs")),
+        parse_file("crates/core/src/engine.rs", &read("schema/engine.rs")),
+    ]
+}
+
+fn check_drift(proto_fixture: &str) -> itag::analyze::AnalysisPart {
+    let dir = std::env::temp_dir().join(format!(
+        "itag-analyze-drift-{}-{}",
+        std::process::id(),
+        proto_fixture.replace('/', "_")
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let lock = dir.join("schema.lock");
+    let blessed = schema::check(
+        Path::new("."),
+        &schema_files(&read("schema/base_proto.rs")),
+        &lock,
+        true,
+    );
+    assert!(blessed.is_clean(), "{:?}", blessed.violations);
+    let part = schema::check(
+        Path::new("."),
+        &schema_files(&read(proto_fixture)),
+        &lock,
+        false,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    part
+}
+
+#[test]
+fn seeded_variant_reorder_is_flagged() {
+    let part = check_drift("schema/reorder_proto.rs");
+    assert_eq!(part.violations.len(), 1, "{:?}", part.violations);
+    let msg = &part.violations[0].message;
+    assert!(msg.contains("ErrorCode"), "{msg}");
+    assert!(msg.contains("index 0"), "{msg}");
+}
+
+#[test]
+fn seeded_append_with_bump_is_clean() {
+    let part = check_drift("schema/append_proto.rs");
+    assert!(part.is_clean(), "{:?}", part.violations);
+    assert!(
+        part.notes.iter().any(|n| n.contains("ErrorCode")),
+        "compatible append should be noted: {:?}",
+        part.notes
+    );
+}

@@ -1,0 +1,18 @@
+//! Schema-drift fixture: one variant appended at the end plus a
+//! version bump — the sanctioned wire-compatible evolution.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+#[derive(Serialize, Deserialize)]
+pub enum ErrorCode {
+    Version,
+    Malformed,
+    Engine,
+    Degraded,
+    Throttled,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct Hello {
+    pub version: u32,
+    pub name: String,
+}

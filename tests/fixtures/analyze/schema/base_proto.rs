@@ -1,0 +1,16 @@
+//! Schema-drift fixture, baseline. Stands in for crates/server/src/proto.rs.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+#[derive(Serialize, Deserialize)]
+pub enum ErrorCode {
+    Version,
+    Malformed,
+    Engine,
+    Degraded,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct Hello {
+    pub version: u32,
+    pub name: String,
+}

@@ -1,0 +1,2 @@
+//! Schema-drift fixture. Stands in for crates/core/src/engine.rs.
+pub const SCHEMA_VERSION: u32 = 2;

@@ -1,0 +1,6 @@
+//! Schema-drift fixture. Stands in for crates/core/src/records.rs.
+#[derive(Serialize, Deserialize)]
+pub struct UserRecord {
+    pub id: u32,
+    pub name: String,
+}

@@ -1,0 +1,18 @@
+//! Schema-drift fixture: ErrorCode variants swapped — positional tags
+//! now decode as each other. Must be flagged even though the version
+//! was bumped.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+#[derive(Serialize, Deserialize)]
+pub enum ErrorCode {
+    Malformed,
+    Version,
+    Engine,
+    Degraded,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct Hello {
+    pub version: u32,
+    pub name: String,
+}

@@ -1,0 +1,89 @@
+//! Parser torture fixture: every token shape that has bitten a
+//! hand-rolled Rust lexer. Parsed by `tests/analyze_parser.rs` and
+//! compared against `torture.golden` — this file is NOT compiled.
+
+/* nested /* block /* comments */ nest */ to any depth */
+/* a stray fn inside a comment: fn not_a_real_fn() {} */
+
+pub const ANSWER: u32 = 42;
+pub const SITE: &str = "wal.append";
+
+/// Raw strings swallow quotes and escapes: "fn fake() {}" stays text.
+pub fn raw_strings() -> &'static str {
+    let _plain = "quote \" and brace } inside";
+    let _raw = r"no escapes \ here";
+    let _hashed = r#"embedded "quotes" and { braces }"#;
+    let _double = r##"even a "# inside"##;
+    let _bytes = b"\x00\xff";
+    let _raw_bytes = br#"raw "bytes""#;
+    r"done"
+}
+
+/// Lifetimes are not char literals: `'a` vs `'x'` vs `'\n'`.
+pub fn lifetimes<'a, 'b: 'a>(x: &'a str, _y: &'b [u8]) -> &'a str {
+    let _c = 'x';
+    let _esc = '\n';
+    let _quote = '\'';
+    let _label: char = 'a';
+    x
+}
+
+/// Turbofish and shift-vs-generics ambiguity.
+pub fn turbofish(v: Vec<u32>) -> usize {
+    let doubled = v.iter().map(|x| x << 1).collect::<Vec<u32>>();
+    let nested: Vec<Vec<u8>> = Vec::<Vec<u8>>::new();
+    doubled.len() + nested.len()
+}
+
+#[derive(Serialize, Deserialize, Debug)]
+pub enum Wire {
+    Hello { version: u32 },
+    Ping,
+    Payload(Vec<u8>),
+}
+
+#[derive(Serialize)]
+pub struct Framed<'a> {
+    pub header: &'a [u8],
+    pub body: Vec<u8>,
+}
+
+pub struct Guarded {
+    mu: Mutex<u64>,
+}
+
+impl Guarded {
+    pub fn new() -> Self {
+        Guarded {
+            mu: Mutex::named("torture.mu", 0),
+        }
+    }
+
+    /// Panic sites of all three kinds, plus a nested fn that must be a
+    /// separate item (its body must NOT leak into `kinds`).
+    pub fn kinds(&self, v: &[u8], o: Option<u8>) -> u8 {
+        fn nested_helper(x: u8) -> u8 {
+            x + 1
+        }
+        let g = self.mu.lock();
+        let first = v[0];
+        let _slice = &v[1..3];
+        let _full = &v[..];
+        drop(g);
+        if first > 10 {
+            panic!("boom");
+        }
+        nested_helper(o.unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// In-test panics are exempt from reachability.
+    #[test]
+    fn test_only_fn() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        v.get(9).unwrap();
+    }
+}
