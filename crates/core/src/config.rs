@@ -95,6 +95,16 @@ pub struct EngineConfig {
     /// else [`DEFAULT_REPUTATION_MODE`]. Results are bit-identical in
     /// either mode — a throughput knob only.
     pub reputation: Option<ReputationMode>,
+    /// Cross-project group-commit budget for
+    /// [`crate::engine::ITagEngine::run_all`]: how many projects' merge
+    /// frames the merger folds into **one** WAL frame + fsync before
+    /// flushing (also bounded by [`COMMIT_BATCH_MAX_BYTES`]). `Some(0)`
+    /// or `Some(1)` commit one frame per project (the pre-batching
+    /// schedule); `None` = auto: the `ITAG_COMMIT_BATCH` environment
+    /// variable if set, else [`DEFAULT_COMMIT_BATCH`]. Stored bytes are
+    /// bit-identical at every budget — a throughput knob only (fewer
+    /// fsyncs per round; pinned by the determinism suite).
+    pub commit_batch: Option<usize>,
     /// Storage backend.
     pub storage: StorageConfig,
 }
@@ -102,6 +112,15 @@ pub struct EngineConfig {
 /// Pipeline depth used when neither [`EngineConfig::pipeline_depth`] nor
 /// `ITAG_PIPELINE` says otherwise.
 pub const DEFAULT_PIPELINE_DEPTH: usize = 2;
+
+/// Group-commit budget used when neither [`EngineConfig::commit_batch`]
+/// nor `ITAG_COMMIT_BATCH` says otherwise.
+pub const DEFAULT_COMMIT_BATCH: usize = 8;
+
+/// Byte ceiling on a group-committed frame: the merger flushes early once
+/// the folded ops reach this size, so a giant round can't balloon one WAL
+/// frame (and its recovery replay unit) without bound.
+pub const COMMIT_BATCH_MAX_BYTES: usize = 1 << 20;
 
 impl Default for EngineConfig {
     fn default() -> Self {
@@ -120,6 +139,7 @@ impl Default for EngineConfig {
             entity_cache: true,
             pipeline_depth: None,
             reputation: None,
+            commit_batch: None,
             storage: StorageConfig::InMemory,
         }
     }
@@ -140,6 +160,9 @@ pub struct EnvOverrides {
     /// `ITAG_REPUTATION`: reputation-snapshot schedule
     /// (`ledger`/`rescan`).
     pub reputation: Option<ReputationMode>,
+    /// `ITAG_COMMIT_BATCH`: cross-project group-commit budget
+    /// (`0`/`1` = one frame per project).
+    pub commit_batch: Option<usize>,
 }
 
 impl EnvOverrides {
@@ -151,6 +174,7 @@ impl EnvOverrides {
             pipeline_depth: parse_pipeline(var("ITAG_PIPELINE").as_deref())?,
             no_cache: parse_no_cache(var("ITAG_NO_CACHE").as_deref())?,
             reputation: parse_reputation(var("ITAG_REPUTATION").as_deref())?,
+            commit_batch: parse_commit_batch(var("ITAG_COMMIT_BATCH").as_deref())?,
         })
     }
 }
@@ -184,6 +208,47 @@ pub fn parse_pipeline(raw: Option<&str>) -> std::result::Result<Option<usize>, S
             "ITAG_PIPELINE={raw:?} is not a valid pipeline depth (expected an integer; 0 disables)"
         )),
     }
+}
+
+/// Parses `ITAG_COMMIT_BATCH`: a group-commit budget (`0`/`1` = one
+/// frame per project), or unset (empty counts as unset, matching the
+/// other knobs).
+pub fn parse_commit_batch(raw: Option<&str>) -> std::result::Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    if raw.trim().is_empty() {
+        return Ok(None);
+    }
+    match raw.trim().parse::<usize>() {
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "ITAG_COMMIT_BATCH={raw:?} is not a valid group-commit budget (expected an integer; 0 or 1 disables batching)"
+        )),
+    }
+}
+
+/// Parses `ITAG_SNAPSHOT_READS`: a boolean switch for the server's
+/// snapshot-backed dashboard reads. The knob belongs to `itag-server`,
+/// but this module is the sanctioned home for `ITAG_*` environment
+/// grammar (the repo lint pins env reads here and in
+/// `store::envknob`), so the parser — and [`env_snapshot_reads`], the
+/// one place the variable is actually read — live here.
+pub fn parse_snapshot_reads(raw: Option<&str>) -> std::result::Result<Option<bool>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim() {
+        "" => Ok(None),
+        "1" | "true" | "on" => Ok(Some(true)),
+        "0" | "false" | "off" => Ok(Some(false)),
+        _ => Err(format!(
+            "ITAG_SNAPSHOT_READS={raw:?} is not a valid switch (expected 0/1/true/false/on/off)"
+        )),
+    }
+}
+
+/// Reads and validates `ITAG_SNAPSHOT_READS` from the process
+/// environment. `None` = unset (the server defaults to snapshot reads
+/// on).
+pub fn env_snapshot_reads() -> std::result::Result<Option<bool>, String> {
+    parse_snapshot_reads(std::env::var("ITAG_SNAPSHOT_READS").ok().as_deref())
 }
 
 /// Parses `ITAG_NO_CACHE`: `1`/`true` force the cache off, `0`/`false`
@@ -262,6 +327,9 @@ mod tests {
         assert_eq!(parse_no_cache(Some("true")).unwrap(), Some(true));
         assert_eq!(parse_no_cache(Some("0")).unwrap(), Some(false));
         assert_eq!(parse_no_cache(Some("false")).unwrap(), Some(false));
+        assert_eq!(parse_commit_batch(None).unwrap(), None);
+        assert_eq!(parse_commit_batch(Some("0")).unwrap(), Some(0));
+        assert_eq!(parse_commit_batch(Some(" 16 ")).unwrap(), Some(16));
         assert_eq!(parse_reputation(None).unwrap(), None);
         assert_eq!(
             parse_reputation(Some("ledger")).unwrap(),
@@ -277,6 +345,7 @@ mod tests {
         assert_eq!(parse_pipeline(Some(" ")).unwrap(), None);
         assert_eq!(parse_no_cache(Some("")).unwrap(), None);
         assert_eq!(parse_reputation(Some("")).unwrap(), None);
+        assert_eq!(parse_commit_batch(Some(" ")).unwrap(), None);
     }
 
     #[test]
@@ -302,6 +371,13 @@ mod tests {
             let err = parse_reputation(Some(bad)).unwrap_err();
             assert!(
                 err.contains("ITAG_REPUTATION") && err.contains(bad),
+                "{err}"
+            );
+        }
+        for bad in ["many", "-4", "2.5"] {
+            let err = parse_commit_batch(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("ITAG_COMMIT_BATCH") && err.contains(bad),
                 "{err}"
             );
         }

@@ -155,6 +155,10 @@ enum RoundResult {
     /// The merge ran: the committed summary plus the round's
     /// notifications, or the merge/staging error (no notifications then).
     Merged(Result<RunSummary>, Vec<Notification>),
+    /// The project's frame was folded into a pending cross-project group
+    /// commit; its outcome lands in [`GroupCommit::outcomes`] when the
+    /// group flushes and is resolved in `run_all_with`'s assembly loop.
+    Deferred,
 }
 
 /// One resource's accumulated effects over a parallel round.
@@ -264,24 +268,34 @@ fn assign_post_base(
     })
 }
 
-/// The serial half of one project's round: stage the round's
-/// already-folded per-worker deltas and the provider's round totals, add
-/// the project row, commit the whole frame, and hand back the round's
-/// notifications. Runs in project-id order — on the dedicated merger
-/// thread when the round pipeline is on, on the calling thread otherwise
-/// — so the stored bytes are identical either way. Once (and only once)
-/// the frame has committed, the same deltas are applied to the
-/// incremental reputation ledger, so the ledger can never run ahead of
-/// the durable tagger table — a failed merge leaves both untouched.
-fn merge_ticked_project(
+/// One project's share of a (possibly grouped) commit: its summary and
+/// notifications ride with the deltas the reputation ledger applies once
+/// the frame holding the project's ops has durably committed.
+struct GroupMember {
+    project: u32,
+    summary: RunSummary,
+    deltas: DecisionDeltas,
+    notifications: Vec<Notification>,
+}
+
+/// Stages one ticked project's **complete** frame: the round's staged
+/// effects batch, the per-worker reputation deltas, and the project row.
+/// The project row rides in the same frame as the round's effects:
+/// budget/state can never run ahead of (or behind) the posts they paid
+/// for. Shared by both commit schedules — per-project frames and the
+/// cross-project group commit stage byte-identical ops through this one
+/// function, so the two paths cannot drift.
+///
+/// On error the staged-record overlay may hold this project's partial
+/// records; both callers clear (or flush-then-clear) it before the next
+/// read.
+fn stage_member_frame(
     users: &UserManager,
     projects: &TypedTable<ProjectRecord>,
-    store: &Store,
-    ledger: Option<&ReputationLedger>,
     job: MergeJob,
     deltas: DecisionDeltas,
     batch: Result<WriteBatch>,
-) -> (Result<RunSummary>, Vec<Notification>) {
+) -> std::result::Result<(WriteBatch, GroupMember), EngineError> {
     let MergeJob {
         project,
         provider,
@@ -295,33 +309,162 @@ fn merge_ticked_project(
         notifications,
         ..
     } = outcome;
-    let merged: Result<RunSummary> = (|| {
-        let mut batch = batch?;
-        users.stage_round_deltas(&mut batch, provider, &deltas)?;
-        // The project row rides in the same frame as the round's effects:
-        // budget/state can never run ahead of (or behind) the posts they
-        // paid for, and the separate commit is gone.
-        let mut record = projects
-            .get(&project)?
-            .ok_or(EngineError::UnknownProject(project))?;
-        record.budget_spent = budget_spent;
-        record.state = state;
-        projects.stage_upsert_owned(&mut batch, record)?;
-        store.commit(batch)?;
-        Ok(summary)
-    })();
+    let mut batch = batch?;
+    users.stage_round_deltas(&mut batch, provider, &deltas)?;
+    let mut record = projects
+        .get(&project)?
+        .ok_or(EngineError::UnknownProject(project))?;
+    record.budget_spent = budget_spent;
+    record.state = state;
+    projects.stage_upsert_owned(&mut batch, record)?;
+    Ok((
+        batch,
+        GroupMember {
+            project: project.0,
+            summary,
+            deltas,
+            notifications,
+        },
+    ))
+}
+
+/// The serial half of one project's round under the per-project commit
+/// schedule (`commit_batch <= 1`): stage the complete frame, commit it,
+/// and hand back the round's notifications. Runs in project-id order —
+/// on the dedicated merger thread when the round pipeline is on, on the
+/// calling thread otherwise — so the stored bytes are identical either
+/// way. Once (and only once) the frame has committed, the same deltas
+/// are applied to the incremental reputation ledger, so the ledger can
+/// never run ahead of the durable tagger table — a failed merge leaves
+/// both untouched.
+fn merge_ticked_project(
+    users: &UserManager,
+    projects: &TypedTable<ProjectRecord>,
+    store: &Store,
+    ledger: Option<&ReputationLedger>,
+    job: MergeJob,
+    deltas: DecisionDeltas,
+    batch: Result<WriteBatch>,
+) -> (Result<RunSummary>, Vec<Notification>) {
+    let merged =
+        stage_member_frame(users, projects, job, deltas, batch).and_then(|(batch, member)| {
+            store.commit(batch)?;
+            Ok(member)
+        });
     // The staged-record overlay only has to outlive the batch. Clearing
     // on the failure path matters just as much: records staged into a
     // batch that never committed must not keep answering reads.
     users.clear_staged();
     match merged {
-        Ok(s) => {
+        Ok(m) => {
             if let Some(ledger) = ledger {
-                ledger.apply(&deltas);
+                ledger.apply(&m.deltas);
             }
-            (Ok(s), notifications)
+            (Ok(m.summary), m.notifications)
         }
         Err(e) => (Err(e), Vec::new()),
+    }
+}
+
+/// Accumulator of the cross-project group commit (`commit_batch >= 2`):
+/// the merger folds consecutive projects' frames into one [`WriteBatch`]
+/// and commits them as **one** WAL frame + fsync. Ops are appended in
+/// project-id order (the merge phase's calling order), so the applied
+/// key/value sequence — and therefore every stored byte — is identical
+/// to the per-project schedule; only the WAL framing (k projects per
+/// LSN) differs. The staged-record overlay is *not* cleared between
+/// members: a later member's delta staging must read the earlier
+/// members' still-uncommitted user rows (read-your-own-writes), exactly
+/// as it would have read them post-commit under the per-project
+/// schedule.
+#[derive(Default)]
+struct GroupCommit {
+    batch: WriteBatch,
+    members: Vec<GroupMember>,
+    /// Flush-resolved outcomes keyed by project id; `run_all_with`'s
+    /// assembly loop consumes these for every `RoundResult::Deferred`.
+    outcomes: FxHashMap<u32, (Result<RunSummary>, Vec<Notification>)>,
+}
+
+/// Folds one ticked project into the pending group, flushing when the
+/// member budget or the byte ceiling is reached. A member that fails to
+/// stage must not poison the projects already folded into the pending
+/// frame: they are flushed (committed) first, which also clears the
+/// overlay of the failed member's partial records.
+#[allow(clippy::too_many_arguments)]
+fn merge_into_group(
+    users: &UserManager,
+    projects: &TypedTable<ProjectRecord>,
+    store: &Store,
+    ledger: Option<&ReputationLedger>,
+    budget: usize,
+    group: &mut GroupCommit,
+    job: MergeJob,
+    deltas: DecisionDeltas,
+    batch: Result<WriteBatch>,
+) -> RoundResult {
+    match stage_member_frame(users, projects, job, deltas, batch) {
+        Ok((frame, member)) => {
+            group.batch.append(frame);
+            group.members.push(member);
+            if group.members.len() >= budget
+                || group.batch.ops_bytes() >= crate::config::COMMIT_BATCH_MAX_BYTES
+            {
+                flush_group(users, store, ledger, group);
+            }
+            RoundResult::Deferred
+        }
+        Err(e) => {
+            flush_group(users, store, ledger, group);
+            RoundResult::Merged(Err(e), Vec::new())
+        }
+    }
+}
+
+/// Commits the pending group as one frame and resolves every member's
+/// outcome. On success each member's deltas are applied to the ledger in
+/// member (project-id) order — deltas commute, so the folded counters
+/// match the per-project schedule exactly. On a commit error the whole
+/// frame is gone: the first member carries the root cause, the rest a
+/// derived broken-commit error (storage faults either way, so the server
+/// degrades exactly as it would for a failed per-project commit).
+fn flush_group(
+    users: &UserManager,
+    store: &Store,
+    ledger: Option<&ReputationLedger>,
+    group: &mut GroupCommit,
+) {
+    let batch = std::mem::take(&mut group.batch);
+    let members = std::mem::take(&mut group.members);
+    let committed = if members.is_empty() {
+        Ok(())
+    } else {
+        store.commit(batch)
+    };
+    // Cleared even with no members pending: the caller may have a failed
+    // member's partial records sitting in the overlay.
+    users.clear_staged();
+    match committed {
+        Ok(()) => {
+            for m in members {
+                if let Some(ledger) = ledger {
+                    ledger.apply(&m.deltas);
+                }
+                group
+                    .outcomes
+                    .insert(m.project, (Ok(m.summary), m.notifications));
+            }
+        }
+        Err(e) => {
+            let derived = format!("round lost: its group commit failed: {e}");
+            let mut root = Some(EngineError::Store(e));
+            for m in members {
+                let err = root.take().unwrap_or_else(|| {
+                    EngineError::Store(itag_store::StoreError::Broken(derived.clone()))
+                });
+                group.outcomes.insert(m.project, (Err(err), Vec::new()));
+            }
+        }
     }
 }
 
@@ -1241,6 +1384,12 @@ impl ITagEngine {
         } else {
             self.users.empty_reputation_snapshot()
         };
+        // Cross-project group commit: budget > 1 folds consecutive merge
+        // frames into one WAL frame + fsync. The mutex is uncontended —
+        // only the merge phase touches it, and merges are serial — but it
+        // makes the closure set `Sync` for the scoped threads.
+        let commit_budget = self.resolved_commit_batch();
+        let group = parking_lot::Mutex::named("core.engine.group_commit", GroupCommit::default());
         let results = {
             let rep = &rep;
             let config = &self.config;
@@ -1251,6 +1400,7 @@ impl ITagEngine {
             let projects_tbl = &self.projects;
             let store: &Store = &self.store;
             let next_post = &AtomicU64::new(self.next_post_id);
+            let group = &group;
 
             // The four phases of one project's round. `tick` and `stage`
             // run on whichever worker claimed the project; `sequence` runs
@@ -1292,16 +1442,30 @@ impl ITagEngine {
             let merge = |_: usize, (id, rt, staged): Staged| {
                 let round = match staged {
                     Ok((job, deltas, batch)) => {
-                        let (summary, notes) = merge_ticked_project(
-                            users,
-                            projects_tbl,
-                            store,
-                            ledger,
-                            job,
-                            deltas,
-                            batch,
-                        );
-                        RoundResult::Merged(summary, notes)
+                        if commit_budget > 1 {
+                            merge_into_group(
+                                users,
+                                projects_tbl,
+                                store,
+                                ledger,
+                                commit_budget,
+                                &mut group.lock(),
+                                job,
+                                deltas,
+                                batch,
+                            )
+                        } else {
+                            let (summary, notes) = merge_ticked_project(
+                                users,
+                                projects_tbl,
+                                store,
+                                ledger,
+                                job,
+                                deltas,
+                                batch,
+                            );
+                            RoundResult::Merged(summary, notes)
+                        }
                     }
                     Err(e) => RoundResult::TickFailed(e),
                 };
@@ -1335,9 +1499,13 @@ impl ITagEngine {
                     merge,
                 )
             };
+            // Flush the tail group — the last `< budget` projects of the
+            // round, still pending after the final merge call.
+            flush_group(users, store, ledger, &mut group.lock());
             self.next_post_id = next_post.load(Ordering::Relaxed);
             results
         };
+        let mut group_outcomes = std::mem::take(&mut group.lock().outcomes);
 
         // The round is over and its snapshot is gone: fold the committed
         // deltas into the ledger's counters (in place — no snapshot holds
@@ -1357,6 +1525,23 @@ impl ITagEngine {
         let mut merge_err: Option<EngineError> = None;
         for (id, rt, round) in results {
             self.runtimes.insert(id, rt);
+            let round = match round {
+                // Resolve a deferred (group-committed) project to its
+                // flush outcome; every deferred member was resolved by
+                // its group's flush or the tail flush above, so a miss
+                // is a harness bug — surfaced as an error, never a
+                // panic (dashboards ride on this path).
+                RoundResult::Deferred => match group_outcomes.remove(&id) {
+                    Some((outcome, notes)) => RoundResult::Merged(outcome, notes),
+                    None => RoundResult::Merged(
+                        Err(EngineError::Config(format!(
+                            "project {id}: group-commit outcome missing"
+                        ))),
+                        Vec::new(),
+                    ),
+                },
+                other => other,
+            };
             match round {
                 RoundResult::TickFailed(e) => tick_err = tick_err.or(Some(e)),
                 RoundResult::Merged(Ok(s), notes) => {
@@ -1366,6 +1551,7 @@ impl ITagEngine {
                     summaries.push((ProjectId(id), s));
                 }
                 RoundResult::Merged(Err(e), _) => merge_err = merge_err.or(Some(e)),
+                RoundResult::Deferred => unreachable!("resolved above"),
             }
         }
         match tick_err.or(merge_err) {
@@ -1412,6 +1598,25 @@ impl ITagEngine {
         crate::config::DEFAULT_PIPELINE_DEPTH
     }
 
+    /// Group-commit budget [`ITagEngine::run_all`] will use: up to this
+    /// many projects' merge frames are folded into a single store commit
+    /// (one WAL append + fsync) per flush, also bounded by
+    /// [`crate::config::COMMIT_BATCH_MAX_BYTES`]. `0` and `1` both mean
+    /// the per-project legacy schedule. Purely a throughput knob —
+    /// results are bit-identical at every budget.
+    /// `EngineConfig::commit_batch`, else the `ITAG_COMMIT_BATCH`
+    /// override validated at construction, else
+    /// [`crate::config::DEFAULT_COMMIT_BATCH`].
+    pub fn resolved_commit_batch(&self) -> usize {
+        if let Some(n) = self.config.commit_batch {
+            return n;
+        }
+        if let Some(n) = self.env.commit_batch {
+            return n;
+        }
+        crate::config::DEFAULT_COMMIT_BATCH
+    }
+
     /// Reputation-snapshot schedule this engine runs
     /// ([`EngineConfig::reputation`], else the `ITAG_REPUTATION` override
     /// validated at construction, else
@@ -1449,6 +1654,58 @@ impl ITagEngine {
     /// [`itag_store::Store::content_checksum`]).
     pub fn store_checksum(&self) -> u64 {
         self.store.content_checksum()
+    }
+
+    /// A shared handle to the engine's store. The server uses it for
+    /// lock-free epoch probes ([`itag_store::Store::epoch`]) to decide
+    /// whether a cached [`crate::snapshot::EngineSnapshot`] is current
+    /// without taking the engine lock.
+    pub fn store_handle(&self) -> Arc<Store> {
+        Arc::clone(&self.store)
+    }
+
+    /// Captures a frozen analytics view: the store snapshot, the O(1)
+    /// reputation snapshot, and one [`crate::snapshot::ProjectDigest`]
+    /// per live runtime. The engine is borrowed (`&self`) for the whole
+    /// capture and rounds require `&mut self`, so the captured store
+    /// epoch and the digests describe the same round boundary. Cost is
+    /// one shard-directory clone plus O(projects) digests — no table is
+    /// copied ([`itag_store::Store::read_snapshot`]).
+    pub fn snapshot(&self) -> crate::snapshot::EngineSnapshot {
+        let store = self.store.read_snapshot();
+        let reputation = match &self.reputation {
+            Some(ledger) => ledger.snapshot(),
+            None => self.users.empty_reputation_snapshot(),
+        };
+        let mut projects = std::collections::BTreeMap::new();
+        for rt in self.runtimes.values() {
+            let (escrowed, paid, refunded) = rt.ledger.totals();
+            projects.insert(
+                rt.id.0,
+                crate::snapshot::ProjectDigest {
+                    project: rt.id,
+                    provider: rt.provider,
+                    name: rt.name.clone(),
+                    state: rt.state.label().to_string(),
+                    strategy: rt.strategy.active_name().to_string(),
+                    quality_mean: rt.pq.mean_quality(),
+                    quality_initial: rt.initial_quality,
+                    oracle_quality: rt.pq.oracle_mean_quality(&rt.dataset),
+                    budget_total: rt.budget_total,
+                    budget_spent: rt.budget_spent,
+                    open_tasks: rt.platform.open_tasks(),
+                    tasks_approved: rt.tasks_approved,
+                    tasks_rejected: rt.tasks_rejected,
+                    banned_taggers: rt.platform.banned_count(),
+                    escrowed: escrowed - paid - refunded,
+                    paid,
+                    refunded,
+                    pay_per_task_cents: rt.pay_cents,
+                    series: rt.series.clone(),
+                },
+            );
+        }
+        crate::snapshot::EngineSnapshot::assemble(store, reputation, projects)
     }
 
     /// The Fig. 3 / Fig. 5 view of a project.

@@ -46,6 +46,7 @@ pub mod project;
 pub mod quality_mgr;
 pub mod records;
 pub mod resource_mgr;
+pub mod snapshot;
 pub mod tables;
 pub mod tag_mgr;
 pub mod user_mgr;
@@ -55,6 +56,7 @@ pub use engine::{ITagEngine, RunSummary};
 pub use monitor::{MonitorSnapshot, ResourceDetail, ResourceRow, SortKey};
 pub use notify::{Notification, NotificationQueue};
 pub use project::{ProjectSpec, ProjectState};
+pub use snapshot::{EngineSnapshot, ProjectDigest};
 
 /// Engine-level errors.
 #[derive(Debug)]

@@ -196,6 +196,25 @@ impl Request {
             | Request::Quit => false,
         }
     }
+
+    /// True for the dashboard reads the server answers from an
+    /// [`itag_core::EngineSnapshot`] instead of the live engine: they
+    /// never touch the engine mutex, so a long `RunRound` cannot stall a
+    /// monitor screen. A strict subset of `!is_write()` — the remaining
+    /// reads (`ResourceDetail`, `PullTasks`, `Reputation`, `Checksum`)
+    /// stay on the engine because they serve audience-platform or
+    /// diagnostic state the snapshot does not carry. Purely a routing
+    /// hint; nothing on the wire changes.
+    pub fn is_snapshot_read(&self) -> bool {
+        matches!(
+            self,
+            Request::Monitor { .. }
+                | Request::MonitorTable { .. }
+                | Request::BrowseProjects
+                | Request::ExportCsv { .. }
+                | Request::ExportDownload { .. }
+        )
+    }
 }
 
 /// Server → client messages.

@@ -8,6 +8,22 @@
 //! class) acquired per request — never across a socket read or write, so
 //! a slow client cannot hold the engine hostage.
 //!
+//! # Snapshot reads
+//!
+//! Dashboard verbs ([`Request::is_snapshot_read`]: monitor, table,
+//! browse, export) skip the engine mutex entirely: they run against an
+//! [`EngineSnapshot`] held in an epoch-keyed cache
+//! (`server.snapshot_cache`), re-captured only when the store's commit
+//! epoch has advanced and served stale (bounded by one pipeline flush)
+//! when the engine is mid-round. Serialization and socket writes happen
+//! on the `Arc`'d snapshot after every lock is dropped, so a slow
+//! dashboard client costs the write path nothing. The answers are
+//! *identical* to engine dispatch at the same epoch — that equivalence
+//! is the `itag_core::snapshot` contract, enforced by its pin tests and
+//! the loopback byte-identity suite. `ITAG_SNAPSHOT_READS=0` (or
+//! [`ServerConfig::snapshot_reads`]) falls back to engine dispatch for
+//! A/B and bisection.
+//!
 //! Framing errors drop the session; payload-decode errors answer
 //! [`ErrorCode::Malformed`] and keep the session (frame alignment is
 //! intact); engine errors answer [`ErrorCode::Engine`] and keep the
@@ -38,18 +54,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use itag_store::faults;
+use itag_store::{faults, Store};
 
 use itag_core::engine::ITagEngine;
+use itag_core::EngineSnapshot;
 use itag_crowd::audience::ManualPlatform;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::frame::{write_frame, FrameError, FrameReader, ReadOutcome};
 use crate::proto::{ErrorCode, OpenTask, Request, Response, WireError, PROTOCOL_VERSION};
 use crate::queue::{Pop, SessionQueue};
 
 /// Serving knobs. All configuration arrives through this struct (or the
-/// `loadgen` CLI) — the server itself reads no environment variables.
+/// `loadgen` CLI) — the one environment override is `ITAG_SNAPSHOT_READS`
+/// for [`ServerConfig::snapshot_reads`], validated strictly at
+/// [`serve`] time (garbage refuses to start rather than silently
+/// defaulting).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Session workers: the concurrency ceiling for in-flight sessions.
@@ -69,6 +89,13 @@ pub struct ServerConfig {
     /// Sessions idle (no complete frame) longer than this are reaped
     /// ([`ServeStats::reaped_idle`]); `None` disables reaping.
     pub idle_timeout: Option<Duration>,
+    /// Serve dashboard reads ([`Request::is_snapshot_read`]) from an
+    /// epoch-keyed [`EngineSnapshot`] instead of the engine mutex.
+    /// `None` = the `ITAG_SNAPSHOT_READS` override, else on. Read
+    /// *results* do not depend on this — snapshot reads equal live reads
+    /// at the same store epoch — only whether a dashboard can stall
+    /// behind a long write.
+    pub snapshot_reads: Option<bool>,
 }
 
 impl Default for ServerConfig {
@@ -81,7 +108,25 @@ impl Default for ServerConfig {
             worker_stack: 512 * 1024,
             drain_deadline: Duration::from_secs(1),
             idle_timeout: None,
+            snapshot_reads: None,
         }
+    }
+}
+
+/// Resolves [`ServerConfig::snapshot_reads`]: explicit config wins, else
+/// the `ITAG_SNAPSHOT_READS` environment override (`0/false/off` and
+/// `1/true/on`; empty = unset), else on. A garbage value is a startup
+/// error, not a silent default — the same strictness contract as the
+/// engine's `ITAG_*` knobs.
+fn resolve_snapshot_reads(cfg: &ServerConfig) -> std::io::Result<bool> {
+    if let Some(on) = cfg.snapshot_reads {
+        return Ok(on);
+    }
+    // The env read itself lives in `core::config` (the lint-sanctioned
+    // home for `ITAG_*` grammar); only the posture is decided here.
+    match itag_core::config::env_snapshot_reads() {
+        Ok(over) => Ok(over.unwrap_or(true)),
+        Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, e)),
     }
 }
 
@@ -111,10 +156,29 @@ pub struct ServeStats {
     /// Worker or acceptor threads that died by panic instead of joining
     /// cleanly. Known only after shutdown; always zero before.
     pub worker_panics: u64,
+    /// Snapshot reads answered from the cached capture at the current
+    /// store epoch — the no-lock, no-copy fast path.
+    pub snapshot_hits: u64,
+    /// Snapshot reads that captured a fresh [`EngineSnapshot`] because
+    /// the store epoch had advanced past the cache.
+    pub snapshot_captures: u64,
+    /// Snapshot reads served a stale capture because the engine mutex
+    /// was busy (a round in flight): bounded staleness instead of
+    /// blocking the dashboard behind the write path.
+    pub snapshot_stale: u64,
 }
 
 struct Shared {
     engine: Mutex<ITagEngine>,
+    /// The engine's store, shared so snapshot reads can check the commit
+    /// epoch (and capture raw-store state) without the engine mutex.
+    store: Arc<Store>,
+    /// Epoch-keyed cache of the latest [`EngineSnapshot`]. Lock order:
+    /// `server.snapshot_cache` → `server.engine` → store shards — the
+    /// engine never acquires the cache, so the hierarchy is acyclic.
+    snapshot_cache: Mutex<Option<Arc<EngineSnapshot>>>,
+    /// Resolved [`ServerConfig::snapshot_reads`].
+    snapshot_reads: bool,
     queue: SessionQueue<TcpStream>,
     stop: AtomicBool,
     /// Read-only degradation latch; see the module docs.
@@ -128,6 +192,9 @@ struct Shared {
     degraded_refusals: AtomicU64,
     accept_faults: AtomicU64,
     session_write_failures: AtomicU64,
+    snapshot_hits: AtomicU64,
+    snapshot_captures: AtomicU64,
+    snapshot_stale: AtomicU64,
     /// When the server came up; drain deadlines are stored as offsets
     /// from this epoch so they fit an atomic.
     epoch: Instant,
@@ -151,6 +218,9 @@ impl Shared {
             accept_faults: self.accept_faults.load(Ordering::Relaxed),
             session_write_failures: self.session_write_failures.load(Ordering::Relaxed),
             worker_panics: 0,
+            snapshot_hits: self.snapshot_hits.load(Ordering::Relaxed),
+            snapshot_captures: self.snapshot_captures.load(Ordering::Relaxed),
+            snapshot_stale: self.snapshot_stale.load(Ordering::Relaxed),
         }
     }
 
@@ -186,12 +256,22 @@ pub fn serve(
     addr: impl ToSocketAddrs,
     cfg: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    let snapshot_reads = resolve_snapshot_reads(&cfg)?;
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    // Seed the snapshot cache before any worker exists: the first
+    // dashboard request finds a capture waiting instead of racing the
+    // first round for the engine mutex.
+    let store = engine.store_handle();
+    let seeded = snapshot_reads.then(|| Arc::new(engine.snapshot()));
+
     let shared = Arc::new(Shared {
         engine: Mutex::named("server.engine", engine),
+        store,
+        snapshot_cache: Mutex::named("server.snapshot_cache", seeded),
+        snapshot_reads,
         queue: SessionQueue::new(cfg.queue_capacity),
         stop: AtomicBool::new(false),
         degraded: AtomicBool::new(false),
@@ -204,6 +284,9 @@ pub fn serve(
         degraded_refusals: AtomicU64::new(0),
         accept_faults: AtomicU64::new(0),
         session_write_failures: AtomicU64::new(0),
+        snapshot_hits: AtomicU64::new(0),
+        snapshot_captures: AtomicU64::new(0),
+        snapshot_stale: AtomicU64::new(0),
         epoch: Instant::now(),
         stop_at_ms: AtomicU64::new(u64::MAX),
         cfg: cfg.clone(),
@@ -254,6 +337,21 @@ impl ServerHandle {
     /// is resolved out of band.
     pub fn set_degraded(&self, on: bool) {
         self.shared.degraded.store(on, Ordering::SeqCst);
+    }
+
+    /// Locks the engine and hands the guard to the caller — the test
+    /// hook behind the lock-free-dashboard contract: a test parks itself
+    /// on the engine mutex through this and then proves snapshot reads
+    /// still answer. Holding it stalls every write and non-snapshot
+    /// read, exactly like a long `RunRound` would.
+    pub fn engine_guard(&self) -> MutexGuard<'_, ITagEngine> {
+        self.shared.engine.lock()
+    }
+
+    /// Whether dashboard reads are being served from MVCC snapshots
+    /// (the resolved [`ServerConfig::snapshot_reads`]).
+    pub fn snapshot_reads(&self) -> bool {
+        self.shared.snapshot_reads
     }
 
     /// Stops accepting, drains the pool, joins every thread, and returns
@@ -483,6 +581,25 @@ fn serve_session(shared: &Shared, stream: TcpStream) {
 /// Reads bypass the latch entirely — they serve the applied in-memory
 /// state, which a broken WAL does not invalidate.
 fn apply(shared: &Shared, req: Request) -> Response {
+    // Dashboard reads never touch the engine mutex: they run against an
+    // epoch-keyed MVCC snapshot, so a mid-flight `RunRound` (or a client
+    // that parked itself on the engine) cannot stall a monitor screen.
+    if shared.snapshot_reads && req.is_snapshot_read() {
+        let (snap, fresh) = current_snapshot(shared);
+        match dispatch_snapshot(&snap, req.clone()) {
+            Ok(resp) => return resp,
+            Err(e) if fresh => {
+                return Response::Error(WireError::new(ErrorCode::Engine, e.to_string()))
+            }
+            // A *negative* answer from a stale capture is not
+            // trustworthy — the project may have been created after the
+            // capture. Positive stale answers are the documented
+            // staleness contract; negative ones fall through to live
+            // engine dispatch below and pay the lock for the
+            // authoritative answer.
+            Err(_) => {}
+        }
+    }
     let is_write = req.is_write();
     if is_write && shared.degraded.load(Ordering::SeqCst) {
         shared.degraded_refusals.fetch_add(1, Ordering::Relaxed);
@@ -503,6 +620,82 @@ fn apply(shared: &Shared, req: Request) -> Response {
             Response::Error(WireError::new(ErrorCode::Engine, e.to_string()))
         }
     }
+}
+
+/// Returns a snapshot no older than the last *committed* store epoch at
+/// some point during this call, plus whether it is *fresh* (epoch-equal
+/// to the store at read time) or a stale serve. Freshness argument:
+/// every engine mutation that can change a dashboard answer (rounds,
+/// budget, strategy switches, registrations, stops) commits a store
+/// batch and so advances the epoch — an epoch-equal cache is therefore
+/// answer-equal, not merely probably fresh. When the cache is stale the
+/// capture needs the engine mutex; if a round holds it, the stale
+/// capture is served instead of blocking
+/// ([`ServeStats::snapshot_stale`]) — the staleness is bounded by one
+/// flush of the writer's pipeline, and `apply` refuses to serve
+/// *negative* answers from a stale capture.
+///
+/// Lock order here is `server.snapshot_cache` → `server.engine` → store
+/// shards; nothing acquires them in any other order.
+fn current_snapshot(shared: &Shared) -> (Arc<EngineSnapshot>, bool) {
+    let mut cache = shared.snapshot_cache.lock();
+    let epoch = shared.store.epoch();
+    if let Some(snap) = cache.as_ref() {
+        if snap.epoch() == epoch {
+            shared.snapshot_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(snap), true);
+        }
+    }
+    if let Some(engine) = shared.engine.try_lock() {
+        let snap = Arc::new(engine.snapshot());
+        drop(engine);
+        shared.snapshot_captures.fetch_add(1, Ordering::Relaxed);
+        *cache = Some(Arc::clone(&snap));
+        return (snap, true);
+    }
+    if let Some(snap) = cache.as_ref() {
+        shared.snapshot_stale.fetch_add(1, Ordering::Relaxed);
+        return (Arc::clone(snap), false);
+    }
+    // No capture yet and the engine is busy — only reachable when the
+    // eager seed in `serve` was skipped (snapshot reads toggled on after
+    // start is impossible today, but stay total): block once.
+    let snap = Arc::new(shared.engine.lock().snapshot());
+    shared.snapshot_captures.fetch_add(1, Ordering::Relaxed);
+    *cache = Some(Arc::clone(&snap));
+    (snap, true)
+}
+
+/// The snapshot twin of [`dispatch`], covering exactly the
+/// [`Request::is_snapshot_read`] verbs. Response payloads are identical
+/// to engine dispatch at the same store epoch — the snapshot
+/// equivalence contract (`itag_core::snapshot`) is what licenses the
+/// routing split, and the loopback byte-identity test holds both paths
+/// to it.
+fn dispatch_snapshot(snap: &EngineSnapshot, req: Request) -> itag_core::Result<Response> {
+    Ok(match req {
+        Request::Monitor { project } => Response::Snapshot(snap.monitor(project)?),
+        Request::MonitorTable { project, limit } => Response::Table {
+            rendered: snap.render_table(project, limit as usize)?,
+        },
+        Request::ExportCsv { project } => Response::Csv {
+            csv: snap.export(project)?.to_csv(),
+        },
+        Request::ExportDownload { project } => Response::Download {
+            bytes: snap.export(project)?.to_bytes(),
+        },
+        Request::BrowseProjects => Response::Projects {
+            listings: snap.browse()?,
+        },
+        // `apply` routes only snapshot reads here; anything else is a
+        // routing bug answered as an error, never a panic (this path is
+        // reachable from the wire).
+        other => {
+            return Err(itag_core::EngineError::Config(format!(
+                "request {other:?} is not a snapshot read"
+            )))
+        }
+    })
 }
 
 fn dispatch(engine: &mut ITagEngine, req: Request) -> itag_core::Result<Response> {
@@ -611,4 +804,43 @@ fn dispatch(engine: &mut ITagEngine, req: Request) -> itag_core::Result<Response
 /// and kept here so server dispatch and twin dispatch cannot drift.
 pub fn apply_in_process(engine: &mut ITagEngine, req: Request) -> itag_core::Result<Response> {
     dispatch(engine, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_knob_parses_strictly() {
+        use itag_core::config::parse_snapshot_reads;
+        assert_eq!(parse_snapshot_reads(None).unwrap(), None);
+        assert_eq!(parse_snapshot_reads(Some("  ")).unwrap(), None);
+        for on in ["1", "true", "on", " true "] {
+            assert_eq!(parse_snapshot_reads(Some(on)).unwrap(), Some(true));
+        }
+        for off in ["0", "false", "off", " off "] {
+            assert_eq!(parse_snapshot_reads(Some(off)).unwrap(), Some(false));
+        }
+        for garbage in ["yes", "2", "enabled", "-1"] {
+            let err = parse_snapshot_reads(Some(garbage)).unwrap_err();
+            assert!(
+                err.contains("ITAG_SNAPSHOT_READS"),
+                "error must name the variable: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_config_beats_the_environment() {
+        let cfg = ServerConfig {
+            snapshot_reads: Some(false),
+            ..ServerConfig::default()
+        };
+        assert!(!resolve_snapshot_reads(&cfg).unwrap());
+        let cfg = ServerConfig {
+            snapshot_reads: Some(true),
+            ..ServerConfig::default()
+        };
+        assert!(resolve_snapshot_reads(&cfg).unwrap());
+    }
 }

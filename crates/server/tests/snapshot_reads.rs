@@ -1,0 +1,224 @@
+//! The lock-free-dashboard contract: snapshot-read verbs (`Monitor`,
+//! `MonitorTable`, `BrowseProjects`, `ExportCsv`, `ExportDownload`) are
+//! served from the epoch-keyed MVCC snapshot cache and never touch the
+//! engine mutex. Three legs:
+//!
+//! * the headline acceptance test parks the engine mutex through
+//!   [`ServerHandle::engine_guard`] and proves a full dashboard session
+//!   still completes — with answers identical to the unlocked ones;
+//! * a liveness/coherence test monitors continuously while another
+//!   session runs rounds: every read answers, spent budget is monotonic
+//!   (epoch-ordered snapshots), and the final read equals the quiesced
+//!   engine;
+//! * an A/B test serves the same engine with snapshot reads on and then
+//!   off and requires bit-identical answers — the routing split must be
+//!   invisible in the payloads.
+
+use std::time::Duration;
+
+use itag_core::config::EngineConfig;
+use itag_core::engine::ITagEngine;
+use itag_core::project::ProjectSpec;
+use itag_model::ids::ProjectId;
+use itag_server::client::Client;
+use itag_server::proto::DatasetSpec;
+use itag_server::server::{serve, ServerConfig};
+
+fn engine(seed: u64) -> ITagEngine {
+    ITagEngine::new(EngineConfig::in_memory(seed)).unwrap()
+}
+
+/// These tests are *about* the snapshot path, so they pin it on
+/// explicitly — the CI matrix also runs this suite under
+/// `ITAG_SNAPSHOT_READS=0`, which must only flip servers built on the
+/// `None` default.
+fn snapshot_cfg() -> ServerConfig {
+    ServerConfig {
+        snapshot_reads: Some(true),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn dashboards_answer_while_the_engine_lock_is_held() {
+    let handle = serve(engine(0x51A9), "127.0.0.1:0", snapshot_cfg()).unwrap();
+    assert!(handle.snapshot_reads());
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let provider = c.register_provider("alice").unwrap();
+    let project = c
+        .create_project(
+            provider,
+            ProjectSpec::demo("locked", 60),
+            DatasetSpec::small(5),
+            false,
+        )
+        .unwrap();
+    c.run_round(project, 40).unwrap();
+
+    // One unlocked read first: it refreshes the cache to the current
+    // epoch and records the expected answers.
+    let before = c.monitor(project).unwrap();
+    let browse_before = c.browse_projects().unwrap();
+
+    // Park the engine mutex — the moral equivalent of a long RunRound —
+    // and drive a whole dashboard session to completion under it.
+    let guard = handle.engine_guard();
+    let hits_before = handle.stats().snapshot_hits;
+    let mut dash = Client::connect(handle.addr()).unwrap();
+    let snap = dash.monitor(project).unwrap();
+    let table = dash.monitor_table(project, 10).unwrap();
+    let listings = dash.browse_projects().unwrap();
+    let csv = dash.export_csv(project).unwrap();
+    let bytes = dash.export_download(project).unwrap();
+    dash.quit().unwrap();
+    drop(guard);
+
+    // Same epoch, same answers — and every one of them was a cache hit,
+    // proving the engine mutex was never needed.
+    assert_eq!(snap, before);
+    assert_eq!(listings, browse_before);
+    assert_eq!(table, before.render_table(10));
+    assert!(csv.starts_with("uri,kind,posts,quality,tags"));
+    assert!(!bytes.is_empty());
+    let stats = handle.stats();
+    assert!(
+        stats.snapshot_hits >= hits_before + 5,
+        "all five locked reads must hit the cache: {stats:?}"
+    );
+
+    c.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn monitors_stay_live_and_coherent_during_rounds() {
+    let handle = serve(engine(0x51AA), "127.0.0.1:0", snapshot_cfg()).unwrap();
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let provider = c.register_provider("bob").unwrap();
+    let project = c
+        .create_project(
+            provider,
+            ProjectSpec::demo("live", 200),
+            DatasetSpec::small(6),
+            false,
+        )
+        .unwrap();
+
+    let addr = handle.addr();
+    let writer = std::thread::spawn(move || {
+        let mut w = Client::connect(addr).unwrap();
+        for _ in 0..8 {
+            w.run_round(project, 25).unwrap();
+        }
+        w.quit().unwrap();
+    });
+
+    // Monitor continuously while the rounds run. Every read must answer
+    // (no deadlock, no error), and spent budget must be non-decreasing:
+    // the cache only ever moves to newer epochs.
+    let mut reads = 0u32;
+    let mut last_spent = 0u32;
+    while !writer.is_finished() {
+        let snap = c.monitor(project).unwrap();
+        assert!(
+            snap.budget_spent >= last_spent,
+            "snapshot went backwards: {} -> {}",
+            last_spent,
+            snap.budget_spent
+        );
+        last_spent = snap.budget_spent;
+        reads += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    writer.join().unwrap();
+    assert!(reads > 0);
+
+    // Quiesced: the next read captures the final epoch and must agree
+    // with the engine itself.
+    let final_snap = c.monitor(project).unwrap();
+    assert_eq!(final_snap.budget_spent, 200);
+    c.quit().unwrap();
+
+    let stats = handle.stats();
+    assert!(
+        stats.snapshot_captures >= 1,
+        "epoch advances must have forced fresh captures: {stats:?}"
+    );
+    let report = handle.shutdown();
+    let engine = report.engine;
+    assert_eq!(engine.monitor(project).unwrap(), final_snap);
+}
+
+#[test]
+fn snapshot_and_engine_dispatch_serve_identical_answers() {
+    // Build state through the snapshot-serving server...
+    let handle = serve(engine(0x51AB), "127.0.0.1:0", snapshot_cfg()).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let provider = c.register_provider("carol").unwrap();
+    let p0 = c
+        .create_project(
+            provider,
+            ProjectSpec::demo("ab-0", 80),
+            DatasetSpec::small(7),
+            false,
+        )
+        .unwrap();
+    let p1 = c
+        .create_project(
+            provider,
+            ProjectSpec::demo("ab-1", 60),
+            DatasetSpec::small(8),
+            false,
+        )
+        .unwrap();
+    c.run_round(p0, 50).unwrap();
+    c.run_round(p1, 30).unwrap();
+
+    let reads_on = dashboard_reads(&mut c, &[p0, p1]);
+    c.quit().unwrap();
+    let report = handle.shutdown();
+    assert!(report.stats.snapshot_hits + report.stats.snapshot_captures > 0);
+
+    // ...then re-serve the very same engine with snapshot reads off and
+    // require byte-identical answers from engine dispatch.
+    let cfg = ServerConfig {
+        snapshot_reads: Some(false),
+        ..ServerConfig::default()
+    };
+    let handle = serve(report.engine, "127.0.0.1:0", cfg).unwrap();
+    assert!(!handle.snapshot_reads());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let reads_off = dashboard_reads(&mut c, &[p0, p1]);
+    c.quit().unwrap();
+    let report = handle.shutdown();
+    assert_eq!(report.stats.snapshot_hits, 0);
+    assert_eq!(report.stats.snapshot_captures, 0);
+
+    assert_eq!(reads_on.0, reads_off.0);
+    assert_eq!(reads_on.1, reads_off.1);
+    assert_eq!(reads_on.2, reads_off.2);
+    assert_eq!(reads_on.3, reads_off.3);
+}
+
+type Dashboard = (
+    Vec<itag_core::MonitorSnapshot>,
+    Vec<String>,
+    Vec<itag_core::monitor::ProjectListing>,
+    Vec<Vec<u8>>,
+);
+
+fn dashboard_reads(c: &mut Client, projects: &[ProjectId]) -> Dashboard {
+    let mut monitors = Vec::new();
+    let mut tables = Vec::new();
+    let mut downloads = Vec::new();
+    for &p in projects {
+        monitors.push(c.monitor(p).unwrap());
+        tables.push(c.monitor_table(p, 12).unwrap());
+        tables.push(c.export_csv(p).unwrap());
+        downloads.push(c.export_download(p).unwrap());
+    }
+    let listings = c.browse_projects().unwrap();
+    (monitors, tables, listings, downloads)
+}

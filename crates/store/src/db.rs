@@ -95,6 +95,7 @@ use std::hash::Hasher;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How hard the store tries to make each commit durable. See the module
 /// docs for the full durability contract.
@@ -177,6 +178,7 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     wal_syncs: AtomicU64,
+    snapshot_captures: AtomicU64,
 }
 
 /// A point-in-time view of store activity and size.
@@ -199,6 +201,11 @@ pub struct StoreStats {
     /// [`SyncPolicy::Batched`] contract says a quiescent store is fully
     /// fsynced — i.e. this must read 0 once every commit has returned.
     pub wal_unsynced_commits: u64,
+    /// MVCC read snapshots captured ([`Store::read_snapshot`]).
+    pub snapshot_captures: u64,
+    /// LSN of the last batch applied to the memtables (0 on a fresh
+    /// store; recovery resumes it from the replayed WAL).
+    pub epoch: u64,
     pub tables: usize,
     pub keys: usize,
     /// Number of memtable shards.
@@ -209,9 +216,16 @@ pub struct StoreStats {
     pub recovered_torn_tail: bool,
 }
 
+/// One logical table's ordered pairs. Behind an [`Arc`] so an MVCC
+/// snapshot ([`Store::read_snapshot`]) can share every table it captured
+/// without copying a single pair: writers clone-on-write via
+/// [`Arc::make_mut`], which is a no-op (refcount 1) whenever no snapshot
+/// holds the table and copies only the touched table otherwise.
+pub(crate) type TableMap = Arc<BTreeMap<Bytes, Bytes>>;
+
 /// One table set partition: `table → (key → value)`. Keys are [`Bytes`] so
 /// scans can return them without copying.
-type Memtable = BTreeMap<TableId, BTreeMap<Bytes, Bytes>>;
+pub(crate) type Memtable = BTreeMap<TableId, TableMap>;
 
 /// One decoded-entity cache partition: `table → key → slot`.
 struct CacheSlot {
@@ -290,6 +304,12 @@ pub struct Store {
     /// know no *other guard holder's* write can interleave between their
     /// read and their commit.
     rmw_mu: parking_lot::Mutex<()>,
+    /// LSN of the last batch applied to the memtables, published while the
+    /// applying batch's shard write locks are still held. A reader that
+    /// holds **all** shard read locks ([`Store::read_snapshot`]) therefore
+    /// observes exactly the epoch whose batches its view contains; the
+    /// lock-free [`Store::epoch`] accessor is a staleness probe only.
+    epoch: AtomicU64,
     opts: StoreOptions,
     counters: Counters,
 }
@@ -358,7 +378,7 @@ fn snapshot_path(dir: &Path) -> PathBuf {
 /// change across versions or recovery would repartition differently than
 /// the writes that produced the WAL (harmless, but checksums over shard
 /// contents would shift).
-fn route(shards: usize, table: TableId, key: &[u8]) -> usize {
+pub(crate) fn route(shards: usize, table: TableId, key: &[u8]) -> usize {
     if shards == 1 {
         return 0;
     }
@@ -393,9 +413,14 @@ struct LeadOutcome {
 
 /// Union of table ids across a set of shard guards, ascending.
 fn tables_union(guards: &[RwLockReadGuard<'_, Memtable>]) -> BTreeSet<TableId> {
+    tables_union_of(guards.iter().map(|g| &**g))
+}
+
+/// Union of table ids across any set of memtable parts, ascending.
+pub(crate) fn tables_union_of<'g>(parts: impl Iterator<Item = &'g Memtable>) -> BTreeSet<TableId> {
     let mut ids = BTreeSet::new();
-    for g in guards {
-        ids.extend(g.keys().copied());
+    for p in parts {
+        ids.extend(p.keys().copied());
     }
     ids
 }
@@ -403,7 +428,7 @@ fn tables_union(guards: &[RwLockReadGuard<'_, Memtable>]) -> BTreeSet<TableId> {
 /// Streams one table's pairs from a set of shard guards in ascending key
 /// order — a k-way merge over the per-shard ordered maps, so nothing is
 /// materialized (each shard holds disjoint keys, so ties cannot occur).
-struct MergedTableIter<'g> {
+pub(crate) struct MergedTableIter<'g> {
     iters: Vec<std::collections::btree_map::Range<'g, Bytes, Bytes>>,
     heads: Vec<Option<(&'g Bytes, &'g Bytes)>>,
 }
@@ -430,10 +455,12 @@ impl<'g> Iterator for MergedTableIter<'g> {
     }
 }
 
-/// Merged in-order view of `table` over `guards`, bounded to
-/// `[from, to)` (`to = None` means unbounded).
-fn merged_range<'g>(
-    guards: &'g [RwLockReadGuard<'_, Memtable>],
+/// Merged in-order view of `table` over any set of memtable parts,
+/// bounded to `[from, to)` (`to = None` means unbounded). Shared by the
+/// guard-holding live-store readers and the lock-free snapshot readers
+/// ([`crate::mvcc::StoreSnapshot`]) so both paths answer identically.
+pub(crate) fn merged_parts<'g>(
+    parts: impl Iterator<Item = &'g Memtable>,
     table: TableId,
     from: &[u8],
     to: Option<&[u8]>,
@@ -442,13 +469,23 @@ fn merged_range<'g>(
         Some(end) => Bound::Excluded(end),
         None => Bound::Unbounded,
     };
-    let mut iters: Vec<std::collections::btree_map::Range<'g, Bytes, Bytes>> = guards
-        .iter()
-        .filter_map(|g| g.get(&table))
+    let mut iters: Vec<std::collections::btree_map::Range<'g, Bytes, Bytes>> = parts
+        .filter_map(|p| p.get(&table))
         .map(|t| t.range::<[u8], _>((Bound::Included(from), upper)))
         .collect();
     let heads = iters.iter_mut().map(|it| it.next()).collect();
     MergedTableIter { iters, heads }
+}
+
+/// Merged in-order view of `table` over `guards`, bounded to
+/// `[from, to)` (`to = None` means unbounded).
+fn merged_range<'g>(
+    guards: &'g [RwLockReadGuard<'_, Memtable>],
+    table: TableId,
+    from: &[u8],
+    to: Option<&[u8]>,
+) -> MergedTableIter<'g> {
+    merged_parts(guards.iter().map(|g| &**g), table, from, to)
 }
 
 impl Store {
@@ -501,7 +538,7 @@ impl Store {
         if let Some(snap) = snapshot::read(&snapshot_path(dir))? {
             last_lsn = snap.last_lsn;
             for dump in snap.tables {
-                let table = tables.entry(dump.table).or_default();
+                let table = Arc::make_mut(tables.entry(dump.table).or_default());
                 for (k, v) in dump.entries {
                     table.insert(Bytes::from(k), Bytes::from(v));
                 }
@@ -551,12 +588,15 @@ impl Store {
         let mut parts: Vec<Memtable> = (0..n).map(|_| Memtable::new()).collect();
         let mut presence: crate::codec::FxHashMap<TableId, u128> = Default::default();
         for (table, entries) in initial {
+            // `initial` is freshly built by recovery, so each table Arc is
+            // unshared and unwraps without cloning.
+            let entries = Arc::try_unwrap(entries).unwrap_or_else(|shared| (*shared).clone());
             for (k, v) in entries {
                 let s = route(n, table, &k);
                 if n <= 128 {
                     *presence.entry(table).or_insert(0) |= 1u128 << s;
                 }
-                parts[s].entry(table).or_default().insert(k, v);
+                Arc::make_mut(parts[s].entry(table).or_default()).insert(k, v);
             }
         }
         let cache_enabled = opts.entity_cache && !env_disables_cache();
@@ -600,6 +640,7 @@ impl Store {
                 },
             ),
             rmw_mu: parking_lot::Mutex::named("store.rmw_mu", ()),
+            epoch: AtomicU64::new(last_lsn),
             opts,
             counters: Counters::default(),
         }
@@ -925,7 +966,7 @@ impl Store {
             let ops = std::mem::take(&mut p.ops);
             let hints = std::mem::take(&mut p.hints);
             ops_total += ops.len() as u64;
-            self.apply_batch(ops, hints);
+            self.apply_batch(p.lsn, ops, hints);
         }
         self.counters
             .commits
@@ -953,9 +994,11 @@ impl Store {
     /// touches, so concurrent readers see all of the batch or none of it.
     /// Ops are consumed: keys and values move straight into the memtable.
     /// Write-through hints install decoded entities into the cache under
-    /// the same locks; unhinted puts and deletes invalidate.
+    /// the same locks; unhinted puts and deletes invalidate. The batch's
+    /// LSN is published as the store epoch before the write locks drop,
+    /// so an all-shards reader sees epoch and contents move together.
     // lint: allow(panic-path)
-    fn apply_batch(&self, ops: Vec<Op>, hints: Vec<(u32, CachedEntity)>) {
+    fn apply_batch(&self, lsn: u64, ops: Vec<Op>, hints: Vec<(u32, CachedEntity)>) {
         let n = self.shards.len();
         // Hash every key exactly once; the presence update, the lock set
         // and the apply loop all reuse these routes.
@@ -1012,12 +1055,14 @@ impl Store {
                     // populated; an error path here has no caller to
                     // surface to (the batch is already in the WAL).
                     // lint: allow(store-unwrap)
-                    guards[s]
-                        .as_mut()
-                        .expect("touched shard is locked")
-                        .entry(table)
-                        .or_default()
-                        .insert(key, value);
+                    Arc::make_mut(
+                        guards[s]
+                            .as_mut()
+                            .expect("touched shard is locked")
+                            .entry(table)
+                            .or_default(),
+                    )
+                    .insert(key, value);
                 }
                 Op::Delete { table, key } => {
                     if self.cache_enabled && cache_tables.contains(&table) {
@@ -1030,11 +1075,17 @@ impl Store {
                         .expect("touched shard is locked")
                         .get_mut(&table)
                     {
-                        t.remove(key.as_slice());
+                        Arc::make_mut(t).remove(key.as_slice());
                     }
                 }
             }
         }
+        // Publish the new epoch while the touched shards are still
+        // write-locked: a capture holding every shard read lock can then
+        // never observe this batch's data without its epoch or vice versa.
+        // Applies are serialized (single group leader), so the store is
+        // monotonic even though only the touched shards are locked here.
+        self.epoch.store(lsn, Ordering::Release);
     }
 
     /// Registers `table` as cache-bearing (cheap read-check fast path).
@@ -1375,12 +1426,45 @@ impl Store {
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             wal_syncs: self.counters.wal_syncs.load(Ordering::Relaxed),
             wal_unsynced_commits,
+            snapshot_captures: self.counters.snapshot_captures.load(Ordering::Relaxed),
+            epoch: self.epoch(),
             tables,
             keys,
             shards: self.shards.len(),
             recovered_entries,
             recovered_torn_tail,
         }
+    }
+
+    /// LSN of the last batch applied to the memtables, read without any
+    /// lock. Monotonic; equal to the epoch a [`Store::read_snapshot`]
+    /// call would capture *at some point* during this call — use it as a
+    /// cheap staleness probe ("has anything committed since my snapshot's
+    /// epoch?"), not as a fence.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Captures a point-in-time read snapshot of every table.
+    ///
+    /// Cost: all shard read locks are held just long enough to clone each
+    /// shard's *table directory* — `O(shards × tables)` [`Arc`] clones,
+    /// never the pairs themselves (copy-on-write: a later commit that
+    /// touches a captured table clones only that table). The capture
+    /// linearizes against the group leader's applies, so the returned
+    /// view contains exactly the batches `1..=epoch` and nothing else,
+    /// byte-identical to a quiesced store at that LSN. Once this method
+    /// returns, the snapshot never blocks writers — it holds no lock,
+    /// only shared table references.
+    pub fn read_snapshot(&self) -> crate::mvcc::StoreSnapshot {
+        let guards = self.lock_all();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let shards: Vec<Memtable> = guards.iter().map(|g| (**g).clone()).collect();
+        drop(guards);
+        self.counters
+            .snapshot_captures
+            .fetch_add(1, Ordering::Relaxed);
+        crate::mvcc::StoreSnapshot::assemble(epoch, shards)
     }
 
     /// True when the store persists to disk.
@@ -1400,14 +1484,12 @@ fn apply_ops(tables: &mut Memtable, ops: Vec<Op>) {
     for op in ops {
         match op {
             Op::Put { table, key, value } => {
-                tables
-                    .entry(table)
-                    .or_default()
+                Arc::make_mut(tables.entry(table).or_default())
                     .insert(Bytes::from(key), Bytes::from(value));
             }
             Op::Delete { table, key } => {
                 if let Some(t) = tables.get_mut(&table) {
-                    t.remove(key.as_slice());
+                    Arc::make_mut(t).remove(key.as_slice());
                 }
             }
         }

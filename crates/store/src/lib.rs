@@ -37,6 +37,7 @@ pub mod db;
 pub mod envknob;
 pub mod error;
 pub mod faults;
+pub mod mvcc;
 pub mod serbin;
 pub mod snapshot;
 pub mod table;
@@ -46,6 +47,7 @@ pub mod wal;
 
 pub use db::{Durability, Store, StoreOptions, StoreStats, SyncPolicy, DEFAULT_SHARDS};
 pub use error::{Result, StoreError};
+pub use mvcc::{SnapshotTable, StoreSnapshot};
 pub use table::{Entity, KeyCodec, TypedTable};
 pub use txn::{CachedEntity, WriteBatch};
 

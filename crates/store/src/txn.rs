@@ -114,6 +114,32 @@ impl WriteBatch {
         self.ops.clear();
         self.hints.clear();
     }
+
+    /// Appends every op of `other` after this batch's ops, preserving
+    /// order. Cache hints ride along with their op (indexes are shifted
+    /// past the existing tail), so a merged batch writes through exactly
+    /// like its parts would have. Used by the engine's cross-project
+    /// group commit to fold several projects' merge frames into one
+    /// WAL frame + fsync.
+    pub fn append(&mut self, other: WriteBatch) {
+        let base = self.ops.len() as u32;
+        self.hints
+            .extend(other.hints.into_iter().map(|(i, d)| (base + i, d)));
+        self.ops.extend(other.ops);
+    }
+
+    /// Rough payload size of the staged ops in bytes (keys + values; the
+    /// serialization framing adds a few varint bytes per op). Drives the
+    /// byte budget of the engine's cross-project commit batching.
+    pub fn ops_bytes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Put { key, value, .. } => key.len() + value.len(),
+                Op::Delete { key, .. } => key.len(),
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +156,24 @@ mod tests {
         assert!(matches!(b.ops[1], Op::Delete { .. }));
         b.clear();
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn append_shifts_hint_indexes_past_the_tail() {
+        let decoded: CachedEntity = Arc::new(42u32);
+        let mut a = WriteBatch::new();
+        a.put(TableId(1), vec![1], vec![10]);
+        let mut b = WriteBatch::new();
+        b.delete(TableId(2), vec![2]);
+        b.put_cached(TableId(1), vec![3], vec![30], Arc::clone(&decoded));
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        assert!(matches!(a.ops[1], Op::Delete { .. }));
+        assert_eq!(a.hints.len(), 1);
+        // The hinted put was op 1 of `b`; after appending past one
+        // existing op it must point at op 2.
+        assert_eq!(a.hints[0].0, 2);
+        assert_eq!(a.ops_bytes(), 1 + 1 + 1 + (1 + 1));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Snapshot-equivalence under concurrency: a [`StoreSnapshot`] captured at
+//! epoch `e` while writers are running must be byte-identical to a quiesced
+//! twin store that replayed exactly batches `1..=e` — the MVCC staleness
+//! contract. Three legs:
+//!
+//! * a proptest where a writer thread commits a random batch sequence while
+//!   the main thread captures snapshots mid-flight, then every capture is
+//!   checked against its replay twin (checksum + full scans);
+//! * a multi-writer linearizability check: per-writer progress markers must
+//!   be prefix-consistent and atomic with their batch, and the sum of all
+//!   markers must equal the captured epoch;
+//! * a writer-freedom check: a held snapshot never blocks commits.
+
+use itag_store::{Store, TableId, WriteBatch};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const T: TableId = TableId(7);
+
+/// One randomly generated committed batch: puts and deletes over a small
+/// key universe so overwrites and deletes of live keys actually happen.
+fn arb_batch() -> impl Strategy<Value = Vec<(bool, u8, u8)>> {
+    prop::collection::vec((any::<bool>(), 0u8..32, any::<u8>()), 1..6)
+}
+
+fn build_batch(spec: &[(bool, u8, u8)]) -> WriteBatch {
+    let mut b = WriteBatch::new();
+    for &(is_put, key, val) in spec {
+        if is_put {
+            b.put(T, vec![key], vec![val, key]);
+        } else {
+            b.delete(T, vec![key]);
+        }
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Capture snapshots while a writer commits; every snapshot at epoch
+    /// `e` must digest and scan identically to a fresh store that replayed
+    /// batches `1..=e` with no concurrency at all.
+    #[test]
+    fn concurrent_snapshots_equal_their_replay_twins(
+        batches in prop::collection::vec(arb_batch(), 1..40),
+        shards in 1usize..5,
+    ) {
+        let store = Arc::new(Store::in_memory_sharded(shards));
+        let writer = {
+            let store = Arc::clone(&store);
+            let batches = batches.clone();
+            std::thread::spawn(move || {
+                for spec in &batches {
+                    store.commit(build_batch(spec)).unwrap();
+                }
+            })
+        };
+
+        // Capture greedily while the writer runs; dedup by epoch later.
+        let mut snaps = Vec::new();
+        loop {
+            let snap = store.read_snapshot();
+            let done = snap.epoch() as usize >= batches.len();
+            snaps.push(snap);
+            if done {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+        snaps.push(store.read_snapshot());
+
+        for snap in &snaps {
+            let e = snap.epoch() as usize;
+            prop_assert!(e <= batches.len());
+            let twin = Store::in_memory_sharded(shards);
+            for spec in &batches[..e] {
+                twin.commit(build_batch(spec)).unwrap();
+            }
+            prop_assert_eq!(snap.content_checksum(), twin.content_checksum());
+            prop_assert_eq!(snap.scan_all(T), twin.scan_all(T));
+            prop_assert_eq!(snap.count(T), twin.count(T));
+            prop_assert_eq!(snap.last_key(T), twin.last_key(T));
+        }
+    }
+}
+
+/// Several writers race; each writer `w` commits batch `b` containing both
+/// the payload key `(w, b)` and an overwrite of its progress marker
+/// `(w, 0) -> b`. Any snapshot must then satisfy, per writer:
+/// marker = b  ⇔  payload keys 1..=b present and none beyond — batches are
+/// atomic and a writer's own history is a prefix. The markers also sum to
+/// the captured epoch (every batch is exactly one LSN).
+#[test]
+fn snapshots_are_atomic_and_prefix_consistent_across_writers() {
+    const WRITERS: u8 = 4;
+    const BATCHES: u8 = 50;
+    let store = Arc::new(Store::in_memory_sharded(4));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (1..=WRITERS)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for b in 1..=BATCHES {
+                    let mut batch = WriteBatch::new();
+                    batch.put(T, vec![w, b], vec![b]);
+                    batch.put(T, vec![w, 0], vec![b]);
+                    store.commit(batch).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    let checker = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut checked = 0u32;
+            while !stop.load(Ordering::Relaxed) || checked == 0 {
+                let snap = store.read_snapshot();
+                let mut marker_sum = 0u64;
+                for w in 1..=WRITERS {
+                    let marker = snap.get(T, &[w, 0]).map(|v| v.as_ref()[0]).unwrap_or(0);
+                    marker_sum += u64::from(marker);
+                    for b in 1..=BATCHES {
+                        let present = snap.contains(T, &[w, b]);
+                        assert_eq!(
+                            present,
+                            b <= marker,
+                            "writer {w}: marker={marker} but key {b} present={present}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    marker_sum,
+                    snap.epoch(),
+                    "markers must account for every committed LSN"
+                );
+                checked += 1;
+            }
+            checked
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let checked = checker.join().unwrap();
+    assert!(checked > 0);
+
+    let last = store.read_snapshot();
+    assert_eq!(last.epoch(), u64::from(WRITERS) * u64::from(BATCHES));
+    assert_eq!(
+        last.count(T),
+        usize::from(WRITERS) * (usize::from(BATCHES) + 1)
+    );
+}
+
+/// A held snapshot must never block writers: commits proceed and the epoch
+/// advances while old captures stay frozen.
+#[test]
+fn held_snapshots_never_block_writers() {
+    let store = Store::in_memory_sharded(4);
+    store.put(T, vec![1], vec![1]).unwrap();
+    let pinned = store.read_snapshot();
+
+    // Writers keep committing with the snapshot alive the whole time.
+    for i in 0..100u8 {
+        store.put(T, vec![i], vec![i, i]).unwrap();
+    }
+    assert_eq!(store.epoch(), 101);
+    assert_eq!(pinned.epoch(), 1);
+    assert_eq!(pinned.count(T), 1);
+    assert_eq!(pinned.get(T, &[1]).unwrap().as_ref(), &[1]);
+
+    // A second capture sees the new world; the first is still frozen.
+    let fresh = store.read_snapshot();
+    assert_eq!(fresh.count(T), 100);
+    drop(pinned);
+    assert_eq!(store.get(T, &[1]).unwrap().unwrap().as_ref(), &[1, 1]);
+}

@@ -114,6 +114,133 @@ fn wal_fault_under_engine_is_typed_and_recovery_matches_replay_twin() {
         .expect("healed engine rejects writes");
 }
 
+/// Strict-durability config with cross-project group commits enabled:
+/// one WAL frame carries several projects' merge batches.
+fn batched_config(dir: &std::path::Path) -> EngineConfig {
+    EngineConfig {
+        commit_batch: Some(8),
+        ..config(dir)
+    }
+}
+
+/// Multi-project prefix for the group-commit torture legs: three
+/// campaigns whose round merges share a group commit (budget 8 > 3).
+fn batched_prefix(engine: &mut ITagEngine) {
+    let provider = engine.register_provider("alice").expect("provider");
+    for i in 0..3u64 {
+        let dataset = DeliciousConfig {
+            resources: 15,
+            vocab: 80,
+            initial_posts: 60,
+            eval_posts: 100,
+            taggers: 8,
+            seed: SEED + i,
+            ..DeliciousConfig::default()
+        }
+        .generate()
+        .dataset;
+        engine
+            .add_project(
+                provider,
+                ProjectSpec::demo(&format!("batch-{i}"), 40),
+                dataset,
+            )
+            .expect("project");
+    }
+    engine.run_all_with(20, 1, 0).expect("round");
+}
+
+/// A WAL fault during a *batched* group commit fails the whole group —
+/// every member's round is a typed storage fault, none is half-applied —
+/// and the reopened engine equals a fault-free twin that replays only
+/// the acknowledged prefix.
+#[test]
+fn group_commit_fault_fails_the_whole_group_and_recovers_to_prefix() {
+    let dir = TestDir::new("engine-group-fault");
+    let mut engine = ITagEngine::new(batched_config(dir.path())).expect("engine");
+    batched_prefix(&mut engine);
+
+    let guard = faults::arm(&FaultPlan::new().site(
+        faults::WAL_APPEND,
+        FaultSpec::new(FaultKind::Eio, Trigger::After(0)),
+    ));
+    let err = engine
+        .run_all_with(20, 1, 0)
+        .expect_err("a round over a failing WAL must error");
+    assert!(
+        err.is_storage_fault(),
+        "{err} should classify as a storage fault"
+    );
+    assert!(guard.fired(faults::WAL_APPEND) >= 1);
+    drop(guard);
+    drop(engine);
+
+    // The failed group was all-or-nothing: recovery lands exactly on the
+    // acknowledged prefix, digest-equal to a fault-free twin.
+    let recovered = ITagEngine::new(batched_config(dir.path())).expect("reopen");
+    let twin_dir = TestDir::new("engine-group-fault-twin");
+    let mut twin = ITagEngine::new(batched_config(twin_dir.path())).expect("twin");
+    batched_prefix(&mut twin);
+    assert_eq!(
+        recovered.store_checksum(),
+        twin.store_checksum(),
+        "recovered engine diverged from the acknowledged-prefix twin"
+    );
+
+    // Healed: the next batched round goes through.
+    let mut recovered = recovered;
+    recovered
+        .run_all_with(20, 1, 0)
+        .expect("healed engine must run batched rounds again");
+}
+
+/// Power loss mid-batched-frame: the WAL swallows bytes partway through
+/// a group commit's frame. Recovery must be atomic at group-commit
+/// granularity — the reopened store equals the twin *before* the torn
+/// round or the twin *after* it, never a state in between where some
+/// group members' merges survived and others vanished.
+#[test]
+fn crash_mid_batched_group_frame_recovers_atomically() {
+    let dir = TestDir::new("engine-group-crash");
+    let mut engine = ITagEngine::new(batched_config(dir.path())).expect("engine");
+    batched_prefix(&mut engine);
+
+    let guard = faults::arm(&FaultPlan::new().site(
+        faults::WAL_APPEND,
+        FaultSpec::new(FaultKind::Crash(4_000), Trigger::Once),
+    ));
+    // Past the crash offset this round's group frame is torn; the engine
+    // may or may not notice before power loss.
+    let _ = engine.run_all_with(20, 1, 0);
+    drop(engine);
+    assert!(
+        guard.fired(faults::WAL_APPEND) >= 1,
+        "crash offset was never reached; the round wrote fewer WAL bytes than expected"
+    );
+    drop(guard);
+
+    let recovered = ITagEngine::new(batched_config(dir.path())).expect("reopen after crash");
+
+    let twin_before_dir = TestDir::new("engine-group-crash-twin-before");
+    let mut twin_before = ITagEngine::new(batched_config(twin_before_dir.path())).expect("twin");
+    batched_prefix(&mut twin_before);
+    let before = twin_before.store_checksum();
+    twin_before.run_all_with(20, 1, 0).expect("twin round");
+    let after = twin_before.store_checksum();
+
+    let got = recovered.store_checksum();
+    assert!(
+        got == before || got == after,
+        "recovered state is neither the pre-round nor the post-round twin: \
+         group-commit recovery tore a batch"
+    );
+
+    let mut recovered = recovered;
+    recovered
+        .register_provider("post-crash")
+        .expect("recovered engine must accept writes");
+}
+
 /// Crash-at-offset under the engine: commits keep reporting `Ok` while
 /// bytes past the offset are silently swallowed (power loss), and the
 /// reopened engine must land on a consistent recovered state — no

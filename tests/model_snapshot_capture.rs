@@ -1,0 +1,112 @@
+//! Schedule-explorer model of the MVCC snapshot capture / epoch
+//! publication protocol in `itag_store` (`Store::apply_batch` vs
+//! `Store::read_snapshot`).
+//!
+//! Shape-faithful to the real code: a committing writer locks every
+//! shard its batch touches (in shard-index order), applies the entries,
+//! and publishes the new epoch **while still holding those locks**; a
+//! capturer locks all shards (same order), then reads the epoch and the
+//! contents as one atomic cut. The invariant is the staleness contract
+//! the `mvcc_snapshot` suite checks end-to-end: a capture that reads
+//! epoch `e` must see *exactly* the effects of batches `1..=e` in every
+//! shard — never a torn batch, never an effect the epoch does not admit.
+//!
+//! The `should_panic` twin moves the epoch publication to after the
+//! writer has released its shard locks — the "obvious" ordering, since
+//! the epoch is an atomic anyway. The explorer finds the schedule where
+//! a capture slips between the unlock and the publication and sees
+//! batch `e+1`'s effects under epoch `e`: a snapshot that is not equal
+//! to its replay twin. That is exactly the bug the
+//! publish-inside-the-critical-section rule exists to kill.
+
+use itag::crowd::model::{explore, Config, Env};
+
+const SHARDS: usize = 2;
+const WRITERS: usize = 2;
+const BATCHES_PER_WRITER: usize = 2;
+
+fn cfg() -> Config {
+    Config {
+        preemption_bound: 2,
+        ..Config::default()
+    }
+}
+
+/// Runs writers committing cross-shard batches against one capturer.
+/// `publish_inside` is the line under test: epoch publication inside vs
+/// after the shard critical section.
+fn run_capture_model(env: &Env, publish_inside: bool) {
+    // Each shard holds the number of batches applied to it; a batch
+    // touches every shard, so at any committed cut all shards agree.
+    let shards: Vec<_> = (0..SHARDS).map(|_| env.mutex(0usize)).collect();
+    let epoch = env.atomic_usize(0);
+
+    let mut joins = Vec::new();
+    for _ in 0..WRITERS {
+        let shards = shards.clone();
+        let epoch = epoch.clone();
+        joins.push(env.spawn(move || {
+            for _ in 0..BATCHES_PER_WRITER {
+                // Lock order: shard index ascending — the same total
+                // order the store's commit path uses.
+                let mut guards: Vec<_> = shards.iter().map(|s| s.lock()).collect();
+                for g in guards.iter_mut() {
+                    **g += 1;
+                }
+                if publish_inside {
+                    epoch.fetch_add(1);
+                }
+                drop(guards);
+                if !publish_inside {
+                    // Bug twin: the batch is visible before the epoch
+                    // admits it.
+                    epoch.fetch_add(1);
+                }
+            }
+        }));
+    }
+
+    // The capturer: all shard locks (ascending), then epoch + contents
+    // as one cut — `StoreSnapshot::capture` in miniature.
+    {
+        let shards = shards.clone();
+        let epoch = epoch.clone();
+        joins.push(env.spawn(move || {
+            for _ in 0..2 {
+                let guards: Vec<_> = shards.iter().map(|s| s.lock()).collect();
+                let e = epoch.load();
+                for (i, g) in guards.iter().enumerate() {
+                    assert_eq!(
+                        **g, e,
+                        "shard {i} holds {} batches under published epoch {e}: \
+                         the capture is not the prefix 1..={e}",
+                        **g
+                    );
+                }
+                drop(guards);
+            }
+        }));
+    }
+
+    for j in joins {
+        j.join();
+    }
+
+    // Quiesced: every batch committed and published.
+    assert_eq!(epoch.load(), WRITERS * BATCHES_PER_WRITER);
+    for s in &shards {
+        assert_eq!(*s.lock(), WRITERS * BATCHES_PER_WRITER);
+    }
+}
+
+#[test]
+fn epoch_published_under_shard_locks_gives_prefix_consistent_captures() {
+    let report = explore(cfg(), |env| run_capture_model(env, true));
+    assert!(report.executions > 0);
+}
+
+#[test]
+#[should_panic(expected = "is not the prefix")]
+fn bug_twin_publishing_epoch_after_unlock_tears_the_capture() {
+    explore(cfg(), |env| run_capture_model(env, false));
+}
